@@ -1,0 +1,85 @@
+//! Regenerates paper Figures 29–30: the cost of `atomic` vs `critical`
+//! for the bank-deposit update, plus our spinlock as a third mechanism.
+//!
+//! The paper reports both mechanisms correct, with
+//! `criticalTime / atomicTime ≈ 16.5` at 8 threads on their machine. The
+//! portable claim is the *direction and growth with contention*; exact
+//! ratios are hardware-dependent (and this host has one core).
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets::omp::critical2::compare;
+use patternlets_shmem::sync::atomic::AtomicF64;
+use patternlets_shmem::sync::lock::TtasLock;
+use patternlets_shmem::Team;
+
+const DEPOSITS: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig30_mutual_exclusion");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("atomic", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let balance = AtomicF64::new(0.0);
+                Team::new(n).parallel(|_| {
+                    for _ in 0..DEPOSITS / n {
+                        balance.fetch_add(1.0, Ordering::Relaxed);
+                    }
+                });
+                balance.load(Ordering::Relaxed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("critical", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let balance = AtomicF64::new(0.0);
+                Team::new(n).parallel(|ctx| {
+                    for _ in 0..DEPOSITS / n {
+                        ctx.critical(|| {
+                            let v = balance.load(Ordering::Relaxed);
+                            balance.store(v + 1.0, Ordering::Relaxed);
+                        });
+                    }
+                });
+                balance.load(Ordering::Relaxed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ttas_spinlock", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let balance = TtasLock::new(0.0f64);
+                Team::new(n).parallel(|_| {
+                    for _ in 0..DEPOSITS / n {
+                        balance.with(|v| *v += 1.0);
+                    }
+                });
+                balance.with(|v| *v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    // The Figure 30 report itself (one shot, like the patternlet's output).
+    println!("=== Figure 30 regeneration: atomic vs critical, 1,000,000 deposits ===");
+    for threads in [2usize, 4, 8] {
+        let cmp = compare(threads, 1_000_000);
+        println!(
+            "{threads} threads: atomic {:.6}s, critical {:.6}s, ratio {:.2} \
+             (balances {} / {})",
+            cmp.atomic_time,
+            cmp.critical_time,
+            cmp.ratio(),
+            cmp.atomic_balance,
+            cmp.critical_balance,
+        );
+    }
+    println!();
+
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

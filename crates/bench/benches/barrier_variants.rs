@@ -1,0 +1,56 @@
+//! Ablation: the four barrier algorithms (central, sense-reversing, tree,
+//! dissemination) behind the paper's Barrier patternlets (Fig. 7–12).
+//!
+//! Measures the cost of a phase (one barrier episode per thread) at
+//! several team sizes. On a single-core host the blocking central barrier
+//! tends to win (spinners burn their timeslice before yielding), which is
+//! itself the classic spinning-vs-blocking lesson.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_shmem::barrier::{Barrier, BarrierKind};
+
+const EPISODES: usize = 200;
+
+fn drive(barrier: Arc<dyn Barrier>, n: usize) {
+    std::thread::scope(|scope| {
+        for tid in 0..n {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                for _ in 0..EPISODES {
+                    barrier.wait(tid);
+                }
+            });
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_variants");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    for n in [2usize, 4, 8] {
+        for kind in BarrierKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        // Barrier construction is part of a region setup;
+                        // include it, as Team::parallel does.
+                        drive(kind.build(n), n)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

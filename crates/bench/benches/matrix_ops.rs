@@ -1,0 +1,43 @@
+//! Regenerates the CS2 lab measurements (paper §IV.A, Tuesday): matrix
+//! addition and transpose, sequential vs team-parallel, across thread
+//! counts — the data behind the students' spreadsheet charts.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_edu::Matrix;
+
+const N: usize = 256;
+
+fn bench(c: &mut Criterion) {
+    let a = Matrix::from_fn(N, N, |i, j| (i + 2 * j) as f64);
+    let b_m = Matrix::from_fn(N, N, |i, j| ((i * j) % 17) as f64);
+
+    let mut g = c.benchmark_group("cs2_matrix_lab");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    g.bench_function("add_sequential", |bch| {
+        bch.iter(|| std::hint::black_box(a.add_sequential(&b_m)))
+    });
+    g.bench_function("transpose_sequential", |bch| {
+        bch.iter(|| std::hint::black_box(a.transpose_sequential()))
+    });
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("add_parallel", threads), &threads, |bch, &n| {
+            bch.iter(|| std::hint::black_box(a.add_parallel(&b_m, n)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("transpose_parallel", threads),
+            &threads,
+            |bch, &n| bch.iter(|| std::hint::black_box(a.transpose_parallel(n))),
+        );
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,68 @@
+//! Regenerates the Friday-session result (paper §IV.A step 4): parallel
+//! merge sort vs sequential, in real time (fork-join on this host) and in
+//! virtual time (the task-DAG span analysis that explains the saturation).
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_core::rng::{Rng, Xoshiro256StarStar};
+use patternlets_edu::mergesort::{merge_sort_dag, merge_sort_parallel, merge_sort_seq};
+use patternlets_vtime::simulate;
+
+const N: usize = 50_000;
+
+fn data() -> Vec<i64> {
+    let mut rng = Xoshiro256StarStar::seeded(99);
+    (0..N).map(|_| rng.gen_range(1_000_000) as i64).collect()
+}
+
+fn print_span_analysis() {
+    println!("=== parallel merge sort: the span bound (virtual time) ===");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "n", "work (T1)", "span (T∞)", "T(4)", "T(16)", "max speedup"
+    );
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let g = merge_sort_dag(n, 64);
+        let t1 = simulate(&g, 1).makespan;
+        let t4 = simulate(&g, 4).makespan;
+        let t16 = simulate(&g, 16).makespan;
+        let span = g.critical_path();
+        println!(
+            "{n:>8} {t1:>12} {span:>10} {t4:>10} {t16:>10} {:>12.2}",
+            t1 as f64 / span as f64
+        );
+    }
+    println!("(the O(n) final merge caps speedup regardless of processor count)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let v = data();
+    let mut g = c.benchmark_group("friday_mergesort");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(400));
+    g.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(merge_sort_seq(&v)))
+    });
+    for depth in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("fork_join", 1 << depth), &depth, |b, &d| {
+            b.iter(|| std::hint::black_box(merge_sort_parallel(&v, d)))
+        });
+    }
+    g.bench_function("std_sort_baseline", |b| {
+        b.iter(|| {
+            let mut w = v.clone();
+            w.sort_unstable();
+            std::hint::black_box(w)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    print_span_analysis();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

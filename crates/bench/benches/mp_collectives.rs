@@ -1,0 +1,124 @@
+//! Ablation: the message-passing collectives behind the MPI patternlets
+//! (Figures 10–12, 23–28), including the linear-vs-tree and
+//! reduce+bcast-vs-recursive-doubling algorithm comparisons.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+
+const PAYLOAD: usize = 256; // i64 elements per rank
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mp_collectives");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    for np in [2usize, 4, 8] {
+        // World spawn alone, to subtract mentally from the rest.
+        g.bench_with_input(BenchmarkId::new("world_spawn", np), &np, |b, &np| {
+            b.iter(|| World::run(np, |comm| comm.rank()))
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier().unwrap();
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast_linear", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    let mut buf: Vec<i64> =
+                        if comm.is_master() { (0..PAYLOAD as i64).collect() } else { Vec::new() };
+                    comm.bcast_linear(0, &mut buf).unwrap();
+                    buf.len()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    let mut buf: Vec<i64> =
+                        if comm.is_master() { (0..PAYLOAD as i64).collect() } else { Vec::new() };
+                    comm.bcast(0, &mut buf).unwrap();
+                    buf.len()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reduce", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    let local: Vec<i64> = vec![comm.rank() as i64; PAYLOAD];
+                    comm.reduce(0, &local, &ops::Sum).unwrap().map(|v| v[0])
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gather", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    let local: Vec<i64> = vec![comm.rank() as i64; PAYLOAD];
+                    comm.gather(0, &local).unwrap().map(|v| v.len())
+                })
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("allreduce_reduce_bcast", np),
+            &np,
+            |b, &np| {
+                b.iter(|| {
+                    World::run(np, |comm| {
+                        let local: Vec<i64> = vec![1; PAYLOAD];
+                        comm.allreduce(&local, &ops::Sum).unwrap()[0]
+                    })
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("allreduce_recursive_doubling", np),
+            &np,
+            |b, &np| {
+                b.iter(|| {
+                    World::run(np, |comm| {
+                        let local: Vec<i64> = vec![1; PAYLOAD];
+                        comm.allreduce_rd(&local, &ops::Sum).unwrap()[0]
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn print_comm_model_table() {
+    use patternlets_vtime::CommModel;
+    println!("=== analytic collective costs (Hockney model, latency-bound cluster) ===");
+    let m = CommModel::latency_bound();
+    let payload = PAYLOAD;
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>12} {:>16} {:>14}",
+        "p", "bcast linear", "bcast tree", "reduce linear", "reduce tree", "allred red+bc", "allred rd"
+    );
+    for p in [2usize, 4, 8, 16, 64, 256] {
+        println!(
+            "{p:>6} {:>14.0} {:>12.0} {:>14.0} {:>12.0} {:>16.0} {:>14.0}",
+            m.bcast_linear(p, payload),
+            m.bcast_tree(p, payload),
+            m.reduce_linear(p, payload),
+            m.reduce_tree(p, payload),
+            m.allreduce_reduce_bcast(p, payload),
+            m.allreduce_recursive_doubling(p, payload),
+        );
+    }
+    println!("(tree algorithms overtake linear at p = 4 and win by p/lg p after)\n");
+}
+
+fn main() {
+    print_comm_model_table();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

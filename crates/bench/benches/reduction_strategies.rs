@@ -1,0 +1,108 @@
+//! Regenerates the Figure 20–22 experiment as a performance question:
+//! four ways to sum the patternlet's million-element array —
+//!
+//! * sequential fold (the paper's `sequentialSum`),
+//! * per-thread partials + tree combine (`reduction(+:sum)` — the fix),
+//! * every thread hammering one atomic (correct but contended),
+//! * every thread entering a critical section per element (correct,
+//!   pathological — why nobody writes that).
+//!
+//! The shape to reproduce: partials ≥ atomic ≫ critical, at any thread
+//! count; on real multicore hardware partials additionally beat
+//! sequential.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_bench::workloads::reduction_array;
+use patternlets_core::reduce::ops;
+use patternlets_shmem::{Schedule, Team};
+
+const SIZE: usize = 250_000;
+
+fn bench(c: &mut Criterion) {
+    let a = reduction_array(SIZE, 2015);
+    let expected: i64 = a.iter().sum();
+
+    let mut g = c.benchmark_group("fig21_reduction_strategies");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let s: i64 = a.iter().sum();
+            assert_eq!(s, expected);
+            s
+        })
+    });
+
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("partials_tree", threads),
+            &threads,
+            |b, &n| {
+                let team = Team::new(n);
+                b.iter(|| {
+                    let s = team.parallel_for_reduce(
+                        a.len(),
+                        Schedule::StaticBlock,
+                        &ops::Sum,
+                        |i| a[i],
+                    );
+                    assert_eq!(s, expected);
+                    s
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("atomic_accumulate", threads),
+            &threads,
+            |b, &n| {
+                let team = Team::new(n);
+                b.iter(|| {
+                    let sum = AtomicI64::new(0);
+                    team.parallel_for(a.len(), Schedule::StaticBlock, |i| {
+                        sum.fetch_add(a[i], Ordering::Relaxed);
+                    });
+                    let s = sum.load(Ordering::Relaxed);
+                    assert_eq!(s, expected);
+                    s
+                })
+            },
+        );
+    }
+
+    // Critical-per-element is so slow we bench it on a 1/10 slice only.
+    let slice = &a[..SIZE / 10];
+    let slice_sum: i64 = slice.iter().sum();
+    for threads in [2usize] {
+        g.bench_with_input(
+            BenchmarkId::new("critical_accumulate_tenth", threads),
+            &threads,
+            |b, &n| {
+                let team = Team::new(n);
+                b.iter(|| {
+                    let sum = AtomicI64::new(0);
+                    team.parallel(|ctx| {
+                        ctx.for_each(slice.len(), Schedule::StaticBlock, |i| {
+                            ctx.critical(|| {
+                                sum.fetch_add(slice[i], Ordering::Relaxed);
+                            });
+                        });
+                    });
+                    let s = sum.load(Ordering::Relaxed);
+                    assert_eq!(s, slice_sum);
+                    s
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,54 @@
+//! Regenerates Figure 19 quantitatively: combining time of the reduction
+//! tree versus sequential combining, in deterministic virtual time,
+//! across three decades of task counts — plus a Criterion measurement of
+//! the simulation engine itself.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_vtime::models::{reduction_tree, sequential_reduction};
+use patternlets_vtime::simulate;
+
+fn print_figure_19_table() {
+    println!("=== Figure 19 regeneration: combining t partials (1 tick/add) ===");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>8}",
+        "t", "additions", "sequential", "tree", "speedup"
+    );
+    for t in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let tree = reduction_tree(t, 1);
+        let seq = sequential_reduction(t, 1);
+        let seq_time = simulate(&seq, t).makespan;
+        let tree_time = simulate(&tree, t).makespan;
+        println!(
+            "{t:>6} {:>10} {seq_time:>12} {tree_time:>10} {:>8.1}",
+            tree.len(),
+            seq_time as f64 / tree_time as f64
+        );
+    }
+    println!("(same t−1 additions; tree finishes in ⌈lg t⌉ steps — the paper's claim)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vtime_engine");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    for t in [64usize, 1024] {
+        let tree = reduction_tree(t, 1);
+        g.bench_with_input(BenchmarkId::new("simulate_tree", t), &t, |b, &t| {
+            b.iter(|| simulate(&tree, t).makespan)
+        });
+        let chain = sequential_reduction(t, 1);
+        g.bench_with_input(BenchmarkId::new("simulate_chain", t), &t, |b, &t| {
+            b.iter(|| simulate(&chain, t).makespan)
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    print_figure_19_table();
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,48 @@
+//! Regenerates the Figure 2/3 and 5/6 scalability dimension: the cost of
+//! standing up an SPMD computation as the task count grows — thread-team
+//! fork-join versus rank-world spawn, the structural overhead every
+//! patternlet pays when the student turns the task knob.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets::harness::Mode;
+use patternlets::registry::find;
+use patternlets_mp::World;
+use patternlets_shmem::Team;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmd_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    for n in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("team_fork_join", n), &n, |b, &n| {
+            let team = Team::new(n);
+            b.iter(|| {
+                team.parallel(|ctx| {
+                    std::hint::black_box(ctx.thread_num());
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("world_spawn", n), &n, |b, &n| {
+            b.iter(|| World::run(n, |comm| std::hint::black_box(comm.rank())))
+        });
+    }
+
+    // The full patternlets, end to end through the registry (capture
+    // included), at the paper's demo size.
+    for name in ["omp/spmd", "mpi/spmd", "threads/spmd", "hetero/spmd"] {
+        let p = find(name).expect("registered");
+        g.bench_function(BenchmarkId::new("patternlet", name), |b| {
+            b.iter(|| p.run_captured(4, Mode::On).len())
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

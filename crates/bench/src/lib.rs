@@ -1,0 +1,3 @@
+//! Benchmark-harness support crate. The actual benches live in `benches/`;
+//! this library hosts shared workload generators.
+pub mod workloads;

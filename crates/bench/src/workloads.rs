@@ -1,0 +1,35 @@
+//! Shared workload generators for the figure-regeneration benches.
+
+/// The paper's Fig. 20 array: `SIZE` values in `0..1000`.
+pub fn reduction_array(size: usize, seed: u64) -> Vec<i64> {
+    use patternlets_core::rng::{fill_mod, Xoshiro256StarStar};
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let mut a = vec![0i64; size];
+    fill_mod(&mut rng, &mut a, 1000);
+    a
+}
+
+/// A skewed per-iteration cost profile (iteration i costs ~i units), used
+/// by the loop-schedule ablation to show why dynamic/guided exist.
+pub fn skewed_costs(len: usize) -> Vec<u64> {
+    (0..len as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_array_is_reproducible_and_bounded() {
+        let a = reduction_array(1000, 42);
+        let b = reduction_array(1000, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0..1000).contains(&x)));
+    }
+
+    #[test]
+    fn skewed_costs_are_increasing() {
+        let c = skewed_costs(10);
+        assert_eq!(c, (0..10u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,127 @@
+//! Coverage analysis: which catalog patterns does a patternlet collection
+//! actually teach?
+
+use std::collections::BTreeMap;
+
+use crate::pattern::{Catalog, Layer};
+
+/// The result of cross-indexing a collection against a catalog.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Catalog name.
+    pub catalog: &'static str,
+    /// Canonical pattern name → names of patternlets demonstrating it.
+    pub covered: BTreeMap<String, Vec<String>>,
+    /// Pattern names referenced by patternlets but absent from the catalog.
+    pub unknown: Vec<String>,
+    /// Total patterns in the catalog.
+    pub total_patterns: usize,
+}
+
+impl CoverageReport {
+    /// Number of distinct catalog patterns covered.
+    pub fn covered_count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Fraction of the catalog covered.
+    pub fn fraction(&self) -> f64 {
+        if self.total_patterns == 0 {
+            return 0.0;
+        }
+        self.covered.len() as f64 / self.total_patterns as f64
+    }
+}
+
+/// Cross-index `(patternlet_name, pattern_names)` pairs against a catalog.
+pub fn coverage_report(
+    catalog: &Catalog,
+    demonstrations: &[(&str, &[&str])],
+) -> CoverageReport {
+    let mut covered: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut unknown = Vec::new();
+    for (patternlet, patterns) in demonstrations {
+        for pat in *patterns {
+            match catalog.find(pat) {
+                Some(p) => covered
+                    .entry(p.name.to_string())
+                    .or_default()
+                    .push(patternlet.to_string()),
+                None => unknown.push(format!("{patternlet}: {pat}")),
+            }
+        }
+    }
+    CoverageReport {
+        catalog: catalog.name(),
+        covered,
+        unknown,
+        total_patterns: catalog.len(),
+    }
+}
+
+/// How many patterns at each layer a report covers — useful for showing
+/// that patternlets concentrate at the low (implementation) layer, as the
+/// paper's collection does.
+pub fn layer_histogram(catalog: &Catalog, report: &CoverageReport) -> BTreeMap<&'static str, usize> {
+    let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for name in report.covered.keys() {
+        if let Some(p) = catalog.find(name) {
+            *hist.entry(p.layer.name()).or_default() += 1;
+        }
+    }
+    let _ = Layer::Low; // layer names come from Layer::name
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opl;
+
+    #[test]
+    fn coverage_resolves_aliases_to_canonical_names() {
+        let cat = opl::catalog();
+        let report = coverage_report(
+            &cat,
+            &[
+                ("omp/spmd", &["SPMD"][..]),
+                ("omp/critical", &["Critical Section"][..]), // alias
+                ("mpi/reduction", &["Reduction", "Message Passing"][..]),
+            ],
+        );
+        assert_eq!(report.covered_count(), 4);
+        assert!(report.covered.contains_key("Mutual Exclusion"));
+        assert!(report.unknown.is_empty());
+        assert!(report.fraction() > 0.0 && report.fraction() < 1.0);
+    }
+
+    #[test]
+    fn unknown_patterns_are_reported_not_dropped() {
+        let cat = opl::catalog();
+        let report = coverage_report(&cat, &[("x", &["Flux Capacitor"][..])]);
+        assert_eq!(report.covered_count(), 0);
+        assert_eq!(report.unknown, vec!["x: Flux Capacitor"]);
+    }
+
+    #[test]
+    fn layer_histogram_counts_layers() {
+        let cat = opl::catalog();
+        let report = coverage_report(
+            &cat,
+            &[("a", &["Barrier", "Reduction", "Monte Carlo"][..])],
+        );
+        let hist = layer_histogram(&cat, &report);
+        assert_eq!(hist.get("low (implementation)"), Some(&2));
+        assert_eq!(hist.get("high (architecture)"), Some(&1));
+    }
+
+    #[test]
+    fn multiple_patternlets_per_pattern_accumulate() {
+        let cat = opl::catalog();
+        let report = coverage_report(
+            &cat,
+            &[("a", &["Barrier"][..]), ("b", &["Barrier"][..])],
+        );
+        assert_eq!(report.covered["Barrier"].len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # patternlets-catalog
+//!
+//! The parallel design-pattern catalogs the paper builds on (§II.B):
+//!
+//! 1. *"Parallel Programming Patterns"* — Johnson, Chen, Tasharofi &
+//!    Kjolstad (UIUC): 62 patterns in ten categories.
+//! 2. *"Our Pattern Language"* (OPL) — Keutzer (Berkeley) & Mattson
+//!    (Intel): 56 patterns in hierarchical layers.
+//!
+//! Both organize patterns into layers: high-level patterns name software
+//! architectures for broad problem classes (*N-Body Problems*, *Monte
+//! Carlo*), mid-level patterns name algorithmic strategies (*Data
+//! Decomposition*, *Task Decomposition*), and low-level patterns name
+//! implementation techniques (*Barrier*, *Reduction*, *Message Passing*).
+//!
+//! This crate encodes representative versions of both catalogs and the
+//! machinery to query them; the `patternlets` crate cross-indexes every
+//! patternlet against these entries so coverage can be computed (which
+//! patterns the collection teaches, and at which layer).
+
+pub mod coverage;
+pub mod opl;
+pub mod pattern;
+pub mod uiuc;
+
+pub use coverage::{coverage_report, CoverageReport};
+pub use pattern::{Catalog, Layer, Pattern};
+
+/// Both catalogs, ready to query.
+pub fn catalogs() -> Vec<Catalog> {
+    vec![opl::catalog(), uiuc::catalog()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_catalogs_load() {
+        let cats = catalogs();
+        assert_eq!(cats.len(), 2);
+        assert!(cats.iter().any(|c| c.name().contains("OPL")));
+        assert!(cats.iter().any(|c| c.name().contains("UIUC")));
+    }
+
+    #[test]
+    fn paper_level_examples_are_present_at_the_right_layers() {
+        // §II.B: "N-body Problems and Monte Carlo Simulations are two of
+        // the high-level patterns. … Data Decomposition and Task
+        // Decomposition are mid-level patterns. Barrier, Reduction, and
+        // Message Passing are all lower-level patterns."
+        for cat in catalogs() {
+            for (name, layer) in [
+                ("N-Body Problems", Layer::High),
+                ("Monte Carlo", Layer::High),
+                ("Data Decomposition", Layer::Mid),
+                ("Task Decomposition", Layer::Mid),
+                ("Barrier", Layer::Low),
+                ("Reduction", Layer::Low),
+                ("Message Passing", Layer::Low),
+            ] {
+                let p = cat
+                    .find(name)
+                    .unwrap_or_else(|| panic!("{name} missing from {}", cat.name()));
+                assert_eq!(p.layer, layer, "{name} in {}", cat.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Pattern and catalog data model.
+
+/// The hierarchical layer a pattern lives at (paper §II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Software architectures for broad problem classes.
+    High,
+    /// Algorithmic strategies.
+    Mid,
+    /// Implementation techniques and mechanisms.
+    Low,
+}
+
+impl Layer {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::High => "high (architecture)",
+            Layer::Mid => "mid (algorithm strategy)",
+            Layer::Low => "low (implementation)",
+        }
+    }
+}
+
+/// One named parallel design pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Canonical name, e.g. `"Reduction"`.
+    pub name: &'static str,
+    /// Catalog category, e.g. `"Parallel Execution"`.
+    pub category: &'static str,
+    /// Hierarchical layer.
+    pub layer: Layer,
+    /// One-sentence description.
+    pub description: &'static str,
+    /// Alternative names used by the other catalog or common usage.
+    pub aliases: &'static [&'static str],
+}
+
+impl Pattern {
+    /// Does `name` refer to this pattern (canonical name or alias,
+    /// case-insensitive)?
+    pub fn answers_to(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A named catalog of patterns.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    name: &'static str,
+    patterns: Vec<Pattern>,
+}
+
+impl Catalog {
+    /// Build a catalog. Pattern names must be unique within the catalog.
+    pub fn new(name: &'static str, patterns: Vec<Pattern>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for p in &patterns {
+            assert!(seen.insert(p.name), "duplicate pattern {:?} in {name}", p.name);
+        }
+        Catalog { name, patterns }
+    }
+
+    /// Catalog name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// All patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Find a pattern by canonical name or alias (case-insensitive).
+    pub fn find(&self, name: &str) -> Option<&Pattern> {
+        self.patterns.iter().find(|p| p.answers_to(name))
+    }
+
+    /// All patterns at a layer.
+    pub fn at_layer(&self, layer: Layer) -> Vec<&Pattern> {
+        self.patterns.iter().filter(|p| p.layer == layer).collect()
+    }
+
+    /// All patterns in a category.
+    pub fn in_category(&self, category: &str) -> Vec<&Pattern> {
+        self.patterns
+            .iter()
+            .filter(|p| p.category.eq_ignore_ascii_case(category))
+            .collect()
+    }
+
+    /// The distinct category names, in first-appearance order.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for p in &self.patterns {
+            if !out.contains(&p.category) {
+                out.push(p.category);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Catalog {
+        Catalog::new(
+            "tiny",
+            vec![
+                Pattern {
+                    name: "Reduction",
+                    category: "Execution",
+                    layer: Layer::Low,
+                    description: "combine partials",
+                    aliases: &["Reduce"],
+                },
+                Pattern {
+                    name: "Pipeline",
+                    category: "Strategy",
+                    layer: Layer::Mid,
+                    description: "staged flow",
+                    aliases: &[],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn find_by_name_and_alias_case_insensitive() {
+        let c = tiny();
+        assert!(c.find("Reduction").is_some());
+        assert!(c.find("reduce").is_some());
+        assert!(c.find("REDUCTION").is_some());
+        assert!(c.find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn layer_and_category_queries() {
+        let c = tiny();
+        assert_eq!(c.at_layer(Layer::Low).len(), 1);
+        assert_eq!(c.at_layer(Layer::High).len(), 0);
+        assert_eq!(c.in_category("execution").len(), 1);
+        assert_eq!(c.categories(), vec!["Execution", "Strategy"]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pattern")]
+    fn duplicate_names_rejected() {
+        let p = Pattern {
+            name: "X",
+            category: "C",
+            layer: Layer::Low,
+            description: "",
+            aliases: &[],
+        };
+        Catalog::new("dup", vec![p.clone(), p]);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert!(Layer::High.name().contains("high"));
+        assert!(Layer::Mid.name().contains("mid"));
+        assert!(Layer::Low.name().contains("low"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The `patternlets` CLI — the classroom driver.
+//!
+//! ```text
+//! patternlets list [--tech omp|mpi|threads|hetero]
+//! patternlets show <name>
+//! patternlets run <name> [-n TASKS] [--on|--off]
+//! patternlets coverage
+//! ```
+//!
+//! `run` echoes the live interleaving, exactly like watching the paper's
+//! live-coding demos; `--on` flips the patternlet's directive (the
+//! "uncomment and recompile" move, without the recompile).
+
+use std::process::ExitCode;
+
+use patternlets::harness::{Mode, RunConfig, Technology};
+use patternlets::registry::{by_technology, census, find, registry};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let tech = args.iter().position(|a| a == "--tech").and_then(|i| {
+                args.get(i + 1).and_then(|t| match t.as_str() {
+                    "omp" => Some(Technology::Omp),
+                    "mpi" => Some(Technology::Mpi),
+                    "threads" => Some(Technology::Threads),
+                    "hetero" => Some(Technology::Hetero),
+                    _ => None,
+                })
+            });
+            list(tech);
+            ExitCode::SUCCESS
+        }
+        Some("show") => match args.get(1).and_then(|n| find(n)) {
+            Some(p) => {
+                show(p);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown patternlet; try `patternlets list`");
+                ExitCode::FAILURE
+            }
+        },
+        Some("run") => match args.get(1).and_then(|n| find(n)) {
+            Some(p) => {
+                let tasks = args
+                    .iter()
+                    .position(|a| a == "-n" || a == "--tasks")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(4);
+                let mode = if args.iter().any(|a| a == "--on") { Mode::On } else { Mode::Off };
+                println!(
+                    "=== {} ({} tasks, directive {}) ===\n",
+                    p.name,
+                    tasks,
+                    if mode.is_on() { "ON" } else { "OFF (initial)" }
+                );
+                let cfg = RunConfig::echoing(tasks, mode);
+                (p.run)(&cfg);
+                println!();
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown patternlet; try `patternlets list`");
+                ExitCode::FAILURE
+            }
+        },
+        Some("coverage") => {
+            coverage();
+            ExitCode::SUCCESS
+        }
+        Some("figures") => {
+            figures();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list(tech: Option<Technology>) {
+    let items = match tech {
+        Some(t) => by_technology(t),
+        None => registry().to_vec(),
+    };
+    for p in &items {
+        println!("{:32} [{}] {}", p.name, p.patterns.join(", "), p.summary);
+    }
+    let c = census();
+    println!(
+        "\n{} patternlets: {} MPI, {} OpenMP, {} threads, {} heterogeneous",
+        registry().len(),
+        c.get(&Technology::Mpi).unwrap_or(&0),
+        c.get(&Technology::Omp).unwrap_or(&0),
+        c.get(&Technology::Threads).unwrap_or(&0),
+        c.get(&Technology::Hetero).unwrap_or(&0),
+    );
+}
+
+fn show(p: &patternlets::harness::Patternlet) {
+    println!("name:      {}", p.name);
+    println!("tech:      {}", p.technology.label());
+    println!("patterns:  {}", p.patterns.join(", "));
+    if !p.figures.is_empty() {
+        println!("figures:   {}", p.figures.join(", "));
+    }
+    println!("summary:   {}", p.summary);
+    println!("\nexercise:\n  {}", p.exercise);
+}
+
+fn figures() {
+    println!("paper figure -> patternlet (run both modes to see the figure pair):\n");
+    for p in registry() {
+        if !p.figures.is_empty() {
+            println!("{:14} {}", p.figures.join(", "), p.name);
+        }
+    }
+}
+
+fn coverage() {
+    for cat in patternlets_catalog::catalogs() {
+        let demos: Vec<(&str, &[&str])> =
+            registry().iter().map(|p| (p.name, p.patterns)).collect();
+        let report = patternlets_catalog::coverage_report(&cat, &demos);
+        println!(
+            "{}: {}/{} patterns covered ({:.0}%)",
+            report.catalog,
+            report.covered_count(),
+            report.total_patterns,
+            report.fraction() * 100.0
+        );
+        for (pattern, lets) in &report.covered {
+            println!("  {:36} {}", pattern, lets.join(", "));
+        }
+        println!();
+    }
+}

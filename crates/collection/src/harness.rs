@@ -1,0 +1,161 @@
+//! The patternlet harness: metadata, run configuration, and the runner.
+
+use patternlets_core::capture::{Output, Sink};
+
+/// Which technology family a patternlet belongs to (the paper's census
+/// categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Shared-memory / OpenMP-style (`patternlets-shmem`).
+    Omp,
+    /// Message-passing / MPI-style (`patternlets-mp`).
+    Mpi,
+    /// Raw threads + hand-built primitives (the Pthreads analogues).
+    Threads,
+    /// Message passing across nodes + shared memory within them.
+    Hetero,
+}
+
+impl Technology {
+    /// Short label used in names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::Omp => "omp",
+            Technology::Mpi => "mpi",
+            Technology::Threads => "threads",
+            Technology::Hetero => "hetero",
+        }
+    }
+}
+
+/// The paper's "uncomment the directive" toggle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The directive is still commented out — the *initial* behaviour the
+    /// class observes first.
+    #[default]
+    Off,
+    /// The directive has been uncommented — the pattern is active.
+    On,
+}
+
+impl Mode {
+    /// True when the directive is active.
+    pub fn is_on(self) -> bool {
+        matches!(self, Mode::On)
+    }
+}
+
+/// Everything a patternlet needs to run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Number of tasks (threads or processes) — the scalability knob.
+    pub tasks: usize,
+    /// Directive toggle.
+    pub mode: Mode,
+    /// Where output lines go.
+    pub output: Output,
+}
+
+impl RunConfig {
+    /// Silent config (tests): capture only.
+    pub fn new(tasks: usize, mode: Mode) -> Self {
+        RunConfig { tasks, mode, output: Output::new() }
+    }
+
+    /// Echoing config (CLI): capture *and* print live.
+    pub fn echoing(tasks: usize, mode: Mode) -> Self {
+        RunConfig { tasks, mode, output: Output::echoing() }
+    }
+
+    /// A sink stamping lines with `task`.
+    pub fn sink(&self, task: usize) -> Sink {
+        self.output.sink(task)
+    }
+}
+
+/// One patternlet: metadata plus its runnable body.
+///
+/// The body is a plain function pointer so the whole collection can live in
+/// a flat static registry, mirroring the original collection's one-folder-
+/// per-program layout.
+pub struct Patternlet {
+    /// Collection-unique name, `family/program`, e.g. `"omp/barrier"`.
+    pub name: &'static str,
+    /// Technology family.
+    pub technology: Technology,
+    /// Canonical names of the design patterns this patternlet introduces
+    /// (resolvable in both catalogs of `patternlets-catalog`).
+    pub patterns: &'static [&'static str],
+    /// Paper figures this patternlet reproduces, if any.
+    pub figures: &'static [&'static str],
+    /// One-line description.
+    pub summary: &'static str,
+    /// The student exercise from the source-file header comment.
+    pub exercise: &'static str,
+    /// The program body.
+    pub run: fn(&RunConfig),
+}
+
+impl Patternlet {
+    /// Run with a fresh silent config; returns the captured output. The
+    /// main entry point for tests and benches.
+    pub fn run_captured(&self, tasks: usize, mode: Mode) -> Output {
+        let cfg = RunConfig::new(tasks, mode);
+        (self.run)(&cfg);
+        cfg.output
+    }
+}
+
+impl std::fmt::Debug for Patternlet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Patternlet")
+            .field("name", &self.name)
+            .field("technology", &self.technology)
+            .field("patterns", &self.patterns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(cfg: &RunConfig) {
+        let s = cfg.sink(0);
+        s.println(format!("tasks={} on={}", cfg.tasks, cfg.mode.is_on()));
+    }
+
+    const DEMO: Patternlet = Patternlet {
+        name: "test/demo",
+        technology: Technology::Omp,
+        patterns: &["SPMD"],
+        figures: &[],
+        summary: "test fixture",
+        exercise: "none",
+        run: demo,
+    };
+
+    #[test]
+    fn run_captured_collects_output() {
+        let out = DEMO.run_captured(3, Mode::On);
+        assert_eq!(out.texts(), vec!["tasks=3 on=true"]);
+        let out = DEMO.run_captured(1, Mode::Off);
+        assert_eq!(out.texts(), vec!["tasks=1 on=false"]);
+    }
+
+    #[test]
+    fn mode_default_is_off() {
+        assert_eq!(Mode::default(), Mode::Off);
+        assert!(!Mode::Off.is_on());
+        assert!(Mode::On.is_on());
+    }
+
+    #[test]
+    fn technology_labels() {
+        assert_eq!(Technology::Omp.label(), "omp");
+        assert_eq!(Technology::Mpi.label(), "mpi");
+        assert_eq!(Technology::Threads.label(), "threads");
+        assert_eq!(Technology::Hetero.label(), "hetero");
+    }
+}

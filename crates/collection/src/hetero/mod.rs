@@ -1,0 +1,13 @@
+//! The 2 heterogeneous (MPI+OpenMP-style) patternlets: message passing
+//! *between* simulated nodes, shared-memory threading *within* each — the
+//! paper's "MPI+X" architecture (§I.B.3).
+
+pub mod reduction;
+pub mod spmd;
+
+use crate::harness::Patternlet;
+
+/// Both heterogeneous patternlets.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![&spmd::PATTERNLET, &reduction::PATTERNLET]
+}

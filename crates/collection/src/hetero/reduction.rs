@@ -1,0 +1,92 @@
+//! `hetero/reduction` — the two-level reduction: each process's thread
+//! team reduces its share in shared memory (OpenMP level), then the
+//! per-process partials are reduced across processes with messages (MPI
+//! level) — exactly how MPI+OpenMP codes sum distributed arrays.
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+use patternlets_shmem::{Schedule, Team};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// Elements per process.
+pub const PER_PROC: usize = 10_000;
+/// Threads per process.
+pub const THREADS_PER_PROC: usize = 2;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "hetero/reduction",
+    technology: Technology::Hetero,
+    patterns: &["Reduction", "Message Passing", "Loop Parallelism", "Data Decomposition"],
+    figures: &[],
+    summary: "threads reduce locally; processes reduce the partials",
+    exercise: "Count the combining operations at each level for p \
+               processes × t threads. Where does Fig. 19's tree appear \
+               twice in this program?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks;
+    World::run(np, |comm| {
+        let rank = comm.rank();
+        // Each process owns a distinct slice of the global array
+        // [0, 1, 2, …]; its local sum has a closed form we can verify.
+        let base = (rank * PER_PROC) as i64;
+        let nt = if cfg.mode.is_on() { THREADS_PER_PROC } else { 1 };
+        let local_sum = Team::new(nt).parallel_for_reduce(
+            PER_PROC,
+            Schedule::StaticBlock,
+            &ops::Sum,
+            |i| base + i as i64,
+        );
+        cfg.sink(rank)
+            .println(format!("process {rank}: local sum = {local_sum}"));
+        let global = comm.reduce_one(0, local_sum, &ops::Sum).unwrap();
+        if let Some(g) = global {
+            cfg.sink(rank).println(format!("global sum = {g}"));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn global_sum_matches_closed_form() {
+        for np in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let n = (np * PER_PROC) as i64;
+            let expected = n * (n - 1) / 2;
+            assert!(
+                out.texts().contains(&format!("global sum = {expected}")),
+                "np={np}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_process_reports_its_local_sum() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        for rank in 0..3i64 {
+            let base = rank * PER_PROC as i64;
+            let local: i64 = (0..PER_PROC as i64).map(|i| base + i).sum();
+            assert!(out
+                .texts()
+                .contains(&format!("process {rank}: local sum = {local}")));
+        }
+    }
+
+    #[test]
+    fn off_mode_single_thread_per_process_same_answer() {
+        let a = PATTERNLET.run_captured(2, Mode::On);
+        let b = PATTERNLET.run_captured(2, Mode::Off);
+        let find = |o: &patternlets_core::capture::Output| {
+            o.texts().iter().find(|t| t.starts_with("global")).unwrap().clone()
+        };
+        assert_eq!(find(&a), find(&b));
+    }
+}

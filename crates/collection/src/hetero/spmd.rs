@@ -1,0 +1,75 @@
+//! `hetero/spmd` — MPI+OpenMP hello: each process forks a thread team, so
+//! every line identifies both a process (node) and a thread within it.
+
+use patternlets_mp::World;
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// Threads per process.
+pub const THREADS_PER_PROC: usize = 2;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "hetero/spmd",
+    technology: Technology::Hetero,
+    patterns: &["SPMD", "Message Passing", "Fork-Join"],
+    figures: &[],
+    summary: "two-level hello: process on its node, thread in its team",
+    exercise: "For 3 processes × 2 threads, how many lines print? Which \
+               identifier pairs can repeat across lines and which pair is \
+               globally unique?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks;
+    World::run(np, |comm| {
+        let rank = comm.rank();
+        let size = comm.size();
+        let node = comm.processor_name().to_string();
+        let nt = if cfg.mode.is_on() { THREADS_PER_PROC } else { 1 };
+        Team::new(nt).parallel(|ctx| {
+            cfg.sink(rank).println(format!(
+                "Hello from thread {} of {} on process {} of {} ({})",
+                ctx.thread_num(),
+                ctx.num_threads(),
+                rank,
+                size,
+                node
+            ));
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn line_count_is_processes_times_threads() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        assert_eq!(out.len(), 3 * THREADS_PER_PROC);
+        // Every (process, thread) pair appears exactly once.
+        for p in 0..3 {
+            for t in 0..THREADS_PER_PROC {
+                assert_eq!(
+                    out.texts()
+                        .iter()
+                        .filter(|l| l.contains(&format!(
+                            "thread {t} of {THREADS_PER_PROC} on process {p} of 3"
+                        )))
+                        .count(),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_mode_runs_one_thread_per_process() {
+        let out = PATTERNLET.run_captured(3, Mode::Off);
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # patternlets
+//!
+//! The patternlet collection itself — the paper's primary contribution,
+//! reproduced in Rust: **44 minimalist, scalable, behaviour-correct
+//! programs**, each introducing one or more parallel design patterns
+//! (16 message-passing, 17 shared-memory/OpenMP-style, 9 thread-style,
+//! 2 heterogeneous — the census in the paper's abstract).
+//!
+//! Every patternlet is:
+//!
+//! * **Minimalist** — a single short function with no extraneous features;
+//! * **Scalable** — the task count is a runtime parameter
+//!   ([`harness::RunConfig::tasks`]), so its behaviour can be explored at
+//!   any size, exactly like re-running `mpirun -np N`;
+//! * **Toggleable** — the paper's core classroom move is *uncommenting one
+//!   directive* and re-running; [`harness::Mode`] reifies that toggle
+//!   (`Off` = directive commented out, `On` = uncommented);
+//! * **Observable** — output goes through
+//!   [`patternlets_core::capture::Sink`], so the interleavings that carry
+//!   the lesson are assertable in tests and visible live in the CLI.
+//!
+//! Run them from the command line:
+//!
+//! ```text
+//! patternlets list                     # the whole collection, with census
+//! patternlets show omp/barrier         # metadata + exercise text
+//! patternlets run omp/barrier -n 4     # initial (directive off) behaviour
+//! patternlets run omp/barrier -n 4 --on  # after "uncommenting"
+//! ```
+
+pub mod harness;
+pub mod hetero;
+pub mod mpi;
+pub mod omp;
+pub mod registry;
+pub mod threads;
+
+pub use harness::{Mode, Patternlet, RunConfig, Technology};
+pub use registry::{find, registry};

@@ -1,0 +1,48 @@
+//! `mpi/allgather` — gather-for-everyone: after the call, *every* process
+//! holds the rank-ordered concatenation, not just the master.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/allgather",
+    technology: Technology::Mpi,
+    patterns: &["Gather", "Broadcast", "Collective Communication"],
+    figures: &[],
+    summary: "gather + broadcast fused: everyone gets everything",
+    exercise: "Express allgather as two collectives you already know. \
+               Count messages for p processes in both versions; when is \
+               the fused collective cheaper?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let mine = [comm.rank() as i64 * 5];
+        let all = comm.allgather(&mine).unwrap();
+        sink.println(format!("Process {} has {all:?}", comm.rank()));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn everyone_holds_the_full_vector() {
+        for np in [1, 2, 4, 6] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let want = format!("{:?}", (0..np as i64).map(|r| r * 5).collect::<Vec<_>>());
+            assert_eq!(
+                out.texts().iter().filter(|t| t.contains(&want)).count(),
+                np,
+                "np={np}"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `mpi/barrier` — the *Barrier* pattern with processes
+//! (paper Fig. 10–12).
+//!
+//! Because distributed stdout does not preserve cross-process write order,
+//! the paper's MPI patternlet routes worker output through the master:
+//! workers send their BEFORE/AFTER strings as messages, and the master
+//! prints what it receives. Without the barrier the two phases interleave
+//! (Fig. 11); with it they separate (Fig. 12).
+
+use patternlets_mp::{World, ANY_SOURCE};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/barrier",
+    technology: Technology::Mpi,
+    patterns: &["Barrier", "Message Passing", "Master-Worker"],
+    figures: &["Fig. 10", "Fig. 11", "Fig. 12"],
+    summary: "BEFORE/AFTER around MPI_Barrier, master-sequenced printing",
+    exercise: "Why is this patternlet so much longer than the OpenMP one? \
+               What property of distributed stdout forces the master to do \
+               all the printing? Toggle the barrier and compare outputs.",
+    run,
+};
+
+const TAG_BEFORE: i32 = 1;
+const TAG_AFTER: i32 = 2;
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let np = comm.size();
+        if comm.is_master() {
+            let sink = cfg.sink(0);
+            sink.println(format!("Master process 0 of {np} is ready."));
+            // Collect the workers' BEFORE messages...
+            for _ in 1..np {
+                let (msg, _) = comm.recv_one::<String>(ANY_SOURCE, TAG_BEFORE).unwrap();
+                sink.println(msg);
+            }
+            if cfg.mode.is_on() {
+                comm.barrier().unwrap();
+            }
+            // ...then their AFTER messages.
+            for _ in 1..np {
+                let (msg, _) = comm.recv_one::<String>(ANY_SOURCE, TAG_AFTER).unwrap();
+                sink.println(msg);
+            }
+        } else {
+            let id = comm.rank();
+            comm.send_one(
+                format!("Process {id} of {np} is BEFORE the barrier."),
+                0,
+                TAG_BEFORE,
+            )
+            .unwrap();
+            if cfg.mode.is_on() {
+                comm.barrier().unwrap();
+            }
+            comm.send_one(
+                format!("Process {id} of {np} is AFTER the barrier."),
+                0,
+                TAG_AFTER,
+            )
+            .unwrap();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn figure_12_barrier_separates_phases() {
+        for np in [2, 4, 6] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            assert_eq!(out.len(), 1 + 2 * (np - 1));
+            assert!(
+                out.all_before(|t| t.contains("BEFORE"), |t| t.contains("AFTER")),
+                "np={np}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_11_without_barrier_master_still_prints_everything() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        let texts = out.texts();
+        assert_eq!(texts.iter().filter(|t| t.contains("BEFORE")).count(), 3);
+        assert_eq!(texts.iter().filter(|t| t.contains("AFTER")).count(), 3);
+        // Every printed line came from the master's sink — the distributed
+        // stdout lesson.
+        assert!(out.lines().iter().all(|l| l.task.index() == 0));
+    }
+
+    #[test]
+    fn single_process_degenerates_gracefully() {
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(out.len(), 1);
+        assert!(out.texts()[0].contains("ready"));
+    }
+}

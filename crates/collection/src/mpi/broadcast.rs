@@ -1,0 +1,73 @@
+//! `mpi/broadcast` — the *Broadcast* pattern: the master's array reaches
+//! every process.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const SIZE: usize = 8;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/broadcast",
+    technology: Technology::Mpi,
+    patterns: &["Broadcast", "Collective Communication"],
+    figures: &[],
+    summary: "one MPI_Bcast call replaces np−1 hand-written sends",
+    exercise: "Rewrite this with explicit send/recv pairs. Count messages \
+               on the root for 8 processes, then explain how the binomial \
+               tree reduces the root's burden.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let mut array: Vec<i64> = if comm.is_master() {
+            (0..SIZE as i64).map(|i| i * i).collect()
+        } else {
+            Vec::new()
+        };
+        sink.println(format!(
+            "Process {} BEFORE broadcast: {array:?}",
+            comm.rank()
+        ));
+        comm.bcast(0, &mut array).unwrap();
+        sink.println(format!(
+            "Process {} AFTER  broadcast: {array:?}",
+            comm.rank()
+        ));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn everyone_ends_with_the_masters_array() {
+        for np in [1, 2, 4, 6] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let expected = format!("{:?}", (0..SIZE as i64).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(
+                out.texts().iter().filter(|t| t.contains("AFTER") && t.contains(&expected)).count(),
+                np,
+                "np={np}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonmaster_starts_empty() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        assert_eq!(
+            out.texts()
+                .iter()
+                .filter(|t| t.contains("BEFORE") && t.contains("[]"))
+                .count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! `mpi/broadcast2` — broadcasting a scalar "read" by the master (in the
+//! original, from the command line or a file): configuration distribution,
+//! the most common broadcast use.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/broadcast2",
+    technology: Technology::Mpi,
+    patterns: &["Broadcast", "SPMD"],
+    figures: &[],
+    summary: "the master reads a parameter; broadcast shares it",
+    exercise: "Why must ONLY the master read the input, and why must every \
+               process still call bcast? Predict what happens if one \
+               worker skips the call.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        // The "input" the master alone knows; the task knob plays argv.
+        let read = if comm.is_master() { Some(cfg.tasks as i64 * 1000 + 42) } else { None };
+        let value = comm.bcast_one(0, read).unwrap();
+        sink.println(format!("Process {} got parameter {value}", comm.rank()));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn all_processes_learn_the_parameter() {
+        for np in [1, 3, 5] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let expected = format!("got parameter {}", np as i64 * 1000 + 42);
+            assert_eq!(
+                out.texts().iter().filter(|t| t.contains(&expected)).count(),
+                np
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! `mpi/gather` — the *Gather* pattern (paper Fig. 25–28): each process
+//! builds a small array of distinct values; the master collects them all,
+//! in rank order.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// Values per process, as in the paper (`#define SIZE 3`).
+pub const SIZE: usize = 3;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/gather",
+    technology: Technology::Mpi,
+    patterns: &["Gather", "Collective Communication"],
+    figures: &["Fig. 25", "Fig. 26", "Fig. 27", "Fig. 28"],
+    summary: "rank r contributes [10r, 10r+1, 10r+2]; master gathers all",
+    exercise: "Predict gatherArray for 6 processes before running (Fig. 28 \
+               shape). Why is the result deterministic even though the \
+               computeArray print lines interleave?",
+    run,
+};
+
+/// The paper's per-rank `computeArray`: `myRank * 10 + i`.
+pub fn compute_array(rank: usize) -> Vec<i32> {
+    (0..SIZE).map(|i| (rank * 10 + i) as i32).collect()
+}
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let mine = compute_array(comm.rank());
+        sink.println(format!(
+            "Process {}, computeArray: {}",
+            comm.rank(),
+            join(&mine)
+        ));
+        let gathered = comm.gather(0, &mine).unwrap();
+        if let Some(all) = gathered {
+            sink.println(format!("Process 0, gatherArray: {}", join(&all)));
+        }
+        let _ = cfg.mode;
+    });
+}
+
+fn join(xs: &[i32]) -> String {
+    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn gathered_line(np: usize) -> String {
+        let out = PATTERNLET.run_captured(np, Mode::On);
+        out.texts()
+            .iter()
+            .find(|t| t.contains("gatherArray"))
+            .expect("master printed the gathered array")
+            .clone()
+    }
+
+    #[test]
+    fn figure_26_two_processes() {
+        assert_eq!(gathered_line(2), "Process 0, gatherArray: 0 1 2 10 11 12");
+    }
+
+    #[test]
+    fn figure_27_four_processes() {
+        assert_eq!(
+            gathered_line(4),
+            "Process 0, gatherArray: 0 1 2 10 11 12 20 21 22 30 31 32"
+        );
+    }
+
+    #[test]
+    fn figure_28_six_processes() {
+        assert_eq!(
+            gathered_line(6),
+            "Process 0, gatherArray: 0 1 2 10 11 12 20 21 22 30 31 32 40 41 42 50 51 52"
+        );
+    }
+
+    #[test]
+    fn every_process_prints_its_compute_array() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        for r in 0..4 {
+            let want = format!("Process {r}, computeArray: {r}0 {r}1 {r}2")
+                .replace("00 01 02", "0 1 2"); // rank 0 has no tens digit
+            assert!(
+                out.texts().iter().any(|t| *t == want),
+                "missing {want}"
+            );
+        }
+    }
+}

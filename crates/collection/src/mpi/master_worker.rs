@@ -1,0 +1,107 @@
+//! `mpi/masterWorker` — the *Master-Worker* pattern with processes: the
+//! master deals work items; workers compute and return results.
+
+use patternlets_mp::{World, ANY_SOURCE};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const TAG_WORK: i32 = 1;
+const TAG_RESULT: i32 = 2;
+const TAG_STOP: i32 = 3;
+const ITEMS: usize = 12;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/masterWorker",
+    technology: Technology::Mpi,
+    patterns: &["Master-Worker", "Message Passing"],
+    figures: &[],
+    summary: "the master deals squares to compute; workers answer",
+    exercise: "Trace one work item through its two messages. Why does the \
+               master receive with ANY_SOURCE? What keeps a fast worker \
+               from starving the others?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks.max(2); // need at least one worker
+    World::run(np, |comm| {
+        let sink = cfg.sink(comm.rank());
+        if comm.is_master() {
+            let mut next = 0u64;
+            let mut received = 0usize;
+            // Prime every worker with one item.
+            for w in 1..comm.size() {
+                if next < ITEMS as u64 {
+                    comm.send_one(next, w, TAG_WORK).unwrap();
+                    next += 1;
+                } else {
+                    comm.send_one(0u64, w, TAG_STOP).unwrap();
+                }
+            }
+            // Deal remaining items to whoever answers first; every dealt
+            // item produces exactly one result.
+            while received < ITEMS {
+                let (result, st) = comm.recv_one::<u64>(ANY_SOURCE, TAG_RESULT).unwrap();
+                received += 1;
+                sink.println(format!("master: worker {} returned {result}", st.source));
+                if next < ITEMS as u64 {
+                    comm.send_one(next, st.source, TAG_WORK).unwrap();
+                    next += 1;
+                } else {
+                    comm.send_one(0u64, st.source, TAG_STOP).unwrap();
+                }
+            }
+        } else {
+            loop {
+                let (value, st) = comm
+                    .recv_one::<u64>(0, patternlets_mp::ANY_TAG)
+                    .unwrap();
+                if st.tag == TAG_STOP {
+                    break;
+                }
+                comm.send_one(value * value, 0, TAG_RESULT).unwrap();
+            }
+        }
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn master_collects_every_square_exactly_once() {
+        for np in [2, 3, 5] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let mut results: Vec<u64> = out
+                .texts()
+                .iter()
+                .map(|t| t.rsplit(' ').next().unwrap().parse().unwrap())
+                .collect();
+            results.sort_unstable();
+            let mut expected: Vec<u64> = (0..ITEMS as u64).map(|i| i * i).collect();
+            expected.sort_unstable();
+            assert_eq!(results, expected, "np={np}");
+        }
+    }
+
+    #[test]
+    fn worker_ids_are_nonmaster_ranks() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        for t in out.texts() {
+            let w: usize = t.split_whitespace().nth(2).unwrap().parse().unwrap();
+            assert!((1..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn task_count_below_two_is_promoted() {
+        // A master with no workers would deadlock; the patternlet promotes
+        // np=1 to np=2.
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(out.len(), ITEMS);
+    }
+}

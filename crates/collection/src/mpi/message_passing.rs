@@ -1,0 +1,62 @@
+//! `mpi/messagePassing` — the *Message Passing* pattern: neighbours
+//! exchange values around a ring (each rank sends to the next and receives
+//! from the previous).
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const TAG: i32 = 7;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/messagePassing",
+    technology: Technology::Mpi,
+    patterns: &["Message Passing", "Point-to-Point Synchronization"],
+    figures: &[],
+    summary: "ring exchange: send right, receive from the left",
+    exercise: "Draw the ring for 4 processes and label each message. What \
+               would happen with blocking, unbuffered sends if everyone \
+               sent before receiving? Why does the buffered send avoid it?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks;
+    World::run(np, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let me = comm.rank();
+        let size = comm.size();
+        let right = (me + 1) % size;
+        let left = (me + size - 1) % size;
+        comm.send_one(me as u64 * 100, right, TAG).unwrap();
+        let (value, st) = comm.recv_one::<u64>(left, TAG).unwrap();
+        sink.println(format!(
+            "Process {me} received {value} from process {}",
+            st.source
+        ));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn every_process_receives_from_its_left_neighbour() {
+        for np in [1, 2, 4, 7] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            assert_eq!(out.len(), np);
+            for t in out.texts() {
+                let w: Vec<&str> = t.split_whitespace().collect();
+                let me: usize = w[1].parse().unwrap();
+                let value: u64 = w[3].parse().unwrap();
+                let from: usize = w[6].parse().unwrap();
+                assert_eq!(from, (me + np - 1) % np);
+                assert_eq!(value, from as u64 * 100);
+            }
+        }
+    }
+}

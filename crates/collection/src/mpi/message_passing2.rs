@@ -1,0 +1,66 @@
+//! `mpi/messagePassing2` — wildcard receives: the master harvests results
+//! with `MPI_ANY_SOURCE` and learns who sent what from the status.
+
+use patternlets_mp::{World, ANY_SOURCE};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const TAG: i32 = 4;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/messagePassing2",
+    technology: Technology::Mpi,
+    patterns: &["Message Passing", "Master-Worker"],
+    figures: &[],
+    summary: "ANY_SOURCE receives arrive in completion order, not rank order",
+    exercise: "Run several times with 6 tasks. Is the arrival order stable? \
+               Replace ANY_SOURCE with a loop over specific ranks — what \
+               changes about the order, and what might it cost?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks.max(2);
+    World::run(np, |comm| {
+        let sink = cfg.sink(comm.rank());
+        if comm.is_master() {
+            for _ in 1..comm.size() {
+                let (value, st) = comm.recv_one::<i64>(ANY_SOURCE, TAG).unwrap();
+                sink.println(format!(
+                    "master received {value} from process {} (tag {})",
+                    st.source, st.tag
+                ));
+            }
+        } else {
+            comm.send_one(comm.rank() as i64 * 11, 0, TAG).unwrap();
+        }
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn master_hears_every_worker_exactly_once() {
+        let out = PATTERNLET.run_captured(6, Mode::On);
+        assert_eq!(out.len(), 5);
+        let mut sources: Vec<usize> = out
+            .texts()
+            .iter()
+            .map(|t| t.split_whitespace().nth(5).unwrap().parse().unwrap())
+            .collect();
+        sources.sort_unstable();
+        assert_eq!(sources, vec![1, 2, 3, 4, 5]);
+        // Values match the claimed source.
+        for t in out.texts() {
+            let w: Vec<&str> = t.split_whitespace().collect();
+            let value: i64 = w[2].parse().unwrap();
+            let src: i64 = w[5].parse().unwrap();
+            assert_eq!(value, src * 11);
+        }
+    }
+}

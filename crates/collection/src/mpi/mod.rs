@@ -1,0 +1,49 @@
+//! The 16 message-passing (MPI-style) patternlets, built on
+//! `patternlets-mp`.
+//!
+//! Mirrors the MPI side of the paper's collection: SPMD with hostnames,
+//! master-worker, barrier with master-sequenced printing, hand-rolled
+//! parallel loops (MPI has no built-in loop construct — paper §III.C),
+//! point-to-point messaging, and the collective family (broadcast,
+//! scatter, gather, allgather, reduce).
+
+pub mod allgather;
+pub mod barrier;
+pub mod broadcast;
+pub mod broadcast2;
+pub mod gather;
+pub mod master_worker;
+pub mod message_passing;
+pub mod message_passing2;
+pub mod parallel_loop_chunks_of1;
+pub mod parallel_loop_equal_chunks;
+pub mod reduction;
+pub mod reduction2;
+pub mod scatter;
+pub mod sequence_numbers;
+pub mod spmd;
+pub mod spmd2;
+
+use crate::harness::Patternlet;
+
+/// All MPI-style patternlets, in teaching order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &spmd::PATTERNLET,
+        &spmd2::PATTERNLET,
+        &master_worker::PATTERNLET,
+        &message_passing::PATTERNLET,
+        &message_passing2::PATTERNLET,
+        &barrier::PATTERNLET,
+        &sequence_numbers::PATTERNLET,
+        &parallel_loop_equal_chunks::PATTERNLET,
+        &parallel_loop_chunks_of1::PATTERNLET,
+        &broadcast::PATTERNLET,
+        &broadcast2::PATTERNLET,
+        &reduction::PATTERNLET,
+        &reduction2::PATTERNLET,
+        &scatter::PATTERNLET,
+        &gather::PATTERNLET,
+        &allgather::PATTERNLET,
+    ]
+}

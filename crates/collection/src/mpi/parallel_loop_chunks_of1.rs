@@ -1,0 +1,69 @@
+//! `mpi/parallelLoopChunksOf1` — the hand-rolled cyclic loop: process `id`
+//! performs iterations `id, id + np, id + 2·np, …`.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 8;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/parallelLoopChunksOf1",
+    technology: Technology::Mpi,
+    patterns: &["Loop Parallelism", "Static Scheduling", "SPMD"],
+    figures: &[],
+    summary: "cyclic (stride-np) iteration assignment from the rank",
+    exercise: "Write the one-line for-loop header that implements the \
+               cyclic deal. Compare its cache behaviour with equal chunks \
+               when iterations touch adjacent array elements.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    World::run(np, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let mut i = comm.rank();
+        while i < REPS {
+            sink.println(format!("Process {} performed iteration {i}", comm.rank()));
+            i += comm.size();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn owner_map(np: usize) -> Vec<usize> {
+        let out = PATTERNLET.run_captured(np, Mode::On);
+        let mut owners = vec![usize::MAX; REPS];
+        for t in out.texts() {
+            let w: Vec<&str> = t.split_whitespace().collect();
+            owners[w[4].parse::<usize>().unwrap()] = w[1].parse().unwrap();
+        }
+        owners
+    }
+
+    #[test]
+    fn cyclic_assignment() {
+        assert_eq!(owner_map(2), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert_eq!(owner_map(3), vec![0, 1, 2, 0, 1, 2, 0, 1]);
+        assert_eq!(owner_map(4), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_process_iterations_are_in_increasing_order() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        for rank in 0..3usize {
+            let mine: Vec<usize> = out
+                .lines_of(rank)
+                .iter()
+                .map(|l| l.text.split_whitespace().nth(4).unwrap().parse().unwrap())
+                .collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

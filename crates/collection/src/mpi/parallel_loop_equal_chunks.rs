@@ -1,0 +1,87 @@
+//! `mpi/parallelLoopEqualChunks` — the *Parallel Loop* pattern, hand-rolled
+//! (paper Fig. 16–18): MPI has no built-in loop construct, so each process
+//! computes its own `start..stop` block from its rank.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 8;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/parallelLoopEqualChunks",
+    technology: Technology::Mpi,
+    patterns: &["Loop Parallelism", "Data Decomposition", "SPMD"],
+    figures: &["Fig. 16", "Fig. 17", "Fig. 18"],
+    summary: "each process derives its own equal chunk from its rank",
+    exercise: "Derive the paper's chunkSize/start/stop formulas. The \
+               paper's version miscomputes when REPS isn't divisible by \
+               the process count — find the input that breaks it and fix \
+               the formula with clamping.",
+    run,
+};
+
+/// The paper's Figure 16 block computation, with the end clamped so ragged
+/// sizes stay in range.
+pub fn chunk_bounds(reps: usize, np: usize, id: usize) -> (usize, usize) {
+    let chunk = reps.div_ceil(np);
+    let start = (id * chunk).min(reps);
+    let stop = ((id + 1) * chunk).min(reps);
+    (start, stop)
+}
+
+fn run(cfg: &RunConfig) {
+    let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    World::run(np, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let (start, stop) = chunk_bounds(REPS, comm.size(), comm.rank());
+        for i in start..stop {
+            sink.println(format!("Process {} performed iteration {i}", comm.rank()));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn owner_map(np: usize) -> Vec<usize> {
+        let out = PATTERNLET.run_captured(np, Mode::On);
+        let mut owners = vec![usize::MAX; REPS];
+        for t in out.texts() {
+            let w: Vec<&str> = t.split_whitespace().collect();
+            owners[w[4].parse::<usize>().unwrap()] = w[1].parse().unwrap();
+        }
+        owners
+    }
+
+    #[test]
+    fn figure_17_two_processes() {
+        assert_eq!(owner_map(2), vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn figure_18_four_processes() {
+        assert_eq!(owner_map(4), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn ragged_division_is_clamped() {
+        // REPS=8, np=3 → chunk=3: 0..3, 3..6, 6..8.
+        assert_eq!(owner_map(3), vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        // np=5 → chunk=2: ranks 0..4 get pairs, rank 4 gets nothing.
+        assert_eq!(owner_map(5), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn chunk_bounds_never_exceed_reps() {
+        for np in 1..10 {
+            for id in 0..np {
+                let (s, e) = chunk_bounds(8, np, id);
+                assert!(s <= e && e <= 8, "np={np} id={id}: {s}..{e}");
+            }
+        }
+    }
+}

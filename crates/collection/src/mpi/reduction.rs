@@ -1,0 +1,76 @@
+//! `mpi/reduction` — the *Reduction* pattern with processes
+//! (paper Fig. 23–24): each process computes `(rank+1)²`; `MPI_Reduce`
+//! combines the squares with SUM and then MAX at the master.
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/reduction",
+    technology: Technology::Mpi,
+    patterns: &["Reduction", "Collective Communication"],
+    figures: &["Fig. 23", "Fig. 24"],
+    summary: "sum and max of per-process squares, combined at the master",
+    exercise: "With 10 processes the sum is 385 and the max is 100 — derive \
+               both by hand. Swap in MINLOC to also learn WHICH process \
+               held the minimum.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let square = ((comm.rank() + 1) * (comm.rank() + 1)) as i64;
+        sink.println(format!("Process {} computed {square}", comm.rank()));
+        let sum = comm.reduce_one(0, square, &ops::Sum).unwrap();
+        let max = comm.reduce_one(0, square, &ops::Max).unwrap();
+        if comm.is_master() {
+            sink.println(format!("The sum of the squares is {}", sum.expect("root")));
+            sink.println(format!("The max of the squares is {}", max.expect("root")));
+        }
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn figure_24_ten_processes() {
+        let out = PATTERNLET.run_captured(10, Mode::On);
+        let texts = out.texts();
+        assert!(texts.contains(&"The sum of the squares is 385".to_string()));
+        assert!(texts.contains(&"The max of the squares is 100".to_string()));
+        // Every process reported its square.
+        for r in 0..10usize {
+            let sq = (r + 1) * (r + 1);
+            assert!(texts.contains(&format!("Process {r} computed {sq}")));
+        }
+    }
+
+    #[test]
+    fn formulae_hold_for_other_sizes() {
+        for np in [1usize, 3, 7] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let sum: i64 = (1..=np as i64).map(|k| k * k).sum();
+            let max = (np * np) as i64;
+            assert!(out.texts().contains(&format!("The sum of the squares is {sum}")));
+            assert!(out.texts().contains(&format!("The max of the squares is {max}")));
+        }
+    }
+
+    #[test]
+    fn only_master_prints_the_results() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        for l in out.lines() {
+            if l.text.starts_with("The ") {
+                assert_eq!(l.task.index(), 0);
+            }
+        }
+    }
+}

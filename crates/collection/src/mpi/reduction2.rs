@@ -1,0 +1,76 @@
+//! `mpi/reduction2` — elementwise array reduction and `MPI_Allreduce`:
+//! reductions over whole buffers, with the result either at the root or
+//! everywhere.
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const LEN: usize = 4;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/reduction2",
+    technology: Technology::Mpi,
+    patterns: &["Reduction", "Collective Communication"],
+    figures: &[],
+    summary: "elementwise vector reduce, and allreduce for everyone",
+    exercise: "Each process contributes [r, 2r, 3r, 4r]. Predict the \
+               reduced vector for 4 processes, then the allreduce result \
+               every process holds. When is allreduce worth its extra cost?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let r = comm.rank() as i64;
+        let local: Vec<i64> = (1..=LEN as i64).map(|k| k * r).collect();
+        let at_root = comm.reduce(0, &local, &ops::Sum).unwrap();
+        if let Some(v) = at_root {
+            sink.println(format!("reduce at master: {v:?}"));
+        }
+        let everywhere = comm.allreduce(&local, &ops::Sum).unwrap();
+        sink.println(format!(
+            "allreduce at process {}: {everywhere:?}",
+            comm.rank()
+        ));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn expected(np: usize) -> Vec<i64> {
+        let ranks: i64 = (0..np as i64).sum();
+        (1..=LEN as i64).map(|k| k * ranks).collect()
+    }
+
+    #[test]
+    fn root_holds_the_elementwise_sum() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        assert!(out
+            .texts()
+            .contains(&format!("reduce at master: {:?}", expected(4))));
+    }
+
+    #[test]
+    fn allreduce_result_is_identical_everywhere() {
+        for np in [1, 2, 5] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let want = format!("{:?}", expected(np));
+            assert_eq!(
+                out.texts()
+                    .iter()
+                    .filter(|t| t.starts_with("allreduce") && t.contains(&want))
+                    .count(),
+                np,
+                "np={np}"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `mpi/scatter` — the *Scatter* pattern: the master's array is dealt in
+//! equal slices to every process.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const PER_RANK: usize = 3;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/scatter",
+    technology: Technology::Mpi,
+    patterns: &["Scatter", "Collective Communication", "Data Decomposition"],
+    figures: &[],
+    summary: "the master's array is dealt in rank-order slices",
+    exercise: "Which slice does process 2 of 4 receive? Scatter is the \
+               distributed analogue of which loop schedule — equal chunks \
+               or chunks of 1?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        let send: Option<Vec<i64>> = if comm.is_master() {
+            Some((0..(comm.size() * PER_RANK) as i64).collect())
+        } else {
+            None
+        };
+        if let Some(s) = &send {
+            sink.println(format!("Master scatters {s:?}"));
+        }
+        let mine = comm.scatter(0, send.as_deref()).unwrap();
+        sink.println(format!("Process {} received {mine:?}", comm.rank()));
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn slices_are_contiguous_in_rank_order() {
+        for np in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            for r in 0..np {
+                let lo = (r * PER_RANK) as i64;
+                let want = format!(
+                    "Process {r} received {:?}",
+                    (lo..lo + PER_RANK as i64).collect::<Vec<_>>()
+                );
+                assert!(out.texts().contains(&want), "np={np}: missing {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn master_announces_the_full_array() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        assert!(out.texts().iter().any(|t| t.starts_with("Master scatters")));
+    }
+}

@@ -1,0 +1,67 @@
+//! `mpi/sequenceNumbers` — imposing a total order on distributed output:
+//! the master prints worker messages *in rank order* by receiving from
+//! specific ranks, not `ANY_SOURCE` — the sequencing idea the paper's
+//! barrier patternlet builds on (Fig. 10).
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const TAG: i32 = 1;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/sequenceNumbers",
+    technology: Technology::Mpi,
+    patterns: &["Message Passing", "Point-to-Point Synchronization", "Master-Worker"],
+    figures: &[],
+    summary: "rank-ordered output by receiving from ranks 1, 2, 3, … in turn",
+    exercise: "Compare with messagePassing2: same messages, different \
+               receive selectors. Which version can print rank 3's line \
+               before rank 1's? What did ordering cost the master?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        if comm.is_master() {
+            sink.println("Process 0 reporting in".to_string());
+            for r in 1..comm.size() {
+                // Receive from each specific rank, in order.
+                let (msg, _) = comm.recv_one::<String>(r, TAG).unwrap();
+                sink.println(msg);
+            }
+        } else {
+            comm.send_one(
+                format!("Process {} reporting in", comm.rank()),
+                0,
+                TAG,
+            )
+            .unwrap();
+        }
+        let _ = cfg.mode;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn output_is_in_exact_rank_order_every_time() {
+        for _ in 0..5 {
+            let out = PATTERNLET.run_captured(6, Mode::On);
+            let expected: Vec<String> =
+                (0..6).map(|r| format!("Process {r} reporting in")).collect();
+            assert_eq!(out.texts(), expected);
+        }
+    }
+
+    #[test]
+    fn single_process_prints_itself() {
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(out.texts(), vec!["Process 0 reporting in"]);
+    }
+}

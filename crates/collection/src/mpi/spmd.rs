@@ -1,0 +1,61 @@
+//! `mpi/spmd` — SPMD with processes (paper Fig. 4–6): every rank reports
+//! its id, the world size, and the node it runs on.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/spmd",
+    technology: Technology::Mpi,
+    patterns: &["SPMD", "Message Passing"],
+    figures: &["Fig. 4", "Fig. 5", "Fig. 6"],
+    summary: "every process says hello with its rank, size, and hostname",
+    exercise: "Run with -n 1 and -n 4. Which values differ between \
+               processes and why? What does the hostname line tell you \
+               about where each process ran?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    // Mode::Off models `mpirun -np 1` (Fig. 5); On uses the task knob.
+    let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    World::run(np, |comm| {
+        cfg.sink(comm.rank()).println(format!(
+            "Hello from process {} of {} on {}",
+            comm.rank(),
+            comm.size(),
+            comm.processor_name()
+        ));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn figure_5_single_process() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(out.texts(), vec!["Hello from process 0 of 1 on node-01"]);
+    }
+
+    #[test]
+    fn figure_6_four_processes_on_four_nodes() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        assert_eq!(out.len(), 4);
+        let mut texts = out.texts();
+        texts.sort();
+        assert_eq!(
+            texts,
+            vec![
+                "Hello from process 0 of 4 on node-01",
+                "Hello from process 1 of 4 on node-02",
+                "Hello from process 2 of 4 on node-03",
+                "Hello from process 3 of 4 on node-04",
+            ]
+        );
+    }
+}

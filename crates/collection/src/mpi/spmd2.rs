@@ -1,0 +1,60 @@
+//! `mpi/spmd2` — conditional behaviour on the rank: the master announces
+//! the run, workers greet — the first step from pure SPMD toward
+//! master-worker structure.
+
+use patternlets_mp::World;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "mpi/spmd2",
+    technology: Technology::Mpi,
+    patterns: &["SPMD"],
+    figures: &[],
+    summary: "rank-conditional behaviour inside one program",
+    exercise: "The same binary produces different lines per process. \
+               Which single expression makes that possible? Change the \
+               announcer to the highest rank.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    World::run(cfg.tasks, |comm| {
+        let sink = cfg.sink(comm.rank());
+        if comm.is_master() {
+            sink.println(format!(
+                "Master: we are {} processes across the cluster",
+                comm.size()
+            ));
+        } else {
+            sink.println(format!(
+                "Worker {} of {} reporting from {}",
+                comm.rank(),
+                comm.size(),
+                comm.processor_name()
+            ));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn one_master_many_workers() {
+        let out = PATTERNLET.run_captured(5, Mode::On);
+        let texts = out.texts();
+        assert_eq!(texts.iter().filter(|t| t.starts_with("Master:")).count(), 1);
+        assert_eq!(texts.iter().filter(|t| t.starts_with("Worker")).count(), 4);
+    }
+
+    #[test]
+    fn lone_process_is_master() {
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(out.len(), 1);
+        assert!(out.texts()[0].starts_with("Master:"));
+    }
+}

@@ -1,0 +1,84 @@
+//! `omp/atomic` — `#pragma omp atomic`: the lightest fix for a
+//! read-modify-write race, when the hardware supports the update directly
+//! (paper §III.E).
+
+use patternlets_shmem::sync::racy::RacyCell;
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 50_000;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/atomic",
+    technology: Technology::Omp,
+    patterns: &["Atomic Operations", "Mutual Exclusion"],
+    figures: &[],
+    summary: "a shared counter: racy increments vs atomic increments",
+    exercise: "The paper notes atomic only works when hardware supports the \
+               operation. `balance += 1` qualifies; give two updates that \
+               do not, and explain what the compiler/runtime must fall back \
+               to.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let counter = RacyCell::new(0);
+    Team::new(cfg.tasks).parallel(|_ctx| {
+        for _ in 0..REPS {
+            if cfg.mode.is_on() {
+                counter.add_atomic(1); // #pragma omp atomic
+            } else {
+                counter.add_racy(1); // unprotected +=
+            }
+        }
+    });
+    let expected = (cfg.tasks * REPS) as i64;
+    let got = counter.get();
+    sink.println(format!("expected = {expected}"));
+    sink.println(format!("counter  = {got}"));
+    sink.println(format!(
+        "{}",
+        if got == expected { "CORRECT" } else { "LOST UPDATES" }
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn atomic_mode_is_always_correct() {
+        for tasks in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(tasks, Mode::On);
+            assert!(out.texts().iter().any(|t| t == "CORRECT"), "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn racy_mode_single_thread_is_correct() {
+        let out = PATTERNLET.run_captured(1, Mode::Off);
+        assert!(out.texts().iter().any(|t| t == "CORRECT"));
+    }
+
+    #[test]
+    fn racy_mode_reports_counter_not_above_expected() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        let get = |k: &str| -> i64 {
+            out.texts()
+                .iter()
+                .find(|t| t.starts_with(k))
+                .unwrap()
+                .split('=')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(get("counter") <= get("expected"));
+    }
+}

@@ -1,0 +1,65 @@
+//! `omp/barrier` — the *Barrier* pattern (paper Fig. 7–9).
+//!
+//! Without the barrier the BEFORE/AFTER lines interleave freely (Fig. 8);
+//! with it, every BEFORE precedes every AFTER (Fig. 9).
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/barrier",
+    technology: Technology::Omp,
+    patterns: &["Barrier", "SPMD"],
+    figures: &["Fig. 7", "Fig. 8", "Fig. 9"],
+    summary: "threads print BEFORE and AFTER around an optional barrier",
+    exercise: "Run Off with 4+ tasks and find an AFTER line above a BEFORE \
+               line. Turn the barrier On: can that still happen? State the \
+               guarantee a barrier provides.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    Team::new(cfg.tasks).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        let (id, n) = (ctx.thread_num(), ctx.num_threads());
+        sink.println(format!("Thread {id} of {n} is BEFORE the barrier."));
+        if cfg.mode.is_on() {
+            ctx.barrier();
+        }
+        sink.println(format!("Thread {id} of {n} is AFTER the barrier."));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn figure_9_barrier_separates_phases() {
+        for n in [1, 2, 4, 8] {
+            let out = PATTERNLET.run_captured(n, Mode::On);
+            assert_eq!(out.len(), 2 * n);
+            assert!(
+                out.all_before(|t| t.contains("BEFORE"), |t| t.contains("AFTER")),
+                "n={n}: an AFTER line preceded a BEFORE line despite the barrier"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_8_without_barrier_lines_still_all_appear() {
+        // Interleaving is nondeterministic, so we assert the invariant
+        // side only: both lines per thread, in per-thread order.
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(out.len(), 8);
+        for id in 0..4usize {
+            let mine = out.lines_of(id);
+            assert_eq!(mine.len(), 2);
+            assert!(mine[0].text.contains("BEFORE"));
+            assert!(mine[1].text.contains("AFTER"));
+        }
+    }
+}

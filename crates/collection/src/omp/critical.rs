@@ -1,0 +1,109 @@
+//! `omp/critical` — the *Mutual Exclusion* pattern: the bank-balance race
+//! (paper §III.E). With the `critical` directive off, concurrent `balance
+//! += 1` deposits lose money; with it on, the balance is exact.
+
+use patternlets_shmem::sync::racy::RacyCell;
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// Deposits per thread.
+pub const REPS: usize = 50_000;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/critical",
+    technology: Technology::Omp,
+    patterns: &["Mutual Exclusion", "SPMD"],
+    figures: &[],
+    summary: "concurrent $1 deposits: race vs critical section",
+    exercise: "Run Off with 4 tasks a few times and record the final \
+               balance. How much imaginary money did the race cost you? \
+               Turn critical On — why is the balance now exactly \
+               tasks × REPS?",
+    run,
+};
+
+/// Make `reps * tasks` deposits; returns the final balance.
+pub fn deposit_race(tasks: usize, reps: usize) -> i64 {
+    let balance = RacyCell::new(0);
+    Team::new(tasks).parallel(|_ctx| {
+        for i in 0..reps {
+            if i % 128 == 0 {
+                balance.add_racy_wide(1); // widen the race window
+            } else {
+                balance.add_racy(1);
+            }
+        }
+    });
+    balance.get()
+}
+
+/// The same deposits under a critical section; always exact.
+pub fn deposit_critical(tasks: usize, reps: usize) -> i64 {
+    let balance = RacyCell::new(0);
+    Team::new(tasks).parallel(|ctx| {
+        for _ in 0..reps {
+            ctx.critical(|| balance.set(balance.get() + 1));
+        }
+    });
+    balance.get()
+}
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    sink.println("Your starting bank account balance is 0.00".to_string());
+    let expected = (cfg.tasks * REPS) as i64;
+    let balance = if cfg.mode.is_on() {
+        deposit_critical(cfg.tasks, REPS)
+    } else {
+        deposit_race(cfg.tasks, REPS)
+    };
+    sink.println(format!(
+        "After {} $1 deposits by {} threads: balance = {balance}.00",
+        cfg.tasks * REPS,
+        cfg.tasks
+    ));
+    if balance != expected {
+        sink.println(format!(
+            "The race condition cost you ${}!",
+            expected - balance
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn critical_balance_is_exact() {
+        for tasks in [1, 2, 4] {
+            assert_eq!(deposit_critical(tasks, 2_000), (tasks * 2_000) as i64);
+        }
+    }
+
+    #[test]
+    fn race_balance_never_exceeds_truth() {
+        let b = deposit_race(4, 20_000);
+        assert!(b <= 80_000);
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn single_thread_race_is_harmless() {
+        assert_eq!(deposit_race(1, 5_000), 5_000);
+    }
+
+    #[test]
+    fn on_mode_output_reports_exact_balance() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        let expected = (2 * REPS) as i64;
+        assert!(out
+            .texts()
+            .iter()
+            .any(|t| t.contains(&format!("balance = {expected}.00"))));
+        assert!(!out.texts().iter().any(|t| t.contains("cost you")));
+    }
+}

@@ -1,0 +1,62 @@
+//! `omp/forkJoin` — the *Fork-Join* pattern: one thread before the region,
+//! a team inside it, one thread after.
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/forkJoin",
+    technology: Technology::Omp,
+    patterns: &["Fork-Join"],
+    figures: &[],
+    summary: "sequential → parallel → sequential structure of a region",
+    exercise: "Predict how many 'During' lines appear for 4 tasks. Where do \
+               'Before' and 'After' always sit relative to them, and why \
+               does the join guarantee that?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let master = cfg.sink(0);
+    master.println("Before...".to_string());
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    Team::new(team_size).parallel(|ctx| {
+        cfg.sink(ctx.thread_num())
+            .println(format!("During..., thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+    });
+    master.println("After...".to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn fork_join_brackets_the_region() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        let texts = out.texts();
+        assert_eq!(texts.first().map(String::as_str), Some("Before..."));
+        assert_eq!(texts.last().map(String::as_str), Some("After..."));
+        assert_eq!(
+            texts.iter().filter(|t| t.starts_with("During")).count(),
+            4,
+            "one During line per forked thread"
+        );
+        // Join: every During is strictly before After.
+        assert!(out.all_before(|t| t.starts_with("During"), |t| t == "After..."));
+        // Fork: every During is strictly after Before.
+        assert!(out.all_before(|t| t == "Before...", |t| t.starts_with("During")));
+    }
+
+    #[test]
+    fn off_mode_runs_region_sequentially() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(
+            out.texts(),
+            vec!["Before...", "During..., thread 0 of 1", "After..."]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! `omp/forkJoin2` — repeated fork-join with different team sizes
+//! (`omp_set_num_threads` between regions).
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/forkJoin2",
+    technology: Technology::Omp,
+    patterns: &["Fork-Join", "SPMD"],
+    figures: &[],
+    summary: "two successive regions with different team sizes",
+    exercise: "With 3 tasks, how many lines does each region print? Change \
+               the task knob and verify the second region always forks one \
+               more thread than the first.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let master = cfg.sink(0);
+    master.println(format!("First region, requesting {} threads:", cfg.tasks));
+    Team::new(cfg.tasks).parallel(|ctx| {
+        cfg.sink(ctx.thread_num())
+            .println(format!("  region 1: thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+    });
+    let second = cfg.tasks + 1; // omp_set_num_threads(tasks + 1)
+    master.println(format!("Second region, requesting {second} threads:"));
+    Team::new(second).parallel(|ctx| {
+        cfg.sink(ctx.thread_num())
+            .println(format!("  region 2: thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+    });
+    let _ = cfg.mode; // size change, not a directive, is the lesson here
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn regions_fork_their_own_team_sizes() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        let texts = out.texts();
+        assert_eq!(texts.iter().filter(|t| t.contains("region 1:")).count(), 3);
+        assert_eq!(texts.iter().filter(|t| t.contains("region 2:")).count(), 4);
+        // Region 1 lines all precede region 2 lines (join between regions).
+        assert!(out.all_before(|t| t.contains("region 1:"), |t| t.contains("region 2:")));
+    }
+
+    #[test]
+    fn single_task_base_case() {
+        let out = PATTERNLET.run_captured(1, Mode::Off);
+        let texts = out.texts();
+        assert_eq!(texts.iter().filter(|t| t.contains("region 1:")).count(), 1);
+        assert_eq!(texts.iter().filter(|t| t.contains("region 2:")).count(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! `omp/masterWorker` — the *Master-Worker* pattern, shared-memory flavour:
+//! inside one SPMD region, thread 0 takes the master role and the rest act
+//! as workers.
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/masterWorker",
+    technology: Technology::Omp,
+    patterns: &["Master-Worker", "SPMD"],
+    figures: &[],
+    summary: "thread 0 speaks as master, the rest as workers",
+    exercise: "Run with 1 task: who speaks? With 8? Rewrite the branch so \
+               the LAST thread is master instead — which line changes?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    Team::new(team_size).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        if ctx.is_master() {
+            sink.println(format!(
+                "Greetings from the master, #{} of {} threads",
+                ctx.thread_num(),
+                ctx.num_threads()
+            ));
+        } else {
+            sink.println(format!(
+                "Hello from worker #{} of {} threads",
+                ctx.thread_num(),
+                ctx.num_threads()
+            ));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn exactly_one_master_rest_workers() {
+        let out = PATTERNLET.run_captured(5, Mode::On);
+        let texts = out.texts();
+        assert_eq!(texts.iter().filter(|t| t.contains("master")).count(), 1);
+        assert_eq!(texts.iter().filter(|t| t.contains("worker")).count(), 4);
+        assert!(texts
+            .iter()
+            .find(|t| t.contains("master"))
+            .unwrap()
+            .contains("#0 of 5"));
+    }
+
+    #[test]
+    fn single_task_master_only() {
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(out.len(), 1);
+        assert!(out.texts()[0].contains("master"));
+    }
+}

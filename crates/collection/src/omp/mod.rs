@@ -1,0 +1,51 @@
+//! The 17 shared-memory (OpenMP-style) patternlets, built on
+//! `patternlets-shmem`.
+//!
+//! Mirrors the OpenMP side of the paper's collection: SPMD, fork-join,
+//! barrier, parallel loops under several schedules, reduction, mutual
+//! exclusion (critical/atomic, including the Fig. 29–30 cost comparison),
+//! master, single, sections, and data-environment (private vs shared)
+//! demonstrations.
+
+pub mod atomic;
+pub mod barrier;
+pub mod critical;
+pub mod critical2;
+pub mod fork_join;
+pub mod fork_join2;
+pub mod master_worker;
+pub mod parallel_loop_chunks_of1;
+pub mod parallel_loop_dynamic;
+pub mod parallel_loop_equal_chunks;
+pub mod private;
+pub mod reduction;
+pub mod reduction2;
+pub mod sections;
+pub mod single;
+pub mod spmd;
+pub mod spmd2;
+
+use crate::harness::Patternlet;
+
+/// All OpenMP-style patternlets, in teaching order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &spmd::PATTERNLET,
+        &spmd2::PATTERNLET,
+        &fork_join::PATTERNLET,
+        &fork_join2::PATTERNLET,
+        &barrier::PATTERNLET,
+        &master_worker::PATTERNLET,
+        &parallel_loop_equal_chunks::PATTERNLET,
+        &parallel_loop_chunks_of1::PATTERNLET,
+        &parallel_loop_dynamic::PATTERNLET,
+        &reduction::PATTERNLET,
+        &reduction2::PATTERNLET,
+        &private::PATTERNLET,
+        &critical::PATTERNLET,
+        &critical2::PATTERNLET,
+        &atomic::PATTERNLET,
+        &sections::PATTERNLET,
+        &single::PATTERNLET,
+    ]
+}

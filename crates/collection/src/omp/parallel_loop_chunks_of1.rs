@@ -1,0 +1,69 @@
+//! `omp/parallelLoopChunksOf1` — the *Parallel Loop* pattern with
+//! `schedule(static,1)` (paper §III.E): iterations dealt round-robin, one
+//! at a time.
+
+use patternlets_shmem::{Schedule, Team};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 8;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/parallelLoopChunksOf1",
+    technology: Technology::Omp,
+    patterns: &["Loop Parallelism", "Static Scheduling"],
+    figures: &[],
+    summary: "8 iterations dealt round-robin, one per thread per turn",
+    exercise: "Compare the iteration→thread map with equalChunks at 2 and 4 \
+               tasks. For which kinds of per-iteration cost profiles is the \
+               round-robin deal better balanced?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    Team::new(team_size).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        let me = ctx.thread_num();
+        ctx.for_each(REPS, Schedule::StaticCyclic, |i| {
+            sink.println(format!("Thread {me} performed iteration {i}"));
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn owner_map(tasks: usize) -> Vec<usize> {
+        let out = PATTERNLET.run_captured(tasks, Mode::On);
+        let mut owners = vec![usize::MAX; REPS];
+        for line in out.lines() {
+            let words: Vec<&str> = line.text.split_whitespace().collect();
+            owners[words[4].parse::<usize>().unwrap()] = words[1].parse().unwrap();
+        }
+        owners
+    }
+
+    #[test]
+    fn two_threads_alternate() {
+        assert_eq!(owner_map(2), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn four_threads_cycle() {
+        assert_eq!(owner_map(4), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn three_threads_cycle_with_wrap() {
+        assert_eq!(owner_map(3), vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn one_thread_owns_all() {
+        assert_eq!(owner_map(1), vec![0; 8]);
+    }
+}

@@ -1,0 +1,71 @@
+//! `omp/parallelLoopDynamic` — `schedule(dynamic)`: threads claim
+//! iterations first-come-first-served, so imbalanced work self-balances
+//! (one of the paper's "different chunk sizes or scheduling algorithms"
+//! patternlets, §III.E).
+
+use std::hint::black_box;
+
+use patternlets_shmem::{Schedule, Team};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 16;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/parallelLoopDynamic",
+    technology: Technology::Omp,
+    patterns: &["Loop Parallelism", "Dynamic Scheduling", "Task Queue"],
+    figures: &[],
+    summary: "iterations with skewed costs claimed dynamically",
+    exercise: "Iteration i spins proportionally to i. Run several times: is \
+               the iteration→thread map stable across runs? Compare with \
+               the static schedules and explain when dynamic wins.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    Team::new(team_size).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        let me = ctx.thread_num();
+        ctx.for_each(REPS, Schedule::Dynamic(1), |i| {
+            // Skewed work: iteration i costs ~i units.
+            let mut acc = 0u64;
+            for k in 0..(i as u64 * 500) {
+                acc = black_box(acc.wrapping_add(k));
+            }
+            sink.println(format!("Thread {me} performed iteration {i}"));
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn all_iterations_performed_exactly_once() {
+        for tasks in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(tasks, Mode::On);
+            assert_eq!(out.len(), REPS);
+            let mut iters: Vec<usize> = out
+                .texts()
+                .iter()
+                .map(|t| t.split_whitespace().nth(4).unwrap().parse().unwrap())
+                .collect();
+            iters.sort_unstable();
+            assert_eq!(iters, (0..REPS).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn thread_ids_are_in_range() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        for t in out.texts() {
+            let id: usize = t.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(id < 3);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `omp/parallelLoopEqualChunks` — the *Parallel Loop* pattern with the
+//! default static schedule (paper Fig. 13–15): each thread gets one
+//! contiguous block of iterations.
+
+use patternlets_shmem::{Schedule, Team};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 8;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/parallelLoopEqualChunks",
+    technology: Technology::Omp,
+    patterns: &["Loop Parallelism", "Data Decomposition"],
+    figures: &["Fig. 13", "Fig. 14", "Fig. 15"],
+    summary: "8 iterations split into equal contiguous chunks per thread",
+    exercise: "Run with 1, 2, 4 tasks and write down which thread performs \
+               which iterations. What is the formula for thread t's range? \
+               What happens with 3 tasks (8 is not divisible by 3)?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    Team::new(team_size).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        let me = ctx.thread_num();
+        ctx.for_each(REPS, Schedule::StaticBlock, |i| {
+            sink.println(format!("Thread {me} performed iteration {i}"));
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn owner_map(tasks: usize) -> Vec<usize> {
+        let out = PATTERNLET.run_captured(tasks, Mode::On);
+        let mut owners = vec![usize::MAX; REPS];
+        for line in out.lines() {
+            let words: Vec<&str> = line.text.split_whitespace().collect();
+            let thread: usize = words[1].parse().unwrap();
+            let iter: usize = words[4].parse().unwrap();
+            owners[iter] = thread;
+        }
+        owners
+    }
+
+    #[test]
+    fn figure_14_single_thread_does_everything() {
+        assert_eq!(owner_map(1), vec![0; 8]);
+    }
+
+    #[test]
+    fn figure_15_two_threads_split_in_half() {
+        assert_eq!(owner_map(2), vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn four_threads_get_pairs() {
+        assert_eq!(owner_map(4), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn three_threads_ragged_split() {
+        // chunk = ceil(8/3) = 3: thread 0 → 0..3, 1 → 3..6, 2 → 6..8.
+        assert_eq!(owner_map(3), vec![0, 0, 0, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn off_mode_is_sequential() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        let expected: Vec<String> =
+            (0..8).map(|i| format!("Thread 0 performed iteration {i}")).collect();
+        assert_eq!(out.texts(), expected);
+    }
+}

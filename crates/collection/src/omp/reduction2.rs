@@ -1,0 +1,101 @@
+//! `omp/reduction2` — reduction with the rest of OpenMP's operator family
+//! (`* min max` and a user-defined operation; the paper lists
+//! `* - & | ^ && ||` and notes OpenMP 4.0 user-defined reductions).
+
+use patternlets_shmem::{ops, Schedule, Team};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const SIZE: usize = 10_000;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/reduction2",
+    technology: Technology::Omp,
+    patterns: &["Reduction"],
+    figures: &[],
+    summary: "reductions with min, max, logical-and and a user-defined op",
+    exercise: "Add a product reduction over a small array. Why must a \
+               user-defined reduction operator be associative? Give an \
+               operator that is associative but not commutative and test it.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let tasks = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    let a: Vec<i64> = (0..SIZE as i64).map(|i| (i * 37) % 101 - 50).collect();
+    let team = Team::new(tasks);
+
+    let sum = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| a[i]);
+    let min = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Min, |i| a[i]);
+    let max = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Max, |i| a[i]);
+    let all_nonzero = team.parallel_for_reduce(
+        a.len(),
+        Schedule::StaticBlock,
+        &ops::LogicalAnd,
+        |i| a[i] != 0,
+    );
+    // User-defined associative op: gcd of |values|.
+    fn gcd(x: u64, y: u64) -> u64 {
+        if y == 0 { x } else { gcd(y, x % y) }
+    }
+    let g = team.parallel_for_reduce(
+        a.len(),
+        Schedule::StaticBlock,
+        &ops::FnOp::new(0u64, gcd),
+        |i| a[i].unsigned_abs(),
+    );
+
+    sink.println(format!("sum  = {sum}"));
+    sink.println(format!("min  = {min}"));
+    sink.println(format!("max  = {max}"));
+    sink.println(format!("all nonzero = {all_nonzero}"));
+    sink.println(format!("gcd  = {g}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn value(out: &patternlets_core::capture::Output, key: &str) -> String {
+        out.texts()
+            .iter()
+            .find(|t| t.starts_with(key))
+            .unwrap_or_else(|| panic!("missing {key}"))
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .to_string()
+    }
+
+    #[test]
+    fn results_are_task_count_invariant() {
+        let baseline = PATTERNLET.run_captured(1, Mode::On);
+        for tasks in [2, 4, 7] {
+            let out = PATTERNLET.run_captured(tasks, Mode::On);
+            for key in ["sum", "min", "max", "all nonzero", "gcd"] {
+                assert_eq!(
+                    value(&out, key),
+                    value(&baseline, key),
+                    "{key} differs at {tasks} tasks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn values_match_direct_computation() {
+        let a: Vec<i64> = (0..SIZE as i64).map(|i| (i * 37) % 101 - 50).collect();
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        assert_eq!(value(&out, "sum").parse::<i64>().unwrap(), a.iter().sum::<i64>());
+        assert_eq!(value(&out, "min").parse::<i64>().unwrap(), *a.iter().min().unwrap());
+        assert_eq!(value(&out, "max").parse::<i64>().unwrap(), *a.iter().max().unwrap());
+        assert_eq!(
+            value(&out, "all nonzero").parse::<bool>().unwrap(),
+            a.iter().all(|&x| x != 0)
+        );
+    }
+}

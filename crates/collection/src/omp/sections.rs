@@ -1,0 +1,69 @@
+//! `omp/sections` — `#pragma omp sections`: heterogeneous task
+//! decomposition; each section runs exactly once, on whichever thread
+//! claims it.
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/sections",
+    technology: Technology::Omp,
+    patterns: &["Task Decomposition", "Task Parallelism", "Fork-Join"],
+    figures: &[],
+    summary: "four distinct sections dealt to the team",
+    exercise: "Run with 1, 2 and 8 tasks. Does every section always run \
+               exactly once? Which thread runs which section — is that \
+               stable? When would sections beat a parallel loop?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    let team = Team::new(team_size);
+    team.parallel(|ctx| {
+        let me = ctx.thread_num();
+        let section = move |name: &str| {
+            cfg.sink(me).println(format!("section {name} executed by thread {me}"));
+        };
+        let s_a = || section("A");
+        let s_b = || section("B");
+        let s_c = || section("C");
+        let s_d = || section("D");
+        ctx.sections(&[&s_a, &s_b, &s_c, &s_d]);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn each_section_runs_exactly_once() {
+        for tasks in [1, 2, 4, 8] {
+            let out = PATTERNLET.run_captured(tasks, Mode::On);
+            assert_eq!(out.len(), 4, "tasks={tasks}");
+            for name in ["A", "B", "C", "D"] {
+                assert_eq!(
+                    out.texts()
+                        .iter()
+                        .filter(|t| t.contains(&format!("section {name} ")))
+                        .count(),
+                    1,
+                    "section {name} at tasks={tasks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executing_threads_are_team_members() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        for t in out.texts() {
+            let id: usize = t.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(id < 2);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `omp/single` — `#pragma omp single`: one (arbitrary) thread performs a
+//! step, all others wait at the implicit barrier after it.
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/single",
+    technology: Technology::Omp,
+    patterns: &["SPMD", "Barrier", "Mutual Exclusion"],
+    figures: &[],
+    summary: "one thread performs the single block; others wait",
+    exercise: "How does single differ from master? Run repeatedly: is the \
+               executing thread always #0? Why does single end with an \
+               implicit barrier while master does not?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    Team::new(cfg.tasks).parallel(|ctx| {
+        let sink = cfg.sink(ctx.thread_num());
+        sink.println(format!("thread {} entered the region", ctx.thread_num()));
+        let me = ctx.thread_num();
+        if cfg.mode.is_on() {
+            ctx.single(|| {
+                cfg.sink(me).println(format!("single block executed by thread {me}"));
+            });
+        } else {
+            // Without `single`, every thread would perform the step.
+            sink.println(format!("single block executed by thread {me}"));
+        }
+        sink.println(format!("thread {} passed the single block", ctx.thread_num()));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn on_exactly_one_thread_executes_the_block() {
+        for tasks in [1, 2, 4, 8] {
+            let out = PATTERNLET.run_captured(tasks, Mode::On);
+            assert_eq!(
+                out.texts()
+                    .iter()
+                    .filter(|t| t.contains("single block executed"))
+                    .count(),
+                1,
+                "tasks={tasks}"
+            );
+            assert_eq!(out.len(), 2 * tasks + 1);
+        }
+    }
+
+    #[test]
+    fn single_has_an_implicit_trailing_barrier() {
+        let out = PATTERNLET.run_captured(4, Mode::On);
+        assert!(out.all_before(
+            |t| t.contains("single block executed"),
+            |t| t.contains("passed the single block"),
+        ));
+    }
+
+    #[test]
+    fn off_every_thread_repeats_the_work() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(
+            out.texts()
+                .iter()
+                .filter(|t| t.contains("single block executed"))
+                .count(),
+            4,
+            "without single, the step is wastefully repeated"
+        );
+    }
+}

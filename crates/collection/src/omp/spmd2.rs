@@ -1,0 +1,60 @@
+//! `omp/spmd2` — SPMD with a command-line thread count
+//! (`omp_set_num_threads(atoi(argv[1]))`).
+//!
+//! The scalability lesson: the *same binary* explores any team size. The
+//! harness's `tasks` knob plays the role of `argv[1]`.
+
+use patternlets_shmem::Team;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "omp/spmd2",
+    technology: Technology::Omp,
+    patterns: &["SPMD"],
+    figures: &[],
+    summary: "SPMD hello with the team size taken from the command line",
+    exercise: "Run with 1, 2, 4, 8 tasks. Chart how many lines appear. \
+               Predict the output for 16 tasks, then check your prediction.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    Team::new(cfg.tasks).parallel(|ctx| {
+        cfg.sink(ctx.thread_num()).println(format!(
+            "Hello from thread #{} of {}",
+            ctx.thread_num(),
+            ctx.num_threads()
+        ));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn line_count_tracks_task_knob() {
+        for n in [1, 3, 6] {
+            let out = PATTERNLET.run_captured(n, Mode::On);
+            assert_eq!(out.len(), n);
+            // Every id in 0..n appears exactly once.
+            for i in 0..n {
+                assert_eq!(
+                    out.texts()
+                        .iter()
+                        .filter(|t| t.contains(&format!("#{i} of {n}")))
+                        .count(),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_toggle_is_irrelevant_here() {
+        assert_eq!(PATTERNLET.run_captured(3, Mode::Off).len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! The collection registry: every patternlet, queryable by name,
+//! technology, or pattern.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::harness::{Patternlet, Technology};
+
+/// All patternlets, in teaching order within each technology family.
+pub fn registry() -> &'static [&'static Patternlet] {
+    static REGISTRY: OnceLock<Vec<&'static Patternlet>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut all = Vec::new();
+        all.extend(crate::omp::all());
+        all.extend(crate::mpi::all());
+        all.extend(crate::threads::all());
+        all.extend(crate::hetero::all());
+        all
+    })
+}
+
+/// Look up a patternlet by its full name (e.g. `"omp/barrier"`).
+pub fn find(name: &str) -> Option<&'static Patternlet> {
+    registry().iter().copied().find(|p| p.name == name)
+}
+
+/// Patternlets of one technology family.
+pub fn by_technology(tech: Technology) -> Vec<&'static Patternlet> {
+    registry().iter().copied().filter(|p| p.technology == tech).collect()
+}
+
+/// Patternlets that demonstrate a given pattern (by any of its names in
+/// either catalog).
+pub fn by_pattern(pattern: &str) -> Vec<&'static Patternlet> {
+    let canonical: Vec<String> = patternlets_catalog::catalogs()
+        .iter()
+        .filter_map(|c| c.find(pattern).map(|p| p.name.to_string()))
+        .collect();
+    registry()
+        .iter()
+        .copied()
+        .filter(|p| {
+            p.patterns.iter().any(|pt| {
+                pt.eq_ignore_ascii_case(pattern)
+                    || canonical.iter().any(|c| c.eq_ignore_ascii_case(pt))
+            })
+        })
+        .collect()
+}
+
+/// The collection census: counts per technology, as the paper's abstract
+/// reports them.
+pub fn census() -> HashMap<Technology, usize> {
+    let mut counts = HashMap::new();
+    for p in registry() {
+        *counts.entry(p.technology).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_the_paper_abstract() {
+        // "The collection currently includes 44 patternlets (16 MPI, 17
+        // OpenMP, 9 Pthreads, and 2 heterogeneous)".
+        let c = census();
+        assert_eq!(c[&Technology::Mpi], 16, "16 MPI");
+        assert_eq!(c[&Technology::Omp], 17, "17 OpenMP");
+        assert_eq!(c[&Technology::Threads], 9, "9 Pthreads");
+        assert_eq!(c[&Technology::Hetero], 2, "2 heterogeneous");
+        assert_eq!(registry().len(), 44, "44 total");
+    }
+
+    #[test]
+    fn names_are_unique_and_family_prefixed() {
+        let mut seen = std::collections::HashSet::new();
+        for p in registry() {
+            assert!(seen.insert(p.name), "duplicate name {}", p.name);
+            assert!(
+                p.name.starts_with(p.technology.label()),
+                "{} not prefixed with {}",
+                p.name,
+                p.technology.label()
+            );
+        }
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        assert!(find("omp/barrier").is_some());
+        assert!(find("mpi/gather").is_some());
+        assert!(find("threads/mutex").is_some());
+        assert!(find("hetero/reduction").is_some());
+        assert!(find("omp/nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_patternlet_cites_at_least_one_pattern_and_an_exercise() {
+        for p in registry() {
+            assert!(!p.patterns.is_empty(), "{} cites no patterns", p.name);
+            assert!(!p.exercise.is_empty(), "{} has no exercise", p.name);
+            assert!(!p.summary.is_empty(), "{} has no summary", p.name);
+        }
+    }
+
+    #[test]
+    fn every_cited_pattern_resolves_in_some_catalog() {
+        // The two catalogs name things slightly differently (paper §II.B),
+        // so a patternlet's pattern must exist in at least one of them —
+        // and the seven patterns the paper itself names must be in both
+        // (checked in patternlets-catalog).
+        let cats = patternlets_catalog::catalogs();
+        for p in registry() {
+            for pat in p.patterns {
+                assert!(
+                    cats.iter().any(|c| c.find(pat).is_some()),
+                    "{}: pattern {pat:?} not in any catalog",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_pattern_finds_barrier_patternlets() {
+        let hits = by_pattern("Barrier");
+        let names: Vec<&str> = hits.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"omp/barrier"));
+        assert!(names.contains(&"mpi/barrier"));
+        assert!(names.contains(&"threads/barrier"));
+    }
+
+    #[test]
+    fn by_technology_partitions_the_registry() {
+        let total: usize = [
+            Technology::Omp,
+            Technology::Mpi,
+            Technology::Threads,
+            Technology::Hetero,
+        ]
+        .iter()
+        .map(|&t| by_technology(t).len())
+        .sum();
+        assert_eq!(total, registry().len());
+    }
+
+    #[test]
+    fn paper_figures_are_claimed_by_the_right_patternlets() {
+        let fig = |name: &str| find(name).unwrap().figures;
+        assert!(fig("omp/spmd").contains(&"Fig. 2"));
+        assert!(fig("mpi/spmd").contains(&"Fig. 6"));
+        assert!(fig("omp/barrier").contains(&"Fig. 9"));
+        assert!(fig("mpi/barrier").contains(&"Fig. 12"));
+        assert!(fig("omp/parallelLoopEqualChunks").contains(&"Fig. 15"));
+        assert!(fig("mpi/parallelLoopEqualChunks").contains(&"Fig. 18"));
+        assert!(fig("omp/reduction").contains(&"Fig. 22"));
+        assert!(fig("mpi/reduction").contains(&"Fig. 24"));
+        assert!(fig("mpi/gather").contains(&"Fig. 28"));
+        assert!(fig("omp/critical2").contains(&"Fig. 30"));
+    }
+}

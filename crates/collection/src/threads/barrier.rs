@@ -1,0 +1,65 @@
+//! `threads/barrier` — the *Barrier* pattern one level down: raw threads
+//! synchronizing on an explicitly constructed barrier object (here a
+//! sense-reversing barrier built in `patternlets-shmem`), the
+//! `pthread_barrier_t` analogue.
+
+use patternlets_shmem::barrier::{Barrier, SenseReversingBarrier};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/barrier",
+    technology: Technology::Threads,
+    patterns: &["Barrier"],
+    figures: &[],
+    summary: "an explicit barrier object shared by hand-spawned threads",
+    exercise: "OpenMP's barrier is a directive; here it is an object you \
+               must size and share correctly. What breaks if you size it \
+               for n+1 threads? For n−1?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let n = cfg.tasks;
+    let barrier = SenseReversingBarrier::new(n);
+    std::thread::scope(|scope| {
+        for id in 0..n {
+            let sink = cfg.sink(id);
+            let barrier = &barrier;
+            let on = cfg.mode.is_on();
+            scope.spawn(move || {
+                sink.println(format!("Thread {id} of {n} is BEFORE the barrier."));
+                if on {
+                    barrier.wait(id);
+                }
+                sink.println(format!("Thread {id} of {n} is AFTER the barrier."));
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn barrier_object_separates_phases() {
+        for n in [1, 2, 4, 8] {
+            let out = PATTERNLET.run_captured(n, Mode::On);
+            assert_eq!(out.len(), 2 * n);
+            assert!(out.all_before(|t| t.contains("BEFORE"), |t| t.contains("AFTER")));
+        }
+    }
+
+    #[test]
+    fn per_thread_order_always_holds_even_unsynchronized() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        for id in 0..4usize {
+            let mine = out.lines_of(id);
+            assert!(mine[0].text.contains("BEFORE"));
+            assert!(mine[1].text.contains("AFTER"));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `threads/conditionVariable` — the bounded buffer: producers and
+//! consumers coordinate through a mutex + condition variable
+//! (`pthread_cond_wait` / `pthread_cond_signal`).
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const ITEMS: usize = 40;
+const CAPACITY: usize = 4;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/conditionVariable",
+    technology: Technology::Threads,
+    patterns: &["Condition Variable", "Shared Queue", "Mutual Exclusion"],
+    figures: &[],
+    summary: "a capacity-4 bounded buffer between producer and consumer",
+    exercise: "Why must the waiter re-check its condition in a loop after \
+               waking? Make the buffer capacity 1 — what classic handoff \
+               does it become?",
+    run,
+};
+
+struct Buffer {
+    queue: Mutex<Vec<u64>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+fn run(cfg: &RunConfig) {
+    let buf = Buffer {
+        queue: Mutex::new(Vec::new()),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    };
+    let max_seen = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let b = &buf;
+        let producer_sink = cfg.sink(0);
+        scope.spawn(move || {
+            for i in 0..ITEMS as u64 {
+                let mut q = b.queue.lock();
+                while q.len() >= CAPACITY {
+                    b.not_full.wait(&mut q);
+                }
+                q.push(i);
+                b.not_empty.notify_one();
+            }
+            producer_sink.println(format!("producer: queued {ITEMS} items"));
+        });
+        let b = &buf;
+        let consumer_sink = cfg.sink(1);
+        let max_seen = &max_seen;
+        scope.spawn(move || {
+            let mut got = Vec::with_capacity(ITEMS);
+            for _ in 0..ITEMS {
+                let mut q = b.queue.lock();
+                while q.is_empty() {
+                    b.not_empty.wait(&mut q);
+                }
+                max_seen.fetch_max(q.len(), std::sync::atomic::Ordering::Relaxed);
+                got.push(q.remove(0));
+                b.not_full.notify_one();
+            }
+            consumer_sink.println(format!(
+                "consumer: drained {} items in order: {}",
+                got.len(),
+                got.windows(2).all(|w| w[0] < w[1])
+            ));
+        });
+    });
+    cfg.sink(0).println(format!(
+        "buffer occupancy never exceeded {} (capacity {CAPACITY})",
+        max_seen.load(std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = cfg.mode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn consumer_drains_everything_in_fifo_order() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        assert!(out
+            .texts()
+            .iter()
+            .any(|t| t.contains(&format!("drained {ITEMS} items in order: true"))));
+    }
+
+    #[test]
+    fn buffer_never_exceeds_capacity() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        let line = out
+            .texts()
+            .iter()
+            .find(|t| t.contains("occupancy"))
+            .unwrap()
+            .clone();
+        let max: usize = line.split_whitespace().nth(4).unwrap().parse().unwrap();
+        assert!(max <= CAPACITY, "{line}");
+    }
+}

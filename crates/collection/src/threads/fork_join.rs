@@ -1,0 +1,53 @@
+//! `threads/forkJoin` — explicit create/join bracketing, the raw form of
+//! the *Fork-Join* pattern.
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/forkJoin",
+    technology: Technology::Threads,
+    patterns: &["Fork-Join"],
+    figures: &[],
+    summary: "main forks a child, both work, main joins",
+    exercise: "Move the join before main's own work line — what ordering \
+               changes in the output, and what concurrency did you lose?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let main_sink = cfg.sink(0);
+    main_sink.println("main: before fork".to_string());
+    std::thread::scope(|scope| {
+        let child_sink = cfg.sink(1);
+        let handle = scope.spawn(move || {
+            child_sink.println("child: working".to_string());
+        });
+        if cfg.mode.is_on() {
+            main_sink.println("main: working concurrently with child".to_string());
+        }
+        handle.join().expect("child ok");
+        main_sink.println("main: after join".to_string());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn join_orders_child_before_after_line() {
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert!(out.all_before(|t| t.starts_with("child"), |t| t == "main: after join"));
+        assert!(out.all_before(|t| t == "main: before fork", |t| t.starts_with("child")));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn off_mode_still_forks_and_joins() {
+        let out = PATTERNLET.run_captured(1, Mode::Off);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.texts().last().map(String::as_str), Some("main: after join"));
+    }
+}

@@ -1,0 +1,55 @@
+//! `threads/forkJoin2` — heterogeneous fork-join: different tasks run
+//! concurrently and their distinct results are joined (built on
+//! [`patternlets_shmem::constructs::fork_join`]).
+
+use patternlets_shmem::constructs::fork_join;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/forkJoin2",
+    technology: Technology::Threads,
+    patterns: &["Fork-Join", "Task Decomposition", "Task Parallelism"],
+    figures: &[],
+    summary: "unlike a parallel loop, each forked task does different work",
+    exercise: "The three tasks compute a sum, a max, and a count. Why is \
+               this task decomposition rather than data decomposition? \
+               When do the two coincide?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let data: Vec<i64> = (0..1000).map(|i| (i * 31) % 97).collect();
+    let d = &data;
+    let results = fork_join(vec![
+        Box::new(move || format!("sum = {}", d.iter().sum::<i64>())),
+        Box::new(move || format!("max = {}", d.iter().max().unwrap())),
+        Box::new(move || format!("evens = {}", d.iter().filter(|&&x| x % 2 == 0).count())),
+    ]);
+    for r in results {
+        sink.println(r);
+    }
+    let _ = cfg.mode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn all_three_task_results_join_in_order() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        let data: Vec<i64> = (0..1000).map(|i| (i * 31) % 97).collect();
+        assert_eq!(
+            out.texts(),
+            vec![
+                format!("sum = {}", data.iter().sum::<i64>()),
+                format!("max = {}", data.iter().max().unwrap()),
+                format!("evens = {}", data.iter().filter(|&&x| x % 2 == 0).count()),
+            ]
+        );
+    }
+}

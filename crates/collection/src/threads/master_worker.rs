@@ -1,0 +1,60 @@
+//! `threads/masterWorker` — the *Master-Worker* pattern with a shared work
+//! queue (built on [`patternlets_shmem::constructs::MasterWorker`]).
+
+use patternlets_shmem::constructs::MasterWorker;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const ITEMS: usize = 20;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/masterWorker",
+    technology: Technology::Threads,
+    patterns: &["Master-Worker", "Task Queue", "Shared Queue"],
+    figures: &[],
+    summary: "workers pull cube jobs from a queue until it drains",
+    exercise: "Run with 1, 2, 4 workers and tally how many items each \
+               processed. Is the division ever exactly equal? What \
+               property of the queue balances uneven item costs?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let results = MasterWorker::run(cfg.tasks.max(1), items, |&x| x * x * x);
+    for (worker, index, cube) in &results {
+        sink.println(format!("worker {worker} computed item {index} -> {cube}"));
+    }
+    let total: u64 = results.iter().map(|&(_, _, c)| c).sum();
+    sink.println(format!("total of cubes = {total}"));
+    let _ = cfg.mode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn all_items_processed_and_totalled() {
+        for workers in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(workers, Mode::On);
+            let expected: u64 = (0..ITEMS as u64).map(|x| x * x * x).sum();
+            assert!(out
+                .texts()
+                .contains(&format!("total of cubes = {expected}")));
+            assert_eq!(out.len(), ITEMS + 1);
+        }
+    }
+
+    #[test]
+    fn worker_ids_stay_in_range() {
+        let out = PATTERNLET.run_captured(3, Mode::On);
+        for t in out.texts().iter().filter(|t| t.starts_with("worker")) {
+            let id: usize = t.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert!(id < 3);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The 9 thread-style patternlets — the Pthreads side of the paper's
+//! collection, built on raw `std::thread` plus the hand-built primitives
+//! in `patternlets_shmem::sync` (spinlock, semaphore) rather than the
+//! OpenMP-style runtime, exactly as Pthreads programs sit one level below
+//! OpenMP.
+
+pub mod barrier;
+pub mod condition_variable;
+pub mod fork_join;
+pub mod fork_join2;
+pub mod master_worker;
+pub mod mutex;
+pub mod semaphore;
+pub mod spmd;
+pub mod spmd2;
+
+use crate::harness::Patternlet;
+
+/// All thread-style patternlets, in teaching order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &spmd::PATTERNLET,
+        &spmd2::PATTERNLET,
+        &fork_join::PATTERNLET,
+        &fork_join2::PATTERNLET,
+        &barrier::PATTERNLET,
+        &mutex::PATTERNLET,
+        &semaphore::PATTERNLET,
+        &condition_variable::PATTERNLET,
+        &master_worker::PATTERNLET,
+    ]
+}

@@ -1,0 +1,91 @@
+//! `threads/mutex` — the *Mutual Exclusion* pattern with an explicit lock
+//! object (`pthread_mutex_t` analogue: our from-scratch test-and-test-and-
+//! set spinlock).
+
+use patternlets_shmem::sync::lock::TtasLock;
+use patternlets_shmem::sync::racy::RacyCell;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const REPS: usize = 25_000;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/mutex",
+    technology: Technology::Threads,
+    patterns: &["Mutual Exclusion"],
+    figures: &[],
+    summary: "a shared counter guarded (or not) by an explicit spinlock",
+    exercise: "This lock is a loop around an atomic swap. Walk through two \
+               threads contending: what does the 'test-and-TEST-and-set' \
+               double check save compared to swapping immediately?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let n = cfg.tasks;
+    let expected = (n * REPS) as i64;
+    let total = if cfg.mode.is_on() {
+        let counter = TtasLock::new(0i64);
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let counter = &counter;
+                scope.spawn(move || {
+                    for _ in 0..REPS {
+                        counter.with(|c| *c += 1);
+                    }
+                });
+            }
+        });
+        counter.into_inner()
+    } else {
+        let counter = RacyCell::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let counter = &counter;
+                scope.spawn(move || {
+                    for _ in 0..REPS {
+                        counter.add_racy(1);
+                    }
+                });
+            }
+        });
+        counter.get()
+    };
+    sink.println(format!("expected = {expected}"));
+    sink.println(format!("counted  = {total}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn get(out: &patternlets_core::capture::Output, key: &str) -> i64 {
+        out.texts()
+            .iter()
+            .find(|t| t.starts_with(key))
+            .unwrap()
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn locked_count_is_exact() {
+        for n in [1, 2, 4] {
+            let out = PATTERNLET.run_captured(n, Mode::On);
+            assert_eq!(get(&out, "counted"), get(&out, "expected"), "n={n}");
+        }
+    }
+
+    #[test]
+    fn unlocked_count_never_overcounts() {
+        let out = PATTERNLET.run_captured(4, Mode::Off);
+        assert!(get(&out, "counted") <= get(&out, "expected"));
+    }
+}

@@ -1,0 +1,65 @@
+//! `threads/semaphore` — ordering with counting semaphores: thread B must
+//! not start its step until thread A signals (the `sem_wait`/`sem_post`
+//! handshake).
+
+use patternlets_shmem::sync::lock::Semaphore;
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/semaphore",
+    technology: Technology::Threads,
+    patterns: &["Semaphore", "Point-to-Point Synchronization"],
+    figures: &[],
+    summary: "a semaphore enforces A-before-B across threads",
+    exercise: "With the semaphore Off, can 'B: proceeding' print first? \
+               With it On? Generalize: chain n threads so they print in \
+               order using n−1 semaphores.",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sem = Semaphore::new(0);
+    let on = cfg.mode.is_on();
+    std::thread::scope(|scope| {
+        let sink_a = cfg.sink(0);
+        let sem_a = &sem;
+        scope.spawn(move || {
+            sink_a.println("A: produced the value".to_string());
+            if on {
+                sem_a.release();
+            }
+        });
+        let sink_b = cfg.sink(1);
+        let sem_b = &sem;
+        scope.spawn(move || {
+            if on {
+                sem_b.acquire();
+            }
+            sink_b.println("B: proceeding with the value".to_string());
+        });
+    });
+    let _ = cfg.tasks;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn semaphore_enforces_a_before_b_every_time() {
+        for _ in 0..20 {
+            let out = PATTERNLET.run_captured(2, Mode::On);
+            assert_eq!(out.len(), 2);
+            assert!(out.all_before(|t| t.starts_with("A:"), |t| t.starts_with("B:")));
+        }
+    }
+
+    #[test]
+    fn both_lines_appear_without_the_semaphore_too() {
+        let out = PATTERNLET.run_captured(2, Mode::Off);
+        assert_eq!(out.len(), 2);
+    }
+}

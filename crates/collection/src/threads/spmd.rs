@@ -1,0 +1,57 @@
+//! `threads/spmd` — SPMD at the Pthreads level: explicit thread creation
+//! with an id passed to each thread function.
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/spmd",
+    technology: Technology::Threads,
+    patterns: &["SPMD", "Fork-Join"],
+    figures: &[],
+    summary: "hand-spawned threads, each given its id explicitly",
+    exercise: "Unlike OpenMP, nothing numbers the threads for you. How is \
+               each thread told its id here? What OpenMP call does that \
+               replace?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let n = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    std::thread::scope(|scope| {
+        for id in 0..n {
+            let sink = cfg.sink(id);
+            // The id travels into the thread exactly like pthread_create's
+            // void* argument.
+            scope.spawn(move || {
+                sink.println(format!("Hello from thread {id} of {n}"));
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn each_spawned_thread_greets_once() {
+        let out = PATTERNLET.run_captured(5, Mode::On);
+        assert_eq!(out.len(), 5);
+        for id in 0..5 {
+            assert_eq!(
+                out.texts()
+                    .iter()
+                    .filter(|t| *t == &format!("Hello from thread {id} of 5"))
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn off_mode_spawns_one() {
+        assert_eq!(PATTERNLET.run_captured(5, Mode::Off).len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `threads/spmd2` — SPMD with per-thread results returned through join
+//! (the `pthread_join` retval idiom).
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "threads/spmd2",
+    technology: Technology::Threads,
+    patterns: &["SPMD", "Fork-Join", "Reduction"],
+    figures: &[],
+    summary: "each thread computes a value; the main thread joins and sums",
+    exercise: "This is a reduction implemented with nothing but join. What \
+               is its combining-step time complexity compared with the \
+               tree of Fig. 19?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let n = if cfg.mode.is_on() { cfg.tasks } else { 1 };
+    let sink = cfg.sink(0);
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n as u64)
+            .map(|id| scope.spawn(move || (id + 1) * (id + 1)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread ok")).sum()
+    });
+    sink.println(format!("sum of squares from {n} threads = {total}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn joined_results_sum_correctly() {
+        for n in [1u64, 4, 10] {
+            let out = PATTERNLET.run_captured(n as usize, Mode::On);
+            let expected: u64 = (1..=n).map(|k| k * k).sum();
+            assert_eq!(
+                out.texts(),
+                vec![format!("sum of squares from {n} threads = {expected}")]
+            );
+        }
+    }
+}

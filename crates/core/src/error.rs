@@ -1,0 +1,97 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the patternlets runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A message-passing operation referenced a rank outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator/world size.
+        size: usize,
+    },
+    /// A receive matched a message whose payload had a different type or
+    /// element count than the receiver asked for.
+    TypeMismatch {
+        /// Element type the receiver requested.
+        expected: &'static str,
+        /// Element type the envelope carried.
+        found: String,
+    },
+    /// A count mismatch in a collective (e.g. scatter of `n` items over `p`
+    /// ranks with `n % p != 0` when exact division was required).
+    CountMismatch {
+        /// Required element count.
+        expected: usize,
+        /// Count actually supplied/received.
+        found: usize,
+    },
+    /// The runtime detected that no matching send can ever arrive
+    /// (all peers finished while a receive was still pending).
+    Deadlock(String),
+    /// A task panicked inside a parallel construct.
+    TaskPanicked {
+        /// The panicking task's id.
+        task: usize,
+        /// Its panic message.
+        message: String,
+    },
+    /// Invalid configuration (zero-sized team, empty world, ...).
+    InvalidConfig(String),
+    /// Codec failure while decoding a wire message.
+    Codec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for world of size {size}")
+            }
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::CountMismatch { expected, found } => {
+                write!(f, "count mismatch: expected {expected}, found {found}")
+            }
+            Error::Deadlock(what) => write!(f, "deadlock detected: {what}"),
+            Error::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+            Error::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            Error::Codec(what) => write!(f, "codec error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::RankOutOfRange { rank: 5, size: 4 };
+        assert!(e.to_string().contains("rank 5"));
+        assert!(e.to_string().contains("size 4"));
+
+        let e = Error::TypeMismatch { expected: "i32", found: "f64".into() };
+        assert!(e.to_string().contains("i32"));
+        assert!(e.to_string().contains("f64"));
+
+        let e = Error::Deadlock("recv from 3 tag 7".into());
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidConfig("x".into()));
+    }
+}

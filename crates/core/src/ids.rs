@@ -1,0 +1,67 @@
+//! Task identifiers.
+//!
+//! The paper uses *task* as "a general term for threads or processes"
+//! (§III). Both runtimes in this workspace hand each task a dense id in
+//! `0..num_tasks`, mirroring `omp_get_thread_num()` / `MPI_Comm_rank()`.
+
+use std::fmt;
+
+/// A dense task identifier: thread number in a shared-memory team, or rank
+/// in a message-passing world.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The conventional master / root task.
+    pub const MASTER: TaskId = TaskId(0);
+
+    /// Returns `true` for the master task (id 0).
+    #[inline]
+    pub fn is_master(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_is_zero() {
+        assert!(TaskId(0).is_master());
+        assert!(!TaskId(1).is_master());
+        assert_eq!(TaskId::MASTER, TaskId(0));
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(TaskId(7).to_string(), "7");
+        assert_eq!(TaskId(7).index(), 7);
+        assert_eq!(TaskId::from(3), TaskId(3));
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        let mut v = vec![TaskId(2), TaskId(0), TaskId(1)];
+        v.sort();
+        assert_eq!(v, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+}

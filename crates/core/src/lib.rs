@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # patternlets-core
+//!
+//! Shared kernel for the `patternlets-rs` workspace, the Rust reproduction of
+//! Adams, *"Patternlets: A Teaching Tool for Introducing Students to Parallel
+//! Design Patterns"* (EduPar / IPDPSW 2015).
+//!
+//! This crate contains the small pieces every other crate leans on:
+//!
+//! * [`capture`] — a thread-safe line sink. Patternlets *print*; their whole
+//!   pedagogical payload is the order (or disorder) of the printed lines.
+//!   Tests and the CLI runner observe that payload through [`capture::Sink`].
+//! * [`rng`] — a tiny, deterministic, splittable PRNG (SplitMix64 +
+//!   xoshiro256**) so that workloads and simulations are reproducible without
+//!   global state.
+//! * [`timer`] — the `omp_get_wtime()` analogue.
+//! * [`ids`] — task identifiers shared by the shared-memory and
+//!   message-passing runtimes.
+//! * [`error`] — the workspace-wide error type.
+
+pub mod capture;
+pub mod error;
+pub mod ids;
+pub mod reduce;
+pub mod rng;
+pub mod timer;
+
+pub use capture::{CapturedLine, Output, Sink};
+pub use error::{Error, Result};
+pub use ids::TaskId;
+pub use reduce::{ops, seq_fold, tree_fold, ReduceOp};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use timer::Stopwatch;

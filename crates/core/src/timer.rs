@@ -1,0 +1,70 @@
+//! Wall-clock timing — the `omp_get_wtime()` analogue.
+//!
+//! The mutual-exclusion patternlet (paper Fig. 29) brackets work with
+//! `omp_get_wtime()` calls and reports total and per-operation times.
+//! [`Stopwatch`] offers the same ergonomics on `std::time::Instant`.
+
+use std::time::{Duration, Instant};
+
+/// A simple start/stop stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start (or restart) timing now.
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`, like `stopTime - startTime` in the paper.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// Time a closure, returning `(result, elapsed)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_increasing_time() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        sleep(Duration::from_millis(5));
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b > a);
+        assert!(b >= 0.005);
+    }
+
+    #[test]
+    fn time_returns_result_and_duration() {
+        let (v, d) = time(|| {
+            sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(2));
+    }
+}

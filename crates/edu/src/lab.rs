@@ -1,0 +1,101 @@
+//! The lab's charting step (§IV.A step d): "use a spreadsheet to create
+//! charts that visualize the relationship between the number of threads
+//! employed and the speed at which a given problem is solved."
+//!
+//! Two chart sources:
+//!
+//! * [`measure`] — real wall-clock timings of the `Matrix` operations at a
+//!   sweep of thread counts. On this reproduction's single-core host the
+//!   curve is flat-to-rising (thread overhead without parallel hardware) —
+//!   itself a lesson the paper's scalability goal invites.
+//! * [`model`] — the virtual-time curve for the same sweep: an Amdahl
+//!   model with a small serial fraction, showing the shape students see on
+//!   a real multicore machine.
+
+use patternlets_core::timer::time;
+use patternlets_vtime::metrics::{scaling_table, ScalingPoint};
+use patternlets_vtime::models::amdahl_speedup;
+
+use crate::matrix::Matrix;
+
+/// Which lab operation to chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabOp {
+    /// Matrix addition.
+    Add,
+    /// Matrix transpose.
+    Transpose,
+}
+
+/// Measure one operation at each thread count; returns a scaling table
+/// (the chart's data series). `reps` repetitions are summed per point to
+/// stabilize fast measurements.
+pub fn measure(op: LabOp, size: usize, thread_counts: &[usize], reps: usize) -> Vec<ScalingPoint> {
+    assert!(thread_counts.contains(&1), "the chart needs a 1-thread baseline");
+    let a = Matrix::from_fn(size, size, |i, j| (i + 2 * j) as f64);
+    let b = Matrix::from_fn(size, size, |i, j| (i * j % 17) as f64);
+    let measurements: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .map(|&p| {
+            let (_, d) = time(|| {
+                for _ in 0..reps {
+                    match op {
+                        LabOp::Add => std::hint::black_box(a.add_parallel(&b, p)),
+                        LabOp::Transpose => std::hint::black_box(a.transpose_parallel(p)),
+                    };
+                }
+            });
+            (p, d.as_secs_f64())
+        })
+        .collect();
+    scaling_table(&measurements)
+}
+
+/// The idealized multicore curve for the same sweep: Amdahl speedups for
+/// an operation with the given serial fraction, rendered as a scaling
+/// table over a nominal 1-thread time of 1.0.
+pub fn model(serial_fraction: f64, thread_counts: &[usize]) -> Vec<ScalingPoint> {
+    assert!(thread_counts.contains(&1));
+    let measurements: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .map(|&p| (p, 1.0 / amdahl_speedup(serial_fraction, p)))
+        .collect();
+    scaling_table(&measurements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_table_has_positive_times_and_baseline() {
+        let table = measure(LabOp::Add, 64, &[1, 2, 4], 2);
+        assert_eq!(table.len(), 3);
+        assert!(table.iter().all(|pt| pt.time > 0.0));
+        let base = table.iter().find(|pt| pt.p == 1).unwrap();
+        assert!((base.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_table_also_measures() {
+        let table = measure(LabOp::Transpose, 48, &[1, 2], 2);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn modeled_curve_has_the_multicore_shape() {
+        let table = model(0.05, &[1, 2, 4, 8, 16]);
+        // Speedup grows with p but sublinearly, approaching 1/f = 20.
+        for w in table.windows(2) {
+            assert!(w[1].speedup > w[0].speedup);
+            assert!(w[1].efficiency < w[0].efficiency + 1e-12);
+        }
+        assert!(table.last().unwrap().speedup < 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn sweep_without_baseline_rejected() {
+        measure(LabOp::Add, 16, &[2, 4], 1);
+    }
+}

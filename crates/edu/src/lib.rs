@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # patternlets-edu
+//!
+//! The teaching-evaluation substrate of the reproduction — everything in
+//! the paper's Section IV that is not a patternlet:
+//!
+//! * [`matrix`] — the CS2 closed-lab artifact (§IV.A, Tuesday): a `Matrix`
+//!   class with sequential and parallelized addition and transpose, plus
+//!   the timing harness students use to chart time vs thread count.
+//! * [`lab`] — the "spreadsheet chart" step (§IV.A step d): scaling tables
+//!   from real measurements and from the virtual-time model (this host has
+//!   one core, so the *shape* comes from `patternlets-vtime`).
+//! * [`stats`] — a from-scratch statistics engine (moments, normal and
+//!   Student-t distributions via the regularized incomplete beta function,
+//!   Welch's t-test, and a permutation test) — the machinery behind the
+//!   paper's "p = 0.293".
+//! * [`mergesort`] — the Friday session's artifact (§IV.A step 4): parallel
+//!   merge sort, sequential, fork-join, and as a virtual-time task DAG whose
+//!   span explains why its speedup saturates.
+//! * [`syllabus`] — the curriculum integration of §IV as queryable data:
+//!   the five-course spread and the CS2 week's session plan.
+//! * [`study`] — the classroom study itself (§IV.B): the published cohort
+//!   statistics (Fall n=41, mean 2.95/4; Spring n=38, mean 3.05/4;
+//!   p = 0.293; "a 2.5% improvement"), a consistency analysis that infers
+//!   the unpublished score spread, and a cohort simulator that regenerates
+//!   the table.
+
+pub mod lab;
+pub mod mergesort;
+pub mod matrix;
+pub mod stats;
+pub mod study;
+pub mod syllabus;
+
+pub use matrix::Matrix;
+pub use study::PaperStudy;

@@ -1,0 +1,193 @@
+//! The Friday session (paper §IV.A, step 4): "an active learning exercise
+//! in which the students explored parallel sorting, culminating in the
+//! parallel merge-sort algorithm."
+//!
+//! Three artifacts:
+//!
+//! * [`merge_sort_seq`] — the textbook sequential algorithm;
+//! * [`merge_sort_parallel`] — fork-join parallel merge sort: the two
+//!   recursive halves run concurrently ([`join2`]) down to a cutoff depth,
+//!   exactly the structure the class derives;
+//! * [`merge_sort_dag`] — the algorithm as a virtual-time task graph, so
+//!   the class's "how much faster can it get?" question has a precise
+//!   answer: the span is dominated by the final O(n) merge, so speedup
+//!   saturates (work O(n lg n), span O(n) with sequential merges).
+
+use patternlets_shmem::constructs::join2;
+use patternlets_vtime::dag::{TaskGraph, TaskIdx};
+
+/// Sequential merge sort (stable).
+pub fn merge_sort_seq<T: Ord + Clone>(data: &[T]) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    let mid = data.len() / 2;
+    let left = merge_sort_seq(&data[..mid]);
+    let right = merge_sort_seq(&data[mid..]);
+    merge(&left, &right)
+}
+
+/// Fork-join parallel merge sort: recursion levels above `depth_cutoff`
+/// fork; below it, sort sequentially (the granularity-control lesson).
+pub fn merge_sort_parallel<T: Ord + Clone + Send + Sync>(
+    data: &[T],
+    depth_cutoff: usize,
+) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    if depth_cutoff == 0 || data.len() < 64 {
+        return merge_sort_seq(data);
+    }
+    let mid = data.len() / 2;
+    let (left, right) = join2(
+        || merge_sort_parallel(&data[..mid], depth_cutoff - 1),
+        || merge_sort_parallel(&data[mid..], depth_cutoff - 1),
+    );
+    merge(&left, &right)
+}
+
+/// Stable two-way merge.
+fn merge<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The merge-sort task DAG for `n` elements: leaf sorts of `leaf` elements
+/// (cost `leaf·lg(leaf)` ticks, min 1) merged pairwise upward, each merge
+/// costing the size of its output. Returns the graph; its `critical_path`
+/// is the algorithm's span.
+pub fn merge_sort_dag(n: usize, leaf: usize) -> TaskGraph {
+    assert!(leaf > 0, "leaf size must be positive");
+    let mut g = TaskGraph::new();
+    if n == 0 {
+        return g;
+    }
+    // Build bottom-up: frontier of (task, segment_len).
+    let mut frontier: Vec<(TaskIdx, u64)> = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let seg = remaining.min(leaf) as u64;
+        let cost = (seg as f64 * (seg as f64).log2().max(1.0)).ceil() as u64;
+        let t = g.add(format!("sort leaf ({seg})"), cost, &[]);
+        frontier.push((t, seg));
+        remaining -= seg as usize;
+    }
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        for pair in frontier.chunks(2) {
+            match pair {
+                [(a, la), (b, lb)] => {
+                    let out_len = la + lb;
+                    let t = g.add(format!("merge ({out_len})"), out_len, &[*a, *b]);
+                    next.push((t, out_len));
+                }
+                [one] => next.push(*one),
+                _ => unreachable!(),
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternlets_vtime::simulate;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_a_known_vector() {
+        let v = vec![5, 3, 8, 1, 9, 2, 7, 4, 6, 0];
+        let want: Vec<i32> = (0..10).collect();
+        assert_eq!(merge_sort_seq(&v), want);
+        assert_eq!(merge_sort_parallel(&v, 3), want);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(merge_sort_seq::<i32>(&[]), Vec::<i32>::new());
+        assert_eq!(merge_sort_seq(&[7]), vec![7]);
+        assert_eq!(merge_sort_parallel::<i32>(&[], 2), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn merge_is_stable() {
+        // Sort pairs by key only; equal keys keep input order.
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        struct Keyed(u8, usize);
+        impl PartialOrd for Keyed {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Keyed {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        let v: Vec<Keyed> = vec![Keyed(1, 0), Keyed(0, 1), Keyed(1, 2), Keyed(0, 3)];
+        let sorted = merge_sort_seq(&v);
+        assert_eq!(sorted[0].1, 1);
+        assert_eq!(sorted[1].1, 3);
+        assert_eq!(sorted[2].1, 0);
+        assert_eq!(sorted[3].1, 2);
+    }
+
+    #[test]
+    fn dag_speedup_saturates_at_the_merge_bottleneck() {
+        let g = merge_sort_dag(1 << 12, 64);
+        let t1 = simulate(&g, 1).makespan;
+        let t4 = simulate(&g, 4).makespan;
+        let t_inf = g.critical_path();
+        assert!(t4 < t1, "some speedup exists");
+        // Span is dominated by the final merge: > n ticks.
+        assert!(t_inf >= 1 << 12);
+        // Max speedup = T1/T∞ is far below the processor count you could
+        // throw at it — the lesson of the Friday session.
+        let max_speedup = t1 as f64 / t_inf as f64;
+        assert!(max_speedup < 8.0, "max speedup {max_speedup}");
+    }
+
+    #[test]
+    fn dag_trivial_sizes() {
+        assert!(merge_sort_dag(0, 8).is_empty());
+        assert_eq!(merge_sort_dag(5, 8).len(), 1, "one leaf, no merges");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf size must be positive")]
+    fn zero_leaf_rejected() {
+        merge_sort_dag(8, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(mut v in proptest::collection::vec(-1000i32..1000, 0..300)) {
+            let seq = merge_sort_seq(&v);
+            let par = merge_sort_parallel(&v, 4);
+            v.sort();
+            prop_assert_eq!(&seq, &v);
+            prop_assert_eq!(&par, &v);
+        }
+
+        #[test]
+        fn dag_work_exceeds_span(n in 1usize..2000, leaf in 1usize..128) {
+            let g = merge_sort_dag(n, leaf);
+            prop_assert!(g.total_work() >= g.critical_path());
+        }
+    }
+}

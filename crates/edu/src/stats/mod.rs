@@ -1,0 +1,19 @@
+//! A from-scratch statistics engine.
+//!
+//! No external stats crates: the normal CDF comes from a high-accuracy
+//! `erf` approximation, the Student-t CDF from the regularized incomplete
+//! beta function (Lentz's continued fraction), and hypothesis tests are
+//! built on top. Accuracy is property-tested against known reference
+//! values.
+
+pub mod moments;
+pub mod normal;
+pub mod permutation;
+pub mod student_t;
+pub mod welch;
+
+pub use moments::{mean, sample_sd, sample_var, Summary};
+pub use normal::{normal_cdf, normal_pdf};
+pub use permutation::permutation_test;
+pub use student_t::{incomplete_beta, t_cdf, t_two_tailed_p};
+pub use welch::{welch_t_test, WelchResult};

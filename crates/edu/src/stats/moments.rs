@@ -1,0 +1,88 @@
+//! Sample moments.
+
+/// Arithmetic mean. Panics on an empty sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance. Panics when `xs.len() < 2`.
+pub fn sample_var(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "variance needs at least two observations");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn sample_sd(xs: &[f64]) -> f64 {
+    sample_var(xs).sqrt()
+}
+
+/// A cohort summary: the form in which the paper reports its data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+}
+
+impl Summary {
+    /// Summarize raw observations.
+    pub fn of(xs: &[f64]) -> Self {
+        Summary { n: xs.len(), mean: mean(xs), sd: sample_sd(xs) }
+    }
+
+    /// Standard error of the mean.
+    pub fn se(&self) -> f64 {
+        self.sd / (self.n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sum of squared deviations = 32; n−1 = 7.
+        assert!((sample_var(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_se() {
+        let s = Summary { n: 25, mean: 0.0, sd: 10.0 };
+        assert!((s.se() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_mean_panics() {
+        mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_variance_panics() {
+        sample_var(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn variance_is_nonnegative_and_shift_invariant(
+            xs in proptest::collection::vec(-100.0f64..100.0, 2..40),
+            shift in -50.0f64..50.0,
+        ) {
+            let v = sample_var(&xs);
+            prop_assert!(v >= 0.0);
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            prop_assert!((sample_var(&shifted) - v).abs() < 1e-6 * (1.0 + v));
+            prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Permutation test for a difference in means — a distribution-free check
+//! on the parametric (Welch) p-value, which matters for 4-point exam
+//! scores that are far from normal.
+
+use patternlets_core::rng::{Rng, Xoshiro256StarStar};
+
+use super::moments::mean;
+
+/// Two-sided permutation test of `mean(b) − mean(a)`.
+///
+/// Pools the samples, reshuffles group labels `rounds` times, and counts
+/// how often the permuted |difference| reaches the observed one. Returns
+/// the p-value with the standard +1 correction (the observed labelling is
+/// itself one permutation).
+pub fn permutation_test(a: &[f64], b: &[f64], rounds: usize, seed: u64) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "both groups must be non-empty");
+    assert!(rounds > 0);
+    let observed = (mean(b) - mean(a)).abs();
+    let mut pool: Vec<f64> = a.iter().chain(b).copied().collect();
+    let n_a = a.len();
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let mut hits = 0usize;
+    for _ in 0..rounds {
+        // Fisher–Yates shuffle.
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            pool.swap(i, j);
+        }
+        let d = (mean(&pool[n_a..]) - mean(&pool[..n_a])).abs();
+        if d >= observed - 1e-15 {
+            hits += 1;
+        }
+    }
+    (hits + 1) as f64 / (rounds + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = permutation_test(&a, &a, 2_000, 42);
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn well_separated_groups_are_significant() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..20).map(|i| 10.0 + i as f64 * 0.01).collect();
+        let p = permutation_test(&a, &b, 2_000, 42);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_seed() {
+        let a = [1.0, 2.5, 3.0, 2.0];
+        let b = [2.0, 3.5, 4.0, 2.5];
+        let p1 = permutation_test(&a, &b, 500, 7);
+        let p2 = permutation_test(&a, &b, 500, 7);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn agrees_roughly_with_welch_on_normalish_data() {
+        use crate::stats::welch::welch_t_test_raw;
+        use patternlets_core::rng::Rng;
+        let mut rng = Xoshiro256StarStar::seeded(123);
+        let a: Vec<f64> = (0..40).map(|_| rng.gen_normal()).collect();
+        let b: Vec<f64> = (0..40).map(|_| rng.gen_normal() + 0.3).collect();
+        let pw = welch_t_test_raw(&a, &b).p;
+        let pp = permutation_test(&a, &b, 4_000, 99);
+        assert!((pw - pp).abs() < 0.08, "welch {pw} vs permutation {pp}");
+    }
+}

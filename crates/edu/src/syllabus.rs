@@ -1,0 +1,161 @@
+//! The curriculum integration of §IV: where parallel topics — and the
+//! patternlets — live across the undergraduate program.
+//!
+//! The paper spreads PDC across five courses (§IV's bulleted list) and
+//! details the CS2 week (§IV.A). This module encodes that structure as
+//! data so a department adopting the collection can query it: which
+//! patternlets does each course use, and in which session?
+
+/// One course in the curriculum, per the paper's §IV list.
+#[derive(Debug, Clone)]
+pub struct Course {
+    /// Short name, e.g. `"CS2"`.
+    pub name: &'static str,
+    /// Full title.
+    pub title: &'static str,
+    /// Year taken and whether required.
+    pub placement: &'static str,
+    /// The parallel topics covered, quoting the paper.
+    pub topics: &'static str,
+    /// Patternlet families the course draws from (registry name prefixes).
+    pub patternlet_families: &'static [&'static str],
+}
+
+/// One session of the CS2 week (§IV.A).
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Day of the week.
+    pub day: &'static str,
+    /// What happens, per the paper.
+    pub activity: &'static str,
+    /// Patternlets used live in that session (registry names).
+    pub patternlets: &'static [&'static str],
+}
+
+/// The five-course spread of §IV.
+pub fn curriculum() -> Vec<Course> {
+    vec![
+        Course {
+            name: "CS2",
+            title: "Data Structures",
+            placement: "1st year, required",
+            topics: "OpenMP on embarrassingly parallel problems",
+            patternlet_families: &["omp"],
+        },
+        Course {
+            name: "CS3",
+            title: "Algorithms",
+            placement: "2nd year, required",
+            topics: "parallel algorithms: searching, sorting, graph",
+            patternlet_families: &["omp", "threads"],
+        },
+        Course {
+            name: "PL",
+            title: "Programming Languages",
+            placement: "2nd year, required",
+            topics: "language constructs for message passing and synchronization",
+            patternlet_families: &["mpi", "threads"],
+        },
+        Course {
+            name: "OSNet",
+            title: "Operating Systems & Networking",
+            placement: "3rd year, required",
+            topics: "implementing synchronization and message-passing constructs",
+            patternlet_families: &["threads", "mpi"],
+        },
+        Course {
+            name: "HPC",
+            title: "High Performance Computing",
+            placement: "3rd/4th year, elective",
+            topics: "scalable parallel programs with MPI, OpenMP, CUDA, Hadoop",
+            patternlet_families: &["mpi", "omp", "hetero"],
+        },
+    ]
+}
+
+/// The CS2 parallelism week, Spring-2013 edition (§IV.A: lectures replaced
+/// by live-coding patternlet demos).
+pub fn cs2_week() -> Vec<Session> {
+    vec![
+        Session {
+            day: "Monday",
+            activity: "intro lecture on multicore CPUs + OpenMP, concluded \
+                       with a live-coding patternlet demo",
+            patternlets: &["omp/spmd", "omp/spmd2", "omp/forkJoin"],
+        },
+        Session {
+            day: "Tuesday",
+            activity: "2-hour closed lab: time sequential Matrix add and \
+                       transpose, parallelize them, chart time vs threads",
+            patternlets: &["omp/parallelLoopEqualChunks"],
+        },
+        Session {
+            day: "Wednesday",
+            activity: "multithreading-concepts session as a live-coding \
+                       patternlet demo",
+            patternlets: &["omp/barrier", "omp/reduction", "omp/critical"],
+        },
+        Session {
+            day: "Friday",
+            activity: "parallel algorithm design via active learning, \
+                       culminating in parallel merge sort",
+            patternlets: &["omp/sections"],
+        },
+    ]
+}
+
+/// All patternlet names a course's sessions and families draw on,
+/// validated against a registry lookup function.
+pub fn course_patternlets(
+    course: &Course,
+    registry_names: &[&str],
+) -> Vec<String> {
+    registry_names
+        .iter()
+        .filter(|name| {
+            course
+                .patternlet_families
+                .iter()
+                .any(|fam| name.starts_with(&format!("{fam}/")))
+        })
+        .map(|s| s.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_courses_like_the_paper() {
+        let c = curriculum();
+        assert_eq!(c.len(), 5);
+        let names: Vec<&str> = c.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["CS2", "CS3", "PL", "OSNet", "HPC"]);
+        // Every student sees PDC: four of five are required.
+        assert_eq!(
+            c.iter().filter(|c| c.placement.contains("required")).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn cs2_week_has_the_four_sessions() {
+        let week = cs2_week();
+        let days: Vec<&str> = week.iter().map(|s| s.day).collect();
+        assert_eq!(days, vec!["Monday", "Tuesday", "Wednesday", "Friday"]);
+        // The live-coding sessions name at least one patternlet each.
+        assert!(week.iter().all(|s| !s.patternlets.is_empty()));
+    }
+
+    #[test]
+    fn course_family_filter_works() {
+        let names = vec!["omp/spmd", "mpi/spmd", "hetero/spmd", "threads/mutex"];
+        let hpc = &curriculum()[4];
+        let got = course_patternlets(hpc, &names);
+        assert!(got.contains(&"omp/spmd".to_string()));
+        assert!(got.contains(&"mpi/spmd".to_string()));
+        assert!(got.contains(&"hetero/spmd".to_string()));
+        assert!(!got.contains(&"threads/mutex".to_string()));
+    }
+}

@@ -1,0 +1,30 @@
+//! Collective operations, built entirely from point-to-point messages.
+//!
+//! MPI's collectives are what most of the paper's MPI patternlets teach
+//! (*Barrier*, *Broadcast*, *Scatter*, *Gather*, *Reduction* — §III.B–E).
+//! Each collective here is implemented with the classic algorithm:
+//!
+//! | Collective | Algorithm | Messages | Rounds |
+//! |---|---|---|---|
+//! | [`crate::Comm::barrier`] | dissemination | `p⌈lg p⌉` | `⌈lg p⌉` |
+//! | [`crate::Comm::bcast`] | binomial tree | `p − 1` | `⌈lg p⌉` |
+//! | [`crate::Comm::reduce`] | binomial tree | `p − 1` | `⌈lg p⌉` |
+//! | [`crate::Comm::scatter`] / [`crate::Comm::gather`] | linear to/from root | `p − 1` | 1 |
+//! | [`crate::Comm::allgather`] | gather + bcast | `2(p − 1)` | `⌈lg p⌉ + 1` |
+//! | [`crate::Comm::allreduce`] | reduce + bcast (and recursive doubling variant) | `2(p − 1)` | `2⌈lg p⌉` |
+//! | [`crate::Comm::scan`] | linear chain | `p − 1` | `p − 1` |
+//! | [`crate::Comm::alltoall`] | direct exchange | `p(p − 1)` | 1 |
+//!
+//! All collectives must be called by **every** rank of the world, in the
+//! same order — the MPI rule. Reserved (negative) tags derived from a
+//! per-rank collective sequence number keep adjacent collectives from
+//! cross-matching.
+
+pub mod alltoall;
+pub mod barrier;
+pub mod bcast;
+pub mod gather;
+pub mod reduce;
+pub mod scan;
+pub mod scatter;
+pub mod varied;

@@ -1,0 +1,638 @@
+//! The communicator: a rank's handle on its world — `MPI_COMM_WORLD`.
+
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use patternlets_core::rng::{Rng, SplitMix64};
+use patternlets_core::{Error, Result};
+
+use crate::datatype::{encode, Datatype};
+use crate::envelope::{collective_tag, Envelope};
+use crate::status::{SourceSel, Status, TagSel};
+use crate::world::Transport;
+
+/// A rank's communicator: `MPI_COMM_WORLD` as created by
+/// [`crate::World::run`], or a sub-communicator created by [`Comm::split`].
+/// One per rank, not shareable across ranks (it is deliberately `!Sync`).
+///
+/// All ranks, tags, and collective roots are *communicator-local*: in a
+/// split communicator, rank 0 is the first member, whatever its world
+/// rank. Messages sent on one communicator can never be received on
+/// another (envelopes carry the communicator id).
+pub struct Comm {
+    /// My rank within this communicator.
+    local_rank: usize,
+    /// World ranks of the members, indexed by communicator-local rank.
+    group: Arc<Vec<usize>>,
+    /// Communicator identity, for envelope matching.
+    comm_id: u64,
+    transport: Arc<Transport>,
+    /// Count of collective operations this rank has started; used to build
+    /// reserved tags that line up across ranks.
+    coll_seq: Cell<u64>,
+}
+
+/// The world communicator's id.
+const WORLD_COMM_ID: u64 = 0;
+
+impl Comm {
+    pub(crate) fn new(rank: usize, transport: Arc<Transport>) -> Self {
+        let np = transport.mailboxes.len();
+        Comm {
+            local_rank: rank,
+            group: Arc::new((0..np).collect()),
+            comm_id: WORLD_COMM_ID,
+            transport,
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id in this communicator — `MPI_Comm_rank`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// This communicator's size — `MPI_Comm_size`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// My rank in the world (useful after [`Comm::split`]).
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.group[self.local_rank]
+    }
+
+    /// True for rank 0 of this communicator, the conventional master.
+    #[inline]
+    pub fn is_master(&self) -> bool {
+        self.local_rank == 0
+    }
+
+    /// Simulated hostname — `MPI_Get_processor_name`.
+    pub fn processor_name(&self) -> &str {
+        &self.transport.names[self.world_rank()]
+    }
+
+    /// Split this communicator — `MPI_Comm_split`: members calling with the
+    /// same `color` form a new communicator, ordered by `(key, rank)`.
+    /// Every member of this communicator must call (it is collective).
+    pub fn split(&self, color: i32, key: i32) -> Result<Comm> {
+        // Exchange (color, key) with every member.
+        let colors = self.allgather(&[color as i64])?;
+        let keys = self.allgather(&[key as i64])?;
+        // Members of my color, ordered by (key, parent rank).
+        let mut members: Vec<usize> = (0..self.size())
+            .filter(|&r| colors[r] == color as i64)
+            .collect();
+        members.sort_by_key(|&r| (keys[r], r));
+        let local_rank = members
+            .iter()
+            .position(|&r| r == self.local_rank)
+            .expect("caller is in its own color class");
+        // A new comm id every member derives identically: hash of the
+        // parent id, the split sequence number, and the color.
+        let seq = self.coll_seq.get(); // advanced identically by the two allgathers
+        let mut h = SplitMix64::new(
+            self.comm_id ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (color as u64) << 17,
+        );
+        let comm_id = h.next_u64() | 1; // never collides with WORLD_COMM_ID
+        let group: Vec<usize> = members.iter().map(|&r| self.group[r]).collect();
+        Ok(Comm {
+            local_rank,
+            group: Arc::new(group),
+            comm_id,
+            transport: Arc::clone(&self.transport),
+            coll_seq: Cell::new(0),
+        })
+    }
+
+    /// Duplicate this communicator — `MPI_Comm_dup`: same group, isolated
+    /// message space.
+    pub fn dup(&self) -> Result<Comm> {
+        self.split(0, self.local_rank as i32)
+    }
+
+    // -- point to point ----------------------------------------------------
+
+    /// Buffered (eager) send of a typed slice — `MPI_Send`. User tags must
+    /// be non-negative; negative tags are reserved for collectives.
+    pub fn send<T: Datatype>(&self, data: &[T], dest: usize, tag: i32) -> Result<()> {
+        if tag < 0 {
+            return Err(Error::InvalidConfig(format!(
+                "user tag {tag} is negative (reserved for collectives)"
+            )));
+        }
+        self.send_internal(data, dest, tag)
+    }
+
+    pub(crate) fn send_internal<T: Datatype>(
+        &self,
+        data: &[T],
+        dest: usize,
+        tag: i32,
+    ) -> Result<()> {
+        self.send_flagged(data, dest, tag, false).map(|_| ())
+    }
+
+    /// Deliver an envelope, optionally demanding a receive-side ack.
+    /// Returns the sender-side sequence number (used to match the ack).
+    fn send_flagged<T: Datatype>(
+        &self,
+        data: &[T],
+        dest: usize,
+        tag: i32,
+        needs_ack: bool,
+    ) -> Result<u64> {
+        if dest >= self.size() {
+            return Err(Error::RankOutOfRange { rank: dest, size: self.size() });
+        }
+        let me = self.world_rank();
+        let seq = self.transport.send_seqs[me].fetch_add(1, Ordering::Relaxed);
+        let payload = encode(data);
+        self.transport.record_msg(crate::world::MsgEvent {
+            from: me,
+            to: self.group[dest],
+            comm_id: self.comm_id,
+            tag,
+            bytes: payload.len(),
+        });
+        // Order matters: bump progress BEFORE the delivery becomes
+        // matchable, so any deadlock verdict computed across this delivery
+        // sees the progress change and rejects itself.
+        self.transport.progress.fetch_add(1, Ordering::SeqCst);
+        self.transport.mailboxes[self.group[dest]].deliver(Envelope {
+            comm_id: self.comm_id,
+            src: self.local_rank,
+            tag,
+            type_name: T::TYPE_NAME,
+            count: data.len(),
+            payload,
+            seq,
+            needs_ack,
+        });
+        Ok(seq)
+    }
+
+    /// Synchronous send — `MPI_Ssend`: blocks until the receiver has
+    /// *matched* this message, the unbuffered semantics whose head-to-head
+    /// use is the classic send-send deadlock. (The runtime's deadlock
+    /// detector reports that case instead of hanging — see the tests.)
+    pub fn ssend<T: Datatype>(&self, data: &[T], dest: usize, tag: i32) -> Result<()> {
+        if tag < 0 {
+            return Err(Error::InvalidConfig(format!(
+                "user tag {tag} is negative (reserved for collectives)"
+            )));
+        }
+        let seq = self.send_flagged(data, dest, tag, true)?;
+        // Wait for the receiver's ack.
+        let (_, _) = self.recv_internal::<u8>(
+            SourceSel::Rank(dest),
+            TagSel::Tag(crate::envelope::ack_tag(seq)),
+        )?;
+        Ok(())
+    }
+
+    /// Send a single value.
+    pub fn send_one<T: Datatype>(&self, value: T, dest: usize, tag: i32) -> Result<()> {
+        self.send(std::slice::from_ref(&value), dest, tag)
+    }
+
+    /// Blocking matched receive — `MPI_Recv`. Accepts a rank or
+    /// [`crate::ANY_SOURCE`], a tag or [`crate::ANY_TAG`]. Fails with
+    /// [`Error::TypeMismatch`] if the matched envelope holds a different
+    /// element type, and with [`Error::Deadlock`] if no matching send can
+    /// ever arrive.
+    pub fn recv<T: Datatype>(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> Result<(Vec<T>, Status)> {
+        self.recv_internal(src.into(), tag.into())
+    }
+
+    pub(crate) fn recv_internal<T: Datatype>(
+        &self,
+        src: SourceSel,
+        tag: TagSel,
+    ) -> Result<(Vec<T>, Status)> {
+        if let SourceSel::Rank(r) = src {
+            if r >= self.size() {
+                return Err(Error::RankOutOfRange { rank: r, size: self.size() });
+            }
+        }
+        let transport = &self.transport;
+        let me = self.local_rank;
+        let group = &self.group;
+        let my_world = self.world_rank();
+
+        // Publish what we are about to block on, for the waits-for
+        // deadlock detector; cleared on every exit path by the guard.
+        let world_sources: Vec<usize> = match src {
+            SourceSel::Rank(r) => vec![group[r]],
+            SourceSel::Any => {
+                group.iter().copied().filter(|&w| w != my_world).collect()
+            }
+        };
+        transport.publish_wait(
+            my_world,
+            crate::world::WaitRecord { comm_id: self.comm_id, src, tag, world_sources },
+        );
+        struct ClearGuard<'a>(&'a crate::world::Transport, usize);
+        impl Drop for ClearGuard<'_> {
+            fn drop(&mut self) {
+                self.0.clear_wait(self.1);
+            }
+        }
+        let _guard = ClearGuard(transport, my_world);
+
+        let env = transport.mailboxes[my_world].recv_match(
+            self.comm_id,
+            src,
+            tag,
+            || {
+                let senders_alive = match src {
+                    // Receiving from myself: alive by definition (but a
+                    // queued match was already checked, so self-recv
+                    // without a prior self-send correctly deadlocks).
+                    SourceSel::Rank(r) if r == me => false,
+                    SourceSel::Rank(r) => transport.rank_alive(group[r]),
+                    SourceSel::Any => group
+                        .iter()
+                        .any(|&w| w != my_world && transport.rank_alive(w)),
+                };
+                if !senders_alive {
+                    return Some("every possible sender has finished".into());
+                }
+                transport
+                    .deadlocked(my_world)
+                    .map(|graph| format!("waits-for cycle with no live escape: {graph}"))
+            },
+            || transport.clear_wait(my_world),
+        )?;
+        if env.needs_ack {
+            // Complete the synchronous-send handshake: tell the sender its
+            // message has been matched.
+            self.send_internal::<u8>(&[], env.src, crate::envelope::ack_tag(env.seq))?;
+        }
+        if env.type_name != T::TYPE_NAME {
+            return Err(Error::TypeMismatch {
+                expected: T::TYPE_NAME,
+                found: env.type_name.to_string(),
+            });
+        }
+        let data = T::decode_slice(&env.payload, env.count)?;
+        let status = Status { source: env.src, tag: env.tag, count: env.count };
+        Ok((data, status))
+    }
+
+    /// Receive exactly one value; fails on count mismatch.
+    pub fn recv_one<T: Datatype>(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> Result<(T, Status)> {
+        let (mut data, status) = self.recv::<T>(src, tag)?;
+        if data.len() != 1 {
+            return Err(Error::CountMismatch { expected: 1, found: data.len() });
+        }
+        Ok((data.pop().expect("length checked"), status))
+    }
+
+    /// Combined send-then-receive — `MPI_Sendrecv`. The send is buffered,
+    /// so exchanging with a partner who does the same cannot deadlock.
+    pub fn sendrecv<T: Datatype, U: Datatype>(
+        &self,
+        send_data: &[T],
+        dest: usize,
+        send_tag: i32,
+        src: impl Into<SourceSel>,
+        recv_tag: impl Into<TagSel>,
+    ) -> Result<(Vec<U>, Status)> {
+        self.send(send_data, dest, send_tag)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Non-blocking probe for a matching message — `MPI_Iprobe`.
+    pub fn iprobe(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> Option<Status> {
+        self.transport.mailboxes[self.world_rank()]
+            .probe(self.comm_id, src.into(), tag.into())
+            .map(|(source, tag, count)| Status { source, tag, count })
+    }
+
+    // -- collective plumbing -----------------------------------------------
+
+    /// Reserve the tag family for this rank's next collective call.
+    /// Returns a function from round number to tag. All ranks call
+    /// collectives in the same order, so the families line up.
+    pub(crate) fn next_coll_tags(&self, opcode: u8) -> impl Fn(u32) -> i32 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        move |round| collective_tag(seq, opcode, round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::{ANY_SOURCE, ANY_TAG};
+    use crate::world::World;
+
+    #[test]
+    fn ping_pong_one_pair() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[41i64], 1, 0).unwrap();
+                let (v, st) = comm.recv_one::<i64>(1, 0).unwrap();
+                assert_eq!(st.source, 1);
+                v
+            } else {
+                let (v, _) = comm.recv_one::<i64>(0, 0).unwrap();
+                comm.send(&[v + 1], 0, 0).unwrap();
+                v
+            }
+        });
+        assert_eq!(out, vec![42, 41]);
+    }
+
+    #[test]
+    fn messages_do_not_overtake() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100i32 {
+                    comm.send_one(i, 1, 7).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..100)
+                    .map(|_| comm.recv_one::<i32>(0, 7).unwrap().0)
+                    .collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn any_source_any_tag_receive_all() {
+        let out = World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    let (v, st) = comm.recv_one::<u64>(ANY_SOURCE, ANY_TAG).unwrap();
+                    assert_eq!(v, st.source as u64 * 10);
+                    assert_eq!(st.tag, st.source as i32);
+                    got.push(st.source);
+                }
+                got.sort_unstable();
+                got
+            } else {
+                comm.send_one(comm.rank() as u64 * 10, 0, comm.rank() as i32).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1i32, 2], 1, 0).unwrap();
+                Ok(())
+            } else {
+                comm.recv::<f64>(0, 0).map(|_| ())
+            }
+        });
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn recv_from_finished_rank_reports_deadlock() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                Ok(Vec::new())
+            } else {
+                // Rank 0 sends nothing and exits; this must not hang.
+                comm.recv::<i32>(0, 0).map(|(v, _)| v)
+            }
+        });
+        assert!(matches!(&out[1], Err(Error::Deadlock(_))));
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        let out = World::run(1, |comm| comm.send(&[1i32], 5, 0));
+        assert!(matches!(out[0], Err(Error::RankOutOfRange { rank: 5, size: 1 })));
+    }
+
+    #[test]
+    fn negative_user_tag_rejected() {
+        let out = World::run(1, |comm| comm.send(&[1i32], 0, -3));
+        assert!(matches!(out[0], Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn self_send_and_recv_works() {
+        let out = World::run(1, |comm| {
+            comm.send_one(99i32, 0, 4).unwrap();
+            comm.recv_one::<i32>(0, 4).unwrap().0
+        });
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_neighbours() {
+        let out = World::run(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let (got, _) = comm
+                .sendrecv::<u64, u64>(&[comm.rank() as u64], right, 1, left, 1)
+                .unwrap();
+            got[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn iprobe_sees_pending_message() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[5i32, 6, 7], 1, 9).unwrap();
+                0
+            } else {
+                // Wait for it to arrive.
+                loop {
+                    if let Some(st) = comm.iprobe(0, 9) {
+                        assert_eq!(st.count, 3);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                let (v, _) = comm.recv::<i32>(0, 9).unwrap();
+                v.iter().sum::<i32>()
+            }
+        });
+        assert_eq!(out[1], 18);
+    }
+
+    #[test]
+    fn ssend_completes_once_matched() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.ssend(&[42i64], 1, 5).unwrap();
+                "sent"
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let (v, _) = comm.recv_one::<i64>(0, 5).unwrap();
+                assert_eq!(v, 42);
+                "received"
+            }
+        });
+        assert_eq!(out, vec!["sent", "received"]);
+    }
+
+    #[test]
+    fn head_to_head_ssends_deadlock_like_real_mpi() {
+        // The classic unsafe pattern: both ranks Ssend before receiving.
+        // With synchronous sends this deadlocks; the detector reports it.
+        let out = World::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let send = comm.ssend(&[comm.rank() as i64], peer, 1);
+            match send {
+                Err(e) => Err(e),
+                Ok(()) => comm.recv_one::<i64>(peer, 1).map(|_| ()),
+            }
+        });
+        assert!(
+            out.iter().any(|r| matches!(r, Err(Error::Deadlock(_)))),
+            "head-to-head ssend must be diagnosed: {out:?}"
+        );
+    }
+
+    #[test]
+    fn ssend_then_recv_ordering_is_safe_when_one_side_receives_first() {
+        // The safe ordering: odd ranks receive first, even ranks ssend
+        // first — the fix students learn.
+        let out = World::run(4, |comm| {
+            let peer = comm.rank() ^ 1;
+            if comm.rank() % 2 == 0 {
+                comm.ssend(&[comm.rank() as i64], peer, 2).unwrap();
+                comm.recv_one::<i64>(peer, 2).unwrap().0
+            } else {
+                let v = comm.recv_one::<i64>(peer, 2).unwrap().0;
+                comm.ssend(&[comm.rank() as i64], peer, 2).unwrap();
+                v
+            }
+        });
+        assert_eq!(out, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        // 6 ranks split into even/odd colors; key reverses the order.
+        let out = World::run(6, |comm| {
+            let color = (comm.rank() % 2) as i32;
+            let key = -(comm.rank() as i32); // descending world rank
+            let sub = comm.split(color, key).unwrap();
+            (sub.rank(), sub.size(), sub.world_rank(), comm.rank())
+        });
+        // Evens: world ranks 4, 2, 0 in sub-rank order (key descending).
+        assert_eq!(out[4].0, 0);
+        assert_eq!(out[2].0, 1);
+        assert_eq!(out[0].0, 2);
+        // Odds: 5, 3, 1.
+        assert_eq!(out[5].0, 0);
+        assert_eq!(out[3].0, 1);
+        assert_eq!(out[1].0, 2);
+        assert!(out.iter().all(|&(_, size, _, _)| size == 3));
+        assert!(out.iter().all(|&(_, _, w, r)| w == r));
+    }
+
+    #[test]
+    fn collectives_work_on_sub_communicators() {
+        use patternlets_core::reduce::ops;
+        let out = World::run(6, |comm| {
+            let color = (comm.rank() / 3) as i32; // {0,1,2} and {3,4,5}
+            let sub = comm.split(color, comm.rank() as i32).unwrap();
+            // Sum world ranks within each half.
+            let sum = sub.allreduce(&[comm.rank() as i64], &ops::Sum).unwrap()[0];
+            sub.barrier().unwrap();
+            sum
+        });
+        assert_eq!(&out[..3], &[3, 3, 3], "0+1+2");
+        assert_eq!(&out[3..], &[12, 12, 12], "3+4+5");
+    }
+
+    #[test]
+    fn sub_communicator_point_to_point_uses_local_ranks() {
+        let out = World::run(4, |comm| {
+            let color = (comm.rank() % 2) as i32;
+            let sub = comm.split(color, 0).unwrap();
+            // Local rank 0 of each sub-comm sends to local rank 1.
+            if sub.rank() == 0 {
+                sub.send_one(comm.rank() as u64, 1, 5).unwrap();
+                None
+            } else {
+                let (v, st) = sub.recv_one::<u64>(0, 5).unwrap();
+                assert_eq!(st.source, 0, "status reports the LOCAL source rank");
+                Some(v)
+            }
+        });
+        // World rank 2 receives from world rank 0; 3 from 1.
+        assert_eq!(out, vec![None, None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn messages_do_not_leak_across_communicators() {
+        let out = World::run(2, |comm| {
+            let dup = comm.dup().unwrap();
+            if comm.rank() == 0 {
+                comm.send_one(1i64, 1, 3).unwrap(); // on world
+                dup.send_one(2i64, 1, 3).unwrap(); // on dup
+                0
+            } else {
+                // Receive on dup FIRST: must get the dup message even
+                // though the world message arrived earlier.
+                let (v_dup, _) = dup.recv_one::<i64>(0, 3).unwrap();
+                let (v_world, _) = comm.recv_one::<i64>(0, 3).unwrap();
+                assert_eq!(v_dup, 2);
+                assert_eq!(v_world, 1);
+                v_dup + v_world
+            }
+        });
+        assert_eq!(out[1], 3);
+    }
+
+    #[test]
+    fn nested_splits() {
+        let out = World::run(8, |comm| {
+            let half = comm.split((comm.rank() / 4) as i32, 0).unwrap();
+            let quarter = half.split((half.rank() / 2) as i32, 0).unwrap();
+            (half.size(), quarter.size(), quarter.rank())
+        });
+        assert!(out.iter().all(|&(h, q, _)| h == 4 && q == 2));
+        let zeros = out.iter().filter(|&&(_, _, r)| r == 0).count();
+        assert_eq!(zeros, 4, "four quarter-comms, each with a rank 0");
+    }
+
+    #[test]
+    fn recv_count_mismatch_via_recv_one() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1i32, 2, 3], 1, 0).unwrap();
+                Ok(0)
+            } else {
+                comm.recv_one::<i32>(0, 0).map(|(v, _)| v)
+            }
+        });
+        assert!(matches!(out[1], Err(Error::CountMismatch { expected: 1, found: 3 })));
+    }
+}

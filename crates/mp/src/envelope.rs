@@ -1,0 +1,125 @@
+//! Message envelopes: source, tag, type, count, payload.
+
+use bytes::Bytes;
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Which communicator this message belongs to; receives only match
+    /// envelopes from their own communicator.
+    pub comm_id: u64,
+    /// Sending rank, in the communicator's local numbering.
+    pub src: usize,
+    /// Message tag. Non-negative for user messages; negative tags are
+    /// reserved for collectives.
+    pub tag: i32,
+    /// Element type name (from [`crate::Datatype::TYPE_NAME`]).
+    pub type_name: &'static str,
+    /// Element count.
+    pub count: usize,
+    /// Encoded payload.
+    pub payload: Bytes,
+    /// Per-sender sequence number (diagnostics; also documents the
+    /// non-overtaking order).
+    pub seq: u64,
+    /// Synchronous-send handshake: the receiver must acknowledge this
+    /// envelope on the reserved ack tag when it matches it.
+    pub needs_ack: bool,
+}
+
+/// The reserved tag on which synchronous-send acknowledgements travel;
+/// disambiguated by the sender's sequence number folded into the tag.
+pub(crate) fn ack_tag(seq: u64) -> i32 {
+    // A disjoint negative namespace from collective tags (which are
+    // ≥ -(2^27)): acks live below -(2^28).
+    -((1 << 28) + (seq % (1 << 27)) as i32)
+}
+
+/// Build the reserved tag for collective call number `coll_seq` of
+/// operation `opcode`, optionally sub-tagged by `round`.
+///
+/// Every rank calls collectives in the same order, so `coll_seq` agrees
+/// across ranks and successive collectives can never cross-match, even when
+/// the same pair of ranks exchanges messages in both.
+pub(crate) fn collective_tag(coll_seq: u64, opcode: u8, round: u32) -> i32 {
+    // Pack (seq mod 2^16, opcode mod 2^4, round mod 2^6) below zero.
+    let seq = (coll_seq % (1 << 16)) as i32;
+    let op = (opcode % 16) as i32;
+    let rnd = (round % 64) as i32;
+    -(1 + (((seq << 4) | op) << 6 | rnd))
+}
+
+/// Collective opcodes for tag construction.
+pub(crate) mod opcodes {
+    pub const BARRIER: u8 = 0;
+    pub const BCAST: u8 = 1;
+    pub const SCATTER: u8 = 2;
+    pub const GATHER: u8 = 3;
+    pub const REDUCE: u8 = 5;
+    pub const ALLREDUCE: u8 = 6;
+    pub const SCAN: u8 = 7;
+    pub const ALLTOALL: u8 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_tags_do_not_collide_with_collective_tags() {
+        for seq in [0u64, 1, 1000, (1 << 27) - 1] {
+            let ack = ack_tag(seq);
+            assert!(ack < 0);
+            for cseq in [0u64, 65_535] {
+                for op in 0..9u8 {
+                    assert_ne!(ack, collective_tag(cseq, op, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collective_tags_are_negative() {
+        for seq in [0u64, 1, 17, 65_535, 65_536] {
+            for op in 0..9u8 {
+                for round in [0u32, 5, 63] {
+                    // All collective tags sit below 0, the reserved ceiling.
+                    assert!(collective_tag(seq, op, round) < 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collective_tags_distinguish_nearby_calls() {
+        let mut tags = std::collections::HashSet::new();
+        for seq in 0..64u64 {
+            for op in 0..9u8 {
+                for round in 0..8u32 {
+                    assert!(
+                        tags.insert(collective_tag(seq, op, round)),
+                        "tag collision at seq={seq} op={op} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_fields_round_trip() {
+        let env = Envelope {
+            comm_id: 0,
+            src: 3,
+            needs_ack: false,
+            tag: 42,
+            type_name: "i32",
+            count: 2,
+            payload: Bytes::from_static(&[1, 0, 0, 0, 2, 0, 0, 0]),
+            seq: 7,
+        };
+        assert_eq!(env.src, 3);
+        assert_eq!(env.tag, 42);
+        assert_eq!(env.count, 2);
+        assert_eq!(env.payload.len(), 8);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-rank mailboxes with MPI matching semantics.
+//!
+//! A mailbox holds the envelopes addressed to one rank. A receive scans the
+//! queue front-to-back for the *first* envelope matching its
+//! `(source, tag)` selectors — which, combined with per-sender FIFO
+//! insertion, yields MPI's non-overtaking guarantee. A receive with no
+//! matching envelope blocks; if the runtime can prove no match can ever
+//! arrive (every possible sender has finished), it reports deadlock
+//! instead of hanging.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use patternlets_core::{Error, Result};
+
+use crate::envelope::Envelope;
+use crate::status::{SourceSel, TagSel};
+
+/// A single rank's incoming message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deliver an envelope (called by the sender's thread).
+    pub fn deliver(&self, env: Envelope) {
+        self.queue.lock().push_back(env);
+        self.arrived.notify_all();
+    }
+
+    /// Number of queued envelopes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True when no envelopes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking matched receive.
+    ///
+    /// Only envelopes belonging to `comm_id` are considered — messages on
+    /// one communicator are invisible to receives on another.
+    ///
+    /// `senders_alive` is consulted when the queue holds no match: it
+    /// returns `None` while a matching send could still arrive, and
+    /// `Some(reason)` when it provably cannot (senders finished, or a
+    /// waits-for cycle) — in which case the receive fails with
+    /// [`Error::Deadlock`] carrying the reason.
+    pub fn recv_match(
+        &self,
+        comm_id: u64,
+        src: SourceSel,
+        tag: TagSel,
+        senders_alive: impl Fn() -> Option<String>,
+        on_match: impl FnOnce(),
+    ) -> Result<Envelope> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(pos) = queue.iter().position(|env| {
+                env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag)
+            }) {
+                // Retire the caller's wait record while still holding the
+                // queue lock: the deadlock detector must never observe
+                // "wait posted" + "queue already drained" for a rank that
+                // in fact matched (it would look stuck).
+                on_match();
+                return Ok(queue.remove(pos).expect("position just found"));
+            }
+            if let Some(why) = senders_alive() {
+                return Err(Error::Deadlock(format!(
+                    "recv(src={src:?}, tag={tag:?}) can never be satisfied: {why}"
+                )));
+            }
+            // Re-check liveness periodically: a sender may finish without
+            // ever waking this condvar.
+            self.arrived.wait_for(&mut queue, Duration::from_millis(20));
+        }
+    }
+
+    /// Lock-avoiding probe for the deadlock detector: `Some(true)` if a
+    /// matching envelope is queued, `Some(false)` if provably none is,
+    /// `None` if the mailbox is busy (its owner holds the lock) and the
+    /// check must be retried later. Never blocks, so a detector holding
+    /// its own mailbox lock cannot participate in a lock-order cycle.
+    pub fn try_probe(&self, comm_id: u64, src: SourceSel, tag: TagSel) -> Option<bool> {
+        let queue = self.queue.try_lock()?;
+        Some(queue.iter().any(|env| {
+            env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag)
+        }))
+    }
+
+    /// Non-blocking probe: metadata of the first matching envelope, if any.
+    pub fn probe(&self, comm_id: u64, src: SourceSel, tag: TagSel) -> Option<(usize, i32, usize)> {
+        self.queue
+            .lock()
+            .iter()
+            .find(|env| env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag))
+            .map(|env| (env.src, env.tag, env.count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::encode;
+    use crate::status::{ANY_SOURCE, ANY_TAG};
+
+    fn env(src: usize, tag: i32, seq: u64) -> Envelope {
+        Envelope {
+            comm_id: 0,
+            src,
+            tag,
+            type_name: "i32",
+            count: 1,
+            payload: encode(&[seq as i32]),
+            seq,
+            needs_ack: false,
+        }
+    }
+
+    #[test]
+    fn matches_first_in_fifo_order() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 0));
+        mb.deliver(env(0, 1, 1));
+        let e = mb.recv_match(0, 0.into(), 1.into(), || None, || {}).unwrap();
+        assert_eq!(e.seq, 0, "non-overtaking: earliest matching message first");
+        let e = mb.recv_match(0, 0.into(), 1.into(), || None, || {}).unwrap();
+        assert_eq!(e.seq, 1);
+    }
+
+    #[test]
+    fn selector_skips_nonmatching() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 0));
+        mb.deliver(env(1, 2, 1));
+        // Ask for src=1 first even though src=0 arrived earlier.
+        let e = mb.recv_match(0, 1.into(), ANY_TAG, || None, || {}).unwrap();
+        assert_eq!(e.src, 1);
+        let e = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        assert_eq!(e.src, 0);
+    }
+
+    #[test]
+    fn any_tag_ignores_reserved_traffic() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, -7, 0)); // collective-internal
+        mb.deliver(env(0, 3, 1)); // user message
+        let e = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        assert_eq!(e.tag, 3, "wildcard receive must not steal collective traffic");
+        // The reserved envelope is still there for an explicit receive.
+        let e = mb.recv_match(0, ANY_SOURCE, (-7).into(), || None, || {}).unwrap();
+        assert_eq!(e.tag, -7);
+    }
+
+    #[test]
+    fn dead_senders_produce_deadlock_error() {
+        let mb = Mailbox::new();
+        let err = mb.recv_match(0, 0.into(), 1.into(), || Some("all senders finished".into()), || {}).unwrap_err();
+        assert!(matches!(err, Error::Deadlock(_)));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let mb = Mailbox::new();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}));
+            std::thread::sleep(Duration::from_millis(10));
+            mb.deliver(env(2, 5, 9));
+            let e = h.join().unwrap().unwrap();
+            assert_eq!((e.src, e.tag, e.seq), (2, 5, 9));
+        });
+    }
+
+    #[test]
+    fn different_communicators_never_cross_match() {
+        let mb = Mailbox::new();
+        let mut e = env(0, 1, 0);
+        e.comm_id = 42;
+        mb.deliver(e);
+        mb.deliver(env(0, 1, 1)); // comm 0
+        let got = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        assert_eq!(got.seq, 1, "comm 0 receive must skip comm 42 traffic");
+        let got = mb.recv_match(42, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        assert_eq!(got.seq, 0);
+        assert!(mb.probe(7, ANY_SOURCE, ANY_TAG).is_none());
+    }
+
+    #[test]
+    fn probe_reports_without_consuming() {
+        let mb = Mailbox::new();
+        assert!(mb.probe(0, ANY_SOURCE, ANY_TAG).is_none());
+        mb.deliver(env(1, 4, 0));
+        assert_eq!(mb.probe(0, ANY_SOURCE, ANY_TAG), Some((1, 4, 1)));
+        assert_eq!(mb.len(), 1, "probe must not consume");
+    }
+}

@@ -1,0 +1,158 @@
+//! Nonblocking operations — `MPI_Isend` / `MPI_Irecv` / `MPI_Wait` /
+//! `MPI_Test`.
+//!
+//! The runtime's sends are eager (buffered), so an [`SendRequest`] is
+//! complete the moment it is created — which is exactly how small-message
+//! `MPI_Isend` behaves on real implementations, and why the classic
+//! teaching point ("isend/irecv break the deadlock of two blocking sends")
+//! still demonstrates. An [`RecvRequest`] posts the receive's matching
+//! criteria immediately and performs the blocking match on
+//! [`RecvRequest::wait`]; [`RecvRequest::test`] polls without blocking.
+
+use patternlets_core::Result;
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::status::{SourceSel, Status, TagSel};
+
+/// Handle for a nonblocking send. Buffered-complete on creation.
+#[derive(Debug)]
+#[must_use = "wait() (or drop) acknowledges completion"]
+pub struct SendRequest {
+    status: Status,
+}
+
+impl SendRequest {
+    /// Complete the send; never blocks in this (eager) runtime.
+    pub fn wait(self) -> Status {
+        self.status
+    }
+
+    /// Is the send complete? Always true here.
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// Handle for a posted receive; the match happens at [`RecvRequest::wait`].
+#[must_use = "a posted receive must be waited on"]
+pub struct RecvRequest<'c, T: Datatype> {
+    comm: &'c Comm,
+    src: SourceSel,
+    tag: TagSel,
+    _elem: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Datatype> RecvRequest<'_, T> {
+    /// Block until the receive matches; returns data and status.
+    pub fn wait(self) -> Result<(Vec<T>, Status)> {
+        self.comm.recv_internal::<T>(self.src, self.tag)
+    }
+
+    /// Has a matching message already arrived? (Non-consuming.)
+    pub fn test(&self) -> bool {
+        self.comm.iprobe(self.src, self.tag).is_some()
+    }
+}
+
+impl Comm {
+    /// Nonblocking send — `MPI_Isend`. Completes immediately (eager
+    /// buffering); returns a request for API parity with MPI programs.
+    pub fn isend<T: Datatype>(
+        &self,
+        data: &[T],
+        dest: usize,
+        tag: i32,
+    ) -> Result<SendRequest> {
+        self.send(data, dest, tag)?;
+        Ok(SendRequest { status: Status { source: self.rank(), tag, count: data.len() } })
+    }
+
+    /// Post a nonblocking receive — `MPI_Irecv`. The returned request
+    /// matches (blocking) at `wait()`, or can be polled with `test()`.
+    pub fn irecv<T: Datatype>(
+        &self,
+        src: impl Into<SourceSel>,
+        tag: impl Into<TagSel>,
+    ) -> RecvRequest<'_, T> {
+        RecvRequest {
+            comm: self,
+            src: src.into(),
+            tag: tag.into(),
+            _elem: std::marker::PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+    use crate::ANY_SOURCE;
+
+    #[test]
+    fn isend_irecv_exchange_completes() {
+        let out = World::run(2, |comm| {
+            // Both ranks isend first, then irecv — the pattern that
+            // deadlocks with unbuffered blocking sends.
+            let peer = 1 - comm.rank();
+            let sreq = comm.isend(&[comm.rank() as i64 * 3], peer, 1).unwrap();
+            let rreq = comm.irecv::<i64>(peer, 1);
+            let (data, st) = rreq.wait().unwrap();
+            let _ = sreq.wait();
+            assert_eq!(st.source, peer);
+            data[0]
+        });
+        assert_eq!(out, vec![3, 0]);
+    }
+
+    #[test]
+    fn send_request_is_complete_immediately() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(&[1u8, 2], 1, 0).unwrap();
+                assert!(req.test());
+                let st = req.wait();
+                assert_eq!(st.count, 2);
+            } else {
+                let _ = comm.recv::<u8>(0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_request_test_polls_without_consuming() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_one(9i32, 1, 2).unwrap();
+            } else {
+                let req = comm.irecv::<i32>(ANY_SOURCE, 2);
+                // Poll until it arrives.
+                while !req.test() {
+                    std::thread::yield_now();
+                }
+                // Still there: test() didn't consume.
+                let (v, _) = req.wait().unwrap();
+                assert_eq!(v, vec![9]);
+            }
+        });
+    }
+
+    #[test]
+    fn overlapping_computation_with_communication() {
+        // The teaching use of nonblocking ops: post the receive, compute,
+        // then wait.
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                comm.send_one(5i64, 1, 0).unwrap();
+                0
+            } else {
+                let req = comm.irecv::<i64>(0, 0);
+                let local: i64 = (0..1000).sum(); // overlapped "work"
+                let (v, _) = req.wait().unwrap();
+                v[0] + local / local // 5 + 1
+            }
+        });
+        assert_eq!(out[1], 6);
+    }
+}

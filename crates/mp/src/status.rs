@@ -1,0 +1,96 @@
+//! Receive selectors (`MPI_ANY_SOURCE`, `MPI_ANY_TAG`) and `MPI_Status`.
+
+/// Which senders a receive will match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceSel {
+    /// Match only this rank.
+    Rank(usize),
+    /// Match any sender — `MPI_ANY_SOURCE`.
+    Any,
+}
+
+/// `MPI_ANY_SOURCE`.
+pub const ANY_SOURCE: SourceSel = SourceSel::Any;
+
+impl From<usize> for SourceSel {
+    fn from(rank: usize) -> Self {
+        SourceSel::Rank(rank)
+    }
+}
+
+impl SourceSel {
+    /// Does an envelope from `src` match?
+    pub fn matches(self, src: usize) -> bool {
+        match self {
+            SourceSel::Rank(r) => r == src,
+            SourceSel::Any => true,
+        }
+    }
+}
+
+/// Which tags a receive will match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match only this tag.
+    Tag(i32),
+    /// Match any tag — `MPI_ANY_TAG`. Only matches user (non-negative)
+    /// tags, so collective traffic is never stolen.
+    Any,
+}
+
+/// `MPI_ANY_TAG`.
+pub const ANY_TAG: TagSel = TagSel::Any;
+
+impl From<i32> for TagSel {
+    fn from(tag: i32) -> Self {
+        TagSel::Tag(tag)
+    }
+}
+
+impl TagSel {
+    /// Does an envelope with `tag` match?
+    pub fn matches(self, tag: i32) -> bool {
+        match self {
+            TagSel::Tag(t) => t == tag,
+            TagSel::Any => tag >= 0,
+        }
+    }
+}
+
+/// Delivery metadata returned by a receive — `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// The actual sender (useful after `ANY_SOURCE`).
+    pub source: usize,
+    /// The actual tag (useful after `ANY_TAG`).
+    pub tag: i32,
+    /// Number of elements received — `MPI_Get_count`.
+    pub count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_matching() {
+        assert!(SourceSel::Rank(2).matches(2));
+        assert!(!SourceSel::Rank(2).matches(3));
+        assert!(ANY_SOURCE.matches(0));
+        assert!(ANY_SOURCE.matches(99));
+        assert_eq!(SourceSel::from(4), SourceSel::Rank(4));
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(TagSel::Tag(7).matches(7));
+        assert!(!TagSel::Tag(7).matches(8));
+        assert!(ANY_TAG.matches(0));
+        assert!(ANY_TAG.matches(1000));
+        // ANY_TAG never matches reserved (negative) collective tags.
+        assert!(!ANY_TAG.matches(-5));
+        // But an explicit negative tag can match (runtime internal use).
+        assert!(TagSel::Tag(-5).matches(-5));
+        assert_eq!(TagSel::from(3), TagSel::Tag(3));
+    }
+}

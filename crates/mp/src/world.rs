@@ -1,0 +1,410 @@
+//! Worlds: spawning ranks and wiring their mailboxes together —
+//! `MPI_Init` / `MPI_Finalize` and `mpirun -np N`.
+//!
+//! [`World::run(np, f)`](World::run) plays the role of
+//! `mpirun -np <np> ./program`: it launches `np` rank threads, hands each an
+//! isolated [`Comm`], runs `f` in every rank (single program, multiple
+//! data), and joins them all, returning each rank's result in rank order.
+//!
+//! Ranks get simulated hostnames. With the default one rank per node, rank
+//! `i` reports `node-0(i+1)` — matching the paper's Figure 6, where four
+//! processes report `node-01 … node-04`. [`WorldBuilder::ranks_per_node`]
+//! models fatter nodes (several ranks sharing a hostname), which the
+//! heterogeneous patternlets use.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use patternlets_core::{Error, Result};
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::comm::Comm;
+use crate::mailbox::Mailbox;
+use crate::status::{SourceSel, TagSel};
+
+/// Shared routing fabric for one world.
+pub(crate) struct Transport {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) finished: Vec<AtomicBool>,
+    pub(crate) names: Vec<String>,
+    pub(crate) send_seqs: Vec<AtomicU64>,
+    /// What each world rank is currently blocked receiving (None = not
+    /// blocked). Basis of the waits-for deadlock detector.
+    pub(crate) waits: Vec<PlMutex<Option<WaitRecord>>>,
+    /// Bumped on every publish/clear of a wait record; used to confirm a
+    /// deadlock verdict against a quiescent snapshot.
+    pub(crate) wait_epochs: Vec<AtomicU64>,
+    /// When tracing is on, every delivered message is recorded here.
+    pub(crate) trace: Option<PlMutex<Vec<MsgEvent>>>,
+    /// Bumped on every message delivery. A deadlock verdict is only valid
+    /// if no delivery happened while it was being computed — otherwise a
+    /// just-delivered message could wake a rank the fixpoint still counts
+    /// as stuck.
+    pub(crate) progress: AtomicU64,
+}
+
+/// One observed message, for traffic tracing (teaching: count the
+/// messages each collective algorithm really sends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgEvent {
+    /// Sending world rank.
+    pub from: usize,
+    /// Receiving world rank.
+    pub to: usize,
+    /// Communicator the message travelled on.
+    pub comm_id: u64,
+    /// Message tag (negative = runtime-internal).
+    pub tag: i32,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl MsgEvent {
+    /// Was this a user message (non-negative tag) rather than runtime
+    /// (collective/ack) traffic?
+    pub fn is_user(&self) -> bool {
+        self.tag >= 0
+    }
+}
+
+/// A blocked receive, as seen by the deadlock detector.
+#[derive(Clone)]
+pub(crate) struct WaitRecord {
+    /// Communicator the receive is posted on.
+    pub comm_id: u64,
+    /// The receive's source selector (communicator-local numbering).
+    pub src: SourceSel,
+    /// The receive's tag selector.
+    pub tag: TagSel,
+    /// World ranks whose future sends could satisfy this receive.
+    pub world_sources: Vec<usize>,
+}
+
+impl Transport {
+    fn new(np: usize, ranks_per_node: usize, traced: bool) -> Self {
+        Transport {
+            trace: traced.then(|| PlMutex::new(Vec::new())),
+            progress: AtomicU64::new(0),
+            mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
+            finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            names: (0..np)
+                .map(|r| format!("node-{:02}", r / ranks_per_node + 1))
+                .collect(),
+            send_seqs: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            waits: (0..np).map(|_| PlMutex::new(None)).collect(),
+            wait_epochs: (0..np).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record a delivery in the traffic trace, if tracing is on.
+    pub(crate) fn record_msg(&self, event: MsgEvent) {
+        if let Some(trace) = &self.trace {
+            trace.lock().push(event);
+        }
+    }
+
+    /// Record that `world_rank` is blocked on `record`.
+    pub(crate) fn publish_wait(&self, world_rank: usize, record: WaitRecord) {
+        *self.waits[world_rank].lock() = Some(record);
+        self.wait_epochs[world_rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record that `world_rank` is no longer blocked.
+    pub(crate) fn clear_wait(&self, world_rank: usize) {
+        *self.waits[world_rank].lock() = None;
+        self.wait_epochs[world_rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Waits-for deadlock detection: is `me` part of a set of ranks none
+    /// of which can ever make progress?
+    ///
+    /// A rank is *stuck* if it has finished, or if it is blocked in a
+    /// receive that (a) has no matching envelope queued and (b) can only
+    /// be satisfied by stuck ranks. The fixpoint starts from "every
+    /// finished or blocked-with-empty-queue rank is stuck" and repeatedly
+    /// un-sticks ranks with a non-stuck potential sender. If `me` remains
+    /// stuck, no future delivery can wake it.
+    ///
+    /// Concurrency: the verdict is only trusted when every rank's wait
+    /// epoch is identical before and after the computation — i.e. nobody
+    /// published, woke, or cleared a wait while we looked. Otherwise we
+    /// report "no deadlock" and let the caller retry on its next timeout.
+    pub(crate) fn deadlocked(&self, me: usize) -> Option<String> {
+        let np = self.mailboxes.len();
+        let progress_before = self.progress.load(Ordering::SeqCst);
+        let epochs_before: Vec<u64> =
+            self.wait_epochs.iter().map(|e| e.load(Ordering::SeqCst)).collect();
+
+        // Snapshot the wait records.
+        let records: Vec<Option<WaitRecord>> =
+            self.waits.iter().map(|w| w.lock().clone()).collect();
+
+        // Initial stuck set: finished, or blocked with no queued match.
+        // The caller holds its OWN mailbox lock, so other mailboxes are
+        // only try-probed: an unprobeable mailbox means its owner is
+        // active right now, so we abort and retry on the next timeout
+        // (this also rules out lock-order cycles between two detectors).
+        let mut stuck: Vec<bool> = Vec::with_capacity(np);
+        for r in 0..np {
+            let s = if !self.rank_alive(r) {
+                true
+            } else if r == me {
+                // The caller just scanned its queue and found no match.
+                records[r].is_some()
+            } else {
+                match &records[r] {
+                    None => false, // running
+                    Some(rec) => {
+                        match self.mailboxes[r].try_probe(rec.comm_id, rec.src, rec.tag) {
+                            Some(has_match) => !has_match,
+                            None => return None, // busy: verdict unavailable
+                        }
+                    }
+                }
+            };
+            stuck.push(s);
+        }
+
+        // Un-stick any blocked rank with a live, non-stuck potential
+        // sender (finished ranks stay stuck: they will never send again).
+        loop {
+            let mut changed = false;
+            for r in 0..np {
+                if !stuck[r] || !self.rank_alive(r) {
+                    continue;
+                }
+                if let Some(rec) = &records[r] {
+                    if rec.world_sources.iter().any(|&s| !stuck[s]) {
+                        stuck[r] = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        if !stuck[me] {
+            return None;
+        }
+        // Confirm against a quiescent snapshot: no wait was posted,
+        // matched, or cleared — and no message was delivered — while we
+        // were looking.
+        let epochs_after: Vec<u64> =
+            self.wait_epochs.iter().map(|e| e.load(Ordering::SeqCst)).collect();
+        if epochs_before != epochs_after
+            || self.progress.load(Ordering::SeqCst) != progress_before
+        {
+            return None;
+        }
+        // Render the stuck set for the diagnostic.
+        let mut graph = String::new();
+        for r in 0..np {
+            if !stuck[r] {
+                continue;
+            }
+            if !self.rank_alive(r) {
+                graph.push_str(&format!("[world {r}: finished] "));
+            } else if let Some(rec) = &records[r] {
+                graph.push_str(&format!(
+                    "[world {r}: blocked on {:?} from world {:?} (comm {:#x}, tag {:?})] ",
+                    rec.src, rec.world_sources, rec.comm_id, rec.tag
+                ));
+            }
+        }
+        Some(graph.trim_end().to_string())
+    }
+
+    /// Is rank `r` still running?
+    pub(crate) fn rank_alive(&self, r: usize) -> bool {
+        !self.finished[r].load(Ordering::SeqCst)
+    }
+}
+
+/// Configures and launches a world of ranks.
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    np: usize,
+    ranks_per_node: usize,
+    traced: bool,
+}
+
+impl WorldBuilder {
+    /// A world of `np` ranks, one rank per simulated node.
+    pub fn new(np: usize) -> Self {
+        WorldBuilder { np, ranks_per_node: 1, traced: false }
+    }
+
+    /// Record every delivered message; retrieve the log with
+    /// [`WorldBuilder::run_traced`].
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Like [`WorldBuilder::run`], returning `(results, message_log)`.
+    /// The log is in delivery order and includes runtime (collective)
+    /// traffic, distinguishable via [`MsgEvent::is_user`].
+    pub fn run_traced<R, F>(&self, f: F) -> Result<(Vec<R>, Vec<MsgEvent>)>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let builder = WorldBuilder { traced: true, ..self.clone() };
+        let (results, transport) = builder.run_inner(f)?;
+        let trace = transport
+            .trace
+            .as_ref()
+            .map(|t| t.lock().clone())
+            .expect("tracing was enabled");
+        Ok((results, trace))
+    }
+
+    /// Place `k` consecutive ranks on each simulated node (they share a
+    /// hostname), modelling multicore cluster nodes.
+    pub fn ranks_per_node(mut self, k: usize) -> Self {
+        assert!(k > 0, "ranks_per_node must be positive");
+        self.ranks_per_node = k;
+        self
+    }
+
+    /// Launch the world: run `f` in every rank, return results in rank
+    /// order. Like `mpirun`, all ranks execute the same program.
+    pub fn run<R, F>(&self, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        self.run_inner(f).map(|(results, _)| results)
+    }
+
+    fn run_inner<R, F>(&self, f: F) -> Result<(Vec<R>, Arc<Transport>)>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        if self.np == 0 {
+            return Err(Error::InvalidConfig("world needs at least one rank".into()));
+        }
+        let transport = Arc::new(Transport::new(self.np, self.ranks_per_node, self.traced));
+        let results: Vec<Mutex<Option<R>>> = (0..self.np).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for rank in 0..self.np {
+                let transport = Arc::clone(&transport);
+                let f = &f;
+                let slot = &results[rank];
+                scope.spawn(move || {
+                    // Mark the rank finished even if `f` panics, so peers
+                    // blocked in recv() report deadlock instead of hanging
+                    // while the panic propagates.
+                    struct FinishGuard<'a>(&'a AtomicBool);
+                    impl Drop for FinishGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    let _guard = FinishGuard(&transport.finished[rank]);
+                    let comm = Comm::new(rank, Arc::clone(&transport));
+                    let r = f(comm);
+                    *slot.lock() = Some(r);
+                });
+            }
+        });
+
+        Ok((
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("every rank produced a result"))
+                .collect(),
+            transport,
+        ))
+    }
+}
+
+/// Entry point mirroring `mpirun`.
+pub struct World;
+
+impl World {
+    /// `mpirun -np <np>`: run `f` in `np` ranks, panicking on configuration
+    /// errors. Returns per-rank results in rank order.
+    pub fn run<R, F>(np: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        WorldBuilder::new(np).run(f).expect("world configuration is valid")
+    }
+
+    /// A configurable builder.
+    pub fn builder(np: usize) -> WorldBuilder {
+        WorldBuilder::new(np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids_and_size() {
+        let out = World::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| comm.rank());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn zero_rank_world_is_invalid() {
+        let err = WorldBuilder::new(0).run(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn default_hostnames_match_paper_figure_6() {
+        // One rank per node: process i runs on node-0(i+1).
+        let out = World::run(4, |comm| comm.processor_name().to_string());
+        assert_eq!(out, vec!["node-01", "node-02", "node-03", "node-04"]);
+    }
+
+    #[test]
+    fn ranks_per_node_shares_hostnames() {
+        let out = World::builder(6)
+            .ranks_per_node(2)
+            .run(|comm| comm.processor_name().to_string())
+            .unwrap();
+        assert_eq!(
+            out,
+            vec!["node-01", "node-01", "node-02", "node-02", "node-03", "node-03"]
+        );
+    }
+
+    #[test]
+    fn results_are_in_rank_order_regardless_of_finish_order() {
+        let out = World::run(5, |comm| {
+            // Later ranks finish first.
+            std::thread::sleep(std::time::Duration::from_millis(
+                (5 - comm.rank() as u64) * 2,
+            ));
+            comm.rank() * 100
+        });
+        assert_eq!(out, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        World::run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

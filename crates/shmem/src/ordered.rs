@@ -1,0 +1,158 @@
+//! `#pragma omp ordered` and `single copyprivate` — the remaining OpenMP
+//! synchronization constructs the advanced patternlets exercise.
+//!
+//! * [`TeamCtx::for_each_ordered`] — a parallel loop whose body can run a
+//!   block *in iteration order* even though iterations execute
+//!   concurrently under any schedule: OpenMP's `ordered` clause + region.
+//!   The canonical fix for ordered output from a parallel loop.
+//! * [`TeamCtx::single_broadcast`] — `single` with OpenMP's `copyprivate`
+//!   clause: one thread computes a value, every thread returns it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sched::Schedule;
+use crate::team::TeamCtx;
+
+/// The sequencing ticket shared by one ordered loop.
+struct OrderedTicket {
+    next: AtomicUsize,
+}
+
+/// Handle passed to the body of an ordered loop; grants entry to the
+/// ordered region.
+pub struct OrderedScope {
+    ticket: Arc<OrderedTicket>,
+}
+
+impl OrderedScope {
+    /// Run `f` when it is iteration `i`'s turn: blocks until every
+    /// iteration `< i` has completed its own ordered block. Each iteration
+    /// must enter exactly once, like OpenMP's `ordered` region.
+    pub fn ordered<R>(&self, i: usize, f: impl FnOnce() -> R) -> R {
+        let mut spins = 0u32;
+        while self.ticket.next.load(Ordering::Acquire) != i {
+            if spins < 32 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            spins = spins.saturating_add(1);
+        }
+        let r = f();
+        self.ticket.next.store(i + 1, Ordering::Release);
+        r
+    }
+}
+
+struct BroadcastSlot<T> {
+    value: Mutex<Option<T>>,
+}
+
+impl TeamCtx<'_> {
+    /// `#pragma omp for ordered schedule(...)`: like
+    /// [`TeamCtx::for_each`], but the body receives an [`OrderedScope`]
+    /// whose [`OrderedScope::ordered`] block executes in iteration order.
+    pub fn for_each_ordered(
+        &self,
+        len: usize,
+        schedule: Schedule,
+        mut f: impl FnMut(usize, &OrderedScope),
+    ) {
+        let ticket = self.shared_construct(|| OrderedTicket { next: AtomicUsize::new(0) });
+        let scope = OrderedScope { ticket };
+        self.for_each(len, schedule, |i| f(i, &scope));
+    }
+
+    /// `#pragma omp single copyprivate(v)`: the first-arriving thread runs
+    /// `f`; its result is handed to every thread. Implicit barrier.
+    pub fn single_broadcast<T>(&self, f: impl FnOnce() -> T) -> T
+    where
+        T: Clone + Send + 'static,
+    {
+        let slot = self.shared_construct(|| BroadcastSlot::<T> { value: Mutex::new(None) });
+        if let Some(v) = self.single_nowait(f) {
+            *slot.value.lock() = Some(v);
+        }
+        self.barrier();
+        let out = slot.value.lock().clone();
+        self.barrier(); // nobody reuses the slot before all have read
+        out.expect("the single thread published a value")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+
+    #[test]
+    fn ordered_serializes_in_iteration_order() {
+        for schedule in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::Dynamic(1)] {
+            let log = Mutex::new(Vec::new());
+            Team::new(4).parallel(|ctx| {
+                ctx.for_each_ordered(16, schedule, |i, ord| {
+                    ord.ordered(i, || log.lock().push(i));
+                });
+            });
+            assert_eq!(
+                std::mem::take(&mut *log.lock()),
+                (0..16).collect::<Vec<_>>(),
+                "{schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_ordered_loops_in_one_region() {
+        let log = Mutex::new(Vec::new());
+        Team::new(3).parallel(|ctx| {
+            ctx.for_each_ordered(5, Schedule::Dynamic(1), |i, ord| {
+                ord.ordered(i, || log.lock().push(i));
+            });
+            ctx.for_each_ordered(5, Schedule::StaticCyclic, |i, ord| {
+                ord.ordered(i, || log.lock().push(10 + i));
+            });
+        });
+        assert_eq!(
+            log.into_inner(),
+            vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14]
+        );
+    }
+
+    #[test]
+    fn ordered_single_thread_is_trivial() {
+        let log = Mutex::new(Vec::new());
+        Team::new(1).parallel(|ctx| {
+            ctx.for_each_ordered(5, Schedule::StaticBlock, |i, ord| {
+                ord.ordered(i, || log.lock().push(i));
+            });
+        });
+        assert_eq!(log.into_inner(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_broadcast_hands_one_value_to_all() {
+        let computed = AtomicUsize::new(0);
+        let out = Team::new(6).parallel_map(|ctx| {
+            ctx.single_broadcast(|| {
+                computed.fetch_add(1, Ordering::Relaxed);
+                String::from("expensive-config")
+            })
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "computed once");
+        assert!(out.iter().all(|s| s == "expensive-config"));
+    }
+
+    #[test]
+    fn single_broadcast_repeats_cleanly() {
+        let out = Team::new(3).parallel_map(|ctx| {
+            let a = ctx.single_broadcast(|| 1u64);
+            let b = ctx.single_broadcast(|| 2u64);
+            (a, b)
+        });
+        assert!(out.iter().all(|&x| x == (1, 2)));
+    }
+}

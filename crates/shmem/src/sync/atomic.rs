@@ -1,0 +1,136 @@
+//! `#pragma omp atomic` analogues.
+//!
+//! OpenMP's `atomic` directive maps a single read-modify-write to hardware
+//! atomics when the platform supports it — the paper (§III.E) contrasts its
+//! cost with a full `critical` section. Rust's `std::sync::atomic` covers
+//! the integer cases; the paper's bank-account patternlet updates a
+//! `double`, so we provide [`AtomicF64`], a compare-and-swap loop over the
+//! bit representation (exactly how OpenMP runtimes implement atomic
+//! floating-point update on hardware without native FP atomics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` with atomic load/store/fetch-update, via CAS on the bits.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// A new atomic holding `value`.
+    pub fn new(value: f64) -> Self {
+        AtomicF64 { bits: AtomicU64::new(value.to_bits()) }
+    }
+
+    /// Atomic read.
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.bits.load(order))
+    }
+
+    /// Atomic write.
+    pub fn store(&self, value: f64, order: Ordering) {
+        self.bits.store(value.to_bits(), order);
+    }
+
+    /// Atomically apply `f` to the current value, retrying on contention.
+    /// Returns the previous value.
+    pub fn fetch_update_with(&self, order: Ordering, f: impl Fn(f64) -> f64) -> f64 {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(current)).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(current, next, order, Ordering::Relaxed)
+            {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// `#pragma omp atomic` on `balance += x`: atomic add, returning the
+    /// previous value.
+    pub fn fetch_add(&self, x: f64, order: Ordering) -> f64 {
+        self.fetch_update_with(order, |v| v + x)
+    }
+
+    /// Atomic multiply (OpenMP `atomic` supports `*=`).
+    pub fn fetch_mul(&self, x: f64, order: Ordering) -> f64 {
+        self.fetch_update_with(order, |v| v * x)
+    }
+}
+
+/// Extension trait so generic pattern code can atomically accumulate into
+/// either integers or floats.
+pub trait FloatOps {
+    /// Atomically add `x`.
+    fn atomic_add(&self, x: f64);
+    /// Current value.
+    fn value(&self) -> f64;
+}
+
+impl FloatOps for AtomicF64 {
+    fn atomic_add(&self, x: f64) {
+        self.fetch_add(x, Ordering::Relaxed);
+    }
+    fn value(&self) -> f64 {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(Ordering::SeqCst), 1.5);
+        a.store(-2.25, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), -2.25);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF64::new(10.0);
+        assert_eq!(a.fetch_add(2.5, Ordering::SeqCst), 10.0);
+        assert_eq!(a.load(Ordering::SeqCst), 12.5);
+    }
+
+    #[test]
+    fn fetch_mul_works() {
+        let a = AtomicF64::new(3.0);
+        assert_eq!(a.fetch_mul(4.0, Ordering::SeqCst), 3.0);
+        assert_eq!(a.load(Ordering::SeqCst), 12.0);
+    }
+
+    #[test]
+    fn concurrent_deposits_never_lose_money() {
+        // The paper's Fig. 29/30 scenario: REPS $1 deposits across a team,
+        // protected by `atomic`. Balance must be exact.
+        let balance = AtomicF64::new(0.0);
+        let reps = 10_000;
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let balance = &balance;
+                scope.spawn(move || {
+                    for _ in 0..reps {
+                        balance.fetch_add(1.0, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(balance.load(Ordering::SeqCst), (reps * threads) as f64);
+    }
+
+    #[test]
+    fn special_values_survive_bit_transport() {
+        let a = AtomicF64::new(f64::NEG_INFINITY);
+        assert_eq!(a.load(Ordering::SeqCst), f64::NEG_INFINITY);
+        a.store(f64::NAN, Ordering::SeqCst);
+        assert!(a.load(Ordering::SeqCst).is_nan());
+        a.store(-0.0, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst).to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,207 @@
+//! From-scratch locks for the Pthreads-style patternlets and the
+//! atomic-vs-critical ablation.
+//!
+//! [`TtasLock`] is the textbook test-and-test-and-set spinlock ("Rust
+//! Atomics and Locks", ch. 4): spin reading until the lock looks free, then
+//! attempt the atomic swap. [`Semaphore`] is a counting semaphore built on a
+//! mutex + condvar, the primitive the POSIX-threads patternlets use for
+//! signalling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A test-and-test-and-set spinlock guarding a value.
+///
+/// Acquire uses `Acquire` ordering and release uses `Release`, so the
+/// critical section's effects are visible to the next holder.
+pub struct TtasLock<T> {
+    locked: AtomicBool,
+    value: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the lock protocol guarantees exclusive access to `value` between
+// a successful acquire and the matching release.
+unsafe impl<T: Send> Sync for TtasLock<T> {}
+unsafe impl<T: Send> Send for TtasLock<T> {}
+
+impl<T> TtasLock<T> {
+    /// A new unlocked lock around `value`.
+    pub fn new(value: T) -> Self {
+        TtasLock { locked: AtomicBool::new(false), value: std::cell::UnsafeCell::new(value) }
+    }
+
+    fn acquire(&self) {
+        loop {
+            // Test-and-test-and-set: spin on a plain load first so the
+            // cache line stays shared while the lock is held.
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                spins = spins.saturating_add(1);
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Run `f` with exclusive access to the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.acquire();
+        // SAFETY: we hold the lock.
+        let r = f(unsafe { &mut *self.value.get() });
+        self.release();
+        r
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// A counting semaphore (blocking), as used by classic Pthreads teaching
+/// examples for producer/consumer signalling.
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `initial` permits.
+    pub fn new(initial: usize) -> Self {
+        Semaphore { permits: Mutex::new(initial), cv: Condvar::new() }
+    }
+
+    /// Block until a permit is available, then take it (`sem_wait`).
+    pub fn acquire(&self) {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cv.wait(&mut p);
+        }
+        *p -= 1;
+    }
+
+    /// Release one permit (`sem_post`).
+    pub fn release(&self) {
+        let mut p = self.permits.lock();
+        *p += 1;
+        self.cv.notify_one();
+    }
+
+    /// Try to take a permit without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock();
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current permit count (racy snapshot; for tests/diagnostics).
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttas_provides_mutual_exclusion() {
+        let lock = TtasLock::new(0i64);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = &lock;
+                scope.spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.with(|v| *v += 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.into_inner(), 20_000);
+    }
+
+    #[test]
+    fn ttas_with_returns_closure_value() {
+        let lock = TtasLock::new(String::from("abc"));
+        let len = lock.with(|s| {
+            s.push('d');
+            s.len()
+        });
+        assert_eq!(len, 4);
+        assert_eq!(lock.into_inner(), "abcd");
+    }
+
+    #[test]
+    fn semaphore_counts_permits() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn semaphore_blocks_until_released() {
+        let s = Semaphore::new(0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                s.acquire();
+                done.store(true, Ordering::SeqCst);
+            });
+            // Give the waiter a chance to block, then release.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert!(!done.load(Ordering::SeqCst));
+            s.release();
+        });
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn semaphore_orders_producer_consumer() {
+        // Producer fills slots, consumer drains; the empty/full semaphores
+        // keep indices in range — the classic bounded-buffer exercise.
+        const N: usize = 100;
+        const CAP: usize = 4;
+        let buffer = TtasLock::new(std::collections::VecDeque::<usize>::new());
+        let empty = Semaphore::new(CAP);
+        let full = Semaphore::new(0);
+        let consumed = TtasLock::new(Vec::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..N {
+                    empty.acquire();
+                    buffer.with(|b| b.push_back(i));
+                    full.release();
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..N {
+                    full.acquire();
+                    let v = buffer.with(|b| b.pop_front().expect("full semaphore lied"));
+                    consumed.with(|c| c.push(v));
+                    empty.release();
+                }
+            });
+        });
+        let got = consumed.into_inner();
+        assert_eq!(got, (0..N).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,20 @@
+//! Mutual exclusion and synchronization primitives — the *Mutual Exclusion*
+//! pattern (paper §III.E, Figures 29–30) and the building blocks the
+//! Pthreads patternlets need.
+//!
+//! * [`atomic`] — `#pragma omp atomic` analogues, including a CAS-loop
+//!   [`atomic::AtomicF64`] because the paper's bank-balance patternlet
+//!   atomically adds to a `double`.
+//! * [`lock`] — a from-scratch test-and-test-and-set spinlock and a
+//!   counting semaphore (condvar-based), used by the thread patternlets and
+//!   compared against `atomic` in the Fig. 30 bench.
+//! * [`racy`] — a deliberately unsynchronized cell for *demonstrating* the
+//!   lost-update race of the paper's Fig. 22, without language-level UB.
+
+pub mod atomic;
+pub mod lock;
+pub mod racy;
+
+pub use atomic::{AtomicF64, FloatOps};
+pub use lock::{Semaphore, TtasLock};
+pub use racy::{demonstrate_lost_update, RacyCell};

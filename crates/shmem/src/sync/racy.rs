@@ -1,0 +1,157 @@
+//! A teaching device: the lost-update data race of the paper's Figure 22.
+//!
+//! The reduction patternlet's unprotected `sum += a[i]` loses updates when
+//! several threads interleave their read-modify-write sequences. Rust will
+//! not compile that program as written — which is itself a lesson — so to
+//! *show* the race we model it faithfully but without undefined behaviour:
+//! [`RacyCell`] stores its value in an atomic but performs updates as a
+//! separate relaxed load and relaxed store. The race is thus at the
+//! algorithmic level (exactly the one OpenMP students see) while each
+//! individual memory access stays defined.
+//!
+//! [`demonstrate_lost_update`] goes further and *forces* the interleaving
+//! with barriers, so tests can assert a lost update deterministically.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Barrier as StdBarrier;
+
+/// An `i64` cell whose compound updates are deliberately non-atomic.
+#[derive(Debug, Default)]
+pub struct RacyCell {
+    value: AtomicI64,
+}
+
+impl RacyCell {
+    /// A cell holding `v`.
+    pub fn new(v: i64) -> Self {
+        RacyCell { value: AtomicI64::new(v) }
+    }
+
+    /// Racy read.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Racy write.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The unprotected `sum += x` of the paper's Fig. 20 `parallelSum`
+    /// *without* the reduction clause: read, then write. Interleavings
+    /// between the two lose updates.
+    pub fn add_racy(&self, x: i64) {
+        let v = self.get();
+        self.set(v + x);
+    }
+
+    /// Like [`RacyCell::add_racy`] but with a scheduler yield between the
+    /// read and the write, widening the race window so the loss shows up
+    /// quickly even on a single core.
+    pub fn add_racy_wide(&self, x: i64) {
+        let v = self.get();
+        std::thread::yield_now();
+        self.set(v + x);
+    }
+
+    /// The corrected, atomic `+=` (what `#pragma omp atomic` or the
+    /// reduction clause provide).
+    pub fn add_atomic(&self, x: i64) {
+        self.value.fetch_add(x, Ordering::Relaxed);
+    }
+}
+
+/// Force the classic lost-update interleaving with two threads:
+///
+/// ```text
+/// T1: read v          |
+///          | T2: read v
+/// T1: write v+1       |
+///          | T2: write v+1   ← T1's deposit vanishes
+/// ```
+///
+/// Returns `(expected, actual)`; `actual` is always `expected - 1` because
+/// the loss is orchestrated, not probabilistic.
+pub fn demonstrate_lost_update() -> (i64, i64) {
+    let cell = RacyCell::new(0);
+    let read_done = StdBarrier::new(2);
+    let write_t1_done = StdBarrier::new(2);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let v = cell.get(); // both read 0
+            read_done.wait();
+            cell.set(v + 1); // T1 writes 1
+            write_t1_done.wait();
+        });
+        scope.spawn(|| {
+            let v = cell.get(); // reads 0 (before T1's write)
+            read_done.wait();
+            write_t1_done.wait();
+            cell.set(v + 1); // overwrites with 1: T1's update lost
+        });
+    });
+    (2, cell.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orchestrated_race_loses_exactly_one_update() {
+        let (expected, actual) = demonstrate_lost_update();
+        assert_eq!(expected, 2);
+        assert_eq!(actual, 1, "the orchestrated interleaving must lose one update");
+    }
+
+    #[test]
+    fn racy_sum_never_exceeds_true_sum() {
+        // Lost updates can only make the total smaller (monotone adds).
+        let cell = RacyCell::new(0);
+        let threads = 4;
+        let reps = 20_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cell = &cell;
+                scope.spawn(move || {
+                    for i in 0..reps {
+                        if i % 64 == 0 {
+                            cell.add_racy_wide(1);
+                        } else {
+                            cell.add_racy(1);
+                        }
+                    }
+                });
+            }
+        });
+        let total = cell.get();
+        assert!(total <= threads * reps, "racy sum {total} exceeds true sum");
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn atomic_add_is_exact() {
+        let cell = RacyCell::new(0);
+        let threads = 4;
+        let reps = 20_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cell = &cell;
+                scope.spawn(move || {
+                    for _ in 0..reps {
+                        cell.add_atomic(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), threads * reps);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let c = RacyCell::new(5);
+        assert_eq!(c.get(), 5);
+        c.set(-3);
+        assert_eq!(c.get(), -3);
+    }
+}

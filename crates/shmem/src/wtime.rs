@@ -1,0 +1,38 @@
+//! `omp_get_wtime()` — wall-clock seconds since an arbitrary fixed origin.
+//!
+//! The paper's Fig. 29 patternlet measures elapsed time as
+//! `omp_get_wtime() - startTime`. We anchor the origin at first use, so
+//! differences between two [`wtime`] calls are elapsed wall-clock seconds.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Seconds since the (process-local, monotonic) origin. Only differences
+/// are meaningful, exactly like `omp_get_wtime`.
+pub fn wtime() -> f64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    origin.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wtime_is_monotone_nondecreasing() {
+        let a = wtime();
+        let b = wtime();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn wtime_measures_sleep() {
+        let t0 = wtime();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let dt = wtime() - t0;
+        assert!(dt >= 0.019, "measured {dt}");
+    }
+}

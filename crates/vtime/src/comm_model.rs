@@ -1,0 +1,148 @@
+//! An analytic communication-cost model (Hockney: `α + β·m` per message)
+//! for the collective algorithms implemented in `patternlets-mp` — the
+//! virtual-time counterpart of the `mp_collectives` bench, and the
+//! textbook account of *why* the tree algorithms win.
+
+/// Machine/communication parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel {
+    /// Per-message latency (startup) cost, in ticks.
+    pub alpha: f64,
+    /// Per-element transfer cost, in ticks.
+    pub beta: f64,
+    /// Per-element local reduction (combine) cost, in ticks.
+    pub gamma: f64,
+}
+
+impl CommModel {
+    /// A latency-dominated cluster (classic Beowulf over Ethernet).
+    pub fn latency_bound() -> Self {
+        CommModel { alpha: 1000.0, beta: 1.0, gamma: 0.1 }
+    }
+
+    /// A bandwidth-dominated interconnect.
+    pub fn bandwidth_bound() -> Self {
+        CommModel { alpha: 10.0, beta: 5.0, gamma: 0.1 }
+    }
+
+    /// Cost of one point-to-point message of `m` elements.
+    pub fn msg(&self, m: usize) -> f64 {
+        self.alpha + self.beta * m as f64
+    }
+
+    fn lg(p: usize) -> f64 {
+        (p as f64).log2().ceil().max(0.0)
+    }
+
+    /// Linear broadcast: the root sends `p − 1` sequential messages.
+    pub fn bcast_linear(&self, p: usize, m: usize) -> f64 {
+        (p.saturating_sub(1)) as f64 * self.msg(m)
+    }
+
+    /// Binomial-tree broadcast: `⌈lg p⌉` message rounds.
+    pub fn bcast_tree(&self, p: usize, m: usize) -> f64 {
+        Self::lg(p) * self.msg(m)
+    }
+
+    /// Linear reduce at the root: `p − 1` receives, each followed by a
+    /// combine of `m` elements.
+    pub fn reduce_linear(&self, p: usize, m: usize) -> f64 {
+        (p.saturating_sub(1)) as f64 * (self.msg(m) + self.gamma * m as f64)
+    }
+
+    /// Binomial-tree reduce: `⌈lg p⌉` rounds of message + combine.
+    pub fn reduce_tree(&self, p: usize, m: usize) -> f64 {
+        Self::lg(p) * (self.msg(m) + self.gamma * m as f64)
+    }
+
+    /// Allreduce as reduce-then-broadcast.
+    pub fn allreduce_reduce_bcast(&self, p: usize, m: usize) -> f64 {
+        self.reduce_tree(p, m) + self.bcast_tree(p, m)
+    }
+
+    /// Allreduce by recursive doubling: `⌈lg p⌉` rounds of simultaneous
+    /// exchange + combine (power-of-two p).
+    pub fn allreduce_recursive_doubling(&self, p: usize, m: usize) -> f64 {
+        Self::lg(p) * (self.msg(m) + self.gamma * m as f64)
+    }
+
+    /// Dissemination barrier: `⌈lg p⌉` rounds of empty messages.
+    pub fn barrier_dissemination(&self, p: usize) -> f64 {
+        Self::lg(p) * self.msg(0)
+    }
+
+    /// Linear (master-counts) barrier: gather then release.
+    pub fn barrier_linear(&self, p: usize) -> f64 {
+        2.0 * (p.saturating_sub(1)) as f64 * self.msg(0)
+    }
+
+    /// Linear gather of `m` elements per rank.
+    pub fn gather_linear(&self, p: usize, m: usize) -> f64 {
+        (p.saturating_sub(1)) as f64 * self.msg(m)
+    }
+}
+
+/// The smallest `p` at which the tree broadcast beats the linear one under
+/// this model (it is 4 whenever messages have any cost: at p = 2 they tie
+/// with one message each, at p = 3 both need 2 rounds/messages).
+pub fn bcast_crossover(model: &CommModel, m: usize) -> usize {
+    (2..=1024)
+        .find(|&p| model.bcast_tree(p, m) < model.bcast_linear(p, m))
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let m = CommModel::latency_bound();
+        assert_eq!(m.bcast_linear(1, 100), 0.0);
+        assert_eq!(m.bcast_tree(1, 100), 0.0);
+        assert_eq!(m.barrier_dissemination(1), 0.0);
+    }
+
+    #[test]
+    fn tree_beats_linear_beyond_the_crossover() {
+        for model in [CommModel::latency_bound(), CommModel::bandwidth_bound()] {
+            assert_eq!(bcast_crossover(&model, 64), 4);
+            for p in [4usize, 8, 64, 512] {
+                assert!(model.bcast_tree(p, 64) < model.bcast_linear(p, 64), "p={p}");
+                assert!(model.reduce_tree(p, 64) < model.reduce_linear(p, 64), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_linear_tie_at_two_ranks() {
+        let m = CommModel::latency_bound();
+        assert_eq!(m.bcast_tree(2, 10), m.bcast_linear(2, 10));
+    }
+
+    #[test]
+    fn recursive_doubling_halves_the_reduce_bcast_allreduce() {
+        let m = CommModel::latency_bound();
+        for p in [4usize, 16, 256] {
+            let rb = m.allreduce_reduce_bcast(p, 32);
+            let rd = m.allreduce_recursive_doubling(p, 32);
+            assert!((rb / rd - 2.0).abs() < 0.26, "p={p}: {rb} vs {rd}");
+        }
+    }
+
+    #[test]
+    fn dissemination_barrier_scales_logarithmically() {
+        let m = CommModel::latency_bound();
+        assert!(m.barrier_dissemination(64) < m.barrier_linear(64));
+        // Doubling p adds exactly one round.
+        let d = m.barrier_dissemination(64) - m.barrier_dissemination(32);
+        assert!((d - m.msg(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_grow_with_message_size() {
+        let m = CommModel::bandwidth_bound();
+        assert!(m.bcast_tree(8, 1000) > m.bcast_tree(8, 10));
+        assert!(m.gather_linear(8, 1000) > m.gather_linear(8, 10));
+    }
+}

@@ -1,0 +1,130 @@
+//! Task dependency graphs, acyclic by construction.
+//!
+//! A task may only depend on tasks created before it, so cycles cannot be
+//! expressed — the validity check is the type of the builder API, not a
+//! runtime graph traversal.
+
+/// Index of a task within its graph.
+pub type TaskIdx = usize;
+
+/// One node of a task graph.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Human-readable label (shows up in schedules).
+    pub label: String,
+    /// Execution cost in abstract ticks.
+    pub cost: u64,
+    /// Indices of tasks that must complete first (all `<` this task's
+    /// index).
+    pub deps: Vec<TaskIdx>,
+}
+
+/// A weighted task DAG.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task with the given cost and dependencies; returns its index.
+    ///
+    /// # Panics
+    /// If any dependency index is not an already-added task (this is what
+    /// keeps the graph acyclic).
+    pub fn add(&mut self, label: impl Into<String>, cost: u64, deps: &[TaskIdx]) -> TaskIdx {
+        let idx = self.tasks.len();
+        for &d in deps {
+            assert!(d < idx, "dependency {d} of task {idx} does not exist yet");
+        }
+        self.tasks.push(Task { label: label.into(), cost, deps: deps.to_vec() });
+        idx
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Borrow the tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total work: the sum of all task costs (`T₁` in work-span analysis —
+    /// the single-processor execution time).
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Span / critical path: the longest cost-weighted dependency chain
+    /// (`T∞` — the execution time with unlimited processors).
+    pub fn critical_path(&self) -> u64 {
+        let mut finish = vec![0u64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+            finish[i] = ready + t.cost;
+        }
+        finish.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_span_equal_to_work() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", 3, &[]);
+        let b = g.add("b", 4, &[a]);
+        g.add("c", 5, &[b]);
+        assert_eq!(g.total_work(), 12);
+        assert_eq!(g.critical_path(), 12);
+    }
+
+    #[test]
+    fn independent_tasks_have_span_of_max() {
+        let mut g = TaskGraph::new();
+        for c in [3, 9, 5] {
+            g.add("t", c, &[]);
+        }
+        assert_eq!(g.total_work(), 17);
+        assert_eq!(g.critical_path(), 9);
+    }
+
+    #[test]
+    fn diamond_span() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", 1, &[]);
+        let b = g.add("b", 10, &[a]);
+        let c = g.add("c", 2, &[a]);
+        g.add("d", 1, &[b, c]);
+        assert_eq!(g.critical_path(), 12); // a→b→d
+        assert_eq!(g.total_work(), 14);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.total_work(), 0);
+        assert_eq!(g.critical_path(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        g.add("a", 1, &[1]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The discrete-event scheduler: greedy list scheduling of a
+//! [`TaskGraph`] onto `p` virtual processors.
+//!
+//! Events are task completions, processed in virtual-time order from a
+//! priority queue. At every scheduling instant, ready tasks (all
+//! dependencies complete) are assigned to idle processors in task-index
+//! order — the classic work-conserving list scheduler, which is within a
+//! factor of 2 of optimal (Graham's bound) and is exactly how an OpenMP
+//! dynamic schedule or a work queue behaves in the limit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::dag::{TaskGraph, TaskIdx};
+
+/// One scheduled task instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Which task ran.
+    pub task: TaskIdx,
+    /// Which virtual processor ran it.
+    pub proc: usize,
+    /// Start tick.
+    pub start: u64,
+    /// End tick (`start + cost`).
+    pub end: u64,
+}
+
+/// The outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Virtual time at which the last task finished.
+    pub makespan: u64,
+    /// Busy ticks per processor (utilization = busy / makespan).
+    pub busy: Vec<u64>,
+    /// The full schedule, in completion order.
+    pub schedule: Vec<Placement>,
+}
+
+impl SimResult {
+    /// Mean processor utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let total_busy: u64 = self.busy.iter().sum();
+        total_busy as f64 / (self.makespan as f64 * self.busy.len() as f64)
+    }
+}
+
+/// Which ready task a free processor takes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// First-come (task-index) order — how a plain work queue behaves.
+    #[default]
+    Fifo,
+    /// Longest processing time first — the classic makespan heuristic;
+    /// needs cost foreknowledge, which real dynamic schedulers lack.
+    Lpt,
+}
+
+/// Simulate `graph` on `p` virtual processors with FIFO dispatch.
+/// Deterministic: ready tasks are dispatched in index order, idle
+/// processors are used in id order.
+pub fn simulate(graph: &TaskGraph, p: usize) -> SimResult {
+    simulate_with_policy(graph, p, Policy::Fifo)
+}
+
+/// Simulate with an explicit dispatch [`Policy`].
+pub fn simulate_with_policy(graph: &TaskGraph, p: usize, policy: Policy) -> SimResult {
+    assert!(p > 0, "need at least one virtual processor");
+    let n = graph.len();
+    let tasks = graph.tasks();
+
+    // Dependency bookkeeping.
+    let mut pending_deps: Vec<usize> = tasks.iter().map(|t| t.deps.len()).collect();
+    let mut dependents: Vec<Vec<TaskIdx>> = vec![Vec::new(); n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            dependents[d].push(i);
+        }
+    }
+
+    let mut ready: VecDeque<TaskIdx> =
+        (0..n).filter(|&i| pending_deps[i] == 0).collect();
+    let mut idle: VecDeque<usize> = (0..p).collect();
+    // Completion events: (end_time, task, proc).
+    let mut events: BinaryHeap<Reverse<(u64, TaskIdx, usize)>> = BinaryHeap::new();
+    let mut busy = vec![0u64; p];
+    let mut schedule = Vec::with_capacity(n);
+    let mut now = 0u64;
+    let mut remaining = n;
+
+    loop {
+        // Dispatch as many ready tasks as we have idle processors.
+        while !ready.is_empty() && !idle.is_empty() {
+            let t = match policy {
+                Policy::Fifo => ready.pop_front().expect("non-empty"),
+                Policy::Lpt => {
+                    let (pos, _) = ready
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(pos, &t)| (tasks[t].cost, std::cmp::Reverse(pos)))
+                        .expect("non-empty");
+                    ready.remove(pos).expect("position just found")
+                }
+            };
+            let proc = idle.pop_front().expect("non-empty");
+            let end = now + tasks[t].cost;
+            busy[proc] += tasks[t].cost;
+            events.push(Reverse((end, t, proc)));
+            let _ = t;
+            let _ = proc;
+        }
+        // Advance to the next completion.
+        let Some(Reverse((end, task, proc))) = events.pop() else {
+            break;
+        };
+        now = end;
+        schedule.push(Placement { task, proc, start: end - tasks[task].cost, end });
+        idle.push_back(proc);
+        remaining -= 1;
+        for &dep in &dependents[task] {
+            pending_deps[dep] -= 1;
+            if pending_deps[dep] == 0 {
+                ready.push_back(dep);
+            }
+        }
+        // Also drain any other completions at the same instant before
+        // dispatching, so same-time completions release together.
+        while let Some(&Reverse((e, _, _))) = events.peek() {
+            if e != now {
+                break;
+            }
+            let Reverse((end, task, proc)) = events.pop().expect("peeked");
+            schedule.push(Placement { task, proc, start: end - tasks[task].cost, end });
+            idle.push_back(proc);
+            remaining -= 1;
+            for &dep in &dependents[task] {
+                pending_deps[dep] -= 1;
+                if pending_deps[dep] == 0 {
+                    ready.push_back(dep);
+                }
+            }
+        }
+    }
+    assert_eq!(remaining, 0, "simulation finished with unexecuted tasks");
+    SimResult { makespan: now, busy, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain(n: usize, cost: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskIdx> = None;
+        for i in 0..n {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(format!("t{i}"), cost, &deps));
+        }
+        g
+    }
+
+    fn independent(costs: &[u64]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for (i, &c) in costs.iter().enumerate() {
+            g.add(format!("t{i}"), c, &[]);
+        }
+        g
+    }
+
+    #[test]
+    fn single_proc_makespan_is_total_work() {
+        let g = independent(&[3, 5, 2, 7]);
+        let r = simulate(&g, 1);
+        assert_eq!(r.makespan, 17);
+        assert_eq!(r.busy, vec![17]);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_cannot_be_sped_up() {
+        let g = chain(10, 2);
+        for p in [1, 2, 8] {
+            assert_eq!(simulate(&g, p).makespan, 20, "p={p}");
+        }
+    }
+
+    #[test]
+    fn perfectly_parallel_work_scales() {
+        let g = independent(&[4; 8]);
+        assert_eq!(simulate(&g, 1).makespan, 32);
+        assert_eq!(simulate(&g, 2).makespan, 16);
+        assert_eq!(simulate(&g, 4).makespan, 8);
+        assert_eq!(simulate(&g, 8).makespan, 4);
+        assert_eq!(simulate(&g, 16).makespan, 4, "extra processors can't help");
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", 5, &[]);
+        let b = g.add("b", 1, &[a]);
+        let c = g.add("c", 1, &[]);
+        g.add("d", 1, &[b, c]);
+        let r = simulate(&g, 2);
+        let find = |t: TaskIdx| r.schedule.iter().find(|pl| pl.task == t).unwrap().clone();
+        assert!(find(b).start >= find(a).end);
+        assert!(find(3).start >= find(b).end.max(find(c).end));
+    }
+
+    #[test]
+    fn empty_graph_finishes_at_zero() {
+        let r = simulate(&TaskGraph::new(), 4);
+        assert_eq!(r.makespan, 0);
+        assert!(r.schedule.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual processor")]
+    fn zero_processors_rejected() {
+        simulate(&TaskGraph::new(), 0);
+    }
+
+    #[test]
+    fn zero_cost_tasks_complete() {
+        let g = independent(&[0, 0, 1]);
+        let r = simulate(&g, 2);
+        assert_eq!(r.makespan, 1);
+        assert_eq!(r.schedule.len(), 3);
+    }
+
+    #[test]
+    fn lpt_beats_fifo_on_adversarial_costs() {
+        // Small tasks first in index order starves FIFO; LPT schedules the
+        // giant task immediately.
+        let mut costs = vec![1u64; 7];
+        costs.push(100);
+        let g = independent(&costs);
+        let fifo = simulate_with_policy(&g, 2, Policy::Fifo).makespan;
+        let lpt = simulate_with_policy(&g, 2, Policy::Lpt).makespan;
+        assert!(lpt <= fifo, "LPT {lpt} vs FIFO {fifo}");
+        assert_eq!(lpt, 100, "LPT overlaps all small tasks with the giant");
+    }
+
+    #[test]
+    fn policies_agree_on_uniform_costs() {
+        let g = independent(&[5; 12]);
+        assert_eq!(
+            simulate_with_policy(&g, 3, Policy::Fifo).makespan,
+            simulate_with_policy(&g, 3, Policy::Lpt).makespan,
+        );
+    }
+
+    proptest! {
+        /// LPT also respects Graham bounds and completes every task.
+        #[test]
+        fn lpt_is_sound(
+            costs in proptest::collection::vec(0u64..30, 1..30),
+            p in 1usize..6,
+        ) {
+            let g = independent(&costs);
+            let r = simulate_with_policy(&g, p, Policy::Lpt);
+            let t1 = g.total_work();
+            let tinf = g.critical_path();
+            prop_assert!(r.makespan >= tinf.max(t1.div_ceil(p as u64)));
+            prop_assert!(r.makespan <= t1 / p as u64 + tinf);
+            prop_assert_eq!(r.schedule.len(), costs.len());
+        }
+
+        /// Graham bounds: max(T1/p, T∞) ≤ makespan ≤ T1/p + T∞.
+        #[test]
+        fn makespan_within_graham_bounds(
+            costs in proptest::collection::vec(0u64..20, 1..40),
+            extra_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..40),
+            p in 1usize..9,
+        ) {
+            let mut g = TaskGraph::new();
+            for (i, &c) in costs.iter().enumerate() {
+                // random back-edges among earlier tasks
+                let deps: Vec<usize> = extra_edges
+                    .iter()
+                    .filter(|&&(to, from)| to == i && from < i)
+                    .map(|&(_, from)| from)
+                    .collect();
+                g.add(format!("t{i}"), c, &deps);
+            }
+            let r = simulate(&g, p);
+            let t1 = g.total_work();
+            let tinf = g.critical_path();
+            let lower = tinf.max(t1.div_ceil(p as u64));
+            prop_assert!(r.makespan >= lower,
+                "makespan {} below lower bound {lower}", r.makespan);
+            prop_assert!(r.makespan <= t1 / p as u64 + tinf,
+                "makespan {} above Graham bound {}", r.makespan, t1 / p as u64 + tinf);
+            // Every task appears exactly once.
+            let mut seen: Vec<bool> = vec![false; costs.len()];
+            for pl in &r.schedule {
+                prop_assert!(!seen[pl.task]);
+                seen[pl.task] = true;
+                prop_assert_eq!(pl.end - pl.start, costs[pl.task]);
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Pre-built task graphs and analytic models for the paper's patterns.
+
+use crate::dag::{TaskGraph, TaskIdx};
+use crate::engine::simulate;
+
+/// The paper's Figure 19: combine `t` partial values pairwise up a binary
+/// tree. Each combine costs `add_cost` ticks. The graph has exactly
+/// `t − 1` combine tasks; its critical path is `⌈lg t⌉ · add_cost`.
+pub fn reduction_tree(t: usize, add_cost: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    if t <= 1 {
+        return g;
+    }
+    // Level 0 "values" are free (the partials already exist); we model only
+    // the combining additions, as the paper's figure does.
+    // `frontier[i]` is the task index whose completion makes partial i
+    // available at the current level (None for raw inputs).
+    let mut frontier: Vec<Option<TaskIdx>> = vec![None; t];
+    let mut level = 0;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        let mut pairs = frontier.chunks(2);
+        for (i, pair) in pairs.by_ref().enumerate() {
+            match pair {
+                [a, b] => {
+                    let deps: Vec<TaskIdx> =
+                        [a, b].iter().filter_map(|x| **x).collect();
+                    let idx = g.add(format!("add L{level}#{i}"), add_cost, &deps);
+                    next.push(Some(idx));
+                }
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    g
+}
+
+/// Sequential combining of `t` partials: a chain of `t − 1` additions —
+/// the `O(t)` baseline the paper contrasts with Figure 19.
+pub fn sequential_reduction(t: usize, add_cost: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut prev: Option<TaskIdx> = None;
+    for i in 0..t.saturating_sub(1) {
+        let deps: Vec<TaskIdx> = prev.into_iter().collect();
+        prev = Some(g.add(format!("add #{i}"), add_cost, &deps));
+    }
+    g
+}
+
+/// An embarrassingly parallel loop: one independent task per iteration,
+/// with the given per-iteration costs (the *Parallel Loop* pattern).
+pub fn parallel_loop(costs: &[u64]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for (i, &c) in costs.iter().enumerate() {
+        g.add(format!("iter {i}"), c, &[]);
+    }
+    g
+}
+
+/// A software pipeline (the *Pipeline* pattern in both catalogs):
+/// `items` data items flow through `stages` stages of `stage_cost` ticks
+/// each. Item `i`'s stage `s` depends on (i, s−1) and on (i−1, s) — the
+/// same stage can't process two items at once.
+pub fn pipeline(items: usize, stages: usize, stage_cost: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut prev_item: Vec<Option<TaskIdx>> = vec![None; stages];
+    for i in 0..items {
+        let mut prev_stage: Option<TaskIdx> = None;
+        for s in 0..stages {
+            let deps: Vec<TaskIdx> =
+                prev_stage.into_iter().chain(prev_item[s]).collect();
+            let t = g.add(format!("item {i} stage {s}"), stage_cost, &deps);
+            prev_stage = Some(t);
+            prev_item[s] = Some(t);
+        }
+    }
+    g
+}
+
+/// A fork-join region: a fork task, `width` parallel bodies, a join task.
+pub fn fork_join(width: usize, body_cost: u64, sync_cost: u64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let fork = g.add("fork", sync_cost, &[]);
+    let bodies: Vec<TaskIdx> = (0..width)
+        .map(|i| g.add(format!("body {i}"), body_cost, &[fork]))
+        .collect();
+    g.add("join", sync_cost, &bodies);
+    g
+}
+
+/// Makespan of a *statically scheduled* loop: iteration `i` (cost
+/// `costs[i]`) runs on thread `assignment[i]`; threads run their
+/// iterations back to back, so the makespan is the largest per-thread sum.
+/// This models OpenMP static schedules exactly (no work stealing).
+pub fn static_loop_makespan(costs: &[u64], assignment: &[usize], n_threads: usize) -> u64 {
+    assert_eq!(costs.len(), assignment.len(), "one owner per iteration");
+    let mut per_thread = vec![0u64; n_threads];
+    for (&c, &t) in costs.iter().zip(assignment) {
+        assert!(t < n_threads, "owner {t} out of range");
+        per_thread[t] += c;
+    }
+    per_thread.into_iter().max().unwrap_or(0)
+}
+
+/// Makespan of the same loop under *dynamic* (greedy, chunk = 1)
+/// scheduling: just list-schedule the independent iterations.
+pub fn dynamic_loop_makespan(costs: &[u64], n_threads: usize) -> u64 {
+    simulate(&parallel_loop(costs), n_threads).makespan
+}
+
+/// Amdahl's law: speedup of a program with serial fraction `f` on `p`
+/// processors, `1 / (f + (1 − f)/p)`.
+pub fn amdahl_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    assert!(p > 0);
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p as f64)
+}
+
+/// Gustafson's law: scaled speedup `p − f·(p − 1)`.
+pub fn gustafson_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    assert!(p > 0);
+    p as f64 - serial_fraction * (p as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_tree_matches_figure_19_shape() {
+        // 8 partials: 7 additions, in 3 parallel steps of 4, 2, 1.
+        let g = reduction_tree(8, 1);
+        assert_eq!(g.len(), 7, "t−1 additions, same as sequential");
+        assert_eq!(g.critical_path(), 3, "⌈lg 8⌉ parallel steps");
+        // With 4 processors the tree completes in lg t steps.
+        assert_eq!(simulate(&g, 4).makespan, 3);
+        // With 1 processor it degrades to sequential time.
+        assert_eq!(simulate(&g, 1).makespan, 7);
+    }
+
+    #[test]
+    fn reduction_tree_vs_sequential_for_many_sizes() {
+        for t in [2usize, 3, 4, 5, 8, 16, 31, 32, 100, 1024] {
+            let tree = reduction_tree(t, 1);
+            let seq = sequential_reduction(t, 1);
+            assert_eq!(tree.len(), t - 1);
+            assert_eq!(seq.len(), t - 1);
+            assert_eq!(seq.critical_path(), (t - 1) as u64);
+            let lg = (t as f64).log2().ceil() as u64;
+            assert_eq!(tree.critical_path(), lg, "t={t}");
+            // Enough processors: tree takes lg t, chain takes t−1.
+            assert_eq!(simulate(&tree, t).makespan, lg);
+            assert_eq!(simulate(&seq, t).makespan, (t - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn reduction_tree_trivial_sizes() {
+        assert!(reduction_tree(0, 1).is_empty());
+        assert!(reduction_tree(1, 1).is_empty());
+        assert_eq!(reduction_tree(2, 5).critical_path(), 5);
+    }
+
+    #[test]
+    fn pipeline_fills_and_drains() {
+        // n items, s stages, cost 1: with ≥ s processors the makespan is
+        // the textbook (n + s − 1); with 1 processor it is n·s.
+        let g = pipeline(10, 4, 1);
+        assert_eq!(g.len(), 40);
+        assert_eq!(g.critical_path(), 13); // n + s − 1
+        assert_eq!(simulate(&g, 4).makespan, 13);
+        assert_eq!(simulate(&g, 1).makespan, 40);
+        // More processors than stages can't help: stages serialize items.
+        assert_eq!(simulate(&g, 16).makespan, 13);
+    }
+
+    #[test]
+    fn pipeline_degenerate_shapes() {
+        assert!(pipeline(0, 3, 1).is_empty());
+        // One stage = a sequential scan of the items on one "worker".
+        let g = pipeline(5, 1, 2);
+        assert_eq!(simulate(&g, 8).makespan, 10);
+    }
+
+    #[test]
+    fn fork_join_span() {
+        let g = fork_join(4, 10, 1);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.critical_path(), 12); // fork + body + join
+        assert_eq!(simulate(&g, 4).makespan, 12);
+        assert_eq!(simulate(&g, 1).makespan, 42); // 1 + 4*10 + 1
+    }
+
+    #[test]
+    fn static_vs_dynamic_on_skewed_costs() {
+        // Iteration i costs i: static blocks give the last thread the
+        // heaviest block; dynamic balances.
+        let costs: Vec<u64> = (0..16).collect();
+        // Static block over 4 threads: thread 3 gets 12+13+14+15 = 54.
+        let assignment: Vec<usize> = (0..16).map(|i| i / 4).collect();
+        let stat = static_loop_makespan(&costs, &assignment, 4);
+        assert_eq!(stat, 54);
+        let dyn_ = dynamic_loop_makespan(&costs, 4);
+        assert!(dyn_ < stat, "dynamic {dyn_} should beat static {stat}");
+        // Dynamic can't beat the lower bound.
+        assert!(dyn_ >= costs.iter().sum::<u64>().div_ceil(4));
+    }
+
+    #[test]
+    fn cyclic_static_beats_block_static_on_skew() {
+        let costs: Vec<u64> = (0..16).collect();
+        let block: Vec<usize> = (0..16).map(|i| i / 4).collect();
+        let cyclic: Vec<usize> = (0..16).map(|i| i % 4).collect();
+        let b = static_loop_makespan(&costs, &block, 4);
+        let c = static_loop_makespan(&costs, &cyclic, 4);
+        assert!(c < b, "cyclic {c} should beat block {b} on a linear ramp");
+    }
+
+    #[test]
+    fn amdahl_reference_points() {
+        assert!((amdahl_speedup(0.0, 8) - 8.0).abs() < 1e-12);
+        assert!((amdahl_speedup(1.0, 8) - 1.0).abs() < 1e-12);
+        // 10% serial: asymptote is 10×.
+        assert!(amdahl_speedup(0.1, 1_000_000) < 10.0);
+        assert!(amdahl_speedup(0.1, 1_000_000) > 9.9);
+        // Monotone in p.
+        assert!(amdahl_speedup(0.3, 4) < amdahl_speedup(0.3, 8));
+    }
+
+    #[test]
+    fn gustafson_reference_points() {
+        assert!((gustafson_speedup(0.0, 8) - 8.0).abs() < 1e-12);
+        assert!((gustafson_speedup(1.0, 8) - 1.0).abs() < 1e-12);
+        assert!(gustafson_speedup(0.1, 8) > amdahl_speedup(0.1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "one owner per iteration")]
+    fn static_makespan_length_mismatch() {
+        static_loop_makespan(&[1, 2], &[0], 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's evaluation (§IV.B), regenerated: the Fall-vs-Spring exam
+//! comparison, the implied score spread, and a simulated replication.
+//!
+//! ```text
+//! cargo run --example classroom_study
+//! ```
+
+use patternlets_repro::edu::stats::moments::Summary;
+use patternlets_repro::edu::stats::permutation_test;
+use patternlets_repro::edu::study::{simulate_cohorts, PaperStudy};
+
+fn main() {
+    let study = PaperStudy::default();
+
+    println!("published data (paper §IV.B):");
+    println!("  Fall   (no patternlets):  n = {}, mean = {:.2}/4", study.fall_n, study.fall_mean);
+    println!("  Spring (with patternlets): n = {}, mean = {:.2}/4", study.spring_n, study.spring_mean);
+    println!("  reported improvement: {:.1}%", study.improvement_fraction() * 100.0);
+    println!("  reported p-value:     {}", study.p_reported);
+
+    // The paper omits the score SD; recover the one its p-value implies.
+    let sd = study.implied_sd();
+    let r = study.welch_at_sd(sd);
+    println!("\nconsistency analysis:");
+    println!("  implied per-student score SD: {sd:.4} points (of 4)");
+    println!("  Welch t = {:.4}, df = {:.1}, p = {:.4}", r.t, r.df, r.p);
+    println!("  -> the published means, sizes, and p-value are mutually consistent");
+
+    // A simulated replication with those moments.
+    println!("\nsimulated replications (normal scores clipped to [0,4]):");
+    println!("{:>6} {:>11} {:>13} {:>8} {:>8}", "seed", "fall mean", "spring mean", "Welch p", "perm p");
+    for seed in [2013u64, 2014, 2015, 2016, 2017] {
+        let sim = simulate_cohorts(&study, seed);
+        let fall = Summary::of(&sim.fall);
+        let spring = Summary::of(&sim.spring);
+        let perm = permutation_test(&sim.fall, &sim.spring, 5_000, seed ^ 0xBEEF);
+        println!(
+            "{seed:>6} {:>11.3} {:>13.3} {:>8.3} {:>8.3}",
+            fall.mean, spring.mean, sim.welch.p, perm
+        );
+    }
+    println!("\nconclusion reproduced: a small positive effect, not significant at");
+    println!("these sample sizes (the paper attributes practical significance to");
+    println!("the Spring cohort being 1st-years vs 3rd-year engineers in Fall).");
+
+    // Power analysis the paper invites: how large would cohorts need to be?
+    println!("\nsample size needed for p < 0.05 at this effect size (0.10 / sd {sd:.2}):");
+    for n in [50usize, 100, 200, 400, 800, 1600] {
+        let fall = Summary { n, mean: study.fall_mean, sd };
+        let spring = Summary { n, mean: study.spring_mean, sd };
+        let p = patternlets_repro::edu::stats::welch_t_test(&fall, &spring).p;
+        println!("  n = {n:>5} per cohort -> p = {p:.4}{}", if p < 0.05 { "  *" } else { "" });
+    }
+}

@@ -1,0 +1,39 @@
+//! The live-coding classroom demo (paper §IV.A): the Monday/Wednesday
+//! sessions that replaced lectures — run a patternlet, "uncomment the
+//! directive", run it again, and watch the behaviour change.
+//!
+//! ```text
+//! cargo run --example live_demo
+//! ```
+
+use patternlets_repro::collection::{find, Mode};
+
+fn demo(name: &str, tasks: usize) {
+    let p = find(name).unwrap_or_else(|| panic!("{name} not in the registry"));
+    println!("========================================================");
+    println!("{} — {}", p.name, p.summary);
+    println!("patterns: {}", p.patterns.join(", "));
+    if !p.figures.is_empty() {
+        println!("reproduces: {}", p.figures.join(", "));
+    }
+    println!("\n$ patternlets run {name} -n {tasks}          # directive commented out");
+    for l in p.run_captured(tasks, Mode::Off).texts() {
+        println!("  {l}");
+    }
+    println!("\n$ patternlets run {name} -n {tasks} --on     # … uncommented");
+    for l in p.run_captured(tasks, Mode::On).texts() {
+        println!("  {l}");
+    }
+    println!("\nexercise: {}\n", p.exercise);
+}
+
+fn main() {
+    // The Monday demo: multithreading exists, and ids identify threads.
+    demo("omp/spmd", 4);
+    // The Wednesday concepts demo: synchronization and its absence.
+    demo("omp/barrier", 4);
+    demo("omp/reduction", 4);
+    // The distributed counterparts, for the HPC course weeks.
+    demo("mpi/spmd", 4);
+    demo("mpi/barrier", 4);
+}

@@ -1,0 +1,52 @@
+//! The CS2 closed-lab session (paper §IV.A, Tuesday): time the Matrix
+//! operations sequentially, parallelize them, sweep the thread count, and
+//! "chart" time vs threads — the spreadsheet step, as text tables.
+//!
+//! ```text
+//! cargo run --release --example matrix_lab
+//! ```
+
+use patternlets_repro::edu::lab::{measure, model, LabOp};
+use patternlets_repro::edu::Matrix;
+
+fn main() {
+    // Step (a): time the sequential operations on a large-ish matrix.
+    let n = 400;
+    let a = Matrix::from_fn(n, n, |i, j| (i + j) as f64);
+    let b = Matrix::from_fn(n, n, |i, j| (i * j % 31) as f64);
+    let t0 = std::time::Instant::now();
+    let _sum = std::hint::black_box(a.add_sequential(&b));
+    let seq_add = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let _tr = std::hint::black_box(a.transpose_sequential());
+    let seq_tr = t0.elapsed();
+    println!("sequential {n}x{n} add:       {seq_add:?}");
+    println!("sequential {n}x{n} transpose: {seq_tr:?}");
+
+    // Steps (b)+(c): parallel versions, varying thread counts.
+    let counts = [1, 2, 4, 8];
+    for (op, name) in [(LabOp::Add, "addition"), (LabOp::Transpose, "transpose")] {
+        println!("\nmeasured {name} scaling ({n}x{n}):");
+        println!("{:>8} {:>12} {:>9} {:>11}", "threads", "time (s)", "speedup", "efficiency");
+        for pt in measure(op, n, &counts, 3) {
+            println!(
+                "{:>8} {:>12.6} {:>9.2} {:>11.2}",
+                pt.p, pt.time, pt.speedup, pt.efficiency
+            );
+        }
+    }
+    println!("\n(this host has ONE core: measured speedup ≈ 1 is the honest result —");
+    println!(" spawning threads cannot beat the hardware. The modeled multicore");
+    println!(" curve below is what students see in the paper's lab.)");
+
+    // Step (d): the chart students draw on a real multicore machine —
+    // modeled with Amdahl's law at a 5% serial fraction.
+    println!("\nmodeled multicore scaling (5% serial fraction):");
+    println!("{:>8} {:>12} {:>9} {:>11}", "threads", "time (rel)", "speedup", "efficiency");
+    for pt in model(0.05, &[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "{:>8} {:>12.4} {:>9.2} {:>11.2}",
+            pt.p, pt.time, pt.speedup, pt.efficiency
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerate every behavioural figure of the paper, in paper order, as
+//! one readable report — the quickest way to diff this reproduction
+//! against the original side by side.
+//!
+//! ```text
+//! cargo run --example paper_figures
+//! ```
+
+use patternlets_repro::collection::{find, Mode};
+use patternlets_repro::vtime::models::{reduction_tree, sequential_reduction};
+use patternlets_repro::vtime::simulate;
+
+fn show(title: &str, name: &str, tasks: usize, mode: Mode) {
+    let p = find(name).expect("registered patternlet");
+    println!("--- {title} ---");
+    println!(
+        "$ patternlets run {name} -n {tasks}{}",
+        if mode.is_on() { " --on" } else { "" }
+    );
+    for line in p.run_captured(tasks, mode).texts() {
+        println!("  {line}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("================ paper figures, regenerated ================\n");
+
+    show("Fig. 2 — omp/spmd, directive off", "omp/spmd", 4, Mode::Off);
+    show("Fig. 3 — omp/spmd, 4 threads", "omp/spmd", 4, Mode::On);
+    show("Fig. 5 — mpi/spmd, 1 process", "mpi/spmd", 4, Mode::Off);
+    show("Fig. 6 — mpi/spmd, 4 processes", "mpi/spmd", 4, Mode::On);
+    show("Fig. 8 — omp/barrier, no barrier", "omp/barrier", 4, Mode::Off);
+    show("Fig. 9 — omp/barrier, with barrier", "omp/barrier", 4, Mode::On);
+    show("Fig. 11 — mpi/barrier, no barrier", "mpi/barrier", 4, Mode::Off);
+    show("Fig. 12 — mpi/barrier, with barrier", "mpi/barrier", 4, Mode::On);
+    show(
+        "Fig. 14 — omp/parallelLoopEqualChunks, 1 thread",
+        "omp/parallelLoopEqualChunks",
+        1,
+        Mode::On,
+    );
+    show(
+        "Fig. 15 — omp/parallelLoopEqualChunks, 2 threads",
+        "omp/parallelLoopEqualChunks",
+        2,
+        Mode::On,
+    );
+    show(
+        "Fig. 17 — mpi/parallelLoopEqualChunks, 2 processes",
+        "mpi/parallelLoopEqualChunks",
+        2,
+        Mode::On,
+    );
+    show(
+        "Fig. 18 — mpi/parallelLoopEqualChunks, 4 processes",
+        "mpi/parallelLoopEqualChunks",
+        4,
+        Mode::On,
+    );
+
+    // Fig. 19 is a diagram, not program output: regenerate its numbers.
+    println!("--- Fig. 19 — the reduction tree, 8 partials ---");
+    let tree = reduction_tree(8, 1);
+    println!("  additions: {} (same as sequential: 7)", tree.len());
+    println!(
+        "  parallel steps: {} (sequential: {})",
+        simulate(&tree, 8).makespan,
+        simulate(&sequential_reduction(8, 1), 8).makespan
+    );
+    println!();
+
+    show("Fig. 21 — omp/reduction, clause on", "omp/reduction", 4, Mode::On);
+    show("Fig. 22 — omp/reduction, clause off (race)", "omp/reduction", 4, Mode::Off);
+    show("Fig. 24 — mpi/reduction, 10 processes", "mpi/reduction", 10, Mode::On);
+    show("Fig. 26 — mpi/gather, 2 processes", "mpi/gather", 2, Mode::On);
+    show("Fig. 27 — mpi/gather, 4 processes", "mpi/gather", 4, Mode::On);
+    show("Fig. 28 — mpi/gather, 6 processes", "mpi/gather", 6, Mode::On);
+    show("Fig. 30 — omp/critical2, atomic vs critical", "omp/critical2", 4, Mode::On);
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the three runtimes in five minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Tours the public API: a shared-memory team (OpenMP-style), a
+//! message-passing world (MPI-style), and the patternlet collection that
+//! sits on top of both.
+
+use patternlets_repro::collection::{find, registry, Mode, Technology};
+use patternlets_repro::core::reduce::ops;
+use patternlets_repro::mp::World;
+use patternlets_repro::shmem::{Schedule, Team};
+
+fn main() {
+    // 1. Shared memory: fork a team, share a loop, reduce a result --------
+    let squares_sum =
+        Team::new(4).parallel_for_reduce(1000, Schedule::StaticBlock, &ops::Sum, |i| {
+            (i * i) as i64
+        });
+    println!("sum of squares below 1000 (4 threads): {squares_sum}");
+
+    // 2. Message passing: a world of ranks exchanging typed messages ------
+    let results = World::run(4, |comm| {
+        // Everyone contributes rank+1; the reduction tree combines them.
+        comm.allreduce(&[comm.rank() as i64 + 1], &ops::Sum).unwrap()[0]
+    });
+    println!("allreduce(1+2+3+4) in every rank: {results:?}");
+
+    // 3. The collection: run a patternlet exactly as a class would --------
+    let barrier = find("omp/barrier").expect("in the registry");
+    println!("\n--- {} without the barrier (Fig. 8) ---", barrier.name);
+    for line in barrier.run_captured(4, Mode::Off).texts() {
+        println!("{line}");
+    }
+    println!("--- and with it (Fig. 9) ---");
+    for line in barrier.run_captured(4, Mode::On).texts() {
+        println!("{line}");
+    }
+
+    // 4. The census from the paper's abstract ------------------------------
+    let count = |t: Technology| {
+        registry().iter().filter(|p| p.technology == t).count()
+    };
+    println!(
+        "\ncollection: {} patternlets ({} MPI, {} OpenMP, {} threads, {} hetero)",
+        registry().len(),
+        count(Technology::Mpi),
+        count(Technology::Omp),
+        count(Technology::Threads),
+        count(Technology::Hetero),
+    );
+}

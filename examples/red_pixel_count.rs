@@ -1,0 +1,68 @@
+//! The paper's motivating example for the *Reduction* pattern (§III.D):
+//! count the red pixels of an image with a parallel loop, then combine the
+//! per-task counts — sequentially (O(t)) versus up the Figure 19 tree
+//! (O(lg t)).
+//!
+//! ```text
+//! cargo run --example red_pixel_count
+//! ```
+
+use patternlets_repro::core::reduce::{ops, seq_fold, tree_fold};
+use patternlets_repro::core::rng::{Rng, Xoshiro256StarStar};
+use patternlets_repro::shmem::{Schedule, Team};
+use patternlets_repro::vtime::models::{reduction_tree, sequential_reduction};
+use patternlets_repro::vtime::simulate;
+
+/// A synthetic image: RGB triples, some fraction of which are "red".
+fn make_image(pixels: usize, seed: u64) -> Vec<[u8; 3]> {
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    (0..pixels)
+        .map(|_| {
+            if rng.gen_range(10) == 0 {
+                [255, 0, 0] // red
+            } else {
+                [rng.gen_range(200) as u8, rng.gen_range(256) as u8, 255]
+            }
+        })
+        .collect()
+}
+
+fn is_red(p: &[u8; 3]) -> bool {
+    p[0] == 255 && p[1] == 0 && p[2] == 0
+}
+
+fn main() {
+    // Part 1: the actual computation, with the real runtimes. -------------
+    let image = make_image(1_000_000, 42);
+    let truth = image.iter().filter(|p| is_red(p)).count() as i64;
+
+    for tasks in [1, 2, 4, 8] {
+        let count = Team::new(tasks).parallel_for_reduce(
+            image.len(),
+            Schedule::StaticBlock,
+            &ops::Sum,
+            |i| is_red(&image[i]) as i64,
+        );
+        assert_eq!(count, truth);
+        println!("{tasks} tasks counted {count} red pixels (correct)");
+    }
+
+    // Part 2: the paper's exact Figure 19 example. -------------------------
+    // "…eight tasks, which respectively find 6, 8, 9, 1, 5, 7, 2, and 4
+    // red pixels."
+    let partials = [6i64, 8, 9, 1, 5, 7, 2, 4];
+    println!("\npaper Fig. 19 partials: {partials:?}");
+    println!("  sequential sum: {}", seq_fold(&ops::Sum, &partials));
+    println!("  tree sum:       {}", tree_fold(&ops::Sum, &partials));
+
+    // Part 3: the combining-time shape, in virtual time. -------------------
+    // (This host has one core; the simulator plays the multicore testbed.)
+    println!("\ncombining time for t partial results (1 tick per addition):");
+    println!("{:>6} {:>12} {:>10} {:>8}", "t", "sequential", "tree", "ratio");
+    for t in [2usize, 4, 8, 16, 64, 256, 1024] {
+        let seq = simulate(&sequential_reduction(t, 1), t).makespan;
+        let tree = simulate(&reduction_tree(t, 1), t).makespan;
+        println!("{t:>6} {seq:>12} {tree:>10} {:>8.1}", seq as f64 / tree as f64);
+    }
+    println!("\nsequential grows as t−1; the tree as ⌈lg t⌉ — the paper's O(t) vs O(lg t).");
+}

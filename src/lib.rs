@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the patternlets reproduction workspace.
+//!
+//! Re-exports every member crate so integration tests and examples can use
+//! one coherent namespace. See `DESIGN.md` at the repository root.
+
+pub use patternlets as collection;
+pub use patternlets_catalog as catalog;
+pub use patternlets_core as core;
+pub use patternlets_edu as edu;
+pub use patternlets_mp as mp;
+pub use patternlets_shmem as shmem;
+pub use patternlets_vtime as vtime;

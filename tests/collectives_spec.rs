@@ -1,0 +1,166 @@
+//! Property tests: every `mp` collective matches its sequential
+//! specification, for arbitrary world sizes and payloads.
+
+use patternlets_core::reduce::{ops, seq_fold};
+use patternlets_mp::World;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_delivers_roots_data(
+        np in 1usize..7,
+        root_pick in 0usize..7,
+        data in proptest::collection::vec(any::<i64>(), 0..16),
+    ) {
+        let root = root_pick % np;
+        let out = World::run(np, |comm| {
+            let mut buf = if comm.rank() == root { data.clone() } else { Vec::new() };
+            comm.bcast(root, &mut buf).unwrap();
+            buf
+        });
+        prop_assert!(out.iter().all(|b| b == &data));
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order(
+        np in 1usize..7,
+        per_rank in 0usize..6,
+    ) {
+        let out = World::run(np, |comm| {
+            let mine: Vec<i64> =
+                (0..per_rank).map(|i| (comm.rank() * 100 + i) as i64).collect();
+            comm.gather(0, &mine).unwrap()
+        });
+        let expected: Vec<i64> = (0..np)
+            .flat_map(|r| (0..per_rank).map(move |i| (r * 100 + i) as i64))
+            .collect();
+        prop_assert_eq!(out[0].as_ref(), Some(&expected));
+    }
+
+    #[test]
+    fn scatter_then_gather_is_identity(
+        np in 1usize..7,
+        chunk in 1usize..5,
+    ) {
+        let data: Vec<i64> = (0..(np * chunk) as i64).collect();
+        let out = World::run(np, |comm| {
+            let send = if comm.is_master() { Some(data.clone()) } else { None };
+            let mine = comm.scatter(0, send.as_deref()).unwrap();
+            comm.gather(0, &mine).unwrap()
+        });
+        prop_assert_eq!(out[0].as_ref(), Some(&data));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold(
+        np in 1usize..7,
+        values in proptest::collection::vec(-1000i64..1000, 7),
+    ) {
+        let out = World::run(np, |comm| {
+            let local = values[comm.rank()];
+            (
+                comm.reduce_one(0, local, &ops::Sum).unwrap(),
+                comm.reduce_one(0, local, &ops::Min).unwrap(),
+                comm.reduce_one(0, local, &ops::Max).unwrap(),
+            )
+        });
+        let slice = &values[..np];
+        prop_assert_eq!(out[0].0, Some(slice.iter().sum::<i64>()));
+        prop_assert_eq!(out[0].1, Some(*slice.iter().min().unwrap()));
+        prop_assert_eq!(out[0].2, Some(*slice.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn allreduce_variants_agree_everywhere(
+        np in 1usize..8,
+        values in proptest::collection::vec(-100i64..100, 8),
+    ) {
+        let out = World::run(np, |comm| {
+            let local = [values[comm.rank()]];
+            let a = comm.allreduce(&local, &ops::Sum).unwrap()[0];
+            let b = comm.allreduce_rd(&local, &ops::Sum).unwrap()[0];
+            (a, b)
+        });
+        let expected: i64 = values[..np].iter().sum();
+        prop_assert!(out.iter().all(|&(a, b)| a == expected && b == expected));
+    }
+
+    #[test]
+    fn scan_matches_prefix_sums(
+        np in 1usize..7,
+        values in proptest::collection::vec(-50i64..50, 7),
+    ) {
+        let out = World::run(np, |comm| {
+            comm.scan(&[values[comm.rank()]], &ops::Sum).unwrap()[0]
+        });
+        let mut acc = 0;
+        for (r, &v) in values[..np].iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(out[r], acc);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_block_transpose(np in 1usize..6) {
+        let out = World::run(np, |comm| {
+            let send: Vec<i64> =
+                (0..np).map(|j| (comm.rank() * np + j) as i64).collect();
+            comm.alltoall(&send).unwrap()
+        });
+        for (j, row) in out.iter().enumerate() {
+            let expected: Vec<i64> = (0..np).map(|i| (i * np + j) as i64).collect();
+            prop_assert_eq!(row, &expected);
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_world(
+        np in 1usize..7,
+        colors in proptest::collection::vec(0i32..3, 7),
+    ) {
+        // Every rank lands in exactly one sub-comm; sub-comm sizes sum to
+        // np; local ranks are dense; and a collective on the sub-comm
+        // touches exactly its members.
+        let out = World::run(np, |comm| {
+            let color = colors[comm.rank()];
+            let sub = comm.split(color, 0).unwrap();
+            let members = sub.allgather(&[comm.rank() as i64]).unwrap();
+            (color, sub.rank(), sub.size(), members)
+        });
+        let mut total = 0;
+        for c in 0..3 {
+            let in_c: Vec<_> = out.iter().filter(|o| o.0 == c).collect();
+            if in_c.is_empty() { continue; }
+            total += in_c.len();
+            // All members agree on size and the member list.
+            prop_assert!(in_c.iter().all(|o| o.2 == in_c.len()));
+            let expected: Vec<i64> = (0..np)
+                .filter(|&r| colors[r] == c)
+                .map(|r| r as i64)
+                .collect();
+            prop_assert!(in_c.iter().all(|o| o.3 == expected));
+            // Local ranks are 0..size, each exactly once.
+            let mut locals: Vec<usize> = in_c.iter().map(|o| o.1).collect();
+            locals.sort_unstable();
+            prop_assert_eq!(locals, (0..in_c.len()).collect::<Vec<_>>());
+        }
+        prop_assert_eq!(total, np);
+    }
+
+    #[test]
+    fn reduce_with_noncommutative_op_preserves_rank_order(
+        np in 1usize..7,
+        words in proptest::collection::vec("[a-z]{0,3}", 7),
+    ) {
+        let op = ops::FnOp::new(String::new(), |a: String, b: String| a + &b);
+        let out = World::run(np, |comm| {
+            comm.reduce_one(0, words[comm.rank()].clone(), &op).unwrap()
+        });
+        prop_assert_eq!(
+            out[0].clone(),
+            Some(seq_fold(&op, &words[..np]))
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the two runtimes nested (the heterogeneous
+//! configuration), equivalences between their reductions, and the
+//! collection driven at scale.
+
+use patternlets::harness::Mode;
+use patternlets::registry::{find, registry};
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+use patternlets_shmem::{Schedule, Team};
+
+#[test]
+fn nested_runtimes_compute_the_same_answer_as_either_alone() {
+    let n_total = 40_000usize;
+    let expected: i64 = (0..n_total as i64).sum();
+
+    // Pure shared memory.
+    let shmem_only = Team::new(4).parallel_for_reduce(
+        n_total,
+        Schedule::StaticBlock,
+        &ops::Sum,
+        |i| i as i64,
+    );
+    // Pure message passing: each rank sums a block, reduce combines.
+    let np = 4;
+    let mp_only = World::run(np, |comm| {
+        let per = n_total / np;
+        let base = comm.rank() * per;
+        let local: i64 = (base..base + per).map(|i| i as i64).sum();
+        comm.reduce_one(0, local, &ops::Sum).unwrap()
+    })[0]
+        .unwrap();
+    // Heterogeneous: 2 ranks × 2 threads.
+    let hetero = World::run(2, |comm| {
+        let per = n_total / 2;
+        let base = comm.rank() * per;
+        let local = Team::new(2).parallel_for_reduce(
+            per,
+            Schedule::StaticBlock,
+            &ops::Sum,
+            |i| (base + i) as i64,
+        );
+        comm.reduce_one(0, local, &ops::Sum).unwrap()
+    })[0]
+        .unwrap();
+
+    assert_eq!(shmem_only, expected);
+    assert_eq!(mp_only, expected);
+    assert_eq!(hetero, expected);
+}
+
+#[test]
+fn every_patternlet_runs_cleanly_in_both_modes_at_small_scale() {
+    // The whole collection, end to end: nothing panics, everything emits
+    // at least one line, in both directive modes, at 1 and 3 tasks.
+    for p in registry() {
+        for tasks in [1usize, 3] {
+            for mode in [Mode::Off, Mode::On] {
+                let out = p.run_captured(tasks, mode);
+                assert!(
+                    !out.is_empty(),
+                    "{} produced no output at {tasks} tasks, {mode:?}",
+                    p.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scalability_the_collection_handles_larger_team_sizes() {
+    // "Scalable" is one of the paper's three design goals: spot-check a
+    // representative patternlet from each family well beyond class sizes.
+    for (name, tasks) in [
+        ("omp/spmd", 16usize),
+        ("mpi/spmd", 16),
+        ("threads/spmd", 16),
+        ("hetero/spmd", 8),
+    ] {
+        let out = find(name).unwrap().run_captured(tasks, Mode::On);
+        assert!(out.len() >= tasks, "{name} at {tasks} tasks: {} lines", out.len());
+    }
+}
+
+#[test]
+fn mp_reduce_equals_shmem_reduce_equals_tree_fold() {
+    use patternlets_core::reduce::tree_fold;
+    let values: Vec<i64> = (0..8).map(|r| (r * r + 3) as i64).collect();
+    let reference = tree_fold(&ops::Sum, &values);
+
+    let via_mp = World::run(8, |comm| {
+        comm.reduce_one(0, values[comm.rank()], &ops::Sum).unwrap()
+    })[0]
+        .unwrap();
+
+    let via_shmem = Team::new(8).parallel_map(|ctx| {
+        ctx.reduce(values[ctx.thread_num()], &ops::Sum)
+    })[0];
+
+    assert_eq!(via_mp, reference);
+    assert_eq!(via_shmem, reference);
+}
+
+#[test]
+fn hetero_world_hostnames_group_ranks_per_node() {
+    let names = World::builder(4)
+        .ranks_per_node(2)
+        .run(|comm| comm.processor_name().to_string())
+        .unwrap();
+    assert_eq!(names, vec!["node-01", "node-01", "node-02", "node-02"]);
+}
+
+#[test]
+fn cs2_week_sessions_reference_real_patternlets() {
+    // The §IV.A session plan must only name patternlets that exist.
+    for session in patternlets_edu::syllabus::cs2_week() {
+        for name in session.patternlets {
+            assert!(
+                find(name).is_some(),
+                "{}: session references unknown patternlet {name}",
+                session.day
+            );
+        }
+    }
+}
+
+#[test]
+fn every_course_draws_on_a_nonempty_patternlet_set() {
+    let names: Vec<&str> = registry().iter().map(|p| p.name).collect();
+    for course in patternlets_edu::syllabus::curriculum() {
+        let used = patternlets_edu::syllabus::course_patternlets(&course, &names);
+        assert!(!used.is_empty(), "{} uses no patternlets", course.name);
+        // And each resolved name really is in the registry.
+        assert!(used.iter().all(|n| find(n).is_some()));
+    }
+}
+
+#[test]
+fn deadlock_detection_surfaces_instead_of_hanging() {
+    // A worker waits for a message nobody sends; the runtime must report
+    // deadlock (this test completing at all is the point).
+    let out = World::run(2, |comm| {
+        if comm.rank() == 1 {
+            comm.recv::<i64>(0, 99).map(|_| ())
+        } else {
+            Ok(())
+        }
+    });
+    assert!(matches!(out[1], Err(patternlets_core::Error::Deadlock(_))));
+}

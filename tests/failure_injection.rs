@@ -1,0 +1,231 @@
+//! Failure injection: the runtimes must *diagnose* misuse, not hang or
+//! corrupt — the property that makes them safe to hand to students.
+
+use patternlets_core::Error;
+use patternlets_mp::{World, WorldBuilder};
+
+#[test]
+fn recv_with_no_sender_reports_deadlock_not_hang() {
+    let out = World::run(3, |comm| {
+        if comm.rank() == 2 {
+            comm.recv::<i64>(0, 7).map(|_| ())
+        } else {
+            Ok(())
+        }
+    });
+    assert!(matches!(out[2], Err(Error::Deadlock(_))));
+}
+
+#[test]
+fn mutual_recv_cycle_reports_deadlock() {
+    // Rank 0 waits on 1 and vice versa; nobody ever sends.
+    let out = World::run(2, |comm| {
+        let peer = 1 - comm.rank();
+        comm.recv::<i64>(peer, 0).map(|_| ())
+    });
+    assert!(out.iter().all(|r| matches!(r, Err(Error::Deadlock(_)))));
+}
+
+#[test]
+fn three_rank_wait_cycle_is_detected() {
+    // 0 waits on 1, 1 waits on 2, 2 waits on 0 — a cycle no finished-rank
+    // heuristic can see; the waits-for detector must break it.
+    let out = World::run(3, |comm| {
+        let next = (comm.rank() + 1) % 3;
+        comm.recv::<i64>(next, 0).map(|_| ())
+    });
+    assert!(out.iter().all(|r| matches!(r, Err(Error::Deadlock(_)))), "{out:?}");
+}
+
+#[test]
+fn waiting_on_a_computing_rank_is_not_a_deadlock() {
+    // Rank 1 computes for a while before sending; rank 0's blocked recv
+    // must NOT be misdiagnosed while a live sender exists.
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.recv_one::<i64>(1, 0).map(|(v, _)| v)
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            comm.send_one(99i64, 0, 0).map(|_| 0)
+        }
+    });
+    assert_eq!(out[0].as_ref().unwrap(), &99);
+}
+
+#[test]
+fn chain_through_a_computing_rank_is_not_a_deadlock() {
+    // 0 waits on 1 (blocked), 1 waits on 2 (computing): both waits are
+    // transitively satisfiable; only a too-eager detector would fire.
+    let out = World::run(3, |comm| match comm.rank() {
+        0 => comm.recv_one::<i64>(1, 0).map(|(v, _)| v),
+        1 => {
+            let (v, _) = comm.recv_one::<i64>(2, 0)?;
+            comm.send_one(v + 1, 0, 0)?;
+            Ok(v)
+        }
+        _ => {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            comm.send_one(40i64, 1, 0).map(|_| 0)
+        }
+    });
+    assert_eq!(out[0].as_ref().unwrap(), &41);
+    assert_eq!(out[1].as_ref().unwrap(), &40);
+}
+
+#[test]
+fn any_source_wait_survives_while_any_member_lives() {
+    // Master waits with ANY_SOURCE; the last worker sends after a delay.
+    use patternlets_mp::ANY_SOURCE;
+    let out = World::run(4, |comm| {
+        if comm.is_master() {
+            comm.recv_one::<i64>(ANY_SOURCE, 0).map(|(v, _)| v)
+        } else if comm.rank() == 3 {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            comm.send_one(7i64, 0, 0).map(|_| 0)
+        } else {
+            Ok(0) // exits immediately
+        }
+    });
+    assert_eq!(out[0].as_ref().unwrap(), &7);
+}
+
+#[test]
+fn barrier_abandoned_by_one_rank_is_detected() {
+    // Rank 2 skips the barrier and exits; the dissemination waits of the
+    // others must resolve to deadlock errors, not hangs.
+    let out = World::run(3, |comm| {
+        if comm.rank() == 2 {
+            Ok(())
+        } else {
+            comm.barrier()
+        }
+    });
+    assert!(out[2].is_ok());
+    assert!(
+        out[..2].iter().any(|r| matches!(r, Err(Error::Deadlock(_)))),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn self_recv_without_self_send_deadlocks() {
+    let out = World::run(1, |comm| comm.recv::<i64>(0, 0).map(|_| ()));
+    assert!(matches!(out[0], Err(Error::Deadlock(_))));
+}
+
+#[test]
+fn wrong_type_is_rejected_with_both_names() {
+    let out = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(&[1.5f64], 1, 0).map(|_| String::new())
+        } else {
+            match comm.recv::<i32>(0, 0) {
+                Err(e) => Err(e),
+                Ok(_) => Ok("wrongly accepted".into()),
+            }
+        }
+    });
+    match &out[1] {
+        Err(Error::TypeMismatch { expected, found }) => {
+            assert_eq!(*expected, "i32");
+            assert_eq!(found, "f64");
+        }
+        other => panic!("expected TypeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn rank_out_of_range_on_send_recv_and_roots() {
+    let out = World::run(2, |comm| {
+        let send = comm.send(&[1i32], 7, 0);
+        let recv = comm.recv::<i32>(9, 0).map(|_| ());
+        let root = comm.reduce_one(5, 1i64, &patternlets_core::reduce::ops::Sum).map(|_| ());
+        (send, recv, root)
+    });
+    for (send, recv, root) in out {
+        assert!(matches!(send, Err(Error::RankOutOfRange { rank: 7, size: 2 })));
+        assert!(matches!(recv, Err(Error::RankOutOfRange { rank: 9, size: 2 })));
+        assert!(matches!(root, Err(Error::RankOutOfRange { rank: 5, size: 2 })));
+    }
+}
+
+#[test]
+fn one_rank_panicking_does_not_hang_its_peers() {
+    // Rank 1 dies before sending; rank 0's recv must resolve to deadlock,
+    // and the panic must still propagate out of the world.
+    let result = std::panic::catch_unwind(|| {
+        World::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("student bug");
+            }
+            // This would hang forever without the finish-guard + liveness
+            // machinery.
+            let r = comm.recv::<i64>(1, 0);
+            assert!(matches!(r, Err(Error::Deadlock(_))));
+        });
+    });
+    assert!(result.is_err(), "the rank's panic propagates");
+}
+
+#[test]
+fn empty_world_is_a_config_error() {
+    let err = WorldBuilder::new(0).run(|_| ()).unwrap_err();
+    assert!(matches!(err, Error::InvalidConfig(_)));
+}
+
+#[test]
+fn collective_count_mismatches_are_reported() {
+    use patternlets_core::reduce::ops;
+    let out = World::run(2, |comm| {
+        let gather = comm.gather(0, &vec![0i64; comm.rank() + 1]).map(|_| ());
+        // Re-sync before the next collective so the mismatch errors don't
+        // desynchronize the collective sequence numbers.
+        comm.barrier().unwrap();
+        let reduce = comm.reduce(0, &vec![0i64; comm.rank() + 1], &ops::Sum).map(|_| ());
+        (gather, reduce)
+    });
+    // The root observes both mismatches.
+    assert!(matches!(out[0].0, Err(Error::CountMismatch { .. })));
+    assert!(matches!(out[0].1, Err(Error::CountMismatch { .. })));
+}
+
+#[test]
+fn shmem_team_of_zero_is_rejected() {
+    let r = std::panic::catch_unwind(|| patternlets_shmem::Team::new(0));
+    assert!(r.is_err());
+}
+
+#[test]
+fn scheduler_rejects_zero_chunk() {
+    let r = std::panic::catch_unwind(|| {
+        patternlets_shmem::sched::LoopScheduler::new(
+            patternlets_shmem::Schedule::Guided(0),
+            10,
+            2,
+        )
+    });
+    assert!(r.is_err());
+}
+
+#[test]
+fn codec_rejects_corrupt_payloads() {
+    use bytes_shim::corrupt_roundtrip;
+    corrupt_roundtrip();
+}
+
+/// Exercise decode paths against malformed byte streams without making the
+/// test depend on `bytes` directly.
+mod bytes_shim {
+    use patternlets_mp::Datatype;
+
+    pub fn corrupt_roundtrip() {
+        // A 3-byte payload can never be a whole number of i32s.
+        let bogus = bytes::Bytes::from_static(&[1, 2, 3]);
+        assert!(i32::decode_slice(&bogus, 1).is_err());
+        // Strings with a length prefix pointing past the end.
+        let mut long = Vec::new();
+        long.extend_from_slice(&u64::MAX.to_le_bytes());
+        let bogus = bytes::Bytes::from(long);
+        assert!(String::decode_slice(&bogus, 1).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Traffic accounting: verify that each collective really sends the number
+//! of messages its algorithm promises (the "Messages" column of the
+//! `patternlets_mp::coll` table, and the inputs the Hockney cost model in
+//! `patternlets-vtime` assumes).
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::{MsgEvent, World};
+
+fn lg(p: usize) -> usize {
+    if p <= 1 { 0 } else { usize::BITS as usize - (p - 1).leading_zeros() as usize }
+}
+
+fn runtime_msgs(trace: &[MsgEvent]) -> usize {
+    trace.iter().filter(|m| !m.is_user()).count()
+}
+
+#[test]
+fn binomial_bcast_sends_p_minus_1_messages() {
+    for p in [1usize, 2, 3, 4, 5, 8, 13] {
+        let (_, trace) = World::builder(p)
+            .run_traced(|comm| {
+                let mut buf = if comm.is_master() { vec![1i64, 2] } else { Vec::new() };
+                comm.bcast(0, &mut buf).unwrap();
+            })
+            .unwrap();
+        assert_eq!(runtime_msgs(&trace), p.saturating_sub(1), "p={p}");
+    }
+}
+
+#[test]
+fn linear_bcast_also_sends_p_minus_1_but_all_from_the_root() {
+    let p = 8;
+    let (_, trace) = World::builder(p)
+        .run_traced(|comm| {
+            let mut buf = if comm.is_master() { vec![1i64] } else { Vec::new() };
+            comm.bcast_linear(0, &mut buf).unwrap();
+        })
+        .unwrap();
+    assert_eq!(runtime_msgs(&trace), p - 1);
+    assert!(
+        trace.iter().all(|m| m.from == 0),
+        "linear bcast: every message leaves the root"
+    );
+}
+
+#[test]
+fn binomial_bcast_spreads_the_sending_load() {
+    let p = 8;
+    let (_, trace) = World::builder(p)
+        .run_traced(|comm| {
+            let mut buf = if comm.is_master() { vec![1i64] } else { Vec::new() };
+            comm.bcast(0, &mut buf).unwrap();
+        })
+        .unwrap();
+    let from_root = trace.iter().filter(|m| m.from == 0).count();
+    assert_eq!(from_root, lg(p), "the root sends only ⌈lg p⌉ times in the tree");
+}
+
+#[test]
+fn dissemination_barrier_sends_p_times_lg_p() {
+    for p in [2usize, 3, 4, 7, 8] {
+        let (_, trace) = World::builder(p)
+            .run_traced(|comm| comm.barrier().unwrap())
+            .unwrap();
+        assert_eq!(runtime_msgs(&trace), p * lg(p), "p={p}");
+    }
+}
+
+#[test]
+fn reduce_sends_p_minus_1_messages() {
+    for p in [1usize, 2, 4, 6, 8] {
+        let (_, trace) = World::builder(p)
+            .run_traced(|comm| {
+                comm.reduce_one(0, comm.rank() as i64, &ops::Sum).unwrap();
+            })
+            .unwrap();
+        assert_eq!(runtime_msgs(&trace), p.saturating_sub(1), "p={p}");
+    }
+}
+
+#[test]
+fn gather_and_scatter_send_p_minus_1_each() {
+    let p = 6;
+    let (_, trace) = World::builder(p)
+        .run_traced(|comm| {
+            let send: Option<Vec<i64>> =
+                if comm.is_master() { Some((0..p as i64).collect()) } else { None };
+            let mine = comm.scatter(0, send.as_deref()).unwrap();
+            comm.gather(0, &mine).unwrap();
+        })
+        .unwrap();
+    assert_eq!(runtime_msgs(&trace), 2 * (p - 1));
+}
+
+#[test]
+fn allreduce_recursive_doubling_message_count() {
+    // Power-of-two p: p·lg p exchanges.
+    for p in [2usize, 4, 8] {
+        let (_, trace) = World::builder(p)
+            .run_traced(|comm| {
+                comm.allreduce_rd(&[1i64], &ops::Sum).unwrap();
+            })
+            .unwrap();
+        assert_eq!(runtime_msgs(&trace), p * lg(p), "p={p}");
+    }
+}
+
+#[test]
+fn user_and_runtime_traffic_are_distinguished() {
+    let (_, trace) = World::builder(2)
+        .run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.send_one(5i64, 1, 3).unwrap();
+            } else {
+                comm.recv_one::<i64>(0, 3).unwrap();
+            }
+            comm.barrier().unwrap();
+        })
+        .unwrap();
+    let user: Vec<&MsgEvent> = trace.iter().filter(|m| m.is_user()).collect();
+    assert_eq!(user.len(), 1);
+    assert_eq!((user[0].from, user[0].to, user[0].tag), (0, 1, 3));
+    assert_eq!(user[0].bytes, 8, "one i64 on the wire");
+    assert!(runtime_msgs(&trace) > 0, "the barrier's messages are visible too");
+}
+
+#[test]
+fn tracing_off_by_default_has_no_cost_path() {
+    // Plain run() never records; this is just an API-shape check.
+    let out = World::run(2, |comm| comm.rank());
+    assert_eq!(out, vec![0, 1]);
+}
+
+#[test]
+fn ssend_costs_one_extra_ack_message() {
+    let (_, trace) = World::builder(2)
+        .run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.ssend(&[1i64], 1, 0).unwrap();
+            } else {
+                comm.recv_one::<i64>(0, 0).unwrap();
+            }
+        })
+        .unwrap();
+    // One user message + one (runtime) ack.
+    assert_eq!(trace.len(), 2);
+    assert_eq!(trace.iter().filter(|m| m.is_user()).count(), 1);
+}

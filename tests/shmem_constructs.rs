@@ -1,0 +1,134 @@
+//! Integration tests for the shared-memory runtime's construct family
+//! driven through the public API, including combinations the unit tests
+//! don't reach: nesting, construct sequences, and scheduling × reduction
+//! interplay.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use patternlets_core::reduce::ops;
+use patternlets_shmem::{BarrierKind, Schedule, Team};
+
+#[test]
+fn nested_parallel_regions_work() {
+    // An outer team of 2, each thread forking an inner team of 3 —
+    // OpenMP nested parallelism. 6 leaf executions, each knowing both ids.
+    let hits = Mutex::new(Vec::new());
+    Team::new(2).parallel(|outer| {
+        let outer_id = outer.thread_num();
+        Team::new(3).parallel(|inner| {
+            hits.lock().push((outer_id, inner.thread_num()));
+        });
+    });
+    let mut got = hits.into_inner();
+    got.sort_unstable();
+    let want: Vec<(usize, usize)> =
+        (0..2).flat_map(|o| (0..3).map(move |i| (o, i))).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn long_construct_sequences_stay_aligned() {
+    // Alternating constructs in one region: the encounter-key mechanism
+    // must keep every thread on the same construct.
+    let singles = AtomicUsize::new(0);
+    let out = Team::new(4).parallel_map(|ctx| {
+        let mut acc = 0i64;
+        for round in 0..10 {
+            ctx.barrier();
+            acc += ctx.reduce(1i64, &ops::Sum);
+            ctx.single(|| {
+                singles.fetch_add(1, Ordering::Relaxed);
+            });
+            acc += ctx.for_each_reduce(8, Schedule::StaticCyclic, &ops::Sum, |i| {
+                (i + round) as i64
+            });
+        }
+        acc
+    });
+    assert_eq!(singles.load(Ordering::Relaxed), 10);
+    // Every thread computed the same total.
+    assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
+}
+
+#[test]
+fn reduce_works_under_every_barrier_algorithm() {
+    for kind in BarrierKind::ALL {
+        let out = Team::new(5)
+            .with_barrier(kind)
+            .parallel_map(|ctx| ctx.reduce(ctx.thread_num() as i64, &ops::Sum));
+        assert!(out.iter().all(|&v| v == 10), "{kind:?}: {out:?}");
+    }
+}
+
+#[test]
+fn ordered_loop_emits_in_iteration_order_through_public_api() {
+    let log = Mutex::new(Vec::new());
+    Team::new(4).parallel(|ctx| {
+        ctx.for_each_ordered(32, Schedule::Dynamic(1), |i, ord| {
+            // Unordered part may interleave…
+            std::hint::black_box(i * i);
+            // …the ordered region may not.
+            ord.ordered(i, || log.lock().push(i));
+        });
+    });
+    assert_eq!(log.into_inner(), (0..32).collect::<Vec<_>>());
+}
+
+#[test]
+fn single_broadcast_distributes_one_computation() {
+    let out = Team::new(8).parallel_map(|ctx| ctx.single_broadcast(|| vec![1, 2, 3]));
+    assert!(out.iter().all(|v| v == &[1, 2, 3]));
+}
+
+#[test]
+fn sections_combined_with_loops() {
+    let log = Mutex::new(Vec::new());
+    let a = || {
+        // run by exactly one thread
+    };
+    let b = || {};
+    Team::new(3).parallel(|ctx| {
+        ctx.sections(&[&a, &b]);
+        ctx.for_each(6, Schedule::StaticBlock, |i| {
+            log.lock().push(i);
+        });
+    });
+    let mut got = log.into_inner();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn guided_schedule_with_reduction_is_exact() {
+    let data: Vec<i64> = (0..50_000).map(|i| (i % 101) as i64).collect();
+    let expected: i64 = data.iter().sum();
+    for n in [1, 3, 8] {
+        let got =
+            Team::new(n).parallel_for_reduce(data.len(), Schedule::Guided(16), &ops::Sum, |i| {
+                data[i]
+            });
+        assert_eq!(got, expected, "n={n}");
+    }
+}
+
+#[test]
+fn team_sizes_beyond_core_count_still_correct() {
+    // 32 threads on (likely) one core: correctness must not depend on
+    // real parallel hardware.
+    let out = Team::new(32).parallel_map(|ctx| {
+        ctx.barrier();
+        ctx.reduce(1u64, &ops::Sum)
+    });
+    assert!(out.iter().all(|&v| v == 32));
+}
+
+#[test]
+fn fork_join_inside_region_threads() {
+    use patternlets_shmem::constructs::join2;
+    let out = Team::new(2).parallel_map(|_ctx| {
+        let (a, b) = join2(|| 2, || 3);
+        a * b
+    });
+    assert_eq!(out, vec![6, 6]);
+}
