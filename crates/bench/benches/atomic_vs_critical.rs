@@ -19,7 +19,8 @@ const DEPOSITS: usize = 100_000;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig30_mutual_exclusion");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
     for threads in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("atomic", threads), &threads, |b, &n| {
@@ -47,17 +48,21 @@ fn bench(c: &mut Criterion) {
                 balance.load(Ordering::Relaxed)
             })
         });
-        g.bench_with_input(BenchmarkId::new("ttas_spinlock", threads), &threads, |b, &n| {
-            b.iter(|| {
-                let balance = TtasLock::new(0.0f64);
-                Team::new(n).parallel(|_| {
-                    for _ in 0..DEPOSITS / n {
-                        balance.with(|v| *v += 1.0);
-                    }
-                });
-                balance.with(|v| *v)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ttas_spinlock", threads),
+            &threads,
+            |b, &n| {
+                b.iter(|| {
+                    let balance = TtasLock::new(0.0f64);
+                    Team::new(n).parallel(|_| {
+                        for _ in 0..DEPOSITS / n {
+                            balance.with(|v| *v += 1.0);
+                        }
+                    });
+                    balance.with(|v| *v)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -29,21 +29,18 @@ fn drive(barrier: Arc<dyn Barrier>, n: usize) {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("barrier_variants");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
     for n in [2usize, 4, 8] {
         for kind in BarrierKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        // Barrier construction is part of a region setup;
-                        // include it, as Team::parallel does.
-                        drive(kind.build(n), n)
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    // Barrier construction is part of a region setup;
+                    // include it, as Team::parallel does.
+                    drive(kind.build(n), n)
+                })
+            });
         }
     }
     g.finish();

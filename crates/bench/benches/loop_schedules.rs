@@ -34,7 +34,8 @@ fn schedules() -> Vec<Schedule> {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("loop_schedule_overhead");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
     for schedule in schedules() {
         for threads in [1usize, 4] {
@@ -64,14 +65,20 @@ fn print_balance_table() {
     let costs: Vec<u64> = (0..1024u64).collect();
     let n = 4;
     let total: u64 = costs.iter().sum();
-    println!("lower bound (perfect balance): {}", total.div_ceil(n as u64));
+    println!(
+        "lower bound (perfect balance): {}",
+        total.div_ceil(n as u64)
+    );
     for (name, kind) in [
         ("static-block", Schedule::StaticBlock),
         ("static-cyclic", Schedule::StaticCyclic),
         ("static-chunked(64)", Schedule::StaticChunked(64)),
     ] {
         let map = static_map(kind, costs.len(), n);
-        println!("{name:>20}: makespan {}", static_loop_makespan(&costs, &map, n));
+        println!(
+            "{name:>20}: makespan {}",
+            static_loop_makespan(&costs, &map, n)
+        );
     }
     println!(
         "{:>20}: makespan {}",

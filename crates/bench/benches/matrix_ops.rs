@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
     let b_m = Matrix::from_fn(N, N, |i, j| ((i * j) % 17) as f64);
 
     let mut g = c.benchmark_group("cs2_matrix_lab");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
 
     g.bench_function("add_sequential", |bch| {
@@ -24,9 +25,11 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| std::hint::black_box(a.transpose_sequential()))
     });
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("add_parallel", threads), &threads, |bch, &n| {
-            bch.iter(|| std::hint::black_box(a.add_parallel(&b_m, n)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("add_parallel", threads),
+            &threads,
+            |bch, &n| bch.iter(|| std::hint::black_box(a.add_parallel(&b_m, n))),
+        );
         g.bench_with_input(
             BenchmarkId::new("transpose_parallel", threads),
             &threads,

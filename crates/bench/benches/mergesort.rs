@@ -46,9 +46,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(merge_sort_seq(&v)))
     });
     for depth in [1usize, 2, 3] {
-        g.bench_with_input(BenchmarkId::new("fork_join", 1 << depth), &depth, |b, &d| {
-            b.iter(|| std::hint::black_box(merge_sort_parallel(&v, d)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fork_join", 1 << depth),
+            &depth,
+            |b, &d| b.iter(|| std::hint::black_box(merge_sort_parallel(&v, d))),
+        );
     }
     g.bench_function("std_sort_baseline", |b| {
         b.iter(|| {

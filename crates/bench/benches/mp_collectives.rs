@@ -12,7 +12,8 @@ const PAYLOAD: usize = 256; // i64 elements per rank
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("mp_collectives");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
 
     for np in [2usize, 4, 8] {
@@ -32,8 +33,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("bcast_linear", np), &np, |b, &np| {
             b.iter(|| {
                 World::run(np, |comm| {
-                    let mut buf: Vec<i64> =
-                        if comm.is_master() { (0..PAYLOAD as i64).collect() } else { Vec::new() };
+                    let mut buf: Vec<i64> = if comm.is_master() {
+                        (0..PAYLOAD as i64).collect()
+                    } else {
+                        Vec::new()
+                    };
                     comm.bcast_linear(0, &mut buf).unwrap();
                     buf.len()
                 })
@@ -42,8 +46,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("bcast", np), &np, |b, &np| {
             b.iter(|| {
                 World::run(np, |comm| {
-                    let mut buf: Vec<i64> =
-                        if comm.is_master() { (0..PAYLOAD as i64).collect() } else { Vec::new() };
+                    let mut buf: Vec<i64> = if comm.is_master() {
+                        (0..PAYLOAD as i64).collect()
+                    } else {
+                        Vec::new()
+                    };
                     comm.bcast(0, &mut buf).unwrap();
                     buf.len()
                 })
@@ -100,7 +107,13 @@ fn print_comm_model_table() {
     let payload = PAYLOAD;
     println!(
         "{:>6} {:>14} {:>12} {:>14} {:>12} {:>16} {:>14}",
-        "p", "bcast linear", "bcast tree", "reduce linear", "reduce tree", "allred red+bc", "allred rd"
+        "p",
+        "bcast linear",
+        "bcast tree",
+        "reduce linear",
+        "reduce tree",
+        "allred red+bc",
+        "allred rd"
     );
     for p in [2usize, 4, 8, 16, 64, 256] {
         println!(

@@ -26,7 +26,8 @@ fn bench(c: &mut Criterion) {
     let expected: i64 = a.iter().sum();
 
     let mut g = c.benchmark_group("fig21_reduction_strategies");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
 
     g.bench_function("sequential", |b| {
@@ -44,12 +45,10 @@ fn bench(c: &mut Criterion) {
             |b, &n| {
                 let team = Team::new(n);
                 b.iter(|| {
-                    let s = team.parallel_for_reduce(
-                        a.len(),
-                        Schedule::StaticBlock,
-                        &ops::Sum,
-                        |i| a[i],
-                    );
+                    let s =
+                        team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| {
+                            a[i]
+                        });
                     assert_eq!(s, expected);
                     s
                 })
@@ -76,7 +75,8 @@ fn bench(c: &mut Criterion) {
     // Critical-per-element is so slow we bench it on a 1/10 slice only.
     let slice = &a[..SIZE / 10];
     let slice_sum: i64 = slice.iter().sum();
-    for threads in [2usize] {
+    {
+        let threads = 2usize;
         g.bench_with_input(
             BenchmarkId::new("critical_accumulate_tenth", threads),
             &threads,

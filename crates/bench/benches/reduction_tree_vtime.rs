@@ -31,7 +31,8 @@ fn print_figure_19_table() {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("vtime_engine");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
     for t in [64usize, 1024] {
         let tree = reduction_tree(t, 1);

@@ -13,7 +13,8 @@ use patternlets_shmem::Team;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("spmd_scaling");
-    g.sample_size(10).measurement_time(Duration::from_secs(2))
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
 
     for n in [1usize, 2, 4, 8, 16] {

@@ -34,10 +34,7 @@ impl CoverageReport {
 }
 
 /// Cross-index `(patternlet_name, pattern_names)` pairs against a catalog.
-pub fn coverage_report(
-    catalog: &Catalog,
-    demonstrations: &[(&str, &[&str])],
-) -> CoverageReport {
+pub fn coverage_report(catalog: &Catalog, demonstrations: &[(&str, &[&str])]) -> CoverageReport {
     let mut covered: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut unknown = Vec::new();
     for (patternlet, patterns) in demonstrations {
@@ -62,7 +59,10 @@ pub fn coverage_report(
 /// How many patterns at each layer a report covers — useful for showing
 /// that patternlets concentrate at the low (implementation) layer, as the
 /// paper's collection does.
-pub fn layer_histogram(catalog: &Catalog, report: &CoverageReport) -> BTreeMap<&'static str, usize> {
+pub fn layer_histogram(
+    catalog: &Catalog,
+    report: &CoverageReport,
+) -> BTreeMap<&'static str, usize> {
     let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
     for name in report.covered.keys() {
         if let Some(p) = catalog.find(name) {
@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn layer_histogram_counts_layers() {
         let cat = opl::catalog();
-        let report = coverage_report(
-            &cat,
-            &[("a", &["Barrier", "Reduction", "Monte Carlo"][..])],
-        );
+        let report = coverage_report(&cat, &[("a", &["Barrier", "Reduction", "Monte Carlo"][..])]);
         let hist = layer_histogram(&cat, &report);
         assert_eq!(hist.get("low (implementation)"), Some(&2));
         assert_eq!(hist.get("high (architecture)"), Some(&1));
@@ -118,10 +115,7 @@ mod tests {
     #[test]
     fn multiple_patternlets_per_pattern_accumulate() {
         let cat = opl::catalog();
-        let report = coverage_report(
-            &cat,
-            &[("a", &["Barrier"][..]), ("b", &["Barrier"][..])],
-        );
+        let report = coverage_report(&cat, &[("a", &["Barrier"][..]), ("b", &["Barrier"][..])]);
         assert_eq!(report.covered["Barrier"].len(), 2);
     }
 }

@@ -28,66 +28,361 @@ pub fn catalog() -> Catalog {
         "OPL (Keutzer & Mattson)",
         vec![
             // -- Structural patterns (architectures) ------------------------
-            p!("Pipe-and-Filter", "Structural", High, "data flows through transforming filters"),
-            p!("Agent and Repository", "Structural", High, "agents cooperate via a shared repository"),
-            p!("Process Control", "Structural", High, "controller continually adjusts a process"),
-            p!("Event-Based Implicit Invocation", "Structural", High, "components react to announced events"),
-            p!("Model-View-Controller", "Structural", High, "separate state, presentation, and control"),
-            p!("Iterative Refinement", "Structural", High, "repeat until convergence", ["Iterator"]),
-            p!("MapReduce", "Structural", High, "map over records, reduce grouped results"),
-            p!("Layered Systems", "Structural", High, "strictly layered services"),
-            p!("Puppeteer", "Structural", High, "coordinator sequences semi-independent agents"),
-            p!("Static Task Graph", "Structural", High, "fixed DAG of communicating tasks"),
+            p!(
+                "Pipe-and-Filter",
+                "Structural",
+                High,
+                "data flows through transforming filters"
+            ),
+            p!(
+                "Agent and Repository",
+                "Structural",
+                High,
+                "agents cooperate via a shared repository"
+            ),
+            p!(
+                "Process Control",
+                "Structural",
+                High,
+                "controller continually adjusts a process"
+            ),
+            p!(
+                "Event-Based Implicit Invocation",
+                "Structural",
+                High,
+                "components react to announced events"
+            ),
+            p!(
+                "Model-View-Controller",
+                "Structural",
+                High,
+                "separate state, presentation, and control"
+            ),
+            p!(
+                "Iterative Refinement",
+                "Structural",
+                High,
+                "repeat until convergence",
+                ["Iterator"]
+            ),
+            p!(
+                "MapReduce",
+                "Structural",
+                High,
+                "map over records, reduce grouped results"
+            ),
+            p!(
+                "Layered Systems",
+                "Structural",
+                High,
+                "strictly layered services"
+            ),
+            p!(
+                "Puppeteer",
+                "Structural",
+                High,
+                "coordinator sequences semi-independent agents"
+            ),
+            p!(
+                "Static Task Graph",
+                "Structural",
+                High,
+                "fixed DAG of communicating tasks"
+            ),
             // -- Computational patterns (the 'dwarfs') -----------------------
-            p!("Backtrack Branch and Bound", "Computational", High, "prune an exponential search space"),
-            p!("Circuits", "Computational", High, "boolean circuit evaluation"),
-            p!("Dynamic Programming", "Computational", High, "tabulate overlapping subproblems"),
-            p!("Dense Linear Algebra", "Computational", High, "matrix-matrix and matrix-vector kernels"),
-            p!("Sparse Linear Algebra", "Computational", High, "computations on mostly-zero matrices"),
-            p!("Finite State Machines", "Computational", High, "state-transition computations"),
-            p!("Graph Algorithms", "Computational", High, "traversal and analysis of graphs"),
-            p!("Graphical Models", "Computational", High, "inference over probabilistic graphs"),
-            p!("Monte Carlo", "Computational", High, "estimate via repeated random sampling", ["Monte Carlo Simulations", "Monte Carlo Methods"]),
-            p!("N-Body Problems", "Computational", High, "all-pairs interaction simulations", ["N-Body Methods", "N-Body"]),
-            p!("Spectral Methods", "Computational", High, "transform-domain computations (FFT)"),
-            p!("Structured Grids", "Computational", High, "stencil updates on regular meshes"),
-            p!("Unstructured Grids", "Computational", High, "updates on irregular meshes"),
+            p!(
+                "Backtrack Branch and Bound",
+                "Computational",
+                High,
+                "prune an exponential search space"
+            ),
+            p!(
+                "Circuits",
+                "Computational",
+                High,
+                "boolean circuit evaluation"
+            ),
+            p!(
+                "Dynamic Programming",
+                "Computational",
+                High,
+                "tabulate overlapping subproblems"
+            ),
+            p!(
+                "Dense Linear Algebra",
+                "Computational",
+                High,
+                "matrix-matrix and matrix-vector kernels"
+            ),
+            p!(
+                "Sparse Linear Algebra",
+                "Computational",
+                High,
+                "computations on mostly-zero matrices"
+            ),
+            p!(
+                "Finite State Machines",
+                "Computational",
+                High,
+                "state-transition computations"
+            ),
+            p!(
+                "Graph Algorithms",
+                "Computational",
+                High,
+                "traversal and analysis of graphs"
+            ),
+            p!(
+                "Graphical Models",
+                "Computational",
+                High,
+                "inference over probabilistic graphs"
+            ),
+            p!(
+                "Monte Carlo",
+                "Computational",
+                High,
+                "estimate via repeated random sampling",
+                ["Monte Carlo Simulations", "Monte Carlo Methods"]
+            ),
+            p!(
+                "N-Body Problems",
+                "Computational",
+                High,
+                "all-pairs interaction simulations",
+                ["N-Body Methods", "N-Body"]
+            ),
+            p!(
+                "Spectral Methods",
+                "Computational",
+                High,
+                "transform-domain computations (FFT)"
+            ),
+            p!(
+                "Structured Grids",
+                "Computational",
+                High,
+                "stencil updates on regular meshes"
+            ),
+            p!(
+                "Unstructured Grids",
+                "Computational",
+                High,
+                "updates on irregular meshes"
+            ),
             // -- Algorithm strategy patterns ---------------------------------
-            p!("Task Parallelism", "Algorithm Strategy", Mid, "independent tasks run concurrently"),
-            p!("Data Parallelism", "Algorithm Strategy", Mid, "one operation applied across a collection"),
-            p!("Recursive Splitting", "Algorithm Strategy", Mid, "divide, conquer, combine", ["Divide and Conquer"]),
-            p!("Pipeline", "Algorithm Strategy", Mid, "overlap stages over a data stream"),
-            p!("Geometric Decomposition", "Algorithm Strategy", Mid, "partition the data domain spatially"),
-            p!("Discrete Event", "Algorithm Strategy", Mid, "tasks react to timed/ordered events"),
-            p!("Speculation", "Algorithm Strategy", Mid, "compute ahead, discard if invalidated"),
-            p!("Data Decomposition", "Algorithm Strategy", Mid, "split the problem by its data"),
-            p!("Task Decomposition", "Algorithm Strategy", Mid, "split the problem by its tasks"),
+            p!(
+                "Task Parallelism",
+                "Algorithm Strategy",
+                Mid,
+                "independent tasks run concurrently"
+            ),
+            p!(
+                "Data Parallelism",
+                "Algorithm Strategy",
+                Mid,
+                "one operation applied across a collection"
+            ),
+            p!(
+                "Recursive Splitting",
+                "Algorithm Strategy",
+                Mid,
+                "divide, conquer, combine",
+                ["Divide and Conquer"]
+            ),
+            p!(
+                "Pipeline",
+                "Algorithm Strategy",
+                Mid,
+                "overlap stages over a data stream"
+            ),
+            p!(
+                "Geometric Decomposition",
+                "Algorithm Strategy",
+                Mid,
+                "partition the data domain spatially"
+            ),
+            p!(
+                "Discrete Event",
+                "Algorithm Strategy",
+                Mid,
+                "tasks react to timed/ordered events"
+            ),
+            p!(
+                "Speculation",
+                "Algorithm Strategy",
+                Mid,
+                "compute ahead, discard if invalidated"
+            ),
+            p!(
+                "Data Decomposition",
+                "Algorithm Strategy",
+                Mid,
+                "split the problem by its data"
+            ),
+            p!(
+                "Task Decomposition",
+                "Algorithm Strategy",
+                Mid,
+                "split the problem by its tasks"
+            ),
             // -- Implementation strategy patterns ----------------------------
-            p!("SPMD", "Implementation Strategy", Low, "one program, many task instances, branch on id", ["Single Program Multiple Data"]),
-            p!("Strict Data Parallel", "Implementation Strategy", Low, "lockstep elementwise operations"),
-            p!("Fork-Join", "Implementation Strategy", Low, "spawn children, await their completion", ["Fork/Join"]),
-            p!("Actors", "Implementation Strategy", Low, "isolated state, asynchronous messages"),
-            p!("Master-Worker", "Implementation Strategy", Low, "master deals work items to a pool", ["Master/Worker", "Manager-Worker"]),
-            p!("Task Queue", "Implementation Strategy", Low, "shared queue feeds idle workers"),
-            p!("Loop Parallelism", "Implementation Strategy", Low, "distribute loop iterations", ["Parallel Loop", "Parallel For"]),
-            p!("Bulk Synchronous Parallel", "Implementation Strategy", Low, "compute/communicate supersteps", ["BSP"]),
-            p!("Graph Partitioning", "Implementation Strategy", Low, "partition work/data graphs across tasks"),
-            p!("Shared Queue", "Implementation Strategy", Low, "concurrent queue data structure"),
-            p!("Shared Map", "Implementation Strategy", Low, "concurrent hash map", ["Shared Hash Table"]),
-            p!("Distributed Array", "Implementation Strategy", Low, "array partitioned across memories"),
+            p!(
+                "SPMD",
+                "Implementation Strategy",
+                Low,
+                "one program, many task instances, branch on id",
+                ["Single Program Multiple Data"]
+            ),
+            p!(
+                "Strict Data Parallel",
+                "Implementation Strategy",
+                Low,
+                "lockstep elementwise operations"
+            ),
+            p!(
+                "Fork-Join",
+                "Implementation Strategy",
+                Low,
+                "spawn children, await their completion",
+                ["Fork/Join"]
+            ),
+            p!(
+                "Actors",
+                "Implementation Strategy",
+                Low,
+                "isolated state, asynchronous messages"
+            ),
+            p!(
+                "Master-Worker",
+                "Implementation Strategy",
+                Low,
+                "master deals work items to a pool",
+                ["Master/Worker", "Manager-Worker"]
+            ),
+            p!(
+                "Task Queue",
+                "Implementation Strategy",
+                Low,
+                "shared queue feeds idle workers"
+            ),
+            p!(
+                "Loop Parallelism",
+                "Implementation Strategy",
+                Low,
+                "distribute loop iterations",
+                ["Parallel Loop", "Parallel For"]
+            ),
+            p!(
+                "Bulk Synchronous Parallel",
+                "Implementation Strategy",
+                Low,
+                "compute/communicate supersteps",
+                ["BSP"]
+            ),
+            p!(
+                "Graph Partitioning",
+                "Implementation Strategy",
+                Low,
+                "partition work/data graphs across tasks"
+            ),
+            p!(
+                "Shared Queue",
+                "Implementation Strategy",
+                Low,
+                "concurrent queue data structure"
+            ),
+            p!(
+                "Shared Map",
+                "Implementation Strategy",
+                Low,
+                "concurrent hash map",
+                ["Shared Hash Table"]
+            ),
+            p!(
+                "Distributed Array",
+                "Implementation Strategy",
+                Low,
+                "array partitioned across memories"
+            ),
             // -- Parallel execution patterns (mechanisms) --------------------
-            p!("Message Passing", "Parallel Execution", Low, "explicit send/receive between tasks"),
-            p!("Collective Communication", "Parallel Execution", Low, "group-wide data movement"),
-            p!("Broadcast", "Parallel Execution", Low, "one value delivered to all tasks"),
-            p!("Scatter", "Parallel Execution", Low, "root deals slices to all tasks"),
-            p!("Gather", "Parallel Execution", Low, "all tasks' data collected at a root"),
-            p!("Reduction", "Parallel Execution", Low, "combine partial results with an associative op", ["Reduce"]),
-            p!("Scan", "Parallel Execution", Low, "parallel prefix computation", ["Prefix Sum"]),
-            p!("Barrier", "Parallel Execution", Low, "no task proceeds until all arrive", ["Collective Synchronization"]),
-            p!("Mutual Exclusion", "Parallel Execution", Low, "one task at a time in a critical section", ["Critical Section", "Mutex"]),
-            p!("Atomic Operations", "Parallel Execution", Low, "indivisible hardware read-modify-write", ["Atomic"]),
-            p!("Point-to-Point Synchronization", "Parallel Execution", Low, "pairwise ordering between tasks"),
-            p!("Thread Pool", "Parallel Execution", Low, "recycle threads across tasks"),
+            p!(
+                "Message Passing",
+                "Parallel Execution",
+                Low,
+                "explicit send/receive between tasks"
+            ),
+            p!(
+                "Collective Communication",
+                "Parallel Execution",
+                Low,
+                "group-wide data movement"
+            ),
+            p!(
+                "Broadcast",
+                "Parallel Execution",
+                Low,
+                "one value delivered to all tasks"
+            ),
+            p!(
+                "Scatter",
+                "Parallel Execution",
+                Low,
+                "root deals slices to all tasks"
+            ),
+            p!(
+                "Gather",
+                "Parallel Execution",
+                Low,
+                "all tasks' data collected at a root"
+            ),
+            p!(
+                "Reduction",
+                "Parallel Execution",
+                Low,
+                "combine partial results with an associative op",
+                ["Reduce"]
+            ),
+            p!(
+                "Scan",
+                "Parallel Execution",
+                Low,
+                "parallel prefix computation",
+                ["Prefix Sum"]
+            ),
+            p!(
+                "Barrier",
+                "Parallel Execution",
+                Low,
+                "no task proceeds until all arrive",
+                ["Collective Synchronization"]
+            ),
+            p!(
+                "Mutual Exclusion",
+                "Parallel Execution",
+                Low,
+                "one task at a time in a critical section",
+                ["Critical Section", "Mutex"]
+            ),
+            p!(
+                "Atomic Operations",
+                "Parallel Execution",
+                Low,
+                "indivisible hardware read-modify-write",
+                ["Atomic"]
+            ),
+            p!(
+                "Point-to-Point Synchronization",
+                "Parallel Execution",
+                Low,
+                "pairwise ordering between tasks"
+            ),
+            p!(
+                "Thread Pool",
+                "Parallel Execution",
+                Low,
+                "recycle threads across tasks"
+            ),
         ],
     )
 }
@@ -119,8 +414,14 @@ mod tests {
     #[test]
     fn structural_and_computational_are_high_level() {
         let c = catalog();
-        assert!(c.in_category("Structural").iter().all(|p| p.layer == Layer::High));
-        assert!(c.in_category("Computational").iter().all(|p| p.layer == Layer::High));
+        assert!(c
+            .in_category("Structural")
+            .iter()
+            .all(|p| p.layer == Layer::High));
+        assert!(c
+            .in_category("Computational")
+            .iter()
+            .all(|p| p.layer == Layer::High));
         assert!(c
             .in_category("Algorithm Strategy")
             .iter()
@@ -132,7 +433,10 @@ mod tests {
         let c = catalog();
         assert_eq!(c.find("Critical Section").unwrap().name, "Mutual Exclusion");
         assert_eq!(c.find("Parallel Loop").unwrap().name, "Loop Parallelism");
-        assert_eq!(c.find("Divide and Conquer").unwrap().name, "Recursive Splitting");
+        assert_eq!(
+            c.find("Divide and Conquer").unwrap().name,
+            "Recursive Splitting"
+        );
         assert_eq!(c.find("BSP").unwrap().name, "Bulk Synchronous Parallel");
     }
 }

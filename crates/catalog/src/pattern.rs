@@ -58,7 +58,11 @@ impl Catalog {
     pub fn new(name: &'static str, patterns: Vec<Pattern>) -> Self {
         let mut seen = std::collections::HashSet::new();
         for p in &patterns {
-            assert!(seen.insert(p.name), "duplicate pattern {:?} in {name}", p.name);
+            assert!(
+                seen.insert(p.name),
+                "duplicate pattern {:?} in {name}",
+                p.name
+            );
         }
         Catalog { name, patterns }
     }

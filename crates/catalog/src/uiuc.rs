@@ -28,77 +28,362 @@ pub fn catalog() -> Catalog {
         "UIUC (Johnson, Chen, Tasharofi & Kjolstad)",
         vec![
             // 1. Application architectures.
-            p!("Pipe-and-Filter", "Application Architecture", High, "stream through transforming stages"),
-            p!("Blackboard", "Application Architecture", High, "experts update a shared solution space", ["Agent and Repository"]),
-            p!("Event-Driven", "Application Architecture", High, "react to asynchronous events"),
-            p!("MapReduce", "Application Architecture", High, "map records, reduce groups"),
-            p!("Iterative Refinement", "Application Architecture", High, "sweep until convergence"),
-            p!("Client-Server", "Application Architecture", High, "request/response services"),
+            p!(
+                "Pipe-and-Filter",
+                "Application Architecture",
+                High,
+                "stream through transforming stages"
+            ),
+            p!(
+                "Blackboard",
+                "Application Architecture",
+                High,
+                "experts update a shared solution space",
+                ["Agent and Repository"]
+            ),
+            p!(
+                "Event-Driven",
+                "Application Architecture",
+                High,
+                "react to asynchronous events"
+            ),
+            p!(
+                "MapReduce",
+                "Application Architecture",
+                High,
+                "map records, reduce groups"
+            ),
+            p!(
+                "Iterative Refinement",
+                "Application Architecture",
+                High,
+                "sweep until convergence"
+            ),
+            p!(
+                "Client-Server",
+                "Application Architecture",
+                High,
+                "request/response services"
+            ),
             // 2. Computational kernels.
-            p!("Dense Linear Algebra", "Computational Kernel", High, "dense matrix kernels"),
-            p!("Sparse Linear Algebra", "Computational Kernel", High, "sparse matrix kernels"),
-            p!("Spectral Methods", "Computational Kernel", High, "FFT-style transforms"),
-            p!("N-Body Problems", "Computational Kernel", High, "pairwise interaction simulation", ["N-Body Methods"]),
-            p!("Structured Grids", "Computational Kernel", High, "regular stencil sweeps"),
-            p!("Unstructured Grids", "Computational Kernel", High, "irregular mesh updates"),
-            p!("Monte Carlo", "Computational Kernel", High, "random sampling estimation", ["Monte Carlo Simulations"]),
-            p!("Graph Algorithms", "Computational Kernel", High, "graph traversal and analysis"),
-            p!("Dynamic Programming", "Computational Kernel", High, "tabulated subproblems"),
-            p!("Backtrack Branch and Bound", "Computational Kernel", High, "pruned exhaustive search"),
-            p!("Graphical Models", "Computational Kernel", High, "probabilistic inference"),
-            p!("Finite State Machines", "Computational Kernel", High, "transition systems"),
+            p!(
+                "Dense Linear Algebra",
+                "Computational Kernel",
+                High,
+                "dense matrix kernels"
+            ),
+            p!(
+                "Sparse Linear Algebra",
+                "Computational Kernel",
+                High,
+                "sparse matrix kernels"
+            ),
+            p!(
+                "Spectral Methods",
+                "Computational Kernel",
+                High,
+                "FFT-style transforms"
+            ),
+            p!(
+                "N-Body Problems",
+                "Computational Kernel",
+                High,
+                "pairwise interaction simulation",
+                ["N-Body Methods"]
+            ),
+            p!(
+                "Structured Grids",
+                "Computational Kernel",
+                High,
+                "regular stencil sweeps"
+            ),
+            p!(
+                "Unstructured Grids",
+                "Computational Kernel",
+                High,
+                "irregular mesh updates"
+            ),
+            p!(
+                "Monte Carlo",
+                "Computational Kernel",
+                High,
+                "random sampling estimation",
+                ["Monte Carlo Simulations"]
+            ),
+            p!(
+                "Graph Algorithms",
+                "Computational Kernel",
+                High,
+                "graph traversal and analysis"
+            ),
+            p!(
+                "Dynamic Programming",
+                "Computational Kernel",
+                High,
+                "tabulated subproblems"
+            ),
+            p!(
+                "Backtrack Branch and Bound",
+                "Computational Kernel",
+                High,
+                "pruned exhaustive search"
+            ),
+            p!(
+                "Graphical Models",
+                "Computational Kernel",
+                High,
+                "probabilistic inference"
+            ),
+            p!(
+                "Finite State Machines",
+                "Computational Kernel",
+                High,
+                "transition systems"
+            ),
             // 3. Finding concurrency / decomposition.
-            p!("Task Decomposition", "Decomposition", Mid, "split by function"),
+            p!(
+                "Task Decomposition",
+                "Decomposition",
+                Mid,
+                "split by function"
+            ),
             p!("Data Decomposition", "Decomposition", Mid, "split by data"),
-            p!("Pipeline Decomposition", "Decomposition", Mid, "split by stage"),
-            p!("Recursive Decomposition", "Decomposition", Mid, "split recursively", ["Divide and Conquer", "Recursive Splitting"]),
-            p!("Geometric Decomposition", "Decomposition", Mid, "split by spatial region"),
+            p!(
+                "Pipeline Decomposition",
+                "Decomposition",
+                Mid,
+                "split by stage"
+            ),
+            p!(
+                "Recursive Decomposition",
+                "Decomposition",
+                Mid,
+                "split recursively",
+                ["Divide and Conquer", "Recursive Splitting"]
+            ),
+            p!(
+                "Geometric Decomposition",
+                "Decomposition",
+                Mid,
+                "split by spatial region"
+            ),
             // 4. Algorithm strategies.
-            p!("Task Parallelism", "Algorithm Strategy", Mid, "independent concurrent tasks"),
-            p!("Data Parallelism", "Algorithm Strategy", Mid, "same op across elements"),
+            p!(
+                "Task Parallelism",
+                "Algorithm Strategy",
+                Mid,
+                "independent concurrent tasks"
+            ),
+            p!(
+                "Data Parallelism",
+                "Algorithm Strategy",
+                Mid,
+                "same op across elements"
+            ),
             p!("Pipeline", "Algorithm Strategy", Mid, "overlapped stages"),
-            p!("Speculation", "Algorithm Strategy", Mid, "optimistic parallel execution"),
-            p!("Discrete Event", "Algorithm Strategy", Mid, "ordered event processing"),
-            p!("Embarrassingly Parallel", "Algorithm Strategy", Mid, "no inter-task communication at all"),
+            p!(
+                "Speculation",
+                "Algorithm Strategy",
+                Mid,
+                "optimistic parallel execution"
+            ),
+            p!(
+                "Discrete Event",
+                "Algorithm Strategy",
+                Mid,
+                "ordered event processing"
+            ),
+            p!(
+                "Embarrassingly Parallel",
+                "Algorithm Strategy",
+                Mid,
+                "no inter-task communication at all"
+            ),
             // 5. Program structures.
-            p!("SPMD", "Program Structure", Low, "one program, id-dependent behaviour", ["Single Program Multiple Data"]),
-            p!("Fork-Join", "Program Structure", Low, "spawn then await children", ["Fork/Join"]),
-            p!("Master-Worker", "Program Structure", Low, "work dealt from a master", ["Master/Worker"]),
-            p!("Loop Parallelism", "Program Structure", Low, "iterations across tasks", ["Parallel Loop"]),
-            p!("Bulk Synchronous Parallel", "Program Structure", Low, "supersteps with barriers", ["BSP"]),
-            p!("Actors", "Program Structure", Low, "message-driven isolated objects"),
-            p!("Thread Pool", "Program Structure", Low, "persistent worker threads"),
-            p!("Task Queue", "Program Structure", Low, "queue of pending work items"),
+            p!(
+                "SPMD",
+                "Program Structure",
+                Low,
+                "one program, id-dependent behaviour",
+                ["Single Program Multiple Data"]
+            ),
+            p!(
+                "Fork-Join",
+                "Program Structure",
+                Low,
+                "spawn then await children",
+                ["Fork/Join"]
+            ),
+            p!(
+                "Master-Worker",
+                "Program Structure",
+                Low,
+                "work dealt from a master",
+                ["Master/Worker"]
+            ),
+            p!(
+                "Loop Parallelism",
+                "Program Structure",
+                Low,
+                "iterations across tasks",
+                ["Parallel Loop"]
+            ),
+            p!(
+                "Bulk Synchronous Parallel",
+                "Program Structure",
+                Low,
+                "supersteps with barriers",
+                ["BSP"]
+            ),
+            p!(
+                "Actors",
+                "Program Structure",
+                Low,
+                "message-driven isolated objects"
+            ),
+            p!(
+                "Thread Pool",
+                "Program Structure",
+                Low,
+                "persistent worker threads"
+            ),
+            p!(
+                "Task Queue",
+                "Program Structure",
+                Low,
+                "queue of pending work items"
+            ),
             // 6. Data structures.
-            p!("Shared Array", "Data Structure", Low, "concurrently accessed array"),
+            p!(
+                "Shared Array",
+                "Data Structure",
+                Low,
+                "concurrently accessed array"
+            ),
             p!("Shared Queue", "Data Structure", Low, "concurrent FIFO"),
             p!("Shared Map", "Data Structure", Low, "concurrent dictionary"),
-            p!("Distributed Array", "Data Structure", Low, "array split across memories"),
-            p!("Replicated Data", "Data Structure", Low, "per-task private copies merged later"),
+            p!(
+                "Distributed Array",
+                "Data Structure",
+                Low,
+                "array split across memories"
+            ),
+            p!(
+                "Replicated Data",
+                "Data Structure",
+                Low,
+                "per-task private copies merged later"
+            ),
             // 7. Synchronization.
-            p!("Barrier", "Synchronization", Low, "all-arrive-before-any-proceeds"),
-            p!("Mutual Exclusion", "Synchronization", Low, "exclusive critical sections", ["Critical Section", "Mutex", "Lock"]),
-            p!("Atomic Operations", "Synchronization", Low, "hardware-indivisible updates", ["Atomic"]),
+            p!(
+                "Barrier",
+                "Synchronization",
+                Low,
+                "all-arrive-before-any-proceeds"
+            ),
+            p!(
+                "Mutual Exclusion",
+                "Synchronization",
+                Low,
+                "exclusive critical sections",
+                ["Critical Section", "Mutex", "Lock"]
+            ),
+            p!(
+                "Atomic Operations",
+                "Synchronization",
+                Low,
+                "hardware-indivisible updates",
+                ["Atomic"]
+            ),
             p!("Semaphore", "Synchronization", Low, "counted permits"),
-            p!("Condition Variable", "Synchronization", Low, "wait for a predicate under a lock"),
-            p!("Point-to-Point Synchronization", "Synchronization", Low, "pairwise ordering"),
-            p!("Rendezvous", "Synchronization", Low, "two tasks meet to exchange"),
+            p!(
+                "Condition Variable",
+                "Synchronization",
+                Low,
+                "wait for a predicate under a lock"
+            ),
+            p!(
+                "Point-to-Point Synchronization",
+                "Synchronization",
+                Low,
+                "pairwise ordering"
+            ),
+            p!(
+                "Rendezvous",
+                "Synchronization",
+                Low,
+                "two tasks meet to exchange"
+            ),
             // 8. Communication.
-            p!("Message Passing", "Communication", Low, "explicit send/receive"),
+            p!(
+                "Message Passing",
+                "Communication",
+                Low,
+                "explicit send/receive"
+            ),
             p!("Broadcast", "Communication", Low, "root to all"),
             p!("Scatter", "Communication", Low, "root deals slices"),
             p!("Gather", "Communication", Low, "all to root, rank order"),
-            p!("All-Gather", "Communication", Low, "gather then everyone has all", ["Allgather"]),
-            p!("All-to-All", "Communication", Low, "total exchange", ["Alltoall"]),
-            p!("Reduction", "Communication", Low, "combine partials with an associative op", ["Reduce", "All-Reduce"]),
-            p!("Scan", "Communication", Low, "parallel prefix", ["Prefix Sum"]),
+            p!(
+                "All-Gather",
+                "Communication",
+                Low,
+                "gather then everyone has all",
+                ["Allgather"]
+            ),
+            p!(
+                "All-to-All",
+                "Communication",
+                Low,
+                "total exchange",
+                ["Alltoall"]
+            ),
+            p!(
+                "Reduction",
+                "Communication",
+                Low,
+                "combine partials with an associative op",
+                ["Reduce", "All-Reduce"]
+            ),
+            p!(
+                "Scan",
+                "Communication",
+                Low,
+                "parallel prefix",
+                ["Prefix Sum"]
+            ),
             // 9. Load balancing.
-            p!("Static Scheduling", "Load Balancing", Low, "fixed iteration assignment"),
-            p!("Dynamic Scheduling", "Load Balancing", Low, "first-come chunk claiming"),
-            p!("Guided Scheduling", "Load Balancing", Low, "shrinking chunk claiming"),
-            p!("Work Stealing", "Load Balancing", Low, "idle tasks steal from busy ones"),
+            p!(
+                "Static Scheduling",
+                "Load Balancing",
+                Low,
+                "fixed iteration assignment"
+            ),
+            p!(
+                "Dynamic Scheduling",
+                "Load Balancing",
+                Low,
+                "first-come chunk claiming"
+            ),
+            p!(
+                "Guided Scheduling",
+                "Load Balancing",
+                Low,
+                "shrinking chunk claiming"
+            ),
+            p!(
+                "Work Stealing",
+                "Load Balancing",
+                Low,
+                "idle tasks steal from busy ones"
+            ),
             // 10. Performance.
-            p!("Overlap Communication and Computation", "Performance", Low, "hide latency behind work"),
+            p!(
+                "Overlap Communication and Computation",
+                "Performance",
+                Low,
+                "hide latency behind work"
+            ),
         ],
     )
 }
@@ -120,7 +405,11 @@ mod tests {
     #[test]
     fn scheduling_family_present() {
         let c = catalog();
-        for name in ["Static Scheduling", "Dynamic Scheduling", "Guided Scheduling"] {
+        for name in [
+            "Static Scheduling",
+            "Dynamic Scheduling",
+            "Guided Scheduling",
+        ] {
             assert!(c.find(name).is_some(), "{name} missing");
         }
     }
@@ -128,7 +417,12 @@ mod tests {
     #[test]
     fn synchronization_patterns_cover_the_pthreads_patternlets() {
         let c = catalog();
-        for name in ["Mutual Exclusion", "Semaphore", "Condition Variable", "Barrier"] {
+        for name in [
+            "Mutual Exclusion",
+            "Semaphore",
+            "Condition Variable",
+            "Barrier",
+        ] {
             assert_eq!(c.find(name).unwrap().layer, Layer::Low);
         }
     }

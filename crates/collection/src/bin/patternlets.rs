@@ -1,15 +1,16 @@
 //! The `patternlets` CLI — the classroom driver.
 //!
 //! ```text
-//! patternlets list [--tech omp|mpi|threads|hetero]
+//! patternlets list [--tech omp|mpi|threads|hetero|resilience]
 //! patternlets show <name>
-//! patternlets run <name> [-n TASKS] [--on|--off]
+//! patternlets run <name> [-n TASKS] [--on|--off] [--kill RANK]
 //! patternlets coverage
 //! ```
 //!
 //! `run` echoes the live interleaving, exactly like watching the paper's
 //! live-coding demos; `--on` flips the patternlet's directive (the
-//! "uncomment and recompile" move, without the recompile).
+//! "uncomment and recompile" move, without the recompile); `--kill`
+//! picks the victim rank for the `resilience/` family.
 
 use std::process::ExitCode;
 
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
                     "mpi" => Some(Technology::Mpi),
                     "threads" => Some(Technology::Threads),
                     "hetero" => Some(Technology::Hetero),
+                    "resilience" => Some(Technology::Resilience),
                     _ => None,
                 })
             });
@@ -50,14 +52,23 @@ fn main() -> ExitCode {
                     .and_then(|i| args.get(i + 1))
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(4);
-                let mode = if args.iter().any(|a| a == "--on") { Mode::On } else { Mode::Off };
+                let mode = if args.iter().any(|a| a == "--on") {
+                    Mode::On
+                } else {
+                    Mode::Off
+                };
+                let kill = args
+                    .iter()
+                    .position(|a| a == "--kill")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok());
                 println!(
                     "=== {} ({} tasks, directive {}) ===\n",
                     p.name,
                     tasks,
                     if mode.is_on() { "ON" } else { "OFF (initial)" }
                 );
-                let cfg = RunConfig::echoing(tasks, mode);
+                let cfg = RunConfig::echoing(tasks, mode).with_kill(kill);
                 (p.run)(&cfg);
                 println!();
                 ExitCode::SUCCESS
@@ -77,7 +88,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on]"
+                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] [--kill RANK]"
             );
             ExitCode::FAILURE
         }
@@ -94,12 +105,13 @@ fn list(tech: Option<Technology>) {
     }
     let c = census();
     println!(
-        "\n{} patternlets: {} MPI, {} OpenMP, {} threads, {} heterogeneous",
+        "\n{} patternlets: {} MPI, {} OpenMP, {} threads, {} heterogeneous, {} resilience",
         registry().len(),
         c.get(&Technology::Mpi).unwrap_or(&0),
         c.get(&Technology::Omp).unwrap_or(&0),
         c.get(&Technology::Threads).unwrap_or(&0),
         c.get(&Technology::Hetero).unwrap_or(&0),
+        c.get(&Technology::Resilience).unwrap_or(&0),
     );
 }
 
@@ -125,8 +137,7 @@ fn figures() {
 
 fn coverage() {
     for cat in patternlets_catalog::catalogs() {
-        let demos: Vec<(&str, &[&str])> =
-            registry().iter().map(|p| (p.name, p.patterns)).collect();
+        let demos: Vec<(&str, &[&str])> = registry().iter().map(|p| (p.name, p.patterns)).collect();
         let report = patternlets_catalog::coverage_report(&cat, &demos);
         println!(
             "{}: {}/{} patterns covered ({:.0}%)",

@@ -14,6 +14,9 @@ pub enum Technology {
     Threads,
     /// Message passing across nodes + shared memory within them.
     Hetero,
+    /// Fault tolerance: patternlets that *survive* injected failures
+    /// (chaos transport, killed ranks, ULFM-style recovery).
+    Resilience,
 }
 
 impl Technology {
@@ -24,6 +27,7 @@ impl Technology {
             Technology::Mpi => "mpi",
             Technology::Threads => "threads",
             Technology::Hetero => "hetero",
+            Technology::Resilience => "resilience",
         }
     }
 }
@@ -55,17 +59,37 @@ pub struct RunConfig {
     pub mode: Mode,
     /// Where output lines go.
     pub output: Output,
+    /// Rank the `resilience/` family injects a kill into (CLI `--kill N`).
+    /// `None` lets each resilience patternlet pick its default victim;
+    /// non-resilience patternlets ignore it.
+    pub kill: Option<usize>,
 }
 
 impl RunConfig {
     /// Silent config (tests): capture only.
     pub fn new(tasks: usize, mode: Mode) -> Self {
-        RunConfig { tasks, mode, output: Output::new() }
+        RunConfig {
+            tasks,
+            mode,
+            output: Output::new(),
+            kill: None,
+        }
     }
 
     /// Echoing config (CLI): capture *and* print live.
     pub fn echoing(tasks: usize, mode: Mode) -> Self {
-        RunConfig { tasks, mode, output: Output::echoing() }
+        RunConfig {
+            tasks,
+            mode,
+            output: Output::echoing(),
+            kill: None,
+        }
+    }
+
+    /// Select the rank the resilience patternlets kill.
+    pub fn with_kill(mut self, rank: Option<usize>) -> Self {
+        self.kill = rank;
+        self
     }
 
     /// A sink stamping lines with `task`.
@@ -157,5 +181,15 @@ mod tests {
         assert_eq!(Technology::Mpi.label(), "mpi");
         assert_eq!(Technology::Threads.label(), "threads");
         assert_eq!(Technology::Hetero.label(), "hetero");
+        assert_eq!(Technology::Resilience.label(), "resilience");
+    }
+
+    #[test]
+    fn kill_defaults_to_none_and_is_settable() {
+        assert_eq!(RunConfig::new(2, Mode::Off).kill, None);
+        assert_eq!(
+            RunConfig::new(2, Mode::Off).with_kill(Some(1)).kill,
+            Some(1)
+        );
     }
 }

@@ -18,7 +18,12 @@ pub const THREADS_PER_PROC: usize = 2;
 pub const PATTERNLET: Patternlet = Patternlet {
     name: "hetero/reduction",
     technology: Technology::Hetero,
-    patterns: &["Reduction", "Message Passing", "Loop Parallelism", "Data Decomposition"],
+    patterns: &[
+        "Reduction",
+        "Message Passing",
+        "Loop Parallelism",
+        "Data Decomposition",
+    ],
     figures: &[],
     summary: "threads reduce locally; processes reduce the partials",
     exercise: "Count the combining operations at each level for p \
@@ -34,13 +39,15 @@ fn run(cfg: &RunConfig) {
         // Each process owns a distinct slice of the global array
         // [0, 1, 2, …]; its local sum has a closed form we can verify.
         let base = (rank * PER_PROC) as i64;
-        let nt = if cfg.mode.is_on() { THREADS_PER_PROC } else { 1 };
-        let local_sum = Team::new(nt).parallel_for_reduce(
-            PER_PROC,
-            Schedule::StaticBlock,
-            &ops::Sum,
-            |i| base + i as i64,
-        );
+        let nt = if cfg.mode.is_on() {
+            THREADS_PER_PROC
+        } else {
+            1
+        };
+        let local_sum =
+            Team::new(nt).parallel_for_reduce(PER_PROC, Schedule::StaticBlock, &ops::Sum, |i| {
+                base + i as i64
+            });
         cfg.sink(rank)
             .println(format!("process {rank}: local sum = {local_sum}"));
         let global = comm.reduce_one(0, local_sum, &ops::Sum).unwrap();
@@ -85,7 +92,11 @@ mod tests {
         let a = PATTERNLET.run_captured(2, Mode::On);
         let b = PATTERNLET.run_captured(2, Mode::Off);
         let find = |o: &patternlets_core::capture::Output| {
-            o.texts().iter().find(|t| t.starts_with("global")).unwrap().clone()
+            o.texts()
+                .iter()
+                .find(|t| t.starts_with("global"))
+                .unwrap()
+                .clone()
         };
         assert_eq!(find(&a), find(&b));
     }

@@ -28,7 +28,11 @@ fn run(cfg: &RunConfig) {
         let rank = comm.rank();
         let size = comm.size();
         let node = comm.processor_name().to_string();
-        let nt = if cfg.mode.is_on() { THREADS_PER_PROC } else { 1 };
+        let nt = if cfg.mode.is_on() {
+            THREADS_PER_PROC
+        } else {
+            1
+        };
         Team::new(nt).parallel(|ctx| {
             cfg.sink(rank).println(format!(
                 "Hello from thread {} of {} on process {} of {} ({})",

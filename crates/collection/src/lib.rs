@@ -5,7 +5,9 @@
 //! reproduced in Rust: **44 minimalist, scalable, behaviour-correct
 //! programs**, each introducing one or more parallel design patterns
 //! (16 message-passing, 17 shared-memory/OpenMP-style, 9 thread-style,
-//! 2 heterogeneous — the census in the paper's abstract).
+//! 2 heterogeneous — the census in the paper's abstract), plus a
+//! 3-program [`resilience`] family that teaches fault tolerance under
+//! injected failures (47 total).
 //!
 //! Every patternlet is:
 //!
@@ -34,6 +36,7 @@ pub mod hetero;
 pub mod mpi;
 pub mod omp;
 pub mod registry;
+pub mod resilience;
 pub mod threads;
 
 pub use harness::{Mode, Patternlet, RunConfig, Technology};

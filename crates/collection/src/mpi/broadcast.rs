@@ -52,7 +52,10 @@ mod tests {
             let out = PATTERNLET.run_captured(np, Mode::On);
             let expected = format!("{:?}", (0..SIZE as i64).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(
-                out.texts().iter().filter(|t| t.contains("AFTER") && t.contains(&expected)).count(),
+                out.texts()
+                    .iter()
+                    .filter(|t| t.contains("AFTER") && t.contains(&expected))
+                    .count(),
                 np,
                 "np={np}"
             );

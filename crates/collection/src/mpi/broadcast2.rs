@@ -23,7 +23,11 @@ fn run(cfg: &RunConfig) {
     World::run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         // The "input" the master alone knows; the task knob plays argv.
-        let read = if comm.is_master() { Some(cfg.tasks as i64 * 1000 + 42) } else { None };
+        let read = if comm.is_master() {
+            Some(cfg.tasks as i64 * 1000 + 42)
+        } else {
+            None
+        };
         let value = comm.bcast_one(0, read).unwrap();
         sink.println(format!("Process {} got parameter {value}", comm.rank()));
         let _ = cfg.mode;

@@ -45,7 +45,10 @@ fn run(cfg: &RunConfig) {
 }
 
 fn join(xs: &[i32]) -> String {
-    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -87,12 +90,9 @@ mod tests {
     fn every_process_prints_its_compute_array() {
         let out = PATTERNLET.run_captured(4, Mode::On);
         for r in 0..4 {
-            let want = format!("Process {r}, computeArray: {r}0 {r}1 {r}2")
-                .replace("00 01 02", "0 1 2"); // rank 0 has no tens digit
-            assert!(
-                out.texts().iter().any(|t| *t == want),
-                "missing {want}"
-            );
+            let want =
+                format!("Process {r}, computeArray: {r}0 {r}1 {r}2").replace("00 01 02", "0 1 2"); // rank 0 has no tens digit
+            assert!(out.texts().contains(&want), "missing {want}");
         }
     }
 }

@@ -54,9 +54,7 @@ fn run(cfg: &RunConfig) {
             }
         } else {
             loop {
-                let (value, st) = comm
-                    .recv_one::<u64>(0, patternlets_mp::ANY_TAG)
-                    .unwrap();
+                let (value, st) = comm.recv_one::<u64>(0, patternlets_mp::ANY_TAG).unwrap();
                 if st.tag == TAG_STOP {
                     break;
                 }

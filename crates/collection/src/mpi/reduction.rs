@@ -59,8 +59,12 @@ mod tests {
             let out = PATTERNLET.run_captured(np, Mode::On);
             let sum: i64 = (1..=np as i64).map(|k| k * k).sum();
             let max = (np * np) as i64;
-            assert!(out.texts().contains(&format!("The sum of the squares is {sum}")));
-            assert!(out.texts().contains(&format!("The max of the squares is {max}")));
+            assert!(out
+                .texts()
+                .contains(&format!("The sum of the squares is {sum}")));
+            assert!(out
+                .texts()
+                .contains(&format!("The max of the squares is {max}")));
         }
     }
 

@@ -13,7 +13,11 @@ const TAG: i32 = 1;
 pub const PATTERNLET: Patternlet = Patternlet {
     name: "mpi/sequenceNumbers",
     technology: Technology::Mpi,
-    patterns: &["Message Passing", "Point-to-Point Synchronization", "Master-Worker"],
+    patterns: &[
+        "Message Passing",
+        "Point-to-Point Synchronization",
+        "Master-Worker",
+    ],
     figures: &[],
     summary: "rank-ordered output by receiving from ranks 1, 2, 3, … in turn",
     exercise: "Compare with messagePassing2: same messages, different \
@@ -33,12 +37,8 @@ fn run(cfg: &RunConfig) {
                 sink.println(msg);
             }
         } else {
-            comm.send_one(
-                format!("Process {} reporting in", comm.rank()),
-                0,
-                TAG,
-            )
-            .unwrap();
+            comm.send_one(format!("Process {} reporting in", comm.rank()), 0, TAG)
+                .unwrap();
         }
         let _ = cfg.mode;
     });
@@ -53,8 +53,9 @@ mod tests {
     fn output_is_in_exact_rank_order_every_time() {
         for _ in 0..5 {
             let out = PATTERNLET.run_captured(6, Mode::On);
-            let expected: Vec<String> =
-                (0..6).map(|r| format!("Process {r} reporting in")).collect();
+            let expected: Vec<String> = (0..6)
+                .map(|r| format!("Process {r} reporting in"))
+                .collect();
             assert_eq!(out.texts(), expected);
         }
     }

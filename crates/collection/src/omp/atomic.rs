@@ -39,10 +39,14 @@ fn run(cfg: &RunConfig) {
     let got = counter.get();
     sink.println(format!("expected = {expected}"));
     sink.println(format!("counter  = {got}"));
-    sink.println(format!(
-        "{}",
-        if got == expected { "CORRECT" } else { "LOST UPDATES" }
-    ));
+    sink.println(
+        (if got == expected {
+            "CORRECT"
+        } else {
+            "LOST UPDATES"
+        })
+        .to_string(),
+    );
 }
 
 #[cfg(test)]

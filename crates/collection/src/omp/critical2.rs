@@ -76,7 +76,12 @@ pub fn compare(tasks: usize, reps: usize) -> Comparison {
     let critical_time = sw.elapsed_secs();
     let critical_balance = balance2.load(std::sync::atomic::Ordering::SeqCst);
 
-    Comparison { atomic_balance, critical_balance, atomic_time, critical_time }
+    Comparison {
+        atomic_balance,
+        critical_balance,
+        atomic_time,
+        critical_time,
+    }
 }
 
 fn run(cfg: &RunConfig) {
@@ -96,7 +101,10 @@ fn run(cfg: &RunConfig) {
         c.critical_time,
         c.critical_time / n as f64
     ));
-    sink.println(format!("criticalTime / atomicTime ratio: {:.12}", c.ratio()));
+    sink.println(format!(
+        "criticalTime / atomicTime ratio: {:.12}",
+        c.ratio()
+    ));
 }
 
 #[cfg(test)]

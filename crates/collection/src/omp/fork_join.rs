@@ -23,8 +23,11 @@ fn run(cfg: &RunConfig) {
     master.println("Before...".to_string());
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
     Team::new(team_size).parallel(|ctx| {
-        cfg.sink(ctx.thread_num())
-            .println(format!("During..., thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+        cfg.sink(ctx.thread_num()).println(format!(
+            "During..., thread {} of {}",
+            ctx.thread_num(),
+            ctx.num_threads()
+        ));
     });
     master.println("After...".to_string());
 }

@@ -22,14 +22,20 @@ fn run(cfg: &RunConfig) {
     let master = cfg.sink(0);
     master.println(format!("First region, requesting {} threads:", cfg.tasks));
     Team::new(cfg.tasks).parallel(|ctx| {
-        cfg.sink(ctx.thread_num())
-            .println(format!("  region 1: thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+        cfg.sink(ctx.thread_num()).println(format!(
+            "  region 1: thread {} of {}",
+            ctx.thread_num(),
+            ctx.num_threads()
+        ));
     });
     let second = cfg.tasks + 1; // omp_set_num_threads(tasks + 1)
     master.println(format!("Second region, requesting {second} threads:"));
     Team::new(second).parallel(|ctx| {
-        cfg.sink(ctx.thread_num())
-            .println(format!("  region 2: thread {} of {}", ctx.thread_num(), ctx.num_threads()));
+        cfg.sink(ctx.thread_num()).println(format!(
+            "  region 2: thread {} of {}",
+            ctx.thread_num(),
+            ctx.num_threads()
+        ));
     });
     let _ = cfg.mode; // size change, not a directive, is the lesson here
 }

@@ -73,8 +73,9 @@ mod tests {
     #[test]
     fn off_mode_is_sequential() {
         let out = PATTERNLET.run_captured(4, Mode::Off);
-        let expected: Vec<String> =
-            (0..8).map(|i| format!("Thread 0 performed iteration {i}")).collect();
+        let expected: Vec<String> = (0..8)
+            .map(|i| format!("Thread 0 performed iteration {i}"))
+            .collect();
         assert_eq!(out.texts(), expected);
     }
 }

@@ -30,15 +30,17 @@ fn run(cfg: &RunConfig) {
     let sum = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| a[i]);
     let min = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Min, |i| a[i]);
     let max = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Max, |i| a[i]);
-    let all_nonzero = team.parallel_for_reduce(
-        a.len(),
-        Schedule::StaticBlock,
-        &ops::LogicalAnd,
-        |i| a[i] != 0,
-    );
+    let all_nonzero =
+        team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::LogicalAnd, |i| {
+            a[i] != 0
+        });
     // User-defined associative op: gcd of |values|.
     fn gcd(x: u64, y: u64) -> u64 {
-        if y == 0 { x } else { gcd(y, x % y) }
+        if y == 0 {
+            x
+        } else {
+            gcd(y, x % y)
+        }
     }
     let g = team.parallel_for_reduce(
         a.len(),
@@ -90,9 +92,18 @@ mod tests {
     fn values_match_direct_computation() {
         let a: Vec<i64> = (0..SIZE as i64).map(|i| (i * 37) % 101 - 50).collect();
         let out = PATTERNLET.run_captured(4, Mode::On);
-        assert_eq!(value(&out, "sum").parse::<i64>().unwrap(), a.iter().sum::<i64>());
-        assert_eq!(value(&out, "min").parse::<i64>().unwrap(), *a.iter().min().unwrap());
-        assert_eq!(value(&out, "max").parse::<i64>().unwrap(), *a.iter().max().unwrap());
+        assert_eq!(
+            value(&out, "sum").parse::<i64>().unwrap(),
+            a.iter().sum::<i64>()
+        );
+        assert_eq!(
+            value(&out, "min").parse::<i64>().unwrap(),
+            *a.iter().min().unwrap()
+        );
+        assert_eq!(
+            value(&out, "max").parse::<i64>().unwrap(),
+            *a.iter().max().unwrap()
+        );
         assert_eq!(
             value(&out, "all nonzero").parse::<bool>().unwrap(),
             a.iter().all(|&x| x != 0)

@@ -25,7 +25,8 @@ fn run(cfg: &RunConfig) {
     team.parallel(|ctx| {
         let me = ctx.thread_num();
         let section = move |name: &str| {
-            cfg.sink(me).println(format!("section {name} executed by thread {me}"));
+            cfg.sink(me)
+                .println(format!("section {name} executed by thread {me}"));
         };
         let s_a = || section("A");
         let s_b = || section("B");

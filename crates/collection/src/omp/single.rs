@@ -25,13 +25,17 @@ fn run(cfg: &RunConfig) {
         let me = ctx.thread_num();
         if cfg.mode.is_on() {
             ctx.single(|| {
-                cfg.sink(me).println(format!("single block executed by thread {me}"));
+                cfg.sink(me)
+                    .println(format!("single block executed by thread {me}"));
             });
         } else {
             // Without `single`, every thread would perform the step.
             sink.println(format!("single block executed by thread {me}"));
         }
-        sink.println(format!("thread {} passed the single block", ctx.thread_num()));
+        sink.println(format!(
+            "thread {} passed the single block",
+            ctx.thread_num()
+        ));
     });
 }
 

@@ -53,8 +53,9 @@ mod tests {
         assert_eq!(out.len(), 4);
         let mut texts = out.texts();
         texts.sort();
-        let mut expected: Vec<String> =
-            (0..4).map(|i| format!("Hello from thread {i} of 4")).collect();
+        let mut expected: Vec<String> = (0..4)
+            .map(|i| format!("Hello from thread {i} of 4"))
+            .collect();
         expected.sort();
         assert_eq!(texts, expected);
     }

@@ -15,6 +15,7 @@ pub fn registry() -> &'static [&'static Patternlet] {
         all.extend(crate::mpi::all());
         all.extend(crate::threads::all());
         all.extend(crate::hetero::all());
+        all.extend(crate::resilience::all());
         all
     })
 }
@@ -26,7 +27,11 @@ pub fn find(name: &str) -> Option<&'static Patternlet> {
 
 /// Patternlets of one technology family.
 pub fn by_technology(tech: Technology) -> Vec<&'static Patternlet> {
-    registry().iter().copied().filter(|p| p.technology == tech).collect()
+    registry()
+        .iter()
+        .copied()
+        .filter(|p| p.technology == tech)
+        .collect()
 }
 
 /// Patternlets that demonstrate a given pattern (by any of its names in
@@ -65,13 +70,15 @@ mod tests {
     #[test]
     fn census_matches_the_paper_abstract() {
         // "The collection currently includes 44 patternlets (16 MPI, 17
-        // OpenMP, 9 Pthreads, and 2 heterogeneous)".
+        // OpenMP, 9 Pthreads, and 2 heterogeneous)" — plus this repo's
+        // resilience extension on top of the paper's 44.
         let c = census();
         assert_eq!(c[&Technology::Mpi], 16, "16 MPI");
         assert_eq!(c[&Technology::Omp], 17, "17 OpenMP");
         assert_eq!(c[&Technology::Threads], 9, "9 Pthreads");
         assert_eq!(c[&Technology::Hetero], 2, "2 heterogeneous");
-        assert_eq!(registry().len(), 44, "44 total");
+        assert_eq!(c[&Technology::Resilience], 3, "3 resilience");
+        assert_eq!(registry().len(), 47, "the paper's 44 + 3 resilience");
     }
 
     #[test]
@@ -94,6 +101,7 @@ mod tests {
         assert!(find("mpi/gather").is_some());
         assert!(find("threads/mutex").is_some());
         assert!(find("hetero/reduction").is_some());
+        assert!(find("resilience/master_worker").is_some());
         assert!(find("omp/nonexistent").is_none());
     }
 
@@ -140,6 +148,7 @@ mod tests {
             Technology::Mpi,
             Technology::Threads,
             Technology::Hetero,
+            Technology::Resilience,
         ]
         .iter()
         .map(|&t| by_technology(t).len())

@@ -1,0 +1,189 @@
+//! `resilience/master_worker` — the Master-Worker pattern made
+//! *fault-tolerant*: one worker is killed mid-computation by an injected
+//! fault, the master detects the death via [`Error::RankFailed`],
+//! reassigns the lost in-flight item, and the survivors `shrink()` into a
+//! working communicator to confirm the tally.
+
+use patternlets_core::reduce::ops;
+use patternlets_core::Error;
+use patternlets_mp::{FaultPlan, World, ANY_TAG};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+const TAG_WORK: i32 = 1;
+const TAG_RESULT: i32 = 2;
+const TAG_STOP: i32 = 3;
+const ITEMS: usize = 12;
+/// Fixed chaos seed so every classroom run shows the same failure story.
+const CHAOS_SEED: u64 = 0xC0FFEE;
+/// The victim survives three message operations (recv, send, recv) and
+/// dies on its fourth — mid-task, holding an undelivered work item.
+const KILL_AFTER_OPS: u64 = 3;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "resilience/master_worker",
+    technology: Technology::Resilience,
+    patterns: &["Master-Worker", "Message Passing", "Task Queue"],
+    figures: &[],
+    summary: "a worker is killed mid-task; the master reassigns its work and the survivors shrink",
+    exercise: "Run with --kill 1, --kill 2, --kill 3: the master finishes \
+               all 12 items every time. Which two operations can surface \
+               RankFailed to the master, and why must the in-flight item \
+               go back to the *front* of the queue? What would plain MPI \
+               do here instead?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks.max(3); // master + at least two workers, so one can die
+    let victim = match cfg.kill {
+        Some(r) if (1..np).contains(&r) => r,
+        _ => np - 1,
+    };
+    let plan = FaultPlan::seeded(CHAOS_SEED).kill_rank_after(victim, KILL_AFTER_OPS);
+    World::builder(np)
+        .fault_plan(plan)
+        .poll_interval(std::time::Duration::from_millis(2))
+        .run(|comm| {
+            let sink = cfg.sink(comm.rank());
+            let mut delivered = 0usize;
+            if comm.is_master() {
+                let mut dead = vec![false; np];
+                let mut queue: std::collections::VecDeque<u64> = (0..ITEMS as u64).collect();
+                let mut cursor = 1usize;
+                'deal: while let Some(item) = queue.pop_front() {
+                    // Next live worker, round-robin.
+                    let worker = loop {
+                        if dead[1..].iter().all(|&d| d) {
+                            break 'deal; // no workers left (can't happen with one kill)
+                        }
+                        let w = cursor;
+                        cursor = if cursor + 1 < np { cursor + 1 } else { 1 };
+                        if !dead[w] {
+                            break w;
+                        }
+                    };
+                    if let Err(Error::RankFailed { rank, .. }) =
+                        comm.send_one(item, worker, TAG_WORK)
+                    {
+                        sink.println(format!("master: worker {rank} is dead; rerouting {item}"));
+                        dead[worker] = true;
+                        queue.push_front(item);
+                        continue;
+                    }
+                    match comm.recv_one::<u64>(worker, TAG_RESULT) {
+                        Ok((square, _)) => {
+                            delivered += 1;
+                            sink.println(format!("master: worker {worker} returned {square}"));
+                        }
+                        Err(Error::RankFailed { rank, .. }) => {
+                            sink.println(format!(
+                                "master: worker {rank} died mid-task; reassigning {item}"
+                            ));
+                            dead[worker] = true;
+                            queue.push_front(item);
+                        }
+                        Err(e) => panic!("master: unexpected error: {e}"),
+                    }
+                }
+                for (w, &is_dead) in dead.iter().enumerate().skip(1) {
+                    if !is_dead {
+                        let _ = comm.send_one(0u64, w, TAG_STOP);
+                    }
+                }
+            } else {
+                loop {
+                    match comm.recv_one::<u64>(0, ANY_TAG) {
+                        Ok((_, st)) if st.tag == TAG_STOP => break,
+                        Ok((v, _)) => {
+                            if comm.send_one(v * v, 0, TAG_RESULT).is_err() {
+                                break; // killed while answering
+                            }
+                        }
+                        Err(Error::RankFailed { .. }) => break, // killed while waiting
+                        Err(e) => panic!("worker: unexpected error: {e}"),
+                    }
+                }
+            }
+            // ULFM-style recovery: everyone tries to join the survivor
+            // communicator; the dead rank's attempt fails fast.
+            match comm.shrink() {
+                Ok(sub) => {
+                    let total = sub.allreduce(&[delivered as i64], &ops::Sum).unwrap()[0];
+                    if sub.is_master() {
+                        sink.println(format!(
+                            "shrink: {} of {np} ranks survive and confirm {total}/{ITEMS} results",
+                            sub.size()
+                        ));
+                    }
+                }
+                Err(_) => sink.println(format!("rank {}: dead, excluded from shrink", comm.rank())),
+            }
+            let _ = cfg.mode;
+        })
+        .expect("world config is valid");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    fn squares_in(out: &patternlets_core::capture::Output) -> Vec<u64> {
+        let mut v: Vec<u64> = out
+            .texts()
+            .iter()
+            .filter(|t| t.contains("returned"))
+            .map(|t| t.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn all_items_complete_despite_the_default_kill() {
+        for np in [3, 4, 6] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let mut expected: Vec<u64> = (0..ITEMS as u64).map(|i| i * i).collect();
+            expected.sort_unstable();
+            assert_eq!(squares_in(&out), expected, "np={np}");
+            let texts = out.texts();
+            assert!(
+                texts
+                    .iter()
+                    .any(|t| t.contains("died mid-task") || t.contains("is dead")),
+                "the kill must be observed: {texts:?}"
+            );
+            assert!(
+                texts
+                    .iter()
+                    .any(|t| t.contains(&format!("{} of {np} ranks survive", np - 1))
+                        && t.contains(&format!("{ITEMS}/{ITEMS} results"))),
+                "survivors confirm the tally post-shrink: {texts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_worker_is_a_viable_victim() {
+        let np = 4;
+        for victim in 1..np {
+            let cfg = RunConfig::new(np, Mode::On).with_kill(Some(victim));
+            (PATTERNLET.run)(&cfg);
+            let expected: Vec<u64> = {
+                let mut v: Vec<u64> = (0..ITEMS as u64).map(|i| i * i).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(squares_in(&cfg.output), expected, "victim={victim}");
+        }
+    }
+
+    #[test]
+    fn tiny_task_counts_are_promoted_to_three_ranks() {
+        // One worker could never survive a kill; np is floored at 3.
+        let out = PATTERNLET.run_captured(1, Mode::On);
+        assert_eq!(squares_in(&out).len(), ITEMS);
+    }
+}

@@ -1,0 +1,24 @@
+//! The `resilience/` patternlet family: fault tolerance as a teachable
+//! pattern, beyond the paper's original 44.
+//!
+//! Each program runs under an injected [`FaultPlan`](patternlets_mp::FaultPlan)
+//! — a seeded chaos/kill schedule inside the transport — and *survives*
+//! it: detecting dead ranks via `RankFailed`, reassigning lost work, and
+//! rebuilding communicators ULFM-style with `agree()` + `shrink()`. The
+//! CLI's `--kill N` flag picks the victim rank
+//! (`patternlets run resilience/master_worker -n 4 --kill 2`).
+
+pub mod chaos;
+pub mod master_worker;
+pub mod shrink;
+
+use crate::harness::Patternlet;
+
+/// All resilience patternlets, in teaching order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &chaos::PATTERNLET,
+        &master_worker::PATTERNLET,
+        &shrink::PATTERNLET,
+    ]
+}

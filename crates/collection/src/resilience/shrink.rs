@@ -1,0 +1,126 @@
+//! `resilience/shrink` — ULFM-style recovery from a failed collective:
+//! a rank is killed on its first operation, every survivor's `allreduce`
+//! reports [`RankFailed`](patternlets_core::Error::RankFailed) instead of
+//! hanging, the group `agree()`s that the step failed, and `shrink()`
+//! rebuilds a survivor communicator on which the collective succeeds.
+
+use patternlets_core::reduce::ops;
+use patternlets_core::Error;
+use patternlets_mp::{FaultPlan, World};
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+
+/// Fixed chaos seed so the demonstration replays identically.
+const CHAOS_SEED: u64 = 0x5EED;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "resilience/shrink",
+    technology: Technology::Resilience,
+    patterns: &["Collective Communication", "Reduction", "Barrier"],
+    figures: &[],
+    summary: "a collective fails on a dead rank; agree() + shrink() rebuild a working group",
+    exercise: "The first allreduce fails on *every* survivor — why is that \
+               uniformity essential before calling shrink()? Re-run with a \
+               larger -n: does the survivor sum always equal np - 1? What \
+               does agree() return if no rank saw an error?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let np = cfg.tasks.max(2); // need at least one survivor besides the victim
+    let victim = match cfg.kill {
+        Some(r) if (1..np).contains(&r) => r,
+        _ => np - 1,
+    };
+    let plan = FaultPlan::seeded(CHAOS_SEED).kill_rank_after(victim, 0);
+    World::builder(np)
+        .fault_plan(plan)
+        .poll_interval(std::time::Duration::from_millis(2))
+        .run(|comm| {
+            let sink = cfg.sink(comm.rank());
+            // Step 1: the collective the class expects to "just work".
+            let step = comm.allreduce(&[1i64], &ops::Sum);
+            let ok = match &step {
+                Ok(sum) => {
+                    sink.println(format!("rank {}: allreduce says {}", comm.rank(), sum[0]));
+                    true
+                }
+                Err(Error::RankFailed { rank, .. }) => {
+                    if comm.is_master() {
+                        sink.println(format!("allreduce failed: rank {rank} is dead"));
+                    }
+                    false
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            // Step 2: group-wide agreement on whether the step succeeded.
+            // The dead rank cannot vote; survivors AND their verdicts.
+            match comm.agree(ok) {
+                Ok(true) => return, // fault-free run: nothing to rebuild
+                Ok(false) => {
+                    if comm.is_master() {
+                        sink.println("agree: the group confirms the failure".to_string());
+                    }
+                }
+                Err(_) => {
+                    sink.println(format!("rank {}: dead, cannot vote", comm.rank()));
+                    return;
+                }
+            }
+            // Step 3: rebuild on the survivors and retry the collective.
+            let sub = comm.shrink().expect("survivors can always shrink");
+            let sum = sub.allreduce(&[1i64], &ops::Sum).unwrap()[0];
+            if sub.is_master() {
+                sink.println(format!(
+                    "shrink: {} of {np} ranks survive; allreduce now says {sum}",
+                    sub.size()
+                ));
+            }
+            let _ = cfg.mode;
+        })
+        .expect("world config is valid");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn survivors_recover_and_reduce() {
+        for np in [2, 4, 5] {
+            let out = PATTERNLET.run_captured(np, Mode::On);
+            let texts = out.texts();
+            let victim = np - 1;
+            assert!(
+                texts.contains(&format!("allreduce failed: rank {victim} is dead")),
+                "np={np}: {texts:?}"
+            );
+            assert!(texts.contains(&"agree: the group confirms the failure".to_string()));
+            assert!(
+                texts.contains(&format!(
+                    "shrink: {} of {np} ranks survive; allreduce now says {}",
+                    np - 1,
+                    np - 1
+                )),
+                "np={np}: {texts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_victim_is_selectable() {
+        let cfg = RunConfig::new(4, Mode::On).with_kill(Some(2));
+        (PATTERNLET.run)(&cfg);
+        let texts = cfg.output.texts();
+        assert!(
+            texts.contains(&"allreduce failed: rank 2 is dead".to_string()),
+            "{texts:?}"
+        );
+        assert!(
+            texts.contains(&"rank 2: dead, cannot vote".to_string()),
+            "{texts:?}"
+        );
+    }
+}

@@ -48,6 +48,9 @@ mod tests {
     fn off_mode_still_forks_and_joins() {
         let out = PATTERNLET.run_captured(1, Mode::Off);
         assert_eq!(out.len(), 3);
-        assert_eq!(out.texts().last().map(String::as_str), Some("main: after join"));
+        assert_eq!(
+            out.texts().last().map(String::as_str),
+            Some("main: after join")
+        );
     }
 }

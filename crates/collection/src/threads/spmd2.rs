@@ -23,7 +23,10 @@ fn run(cfg: &RunConfig) {
         let handles: Vec<_> = (0..n as u64)
             .map(|id| scope.spawn(move || (id + 1) * (id + 1)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("thread ok")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread ok"))
+            .sum()
     });
     sink.println(format!("sum of squares from {n} threads = {total}"));
 }

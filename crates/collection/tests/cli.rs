@@ -19,9 +19,11 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn list_prints_the_census_line() {
     let (stdout, _, ok) = run(&["list"]);
     assert!(ok);
-    assert!(stdout.contains("44 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous"));
+    assert!(stdout
+        .contains("47 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous, 3 resilience"));
     assert!(stdout.contains("omp/barrier"));
     assert!(stdout.contains("mpi/gather"));
+    assert!(stdout.contains("resilience/master_worker"));
 }
 
 #[test]
@@ -59,6 +61,17 @@ fn run_mpi_patternlet_reports_nodes() {
     assert!(ok);
     assert!(stdout.contains("node-01"));
     assert!(stdout.contains("node-02"));
+}
+
+#[test]
+fn run_resilience_patternlet_with_kill_flag() {
+    // The ISSUE's demo command: the master survives worker 2's death.
+    let (stdout, _, ok) = run(&["run", "resilience/master_worker", "-n", "4", "--kill", "2"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("3 of 4 ranks survive and confirm 12/12 results"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -57,13 +57,19 @@ impl Output {
     /// runner, so the live interleaving is visible like the paper's demos).
     pub fn echoing() -> Self {
         Output {
-            shared: Arc::new(Shared { echo: true, ..Shared::default() }),
+            shared: Arc::new(Shared {
+                echo: true,
+                ..Shared::default()
+            }),
         }
     }
 
     /// A [`Sink`] through which `task` emits lines into this log.
     pub fn sink(&self, task: impl Into<TaskId>) -> Sink {
-        Sink { output: self.clone(), task: task.into() }
+        Sink {
+            output: self.clone(),
+            task: task.into(),
+        }
     }
 
     fn push(&self, task: TaskId, text: String) {
@@ -84,7 +90,12 @@ impl Output {
 
     /// Just the text of every line, in emission order.
     pub fn texts(&self) -> Vec<String> {
-        self.shared.lines.lock().iter().map(|l| l.text.clone()).collect()
+        self.shared
+            .lines
+            .lock()
+            .iter()
+            .map(|l| l.text.clone())
+            .collect()
     }
 
     /// The lines emitted by one task, in emission order.
@@ -123,11 +134,7 @@ impl Output {
     /// True iff every line matching `before` was emitted earlier than every
     /// line matching `after`. This is the *barrier property* used throughout
     /// the tests for Figures 9 and 12.
-    pub fn all_before(
-        &self,
-        before: impl Fn(&str) -> bool,
-        after: impl Fn(&str) -> bool,
-    ) -> bool {
+    pub fn all_before(&self, before: impl Fn(&str) -> bool, after: impl Fn(&str) -> bool) -> bool {
         match (self.last_index_where(before), self.first_index_where(after)) {
             (Some(last_b), Some(first_a)) => last_b < first_a,
             // Vacuously true when either side is empty.
@@ -248,8 +255,7 @@ mod tests {
         // is nondeterministic.
         for t in 0..8usize {
             let mine = out.lines_of(t);
-            let expected: Vec<String> =
-                (0..100).map(|i| format!("task {t} line {i}")).collect();
+            let expected: Vec<String> = (0..100).map(|i| format!("task {t} line {i}")).collect();
             let got: Vec<String> = mine.into_iter().map(|l| l.text).collect();
             assert_eq!(got, expected);
         }

@@ -2,6 +2,92 @@
 
 use std::fmt;
 
+/// Structured description of the operation a rank was executing when a
+/// deadlock or rank failure was diagnosed: the operation kind, the peer
+/// (source/destination selector), and the tag, plus a free-form detail.
+///
+/// `#[non_exhaustive]` so fields can grow without breaking matches; build
+/// one with [`OpContext::new`] and the chainable setters, or convert a
+/// plain `String`/`&str` when only a detail message is available.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct OpContext {
+    /// Operation kind (`"recv"`, `"ssend"`, `"barrier"`, `"shrink"`, …).
+    pub op: Option<&'static str>,
+    /// Peer description — a source/destination rank or selector.
+    pub peer: Option<String>,
+    /// Tag description — the tag or tag selector in play.
+    pub tag: Option<String>,
+    /// Free-form diagnostic detail (waits-for graph, kill reason, …).
+    pub detail: String,
+}
+
+impl OpContext {
+    /// Start a context for operation `op`.
+    pub fn new(op: &'static str) -> Self {
+        OpContext {
+            op: Some(op),
+            ..Default::default()
+        }
+    }
+
+    /// Record the peer (rank or selector) involved.
+    pub fn peer(mut self, peer: impl fmt::Display) -> Self {
+        self.peer = Some(peer.to_string());
+        self
+    }
+
+    /// Record the tag (or tag selector) involved.
+    pub fn tag(mut self, tag: impl fmt::Display) -> Self {
+        self.tag = Some(tag.to_string());
+        self
+    }
+
+    /// Record the free-form diagnostic detail.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+}
+
+impl From<String> for OpContext {
+    fn from(detail: String) -> Self {
+        OpContext {
+            detail,
+            ..Default::default()
+        }
+    }
+}
+
+impl From<&str> for OpContext {
+    fn from(detail: &str) -> Self {
+        OpContext {
+            detail: detail.to_string(),
+            ..Default::default()
+        }
+    }
+}
+
+impl fmt::Display for OpContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.op, &self.peer, &self.tag) {
+            (Some(op), Some(peer), Some(tag)) => {
+                write!(f, "{op}(peer={peer}, tag={tag})")?;
+            }
+            (Some(op), Some(peer), None) => write!(f, "{op}(peer={peer})")?,
+            (Some(op), None, _) => write!(f, "{op}")?,
+            (None, _, _) => {}
+        }
+        if !self.detail.is_empty() {
+            if self.op.is_some() {
+                write!(f, ": ")?;
+            }
+            write!(f, "{}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors surfaced by the patternlets runtimes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -30,7 +116,17 @@ pub enum Error {
     },
     /// The runtime detected that no matching send can ever arrive
     /// (all peers finished while a receive was still pending).
-    Deadlock(String),
+    Deadlock(OpContext),
+    /// A peer rank failed (was killed by a fault plan, or panicked) and the
+    /// operation can therefore never complete. Unlike [`Error::Deadlock`],
+    /// this is recoverable: survivors can `agree()` on the failure and
+    /// `shrink()` to a working communicator.
+    RankFailed {
+        /// The failed rank (world numbering).
+        rank: usize,
+        /// The operation that observed the failure.
+        op: OpContext,
+    },
     /// A task panicked inside a parallel construct.
     TaskPanicked {
         /// The panicking task's id.
@@ -57,6 +153,9 @@ impl fmt::Display for Error {
                 write!(f, "count mismatch: expected {expected}, found {found}")
             }
             Error::Deadlock(what) => write!(f, "deadlock detected: {what}"),
+            Error::RankFailed { rank, op } => {
+                write!(f, "rank {rank} failed during {op}")
+            }
             Error::TaskPanicked { task, message } => {
                 write!(f, "task {task} panicked: {message}")
             }
@@ -81,12 +180,45 @@ mod tests {
         assert!(e.to_string().contains("rank 5"));
         assert!(e.to_string().contains("size 4"));
 
-        let e = Error::TypeMismatch { expected: "i32", found: "f64".into() };
+        let e = Error::TypeMismatch {
+            expected: "i32",
+            found: "f64".into(),
+        };
         assert!(e.to_string().contains("i32"));
         assert!(e.to_string().contains("f64"));
 
         let e = Error::Deadlock("recv from 3 tag 7".into());
         assert!(e.to_string().contains("deadlock"));
+        assert!(e.to_string().contains("recv from 3 tag 7"));
+    }
+
+    #[test]
+    fn structured_context_names_op_peer_and_tag() {
+        let e = Error::Deadlock(
+            OpContext::new("recv")
+                .peer("Rank(3)")
+                .tag(7)
+                .detail("all senders finished"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("recv(peer=Rank(3), tag=7)"), "{msg}");
+        assert!(msg.contains("all senders finished"), "{msg}");
+
+        let e = Error::RankFailed {
+            rank: 2,
+            op: OpContext::new("allreduce"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2 failed"), "{msg}");
+        assert!(msg.contains("allreduce"), "{msg}");
+    }
+
+    #[test]
+    fn plain_string_context_still_constructs_and_displays() {
+        // Back-compat: the pre-structured construction idiom.
+        let e = Error::Deadlock(format!("waits-for cycle among {:?}", [0, 1]).into());
+        assert!(e.to_string().contains("waits-for cycle"));
+        assert!(matches!(e, Error::Deadlock(_)));
     }
 
     #[test]

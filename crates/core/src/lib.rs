@@ -26,7 +26,7 @@ pub mod rng;
 pub mod timer;
 
 pub use capture::{CapturedLine, Output, Sink};
-pub use error::{Error, Result};
+pub use error::{Error, OpContext, Result};
 pub use ids::TaskId;
 pub use reduce::{ops, seq_fold, tree_fold, ReduceOp};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn minloc_maxloc_find_value_and_location() {
-        let vals: Vec<(i64, usize)> =
-            [5i64, 2, 8, 2, 8].iter().copied().zip(0..).collect();
+        let vals: Vec<(i64, usize)> = [5i64, 2, 8, 2, 8].iter().copied().zip(0..).collect();
         assert_eq!(tree_fold(&MinLoc, &vals), (2, 1)); // first min wins
         assert_eq!(tree_fold(&MaxLoc, &vals), (8, 2)); // first max wins
     }
@@ -282,7 +281,11 @@ mod tests {
     fn fn_op_user_defined() {
         // gcd is associative with identity 0.
         fn gcd(a: u64, b: u64) -> u64 {
-            if b == 0 { a } else { gcd(b, a % b) }
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
         }
         let op = FnOp::new(0u64, gcd);
         assert_eq!(tree_fold(&op, &[12, 18, 24]), 6);

@@ -94,9 +94,7 @@ impl Xoshiro256StarStar {
     /// seed state — used to give each thread/rank its own reproducible
     /// stream without sharing.
     pub fn split(&self, task: u64) -> Self {
-        let mut sm = SplitMix64::new(
-            self.s[0] ^ task.wrapping_mul(0xA076_1D64_78BD_642F),
-        );
+        let mut sm = SplitMix64::new(self.s[0] ^ task.wrapping_mul(0xA076_1D64_78BD_642F));
         let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
         Xoshiro256StarStar { s }
     }

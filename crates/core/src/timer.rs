@@ -15,7 +15,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Start (or restart) timing now.
     pub fn start() -> Self {
-        Stopwatch { started: Instant::now() }
+        Stopwatch {
+            started: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

@@ -31,7 +31,10 @@ pub enum LabOp {
 /// (the chart's data series). `reps` repetitions are summed per point to
 /// stabilize fast measurements.
 pub fn measure(op: LabOp, size: usize, thread_counts: &[usize], reps: usize) -> Vec<ScalingPoint> {
-    assert!(thread_counts.contains(&1), "the chart needs a 1-thread baseline");
+    assert!(
+        thread_counts.contains(&1),
+        "the chart needs a 1-thread baseline"
+    );
     let a = Matrix::from_fn(size, size, |i, j| (i + 2 * j) as f64);
     let b = Matrix::from_fn(size, size, |i, j| (i * j % 17) as f64);
     let measurements: Vec<(usize, f64)> = thread_counts

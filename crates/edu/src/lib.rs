@@ -26,8 +26,8 @@
 //!   the table.
 
 pub mod lab;
-pub mod mergesort;
 pub mod matrix;
+pub mod mergesort;
 pub mod stats;
 pub mod study;
 pub mod syllabus;

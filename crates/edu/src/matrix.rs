@@ -21,7 +21,11 @@ pub struct Matrix {
 impl Matrix {
     /// A rows×cols matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a function of (row, col).
@@ -68,16 +72,33 @@ impl Matrix {
 
     /// Sequential elementwise addition (the lab's step a).
     pub fn add_sequential(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Parallel addition over a team of `tasks` threads (step b): rows are
     /// divided in equal blocks; each thread produces its block, and the
     /// blocks are stitched in thread order.
     pub fn add_parallel(&self, other: &Matrix, tasks: usize) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let blocks = Team::new(tasks).parallel_map(|ctx| {
             let mut local = Vec::new();
             ctx.for_each_nowait(self.rows, Schedule::StaticBlock, |r| {
@@ -91,7 +112,11 @@ impl Matrix {
             });
             local
         });
-        Matrix { rows: self.rows, cols: self.cols, data: blocks.concat() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: blocks.concat(),
+        }
     }
 
     /// Sequential transpose.
@@ -117,7 +142,11 @@ impl Matrix {
             });
             local
         });
-        Matrix { rows: self.cols, cols: self.rows, data: blocks.concat() }
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: blocks.concat(),
+        }
     }
 }
 

@@ -32,7 +32,11 @@ pub struct Summary {
 impl Summary {
     /// Summarize raw observations.
     pub fn of(xs: &[f64]) -> Self {
-        Summary { n: xs.len(), mean: mean(xs), sd: sample_sd(xs) }
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            sd: sample_sd(xs),
+        }
     }
 
     /// Standard error of the mean.
@@ -56,7 +60,11 @@ mod tests {
 
     #[test]
     fn summary_se() {
-        let s = Summary { n: 25, mean: 0.0, sd: 10.0 };
+        let s = Summary {
+            n: 25,
+            mean: 0.0,
+            sd: 10.0,
+        };
         assert!((s.se() - 2.0).abs() < 1e-12);
     }
 

@@ -13,7 +13,10 @@ use super::moments::mean;
 /// the p-value with the standard +1 correction (the observed labelling is
 /// itself one permutation).
 pub fn permutation_test(a: &[f64], b: &[f64], rounds: usize, seed: u64) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "both groups must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "both groups must be non-empty"
+    );
     assert!(rounds > 0);
     let observed = (mean(b) - mean(a)).abs();
     let mut pool: Vec<f64> = a.iter().chain(b).copied().collect();

@@ -18,15 +18,21 @@ pub struct WelchResult {
 /// Welch's t-test from cohort summaries (the paper publishes only
 /// summaries, so this is the natural interface).
 pub fn welch_t_test(a: &Summary, b: &Summary) -> WelchResult {
-    assert!(a.n >= 2 && b.n >= 2, "each group needs at least two observations");
+    assert!(
+        a.n >= 2 && b.n >= 2,
+        "each group needs at least two observations"
+    );
     let va = a.sd * a.sd / a.n as f64;
     let vb = b.sd * b.sd / b.n as f64;
     let se = (va + vb).sqrt();
     assert!(se > 0.0, "both groups are constant; t is undefined");
     let t = (b.mean - a.mean) / se;
-    let df = (va + vb) * (va + vb)
-        / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
-    WelchResult { t, df, p: t_two_tailed_p(t, df) }
+    let df = (va + vb) * (va + vb) / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+    WelchResult {
+        t,
+        df,
+        p: t_two_tailed_p(t, df),
+    }
 }
 
 /// Welch's t-test from raw observations.
@@ -40,7 +46,11 @@ mod tests {
 
     #[test]
     fn identical_groups_give_p_one() {
-        let s = Summary { n: 20, mean: 3.0, sd: 0.5 };
+        let s = Summary {
+            n: 20,
+            mean: 3.0,
+            sd: 0.5,
+        };
         let r = welch_t_test(&s, &s);
         assert!(r.t.abs() < 1e-12);
         assert!((r.p - 1.0).abs() < 1e-9);
@@ -49,8 +59,14 @@ mod tests {
     #[test]
     fn textbook_example() {
         // A classic Welch example (unequal n and variance).
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 31.3];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
+            31.3,
+        ];
         let r = welch_t_test_raw(&a, &b);
         // Reference values computed independently (Python, lgamma +
         // continued-fraction betainc): t ≈ 2.94924, df ≈ 27.3116,
@@ -62,8 +78,16 @@ mod tests {
 
     #[test]
     fn equal_variance_equal_n_reduces_to_student() {
-        let a = Summary { n: 30, mean: 0.0, sd: 1.0 };
-        let b = Summary { n: 30, mean: 0.5, sd: 1.0 };
+        let a = Summary {
+            n: 30,
+            mean: 0.0,
+            sd: 1.0,
+        };
+        let b = Summary {
+            n: 30,
+            mean: 0.5,
+            sd: 1.0,
+        };
         let r = welch_t_test(&a, &b);
         // df = 2n − 2 when variances and sizes match.
         assert!((r.df - 58.0).abs() < 1e-9);
@@ -73,18 +97,42 @@ mod tests {
 
     #[test]
     fn direction_of_t_follows_means() {
-        let lo = Summary { n: 10, mean: 1.0, sd: 1.0 };
-        let hi = Summary { n: 10, mean: 2.0, sd: 1.0 };
+        let lo = Summary {
+            n: 10,
+            mean: 1.0,
+            sd: 1.0,
+        };
+        let hi = Summary {
+            n: 10,
+            mean: 2.0,
+            sd: 1.0,
+        };
         assert!(welch_t_test(&lo, &hi).t > 0.0);
         assert!(welch_t_test(&hi, &lo).t < 0.0);
     }
 
     #[test]
     fn larger_samples_shrink_p_for_same_effect() {
-        let a1 = Summary { n: 10, mean: 3.0, sd: 0.5 };
-        let b1 = Summary { n: 10, mean: 3.2, sd: 0.5 };
-        let a2 = Summary { n: 100, mean: 3.0, sd: 0.5 };
-        let b2 = Summary { n: 100, mean: 3.2, sd: 0.5 };
+        let a1 = Summary {
+            n: 10,
+            mean: 3.0,
+            sd: 0.5,
+        };
+        let b1 = Summary {
+            n: 10,
+            mean: 3.2,
+            sd: 0.5,
+        };
+        let a2 = Summary {
+            n: 100,
+            mean: 3.0,
+            sd: 0.5,
+        };
+        let b2 = Summary {
+            n: 100,
+            mean: 3.2,
+            sd: 0.5,
+        };
         assert!(welch_t_test(&a2, &b2).p < welch_t_test(&a1, &b1).p);
     }
 }

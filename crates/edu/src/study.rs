@@ -61,8 +61,16 @@ impl PaperStudy {
 
     /// Welch result for a hypothesized common per-student SD.
     pub fn welch_at_sd(&self, sd: f64) -> WelchResult {
-        let fall = Summary { n: self.fall_n, mean: self.fall_mean, sd };
-        let spring = Summary { n: self.spring_n, mean: self.spring_mean, sd };
+        let fall = Summary {
+            n: self.fall_n,
+            mean: self.fall_mean,
+            sd,
+        };
+        let spring = Summary {
+            n: self.spring_n,
+            mean: self.spring_mean,
+            sd,
+        };
         welch_t_test(&fall, &spring)
     }
 
@@ -109,9 +117,19 @@ pub fn simulate_cohorts(study: &PaperStudy, seed: u64) -> SimulatedStudy {
     let sd = study.implied_sd();
     let mut rng = Xoshiro256StarStar::seeded(seed);
     let fall = draw_cohort(study.fall_n, study.fall_mean, sd, study.max_score, &mut rng);
-    let spring = draw_cohort(study.spring_n, study.spring_mean, sd, study.max_score, &mut rng);
+    let spring = draw_cohort(
+        study.spring_n,
+        study.spring_mean,
+        sd,
+        study.max_score,
+        &mut rng,
+    );
     let welch = crate::stats::welch::welch_t_test_raw(&fall, &spring);
-    SimulatedStudy { fall, spring, welch }
+    SimulatedStudy {
+        fall,
+        spring,
+        welch,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +186,9 @@ mod tests {
     #[test]
     fn averaged_over_many_seeds_the_p_value_centres_near_the_paper() {
         let s = PaperStudy::default();
-        let mut ps: Vec<f64> = (0..40).map(|seed| simulate_cohorts(&s, seed).welch.p).collect();
+        let mut ps: Vec<f64> = (0..40)
+            .map(|seed| simulate_cohorts(&s, seed).welch.p)
+            .collect();
         ps.sort_by(f64::total_cmp);
         let median = ps[ps.len() / 2];
         // The p distribution is wide for a single study, but its centre

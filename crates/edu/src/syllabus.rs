@@ -106,10 +106,7 @@ pub fn cs2_week() -> Vec<Session> {
 
 /// All patternlet names a course's sessions and families draw on,
 /// validated against a registry lookup function.
-pub fn course_patternlets(
-    course: &Course,
-    registry_names: &[&str],
-) -> Vec<String> {
+pub fn course_patternlets(course: &Course, registry_names: &[&str]) -> Vec<String> {
     registry_names
         .iter()
         .filter(|name| {
@@ -134,7 +131,9 @@ mod tests {
         assert_eq!(names, vec!["CS2", "CS3", "PL", "OSNet", "HPC"]);
         // Every student sees PDC: four of five are required.
         assert_eq!(
-            c.iter().filter(|c| c.placement.contains("required")).count(),
+            c.iter()
+                .filter(|c| c.placement.contains("required"))
+                .count(),
             4
         );
     }

@@ -14,13 +14,13 @@ impl Comm {
     pub fn alltoall<T: Datatype + Clone>(&self, sendbuf: &[T]) -> Result<Vec<T>> {
         let p = self.size();
         let me = self.rank();
-        if sendbuf.len() % p != 0 {
+        if !sendbuf.len().is_multiple_of(p) {
             return Err(Error::CountMismatch {
                 expected: sendbuf.len().div_ceil(p) * p,
                 found: sendbuf.len(),
             });
         }
-        let tags = self.next_coll_tags(opcodes::ALLTOALL);
+        let tags = self.start_collective(opcodes::ALLTOALL, "alltoall")?;
         let chunk = sendbuf.len() / p;
         // Eager sends to everyone (including self, through the mailbox, to
         // keep the code uniform).
@@ -31,7 +31,10 @@ impl Comm {
         for src in 0..p {
             let (block, _) = self.recv_internal::<T>(src.into(), tags(0).into())?;
             if block.len() != chunk {
-                return Err(Error::CountMismatch { expected: chunk, found: block.len() });
+                return Err(Error::CountMismatch {
+                    expected: chunk,
+                    found: block.len(),
+                });
             }
             out.extend(block);
             let _ = me;
@@ -50,8 +53,7 @@ mod tests {
         // Rank i sends value i*10 + j to rank j; rank j ends with
         // [0*10+j, 1*10+j, ...].
         let out = World::run(4, |comm| {
-            let send: Vec<i64> =
-                (0..4).map(|j| (comm.rank() * 10 + j) as i64).collect();
+            let send: Vec<i64> = (0..4).map(|j| (comm.rank() * 10 + j) as i64).collect();
             comm.alltoall(&send).unwrap()
         });
         for (j, row) in out.iter().enumerate() {

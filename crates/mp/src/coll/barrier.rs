@@ -14,7 +14,7 @@ impl Comm {
     /// `(i − 2^r) mod p`; after `⌈lg p⌉` rounds every rank transitively
     /// depends on every other.
     pub fn barrier(&self) -> Result<()> {
-        let tags = self.next_coll_tags(opcodes::BARRIER);
+        let tags = self.start_collective(opcodes::BARRIER, "barrier")?;
         let p = self.size();
         let me = self.rank();
         let mut dist = 1;
@@ -60,9 +60,13 @@ mod tests {
         World::run(4, |comm| {
             for k in 0..20 {
                 comm.barrier().unwrap();
-                // All ranks agree on the phase right after each barrier.
+                // The trailing barrier of round k-1 ensured all 4 of its
+                // increments landed; our own round-k increment hasn't.
                 let seen = phase.load(Ordering::SeqCst);
-                assert!(seen >= k * 4 || seen == 0 || true); // sanity only
+                assert!(
+                    (k * 4..k * 4 + 4).contains(&seen),
+                    "phase {seen} outside round-{k} window: barriers cross-matched"
+                );
                 phase.fetch_add(1, Ordering::SeqCst);
                 comm.barrier().unwrap();
             }

@@ -16,9 +16,12 @@ impl Comm {
     pub fn bcast<T: Datatype>(&self, root: usize, buf: &mut Vec<T>) -> Result<()> {
         let p = self.size();
         if root >= p {
-            return Err(Error::RankOutOfRange { rank: root, size: p });
+            return Err(Error::RankOutOfRange {
+                rank: root,
+                size: p,
+            });
         }
-        let tags = self.next_coll_tags(opcodes::BCAST);
+        let tags = self.start_collective(opcodes::BCAST, "bcast")?;
         let me = self.rank();
         let vrank = (me + p - root) % p;
 
@@ -53,9 +56,12 @@ impl Comm {
     pub fn bcast_linear<T: Datatype>(&self, root: usize, buf: &mut Vec<T>) -> Result<()> {
         let p = self.size();
         if root >= p {
-            return Err(Error::RankOutOfRange { rank: root, size: p });
+            return Err(Error::RankOutOfRange {
+                rank: root,
+                size: p,
+            });
         }
-        let tags = self.next_coll_tags(opcodes::BCAST);
+        let tags = self.start_collective(opcodes::BCAST, "bcast")?;
         if self.rank() == root {
             for r in 0..p {
                 if r != root {
@@ -82,7 +88,10 @@ impl Comm {
         };
         self.bcast(root, &mut buf)?;
         if buf.len() != 1 {
-            return Err(Error::CountMismatch { expected: 1, found: buf.len() });
+            return Err(Error::CountMismatch {
+                expected: 1,
+                found: buf.len(),
+            });
         }
         Ok(buf.pop().expect("length checked"))
     }
@@ -97,7 +106,11 @@ mod tests {
     fn bcast_from_rank_zero() {
         for p in [1, 2, 3, 4, 5, 7, 8] {
             let out = World::run(p, |comm| {
-                let mut buf = if comm.rank() == 0 { vec![10i64, 20, 30] } else { Vec::new() };
+                let mut buf = if comm.rank() == 0 {
+                    vec![10i64, 20, 30]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast(0, &mut buf).unwrap();
                 buf
             });
@@ -109,8 +122,11 @@ mod tests {
     fn bcast_from_nonzero_root() {
         for root in 0..5 {
             let out = World::run(5, |comm| {
-                let mut buf =
-                    if comm.rank() == root { vec![root as u64 * 7] } else { Vec::new() };
+                let mut buf = if comm.rank() == root {
+                    vec![root as u64 * 7]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast(root, &mut buf).unwrap();
                 buf[0]
             });
@@ -121,7 +137,11 @@ mod tests {
     #[test]
     fn bcast_one_convenience() {
         let out = World::run(4, |comm| {
-            let v = if comm.rank() == 2 { Some("answer".to_string()) } else { None };
+            let v = if comm.rank() == 2 {
+                Some("answer".to_string())
+            } else {
+                None
+            };
             comm.bcast_one(2, v).unwrap()
         });
         assert!(out.iter().all(|s| s == "answer"));
@@ -137,8 +157,16 @@ mod tests {
     #[test]
     fn successive_bcasts_keep_order() {
         let out = World::run(3, |comm| {
-            let mut a = if comm.is_master() { vec![1i32] } else { Vec::new() };
-            let mut b = if comm.is_master() { vec![2i32] } else { Vec::new() };
+            let mut a = if comm.is_master() {
+                vec![1i32]
+            } else {
+                Vec::new()
+            };
+            let mut b = if comm.is_master() {
+                vec![2i32]
+            } else {
+                Vec::new()
+            };
             comm.bcast(0, &mut a).unwrap();
             comm.bcast(0, &mut b).unwrap();
             (a[0], b[0])
@@ -150,13 +178,24 @@ mod tests {
     fn linear_and_tree_bcast_agree() {
         for p in [1, 2, 3, 5, 8] {
             let out = World::run(p, |comm| {
-                let mut tree = if comm.rank() == 1 % p { vec![7i64, 8] } else { Vec::new() };
+                let mut tree = if comm.rank() == 1 % p {
+                    vec![7i64, 8]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast(1 % p, &mut tree).unwrap();
-                let mut lin = if comm.rank() == 1 % p { vec![7i64, 8] } else { Vec::new() };
+                let mut lin = if comm.rank() == 1 % p {
+                    vec![7i64, 8]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast_linear(1 % p, &mut lin).unwrap();
                 (tree, lin)
             });
-            assert!(out.iter().all(|(t, l)| t == &[7, 8] && l == &[7, 8]), "p={p}");
+            assert!(
+                out.iter().all(|(t, l)| t == &[7, 8] && l == &[7, 8]),
+                "p={p}"
+            );
         }
     }
 

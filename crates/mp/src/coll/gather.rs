@@ -19,9 +19,12 @@ impl Comm {
     ) -> Result<Option<Vec<Vec<T>>>> {
         let p = self.size();
         if root >= p {
-            return Err(Error::RankOutOfRange { rank: root, size: p });
+            return Err(Error::RankOutOfRange {
+                rank: root,
+                size: p,
+            });
         }
-        let tags = self.next_coll_tags(opcodes::GATHER);
+        let tags = self.start_collective(opcodes::GATHER, "gather")?;
         if self.rank() == root {
             let mut all: Vec<Vec<T>> = Vec::with_capacity(p);
             for r in 0..p {
@@ -43,11 +46,7 @@ impl Comm {
     /// receives the concatenation in rank order (paper Fig. 26: process 0's
     /// values, then process 1's, ...). Fails with
     /// [`Error::CountMismatch`] if some rank contributed a different count.
-    pub fn gather<T: Datatype + Clone>(
-        &self,
-        root: usize,
-        local: &[T],
-    ) -> Result<Option<Vec<T>>> {
+    pub fn gather<T: Datatype + Clone>(&self, root: usize, local: &[T]) -> Result<Option<Vec<T>>> {
         let expected = local.len();
         match self.gather_by_rank(root, local)? {
             None => Ok(None),
@@ -55,7 +54,10 @@ impl Comm {
                 let mut flat = Vec::with_capacity(expected * per_rank.len());
                 for buf in per_rank {
                     if buf.len() != expected {
-                        return Err(Error::CountMismatch { expected, found: buf.len() });
+                        return Err(Error::CountMismatch {
+                            expected,
+                            found: buf.len(),
+                        });
                     }
                     flat.extend(buf);
                 }
@@ -114,9 +116,7 @@ mod tests {
 
     #[test]
     fn gather_at_nonzero_root() {
-        let out = World::run(3, |comm| {
-            comm.gather(1, &[comm.rank() as u64]).unwrap()
-        });
+        let out = World::run(3, |comm| comm.gather(1, &[comm.rank() as u64]).unwrap());
         assert_eq!(out[0], None);
         assert_eq!(out[1].as_deref(), Some(&[0u64, 1, 2][..]));
         assert_eq!(out[2], None);
@@ -128,10 +128,7 @@ mod tests {
             let mine: Vec<u32> = (0..comm.rank() as u32).collect();
             comm.gather_by_rank(0, &mine).unwrap()
         });
-        assert_eq!(
-            out[0],
-            Some(vec![vec![], vec![0], vec![0, 1]])
-        );
+        assert_eq!(out[0], Some(vec![vec![], vec![0], vec![0, 1]]));
     }
 
     #[test]
@@ -140,15 +137,19 @@ mod tests {
             let mine: Vec<i32> = vec![0; comm.rank() + 1]; // 1 vs 2 elements
             comm.gather(0, &mine)
         });
-        assert!(matches!(out[0], Err(Error::CountMismatch { expected: 1, found: 2 })));
+        assert!(matches!(
+            out[0],
+            Err(Error::CountMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
     }
 
     #[test]
     fn allgather_gives_everyone_everything() {
         for p in [1, 2, 4, 5] {
-            let out = World::run(p, |comm| {
-                comm.allgather(&[comm.rank() as i64 * 2]).unwrap()
-            });
+            let out = World::run(p, |comm| comm.allgather(&[comm.rank() as i64 * 2]).unwrap());
             let expected: Vec<i64> = (0..p as i64).map(|r| r * 2).collect();
             assert!(out.iter().all(|v| v == &expected), "p={p}: {out:?}");
         }

@@ -11,19 +11,18 @@ impl Comm {
     /// Inclusive prefix reduction: rank `i` receives
     /// `op(local_0, …, local_i)`, elementwise. Linear chain (`p − 1`
     /// messages), preserving rank order for non-commutative ops.
-    pub fn scan<T: Datatype + Clone>(
-        &self,
-        local: &[T],
-        op: &dyn ReduceOp<T>,
-    ) -> Result<Vec<T>> {
-        let tags = self.next_coll_tags(opcodes::SCAN);
+    pub fn scan<T: Datatype + Clone>(&self, local: &[T], op: &dyn ReduceOp<T>) -> Result<Vec<T>> {
+        let tags = self.start_collective(opcodes::SCAN, "scan")?;
         let me = self.rank();
         let p = self.size();
         let mut acc: Vec<T> = local.to_vec();
         if me > 0 {
             let (prefix, _) = self.recv_internal::<T>((me - 1).into(), tags(0).into())?;
             if prefix.len() != acc.len() {
-                return Err(Error::CountMismatch { expected: acc.len(), found: prefix.len() });
+                return Err(Error::CountMismatch {
+                    expected: acc.len(),
+                    found: prefix.len(),
+                });
             }
             for (a, pfx) in acc.iter_mut().zip(prefix) {
                 *a = op.combine(pfx, a.clone());
@@ -42,7 +41,7 @@ impl Comm {
         local: &[T],
         op: &dyn ReduceOp<T>,
     ) -> Result<Option<Vec<T>>> {
-        let tags = self.next_coll_tags(opcodes::SCAN);
+        let tags = self.start_collective(opcodes::SCAN, "exscan")?;
         let me = self.rank();
         let p = self.size();
         let prefix: Option<Vec<T>> = if me > 0 {
@@ -56,7 +55,10 @@ impl Comm {
             let mut next: Vec<T> = local.to_vec();
             if let Some(pfx) = &prefix {
                 if pfx.len() != next.len() {
-                    return Err(Error::CountMismatch { expected: next.len(), found: pfx.len() });
+                    return Err(Error::CountMismatch {
+                        expected: next.len(),
+                        found: pfx.len(),
+                    });
                 }
                 for (n, pfx_v) in next.iter_mut().zip(pfx.iter().cloned()) {
                     *n = op.combine(pfx_v, n.clone());
@@ -95,7 +97,10 @@ mod tests {
     fn scan_preserves_order_for_noncommutative() {
         let op = ops::FnOp::new(String::new(), |a: String, b: String| a + &b);
         let out = World::run(4, |comm| {
-            comm.scan(&[comm.rank().to_string()], &op).unwrap().pop().unwrap()
+            comm.scan(&[comm.rank().to_string()], &op)
+                .unwrap()
+                .pop()
+                .unwrap()
         });
         assert_eq!(out, vec!["0", "01", "012", "0123"]);
     }

@@ -18,13 +18,15 @@ impl Comm {
     ) -> Result<Vec<T>> {
         let p = self.size();
         if root >= p {
-            return Err(Error::RankOutOfRange { rank: root, size: p });
+            return Err(Error::RankOutOfRange {
+                rank: root,
+                size: p,
+            });
         }
-        let tags = self.next_coll_tags(opcodes::SCATTER);
+        let tags = self.start_collective(opcodes::SCATTER, "scatter")?;
         if self.rank() == root {
-            let data = sendbuf.ok_or_else(|| {
-                Error::InvalidConfig("scatter: root must supply sendbuf".into())
-            })?;
+            let data = sendbuf
+                .ok_or_else(|| Error::InvalidConfig("scatter: root must supply sendbuf".into()))?;
             if data.len() % p != 0 {
                 return Err(Error::CountMismatch {
                     expected: data.len().div_ceil(p) * p,
@@ -53,8 +55,11 @@ mod tests {
     #[test]
     fn scatter_deals_contiguous_slices_in_rank_order() {
         let out = World::run(4, |comm| {
-            let send: Option<Vec<i64>> =
-                if comm.is_master() { Some((0..12).collect()) } else { None };
+            let send: Option<Vec<i64>> = if comm.is_master() {
+                Some((0..12).collect())
+            } else {
+                None
+            };
             comm.scatter(0, send.as_deref()).unwrap()
         });
         assert_eq!(out[0], vec![0, 1, 2]);
@@ -66,8 +71,11 @@ mod tests {
     #[test]
     fn scatter_from_nonzero_root() {
         let out = World::run(3, |comm| {
-            let send: Option<Vec<u32>> =
-                if comm.rank() == 2 { Some(vec![7, 8, 9]) } else { None };
+            let send: Option<Vec<u32>> = if comm.rank() == 2 {
+                Some(vec![7, 8, 9])
+            } else {
+                None
+            };
             comm.scatter(2, send.as_deref()).unwrap()
         });
         assert_eq!(out, vec![vec![7], vec![8], vec![9]]);
@@ -76,8 +84,11 @@ mod tests {
     #[test]
     fn scatter_uneven_count_rejected() {
         let out = World::run(3, |comm| {
-            let send: Option<Vec<i32>> =
-                if comm.is_master() { Some(vec![1, 2, 3, 4]) } else { None };
+            let send: Option<Vec<i32>> = if comm.is_master() {
+                Some(vec![1, 2, 3, 4])
+            } else {
+                None
+            };
             comm.scatter(0, send.as_deref())
         });
         assert!(matches!(out[0], Err(Error::CountMismatch { .. })));
@@ -85,9 +96,7 @@ mod tests {
 
     #[test]
     fn scatter_single_rank_is_identity() {
-        let out = World::run(1, |comm| {
-            comm.scatter(0, Some(&[5i32, 6][..])).unwrap()
-        });
+        let out = World::run(1, |comm| comm.scatter(0, Some(&[5i32, 6][..])).unwrap());
         assert_eq!(out, vec![vec![5, 6]]);
     }
 

@@ -18,15 +18,21 @@ impl Comm {
     ) -> Result<Vec<T>> {
         let p = self.size();
         if root >= p {
-            return Err(Error::RankOutOfRange { rank: root, size: p });
+            return Err(Error::RankOutOfRange {
+                rank: root,
+                size: p,
+            });
         }
-        let tags = self.next_coll_tags(opcodes::SCATTER);
+        let tags = self.start_collective(opcodes::SCATTER, "scatterv")?;
         if self.rank() == root {
             let bufs = sendbufs.ok_or_else(|| {
                 Error::InvalidConfig("scatter_varied: root must supply buffers".into())
             })?;
             if bufs.len() != p {
-                return Err(Error::CountMismatch { expected: p, found: bufs.len() });
+                return Err(Error::CountMismatch {
+                    expected: p,
+                    found: bufs.len(),
+                });
             }
             for (r, buf) in bufs.iter().enumerate() {
                 if r != root {
@@ -49,7 +55,7 @@ impl Comm {
         op: &dyn ReduceOp<T>,
     ) -> Result<Vec<T>> {
         let p = self.size();
-        if local.len() % p != 0 {
+        if !local.len().is_multiple_of(p) {
             return Err(Error::CountMismatch {
                 expected: local.len().div_ceil(p) * p,
                 found: local.len(),
@@ -83,11 +89,20 @@ mod tests {
     #[test]
     fn scatter_varied_wrong_bucket_count_rejected() {
         let out = World::run(2, |comm| {
-            let bufs: Option<Vec<Vec<i64>>> =
-                if comm.is_master() { Some(vec![vec![1]]) } else { None };
+            let bufs: Option<Vec<Vec<i64>>> = if comm.is_master() {
+                Some(vec![vec![1]])
+            } else {
+                None
+            };
             comm.scatter_varied(0, bufs.as_deref())
         });
-        assert!(matches!(out[0], Err(Error::CountMismatch { expected: 2, found: 1 })));
+        assert!(matches!(
+            out[0],
+            Err(Error::CountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
     }
 
     #[test]
@@ -106,8 +121,7 @@ mod tests {
         // Element j of rank r's buffer is r*10 + j; the reduced vector is
         // sum_r(r*10) + p*j per... verify blocks differ by position.
         let out = World::run(2, |comm| {
-            let local: Vec<i64> =
-                (0..4).map(|j| (comm.rank() * 10 + j) as i64).collect();
+            let local: Vec<i64> = (0..4).map(|j| (comm.rank() * 10 + j) as i64).collect();
             comm.reduce_scatter(&local, &ops::Sum).unwrap()
         });
         // Reduced vector: [10, 12, 14, 16]; rank 0 gets [10, 12], rank 1 [14, 16].
@@ -117,9 +131,7 @@ mod tests {
 
     #[test]
     fn reduce_scatter_uneven_rejected() {
-        let out = World::run(2, |comm| {
-            comm.reduce_scatter(&[1i64, 2, 3], &ops::Sum)
-        });
+        let out = World::run(2, |comm| comm.reduce_scatter(&[1i64, 2, 3], &ops::Sum));
         assert!(matches!(out[0], Err(Error::CountMismatch { .. })));
     }
 }

@@ -5,12 +5,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use patternlets_core::rng::{Rng, SplitMix64};
-use patternlets_core::{Error, Result};
+use patternlets_core::{Error, OpContext, Result};
 
 use crate::datatype::{encode, Datatype};
-use crate::envelope::{collective_tag, Envelope};
+use crate::envelope::{collective_tag, is_collective_tag, Envelope};
+use crate::fault::retry_backoff;
 use crate::status::{SourceSel, Status, TagSel};
 use crate::world::Transport;
+
+/// Agreement kinds for the message-free `agree`/`shrink` protocol.
+const AGREE_KIND: u8 = 0;
+const SHRINK_KIND: u8 = 1;
 
 /// A rank's communicator: `MPI_COMM_WORLD` as created by
 /// [`crate::World::run`], or a sub-communicator created by [`Comm::split`].
@@ -31,6 +36,13 @@ pub struct Comm {
     /// Count of collective operations this rank has started; used to build
     /// reserved tags that line up across ranks.
     coll_seq: Cell<u64>,
+    /// Count of agreement rounds (`agree`/`shrink`) this rank has started.
+    /// Deliberately separate from `coll_seq`: a failed collective can
+    /// abort at different internal stages on different ranks (the root of
+    /// an allreduce dies in the reduce phase, leaves in the bcast phase),
+    /// desynchronising `coll_seq` — but agreement must still line up,
+    /// because it is exactly the post-failure rendezvous.
+    agree_seq: Cell<u64>,
 }
 
 /// The world communicator's id.
@@ -45,6 +57,7 @@ impl Comm {
             comm_id: WORLD_COMM_ID,
             transport,
             coll_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
         }
     }
 
@@ -107,6 +120,7 @@ impl Comm {
             comm_id,
             transport: Arc::clone(&self.transport),
             coll_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
         })
     }
 
@@ -148,9 +162,19 @@ impl Comm {
         needs_ack: bool,
     ) -> Result<u64> {
         if dest >= self.size() {
-            return Err(Error::RankOutOfRange { rank: dest, size: self.size() });
+            return Err(Error::RankOutOfRange {
+                rank: dest,
+                size: self.size(),
+            });
         }
         let me = self.world_rank();
+        self.transport.fault_op(me, "send")?;
+        if self.transport.rank_failed(self.group[dest]) {
+            return Err(Error::RankFailed {
+                rank: self.group[dest],
+                op: OpContext::new("send").peer(dest).tag(tag),
+            });
+        }
         let seq = self.transport.send_seqs[me].fetch_add(1, Ordering::Relaxed);
         let payload = encode(data);
         self.transport.record_msg(crate::world::MsgEvent {
@@ -160,11 +184,7 @@ impl Comm {
             tag,
             bytes: payload.len(),
         });
-        // Order matters: bump progress BEFORE the delivery becomes
-        // matchable, so any deadlock verdict computed across this delivery
-        // sees the progress change and rejects itself.
-        self.transport.progress.fetch_add(1, Ordering::SeqCst);
-        self.transport.mailboxes[self.group[dest]].deliver(Envelope {
+        let env = Envelope {
             comm_id: self.comm_id,
             src: self.local_rank,
             tag,
@@ -173,7 +193,36 @@ impl Comm {
             payload,
             seq,
             needs_ack,
-        });
+        };
+        // Chaos, when a fault plan is installed: sleep out the injected
+        // delay and the retransmission backoffs in *this* (the sender's)
+        // thread so per-sender program order is never perturbed, then
+        // deliver — possibly displaced past other senders' queued traffic,
+        // possibly twice (the receiving mailbox deduplicates).
+        let mut overtake = 0;
+        let mut duplicate = false;
+        if let Some(fault) = &self.transport.fault {
+            let decision = fault.decide(me);
+            if !decision.delay.is_zero() {
+                std::thread::sleep(decision.delay);
+            }
+            for attempt in 0..decision.lost_transmissions {
+                std::thread::sleep(retry_backoff(attempt));
+            }
+            overtake = decision.overtake;
+            duplicate = decision.duplicate;
+        }
+        // Order matters: bump progress BEFORE the delivery becomes
+        // matchable, so any deadlock verdict computed across this delivery
+        // sees the progress change and rejects itself.
+        let mailbox = &self.transport.mailboxes[self.group[dest]];
+        self.transport.progress.fetch_add(1, Ordering::SeqCst);
+        if duplicate {
+            mailbox.deliver_displaced(env.clone(), overtake);
+            mailbox.deliver_displaced(env, 0); // swallowed as a duplicate
+        } else {
+            mailbox.deliver_displaced(env, overtake);
+        }
         Ok(seq)
     }
 
@@ -221,25 +270,33 @@ impl Comm {
     ) -> Result<(Vec<T>, Status)> {
         if let SourceSel::Rank(r) = src {
             if r >= self.size() {
-                return Err(Error::RankOutOfRange { rank: r, size: self.size() });
+                return Err(Error::RankOutOfRange {
+                    rank: r,
+                    size: self.size(),
+                });
             }
         }
         let transport = &self.transport;
         let me = self.local_rank;
         let group = &self.group;
         let my_world = self.world_rank();
+        transport.fault_op(my_world, "recv")?;
 
         // Publish what we are about to block on, for the waits-for
         // deadlock detector; cleared on every exit path by the guard.
         let world_sources: Vec<usize> = match src {
             SourceSel::Rank(r) => vec![group[r]],
-            SourceSel::Any => {
-                group.iter().copied().filter(|&w| w != my_world).collect()
-            }
+            SourceSel::Any => group.iter().copied().filter(|&w| w != my_world).collect(),
         };
         transport.publish_wait(
             my_world,
-            crate::world::WaitRecord { comm_id: self.comm_id, src, tag, world_sources },
+            crate::world::WaitRecord {
+                comm_id: self.comm_id,
+                src,
+                tag,
+                world_sources,
+                world_group: Arc::clone(group),
+            },
         );
         struct ClearGuard<'a>(&'a crate::world::Transport, usize);
         impl Drop for ClearGuard<'_> {
@@ -249,27 +306,70 @@ impl Comm {
         }
         let _guard = ClearGuard(transport, my_world);
 
+        let ctx = || {
+            OpContext::new("recv")
+                .peer(format!("{src:?}"))
+                .tag(format!("{tag:?}"))
+        };
+        let cycle = |op: OpContext| {
+            move |graph: String| {
+                Error::Deadlock(op.detail(format!("waits-for cycle with no live escape: {graph}")))
+            }
+        };
         let env = transport.mailboxes[my_world].recv_match(
             self.comm_id,
             src,
             tag,
+            transport.poll_interval,
             || {
-                let senders_alive = match src {
+                // Collective-internal receives fail fast when ANY group
+                // member has died: the collective can no longer complete
+                // for anyone, whichever rank this round happens to be
+                // paired with. (ULFM semantics: every survivor reports
+                // the failure rather than hanging.)
+                if matches!(tag, TagSel::Tag(t) if is_collective_tag(t)) {
+                    if let Some(&dead) = group.iter().find(|&&w| transport.rank_failed(w)) {
+                        return Some(Error::RankFailed {
+                            rank: dead,
+                            op: ctx(),
+                        });
+                    }
+                }
+                match src {
                     // Receiving from myself: alive by definition (but a
                     // queued match was already checked, so self-recv
                     // without a prior self-send correctly deadlocks).
-                    SourceSel::Rank(r) if r == me => false,
-                    SourceSel::Rank(r) => transport.rank_alive(group[r]),
-                    SourceSel::Any => group
-                        .iter()
-                        .any(|&w| w != my_world && transport.rank_alive(w)),
-                };
-                if !senders_alive {
-                    return Some("every possible sender has finished".into());
+                    SourceSel::Rank(r) if r == me => {}
+                    SourceSel::Rank(r) => {
+                        if transport.rank_failed(group[r]) {
+                            return Some(Error::RankFailed {
+                                rank: group[r],
+                                op: ctx(),
+                            });
+                        }
+                        if transport.rank_alive(group[r]) {
+                            return transport.deadlocked(my_world).map(cycle(ctx()));
+                        }
+                    }
+                    SourceSel::Any => {
+                        // A failed sender can never send again, so it only
+                        // blocks this receive once no live sender is left.
+                        let mut dead = None;
+                        for &w in group.iter().filter(|&&w| w != my_world) {
+                            if transport.rank_failed(w) {
+                                dead.get_or_insert(w);
+                            } else if transport.rank_alive(w) {
+                                return transport.deadlocked(my_world).map(cycle(ctx()));
+                            }
+                        }
+                        if let Some(rank) = dead {
+                            return Some(Error::RankFailed { rank, op: ctx() });
+                        }
+                    }
                 }
-                transport
-                    .deadlocked(my_world)
-                    .map(|graph| format!("waits-for cycle with no live escape: {graph}"))
+                Some(Error::Deadlock(
+                    ctx().detail("every possible sender has finished"),
+                ))
             },
             || transport.clear_wait(my_world),
         )?;
@@ -285,7 +385,11 @@ impl Comm {
             });
         }
         let data = T::decode_slice(&env.payload, env.count)?;
-        let status = Status { source: env.src, tag: env.tag, count: env.count };
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            count: env.count,
+        };
         Ok((data, status))
     }
 
@@ -297,7 +401,10 @@ impl Comm {
     ) -> Result<(T, Status)> {
         let (mut data, status) = self.recv::<T>(src, tag)?;
         if data.len() != 1 {
-            return Err(Error::CountMismatch { expected: 1, found: data.len() });
+            return Err(Error::CountMismatch {
+                expected: 1,
+                found: data.len(),
+            });
         }
         Ok((data.pop().expect("length checked"), status))
     }
@@ -317,11 +424,7 @@ impl Comm {
     }
 
     /// Non-blocking probe for a matching message — `MPI_Iprobe`.
-    pub fn iprobe(
-        &self,
-        src: impl Into<SourceSel>,
-        tag: impl Into<TagSel>,
-    ) -> Option<Status> {
+    pub fn iprobe(&self, src: impl Into<SourceSel>, tag: impl Into<TagSel>) -> Option<Status> {
         self.transport.mailboxes[self.world_rank()]
             .probe(self.comm_id, src.into(), tag.into())
             .map(|(source, tag, count)| Status { source, tag, count })
@@ -329,13 +432,122 @@ impl Comm {
 
     // -- collective plumbing -----------------------------------------------
 
-    /// Reserve the tag family for this rank's next collective call.
-    /// Returns a function from round number to tag. All ranks call
+    /// Enter a collective: reserve its tag family and check the group is
+    /// intact. Returns a function from round number to tag; all ranks call
     /// collectives in the same order, so the families line up.
-    pub(crate) fn next_coll_tags(&self, opcode: u8) -> impl Fn(u32) -> i32 {
+    ///
+    /// The entry check makes collectives fail fast with
+    /// [`Error::RankFailed`] on *every* survivor when a member has died —
+    /// the sequence number still advances on error, so survivors stay
+    /// aligned for subsequent calls.
+    pub(crate) fn start_collective(
+        &self,
+        opcode: u8,
+        op: &'static str,
+    ) -> Result<impl Fn(u32) -> i32> {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
-        move |round| collective_tag(seq, opcode, round)
+        self.transport.fault_op(self.world_rank(), op)?;
+        if let Some(&dead) = self.group.iter().find(|&&w| self.transport.rank_failed(w)) {
+            return Err(Error::RankFailed {
+                rank: dead,
+                op: OpContext::new(op),
+            });
+        }
+        Ok(move |round| collective_tag(seq, opcode, round))
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    /// One round of the message-free agreement protocol behind
+    /// [`Comm::agree`] and [`Comm::shrink`]. Members synchronise through
+    /// shared transport state rather than messages, because these
+    /// operations must complete even when some peers are dead.
+    ///
+    /// Returns the final contribution map (world rank → value). The round
+    /// completes once every member has contributed, failed, or finished;
+    /// failed and finished ranks can never contribute afterwards, so every
+    /// caller observes the same final map.
+    fn agreement_round(
+        &self,
+        kind: u8,
+        value: u64,
+        op: &'static str,
+    ) -> Result<crate::world::AgreeSlot> {
+        let seq = self.agree_seq.get();
+        self.agree_seq.set(seq + 1);
+        self.transport.fault_op(self.world_rank(), op)?;
+        let key: crate::world::AgreeKey = (self.comm_id, kind, seq);
+        let my_world = self.world_rank();
+        let mut slots = self.transport.agreements.lock();
+        slots.entry(key).or_default().insert(my_world, value);
+        self.transport.agree_cv.notify_all();
+        loop {
+            let slot = slots.get(&key).expect("slot inserted above");
+            let done = self.group.iter().all(|&w| {
+                slot.contains_key(&w)
+                    || self.transport.rank_failed(w)
+                    || !self.transport.rank_alive(w)
+            });
+            if done {
+                // Slots are left in the map until the world is torn down:
+                // their number is bounded by the agreement calls made, and
+                // removal would race against members still reading.
+                return Ok(slot.clone());
+            }
+            // Contributions and failures both notify the condvar; the
+            // timeout is a backstop against missed wake-ups.
+            self.transport
+                .agree_cv
+                .wait_for(&mut slots, self.transport.poll_interval);
+        }
+    }
+
+    /// Fault-tolerant agreement — ULFM's `MPI_Comm_agree`: returns the
+    /// logical AND of every live member's `flag`. Completes even when
+    /// members have failed (their contribution is simply absent); fails
+    /// with [`Error::RankFailed`] only if the *caller* has been killed.
+    ///
+    /// Survivors use this to reach a consistent post-failure decision
+    /// ("did everyone finish their work?") before continuing.
+    pub fn agree(&self, flag: bool) -> Result<bool> {
+        let slot = self.agreement_round(AGREE_KIND, flag as u64, "agree")?;
+        Ok(self
+            .group
+            .iter()
+            .filter_map(|w| slot.get(w))
+            .all(|&v| v != 0))
+    }
+
+    /// Build a new communicator from the surviving members — ULFM's
+    /// `MPI_Comm_shrink`. Survivors keep their relative order; the new
+    /// communicator has a fresh message space and working collectives.
+    /// Members that fail *after* contributing are excluded by the next
+    /// shrink, not this one (every caller must build the same group).
+    pub fn shrink(&self) -> Result<Comm> {
+        let slot = self.agreement_round(SHRINK_KIND, self.local_rank as u64, "shrink")?;
+        let seq = self.agree_seq.get(); // advanced by the agreement round
+        let mut members: Vec<(u64, usize)> =
+            slot.iter().map(|(&world, &local)| (local, world)).collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members.into_iter().map(|(_, world)| world).collect();
+        let local_rank = group
+            .iter()
+            .position(|&w| w == self.world_rank())
+            .expect("caller contributed to the shrink round");
+        // Every survivor derives the same fresh id from the parent id and
+        // the round's sequence number.
+        let mut h =
+            SplitMix64::new(self.comm_id ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA17);
+        let comm_id = h.next_u64() | 1;
+        Ok(Comm {
+            local_rank,
+            group: Arc::new(group),
+            comm_id,
+            transport: Arc::clone(&self.transport),
+            coll_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
+        })
     }
 }
 
@@ -393,7 +605,8 @@ mod tests {
                 got.sort_unstable();
                 got
             } else {
-                comm.send_one(comm.rank() as u64 * 10, 0, comm.rank() as i32).unwrap();
+                comm.send_one(comm.rank() as u64 * 10, 0, comm.rank() as i32)
+                    .unwrap();
                 Vec::new()
             }
         });
@@ -430,7 +643,10 @@ mod tests {
     #[test]
     fn send_to_invalid_rank_errors() {
         let out = World::run(1, |comm| comm.send(&[1i32], 5, 0));
-        assert!(matches!(out[0], Err(Error::RankOutOfRange { rank: 5, size: 1 })));
+        assert!(matches!(
+            out[0],
+            Err(Error::RankOutOfRange { rank: 5, size: 1 })
+        ));
     }
 
     #[test]
@@ -633,6 +849,12 @@ mod tests {
                 comm.recv_one::<i32>(0, 0).map(|(v, _)| v)
             }
         });
-        assert!(matches!(out[1], Err(Error::CountMismatch { expected: 1, found: 3 })));
+        assert!(matches!(
+            out[1],
+            Err(Error::CountMismatch {
+                expected: 1,
+                found: 3
+            })
+        ));
     }
 }

@@ -100,8 +100,7 @@ impl Datatype for usize {
         let wide = u64::decode_slice(bytes, count)?;
         wide.into_iter()
             .map(|v| {
-                usize::try_from(v)
-                    .map_err(|_| Error::Codec(format!("usize: value {v} too large")))
+                usize::try_from(v).map_err(|_| Error::Codec(format!("usize: value {v} too large")))
             })
             .collect()
     }

@@ -49,6 +49,15 @@ pub(crate) fn collective_tag(coll_seq: u64, opcode: u8, round: u32) -> i32 {
     -(1 + (((seq << 4) | op) << 6 | rnd))
 }
 
+/// Is `tag` a collective-internal tag — as opposed to a user tag (≥ 0)
+/// or a synchronous-send acknowledgement (below −2²⁸)? The failure model
+/// treats collective receives specially: they fail fast when *any* group
+/// member has died, while user and ack receives only depend on their
+/// actual sender.
+pub(crate) fn is_collective_tag(tag: i32) -> bool {
+    (-(1 << 28)..0).contains(&tag)
+}
+
 /// Collective opcodes for tag construction.
 pub(crate) mod opcodes {
     pub const BARRIER: u8 = 0;

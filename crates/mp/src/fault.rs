@@ -1,0 +1,272 @@
+//! Fault injection: chaos transport and a rank-failure model.
+//!
+//! A [`FaultPlan`] configured on [`crate::WorldBuilder`] perturbs the
+//! transport underneath unmodified patternlets:
+//!
+//! * **delay** — each message sleeps a random time *in the sender's
+//!   thread* before delivery. Per-sender program order is preserved, so
+//!   MPI's non-overtaking guarantee survives arbitrary delays.
+//! * **reorder** — a delivered message may be inserted *ahead of* queued
+//!   messages from **other** senders (never its own earlier messages),
+//!   modelling cross-sender network races that are legal under MPI.
+//! * **drop** — a message transmission is lost with some probability; the
+//!   sender retries after an exponentially-backed-off timeout. Lost acks
+//!   are modelled by occasional duplicate deliveries; the receiving
+//!   mailbox deduplicates by per-sender sequence number, so the
+//!   application sees each message **exactly once**.
+//! * **kill** — a rank dies after its k-th message operation: the rank's
+//!   own operations fail with [`Error::RankFailed`], its `failed` flag is
+//!   raised, and every peer operation that depends on it reports
+//!   `RankFailed` (not `Deadlock`) instead of hanging.
+//!
+//! All randomness derives from one seed via per-rank
+//! [`Xoshiro256StarStar`] streams: each sender draws its chaos decisions
+//! in program order, so a plan's behaviour is reproducible regardless of
+//! thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use patternlets_core::rng::{Rng, Xoshiro256StarStar};
+use patternlets_core::{Error, OpContext, Result};
+
+/// A seeded chaos/fault schedule for one world. Build with
+/// [`FaultPlan::seeded`] and the chainable setters, then install via
+/// [`crate::WorldBuilder::fault_plan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    delay_up_to: Option<Duration>,
+    reorder_probability: f64,
+    drop_probability: f64,
+    duplicate_probability: f64,
+    kills: Vec<Kill>,
+}
+
+/// Kill rank `rank` when its operation counter reaches `after_ops`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Kill {
+    rank: usize,
+    after_ops: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no chaos) drawing all randomness from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_up_to: None,
+            reorder_probability: 0.0,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Delay each message by a uniform random time in `0..=max`, slept in
+    /// the sender's thread (per-sender order is preserved).
+    pub fn delay_up_to(mut self, max: Duration) -> Self {
+        self.delay_up_to = Some(max);
+        self
+    }
+
+    /// With probability `p`, deliver a message ahead of queued messages
+    /// from other senders.
+    pub fn reorder(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.reorder_probability = p;
+        self
+    }
+
+    /// Lose each transmission with probability `p`; the sender retries
+    /// with exponential backoff until one gets through.
+    pub fn drop(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability in [0, 1)");
+        self.drop_probability = p;
+        self
+    }
+
+    /// With probability `p`, deliver an extra (duplicate) copy of a
+    /// message, modelling a lost acknowledgement. The mailbox's
+    /// per-sender dedup must swallow it.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Kill `rank` (world numbering) once it has performed `after_ops`
+    /// message operations: its next operation fails with
+    /// [`Error::RankFailed`] and its failed flag is raised. `after_ops ==
+    /// 0` kills the rank on its very first operation.
+    pub fn kill_rank_after(mut self, rank: usize, after_ops: u64) -> Self {
+        self.kills.push(Kill { rank, after_ops });
+        self
+    }
+
+    /// Does this plan ever drop transmissions (used to size retry
+    /// budgets)?
+    pub fn drops(&self) -> bool {
+        self.drop_probability > 0.0
+    }
+}
+
+/// Per-world runtime state for an installed [`FaultPlan`].
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Per-rank operation counters, for kill triggers.
+    op_counts: Vec<AtomicU64>,
+    /// Per-rank chaos RNG streams: each sender draws in program order, so
+    /// decisions are reproducible under any thread interleaving.
+    rngs: Vec<Mutex<Xoshiro256StarStar>>,
+}
+
+/// What the chaos layer decided for one transmission.
+pub(crate) struct ChaosDecision {
+    /// Sleep this long in the sender thread before delivering.
+    pub delay: Duration,
+    /// Number of lost transmissions before the one that gets through
+    /// (each adds a backed-off retry sleep).
+    pub lost_transmissions: u32,
+    /// Deliver ahead of this many queued messages from other senders.
+    pub overtake: usize,
+    /// Also deliver a duplicate copy (exercises receiver dedup).
+    pub duplicate: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, np: usize) -> Self {
+        FaultState {
+            op_counts: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            rngs: (0..np)
+                .map(|r| {
+                    Mutex::new(Xoshiro256StarStar::seeded(
+                        plan.seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ))
+                })
+                .collect(),
+            plan,
+        }
+    }
+
+    /// Count one message operation by world rank `me`; returns the
+    /// `RankFailed` error if the plan kills `me` at this point (or already
+    /// has).
+    pub(crate) fn record_op(&self, me: usize, op: &'static str) -> Result<()> {
+        let count = self.op_counts[me].fetch_add(1, Ordering::SeqCst);
+        for kill in &self.plan.kills {
+            if kill.rank == me && count >= kill.after_ops {
+                return Err(Error::RankFailed {
+                    rank: me,
+                    op: OpContext::new(op)
+                        .detail(format!("killed by fault plan after {count} operations")),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw the chaos decisions for one transmission by `sender`.
+    pub(crate) fn decide(&self, sender: usize) -> ChaosDecision {
+        let mut rng = self.rngs[sender].lock();
+        let delay = match self.plan.delay_up_to {
+            Some(max) if max > Duration::ZERO => {
+                Duration::from_nanos(rng.gen_range(max.as_nanos() as u64 + 1))
+            }
+            _ => Duration::ZERO,
+        };
+        let mut lost_transmissions = 0;
+        while self.plan.drop_probability > 0.0
+            && rng.gen_f64() < self.plan.drop_probability
+            && lost_transmissions < 16
+        {
+            lost_transmissions += 1;
+        }
+        let overtake = if self.plan.reorder_probability > 0.0
+            && rng.gen_f64() < self.plan.reorder_probability
+        {
+            1 + rng.gen_range(3) as usize
+        } else {
+            0
+        };
+        let duplicate = self.plan.duplicate_probability > 0.0
+            && rng.gen_f64() < self.plan.duplicate_probability;
+        ChaosDecision {
+            delay,
+            lost_transmissions,
+            overtake,
+            duplicate,
+        }
+    }
+}
+
+/// Exponential backoff for retransmission attempt `attempt` (0-based):
+/// 100µs, 200µs, 400µs, … capped at 5ms.
+pub(crate) fn retry_backoff(attempt: u32) -> Duration {
+    let micros = 100u64 << attempt.min(6);
+    Duration::from_micros(micros.min(5_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_decides_nothing() {
+        let state = FaultState::new(FaultPlan::seeded(1), 2);
+        for _ in 0..100 {
+            let d = state.decide(0);
+            assert_eq!(d.delay, Duration::ZERO);
+            assert_eq!(d.lost_transmissions, 0);
+            assert_eq!(d.overtake, 0);
+            assert!(!d.duplicate);
+        }
+    }
+
+    #[test]
+    fn kill_triggers_at_threshold_and_stays_triggered() {
+        let state = FaultState::new(FaultPlan::seeded(1).kill_rank_after(1, 2), 3);
+        assert!(state.record_op(1, "send").is_ok());
+        assert!(state.record_op(1, "send").is_ok());
+        let err = state.record_op(1, "send").unwrap_err();
+        assert!(matches!(err, Error::RankFailed { rank: 1, .. }));
+        // Still dead afterwards.
+        assert!(state.record_op(1, "recv").is_err());
+        // Other ranks unaffected.
+        for _ in 0..10 {
+            assert!(state.record_op(0, "send").is_ok());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let mk = || FaultState::new(FaultPlan::seeded(7).drop(0.3).reorder(0.5), 2);
+        let (a, b) = (mk(), mk());
+        for _ in 0..200 {
+            let (da, db) = (a.decide(1), b.decide(1));
+            assert_eq!(da.lost_transmissions, db.lost_transmissions);
+            assert_eq!(da.overtake, db.overtake);
+        }
+    }
+
+    #[test]
+    fn different_ranks_get_different_streams() {
+        let state = FaultState::new(FaultPlan::seeded(7).drop(0.5), 2);
+        let a: Vec<u32> = (0..50)
+            .map(|_| state.decide(0).lost_transmissions)
+            .collect();
+        let b: Vec<u32> = (0..50)
+            .map(|_| state.decide(1).lost_transmissions)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        assert_eq!(retry_backoff(0), Duration::from_micros(100));
+        assert_eq!(retry_backoff(1), Duration::from_micros(200));
+        assert!(retry_backoff(3) > retry_backoff(2));
+        assert_eq!(retry_backoff(30), Duration::from_millis(5));
+    }
+}

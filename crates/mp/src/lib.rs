@@ -45,6 +45,7 @@ pub mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
+pub mod fault;
 pub mod mailbox;
 pub mod request;
 pub mod status;
@@ -53,9 +54,10 @@ pub mod world;
 pub use comm::Comm;
 pub use datatype::Datatype;
 pub use envelope::Envelope;
+pub use fault::FaultPlan;
 pub use request::{RecvRequest, SendRequest};
 pub use status::{SourceSel, Status, TagSel, ANY_SOURCE, ANY_TAG};
-pub use world::{MsgEvent, World, WorldBuilder};
+pub use world::{MsgEvent, World, WorldBuilder, DEFAULT_POLL_INTERVAL};
 
 /// The conventional root/master rank, mirroring the paper's `#define MASTER 0`.
 pub const MASTER: usize = 0;

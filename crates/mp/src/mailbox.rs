@@ -8,7 +8,7 @@
 //! arrive (every possible sender has finished), it reports deadlock
 //! instead of hanging.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -17,10 +17,22 @@ use patternlets_core::{Error, Result};
 use crate::envelope::Envelope;
 use crate::status::{SourceSel, TagSel};
 
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<Envelope>,
+    /// Highest sequence number seen per `(comm_id, sender)` stream.
+    /// Sequence numbers are per-sender monotone, and chaos reordering
+    /// never perturbs a single stream's order, so any envelope at or
+    /// below the high-water mark is a duplicate transmission (a lost-ack
+    /// retransmit under a fault plan) and is dropped here — the
+    /// application sees each message exactly once.
+    seen: HashMap<(u64, usize), u64>,
+}
+
 /// A single rank's incoming message queue.
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    inner: Mutex<Inner>,
     arrived: Condvar,
 }
 
@@ -32,13 +44,41 @@ impl Mailbox {
 
     /// Deliver an envelope (called by the sender's thread).
     pub fn deliver(&self, env: Envelope) {
-        self.queue.lock().push_back(env);
+        self.deliver_displaced(env, 0);
+    }
+
+    /// Deliver an envelope ahead of up to `overtake` already-queued
+    /// envelopes — but never ahead of an earlier envelope from the same
+    /// `(comm_id, sender)` stream, preserving MPI's non-overtaking
+    /// guarantee under chaos reordering. Returns `false` if the envelope
+    /// was a duplicate and was swallowed instead of enqueued.
+    pub fn deliver_displaced(&self, env: Envelope, overtake: usize) -> bool {
+        let mut inner = self.inner.lock();
+        let key = (env.comm_id, env.src);
+        if let Some(&max) = inner.seen.get(&key) {
+            if env.seq <= max {
+                return false; // duplicate transmission
+            }
+        }
+        inner.seen.insert(key, env.seq);
+        let mut pos = inner.queue.len();
+        let mut displaced = 0;
+        while displaced < overtake && pos > 0 {
+            let prev = &inner.queue[pos - 1];
+            if prev.comm_id == env.comm_id && prev.src == env.src {
+                break;
+            }
+            pos -= 1;
+            displaced += 1;
+        }
+        inner.queue.insert(pos, env);
         self.arrived.notify_all();
+        true
     }
 
     /// Number of queued envelopes (diagnostics).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.inner.lock().queue.len()
     }
 
     /// True when no envelopes are queued.
@@ -53,20 +93,22 @@ impl Mailbox {
     ///
     /// `senders_alive` is consulted when the queue holds no match: it
     /// returns `None` while a matching send could still arrive, and
-    /// `Some(reason)` when it provably cannot (senders finished, or a
-    /// waits-for cycle) — in which case the receive fails with
-    /// [`Error::Deadlock`] carrying the reason.
+    /// `Some(error)` when it provably cannot — [`Error::RankFailed`] when
+    /// a required peer died, [`Error::Deadlock`] when all senders finished
+    /// or a waits-for cycle was proven. `poll` bounds how long the receive
+    /// sleeps between liveness re-checks.
     pub fn recv_match(
         &self,
         comm_id: u64,
         src: SourceSel,
         tag: TagSel,
-        senders_alive: impl Fn() -> Option<String>,
+        poll: Duration,
+        senders_alive: impl Fn() -> Option<Error>,
         on_match: impl FnOnce(),
     ) -> Result<Envelope> {
-        let mut queue = self.queue.lock();
+        let mut inner = self.inner.lock();
         loop {
-            if let Some(pos) = queue.iter().position(|env| {
+            if let Some(pos) = inner.queue.iter().position(|env| {
                 env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag)
             }) {
                 // Retire the caller's wait record while still holding the
@@ -74,16 +116,14 @@ impl Mailbox {
                 // "wait posted" + "queue already drained" for a rank that
                 // in fact matched (it would look stuck).
                 on_match();
-                return Ok(queue.remove(pos).expect("position just found"));
+                return Ok(inner.queue.remove(pos).expect("position just found"));
             }
-            if let Some(why) = senders_alive() {
-                return Err(Error::Deadlock(format!(
-                    "recv(src={src:?}, tag={tag:?}) can never be satisfied: {why}"
-                )));
+            if let Some(err) = senders_alive() {
+                return Err(err);
             }
             // Re-check liveness periodically: a sender may finish without
             // ever waking this condvar.
-            self.arrived.wait_for(&mut queue, Duration::from_millis(20));
+            self.arrived.wait_for(&mut inner, poll);
         }
     }
 
@@ -93,16 +133,20 @@ impl Mailbox {
     /// check must be retried later. Never blocks, so a detector holding
     /// its own mailbox lock cannot participate in a lock-order cycle.
     pub fn try_probe(&self, comm_id: u64, src: SourceSel, tag: TagSel) -> Option<bool> {
-        let queue = self.queue.try_lock()?;
-        Some(queue.iter().any(|env| {
-            env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag)
-        }))
+        let inner = self.inner.try_lock()?;
+        Some(
+            inner
+                .queue
+                .iter()
+                .any(|env| env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag)),
+        )
     }
 
     /// Non-blocking probe: metadata of the first matching envelope, if any.
     pub fn probe(&self, comm_id: u64, src: SourceSel, tag: TagSel) -> Option<(usize, i32, usize)> {
-        self.queue
+        self.inner
             .lock()
+            .queue
             .iter()
             .find(|env| env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag))
             .map(|env| (env.src, env.tag, env.count))
@@ -114,6 +158,8 @@ mod tests {
     use super::*;
     use crate::datatype::encode;
     use crate::status::{ANY_SOURCE, ANY_TAG};
+
+    const POLL: Duration = Duration::from_millis(20);
 
     fn env(src: usize, tag: i32, seq: u64) -> Envelope {
         Envelope {
@@ -133,9 +179,13 @@ mod tests {
         let mb = Mailbox::new();
         mb.deliver(env(0, 1, 0));
         mb.deliver(env(0, 1, 1));
-        let e = mb.recv_match(0, 0.into(), 1.into(), || None, || {}).unwrap();
+        let e = mb
+            .recv_match(0, 0.into(), 1.into(), POLL, || None, || {})
+            .unwrap();
         assert_eq!(e.seq, 0, "non-overtaking: earliest matching message first");
-        let e = mb.recv_match(0, 0.into(), 1.into(), || None, || {}).unwrap();
+        let e = mb
+            .recv_match(0, 0.into(), 1.into(), POLL, || None, || {})
+            .unwrap();
         assert_eq!(e.seq, 1);
     }
 
@@ -145,9 +195,13 @@ mod tests {
         mb.deliver(env(0, 1, 0));
         mb.deliver(env(1, 2, 1));
         // Ask for src=1 first even though src=0 arrived earlier.
-        let e = mb.recv_match(0, 1.into(), ANY_TAG, || None, || {}).unwrap();
+        let e = mb
+            .recv_match(0, 1.into(), ANY_TAG, POLL, || None, || {})
+            .unwrap();
         assert_eq!(e.src, 1);
-        let e = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        let e = mb
+            .recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
         assert_eq!(e.src, 0);
     }
 
@@ -156,17 +210,33 @@ mod tests {
         let mb = Mailbox::new();
         mb.deliver(env(0, -7, 0)); // collective-internal
         mb.deliver(env(0, 3, 1)); // user message
-        let e = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
-        assert_eq!(e.tag, 3, "wildcard receive must not steal collective traffic");
+        let e = mb
+            .recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
+        assert_eq!(
+            e.tag, 3,
+            "wildcard receive must not steal collective traffic"
+        );
         // The reserved envelope is still there for an explicit receive.
-        let e = mb.recv_match(0, ANY_SOURCE, (-7).into(), || None, || {}).unwrap();
+        let e = mb
+            .recv_match(0, ANY_SOURCE, (-7).into(), POLL, || None, || {})
+            .unwrap();
         assert_eq!(e.tag, -7);
     }
 
     #[test]
     fn dead_senders_produce_deadlock_error() {
         let mb = Mailbox::new();
-        let err = mb.recv_match(0, 0.into(), 1.into(), || Some("all senders finished".into()), || {}).unwrap_err();
+        let err = mb
+            .recv_match(
+                0,
+                0.into(),
+                1.into(),
+                POLL,
+                || Some(Error::Deadlock("all senders finished".into())),
+                || {},
+            )
+            .unwrap_err();
         assert!(matches!(err, Error::Deadlock(_)));
     }
 
@@ -174,7 +244,7 @@ mod tests {
     fn blocking_recv_wakes_on_delivery() {
         let mb = Mailbox::new();
         std::thread::scope(|scope| {
-            let h = scope.spawn(|| mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}));
+            let h = scope.spawn(|| mb.recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {}));
             std::thread::sleep(Duration::from_millis(10));
             mb.deliver(env(2, 5, 9));
             let e = h.join().unwrap().unwrap();
@@ -189,11 +259,64 @@ mod tests {
         e.comm_id = 42;
         mb.deliver(e);
         mb.deliver(env(0, 1, 1)); // comm 0
-        let got = mb.recv_match(0, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        let got = mb
+            .recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
         assert_eq!(got.seq, 1, "comm 0 receive must skip comm 42 traffic");
-        let got = mb.recv_match(42, ANY_SOURCE, ANY_TAG, || None, || {}).unwrap();
+        let got = mb
+            .recv_match(42, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
         assert_eq!(got.seq, 0);
         assert!(mb.probe(7, ANY_SOURCE, ANY_TAG).is_none());
+    }
+
+    #[test]
+    fn duplicate_transmissions_are_swallowed() {
+        let mb = Mailbox::new();
+        assert!(mb.deliver_displaced(env(0, 1, 0), 0));
+        assert!(
+            !mb.deliver_displaced(env(0, 1, 0), 0),
+            "same seq again = duplicate"
+        );
+        assert!(mb.deliver_displaced(env(0, 1, 1), 0));
+        assert!(!mb.deliver_displaced(env(0, 1, 1), 0));
+        assert_eq!(mb.len(), 2, "exactly-once: duplicates never enqueue");
+        // A different sender's seq 0 is not a duplicate.
+        assert!(mb.deliver_displaced(env(1, 1, 0), 0));
+    }
+
+    #[test]
+    fn displaced_delivery_overtakes_other_senders_only() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 1, 0));
+        mb.deliver(env(2, 1, 0));
+        // Overtake 5 queued envelopes — but only 2 are present, both from
+        // other senders, so the newcomer lands at the front.
+        mb.deliver_displaced(env(3, 1, 0), 5);
+        let e = mb
+            .recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
+        assert_eq!(e.src, 3);
+    }
+
+    #[test]
+    fn displaced_delivery_never_overtakes_same_stream() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 0));
+        mb.deliver(env(1, 1, 0));
+        // Reorder from sender 0 must stop behind its own earlier message.
+        mb.deliver_displaced(env(0, 1, 1), 5);
+        let first = mb
+            .recv_match(0, 0.into(), ANY_TAG, POLL, || None, || {})
+            .unwrap();
+        let second = mb
+            .recv_match(0, 0.into(), ANY_TAG, POLL, || None, || {})
+            .unwrap();
+        assert_eq!(
+            (first.seq, second.seq),
+            (0, 1),
+            "non-overtaking survives reorder"
+        );
     }
 
     #[test]

@@ -58,14 +58,15 @@ impl<T: Datatype> RecvRequest<'_, T> {
 impl Comm {
     /// Nonblocking send — `MPI_Isend`. Completes immediately (eager
     /// buffering); returns a request for API parity with MPI programs.
-    pub fn isend<T: Datatype>(
-        &self,
-        data: &[T],
-        dest: usize,
-        tag: i32,
-    ) -> Result<SendRequest> {
+    pub fn isend<T: Datatype>(&self, data: &[T], dest: usize, tag: i32) -> Result<SendRequest> {
         self.send(data, dest, tag)?;
-        Ok(SendRequest { status: Status { source: self.rank(), tag, count: data.len() } })
+        Ok(SendRequest {
+            status: Status {
+                source: self.rank(),
+                tag,
+                count: data.len(),
+            },
+        })
     }
 
     /// Post a nonblocking receive — `MPI_Irecv`. The returned request

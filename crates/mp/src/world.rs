@@ -12,22 +12,34 @@
 //! models fatter nodes (several ranks sharing a hostname), which the
 //! heterogeneous patternlets use.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
 
 use parking_lot::Mutex as PlMutex;
 
 use crate::comm::Comm;
+use crate::fault::{FaultPlan, FaultState};
 use crate::mailbox::Mailbox;
 use crate::status::{SourceSel, TagSel};
+
+/// The default deadlock-detector poll interval: how long a blocked
+/// receive waits between liveness re-checks. Configurable via
+/// [`WorldBuilder::poll_interval`].
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Shared routing fabric for one world.
 pub(crate) struct Transport {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) finished: Vec<AtomicBool>,
+    /// Ranks that *failed* (killed by the fault plan, or panicked) rather
+    /// than finishing normally. Peer operations that depend on a failed
+    /// rank report [`Error::RankFailed`] instead of `Deadlock`.
+    pub(crate) failed: Vec<AtomicBool>,
     pub(crate) names: Vec<String>,
     pub(crate) send_seqs: Vec<AtomicU64>,
     /// What each world rank is currently blocked receiving (None = not
@@ -43,7 +55,23 @@ pub(crate) struct Transport {
     /// just-delivered message could wake a rank the fixpoint still counts
     /// as stuck.
     pub(crate) progress: AtomicU64,
+    /// Installed fault plan state, if any.
+    pub(crate) fault: Option<FaultState>,
+    /// How long blocked receives sleep between liveness re-checks.
+    pub(crate) poll_interval: Duration,
+    /// Message-free agreement slots for `Comm::agree`/`Comm::shrink`
+    /// (ULFM-style operations must work when messaging peers are dead, so
+    /// they synchronise through shared runtime state instead).
+    pub(crate) agreements: PlMutex<HashMap<AgreeKey, AgreeSlot>>,
+    pub(crate) agree_cv: Condvar,
 }
+
+/// Key of one agreement round: (communicator, operation kind, collective
+/// sequence number on that communicator).
+pub(crate) type AgreeKey = (u64, u8, u64);
+
+/// Contributions to one agreement round, by world rank.
+pub(crate) type AgreeSlot = HashMap<usize, u64>;
 
 /// One observed message, for traffic tracing (teaching: count the
 /// messages each collective algorithm really sends).
@@ -80,21 +108,36 @@ pub(crate) struct WaitRecord {
     pub tag: TagSel,
     /// World ranks whose future sends could satisfy this receive.
     pub world_sources: Vec<usize>,
+    /// World ranks of the whole communicator the receive is posted on
+    /// (the failure model fails collective receives when *any* member is
+    /// dead, not just the awaited peer).
+    pub world_group: Arc<Vec<usize>>,
 }
 
 impl Transport {
-    fn new(np: usize, ranks_per_node: usize, traced: bool) -> Self {
+    fn new(
+        np: usize,
+        ranks_per_node: usize,
+        traced: bool,
+        fault: Option<FaultPlan>,
+        poll_interval: Duration,
+    ) -> Self {
         Transport {
             trace: traced.then(|| PlMutex::new(Vec::new())),
             progress: AtomicU64::new(0),
             mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
             finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
             names: (0..np)
                 .map(|r| format!("node-{:02}", r / ranks_per_node + 1))
                 .collect(),
             send_seqs: (0..np).map(|_| AtomicU64::new(0)).collect(),
             waits: (0..np).map(|_| PlMutex::new(None)).collect(),
             wait_epochs: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            fault: fault.map(|plan| FaultState::new(plan, np)),
+            poll_interval,
+            agreements: PlMutex::new(HashMap::new()),
+            agree_cv: Condvar::new(),
         }
     }
 
@@ -134,12 +177,40 @@ impl Transport {
     pub(crate) fn deadlocked(&self, me: usize) -> Option<String> {
         let np = self.mailboxes.len();
         let progress_before = self.progress.load(Ordering::SeqCst);
-        let epochs_before: Vec<u64> =
-            self.wait_epochs.iter().map(|e| e.load(Ordering::SeqCst)).collect();
+        let epochs_before: Vec<u64> = self
+            .wait_epochs
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .collect();
 
         // Snapshot the wait records.
         let records: Vec<Option<WaitRecord>> =
             self.waits.iter().map(|w| w.lock().clone()).collect();
+
+        // A wait the failure model fail-fasts is an *escape*, not a block:
+        // its owner's own liveness check resolves it to `RankFailed` on
+        // the next poll, after which the owner makes progress. Mirrors
+        // the conditions in `recv_match`'s liveness closure exactly —
+        // without this, a detector running in the window between a kill
+        // and the blocked peer's next poll would see that peer as stuck
+        // and misreport `Deadlock` where `RankFailed` is imminent.
+        let failure_resolves = |rec: &WaitRecord| -> bool {
+            if matches!(rec.tag, TagSel::Tag(t) if crate::envelope::is_collective_tag(t))
+                && rec.world_group.iter().any(|&w| self.rank_failed(w))
+            {
+                return true;
+            }
+            match rec.src {
+                SourceSel::Rank(_) => rec.world_sources.iter().any(|&w| self.rank_failed(w)),
+                SourceSel::Any => {
+                    rec.world_sources.iter().any(|&w| self.rank_failed(w))
+                        && rec
+                            .world_sources
+                            .iter()
+                            .all(|&w| self.rank_failed(w) || !self.rank_alive(w))
+                }
+            }
+        };
 
         // Initial stuck set: finished, or blocked with no queued match.
         // The caller holds its OWN mailbox lock, so other mailboxes are
@@ -147,15 +218,16 @@ impl Transport {
         // active right now, so we abort and retry on the next timeout
         // (this also rules out lock-order cycles between two detectors).
         let mut stuck: Vec<bool> = Vec::with_capacity(np);
-        for r in 0..np {
+        for (r, record) in records.iter().enumerate() {
             let s = if !self.rank_alive(r) {
                 true
             } else if r == me {
                 // The caller just scanned its queue and found no match.
-                records[r].is_some()
+                record.is_some()
             } else {
-                match &records[r] {
-                    None => false, // running
+                match record {
+                    None => false,                               // running
+                    Some(rec) if failure_resolves(rec) => false, // about to error out
                     Some(rec) => {
                         match self.mailboxes[r].try_probe(rec.comm_id, rec.src, rec.tag) {
                             Some(has_match) => !has_match,
@@ -193,10 +265,12 @@ impl Transport {
         // Confirm against a quiescent snapshot: no wait was posted,
         // matched, or cleared — and no message was delivered — while we
         // were looking.
-        let epochs_after: Vec<u64> =
-            self.wait_epochs.iter().map(|e| e.load(Ordering::SeqCst)).collect();
-        if epochs_before != epochs_after
-            || self.progress.load(Ordering::SeqCst) != progress_before
+        let epochs_after: Vec<u64> = self
+            .wait_epochs
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .collect();
+        if epochs_before != epochs_after || self.progress.load(Ordering::SeqCst) != progress_before
         {
             return None;
         }
@@ -222,6 +296,30 @@ impl Transport {
     pub(crate) fn rank_alive(&self, r: usize) -> bool {
         !self.finished[r].load(Ordering::SeqCst)
     }
+
+    /// Has rank `r` failed (fault-plan kill or panic)?
+    pub(crate) fn rank_failed(&self, r: usize) -> bool {
+        self.failed[r].load(Ordering::SeqCst)
+    }
+
+    /// Raise rank `r`'s failed flag and wake any agreement waiters (they
+    /// must re-examine membership when a participant dies).
+    pub(crate) fn mark_failed(&self, r: usize) {
+        self.failed[r].store(true, Ordering::SeqCst);
+        self.agree_cv.notify_all();
+    }
+
+    /// Count one message operation by `me` against the fault plan;
+    /// the kill trigger marks `me` failed and returns `RankFailed`.
+    pub(crate) fn fault_op(&self, me: usize, op: &'static str) -> Result<()> {
+        if let Some(fault) = &self.fault {
+            if let Err(e) = fault.record_op(me, op) {
+                self.mark_failed(me);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Configures and launches a world of ranks.
@@ -230,12 +328,39 @@ pub struct WorldBuilder {
     np: usize,
     ranks_per_node: usize,
     traced: bool,
+    fault: Option<FaultPlan>,
+    poll_interval: Duration,
 }
 
 impl WorldBuilder {
     /// A world of `np` ranks, one rank per simulated node.
     pub fn new(np: usize) -> Self {
-        WorldBuilder { np, ranks_per_node: 1, traced: false }
+        WorldBuilder {
+            np,
+            ranks_per_node: 1,
+            traced: false,
+            fault: None,
+            poll_interval: DEFAULT_POLL_INTERVAL,
+        }
+    }
+
+    /// Install a [`FaultPlan`]: chaos (delay/reorder/drop/duplicate) and
+    /// rank kills are injected inside the transport, underneath unmodified
+    /// patternlet code.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// How long a blocked receive sleeps between deadlock-detector
+    /// liveness re-checks (default [`DEFAULT_POLL_INTERVAL`], 20 ms).
+    /// Shorter intervals detect failures faster at the cost of more
+    /// wake-ups; the interval does not bound message latency (deliveries
+    /// wake receivers immediately).
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "poll interval must be positive");
+        self.poll_interval = interval;
+        self
     }
 
     /// Record every delivered message; retrieve the log with
@@ -253,7 +378,10 @@ impl WorldBuilder {
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
-        let builder = WorldBuilder { traced: true, ..self.clone() };
+        let builder = WorldBuilder {
+            traced: true,
+            ..self.clone()
+        };
         let (results, transport) = builder.run_inner(f)?;
         let trace = transport
             .trace
@@ -289,25 +417,42 @@ impl WorldBuilder {
         if self.np == 0 {
             return Err(Error::InvalidConfig("world needs at least one rank".into()));
         }
-        let transport = Arc::new(Transport::new(self.np, self.ranks_per_node, self.traced));
+        let transport = Arc::new(Transport::new(
+            self.np,
+            self.ranks_per_node,
+            self.traced,
+            self.fault.clone(),
+            self.poll_interval,
+        ));
         let results: Vec<Mutex<Option<R>>> = (0..self.np).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
-            for rank in 0..self.np {
+            for (rank, slot) in results.iter().enumerate() {
                 let transport = Arc::clone(&transport);
                 let f = &f;
-                let slot = &results[rank];
                 scope.spawn(move || {
                     // Mark the rank finished even if `f` panics, so peers
-                    // blocked in recv() report deadlock instead of hanging
-                    // while the panic propagates.
-                    struct FinishGuard<'a>(&'a AtomicBool);
+                    // blocked in recv() report the failure instead of
+                    // hanging while the panic propagates. A panicking rank
+                    // is additionally marked *failed*, so peers see
+                    // `RankFailed` rather than `Deadlock`.
+                    struct FinishGuard<'a> {
+                        transport: &'a Transport,
+                        rank: usize,
+                    }
                     impl Drop for FinishGuard<'_> {
                         fn drop(&mut self) {
-                            self.0.store(true, Ordering::SeqCst);
+                            if std::thread::panicking() {
+                                self.transport.mark_failed(self.rank);
+                            }
+                            self.transport.finished[self.rank].store(true, Ordering::SeqCst);
+                            self.transport.agree_cv.notify_all();
                         }
                     }
-                    let _guard = FinishGuard(&transport.finished[rank]);
+                    let _guard = FinishGuard {
+                        transport: &transport,
+                        rank,
+                    };
                     let comm = Comm::new(rank, Arc::clone(&transport));
                     let r = f(comm);
                     *slot.lock() = Some(r);
@@ -336,7 +481,9 @@ impl World {
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
-        WorldBuilder::new(np).run(f).expect("world configuration is valid")
+        WorldBuilder::new(np)
+            .run(f)
+            .expect("world configuration is valid")
     }
 
     /// A configurable builder.

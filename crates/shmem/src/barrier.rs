@@ -26,9 +26,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
+use patternlets_core::{Error, Result};
 
 /// A cyclic (reusable) barrier for a fixed-size team.
 pub trait Barrier: Send + Sync {
@@ -122,7 +124,10 @@ impl CentralBarrier {
         assert!(n > 0);
         CentralBarrier {
             n,
-            state: Mutex::new(CentralState { arrived: 0, generation: 0 }),
+            state: Mutex::new(CentralState {
+                arrived: 0,
+                generation: 0,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -180,7 +185,8 @@ impl Barrier for SenseReversingBarrier {
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset for the next phase, then release.
             self.count.store(self.n as u64, Ordering::Relaxed);
-            self.sense.store(my_sense.wrapping_add(1), Ordering::Release);
+            self.sense
+                .store(my_sense.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0;
             while self.sense.load(Ordering::Acquire) == my_sense {
@@ -213,7 +219,9 @@ impl TreeBarrier {
         assert!(n > 0);
         TreeBarrier {
             n,
-            arrive: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            arrive: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             release: CachePadded::new(AtomicU64::new(0)),
         }
     }
@@ -278,9 +286,15 @@ impl DisseminationBarrier {
             n,
             rounds,
             flags: (0..rounds)
-                .map(|_| (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect())
+                .map(|_| {
+                    (0..n)
+                        .map(|_| CachePadded::new(AtomicU64::new(0)))
+                        .collect()
+                })
                 .collect(),
-            episode: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 }
@@ -301,6 +315,81 @@ impl Barrier for DisseminationBarrier {
     }
 
     fn num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abortable (fault-aware central)
+// ---------------------------------------------------------------------------
+
+/// A cancellable central barrier, the fault-aware mirror of
+/// [`CentralBarrier`]: waiters periodically evaluate a cancel condition,
+/// so a phase abandoned by a panicked (or departed) team member surfaces
+/// an error to the survivors instead of hanging them forever.
+///
+/// The cancel condition is only consulted while the phase is *incomplete*:
+/// once the last thread arrives, every waiter completes the phase even if
+/// a cancel condition was raised concurrently — completed phases stay
+/// completed. A cancelled waiter withdraws its arrival, so the abort is
+/// symmetric: either the whole team passes, or every blocked survivor
+/// reports the cancel error.
+pub struct AbortableBarrier {
+    n: usize,
+    state: Mutex<CentralState>,
+    cv: Condvar,
+}
+
+impl AbortableBarrier {
+    /// Barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a barrier needs at least one thread");
+        AbortableBarrier {
+            n,
+            state: Mutex::new(CentralState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `n` threads arrive for this phase, or until
+    /// `cancel` reports an error. The condition is re-checked on every
+    /// wake-up and at least every few milliseconds; use
+    /// [`AbortableBarrier::poke`] to force an immediate re-check.
+    pub fn wait(&self, cancel: impl Fn() -> Option<Error>) -> Result<()> {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        loop {
+            // Release condition first: a completed phase beats a
+            // concurrently-raised cancel condition.
+            if st.generation != my_gen {
+                return Ok(());
+            }
+            if let Some(err) = cancel() {
+                st.arrived -= 1;
+                return Err(err);
+            }
+            self.cv.wait_for(&mut st, Duration::from_millis(5));
+        }
+    }
+
+    /// Wake every waiter so it re-evaluates its cancel condition now
+    /// (called when a team member panics or leaves the region).
+    pub fn poke(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Team size this barrier was built for.
+    pub fn num_threads(&self) -> usize {
         self.n
     }
 }
@@ -378,6 +467,66 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = BarrierKind::Central.build(0);
+    }
+
+    #[test]
+    fn abortable_barrier_completes_when_all_arrive() {
+        let b = AbortableBarrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let b = &b;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        b.wait(|| None).unwrap();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn abortable_barrier_cancel_releases_waiters() {
+        use std::sync::atomic::AtomicBool;
+        let b = AbortableBarrier::new(3);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let (b, abort) = (&b, &abort);
+                handles.push(scope.spawn(move || {
+                    b.wait(|| {
+                        abort.load(Ordering::SeqCst).then(|| Error::TaskPanicked {
+                            task: 9,
+                            message: "x".into(),
+                        })
+                    })
+                }));
+            }
+            // The third member never arrives; raise the cancel condition.
+            std::thread::sleep(Duration::from_millis(20));
+            abort.store(true, Ordering::SeqCst);
+            b.poke();
+            for h in handles {
+                let err = h.join().unwrap().unwrap_err();
+                assert!(matches!(err, Error::TaskPanicked { task: 9, .. }));
+            }
+        });
+    }
+
+    #[test]
+    fn abortable_barrier_phase_completion_beats_cancel() {
+        // A completing arrival wins over a raised cancel condition: the
+        // sole member of a 1-thread barrier completes the phase on
+        // arrival, so its (permanently true) cancel is never consulted.
+        let b = AbortableBarrier::new(1);
+        b.wait(|| {
+            Some(Error::TaskPanicked {
+                task: 0,
+                message: "never seen".into(),
+            })
+        })
+        .unwrap();
+        assert_eq!(b.num_threads(), 1);
     }
 
     #[test]

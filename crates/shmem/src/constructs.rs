@@ -123,8 +123,7 @@ mod tests {
         let items: Vec<u64> = (0..50).collect();
         let results = MasterWorker::run(4, items, |&x| x * 2);
         assert_eq!(results.len(), 50);
-        let mut by_index: Vec<(usize, u64)> =
-            results.iter().map(|&(_, i, r)| (i, r)).collect();
+        let mut by_index: Vec<(usize, u64)> = results.iter().map(|&(_, i, r)| (i, r)).collect();
         by_index.sort_unstable();
         for (i, (idx, r)) in by_index.iter().enumerate() {
             assert_eq!(*idx, i);

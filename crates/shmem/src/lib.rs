@@ -32,7 +32,7 @@ pub mod sync;
 pub mod team;
 pub mod wtime;
 
-pub use barrier::{Barrier, BarrierKind};
+pub use barrier::{AbortableBarrier, Barrier, BarrierKind};
 pub use reduce::{ops, ReduceOp};
 pub use sched::Schedule;
 pub use team::{Team, TeamCtx};

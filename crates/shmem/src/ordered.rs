@@ -61,7 +61,9 @@ impl TeamCtx<'_> {
         schedule: Schedule,
         mut f: impl FnMut(usize, &OrderedScope),
     ) {
-        let ticket = self.shared_construct(|| OrderedTicket { next: AtomicUsize::new(0) });
+        let ticket = self.shared_construct(|| OrderedTicket {
+            next: AtomicUsize::new(0),
+        });
         let scope = OrderedScope { ticket };
         self.for_each(len, schedule, |i| f(i, &scope));
     }
@@ -72,7 +74,9 @@ impl TeamCtx<'_> {
     where
         T: Clone + Send + 'static,
     {
-        let slot = self.shared_construct(|| BroadcastSlot::<T> { value: Mutex::new(None) });
+        let slot = self.shared_construct(|| BroadcastSlot::<T> {
+            value: Mutex::new(None),
+        });
         if let Some(v) = self.single_nowait(f) {
             *slot.value.lock() = Some(v);
         }
@@ -90,7 +94,11 @@ mod tests {
 
     #[test]
     fn ordered_serializes_in_iteration_order() {
-        for schedule in [Schedule::StaticBlock, Schedule::StaticCyclic, Schedule::Dynamic(1)] {
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticCyclic,
+            Schedule::Dynamic(1),
+        ] {
             let log = Mutex::new(Vec::new());
             Team::new(4).parallel(|ctx| {
                 ctx.for_each_ordered(16, schedule, |i, ord| {
@@ -116,10 +124,7 @@ mod tests {
                 ord.ordered(i, || log.lock().push(10 + i));
             });
         });
-        assert_eq!(
-            log.into_inner(),
-            vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14]
-        );
+        assert_eq!(log.into_inner(), vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14]);
     }
 
     #[test]

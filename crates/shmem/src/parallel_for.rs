@@ -120,8 +120,7 @@ mod tests {
     fn for_each_records_paper_iteration_assignment() {
         // Paper Fig. 15: 8 iterations, 2 threads, equal chunks:
         // thread 0 → 0..4, thread 1 → 4..8.
-        let owner: Vec<AtomicUsize> =
-            (0..8).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let owner: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(usize::MAX)).collect();
         Team::new(2).parallel(|ctx| {
             let me = ctx.thread_num();
             ctx.for_each(8, Schedule::StaticBlock, |i| {
@@ -150,12 +149,9 @@ mod tests {
         let a: Vec<i64> = (0..10_000).map(|i| (i * 7 % 1000) as i64).collect();
         let expected: i64 = a.iter().sum();
         for n in [1, 2, 4] {
-            let got = Team::new(n).parallel_for_reduce(
-                a.len(),
-                Schedule::StaticBlock,
-                &ops::Sum,
-                |i| a[i],
-            );
+            let got =
+                Team::new(n)
+                    .parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| a[i]);
             assert_eq!(got, expected, "n={n}");
         }
     }
@@ -171,12 +167,8 @@ mod tests {
     #[test]
     fn reduce_max_over_loop() {
         let a: Vec<i64> = vec![3, 9, 2, 7, 9, 1];
-        let got = Team::new(3).parallel_for_reduce(
-            a.len(),
-            Schedule::Dynamic(1),
-            &ops::Max,
-            |i| a[i],
-        );
+        let got =
+            Team::new(3).parallel_for_reduce(a.len(), Schedule::Dynamic(1), &ops::Max, |i| a[i]);
         assert_eq!(got, 9);
     }
 

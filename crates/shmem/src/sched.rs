@@ -100,7 +100,12 @@ impl LoopScheduler {
         if let Schedule::StaticChunked(k) | Schedule::Dynamic(k) | Schedule::Guided(k) = kind {
             assert!(k > 0, "chunk size must be positive");
         }
-        LoopScheduler { kind, len, n_threads, next: AtomicUsize::new(0) }
+        LoopScheduler {
+            kind,
+            len,
+            n_threads,
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// The iteration-space length.

@@ -19,7 +19,9 @@ pub struct AtomicF64 {
 impl AtomicF64 {
     /// A new atomic holding `value`.
     pub fn new(value: f64) -> Self {
-        AtomicF64 { bits: AtomicU64::new(value.to_bits()) }
+        AtomicF64 {
+            bits: AtomicU64::new(value.to_bits()),
+        }
     }
 
     /// Atomic read.

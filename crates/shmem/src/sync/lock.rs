@@ -28,7 +28,10 @@ unsafe impl<T: Send> Send for TtasLock<T> {}
 impl<T> TtasLock<T> {
     /// A new unlocked lock around `value`.
     pub fn new(value: T) -> Self {
-        TtasLock { locked: AtomicBool::new(false), value: std::cell::UnsafeCell::new(value) }
+        TtasLock {
+            locked: AtomicBool::new(false),
+            value: std::cell::UnsafeCell::new(value),
+        }
     }
 
     fn acquire(&self) {
@@ -79,7 +82,10 @@ pub struct Semaphore {
 impl Semaphore {
     /// A semaphore with `initial` permits.
     pub fn new(initial: usize) -> Self {
-        Semaphore { permits: Mutex::new(initial), cv: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(initial),
+            cv: Condvar::new(),
+        }
     }
 
     /// Block until a permit is available, then take it (`sem_wait`).

@@ -24,7 +24,9 @@ pub struct RacyCell {
 impl RacyCell {
     /// A cell holding `v`.
     pub fn new(v: i64) -> Self {
-        RacyCell { value: AtomicI64::new(v) }
+        RacyCell {
+            value: AtomicI64::new(v),
+        }
     }
 
     /// Racy read.
@@ -101,7 +103,10 @@ mod tests {
     fn orchestrated_race_loses_exactly_one_update() {
         let (expected, actual) = demonstrate_lost_update();
         assert_eq!(expected, 2);
-        assert_eq!(actual, 1, "the orchestrated interleaving must lose one update");
+        assert_eq!(
+            actual, 1,
+            "the orchestrated interleaving must lose one update"
+        );
     }
 
     #[test]

@@ -22,12 +22,26 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use patternlets_core::{Error, OpContext, Result};
 
-use crate::barrier::{Barrier, BarrierKind};
+use crate::barrier::{AbortableBarrier, Barrier, BarrierKind};
 use crate::reduce::{tree_fold, ReduceOp};
+
+/// Render a panic payload as a message, like the runtime's default hook.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
 
 /// A parallel-region factory: holds the team size and barrier algorithm.
 ///
@@ -51,13 +65,18 @@ impl Team {
     /// A team of `n` threads (the `omp_set_num_threads(n)` analogue).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a team needs at least one thread");
-        Team { n, barrier_kind: BarrierKind::Central }
+        Team {
+            n,
+            barrier_kind: BarrierKind::Central,
+        }
     }
 
     /// A team sized to the machine (`available_parallelism`), the OpenMP
     /// default when `omp_set_num_threads` is never called.
     pub fn machine_sized() -> Self {
-        let n = std::thread::available_parallelism().map(|nz| nz.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|nz| nz.get())
+            .unwrap_or(1);
         Team::new(n)
     }
 
@@ -74,24 +93,33 @@ impl Team {
 
     /// Fork a team, run `body` in every thread, join — `#pragma omp
     /// parallel`. Panics in any thread propagate after all threads joined.
+    ///
+    /// A panicking thread is recorded in the region's failure state before
+    /// the panic propagates, so survivors blocked in
+    /// [`TeamCtx::try_barrier`] observe [`Error::TaskPanicked`] instead of
+    /// hanging. (The plain [`TeamCtx::barrier`] has no such escape — that
+    /// hang is the bug the fault-aware constructs exist to demonstrate.)
     pub fn parallel<F>(&self, body: F)
     where
         F: Fn(&TeamCtx) + Sync,
     {
         let shared = RegionShared::new(self.n, self.barrier_kind);
+        let run = |tid: usize| {
+            let ctx = TeamCtx::new(tid, &shared);
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            shared.record_departure(tid, &outcome);
+            if let Err(payload) = outcome {
+                std::panic::resume_unwind(payload);
+            }
+        };
         std::thread::scope(|scope| {
             // Thread 0 runs on the caller's thread, like an OpenMP master;
             // threads 1..n are forked.
             for tid in 1..self.n {
-                let shared = &shared;
-                let body = &body;
-                scope.spawn(move || {
-                    let ctx = TeamCtx::new(tid, shared);
-                    body(&ctx);
-                });
+                let run = &run;
+                scope.spawn(move || run(tid));
             }
-            let ctx = TeamCtx::new(0, &shared);
-            body(&ctx);
+            run(0);
         });
     }
 
@@ -106,6 +134,44 @@ impl Team {
         self.parallel(|ctx| {
             let r = body(ctx);
             *results[ctx.thread_num()].lock() = Some(r);
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every thread produced a result"))
+            .collect()
+    }
+
+    /// Fault-tolerant region: like [`Team::parallel_map`], but a panicking
+    /// thread yields `Err(TaskPanicked)` in *its own* slot instead of
+    /// tearing the region down, and survivors keep running. Pair with
+    /// [`TeamCtx::try_barrier`] so survivors observe the failure at their
+    /// next synchronization point instead of hanging on a dead teammate.
+    pub fn try_parallel_map<R, F>(&self, body: F) -> Vec<Result<R>>
+    where
+        R: Send,
+        F: Fn(&TeamCtx) -> Result<R> + Sync,
+    {
+        let shared = RegionShared::new(self.n, self.barrier_kind);
+        let results: Vec<Mutex<Option<Result<R>>>> =
+            (0..self.n).map(|_| Mutex::new(None)).collect();
+        let run = |tid: usize| {
+            let ctx = TeamCtx::new(tid, &shared);
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            shared.record_departure(tid, &outcome);
+            *results[tid].lock() = Some(match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(Error::TaskPanicked {
+                    task: tid,
+                    message: panic_message(payload.as_ref()),
+                }),
+            });
+        };
+        std::thread::scope(|scope| {
+            for tid in 1..self.n {
+                let run = &run;
+                scope.spawn(move || run(tid));
+            }
+            run(0);
         });
         results
             .into_iter()
@@ -129,6 +195,14 @@ pub(crate) struct RegionShared {
     /// Encounter-keyed collective construct state (reduce areas, single
     /// claims, section counters, loop schedulers).
     constructs: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    /// Fault-aware synchronization: the cancellable barrier behind
+    /// [`TeamCtx::try_barrier`].
+    abortable: AbortableBarrier,
+    /// Threads that left the region (normally or by panic); a departed
+    /// thread can never arrive at a barrier again.
+    departed: Vec<AtomicBool>,
+    /// Panic messages by thread id, recorded before the panic propagates.
+    panics: Mutex<HashMap<usize, String>>,
 }
 
 impl RegionShared {
@@ -138,7 +212,43 @@ impl RegionShared {
             barrier: barrier_kind.build(n),
             criticals: Mutex::new(HashMap::new()),
             constructs: Mutex::new(HashMap::new()),
+            abortable: AbortableBarrier::new(n),
+            departed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            panics: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Record that `tid`'s body returned or panicked, then wake any
+    /// `try_barrier` waiters so they re-evaluate their cancel condition.
+    fn record_departure<T>(&self, tid: usize, outcome: &std::thread::Result<T>) {
+        if let Err(payload) = outcome {
+            self.panics
+                .lock()
+                .insert(tid, panic_message(payload.as_ref()));
+        }
+        self.departed[tid].store(true, Ordering::SeqCst);
+        self.abortable.poke();
+    }
+
+    /// The cancel condition for fault-aware waits: the lowest-id panicked
+    /// thread (as `TaskPanicked`), else the lowest-id departed thread (as
+    /// `Deadlock` — it can never arrive), else `None`.
+    fn failure(&self, op: &'static str) -> Option<Error> {
+        let panics = self.panics.lock();
+        if let Some(&task) = panics.keys().min() {
+            return Some(Error::TaskPanicked {
+                task,
+                message: panics[&task].clone(),
+            });
+        }
+        drop(panics);
+        (0..self.n)
+            .find(|&t| self.departed[t].load(Ordering::SeqCst))
+            .map(|t| {
+                Error::Deadlock(OpContext::new(op).detail(format!(
+                    "thread {t} left the parallel region and can never arrive"
+                )))
+            })
     }
 }
 
@@ -151,7 +261,11 @@ pub struct TeamCtx<'region> {
 
 impl<'region> TeamCtx<'region> {
     fn new(tid: usize, shared: &'region RegionShared) -> Self {
-        TeamCtx { tid, shared, encounter: Cell::new(0) }
+        TeamCtx {
+            tid,
+            shared,
+            encounter: Cell::new(0),
+        }
     }
 
     /// This thread's id in `0..num_threads()` — `omp_get_thread_num()`.
@@ -175,6 +289,17 @@ impl<'region> TeamCtx<'region> {
     /// `#pragma omp barrier`: block until every team thread arrives.
     pub fn barrier(&self) {
         self.shared.barrier.wait(self.tid);
+    }
+
+    /// Fault-aware barrier: like [`TeamCtx::barrier`], but if a team
+    /// member panicked (or returned from the region body) before arriving,
+    /// the survivors fail with [`Error::TaskPanicked`] (or
+    /// [`Error::Deadlock`]) instead of hanging forever. A phase that
+    /// completes is never retroactively failed.
+    pub fn try_barrier(&self) -> Result<()> {
+        self.shared
+            .abortable
+            .wait(|| self.shared.failure("barrier"))
     }
 
     /// `#pragma omp master`: run `f` on thread 0 only. No implied barrier,
@@ -404,9 +529,7 @@ mod tests {
     #[test]
     fn reduce_noncommutative_preserves_thread_order() {
         let op = ops::FnOp::new(String::new(), |a: String, b: String| a + &b);
-        let out = Team::new(4).parallel_map(|ctx| {
-            ctx.reduce(ctx.thread_num().to_string(), &op)
-        });
+        let out = Team::new(4).parallel_map(|ctx| ctx.reduce(ctx.thread_num().to_string(), &op));
         assert!(out.iter().all(|s| s == "0123"), "{out:?}");
     }
 
@@ -468,6 +591,96 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_sized_team_rejected() {
         let _ = Team::new(0);
+    }
+
+    #[test]
+    fn try_barrier_behaves_like_barrier_without_faults() {
+        let before = AtomicUsize::new(0);
+        Team::new(4).parallel(|ctx| {
+            before.fetch_add(1, Ordering::SeqCst);
+            ctx.try_barrier().unwrap();
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn panicked_member_surfaces_task_panicked_to_survivors() {
+        use patternlets_core::Error;
+        let out = Team::new(4).try_parallel_map(|ctx| {
+            if ctx.thread_num() == 2 {
+                panic!("injected fault in thread 2");
+            }
+            ctx.try_barrier()?;
+            Ok(ctx.thread_num())
+        });
+        // The panicking thread reports its own panic...
+        assert!(
+            matches!(&out[2], Err(Error::TaskPanicked { task: 2, message })
+                if message.contains("injected fault")),
+            "{:?}",
+            out[2]
+        );
+        // ...and every survivor observes it at the barrier instead of
+        // hanging.
+        for tid in [0, 1, 3] {
+            assert!(
+                matches!(&out[tid], Err(Error::TaskPanicked { task: 2, .. })),
+                "thread {tid}: {:?}",
+                out[tid]
+            );
+        }
+    }
+
+    #[test]
+    fn early_return_surfaces_deadlock_to_survivors() {
+        use patternlets_core::Error;
+        let out = Team::new(3).try_parallel_map(|ctx| {
+            if ctx.thread_num() == 1 {
+                return Ok(0); // leaves without reaching the barrier
+            }
+            ctx.try_barrier()?;
+            Ok(1)
+        });
+        assert!(matches!(out[1], Ok(0)));
+        for tid in [0, 2] {
+            assert!(
+                matches!(&out[tid], Err(Error::Deadlock(_))),
+                "thread {tid}: {:?}",
+                out[tid]
+            );
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_all_ok_without_faults() {
+        let out = Team::new(4).try_parallel_map(|ctx| {
+            ctx.try_barrier()?;
+            Ok(ctx.thread_num() * 2)
+        });
+        let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_records_panic_for_try_barrier_waiters() {
+        // Even in a plain `parallel` region, a panicking thread must
+        // release try_barrier survivors before the panic propagates.
+        use patternlets_core::Error;
+        let survivor_saw = Mutex::new(None);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Team::new(2).parallel(|ctx| {
+                if ctx.thread_num() == 1 {
+                    panic!("boom");
+                }
+                *survivor_saw.lock() = Some(ctx.try_barrier());
+            });
+        }));
+        assert!(result.is_err(), "the panic still propagates to the caller");
+        let saw = survivor_saw.lock().take().expect("survivor ran");
+        assert!(
+            matches!(saw, Err(Error::TaskPanicked { task: 1, .. })),
+            "{saw:?}"
+        );
     }
 
     #[test]

@@ -17,12 +17,20 @@ pub struct CommModel {
 impl CommModel {
     /// A latency-dominated cluster (classic Beowulf over Ethernet).
     pub fn latency_bound() -> Self {
-        CommModel { alpha: 1000.0, beta: 1.0, gamma: 0.1 }
+        CommModel {
+            alpha: 1000.0,
+            beta: 1.0,
+            gamma: 0.1,
+        }
     }
 
     /// A bandwidth-dominated interconnect.
     pub fn bandwidth_bound() -> Self {
-        CommModel { alpha: 10.0, beta: 5.0, gamma: 0.1 }
+        CommModel {
+            alpha: 10.0,
+            beta: 5.0,
+            gamma: 0.1,
+        }
     }
 
     /// Cost of one point-to-point message of `m` elements.
@@ -109,7 +117,10 @@ mod tests {
             assert_eq!(bcast_crossover(&model, 64), 4);
             for p in [4usize, 8, 64, 512] {
                 assert!(model.bcast_tree(p, 64) < model.bcast_linear(p, 64), "p={p}");
-                assert!(model.reduce_tree(p, 64) < model.reduce_linear(p, 64), "p={p}");
+                assert!(
+                    model.reduce_tree(p, 64) < model.reduce_linear(p, 64),
+                    "p={p}"
+                );
             }
         }
     }

@@ -41,7 +41,11 @@ impl TaskGraph {
         for &d in deps {
             assert!(d < idx, "dependency {d} of task {idx} does not exist yet");
         }
-        self.tasks.push(Task { label: label.into(), cost, deps: deps.to_vec() });
+        self.tasks.push(Task {
+            label: label.into(),
+            cost,
+            deps: deps.to_vec(),
+        });
         idx
     }
 

@@ -82,8 +82,7 @@ pub fn simulate_with_policy(graph: &TaskGraph, p: usize, policy: Policy) -> SimR
         }
     }
 
-    let mut ready: VecDeque<TaskIdx> =
-        (0..n).filter(|&i| pending_deps[i] == 0).collect();
+    let mut ready: VecDeque<TaskIdx> = (0..n).filter(|&i| pending_deps[i] == 0).collect();
     let mut idle: VecDeque<usize> = (0..p).collect();
     // Completion events: (end_time, task, proc).
     let mut events: BinaryHeap<Reverse<(u64, TaskIdx, usize)>> = BinaryHeap::new();
@@ -118,7 +117,12 @@ pub fn simulate_with_policy(graph: &TaskGraph, p: usize, policy: Policy) -> SimR
             break;
         };
         now = end;
-        schedule.push(Placement { task, proc, start: end - tasks[task].cost, end });
+        schedule.push(Placement {
+            task,
+            proc,
+            start: end - tasks[task].cost,
+            end,
+        });
         idle.push_back(proc);
         remaining -= 1;
         for &dep in &dependents[task] {
@@ -134,7 +138,12 @@ pub fn simulate_with_policy(graph: &TaskGraph, p: usize, policy: Policy) -> SimR
                 break;
             }
             let Reverse((end, task, proc)) = events.pop().expect("peeked");
-            schedule.push(Placement { task, proc, start: end - tasks[task].cost, end });
+            schedule.push(Placement {
+                task,
+                proc,
+                start: end - tasks[task].cost,
+                end,
+            });
             idle.push_back(proc);
             remaining -= 1;
             for &dep in &dependents[task] {
@@ -146,7 +155,11 @@ pub fn simulate_with_policy(graph: &TaskGraph, p: usize, policy: Policy) -> SimR
         }
     }
     assert_eq!(remaining, 0, "simulation finished with unexecuted tasks");
-    SimResult { makespan: now, busy, schedule }
+    SimResult {
+        makespan: now,
+        busy,
+        schedule,
+    }
 }
 
 #[cfg(test)]

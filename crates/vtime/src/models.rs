@@ -23,8 +23,7 @@ pub fn reduction_tree(t: usize, add_cost: u64) -> TaskGraph {
         for (i, pair) in pairs.by_ref().enumerate() {
             match pair {
                 [a, b] => {
-                    let deps: Vec<TaskIdx> =
-                        [a, b].iter().filter_map(|x| **x).collect();
+                    let deps: Vec<TaskIdx> = [a, b].iter().filter_map(|x| **x).collect();
                     let idx = g.add(format!("add L{level}#{i}"), add_cost, &deps);
                     next.push(Some(idx));
                 }
@@ -69,12 +68,11 @@ pub fn pipeline(items: usize, stages: usize, stage_cost: u64) -> TaskGraph {
     let mut prev_item: Vec<Option<TaskIdx>> = vec![None; stages];
     for i in 0..items {
         let mut prev_stage: Option<TaskIdx> = None;
-        for s in 0..stages {
-            let deps: Vec<TaskIdx> =
-                prev_stage.into_iter().chain(prev_item[s]).collect();
+        for (s, prev) in prev_item.iter_mut().enumerate() {
+            let deps: Vec<TaskIdx> = prev_stage.into_iter().chain(*prev).collect();
             let t = g.add(format!("item {i} stage {s}"), stage_cost, &deps);
             prev_stage = Some(t);
-            prev_item[s] = Some(t);
+            *prev = Some(t);
         }
     }
     g

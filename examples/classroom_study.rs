@@ -13,9 +13,18 @@ fn main() {
     let study = PaperStudy::default();
 
     println!("published data (paper §IV.B):");
-    println!("  Fall   (no patternlets):  n = {}, mean = {:.2}/4", study.fall_n, study.fall_mean);
-    println!("  Spring (with patternlets): n = {}, mean = {:.2}/4", study.spring_n, study.spring_mean);
-    println!("  reported improvement: {:.1}%", study.improvement_fraction() * 100.0);
+    println!(
+        "  Fall   (no patternlets):  n = {}, mean = {:.2}/4",
+        study.fall_n, study.fall_mean
+    );
+    println!(
+        "  Spring (with patternlets): n = {}, mean = {:.2}/4",
+        study.spring_n, study.spring_mean
+    );
+    println!(
+        "  reported improvement: {:.1}%",
+        study.improvement_fraction() * 100.0
+    );
     println!("  reported p-value:     {}", study.p_reported);
 
     // The paper omits the score SD; recover the one its p-value implies.
@@ -28,7 +37,10 @@ fn main() {
 
     // A simulated replication with those moments.
     println!("\nsimulated replications (normal scores clipped to [0,4]):");
-    println!("{:>6} {:>11} {:>13} {:>8} {:>8}", "seed", "fall mean", "spring mean", "Welch p", "perm p");
+    println!(
+        "{:>6} {:>11} {:>13} {:>8} {:>8}",
+        "seed", "fall mean", "spring mean", "Welch p", "perm p"
+    );
     for seed in [2013u64, 2014, 2015, 2016, 2017] {
         let sim = simulate_cohorts(&study, seed);
         let fall = Summary::of(&sim.fall);
@@ -46,9 +58,20 @@ fn main() {
     // Power analysis the paper invites: how large would cohorts need to be?
     println!("\nsample size needed for p < 0.05 at this effect size (0.10 / sd {sd:.2}):");
     for n in [50usize, 100, 200, 400, 800, 1600] {
-        let fall = Summary { n, mean: study.fall_mean, sd };
-        let spring = Summary { n, mean: study.spring_mean, sd };
+        let fall = Summary {
+            n,
+            mean: study.fall_mean,
+            sd,
+        };
+        let spring = Summary {
+            n,
+            mean: study.spring_mean,
+            sd,
+        };
         let p = patternlets_repro::edu::stats::welch_t_test(&fall, &spring).p;
-        println!("  n = {n:>5} per cohort -> p = {p:.4}{}", if p < 0.05 { "  *" } else { "" });
+        println!(
+            "  n = {n:>5} per cohort -> p = {p:.4}{}",
+            if p < 0.05 { "  *" } else { "" }
+        );
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     let counts = [1, 2, 4, 8];
     for (op, name) in [(LabOp::Add, "addition"), (LabOp::Transpose, "transpose")] {
         println!("\nmeasured {name} scaling ({n}x{n}):");
-        println!("{:>8} {:>12} {:>9} {:>11}", "threads", "time (s)", "speedup", "efficiency");
+        println!(
+            "{:>8} {:>12} {:>9} {:>11}",
+            "threads", "time (s)", "speedup", "efficiency"
+        );
         for pt in measure(op, n, &counts, 3) {
             println!(
                 "{:>8} {:>12.6} {:>9.2} {:>11.2}",
@@ -42,7 +45,10 @@ fn main() {
     // Step (d): the chart students draw on a real multicore machine —
     // modeled with Amdahl's law at a 5% serial fraction.
     println!("\nmodeled multicore scaling (5% serial fraction):");
-    println!("{:>8} {:>12} {:>9} {:>11}", "threads", "time (rel)", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>12} {:>9} {:>11}",
+        "threads", "time (rel)", "speedup", "efficiency"
+    );
     for pt in model(0.05, &[1, 2, 4, 8, 16, 32]) {
         println!(
             "{:>8} {:>12.4} {:>9.2} {:>11.2}",

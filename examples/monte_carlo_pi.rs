@@ -14,7 +14,7 @@
 use patternlets_repro::core::reduce::ops;
 use patternlets_repro::core::rng::{Rng, Xoshiro256StarStar};
 use patternlets_repro::mp::World;
-use patternlets_repro::shmem::{Schedule, Team};
+use patternlets_repro::shmem::Team;
 
 /// Darts thrown inside the unit circle, out of `n`, using the stream for
 /// `task` split from `seed`.
@@ -35,7 +35,10 @@ fn main() {
 
     // Sequential baseline.
     let seq_hits = hits(DARTS, SEED, 0);
-    println!("sequential:   pi ≈ {:.5}", 4.0 * seq_hits as f64 / DARTS as f64);
+    println!(
+        "sequential:   pi ≈ {:.5}",
+        4.0 * seq_hits as f64 / DARTS as f64
+    );
 
     // Shared memory: each thread throws its share with its own stream,
     // the reduction clause combines the counts (paper §III.D's shape).
@@ -44,7 +47,10 @@ fn main() {
         let mine = hits(DARTS / threads, SEED, ctx.thread_num() as u64);
         ctx.reduce(mine, &ops::Sum)
     })[0];
-    println!("shared-mem:   pi ≈ {:.5} ({threads} threads)", 4.0 * team_hits as f64 / DARTS as f64);
+    println!(
+        "shared-mem:   pi ≈ {:.5} ({threads} threads)",
+        4.0 * team_hits as f64 / DARTS as f64
+    );
 
     // Message passing: SPMD ranks, MPI_Reduce at the master (Fig. 23's
     // shape).
@@ -54,7 +60,10 @@ fn main() {
         comm.reduce_one(0, mine, &ops::Sum).unwrap()
     })[0]
         .expect("master holds the result");
-    println!("msg-passing:  pi ≈ {:.5} ({np} processes)", 4.0 * mp_hits as f64 / DARTS as f64);
+    println!(
+        "msg-passing:  pi ≈ {:.5} ({np} processes)",
+        4.0 * mp_hits as f64 / DARTS as f64
+    );
 
     // Heterogeneous: 2 ranks × 2 threads — the MPI+OpenMP architecture.
     let hetero_hits = World::run(2, |comm| {

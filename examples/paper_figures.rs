@@ -30,10 +30,30 @@ fn main() {
     show("Fig. 3 — omp/spmd, 4 threads", "omp/spmd", 4, Mode::On);
     show("Fig. 5 — mpi/spmd, 1 process", "mpi/spmd", 4, Mode::Off);
     show("Fig. 6 — mpi/spmd, 4 processes", "mpi/spmd", 4, Mode::On);
-    show("Fig. 8 — omp/barrier, no barrier", "omp/barrier", 4, Mode::Off);
-    show("Fig. 9 — omp/barrier, with barrier", "omp/barrier", 4, Mode::On);
-    show("Fig. 11 — mpi/barrier, no barrier", "mpi/barrier", 4, Mode::Off);
-    show("Fig. 12 — mpi/barrier, with barrier", "mpi/barrier", 4, Mode::On);
+    show(
+        "Fig. 8 — omp/barrier, no barrier",
+        "omp/barrier",
+        4,
+        Mode::Off,
+    );
+    show(
+        "Fig. 9 — omp/barrier, with barrier",
+        "omp/barrier",
+        4,
+        Mode::On,
+    );
+    show(
+        "Fig. 11 — mpi/barrier, no barrier",
+        "mpi/barrier",
+        4,
+        Mode::Off,
+    );
+    show(
+        "Fig. 12 — mpi/barrier, with barrier",
+        "mpi/barrier",
+        4,
+        Mode::On,
+    );
     show(
         "Fig. 14 — omp/parallelLoopEqualChunks, 1 thread",
         "omp/parallelLoopEqualChunks",
@@ -70,11 +90,46 @@ fn main() {
     );
     println!();
 
-    show("Fig. 21 — omp/reduction, clause on", "omp/reduction", 4, Mode::On);
-    show("Fig. 22 — omp/reduction, clause off (race)", "omp/reduction", 4, Mode::Off);
-    show("Fig. 24 — mpi/reduction, 10 processes", "mpi/reduction", 10, Mode::On);
-    show("Fig. 26 — mpi/gather, 2 processes", "mpi/gather", 2, Mode::On);
-    show("Fig. 27 — mpi/gather, 4 processes", "mpi/gather", 4, Mode::On);
-    show("Fig. 28 — mpi/gather, 6 processes", "mpi/gather", 6, Mode::On);
-    show("Fig. 30 — omp/critical2, atomic vs critical", "omp/critical2", 4, Mode::On);
+    show(
+        "Fig. 21 — omp/reduction, clause on",
+        "omp/reduction",
+        4,
+        Mode::On,
+    );
+    show(
+        "Fig. 22 — omp/reduction, clause off (race)",
+        "omp/reduction",
+        4,
+        Mode::Off,
+    );
+    show(
+        "Fig. 24 — mpi/reduction, 10 processes",
+        "mpi/reduction",
+        10,
+        Mode::On,
+    );
+    show(
+        "Fig. 26 — mpi/gather, 2 processes",
+        "mpi/gather",
+        2,
+        Mode::On,
+    );
+    show(
+        "Fig. 27 — mpi/gather, 4 processes",
+        "mpi/gather",
+        4,
+        Mode::On,
+    );
+    show(
+        "Fig. 28 — mpi/gather, 6 processes",
+        "mpi/gather",
+        6,
+        Mode::On,
+    );
+    show(
+        "Fig. 30 — omp/critical2, atomic vs critical",
+        "omp/critical2",
+        4,
+        Mode::On,
+    );
 }

@@ -16,15 +16,15 @@ use patternlets_repro::shmem::{Schedule, Team};
 fn main() {
     // 1. Shared memory: fork a team, share a loop, reduce a result --------
     let squares_sum =
-        Team::new(4).parallel_for_reduce(1000, Schedule::StaticBlock, &ops::Sum, |i| {
-            (i * i) as i64
-        });
+        Team::new(4)
+            .parallel_for_reduce(1000, Schedule::StaticBlock, &ops::Sum, |i| (i * i) as i64);
     println!("sum of squares below 1000 (4 threads): {squares_sum}");
 
     // 2. Message passing: a world of ranks exchanging typed messages ------
     let results = World::run(4, |comm| {
         // Everyone contributes rank+1; the reduction tree combines them.
-        comm.allreduce(&[comm.rank() as i64 + 1], &ops::Sum).unwrap()[0]
+        comm.allreduce(&[comm.rank() as i64 + 1], &ops::Sum)
+            .unwrap()[0]
     });
     println!("allreduce(1+2+3+4) in every rank: {results:?}");
 
@@ -40,9 +40,7 @@ fn main() {
     }
 
     // 4. The census from the paper's abstract ------------------------------
-    let count = |t: Technology| {
-        registry().iter().filter(|p| p.technology == t).count()
-    };
+    let count = |t: Technology| registry().iter().filter(|p| p.technology == t).count();
     println!(
         "\ncollection: {} patternlets ({} MPI, {} OpenMP, {} threads, {} hetero)",
         registry().len(),

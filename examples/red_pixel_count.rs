@@ -58,11 +58,17 @@ fn main() {
     // Part 3: the combining-time shape, in virtual time. -------------------
     // (This host has one core; the simulator plays the multicore testbed.)
     println!("\ncombining time for t partial results (1 tick per addition):");
-    println!("{:>6} {:>12} {:>10} {:>8}", "t", "sequential", "tree", "ratio");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "t", "sequential", "tree", "ratio"
+    );
     for t in [2usize, 4, 8, 16, 64, 256, 1024] {
         let seq = simulate(&sequential_reduction(t, 1), t).makespan;
         let tree = simulate(&reduction_tree(t, 1), t).makespan;
-        println!("{t:>6} {seq:>12} {tree:>10} {:>8.1}", seq as f64 / tree as f64);
+        println!(
+            "{t:>6} {seq:>12} {tree:>10} {:>8.1}",
+            seq as f64 / tree as f64
+        );
     }
     println!("\nsequential grows as t−1; the tree as ⌈lg t⌉ — the paper's O(t) vs O(lg t).");
 }

@@ -1,0 +1,121 @@
+//! Seeded chaos soak: under injected delay, reordering, loss, and
+//! duplication the transport must still deliver every per-sender stream
+//! exactly once and in order (non-overtaking), and every collective must
+//! still compute the right answer.
+//!
+//! The seed is fixed so CI replays the identical chaos schedule; set
+//! `PATTERNLETS_CHAOS_SEED=<u64>` to soak a different schedule locally.
+
+use std::time::Duration;
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::{FaultPlan, WorldBuilder, ANY_SOURCE};
+
+/// The CI seed, unless the environment overrides it.
+fn chaos_seed() -> u64 {
+    std::env::var("PATTERNLETS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC1A0_55EED)
+}
+
+fn chaos(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .delay_up_to(Duration::from_micros(300))
+        .reorder(0.4)
+        .drop(0.25)
+        .duplicate(0.25)
+}
+
+#[test]
+fn soak_point_to_point_is_exactly_once_and_non_overtaking() {
+    const MSGS: u64 = 10;
+    let seed = chaos_seed();
+    for round in 0..6u64 {
+        let np = 2 + (round as usize % 4);
+        let out = WorldBuilder::new(np)
+            .fault_plan(chaos(seed.wrapping_add(round)))
+            .run(|comm| {
+                if comm.is_master() {
+                    let mut streams = vec![Vec::new(); comm.size()];
+                    for _ in 0..(comm.size() as u64 - 1) * MSGS {
+                        let (v, st) = comm.recv_one::<u64>(ANY_SOURCE, 0).unwrap();
+                        streams[st.source].push(v);
+                    }
+                    streams
+                } else {
+                    for i in 0..MSGS {
+                        comm.send_one(i, 0, 0).unwrap();
+                    }
+                    Vec::new()
+                }
+            })
+            .unwrap();
+        for (src, stream) in out[0].iter().enumerate().skip(1) {
+            assert_eq!(
+                stream,
+                &(0..MSGS).collect::<Vec<u64>>(),
+                "np={np} src={src} seed={seed:#x} round={round}: \
+                 a dropped, duplicated, or overtaking message got through"
+            );
+        }
+    }
+}
+
+#[test]
+fn soak_collectives_stay_correct_under_chaos() {
+    let seed = chaos_seed();
+    for round in 0..4u64 {
+        let np = 2 + (round as usize % 4);
+        let out = WorldBuilder::new(np)
+            .fault_plan(chaos(seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .run(|comm| {
+                let sum = comm
+                    .allreduce(&[comm.rank() as i64 + 1], &ops::Sum)
+                    .unwrap()[0];
+                let gathered = comm.gather(0, &[comm.rank() as i64]).unwrap();
+                comm.barrier().unwrap();
+                let scanned = comm.scan(&[1i64], &ops::Sum).unwrap()[0];
+                (sum, gathered, scanned)
+            })
+            .unwrap();
+        let expected_sum: i64 = (1..=np as i64).sum();
+        for (r, (sum, gathered, scanned)) in out.iter().enumerate() {
+            assert_eq!(*sum, expected_sum, "np={np} seed={seed:#x}");
+            assert_eq!(*scanned, r as i64 + 1, "np={np} seed={seed:#x}");
+            if r == 0 {
+                assert_eq!(
+                    gathered.as_ref().unwrap(),
+                    &(0..np as i64).collect::<Vec<_>>(),
+                    "np={np} seed={seed:#x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn soak_synchronous_sends_survive_chaos() {
+    // ssend's handshake rides the same lossy links as the payload: both
+    // the message and its ack face delay, loss, and duplication, yet the
+    // rendezvous semantics must hold.
+    let seed = chaos_seed();
+    let out = WorldBuilder::new(2)
+        .fault_plan(chaos(seed ^ 0x55))
+        .run(|comm| {
+            let mut got = Vec::new();
+            for i in 0..8i64 {
+                if comm.rank() == 0 {
+                    comm.ssend(&[i], 1, 0).unwrap();
+                    got.push(comm.recv_one::<i64>(1, 0).unwrap().0);
+                } else {
+                    got.push(comm.recv_one::<i64>(0, 0).unwrap().0);
+                    comm.ssend(&[i * 10], 0, 0).unwrap();
+                }
+            }
+            got
+        })
+        .unwrap();
+    assert_eq!(out[0], (0..8i64).map(|i| i * 10).collect::<Vec<_>>());
+    assert_eq!(out[1], (0..8i64).collect::<Vec<_>>());
+}

@@ -164,3 +164,79 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Pinned regression cases.
+//
+// `collectives_spec.proptest-regressions` records three historical
+// failures of `split_partitions_the_world`. The vendored proptest stub
+// does not parse seed files, so the shrunken inputs are replayed here as
+// plain tests; the seed file stays checked in as the upstream-compatible
+// record of where they came from.
+// ---------------------------------------------------------------------
+
+/// The exact body of `split_partitions_the_world`, for one pinned input.
+fn check_split_partition(np: usize, colors: &[i32]) {
+    let colors = colors.to_vec();
+    let out = World::run(np, {
+        let colors = colors.clone();
+        move |comm| {
+            let color = colors[comm.rank()];
+            let sub = comm.split(color, 0).unwrap();
+            let members = sub.allgather(&[comm.rank() as i64]).unwrap();
+            (color, sub.rank(), sub.size(), members)
+        }
+    });
+    let mut total = 0;
+    for c in 0..3 {
+        let in_c: Vec<_> = out.iter().filter(|o| o.0 == c).collect();
+        if in_c.is_empty() {
+            continue;
+        }
+        total += in_c.len();
+        assert!(
+            in_c.iter().all(|o| o.2 == in_c.len()),
+            "np={np} colors={colors:?}: members of color {c} disagree on size"
+        );
+        let expected: Vec<i64> = (0..np)
+            .filter(|&r| colors[r] == c)
+            .map(|r| r as i64)
+            .collect();
+        assert!(
+            in_c.iter().all(|o| o.3 == expected),
+            "np={np} colors={colors:?}: member list for color {c} is wrong"
+        );
+        let mut locals: Vec<usize> = in_c.iter().map(|o| o.1).collect();
+        locals.sort_unstable();
+        assert_eq!(
+            locals,
+            (0..in_c.len()).collect::<Vec<_>>(),
+            "np={np} colors={colors:?}: local ranks for color {c} are not dense"
+        );
+    }
+    assert_eq!(
+        total, np,
+        "np={np} colors={colors:?}: some rank is in no sub-comm"
+    );
+}
+
+#[test]
+fn regression_split_np5_with_a_singleton_color() {
+    // cc 7d09d031…: color 0 and color 2 each hold exactly one rank, so
+    // two of the three sub-comms are singletons racing the big one.
+    check_split_partition(5, &[1, 1, 2, 0, 1, 1, 1]);
+}
+
+#[test]
+fn regression_split_np5_interleaved_colors() {
+    // cc 99f9bdfa…: no two adjacent ranks share a color, maximising
+    // cross-sub-comm interleaving in the mailbox.
+    check_split_partition(5, &[1, 2, 0, 1, 0, 2, 1]);
+}
+
+#[test]
+fn regression_split_np4_two_colors_skewed() {
+    // cc 5404bf2a…: a 3-vs-1 split where the lone rank's color also
+    // appears past the world boundary (colors is longer than np).
+    check_split_partition(4, &[2, 1, 2, 1, 2, 2, 2]);
+}

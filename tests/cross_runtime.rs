@@ -14,12 +14,8 @@ fn nested_runtimes_compute_the_same_answer_as_either_alone() {
     let expected: i64 = (0..n_total as i64).sum();
 
     // Pure shared memory.
-    let shmem_only = Team::new(4).parallel_for_reduce(
-        n_total,
-        Schedule::StaticBlock,
-        &ops::Sum,
-        |i| i as i64,
-    );
+    let shmem_only =
+        Team::new(4).parallel_for_reduce(n_total, Schedule::StaticBlock, &ops::Sum, |i| i as i64);
     // Pure message passing: each rank sums a block, reduce combines.
     let np = 4;
     let mp_only = World::run(np, |comm| {
@@ -33,12 +29,8 @@ fn nested_runtimes_compute_the_same_answer_as_either_alone() {
     let hetero = World::run(2, |comm| {
         let per = n_total / 2;
         let base = comm.rank() * per;
-        let local = Team::new(2).parallel_for_reduce(
-            per,
-            Schedule::StaticBlock,
-            &ops::Sum,
-            |i| (base + i) as i64,
-        );
+        let local = Team::new(2)
+            .parallel_for_reduce(per, Schedule::StaticBlock, &ops::Sum, |i| (base + i) as i64);
         comm.reduce_one(0, local, &ops::Sum).unwrap()
     })[0]
         .unwrap();
@@ -77,7 +69,11 @@ fn scalability_the_collection_handles_larger_team_sizes() {
         ("hetero/spmd", 8),
     ] {
         let out = find(name).unwrap().run_captured(tasks, Mode::On);
-        assert!(out.len() >= tasks, "{name} at {tasks} tasks: {} lines", out.len());
+        assert!(
+            out.len() >= tasks,
+            "{name} at {tasks} tasks: {} lines",
+            out.len()
+        );
     }
 }
 
@@ -92,9 +88,8 @@ fn mp_reduce_equals_shmem_reduce_equals_tree_fold() {
     })[0]
         .unwrap();
 
-    let via_shmem = Team::new(8).parallel_map(|ctx| {
-        ctx.reduce(values[ctx.thread_num()], &ops::Sum)
-    })[0];
+    let via_shmem =
+        Team::new(8).parallel_map(|ctx| ctx.reduce(values[ctx.thread_num()], &ops::Sum))[0];
 
     assert_eq!(via_mp, reference);
     assert_eq!(via_shmem, reference);

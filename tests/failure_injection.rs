@@ -1,8 +1,11 @@
 //! Failure injection: the runtimes must *diagnose* misuse, not hang or
 //! corrupt — the property that makes them safe to hand to students.
 
+use std::time::Duration;
+
+use patternlets_core::reduce::ops;
 use patternlets_core::Error;
-use patternlets_mp::{World, WorldBuilder};
+use patternlets_mp::{FaultPlan, World, WorldBuilder};
 
 #[test]
 fn recv_with_no_sender_reports_deadlock_not_hang() {
@@ -34,7 +37,10 @@ fn three_rank_wait_cycle_is_detected() {
         let next = (comm.rank() + 1) % 3;
         comm.recv::<i64>(next, 0).map(|_| ())
     });
-    assert!(out.iter().all(|r| matches!(r, Err(Error::Deadlock(_)))), "{out:?}");
+    assert!(
+        out.iter().all(|r| matches!(r, Err(Error::Deadlock(_)))),
+        "{out:?}"
+    );
 }
 
 #[test]
@@ -102,7 +108,9 @@ fn barrier_abandoned_by_one_rank_is_detected() {
     });
     assert!(out[2].is_ok());
     assert!(
-        out[..2].iter().any(|r| matches!(r, Err(Error::Deadlock(_)))),
+        out[..2]
+            .iter()
+            .any(|r| matches!(r, Err(Error::Deadlock(_)))),
         "{out:?}"
     );
 }
@@ -139,20 +147,32 @@ fn rank_out_of_range_on_send_recv_and_roots() {
     let out = World::run(2, |comm| {
         let send = comm.send(&[1i32], 7, 0);
         let recv = comm.recv::<i32>(9, 0).map(|_| ());
-        let root = comm.reduce_one(5, 1i64, &patternlets_core::reduce::ops::Sum).map(|_| ());
+        let root = comm
+            .reduce_one(5, 1i64, &patternlets_core::reduce::ops::Sum)
+            .map(|_| ());
         (send, recv, root)
     });
     for (send, recv, root) in out {
-        assert!(matches!(send, Err(Error::RankOutOfRange { rank: 7, size: 2 })));
-        assert!(matches!(recv, Err(Error::RankOutOfRange { rank: 9, size: 2 })));
-        assert!(matches!(root, Err(Error::RankOutOfRange { rank: 5, size: 2 })));
+        assert!(matches!(
+            send,
+            Err(Error::RankOutOfRange { rank: 7, size: 2 })
+        ));
+        assert!(matches!(
+            recv,
+            Err(Error::RankOutOfRange { rank: 9, size: 2 })
+        ));
+        assert!(matches!(
+            root,
+            Err(Error::RankOutOfRange { rank: 5, size: 2 })
+        ));
     }
 }
 
 #[test]
 fn one_rank_panicking_does_not_hang_its_peers() {
-    // Rank 1 dies before sending; rank 0's recv must resolve to deadlock,
-    // and the panic must still propagate out of the world.
+    // Rank 1 dies before sending. A panicked rank counts as *failed*, so
+    // rank 0's recv must resolve to RankFailed (not Deadlock, and not a
+    // hang), and the panic must still propagate out of the world.
     let result = std::panic::catch_unwind(|| {
         World::run(2, |comm| {
             if comm.rank() == 1 {
@@ -161,7 +181,7 @@ fn one_rank_panicking_does_not_hang_its_peers() {
             // This would hang forever without the finish-guard + liveness
             // machinery.
             let r = comm.recv::<i64>(1, 0);
-            assert!(matches!(r, Err(Error::Deadlock(_))));
+            assert!(matches!(r, Err(Error::RankFailed { rank: 1, .. })), "{r:?}");
         });
     });
     assert!(result.is_err(), "the rank's panic propagates");
@@ -181,7 +201,9 @@ fn collective_count_mismatches_are_reported() {
         // Re-sync before the next collective so the mismatch errors don't
         // desynchronize the collective sequence numbers.
         comm.barrier().unwrap();
-        let reduce = comm.reduce(0, &vec![0i64; comm.rank() + 1], &ops::Sum).map(|_| ());
+        let reduce = comm
+            .reduce(0, &vec![0i64; comm.rank() + 1], &ops::Sum)
+            .map(|_| ());
         (gather, reduce)
     });
     // The root observes both mismatches.
@@ -198,13 +220,166 @@ fn shmem_team_of_zero_is_rejected() {
 #[test]
 fn scheduler_rejects_zero_chunk() {
     let r = std::panic::catch_unwind(|| {
-        patternlets_shmem::sched::LoopScheduler::new(
-            patternlets_shmem::Schedule::Guided(0),
-            10,
-            2,
-        )
+        patternlets_shmem::sched::LoopScheduler::new(patternlets_shmem::Schedule::Guided(0), 10, 2)
     });
     assert!(r.is_err());
+}
+
+// -- injected faults (FaultPlan) -----------------------------------------
+//
+// Everything below runs under a seeded fault plan, so each failure story
+// replays identically: kills fire at fixed operation counts and chaos
+// decisions come from a per-rank deterministic stream.
+
+#[test]
+fn killed_rank_surfaces_rank_failed_not_deadlock_at_the_receiver() {
+    // Rank 1 is killed before it can send; rank 0's recv must name the
+    // dead rank instead of misreporting the wait as a deadlock cycle.
+    let out = WorldBuilder::new(2)
+        .fault_plan(FaultPlan::seeded(11).kill_rank_after(1, 0))
+        .poll_interval(Duration::from_millis(2))
+        .run(|comm| {
+            if comm.rank() == 0 {
+                comm.recv_one::<i64>(1, 0).map(|_| ())
+            } else {
+                comm.send_one(1i64, 0, 0)
+            }
+        })
+        .unwrap();
+    assert!(
+        matches!(out[0], Err(Error::RankFailed { rank: 1, .. })),
+        "{out:?}"
+    );
+    assert!(
+        matches!(out[1], Err(Error::RankFailed { rank: 1, .. })),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn collective_with_a_dead_participant_errors_on_every_survivor() {
+    let np = 5;
+    let victim = 2;
+    let out = WorldBuilder::new(np)
+        .fault_plan(FaultPlan::seeded(12).kill_rank_after(victim, 0))
+        .poll_interval(Duration::from_millis(2))
+        .run(|comm| comm.allreduce(&[comm.rank() as i64], &ops::Sum).map(|_| ()))
+        .unwrap();
+    for (r, result) in out.iter().enumerate() {
+        assert!(
+            matches!(result, Err(Error::RankFailed { rank, .. }) if *rank == victim),
+            "rank {r}: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn shrink_yields_a_working_survivor_communicator() {
+    // After the failure, survivors agree() on the outcome, shrink(), and
+    // both a barrier and an allreduce succeed on the new communicator.
+    let np = 5;
+    let victim = 3;
+    let out = WorldBuilder::new(np)
+        .fault_plan(FaultPlan::seeded(13).kill_rank_after(victim, 0))
+        .poll_interval(Duration::from_millis(2))
+        .run(|comm| {
+            let step = comm.allreduce(&[1i64], &ops::Sum);
+            if comm.rank() == victim {
+                assert!(step.is_err());
+                return None; // the dead rank is out of the protocol
+            }
+            let consensus = comm.agree(step.is_ok()).unwrap();
+            assert!(!consensus, "some rank saw the failure");
+            let sub = comm.shrink().unwrap();
+            sub.barrier().unwrap();
+            let survivors = sub.allreduce(&[1i64], &ops::Sum).unwrap()[0];
+            Some((sub.size(), survivors))
+        })
+        .unwrap();
+    for (r, result) in out.iter().enumerate() {
+        if r == victim {
+            assert_eq!(*result, None);
+        } else {
+            assert_eq!(*result, Some((np - 1, (np - 1) as i64)), "rank {r}");
+        }
+    }
+}
+
+#[test]
+fn dropped_transmissions_are_retransmitted_and_delivered_exactly_once() {
+    // A 50%-lossy link: every message is retried until it lands, and the
+    // receiver's dedup guarantees no message is counted twice.
+    const MSGS: u64 = 20;
+    let out = WorldBuilder::new(2)
+        .fault_plan(FaultPlan::seeded(14).drop(0.5).duplicate(0.3))
+        .run(|comm| {
+            if comm.rank() == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..MSGS {
+                    seen.push(comm.recv_one::<u64>(1, 0).unwrap().0);
+                }
+                seen
+            } else {
+                for i in 0..MSGS {
+                    comm.send_one(i, 0, 0).unwrap();
+                }
+                Vec::new()
+            }
+        })
+        .unwrap();
+    assert_eq!(out[0], (0..MSGS).collect::<Vec<_>>());
+}
+
+#[test]
+fn shmem_barrier_abandoned_by_a_panicking_member_surfaces_task_panicked() {
+    use patternlets_shmem::Team;
+    let team = Team::new(4);
+    let verdicts = team.try_parallel_map(|ctx| {
+        if ctx.thread_num() == 2 {
+            panic!("injected shmem fault");
+        }
+        ctx.try_barrier()?;
+        Ok(ctx.thread_num())
+    });
+    assert!(
+        matches!(&verdicts[2], Err(Error::TaskPanicked { task: 2, .. })),
+        "{verdicts:?}"
+    );
+    for (t, v) in verdicts.iter().enumerate() {
+        if t != 2 {
+            assert!(
+                matches!(v, Err(Error::TaskPanicked { task: 2, .. })),
+                "survivor {t} must see the panic, got {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resilience_master_worker_completes_all_work_despite_a_kill() {
+    use patternlets::harness::{Mode, RunConfig};
+    use patternlets::registry::find;
+    let p = find("resilience/master_worker").unwrap();
+    for victim in [1, 2, 3] {
+        let cfg = RunConfig::new(4, Mode::On).with_kill(Some(victim));
+        (p.run)(&cfg);
+        let texts = cfg.output.texts();
+        let mut squares: Vec<u64> = texts
+            .iter()
+            .filter(|t| t.contains("returned"))
+            .map(|t| t.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        squares.sort_unstable();
+        let mut expected: Vec<u64> = (0..12u64).map(|i| i * i).collect();
+        expected.sort_unstable();
+        assert_eq!(squares, expected, "victim={victim}: {texts:?}");
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("3 of 4 ranks survive and confirm 12/12 results")),
+            "victim={victim}: {texts:?}"
+        );
+    }
 }
 
 #[test]

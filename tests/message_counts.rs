@@ -7,7 +7,11 @@ use patternlets_core::reduce::ops;
 use patternlets_mp::{MsgEvent, World};
 
 fn lg(p: usize) -> usize {
-    if p <= 1 { 0 } else { usize::BITS as usize - (p - 1).leading_zeros() as usize }
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (p - 1).leading_zeros() as usize
+    }
 }
 
 fn runtime_msgs(trace: &[MsgEvent]) -> usize {
@@ -19,7 +23,11 @@ fn binomial_bcast_sends_p_minus_1_messages() {
     for p in [1usize, 2, 3, 4, 5, 8, 13] {
         let (_, trace) = World::builder(p)
             .run_traced(|comm| {
-                let mut buf = if comm.is_master() { vec![1i64, 2] } else { Vec::new() };
+                let mut buf = if comm.is_master() {
+                    vec![1i64, 2]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast(0, &mut buf).unwrap();
             })
             .unwrap();
@@ -32,7 +40,11 @@ fn linear_bcast_also_sends_p_minus_1_but_all_from_the_root() {
     let p = 8;
     let (_, trace) = World::builder(p)
         .run_traced(|comm| {
-            let mut buf = if comm.is_master() { vec![1i64] } else { Vec::new() };
+            let mut buf = if comm.is_master() {
+                vec![1i64]
+            } else {
+                Vec::new()
+            };
             comm.bcast_linear(0, &mut buf).unwrap();
         })
         .unwrap();
@@ -48,12 +60,20 @@ fn binomial_bcast_spreads_the_sending_load() {
     let p = 8;
     let (_, trace) = World::builder(p)
         .run_traced(|comm| {
-            let mut buf = if comm.is_master() { vec![1i64] } else { Vec::new() };
+            let mut buf = if comm.is_master() {
+                vec![1i64]
+            } else {
+                Vec::new()
+            };
             comm.bcast(0, &mut buf).unwrap();
         })
         .unwrap();
     let from_root = trace.iter().filter(|m| m.from == 0).count();
-    assert_eq!(from_root, lg(p), "the root sends only ⌈lg p⌉ times in the tree");
+    assert_eq!(
+        from_root,
+        lg(p),
+        "the root sends only ⌈lg p⌉ times in the tree"
+    );
 }
 
 #[test]
@@ -83,8 +103,11 @@ fn gather_and_scatter_send_p_minus_1_each() {
     let p = 6;
     let (_, trace) = World::builder(p)
         .run_traced(|comm| {
-            let send: Option<Vec<i64>> =
-                if comm.is_master() { Some((0..p as i64).collect()) } else { None };
+            let send: Option<Vec<i64>> = if comm.is_master() {
+                Some((0..p as i64).collect())
+            } else {
+                None
+            };
             let mine = comm.scatter(0, send.as_deref()).unwrap();
             comm.gather(0, &mine).unwrap();
         })
@@ -121,7 +144,10 @@ fn user_and_runtime_traffic_are_distinguished() {
     assert_eq!(user.len(), 1);
     assert_eq!((user[0].from, user[0].to, user[0].tag), (0, 1, 3));
     assert_eq!(user[0].bytes, 8, "one i64 on the wire");
-    assert!(runtime_msgs(&trace) > 0, "the barrier's messages are visible too");
+    assert!(
+        runtime_msgs(&trace) > 0,
+        "the barrier's messages are visible too"
+    );
 }
 
 #[test]

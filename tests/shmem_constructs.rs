@@ -22,8 +22,7 @@ fn nested_parallel_regions_work() {
     });
     let mut got = hits.into_inner();
     got.sort_unstable();
-    let want: Vec<(usize, usize)> =
-        (0..2).flat_map(|o| (0..3).map(move |i| (o, i))).collect();
+    let want: Vec<(usize, usize)> = (0..2).flat_map(|o| (0..3).map(move |i| (o, i))).collect();
     assert_eq!(got, want);
 }
 
@@ -40,9 +39,8 @@ fn long_construct_sequences_stay_aligned() {
             ctx.single(|| {
                 singles.fetch_add(1, Ordering::Relaxed);
             });
-            acc += ctx.for_each_reduce(8, Schedule::StaticCyclic, &ops::Sum, |i| {
-                (i + round) as i64
-            });
+            acc +=
+                ctx.for_each_reduce(8, Schedule::StaticCyclic, &ops::Sum, |i| (i + round) as i64);
         }
         acc
     });
@@ -105,9 +103,8 @@ fn guided_schedule_with_reduction_is_exact() {
     let expected: i64 = data.iter().sum();
     for n in [1, 3, 8] {
         let got =
-            Team::new(n).parallel_for_reduce(data.len(), Schedule::Guided(16), &ops::Sum, |i| {
-                data[i]
-            });
+            Team::new(n)
+                .parallel_for_reduce(data.len(), Schedule::Guided(16), &ops::Sum, |i| data[i]);
         assert_eq!(got, expected, "n={n}");
     }
 }

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the `mp` wire codec uses: a cheaply-cloneable
+//! immutable byte buffer (`Bytes`), a growable builder (`BytesMut`), and
+//! the little-endian cursor methods of the `Buf`/`BufMut` traits. The
+//! `Bytes` clone-then-consume pattern in `Datatype::decode_slice` relies on
+//! `Buf` advancing a view without copying the backing storage; we keep that
+//! property with an `Arc<[u8]>` plus a window.
+
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte buffer (a window into shared
+/// storage).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_static(&[])
+    }
+
+    /// Wrap a static slice (copies once into shared storage; the real
+    /// crate borrows, but callers only rely on value semantics).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The readable window as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-window of this buffer (shares storage).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice past the end"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "…")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer for building payloads.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! get_le {
+    ($(#[$doc:meta] $name:ident -> $t:ty;)*) => {$(
+        #[$doc]
+        fn $name(&mut self) -> $t
+        where
+            Self: Sized,
+        {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Cursor-style reads over a byte source. Reads advance the view.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the read position.
+    fn advance(&mut self, cnt: usize);
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Split off the next `len` bytes as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8
+    where
+        Self: Sized,
+    {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    get_le! {
+        /// Read a little-endian `u32`.
+        get_u32_le -> u32;
+        /// Read a little-endian `i32`.
+        get_i32_le -> i32;
+        /// Read a little-endian `u64`.
+        get_u64_le -> u64;
+        /// Read a little-endian `i64`.
+        get_i64_le -> i64;
+        /// Read a little-endian `f32`.
+        get_f32_le -> f32;
+        /// Read a little-endian `f64`.
+        get_f64_le -> f64;
+    }
+}
+
+impl Bytes {
+    fn take_prefix(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes past the end");
+        let piece = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        piece
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past the end");
+        self.start += cnt;
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.take_prefix(len)
+    }
+}
+
+macro_rules! put_le {
+    ($(#[$doc:meta] $name:ident($t:ty);)*) => {$(
+        #[$doc]
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Append-style writes.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le! {
+        /// Append a little-endian `u32`.
+        put_u32_le(u32);
+        /// Append a little-endian `i32`.
+        put_i32_le(i32);
+        /// Append a little-endian `u64`.
+        put_u64_le(u64);
+        /// Append a little-endian `i64`.
+        put_i64_le(i64);
+        /// Append a little-endian `f32`.
+        put_f32_le(f32);
+        /// Append a little-endian `f64`.
+        put_f64_le(f64);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width_values() {
+        let mut b = BytesMut::new();
+        b.put_i32_le(-7);
+        b.put_u64_le(u64::MAX);
+        b.put_f64_le(1.5);
+        b.put_u8(9);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 4 + 8 + 8 + 1);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_u64_le(), u64::MAX);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.get_u8(), 9);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn nan_bits_survive_the_wire() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut b = BytesMut::new();
+        b.put_f64_le(weird);
+        let mut r = b.freeze();
+        assert_eq!(r.get_f64_le().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn clone_is_a_view_and_reads_advance_independently() {
+        let original = Bytes::from(vec![1, 2, 3, 4]);
+        let mut cursor = original.clone();
+        cursor.advance(2);
+        assert_eq!(&*cursor, &[3, 4]);
+        assert_eq!(
+            &*original,
+            &[1, 2, 3, 4],
+            "clone reads must not disturb the source"
+        );
+    }
+
+    #[test]
+    fn copy_to_bytes_splits_without_copying_storage() {
+        let mut b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let head = b.copy_to_bytes(4);
+        assert_eq!(&*head, &[0, 1, 2, 3]);
+        assert_eq!(b.remaining(), 6);
+        assert_eq!(&*b, &[4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.advance(2);
+    }
+
+    #[test]
+    fn from_static_and_equality() {
+        let a = Bytes::from_static(&[1, 2, 3]);
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the bench harness uses — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, and the group
+//! tuning knobs — as a plain wall-clock timer that prints a mean time per
+//! iteration. No statistics, plots, or state files: these benches exist
+//! to regenerate the paper's relative comparisons, and a trimmed mean per
+//! benchmark is enough for that offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments; the real crate parses filters
+    /// and output options here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Print the closing summary (a no-op in the offline stand-in).
+    pub fn final_summary(&mut self) {
+        println!("(benchmarks complete)");
+    }
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter value (e.g. thread count).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("  {}/{}: {:>12.3?}/iter", self.name, id.id, bencher.mean);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean wall-clock duration per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up (also sizes one iteration so slow routines don't blow
+        // the measurement budget).
+        let warm_start = Instant::now();
+        let one_iter = loop {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = t.elapsed();
+            if warm_start.elapsed() >= self.warm_up_time {
+                break elapsed;
+            }
+        };
+
+        // Spend the measurement budget over at most `sample_size`
+        // samples, but always take at least one.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if one_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / one_iter.as_nanos().max(1)).clamp(1, 100_000) as u32
+        };
+        let mut total = Duration::ZERO;
+        let mut iters = 0u32;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += iters_per_sample;
+            if run_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean = total / iters.max(1);
+    }
+}
+
+/// Opaque value barrier; re-exported for parity with the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_chains() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+        assert!(ran);
+        c.final_summary();
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        let id = BenchmarkId::new("barrier", 8);
+        assert_eq!(id.id, "barrier/8");
+    }
+}

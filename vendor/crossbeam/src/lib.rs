@@ -1,0 +1,257 @@
+//! Offline stand-in for the `crossbeam` crate: the two pieces this
+//! workspace uses — `utils::CachePadded` and `channel::unbounded` — built
+//! on `std::sync`. The channel is a mutex+condvar MPMC queue with
+//! crossbeam's disconnect semantics (send fails once every receiver is
+//! gone; recv fails once every sender is gone and the queue is drained).
+
+pub mod utils {
+    /// Pads and aligns a value to (at least) a cache line, so hot atomics
+    /// owned by different threads don't false-share.
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in its own cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The error returned when sending into a channel with no receivers.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`, so
+    // `.send(..).expect(..)` works for any payload type.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The error returned when receiving from an empty, disconnected
+    /// channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message. Fails only when every receiver has dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(msg);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake receivers so they observe EOF.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half; cloneable (crossbeam channels are MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking while the channel is empty and at
+        /// least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive; `None` when the queue is empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_derefs_and_aligns() {
+        let x = CachePadded::new(5u64);
+        assert_eq!(*x, 5);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(x.into_inner(), 5);
+    }
+
+    #[test]
+    fn channel_roundtrip_in_order_per_sender() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_distinct_items() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let rx2 = rx.clone();
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| rx.iter().collect::<Vec<_>>());
+            let hb = s.spawn(|| rx2.iter().collect::<Vec<_>>());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let mut all: Vec<usize> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

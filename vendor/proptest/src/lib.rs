@@ -1,0 +1,484 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, numeric-range and `&str`
+//! character-class strategies, `collection::vec`, and `any::<T>()`.
+//!
+//! Differences from the real crate, on purpose:
+//! - no shrinking — a failing case reports its case index and the seed,
+//!   which is enough to replay it deterministically;
+//! - sampling is driven by one SplitMix64 stream per test, seeded from
+//!   the test name (override with `PROPTEST_SEED=<u64>` to explore).
+
+/// Test-runner plumbing: configuration, RNG, and the error type
+/// `prop_assert!` produces.
+pub mod test_runner {
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; these tests spin up whole
+            // thread worlds per case, so keep the untuned default modest.
+            Config { cases: 48 }
+        }
+    }
+
+    /// A failed property, carrying the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Record a failed assertion.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic sampling RNG (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+        /// The seed this stream started from, reported on failure.
+        pub seed: u64,
+    }
+
+    impl TestRng {
+        /// Seed from `PROPTEST_SEED` when set, else from the test name,
+        /// so every test has its own reproducible stream.
+        pub fn from_env(test_name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                    })
+                });
+            TestRng { state: seed, seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The `Strategy` trait and implementations for ranges and `&str`
+/// character classes.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// `&str` strategies are a regex subset: a literal with optional
+    /// `[a-z…]` character classes, each followed by an optional `{lo,hi}`
+    /// repetition (`.` means any printable ASCII).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let alphabet: Vec<char> = match c {
+                    '[' => {
+                        let raw: Vec<char> = chars.by_ref().take_while(|&d| d != ']').collect();
+                        let mut set = Vec::new();
+                        let mut i = 0;
+                        while i < raw.len() {
+                            if i + 2 < raw.len() && raw[i + 1] == '-' {
+                                set.extend(raw[i]..=raw[i + 2]);
+                                i += 3;
+                            } else {
+                                set.push(raw[i]);
+                                i += 1;
+                            }
+                        }
+                        set
+                    }
+                    '.' => (' '..='~').collect(),
+                    literal => {
+                        out.push(literal);
+                        continue;
+                    }
+                };
+                // Optional {lo,hi} repetition after a class.
+                let (lo, hi) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
+                    let (a, b) = spec.split_once(',').unwrap_or((&spec, &spec));
+                    (a.parse().unwrap_or(0), b.parse().unwrap_or(0))
+                } else {
+                    (1usize, 1usize)
+                };
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+}
+
+/// `any::<T>()` — full-range strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, wide-range values; the codec tests cover NaN bits
+            // separately.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The usual glob import for tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::from_env(stringify!($name));
+            let seed = rng.seed;
+            for case in 0..config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::sample(&$strat, &mut rng);
+                )+
+                let outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property failed at case {case}/{} (seed {seed}): {e}\n\
+                         replay with PROPTEST_SEED={seed}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current property case unless `cond` holds. Accepts an
+/// optional `format!`-style message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = TestRng::from_env("int_ranges_respect_bounds");
+        for _ in 0..1000 {
+            let v = (-1000i64..1000).sample(&mut rng);
+            assert!((-1000..1000).contains(&v));
+            let u = (1usize..7).sample(&mut rng);
+            assert!((1..7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = TestRng::from_env("float_ranges_respect_bounds");
+        for _ in 0..1000 {
+            let v = (-6.0f64..6.0).sample(&mut rng);
+            assert!((-6.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn char_class_strategy_matches_its_pattern() {
+        let mut rng = TestRng::from_env("char_class_strategy");
+        for _ in 0..500 {
+            let s = "[a-z]{0,3}".sample(&mut rng);
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_env("vec_strategy_lengths");
+        for _ in 0..200 {
+            let exact = crate::collection::vec(0i32..3, 7).sample(&mut rng);
+            assert_eq!(exact.len(), 7);
+            assert!(exact.iter().all(|v| (0..3).contains(v)));
+            let ranged = crate::collection::vec(any::<i64>(), 0..16).sample(&mut rng);
+            assert!(ranged.len() < 16);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = TestRng::from_env("same_name");
+        let mut b = TestRng::from_env("same_name");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(
+            n in 1usize..5,
+            mut xs in crate::collection::vec(-10i64..10, 0..6),
+        ) {
+            xs.sort_unstable();
+            prop_assert!(n >= 1);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}
