@@ -1,0 +1,75 @@
+//! Ablation: the cost of the structured event layer, on and off.
+//!
+//! With no tracer attached the event closures must never run — the
+//! `*_off` and `*_traced` series bound that claim on the same collective
+//! and barrier workloads the `mp_collectives` / `barrier_variants`
+//! benches measure.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_mp::World;
+use patternlets_shmem::Team;
+use patternlets_trace::Tracer;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    for np in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("mp_barrier_off", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier().unwrap();
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mp_barrier_traced", np), &np, |b, &np| {
+            b.iter(|| {
+                let tracer = Tracer::new();
+                World::builder(np)
+                    .tracer(tracer.clone())
+                    .run(|comm| {
+                        for _ in 0..10 {
+                            comm.barrier().unwrap();
+                        }
+                    })
+                    .unwrap();
+                tracer.drain().events.len()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("team_barrier_off", np), &np, |b, &n| {
+            b.iter(|| {
+                Team::new(n).parallel(|ctx| {
+                    for _ in 0..100 {
+                        ctx.barrier();
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("team_barrier_traced", np), &np, |b, &n| {
+            b.iter(|| {
+                let tracer = Tracer::new();
+                Team::new(n).with_tracer(tracer.clone()).parallel(|ctx| {
+                    for _ in 0..100 {
+                        ctx.barrier();
+                    }
+                });
+                tracer.drain().events.len()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

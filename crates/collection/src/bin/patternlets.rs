@@ -4,18 +4,24 @@
 //! patternlets list [--tech omp|mpi|threads|hetero|resilience]
 //! patternlets show <name>
 //! patternlets run <name> [-n TASKS] [--on|--off] [--kill RANK]
+//!                        [--trace FILE] [--timeline] [--counters]
 //! patternlets coverage
 //! ```
 //!
 //! `run` echoes the live interleaving, exactly like watching the paper's
 //! live-coding demos; `--on` flips the patternlet's directive (the
 //! "uncomment and recompile" move, without the recompile); `--kill`
-//! picks the victim rank for the `resilience/` family.
+//! picks the victim rank for the `resilience/` family. `--trace FILE`
+//! writes the run's event stream as Chrome-trace JSON (open in
+//! `chrome://tracing` or Perfetto), `--timeline` prints a per-rank text
+//! timeline, and `--counters` prints per-rank message/worksharing totals.
 
 use std::process::ExitCode;
 
 use patternlets::harness::{Mode, RunConfig, Technology};
 use patternlets::registry::{by_technology, census, find, registry};
+use patternlets_trace::{chrome, timeline, Tracer};
+use patternlets_vtime::{rank_counters, total_counters, RankCounters};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,15 +68,48 @@ fn main() -> ExitCode {
                     .position(|a| a == "--kill")
                     .and_then(|i| args.get(i + 1))
                     .and_then(|v| v.parse().ok());
+                let trace_file = args
+                    .iter()
+                    .position(|a| a == "--trace")
+                    .and_then(|i| args.get(i + 1))
+                    .cloned();
+                let want_timeline = args.iter().any(|a| a == "--timeline");
+                let want_counters = args.iter().any(|a| a == "--counters");
                 println!(
                     "=== {} ({} tasks, directive {}) ===\n",
                     p.name,
                     tasks,
                     if mode.is_on() { "ON" } else { "OFF (initial)" }
                 );
-                let cfg = RunConfig::echoing(tasks, mode).with_kill(kill);
+                let mut cfg = RunConfig::echoing(tasks, mode).with_kill(kill);
+                let tracer = if trace_file.is_some() || want_timeline || want_counters {
+                    let t = Tracer::new();
+                    cfg = cfg.with_tracer(t.clone());
+                    Some(t)
+                } else {
+                    None
+                };
                 (p.run)(&cfg);
                 println!();
+                if let Some(tracer) = tracer {
+                    let trace = tracer.drain();
+                    if let Some(path) = trace_file {
+                        if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
+                            eprintln!("failed to write trace to {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!(
+                            "wrote {} trace events to {path} (open in chrome://tracing or Perfetto)",
+                            trace.events.len()
+                        );
+                    }
+                    if want_timeline {
+                        println!("{}", timeline::render(&trace));
+                    }
+                    if want_counters {
+                        print_counters(&trace);
+                    }
+                }
                 ExitCode::SUCCESS
             }
             None => {
@@ -88,10 +127,47 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] [--kill RANK]"
+                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] \
+                 [--kill RANK] [--trace FILE] [--timeline] [--counters]"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+fn print_counters(trace: &patternlets_trace::Trace) {
+    let rows = rank_counters(trace);
+    if rows.is_empty() {
+        println!("no trace events recorded");
+        return;
+    }
+    println!("rank   sends   recvs  bytes→  bytes←   colls   barrs  chunks   iters");
+    let print_row = |label: &str, c: &RankCounters| {
+        println!(
+            "{label:>4}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}",
+            c.sends,
+            c.recvs,
+            c.bytes_sent,
+            c.bytes_recv,
+            c.collectives,
+            c.barriers,
+            c.chunks,
+            c.iterations
+        );
+    };
+    for c in &rows {
+        print_row(&c.rank.to_string(), c);
+    }
+    let total = total_counters(&rows);
+    print_row("all", &total);
+    if total.retransmits > 0 || total.dup_drops > 0 {
+        println!(
+            "chaos: {} retransmissions, {} duplicates dropped",
+            total.retransmits, total.dup_drops
+        );
+    }
+    if trace.dropped > 0 {
+        println!("({} events dropped from full ring buffers)", trace.dropped);
     }
 }
 

@@ -1,6 +1,9 @@
 //! The patternlet harness: metadata, run configuration, and the runner.
 
 use patternlets_core::capture::{Output, Sink};
+use patternlets_mp::{World, WorldBuilder};
+use patternlets_shmem::Team;
+use patternlets_trace::{Trace, Tracer};
 
 /// Which technology family a patternlet belongs to (the paper's census
 /// categories).
@@ -63,6 +66,10 @@ pub struct RunConfig {
     /// `None` lets each resilience patternlet pick its default victim;
     /// non-resilience patternlets ignore it.
     pub kill: Option<usize>,
+    /// Structured-event tracer (CLI `--trace`/`--counters`). When set,
+    /// every world and team a patternlet builds through [`RunConfig::world`]
+    /// and [`RunConfig::team`] emits events into it.
+    pub tracer: Option<Tracer>,
 }
 
 impl RunConfig {
@@ -73,6 +80,7 @@ impl RunConfig {
             mode,
             output: Output::new(),
             kill: None,
+            tracer: None,
         }
     }
 
@@ -83,6 +91,7 @@ impl RunConfig {
             mode,
             output: Output::echoing(),
             kill: None,
+            tracer: None,
         }
     }
 
@@ -92,9 +101,48 @@ impl RunConfig {
         self
     }
 
+    /// Attach an event tracer; worlds and teams built via this config emit
+    /// into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// A sink stamping lines with `task`.
     pub fn sink(&self, task: usize) -> Sink {
         self.output.sink(task)
+    }
+
+    /// A [`WorldBuilder`] for `np` ranks with this config's tracer (if any)
+    /// already attached. Patternlets should build worlds through this so
+    /// `--trace` sees their traffic.
+    pub fn world(&self, np: usize) -> WorldBuilder {
+        let builder = World::builder(np);
+        match &self.tracer {
+            Some(t) => builder.tracer(t.clone()),
+            None => builder,
+        }
+    }
+
+    /// `mpirun -np <np>` through this config: run `f` in `np` ranks and
+    /// panic on configuration errors, exactly like
+    /// [`patternlets_mp::World::run`] but trace-aware.
+    pub fn world_run<R, F>(&self, np: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(patternlets_mp::Comm) -> R + Sync,
+    {
+        self.world(np).run(f).expect("world configuration is valid")
+    }
+
+    /// A [`Team`] of `n` threads with this config's tracer (if any)
+    /// already attached.
+    pub fn team(&self, n: usize) -> Team {
+        let team = Team::new(n);
+        match &self.tracer {
+            Some(t) => team.with_tracer(t.clone()),
+            None => team,
+        }
     }
 }
 
@@ -128,6 +176,16 @@ impl Patternlet {
         let cfg = RunConfig::new(tasks, mode);
         (self.run)(&cfg);
         cfg.output
+    }
+
+    /// Run with a fresh silent config *and* a tracer; returns the captured
+    /// output plus the drained event trace. The entry point for the
+    /// trace-correctness tests.
+    pub fn run_traced(&self, tasks: usize, mode: Mode) -> (Output, Trace) {
+        let tracer = Tracer::new();
+        let cfg = RunConfig::new(tasks, mode).with_tracer(tracer.clone());
+        (self.run)(&cfg);
+        (cfg.output, tracer.drain())
     }
 }
 

@@ -4,8 +4,7 @@
 //! level) — exactly how MPI+OpenMP codes sum distributed arrays.
 
 use patternlets_core::reduce::ops;
-use patternlets_mp::World;
-use patternlets_shmem::{Schedule, Team};
+use patternlets_shmem::Schedule;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -34,7 +33,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = cfg.tasks;
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let rank = comm.rank();
         // Each process owns a distinct slice of the global array
         // [0, 1, 2, …]; its local sum has a closed form we can verify.
@@ -45,9 +44,10 @@ fn run(cfg: &RunConfig) {
             1
         };
         let local_sum =
-            Team::new(nt).parallel_for_reduce(PER_PROC, Schedule::StaticBlock, &ops::Sum, |i| {
-                base + i as i64
-            });
+            cfg.team(nt)
+                .parallel_for_reduce(PER_PROC, Schedule::StaticBlock, &ops::Sum, |i| {
+                    base + i as i64
+                });
         cfg.sink(rank)
             .println(format!("process {rank}: local sum = {local_sum}"));
         let global = comm.reduce_one(0, local_sum, &ops::Sum).unwrap();

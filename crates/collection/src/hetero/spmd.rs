@@ -1,9 +1,6 @@
 //! `hetero/spmd` — MPI+OpenMP hello: each process forks a thread team, so
 //! every line identifies both a process (node) and a thread within it.
 
-use patternlets_mp::World;
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// Threads per process.
@@ -24,7 +21,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = cfg.tasks;
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let rank = comm.rank();
         let size = comm.size();
         let node = comm.processor_name().to_string();
@@ -33,7 +30,7 @@ fn run(cfg: &RunConfig) {
         } else {
             1
         };
-        Team::new(nt).parallel(|ctx| {
+        cfg.team(nt).parallel(|ctx| {
             cfg.sink(rank).println(format!(
                 "Hello from thread {} of {} on process {} of {} ({})",
                 ctx.thread_num(),

@@ -1,8 +1,6 @@
 //! `mpi/allgather` — gather-for-everyone: after the call, *every* process
 //! holds the rank-ordered concatenation, not just the master.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -19,7 +17,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let mine = [comm.rank() as i64 * 5];
         let all = comm.allgather(&mine).unwrap();

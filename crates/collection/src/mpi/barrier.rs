@@ -7,7 +7,7 @@
 //! prints what it receives. Without the barrier the two phases interleave
 //! (Fig. 11); with it they separate (Fig. 12).
 
-use patternlets_mp::{World, ANY_SOURCE};
+use patternlets_mp::ANY_SOURCE;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -28,7 +28,7 @@ const TAG_BEFORE: i32 = 1;
 const TAG_AFTER: i32 = 2;
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let np = comm.size();
         if comm.is_master() {
             let sink = cfg.sink(0);

@@ -1,8 +1,6 @@
 //! `mpi/broadcast` — the *Broadcast* pattern: the master's array reaches
 //! every process.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const SIZE: usize = 8;
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let mut array: Vec<i64> = if comm.is_master() {
             (0..SIZE as i64).map(|i| i * i).collect()

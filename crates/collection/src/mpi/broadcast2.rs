@@ -2,8 +2,6 @@
 //! original, from the command line or a file): configuration distribution,
 //! the most common broadcast use.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -20,7 +18,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         // The "input" the master alone knows; the task knob plays argv.
         let read = if comm.is_master() {

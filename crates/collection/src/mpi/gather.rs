@@ -2,8 +2,6 @@
 //! builds a small array of distinct values; the master collects them all,
 //! in rank order.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// Values per process, as in the paper (`#define SIZE 3`).
@@ -28,7 +26,7 @@ pub fn compute_array(rank: usize) -> Vec<i32> {
 }
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let mine = compute_array(comm.rank());
         sink.println(format!(

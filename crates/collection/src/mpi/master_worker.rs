@@ -1,7 +1,7 @@
 //! `mpi/masterWorker` — the *Master-Worker* pattern with processes: the
 //! master deals work items; workers compute and return results.
 
-use patternlets_mp::{World, ANY_SOURCE};
+use patternlets_mp::ANY_SOURCE;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -25,7 +25,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = cfg.tasks.max(2); // need at least one worker
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let sink = cfg.sink(comm.rank());
         if comm.is_master() {
             let mut next = 0u64;

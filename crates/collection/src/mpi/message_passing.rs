@@ -2,8 +2,6 @@
 //! exchange values around a ring (each rank sends to the next and receives
 //! from the previous).
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const TAG: i32 = 7;
@@ -23,7 +21,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = cfg.tasks;
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let sink = cfg.sink(comm.rank());
         let me = comm.rank();
         let size = comm.size();

@@ -1,7 +1,7 @@
 //! `mpi/messagePassing2` — wildcard receives: the master harvests results
 //! with `MPI_ANY_SOURCE` and learns who sent what from the status.
 
-use patternlets_mp::{World, ANY_SOURCE};
+use patternlets_mp::ANY_SOURCE;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -22,7 +22,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = cfg.tasks.max(2);
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let sink = cfg.sink(comm.rank());
         if comm.is_master() {
             for _ in 1..comm.size() {

@@ -1,8 +1,6 @@
 //! `mpi/parallelLoopChunksOf1` — the hand-rolled cyclic loop: process `id`
 //! performs iterations `id, id + np, id + 2·np, …`.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const REPS: usize = 8;
@@ -22,7 +20,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let sink = cfg.sink(comm.rank());
         let mut i = comm.rank();
         while i < REPS {

@@ -2,8 +2,6 @@
 //! (paper Fig. 16–18): MPI has no built-in loop construct, so each process
 //! computes its own `start..stop` block from its rank.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const REPS: usize = 8;
@@ -33,7 +31,7 @@ pub fn chunk_bounds(reps: usize, np: usize, id: usize) -> (usize, usize) {
 
 fn run(cfg: &RunConfig) {
     let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         let sink = cfg.sink(comm.rank());
         let (start, stop) = chunk_bounds(REPS, comm.size(), comm.rank());
         for i in start..stop {

@@ -3,7 +3,6 @@
 //! combines the squares with SUM and then MAX at the master.
 
 use patternlets_core::reduce::ops;
-use patternlets_mp::World;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -21,7 +20,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let square = ((comm.rank() + 1) * (comm.rank() + 1)) as i64;
         sink.println(format!("Process {} computed {square}", comm.rank()));

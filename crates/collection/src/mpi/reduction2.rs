@@ -3,7 +3,6 @@
 //! everywhere.
 
 use patternlets_core::reduce::ops;
-use patternlets_mp::World;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -23,7 +22,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let r = comm.rank() as i64;
         let local: Vec<i64> = (1..=LEN as i64).map(|k| k * r).collect();

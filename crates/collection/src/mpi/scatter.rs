@@ -1,8 +1,6 @@
 //! `mpi/scatter` — the *Scatter* pattern: the master's array is dealt in
 //! equal slices to every process.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const PER_RANK: usize = 3;
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         let send: Option<Vec<i64>> = if comm.is_master() {
             Some((0..(comm.size() * PER_RANK) as i64).collect())

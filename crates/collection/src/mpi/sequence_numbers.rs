@@ -3,8 +3,6 @@
 //! specific ranks, not `ANY_SOURCE` — the sequencing idea the paper's
 //! barrier patternlet builds on (Fig. 10).
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 const TAG: i32 = 1;
@@ -27,7 +25,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         if comm.is_master() {
             sink.println("Process 0 reporting in".to_string());

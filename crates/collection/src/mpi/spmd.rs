@@ -1,8 +1,6 @@
 //! `mpi/spmd` — SPMD with processes (paper Fig. 4–6): every rank reports
 //! its id, the world size, and the node it runs on.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 fn run(cfg: &RunConfig) {
     // Mode::Off models `mpirun -np 1` (Fig. 5); On uses the task knob.
     let np = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    World::run(np, |comm| {
+    cfg.world_run(np, |comm| {
         cfg.sink(comm.rank()).println(format!(
             "Hello from process {} of {} on {}",
             comm.rank(),

@@ -2,8 +2,6 @@
 //! the run, workers greet — the first step from pure SPMD toward
 //! master-worker structure.
 
-use patternlets_mp::World;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -20,7 +18,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    World::run(cfg.tasks, |comm| {
+    cfg.world_run(cfg.tasks, |comm| {
         let sink = cfg.sink(comm.rank());
         if comm.is_master() {
             sink.println(format!(

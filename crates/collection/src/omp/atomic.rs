@@ -3,7 +3,6 @@
 //! (paper §III.E).
 
 use patternlets_shmem::sync::racy::RacyCell;
-use patternlets_shmem::Team;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -26,7 +25,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 fn run(cfg: &RunConfig) {
     let sink = cfg.sink(0);
     let counter = RacyCell::new(0);
-    Team::new(cfg.tasks).parallel(|_ctx| {
+    cfg.team(cfg.tasks).parallel(|_ctx| {
         for _ in 0..REPS {
             if cfg.mode.is_on() {
                 counter.add_atomic(1); // #pragma omp atomic

@@ -3,8 +3,6 @@
 //! Without the barrier the BEFORE/AFTER lines interleave freely (Fig. 8);
 //! with it, every BEFORE precedes every AFTER (Fig. 9).
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    Team::new(cfg.tasks).parallel(|ctx| {
+    cfg.team(cfg.tasks).parallel(|ctx| {
         let sink = cfg.sink(ctx.thread_num());
         let (id, n) = (ctx.thread_num(), ctx.num_threads());
         sink.println(format!("Thread {id} of {n} is BEFORE the barrier."));

@@ -1,8 +1,6 @@
 //! `omp/forkJoin` — the *Fork-Join* pattern: one thread before the region,
 //! a team inside it, one thread after.
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -22,7 +20,7 @@ fn run(cfg: &RunConfig) {
     let master = cfg.sink(0);
     master.println("Before...".to_string());
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    Team::new(team_size).parallel(|ctx| {
+    cfg.team(team_size).parallel(|ctx| {
         cfg.sink(ctx.thread_num()).println(format!(
             "During..., thread {} of {}",
             ctx.thread_num(),

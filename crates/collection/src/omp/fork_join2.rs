@@ -1,8 +1,6 @@
 //! `omp/forkJoin2` — repeated fork-join with different team sizes
 //! (`omp_set_num_threads` between regions).
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 fn run(cfg: &RunConfig) {
     let master = cfg.sink(0);
     master.println(format!("First region, requesting {} threads:", cfg.tasks));
-    Team::new(cfg.tasks).parallel(|ctx| {
+    cfg.team(cfg.tasks).parallel(|ctx| {
         cfg.sink(ctx.thread_num()).println(format!(
             "  region 1: thread {} of {}",
             ctx.thread_num(),
@@ -30,7 +28,7 @@ fn run(cfg: &RunConfig) {
     });
     let second = cfg.tasks + 1; // omp_set_num_threads(tasks + 1)
     master.println(format!("Second region, requesting {second} threads:"));
-    Team::new(second).parallel(|ctx| {
+    cfg.team(second).parallel(|ctx| {
         cfg.sink(ctx.thread_num()).println(format!(
             "  region 2: thread {} of {}",
             ctx.thread_num(),

@@ -2,8 +2,6 @@
 //! inside one SPMD region, thread 0 takes the master role and the rest act
 //! as workers.
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -20,7 +18,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    Team::new(team_size).parallel(|ctx| {
+    cfg.team(team_size).parallel(|ctx| {
         let sink = cfg.sink(ctx.thread_num());
         if ctx.is_master() {
             sink.println(format!(

@@ -2,7 +2,7 @@
 //! default static schedule (paper Fig. 13–15): each thread gets one
 //! contiguous block of iterations.
 
-use patternlets_shmem::{Schedule, Team};
+use patternlets_shmem::Schedule;
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -23,7 +23,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    Team::new(team_size).parallel(|ctx| {
+    cfg.team(team_size).parallel(|ctx| {
         let sink = cfg.sink(ctx.thread_num());
         let me = ctx.thread_num();
         ctx.for_each(REPS, Schedule::StaticBlock, |i| {

@@ -4,8 +4,8 @@
 //! count is exact — the student-discovered idea behind the reduction
 //! clause (paper §III.D discussion).
 
+use patternlets_shmem::ops;
 use patternlets_shmem::sync::racy::RacyCell;
-use patternlets_shmem::{ops, Team};
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -29,7 +29,7 @@ fn run(cfg: &RunConfig) {
     let expected = (cfg.tasks * REPS_PER_THREAD) as i64;
     let total = if cfg.mode.is_on() {
         // Private counters, combined with a reduction.
-        Team::new(cfg.tasks).parallel_map(|ctx| {
+        cfg.team(cfg.tasks).parallel_map(|ctx| {
             let mut mine = 0i64; // truly private: a plain local
             for _ in 0..REPS_PER_THREAD {
                 mine += 1;
@@ -39,7 +39,7 @@ fn run(cfg: &RunConfig) {
     } else {
         // One shared counter, unprotected.
         let counter = RacyCell::new(0);
-        Team::new(cfg.tasks).parallel(|_ctx| {
+        cfg.team(cfg.tasks).parallel(|_ctx| {
             for _ in 0..REPS_PER_THREAD {
                 counter.add_racy(1);
             }

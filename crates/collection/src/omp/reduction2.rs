@@ -2,7 +2,7 @@
 //! (`* min max` and a user-defined operation; the paper lists
 //! `* - & | ^ && ||` and notes OpenMP 4.0 user-defined reductions).
 
-use patternlets_shmem::{ops, Schedule, Team};
+use patternlets_shmem::{ops, Schedule};
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -25,7 +25,7 @@ fn run(cfg: &RunConfig) {
     let sink = cfg.sink(0);
     let tasks = if cfg.mode.is_on() { cfg.tasks } else { 1 };
     let a: Vec<i64> = (0..SIZE as i64).map(|i| (i * 37) % 101 - 50).collect();
-    let team = Team::new(tasks);
+    let team = cfg.team(tasks);
 
     let sum = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| a[i]);
     let min = team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Min, |i| a[i]);

@@ -2,8 +2,6 @@
 //! decomposition; each section runs exactly once, on whichever thread
 //! claims it.
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 fn run(cfg: &RunConfig) {
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    let team = Team::new(team_size);
+    let team = cfg.team(team_size);
     team.parallel(|ctx| {
         let me = ctx.thread_num();
         let section = move |name: &str| {

@@ -1,8 +1,6 @@
 //! `omp/single` — `#pragma omp single`: one (arbitrary) thread performs a
 //! step, all others wait at the implicit barrier after it.
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -19,7 +17,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    Team::new(cfg.tasks).parallel(|ctx| {
+    cfg.team(cfg.tasks).parallel(|ctx| {
         let sink = cfg.sink(ctx.thread_num());
         sink.println(format!("thread {} entered the region", ctx.thread_num()));
         let me = ctx.thread_num();

@@ -5,8 +5,6 @@
 //! says hello (Fig. 2); uncommented ([`Mode::On`]), every team thread says
 //! hello in nondeterministic order (Fig. 3).
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -26,7 +24,7 @@ fn run(cfg: &RunConfig) {
     // `Mode::Off` models the commented-out `#pragma omp parallel`: the
     // "region" is just the master thread.
     let team_size = if cfg.mode.is_on() { cfg.tasks } else { 1 };
-    Team::new(team_size).parallel(|ctx| {
+    cfg.team(team_size).parallel(|ctx| {
         let sink = cfg.sink(ctx.thread_num());
         sink.println(format!(
             "Hello from thread {} of {}",

@@ -4,8 +4,6 @@
 //! The scalability lesson: the *same binary* explores any team size. The
 //! harness's `tasks` knob plays the role of `argv[1]`.
 
-use patternlets_shmem::Team;
-
 use crate::harness::{Patternlet, RunConfig, Technology};
 
 /// The patternlet descriptor.
@@ -21,7 +19,7 @@ pub const PATTERNLET: Patternlet = Patternlet {
 };
 
 fn run(cfg: &RunConfig) {
-    Team::new(cfg.tasks).parallel(|ctx| {
+    cfg.team(cfg.tasks).parallel(|ctx| {
         cfg.sink(ctx.thread_num()).println(format!(
             "Hello from thread #{} of {}",
             ctx.thread_num(),

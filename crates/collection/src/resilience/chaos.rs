@@ -5,7 +5,7 @@
 //! layer keeps the messaging guarantees the rest of the collection
 //! silently relies on.
 
-use patternlets_mp::{FaultPlan, World, ANY_SOURCE};
+use patternlets_mp::{FaultPlan, ANY_SOURCE};
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -35,7 +35,7 @@ fn run(cfg: &RunConfig) {
         .reorder(0.3)
         .drop(0.2)
         .duplicate(0.2);
-    World::builder(np)
+    cfg.world(np)
         .fault_plan(plan)
         .run(|comm| {
             let sink = cfg.sink(comm.rank());

@@ -6,7 +6,7 @@
 
 use patternlets_core::reduce::ops;
 use patternlets_core::Error;
-use patternlets_mp::{FaultPlan, World, ANY_TAG};
+use patternlets_mp::{FaultPlan, ANY_TAG};
 
 use crate::harness::{Patternlet, RunConfig, Technology};
 
@@ -42,7 +42,7 @@ fn run(cfg: &RunConfig) {
         _ => np - 1,
     };
     let plan = FaultPlan::seeded(CHAOS_SEED).kill_rank_after(victim, KILL_AFTER_OPS);
-    World::builder(np)
+    cfg.world(np)
         .fault_plan(plan)
         .poll_interval(std::time::Duration::from_millis(2))
         .run(|comm| {

@@ -12,6 +12,7 @@
 //! live interleaving; tests construct a silent one and assert ordering
 //! properties over the log.
 
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,7 +36,11 @@ pub struct CapturedLine {
 struct Shared {
     lines: Mutex<Vec<CapturedLine>>,
     next_seq: AtomicU64,
-    echo: bool,
+    /// Live echo destination, if any. Guarded by its own lock so echoes
+    /// are whole lines even when many tasks emit concurrently; the echo is
+    /// written inside the capture lock section, so echo order always
+    /// equals capture order.
+    echo: Option<Mutex<Box<dyn Write + Send>>>,
 }
 
 /// An append-only, thread-safe log of captured output lines.
@@ -56,9 +61,17 @@ impl Output {
     /// A capture log that also echoes every line to stdout (for the CLI
     /// runner, so the live interleaving is visible like the paper's demos).
     pub fn echoing() -> Self {
+        Output::echoing_to(std::io::stdout())
+    }
+
+    /// A capture log that echoes every line to an arbitrary writer. Each
+    /// line is emitted as ONE `write_all` of `text\n`, so concurrent
+    /// writers can never tear a line apart mid-text, and the echo stream's
+    /// line order matches the capture log's.
+    pub fn echoing_to(writer: impl Write + Send + 'static) -> Self {
         Output {
             shared: Arc::new(Shared {
-                echo: true,
+                echo: Some(Mutex::new(Box::new(writer))),
                 ..Shared::default()
             }),
         }
@@ -74,11 +87,19 @@ impl Output {
 
     fn push(&self, task: TaskId, text: String) {
         // seq is taken *inside* the same lock section that appends, so the
-        // log order and the seq order always agree.
+        // log order and the seq order always agree — and the echo happens
+        // there too, so the echoed stream and the capture log agree.
         let mut lines = self.shared.lines.lock();
         let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
-        if self.shared.echo {
-            println!("{text}");
+        if let Some(echo) = &self.shared.echo {
+            // One write_all per line: text and newline can never be split
+            // by another writer's output.
+            let mut bytes = Vec::with_capacity(text.len() + 1);
+            bytes.extend_from_slice(text.as_bytes());
+            bytes.push(b'\n');
+            let mut w = echo.lock();
+            let _ = w.write_all(&bytes);
+            let _ = w.flush();
         }
         lines.push(CapturedLine { seq, task, text });
     }
@@ -263,6 +284,60 @@ mod tests {
         let mut seqs: Vec<u64> = out.lines().iter().map(|l| l.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..800u64).collect::<Vec<_>>());
+    }
+
+    /// A `Write` impl tests can share to observe exactly what the echo
+    /// stream emitted, byte for byte.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn echo_never_tears_lines_under_many_writers() {
+        // Regression test for output tearing: with many tasks echoing
+        // concurrently, every echoed line must arrive whole, and the echo
+        // stream's line order must equal the capture log's order.
+        let buf = SharedBuf::default();
+        let out = Output::echoing_to(buf.clone());
+        thread::scope(|scope| {
+            for t in 0..8 {
+                let sink = out.sink(t);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        sink.println(format!("task {t} says hello for the {i}th time"));
+                    }
+                });
+            }
+        });
+        let bytes = buf.0.lock().clone();
+        let echoed = String::from_utf8(bytes).expect("echo stream is valid UTF-8");
+        assert!(echoed.ends_with('\n'));
+        let echoed_lines: Vec<&str> = echoed.lines().collect();
+        assert_eq!(echoed_lines.len(), 800);
+        // No torn/interleaved fragments: each echoed line is exactly one
+        // captured line, in the same order.
+        assert_eq!(echoed_lines, out.texts());
+    }
+
+    #[test]
+    fn echoing_to_writes_each_line_once() {
+        let buf = SharedBuf::default();
+        let out = Output::echoing_to(buf.clone());
+        out.sink(0).println("first");
+        out.sink(1).println("second");
+        assert_eq!(
+            String::from_utf8(buf.0.lock().clone()).unwrap(),
+            "first\nsecond\n"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ impl Comm {
             });
         }
         let tags = self.start_collective(opcodes::ALLTOALL, "alltoall")?;
+        let _phase = self.trace_coll("alltoall");
         let chunk = sendbuf.len() / p;
         // Eager sends to everyone (including self, through the mailbox, to
         // keep the code uniform).

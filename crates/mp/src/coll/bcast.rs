@@ -22,6 +22,7 @@ impl Comm {
             });
         }
         let tags = self.start_collective(opcodes::BCAST, "bcast")?;
+        let _phase = self.trace_coll("bcast");
         let me = self.rank();
         let vrank = (me + p - root) % p;
 
@@ -62,6 +63,7 @@ impl Comm {
             });
         }
         let tags = self.start_collective(opcodes::BCAST, "bcast")?;
+        let _phase = self.trace_coll("bcast");
         if self.rank() == root {
             for r in 0..p {
                 if r != root {

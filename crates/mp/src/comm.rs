@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_core::{Error, OpContext, Result};
+use patternlets_trace::{CollSpan, EventKind};
 
 use crate::datatype::{encode, Datatype};
 use crate::envelope::{collective_tag, is_collective_tag, Envelope};
@@ -88,6 +89,24 @@ impl Comm {
     /// Simulated hostname — `MPI_Get_processor_name`.
     pub fn processor_name(&self) -> &str {
         &self.transport.names[self.world_rank()]
+    }
+
+    /// Emit a structured trace event on this rank's world lane, when a
+    /// tracer is attached. The disabled path is a single `Option` check.
+    #[inline]
+    pub(crate) fn trace_event(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(tracer) = &self.transport.tracer {
+            tracer.emit(self.world_rank(), kind());
+        }
+    }
+
+    /// Open a collective-phase trace span (closed on drop, even on error
+    /// paths), or `None` when tracing is off.
+    pub(crate) fn trace_coll(&self, op: &'static str) -> Option<CollSpan> {
+        self.transport
+            .tracer
+            .as_ref()
+            .map(|t| t.coll_span(self.world_rank(), op))
     }
 
     /// Split this communicator — `MPI_Comm_split`: members calling with the
@@ -184,6 +203,12 @@ impl Comm {
             tag,
             bytes: payload.len(),
         });
+        self.trace_event(|| EventKind::MsgSend {
+            to: self.group[dest],
+            tag,
+            bytes: payload.len(),
+            seq,
+        });
         let env = Envelope {
             comm_id: self.comm_id,
             src: self.local_rank,
@@ -207,6 +232,7 @@ impl Comm {
                 std::thread::sleep(decision.delay);
             }
             for attempt in 0..decision.lost_transmissions {
+                self.trace_event(|| EventKind::Retransmit { attempt });
                 std::thread::sleep(retry_backoff(attempt));
             }
             overtake = decision.overtake;
@@ -219,7 +245,10 @@ impl Comm {
         self.transport.progress.fetch_add(1, Ordering::SeqCst);
         if duplicate {
             mailbox.deliver_displaced(env.clone(), overtake);
-            mailbox.deliver_displaced(env, 0); // swallowed as a duplicate
+            if !mailbox.deliver_displaced(env, 0) {
+                // swallowed as a duplicate
+                self.trace_event(|| EventKind::DupDropped);
+            }
         } else {
             mailbox.deliver_displaced(env, overtake);
         }
@@ -373,6 +402,11 @@ impl Comm {
             },
             || transport.clear_wait(my_world),
         )?;
+        self.trace_event(|| EventKind::MsgRecv {
+            from: self.group[env.src],
+            tag: env.tag,
+            bytes: env.payload.len(),
+        });
         if env.needs_ack {
             // Complete the synchronous-send handshake: tell the sender its
             // message has been matched.

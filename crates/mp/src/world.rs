@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
+use patternlets_trace::Tracer;
 
 use parking_lot::Mutex as PlMutex;
 
@@ -50,6 +51,10 @@ pub(crate) struct Transport {
     pub(crate) wait_epochs: Vec<AtomicU64>,
     /// When tracing is on, every delivered message is recorded here.
     pub(crate) trace: Option<PlMutex<Vec<MsgEvent>>>,
+    /// Structured event tracing ([`patternlets_trace`]): sends, receives,
+    /// collective phases, and chaos-transport incidents, per world rank.
+    /// `None` (the default) keeps the hot paths event-free.
+    pub(crate) tracer: Option<Tracer>,
     /// Bumped on every message delivery. A deadlock verdict is only valid
     /// if no delivery happened while it was being computed — otherwise a
     /// just-delivered message could wake a rank the fixpoint still counts
@@ -119,11 +124,13 @@ impl Transport {
         np: usize,
         ranks_per_node: usize,
         traced: bool,
+        tracer: Option<Tracer>,
         fault: Option<FaultPlan>,
         poll_interval: Duration,
     ) -> Self {
         Transport {
             trace: traced.then(|| PlMutex::new(Vec::new())),
+            tracer,
             progress: AtomicU64::new(0),
             mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
             finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
@@ -328,6 +335,7 @@ pub struct WorldBuilder {
     np: usize,
     ranks_per_node: usize,
     traced: bool,
+    tracer: Option<Tracer>,
     fault: Option<FaultPlan>,
     poll_interval: Duration,
 }
@@ -339,9 +347,18 @@ impl WorldBuilder {
             np,
             ranks_per_node: 1,
             traced: false,
+            tracer: None,
             fault: None,
             poll_interval: DEFAULT_POLL_INTERVAL,
         }
+    }
+
+    /// Attach a structured-event [`Tracer`]: every rank emits send/recv,
+    /// collective-phase, and chaos-incident events on its world-rank lane.
+    /// Drain the tracer after the run to inspect or export the stream.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Install a [`FaultPlan`]: chaos (delay/reorder/drop/duplicate) and
@@ -421,6 +438,7 @@ impl WorldBuilder {
             self.np,
             self.ranks_per_node,
             self.traced,
+            self.tracer.clone(),
             self.fault.clone(),
             self.poll_interval,
         ));

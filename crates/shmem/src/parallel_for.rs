@@ -7,6 +7,8 @@
 //! `#pragma omp parallel for`; [`Team::parallel_for_reduce`] adds the
 //! reduction clause (paper Fig. 20's `parallel for reduction(+:sum)`).
 
+use patternlets_trace::EventKind;
+
 use crate::reduce::ReduceOp;
 use crate::sched::{Cursor, LoopScheduler, Schedule};
 use crate::team::{Team, TeamCtx};
@@ -28,6 +30,10 @@ impl TeamCtx<'_> {
         let sched = self.shared_construct(|| LoopScheduler::new(schedule, len, n));
         let mut cursor = Cursor::new();
         while let Some(chunk) = sched.next_chunk(self.thread_num(), &mut cursor) {
+            self.trace(|| EventKind::ChunkClaim {
+                start: chunk.start,
+                len: chunk.len(),
+            });
             for i in chunk {
                 f(i);
             }
@@ -53,6 +59,10 @@ impl TeamCtx<'_> {
         let mut cursor = Cursor::new();
         let mut local = op.identity();
         while let Some(chunk) = sched.next_chunk(self.thread_num(), &mut cursor) {
+            self.trace(|| EventKind::ChunkClaim {
+                start: chunk.start,
+                len: chunk.len(),
+            });
             for i in chunk {
                 local = op.combine(local, f(i));
             }

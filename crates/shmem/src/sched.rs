@@ -129,8 +129,8 @@ impl LoopScheduler {
                 }
                 cursor.done = true;
                 let chunk = self.len.div_ceil(self.n_threads);
-                let start = (tid * chunk).min(self.len);
-                let stop = ((tid + 1) * chunk).min(self.len);
+                let start = tid.saturating_mul(chunk).min(self.len);
+                let stop = (tid + 1).saturating_mul(chunk).min(self.len);
                 if start >= stop {
                     None
                 } else {
@@ -140,12 +140,17 @@ impl LoopScheduler {
             Schedule::StaticCyclic => self.static_chunked(1, tid, cursor),
             Schedule::StaticChunked(k) => self.static_chunked(k, tid, cursor),
             Schedule::Dynamic(k) => {
-                let start = self.next.fetch_add(k, Ordering::Relaxed);
-                if start >= self.len {
-                    None
-                } else {
-                    Some(start..(start + k).min(self.len))
-                }
+                // Claim by fetch_update rather than fetch_add: the counter
+                // never grows past `len`, so calls after exhaustion (or a
+                // huge `k`) can never wrap it back into the iteration
+                // space and re-issue work.
+                let start = self
+                    .next
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                        (cur < self.len).then(|| cur.saturating_add(k).min(self.len))
+                    })
+                    .ok()?;
+                Some(start..start.saturating_add(k).min(self.len))
             }
             Schedule::Guided(k) => loop {
                 let start = self.next.load(Ordering::Relaxed);
@@ -172,14 +177,19 @@ impl LoopScheduler {
 
     fn static_chunked(&self, k: usize, tid: usize, cursor: &mut Cursor) -> Option<Range<usize>> {
         // The `cursor.taken`-th chunk owned by `tid` starts at
-        // (tid + taken * n) * k.
-        let chunk_index = tid + cursor.taken * self.n_threads;
+        // (tid + taken * n) * k. A multiply that overflows means the true
+        // start lies beyond `usize::MAX >= len`, so no iterations remain
+        // for this thread — and since starts grow with `taken`, none
+        // remain for any later chunk either.
+        let chunk_index = tid.checked_add(cursor.taken.checked_mul(self.n_threads)?)?;
         let start = chunk_index.checked_mul(k)?;
         if start >= self.len {
             return None;
         }
         cursor.taken += 1;
-        Some(start..(start + k).min(self.len))
+        // Saturate the end: `start + k` can overflow for huge `k`, and a
+        // wrapped end would silently drop the iterations `start..len`.
+        Some(start..start.saturating_add(k).min(self.len))
     }
 
     /// All indices thread `tid` would execute, in order. For static
@@ -335,6 +345,87 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         let _ = LoopScheduler::new(Schedule::Dynamic(0), 10, 2);
+    }
+
+    #[test]
+    fn guided_chunk_larger_than_len_takes_everything_at_once() {
+        // k > len: the very first claim is clamped to the whole range —
+        // no iteration lost, no out-of-range index issued.
+        let sched = LoopScheduler::new(Schedule::Guided(500), 10, 4);
+        let mut cur = Cursor::new();
+        assert_eq!(sched.next_chunk(0, &mut cur), Some(0..10));
+        assert_eq!(sched.next_chunk(0, &mut cur), None);
+        for tid in 1..4 {
+            assert!(sched.indices_for(tid).is_empty());
+        }
+    }
+
+    #[test]
+    fn repeated_claims_on_empty_loop_stay_none() {
+        // len == 0: claiming must be a stable no-op, even thousands of
+        // times (a dynamic counter that kept growing could eventually
+        // wrap back into range).
+        for kind in [
+            Schedule::StaticBlock,
+            Schedule::StaticCyclic,
+            Schedule::StaticChunked(3),
+            Schedule::Dynamic(usize::MAX),
+            Schedule::Guided(7),
+        ] {
+            let sched = LoopScheduler::new(kind, 0, 2);
+            let mut cur = Cursor::new();
+            for _ in 0..10_000 {
+                assert_eq!(sched.next_chunk(0, &mut cur), None, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_chunk_sizes_do_not_overflow_the_chunk_end() {
+        // Before the fix, `start + k` wrapped for k near usize::MAX and
+        // the wrapped end silently emptied the chunk, losing iterations.
+        let sched = LoopScheduler::new(Schedule::StaticChunked(usize::MAX), 10, 3);
+        assert_eq!(sched.indices_for(0), (0..10).collect::<Vec<_>>());
+        assert!(sched.indices_for(1).is_empty());
+        assert!(sched.indices_for(2).is_empty());
+
+        let sched = LoopScheduler::new(Schedule::Dynamic(usize::MAX), 10, 2);
+        let mut cur = Cursor::new();
+        assert_eq!(sched.next_chunk(0, &mut cur), Some(0..10));
+        for _ in 0..1000 {
+            assert_eq!(sched.next_chunk(1, &mut cur), None);
+        }
+    }
+
+    #[test]
+    fn static_chunked_mul_overflow_means_genuinely_exhausted() {
+        // chunk_index * k overflowing usize means the true start exceeds
+        // any possible `len`: the thread is out of work, and because chunk
+        // starts grow with the cursor, no later chunk was skipped.
+        let sched = LoopScheduler::new(Schedule::StaticChunked(usize::MAX), 10, 4);
+        // tid 3's first chunk starts at 3 * usize::MAX: mul overflow.
+        assert!(sched.indices_for(3).is_empty());
+        // tid 0 still owns the whole (tiny) range.
+        assert_eq!(sched.indices_for(0), (0..10).collect::<Vec<_>>());
+
+        // A second chunk for tid 0 would start at 4 * usize::MAX — the
+        // cursor path also hits the overflow and terminates cleanly.
+        let mut cur = Cursor::new();
+        assert_eq!(sched.next_chunk(0, &mut cur), Some(0..10));
+        assert_eq!(sched.next_chunk(0, &mut cur), None);
+    }
+
+    #[test]
+    fn dynamic_counter_never_wraps_after_exhaustion() {
+        // Post-exhaustion claims used to keep fetch_add'ing the counter;
+        // enough of them could wrap it back below `len` and re-issue
+        // iterations. The fetch_update claim is bounded by `len` forever.
+        let sched = LoopScheduler::new(Schedule::Dynamic(2), 6, 2);
+        assert_eq!(sched.indices_for(0), vec![0, 1, 2, 3, 4, 5]);
+        let mut cur = Cursor::new();
+        for _ in 0..10_000 {
+            assert_eq!(sched.next_chunk(1, &mut cur), None);
+        }
     }
 
     #[test]

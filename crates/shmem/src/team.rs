@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use patternlets_core::{Error, OpContext, Result};
+use patternlets_trace::{EventKind, Tracer};
 
 use crate::barrier::{AbortableBarrier, Barrier, BarrierKind};
 use crate::reduce::{tree_fold, ReduceOp};
@@ -59,6 +60,7 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 pub struct Team {
     n: usize,
     barrier_kind: BarrierKind,
+    tracer: Option<Tracer>,
 }
 
 impl Team {
@@ -68,6 +70,7 @@ impl Team {
         Team {
             n,
             barrier_kind: BarrierKind::Central,
+            tracer: None,
         }
     }
 
@@ -83,6 +86,15 @@ impl Team {
     /// Select the barrier algorithm used by this team's regions.
     pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
         self.barrier_kind = kind;
+        self
+    }
+
+    /// Attach a structured-event [`Tracer`]: each thread emits
+    /// region-begin/end, barrier-wait/release, and loop-chunk-claim events
+    /// on its thread-id lane. Drain the tracer after the region to inspect
+    /// or export the stream.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -103,10 +115,12 @@ impl Team {
     where
         F: Fn(&TeamCtx) + Sync,
     {
-        let shared = RegionShared::new(self.n, self.barrier_kind);
+        let shared = RegionShared::new(self.n, self.barrier_kind, self.tracer.clone());
         let run = |tid: usize| {
             let ctx = TeamCtx::new(tid, &shared);
+            ctx.trace(|| EventKind::RegionBegin { team: shared.n });
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            ctx.trace(|| EventKind::RegionEnd);
             shared.record_departure(tid, &outcome);
             if let Err(payload) = outcome {
                 std::panic::resume_unwind(payload);
@@ -151,12 +165,14 @@ impl Team {
         R: Send,
         F: Fn(&TeamCtx) -> Result<R> + Sync,
     {
-        let shared = RegionShared::new(self.n, self.barrier_kind);
+        let shared = RegionShared::new(self.n, self.barrier_kind, self.tracer.clone());
         let results: Vec<Mutex<Option<Result<R>>>> =
             (0..self.n).map(|_| Mutex::new(None)).collect();
         let run = |tid: usize| {
             let ctx = TeamCtx::new(tid, &shared);
+            ctx.trace(|| EventKind::RegionBegin { team: shared.n });
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            ctx.trace(|| EventKind::RegionEnd);
             shared.record_departure(tid, &outcome);
             *results[tid].lock() = Some(match outcome {
                 Ok(r) => r,
@@ -203,10 +219,13 @@ pub(crate) struct RegionShared {
     departed: Vec<AtomicBool>,
     /// Panic messages by thread id, recorded before the panic propagates.
     panics: Mutex<HashMap<usize, String>>,
+    /// Structured event tracing, shared by every thread of the region.
+    /// `None` (the default) keeps the synchronization paths event-free.
+    tracer: Option<Tracer>,
 }
 
 impl RegionShared {
-    fn new(n: usize, barrier_kind: BarrierKind) -> Self {
+    fn new(n: usize, barrier_kind: BarrierKind, tracer: Option<Tracer>) -> Self {
         RegionShared {
             n,
             barrier: barrier_kind.build(n),
@@ -215,6 +234,7 @@ impl RegionShared {
             abortable: AbortableBarrier::new(n),
             departed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             panics: Mutex::new(HashMap::new()),
+            tracer,
         }
     }
 
@@ -286,9 +306,20 @@ impl<'region> TeamCtx<'region> {
         self.tid == 0
     }
 
+    /// Emit a structured trace event on this thread's lane, when the team
+    /// has a tracer. The disabled path is a single `Option` check.
+    #[inline]
+    pub(crate) fn trace(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(tracer) = &self.shared.tracer {
+            tracer.emit(self.tid, kind());
+        }
+    }
+
     /// `#pragma omp barrier`: block until every team thread arrives.
     pub fn barrier(&self) {
+        self.trace(|| EventKind::BarrierWait);
         self.shared.barrier.wait(self.tid);
+        self.trace(|| EventKind::BarrierRelease);
     }
 
     /// Fault-aware barrier: like [`TeamCtx::barrier`], but if a team
@@ -297,9 +328,13 @@ impl<'region> TeamCtx<'region> {
     /// [`Error::Deadlock`]) instead of hanging forever. A phase that
     /// completes is never retroactively failed.
     pub fn try_barrier(&self) -> Result<()> {
-        self.shared
+        self.trace(|| EventKind::BarrierWait);
+        let outcome = self
+            .shared
             .abortable
-            .wait(|| self.shared.failure("barrier"))
+            .wait(|| self.shared.failure("barrier"));
+        self.trace(|| EventKind::BarrierRelease);
+        outcome
     }
 
     /// `#pragma omp master`: run `f` on thread 0 only. No implied barrier,

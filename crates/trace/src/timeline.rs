@@ -1,0 +1,145 @@
+//! Plain-text timeline rendering — the interleaving narrative without a
+//! browser. One line per event, in global emission order, indented into a
+//! swimlane per rank/thread so the cross-lane interleaving the paper's
+//! figures teach is visible at a glance:
+//!
+//! ```text
+//!        t(µs)  lane 0          lane 1
+//!        3.120  send→1 tag=0 8B
+//!        3.580                  recv←0 tag=0 8B
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::collector::Trace;
+use crate::event::{EventKind, TraceEvent};
+
+/// Column width of one swimlane.
+const LANE_WIDTH: usize = 22;
+
+/// Render `trace` as a swimlane timeline.
+pub fn render(trace: &Trace) -> String {
+    let lanes = trace.lane_count();
+    let mut out = String::new();
+    let _ = write!(out, "{:>12}", "t(\u{b5}s)");
+    for lane in 0..lanes {
+        let _ = write!(
+            out,
+            "  {:<width$}",
+            format!("lane {lane}"),
+            width = LANE_WIDTH
+        );
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+    for event in &trace.events {
+        let _ = write!(
+            out,
+            "{:>12}",
+            format!("{}.{:03}", event.t_ns / 1_000, event.t_ns % 1_000)
+        );
+        for lane in 0..lanes {
+            if lane == event.lane {
+                let _ = write!(out, "  {:<width$}", describe(event), width = LANE_WIDTH);
+            } else {
+                let _ = write!(out, "  {:<width$}", "", width = LANE_WIDTH);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    if trace.dropped > 0 {
+        let _ = writeln!(out, "({} events dropped)", trace.dropped);
+    }
+    out
+}
+
+/// One event's cell text.
+fn describe(event: &TraceEvent) -> String {
+    match &event.kind {
+        EventKind::MsgSend { to, tag, bytes, .. } => {
+            format!("send\u{2192}{to} tag={tag} {bytes}B")
+        }
+        EventKind::MsgRecv { from, tag, bytes } => {
+            format!("recv\u{2190}{from} tag={tag} {bytes}B")
+        }
+        EventKind::CollBegin { op } => format!("[{op}"),
+        EventKind::CollEnd { op } => format!("{op}]"),
+        EventKind::Retransmit { attempt } => format!("retransmit#{attempt}"),
+        EventKind::DupDropped => "dup-dropped".to_string(),
+        EventKind::RegionBegin { team } => format!("[region n={team}"),
+        EventKind::RegionEnd => "region]".to_string(),
+        EventKind::BarrierWait => "[barrier".to_string(),
+        EventKind::BarrierRelease => "barrier]".to_string(),
+        EventKind::ChunkClaim { start, len } => format!("chunk {start}..{}", start + len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Tracer;
+
+    #[test]
+    fn renders_one_row_per_event_in_order() {
+        let tracer = Tracer::new();
+        tracer.emit(
+            0,
+            EventKind::MsgSend {
+                to: 1,
+                tag: 0,
+                bytes: 8,
+                seq: 0,
+            },
+        );
+        tracer.emit(
+            1,
+            EventKind::MsgRecv {
+                from: 0,
+                tag: 0,
+                bytes: 8,
+            },
+        );
+        let text = render(&tracer.drain());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("lane 0") && lines[0].contains("lane 1"));
+        assert!(lines[1].contains("send\u{2192}1 tag=0 8B"));
+        assert!(lines[2].contains("recv\u{2190}0 tag=0 8B"));
+        // The recv is indented into lane 1's column, past lane 0's.
+        assert!(
+            lines[2].find("recv").unwrap() > lines[1].find("send").unwrap(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn phases_render_as_brackets() {
+        let tracer = Tracer::new();
+        let span = tracer.coll_span(0, "reduce");
+        drop(span);
+        let text = render(&tracer.drain());
+        assert!(text.contains("[reduce"));
+        assert!(text.contains("reduce]"));
+    }
+
+    #[test]
+    fn dropped_events_are_reported() {
+        let tracer = Tracer::with_shape(1, 2);
+        for _ in 0..5 {
+            tracer.emit(0, EventKind::BarrierWait);
+        }
+        let text = render(&tracer.drain());
+        assert!(text.contains("(3 events dropped)"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let text = render(&Trace::default());
+        assert_eq!(text.lines().count(), 1);
+    }
+}
