@@ -18,12 +18,22 @@
 
 use std::process::ExitCode;
 
-use patternlets::harness::{Mode, RunConfig, Technology};
+use patternlets::harness::{Mode, Patternlet, RunConfig, Technology};
 use patternlets::registry::{by_technology, census, find, registry};
+use patternlets_net::NetEnv;
 use patternlets_trace::{chrome, timeline, Tracer};
 use patternlets_vtime::{rank_counters, total_counters, RankCounters};
 
 fn main() -> ExitCode {
+    // Under `pmrun` this process is one rank of a multi-process world:
+    // install the TCP fabric before any patternlet builds a world.
+    let net = match patternlets_net::install_from_env() {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("pmrun environment rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -51,67 +61,7 @@ fn main() -> ExitCode {
             }
         },
         Some("run") => match args.get(1).and_then(|n| find(n)) {
-            Some(p) => {
-                let tasks = args
-                    .iter()
-                    .position(|a| a == "-n" || a == "--tasks")
-                    .and_then(|i| args.get(i + 1))
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(4);
-                let mode = if args.iter().any(|a| a == "--on") {
-                    Mode::On
-                } else {
-                    Mode::Off
-                };
-                let kill = args
-                    .iter()
-                    .position(|a| a == "--kill")
-                    .and_then(|i| args.get(i + 1))
-                    .and_then(|v| v.parse().ok());
-                let trace_file = args
-                    .iter()
-                    .position(|a| a == "--trace")
-                    .and_then(|i| args.get(i + 1))
-                    .cloned();
-                let want_timeline = args.iter().any(|a| a == "--timeline");
-                let want_counters = args.iter().any(|a| a == "--counters");
-                println!(
-                    "=== {} ({} tasks, directive {}) ===\n",
-                    p.name,
-                    tasks,
-                    if mode.is_on() { "ON" } else { "OFF (initial)" }
-                );
-                let mut cfg = RunConfig::echoing(tasks, mode).with_kill(kill);
-                let tracer = if trace_file.is_some() || want_timeline || want_counters {
-                    let t = Tracer::new();
-                    cfg = cfg.with_tracer(t.clone());
-                    Some(t)
-                } else {
-                    None
-                };
-                (p.run)(&cfg);
-                println!();
-                if let Some(tracer) = tracer {
-                    let trace = tracer.drain();
-                    if let Some(path) = trace_file {
-                        if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
-                            eprintln!("failed to write trace to {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                        println!(
-                            "wrote {} trace events to {path} (open in chrome://tracing or Perfetto)",
-                            trace.events.len()
-                        );
-                    }
-                    if want_timeline {
-                        println!("{}", timeline::render(&trace));
-                    }
-                    if want_counters {
-                        print_counters(&trace);
-                    }
-                }
-                ExitCode::SUCCESS
-            }
+            Some(p) => run_patternlet(p, &args, net.as_ref()),
             None => {
                 eprintln!("unknown patternlet; try `patternlets list`");
                 ExitCode::FAILURE
@@ -125,6 +75,21 @@ fn main() -> ExitCode {
             figures();
             ExitCode::SUCCESS
         }
+        // Hidden harness for pmrun's failure-path tests: rank `victim`
+        // stalls inside an established world (a sitting duck for
+        // `--kill-worker`) while the survivors block on a receive from
+        // it, then recover: the death surfaces as RankFailed, and the
+        // survivors agree and shrink around the hole.
+        Some("__net-stall") => {
+            let arg =
+                |i: usize, default| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
+            net_stall(arg(1, 4), arg(2, 0), arg(3, 30_000) as u64)
+        }
+        // A bare patternlet name is an implicit `run`, so launcher lines
+        // read like real mpirun: `pmrun -np 4 patternlets mpi/broadcast`.
+        Some(name) if find(name).is_some() => {
+            run_patternlet(find(name).expect("just found"), &args, net.as_ref())
+        }
         _ => {
             eprintln!(
                 "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] \
@@ -133,6 +98,128 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn run_patternlet(p: &Patternlet, args: &[String], net: Option<&NetEnv>) -> ExitCode {
+    let tasks = args
+        .iter()
+        .position(|a| a == "-n" || a == "--tasks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| net.map_or(4, |e| e.np));
+    let mode = if args.iter().any(|a| a == "--on") {
+        Mode::On
+    } else {
+        Mode::Off
+    };
+    let kill = args
+        .iter()
+        .position(|a| a == "--kill")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let trace_file = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_dir = std::env::var(patternlets_net::ENV_TRACE_DIR).ok();
+    let want_timeline = args.iter().any(|a| a == "--timeline");
+    let want_counters = args.iter().any(|a| a == "--counters");
+    // Under pmrun every rank runs this same code; per-run chrome (the
+    // banner, trailing blank line, trace summaries) comes from rank 0
+    // alone so the launcher's aggregate output stays readable.
+    let chatty = net.is_none_or(|e| e.rank == 0);
+    if chatty {
+        println!(
+            "=== {} ({} tasks, directive {}) ===\n",
+            p.name,
+            tasks,
+            if mode.is_on() { "ON" } else { "OFF (initial)" }
+        );
+    }
+    let mut cfg = RunConfig::echoing(tasks, mode).with_kill(kill);
+    let tracer = if trace_file.is_some() || trace_dir.is_some() || want_timeline || want_counters {
+        let t = Tracer::new();
+        cfg = cfg.with_tracer(t.clone());
+        Some(t)
+    } else {
+        None
+    };
+    (p.run)(&cfg);
+    if chatty {
+        println!();
+    }
+    if let Some(tracer) = tracer {
+        let trace = tracer.drain();
+        if let (Some(dir), Some(env)) = (&trace_dir, net) {
+            // One file per rank; pmrun merges them into a single timeline.
+            let path = format!("{dir}/rank-{}.json", env.rank);
+            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
+                eprintln!("failed to write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = trace_file {
+            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
+                eprintln!("failed to write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if chatty {
+                println!(
+                    "wrote {} trace events to {path} (open in chrome://tracing or Perfetto)",
+                    trace.events.len()
+                );
+            }
+        }
+        if want_timeline && chatty {
+            println!("{}", timeline::render(&trace));
+        }
+        if want_counters && chatty {
+            print_counters(&trace);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Body of the hidden `__net-stall` subcommand (see `main`). Survivor
+/// output is asserted by `tests/pmrun.rs`; exit is clean so any non-zero
+/// job status is attributable to the killed worker alone.
+fn net_stall(np: usize, victim: usize, stall_ms: u64) -> ExitCode {
+    use patternlets_core::Error;
+    let cfg = RunConfig::echoing(np, Mode::Off);
+    cfg.world(np)
+        .poll_interval(std::time::Duration::from_millis(2))
+        .run(|comm| {
+            let sink = cfg.sink(comm.rank());
+            if comm.rank() == victim {
+                sink.println(format!("rank {victim}: stalling, ready to be killed"));
+                std::thread::sleep(std::time::Duration::from_millis(stall_ms));
+                let _ = comm.send_one(1u64, (victim + 1) % np, 7);
+            } else {
+                match comm.recv_one::<u64>(victim, 7) {
+                    Err(Error::RankFailed { rank, .. }) => sink.println(format!(
+                        "rank {}: death of rank {rank} surfaced as RankFailed",
+                        comm.rank()
+                    )),
+                    Ok(_) => {
+                        sink.println(format!("rank {}: victim outlived the stall", comm.rank()))
+                    }
+                    Err(e) => sink.println(format!("rank {}: unexpected error: {e}", comm.rank())),
+                }
+                match comm.shrink() {
+                    Ok(sub) => {
+                        if sub.is_master() {
+                            sink.println(format!("shrink: {} of {np} ranks survive", sub.size()));
+                        }
+                    }
+                    Err(_) => {
+                        sink.println(format!("rank {}: excluded from shrink", comm.rank()));
+                    }
+                }
+            }
+        })
+        .expect("world config is valid");
+    ExitCode::SUCCESS
 }
 
 fn print_counters(trace: &patternlets_trace::Trace) {

@@ -1,0 +1,351 @@
+//! `pmrun` — the multi-process launcher, this repo's `mpirun`.
+//!
+//! ```text
+//! pmrun -np 4 patternlets mpi/broadcast
+//! pmrun -np 4 --trace merged.json patternlets mpi/reduction
+//! pmrun -np 4 --kill-worker 2:150 patternlets resilience/shrink
+//! ```
+//!
+//! `pmrun` starts a rendezvous server, spawns `-np` copies of the worker
+//! program with `PMRUN_RANK`/`PMRUN_NP`/`PMRUN_RENDEZVOUS` set, and
+//! aggregates their output. Workers (the `patternlets` binary) install
+//! the TCP fabric from that environment, so every world the program
+//! builds runs as real OS processes over loopback sockets — the same
+//! patternlet source, recompiled by nobody.
+//!
+//! Each worker's stdout is forwarded line-wise through the repo's
+//! capture layer, so concurrent ranks can interleave *lines* but never
+//! tear one mid-text — the honest cross-process analogue of the paper's
+//! "run it again, the order changed" demos. `--trace FILE` has every
+//! rank export its own Chrome-trace JSON, then merges them into one
+//! timeline with a process lane per rank.
+//!
+//! `--kill-worker RANK:MS` SIGKILLs one worker mid-run: the survivors
+//! see the death as `Error::RankFailed` and — for the `resilience/`
+//! family — agree/shrink around it, while `pmrun` exits non-zero with a
+//! per-rank report. `--timeout SECS` bounds the whole job for CI.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use patternlets_core::capture::Output;
+use patternlets_net::{rendezvous, ENV_NP, ENV_RANK, ENV_RENDEZVOUS, ENV_TRACE_DIR};
+use patternlets_trace::chrome;
+
+struct Opts {
+    np: usize,
+    /// `--kill-worker RANK:MS`: SIGKILL worker RANK after MS milliseconds.
+    kill_worker: Option<(usize, u64)>,
+    /// `--trace FILE`: merge per-rank Chrome traces into FILE.
+    trace: Option<String>,
+    /// `--timeout SECS`: kill the whole job if it runs longer than this.
+    timeout: Option<u64>,
+    program: String,
+    program_args: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pmrun -np N [--kill-worker RANK:MS] [--trace FILE] [--timeout SECS] \
+         <program> [args...]\n\n\
+         example: pmrun -np 4 patternlets mpi/broadcast"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse(args: &[String]) -> Option<Opts> {
+    let mut np = None;
+    let mut kill_worker = None;
+    let mut trace = None;
+    let mut timeout = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-np" | "-n" | "--np" => {
+                np = args.get(i + 1)?.parse().ok();
+                i += 2;
+            }
+            "--kill-worker" => {
+                let (rank, ms) = args.get(i + 1)?.split_once(':')?;
+                kill_worker = Some((rank.parse().ok()?, ms.parse().ok()?));
+                i += 2;
+            }
+            "--trace" => {
+                trace = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--timeout" => {
+                timeout = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    let program = args.get(i)?.clone();
+    Some(Opts {
+        np: np?,
+        kill_worker,
+        trace,
+        timeout,
+        program,
+        program_args: args[i + 1..].to_vec(),
+    })
+}
+
+/// A bare program name resolves to a sibling of this executable first —
+/// `pmrun` and `patternlets` are built into the same target directory, so
+/// `pmrun -np 4 patternlets ...` works without touching PATH.
+fn resolve_program(name: &str) -> String {
+    if name.contains(std::path::MAIN_SEPARATOR) {
+        return name.to_string();
+    }
+    if let Ok(me) = std::env::current_exe() {
+        if let Some(dir) = me.parent() {
+            let sibling = dir.join(name);
+            if sibling.is_file() {
+                return sibling.to_string_lossy().into_owned();
+            }
+        }
+    }
+    name.to_string()
+}
+
+/// How one worker ended, for the final report.
+struct WorkerOutcome {
+    rank: usize,
+    /// Human-readable status: "exit 0", "exit 101", "killed by signal 9".
+    status: String,
+    success: bool,
+}
+
+fn describe_status(status: std::process::ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("killed by signal {sig}");
+        }
+    }
+    match status.code() {
+        Some(code) => format!("exit {code}"),
+        None => "ended without an exit code".to_string(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse(&args) else {
+        return usage();
+    };
+    if opts.np == 0 {
+        eprintln!("pmrun: -np must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let rendezvous = match rendezvous::serve() {
+        Ok(addr) => addr.to_string(),
+        Err(e) => {
+            eprintln!("pmrun: cannot start rendezvous server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Per-rank trace files go into a scratch directory next to the merged
+    // output (or the temp dir), keyed by pmrun's pid so concurrent jobs
+    // don't collide.
+    let trace_dir: Option<PathBuf> = opts
+        .trace
+        .as_ref()
+        .map(|_| std::env::temp_dir().join(format!("pmrun-trace-{}", std::process::id())));
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "pmrun: cannot create trace directory {}: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let program = resolve_program(&opts.program);
+    let mut children: Vec<Arc<Mutex<Child>>> = Vec::with_capacity(opts.np);
+    let stdout_log = Output::echoing();
+    let stderr_log = Output::echoing_to(std::io::stderr());
+    let mut forwarders = Vec::new();
+    for rank in 0..opts.np {
+        let mut cmd = Command::new(&program);
+        cmd.args(&opts.program_args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NP, opts.np.to_string())
+            .env(ENV_RENDEZVOUS, &rendezvous)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if let Some(dir) = &trace_dir {
+            cmd.env(ENV_TRACE_DIR, dir);
+        }
+        let mut child = match cmd.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                eprintln!("pmrun: cannot spawn {program} for rank {rank}: {e}");
+                for child in &children {
+                    let _ = child.lock().kill();
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+        // Forward each worker stream line-wise through the capture layer:
+        // one locked write per line, so ranks interleave but never tear.
+        if let Some(stdout) = child.stdout.take() {
+            let sink = stdout_log.sink(rank);
+            forwarders.push(std::thread::spawn(move || {
+                forward_lines(stdout, |line| sink.println(line));
+            }));
+        }
+        if let Some(stderr) = child.stderr.take() {
+            let sink = stderr_log.sink(rank);
+            forwarders.push(std::thread::spawn(move || {
+                forward_lines(stderr, |line| sink.println(format!("[rank {rank}] {line}")));
+            }));
+        }
+        children.push(Arc::new(Mutex::new(child)));
+    }
+
+    // The fault injector: SIGKILL one worker mid-run. Survivors see the
+    // death through their sockets as Error::RankFailed.
+    if let Some((victim, after_ms)) = opts.kill_worker {
+        if victim >= opts.np {
+            eprintln!(
+                "pmrun: --kill-worker rank {victim} out of range for -np {}",
+                opts.np
+            );
+            for child in &children {
+                let _ = child.lock().kill();
+            }
+            return ExitCode::FAILURE;
+        }
+        let child = Arc::clone(&children[victim]);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(after_ms));
+            let _ = child.lock().kill();
+        });
+    }
+
+    // The watchdog: a job past its deadline is killed whole, so a
+    // cross-process deadlock (undetectable from inside one process —
+    // see DESIGN.md §7) can't wedge CI.
+    let timed_out = Arc::new(AtomicBool::new(false));
+    let all_done = Arc::new(AtomicBool::new(false));
+    if let Some(secs) = opts.timeout {
+        let children: Vec<_> = children.iter().map(Arc::clone).collect();
+        let timed_out = Arc::clone(&timed_out);
+        let all_done = Arc::clone(&all_done);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while Instant::now() < deadline {
+                if all_done.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            timed_out.store(true, Ordering::SeqCst);
+            for child in &children {
+                let _ = child.lock().kill();
+            }
+        });
+    }
+
+    // Wait for EVERY worker — deliberately including jobs where one was
+    // killed: the survivors must get to finish their recovery (shrink,
+    // reformed collectives) before the job is judged.
+    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(opts.np);
+    for (rank, child) in children.iter().enumerate() {
+        let status = loop {
+            match child.lock().try_wait() {
+                Ok(Some(status)) => break Ok(status),
+                Ok(None) => {}
+                Err(e) => break Err(e),
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        match status {
+            Ok(status) => outcomes.push(WorkerOutcome {
+                rank,
+                status: describe_status(status),
+                success: status.success(),
+            }),
+            Err(e) => outcomes.push(WorkerOutcome {
+                rank,
+                status: format!("wait failed: {e}"),
+                success: false,
+            }),
+        }
+    }
+    all_done.store(true, Ordering::SeqCst);
+    for handle in forwarders {
+        let _ = handle.join();
+    }
+
+    if let (Some(merged_path), Some(dir)) = (&opts.trace, &trace_dir) {
+        let per_rank: Vec<(usize, String)> = (0..opts.np)
+            .map(|rank| {
+                let path = dir.join(format!("rank-{rank}.json"));
+                // A killed worker leaves no (or a partial) file; the merge
+                // tolerates both and still names the rank's lane.
+                (rank, std::fs::read_to_string(path).unwrap_or_default())
+            })
+            .collect();
+        let merged =
+            chrome::merge_chrome_json(per_rank.iter().map(|(rank, json)| (*rank, json.as_str())));
+        let _ = std::fs::remove_dir_all(dir);
+        if let Err(e) = std::fs::write(merged_path, merged) {
+            eprintln!("pmrun: cannot write merged trace to {merged_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "pmrun: wrote merged trace for {} ranks to {merged_path} \
+             (open in chrome://tracing or Perfetto)",
+            opts.np
+        );
+    }
+
+    if timed_out.load(Ordering::SeqCst) {
+        eprintln!(
+            "pmrun: job exceeded --timeout {}s and was killed",
+            opts.timeout.unwrap_or(0)
+        );
+    }
+    if outcomes.iter().all(|o| o.success) && !timed_out.load(Ordering::SeqCst) {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "pmrun: job failed ({} of {} workers unsuccessful)",
+        outcomes.iter().filter(|o| !o.success).count(),
+        opts.np
+    );
+    for outcome in &outcomes {
+        eprintln!(
+            "  rank {}: {}{}",
+            outcome.rank,
+            outcome.status,
+            if outcome.success { "" } else { "  <-- failed" }
+        );
+    }
+    ExitCode::FAILURE
+}
+
+/// Forward one child stream line-by-line until EOF (the child exited).
+fn forward_lines(stream: impl Read, mut emit: impl FnMut(String)) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        match line {
+            Ok(line) => emit(line),
+            Err(_) => return,
+        }
+    }
+}

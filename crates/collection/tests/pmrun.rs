@@ -1,0 +1,149 @@
+//! End-to-end tests of the `pmrun` launcher: real worker processes, real
+//! sockets, real SIGKILL. Everything here shells out to the compiled
+//! `pmrun`/`patternlets` binaries (Cargo points `CARGO_BIN_EXE_*` at
+//! them), so these tests exercise exactly what a student types.
+
+use std::process::Command;
+
+const PMRUN: &str = env!("CARGO_BIN_EXE_pmrun");
+const PATTERNLETS: &str = env!("CARGO_BIN_EXE_patternlets");
+
+struct Job {
+    stdout: String,
+    stderr: String,
+    success: bool,
+}
+
+fn pmrun_with(args: &[&str], worker_args: &[&str]) -> Job {
+    let out = Command::new(PMRUN)
+        .args(args)
+        .arg(PATTERNLETS)
+        .args(worker_args)
+        .output()
+        .expect("pmrun spawns");
+    Job {
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        success: out.status.success(),
+    }
+}
+
+#[test]
+fn broadcast_runs_as_four_real_processes() {
+    let job = pmrun_with(&["-np", "4", "--timeout", "120"], &["mpi/broadcast"]);
+    assert!(
+        job.success,
+        "stdout: {}\nstderr: {}",
+        job.stdout, job.stderr
+    );
+    // Every rank's result came back through the aggregated stream, and the
+    // banner printed once (rank 0 only), not once per process.
+    for rank in 0..4 {
+        assert_eq!(
+            job.stdout
+                .matches(&format!("Process {rank} AFTER  broadcast"))
+                .count(),
+            1,
+            "stdout: {}",
+            job.stdout
+        );
+    }
+    assert_eq!(job.stdout.matches("=== mpi/broadcast").count(), 1);
+}
+
+#[test]
+fn collectives_and_recovery_work_across_processes() {
+    for patternlet in ["mpi/reduction", "resilience/shrink"] {
+        let job = pmrun_with(&["-np", "4", "--timeout", "120"], &[patternlet]);
+        assert!(
+            job.success,
+            "{patternlet} stdout: {}\nstderr: {}",
+            job.stdout, job.stderr
+        );
+    }
+}
+
+#[test]
+fn killed_worker_surfaces_rank_failed_and_survivors_shrink() {
+    // Rank 1 stalls inside an established world; pmrun SIGKILLs it while
+    // ranks 0, 2, 3 block on a receive from it.
+    let job = pmrun_with(
+        &["-np", "4", "--timeout", "120", "--kill-worker", "1:400"],
+        &["__net-stall", "4", "1"],
+    );
+    assert!(!job.success, "a killed worker must fail the job");
+    for survivor in [0, 2, 3] {
+        assert!(
+            job.stdout.contains(&format!(
+                "rank {survivor}: death of rank 1 surfaced as RankFailed"
+            )),
+            "stdout: {}\nstderr: {}",
+            job.stdout,
+            job.stderr
+        );
+    }
+    assert!(
+        job.stdout.contains("shrink: 3 of 4 ranks survive"),
+        "survivors agree and shrink: {}",
+        job.stdout
+    );
+    // The report is readable: it names the victim and how it died.
+    assert!(job.stderr.contains("pmrun: job failed"), "{}", job.stderr);
+    assert!(
+        job.stderr.contains("rank 1: killed by signal"),
+        "{}",
+        job.stderr
+    );
+    assert!(job.stderr.contains("rank 0: exit 0"), "{}", job.stderr);
+}
+
+#[test]
+fn merged_trace_has_one_process_lane_per_rank() {
+    let trace = std::env::temp_dir().join(format!("pmrun-test-trace-{}.json", std::process::id()));
+    let trace_str = trace.to_string_lossy().into_owned();
+    let job = pmrun_with(
+        &["-np", "3", "--timeout", "120", "--trace", &trace_str],
+        &["mpi/reduction", "-n", "3"],
+    );
+    assert!(
+        job.success,
+        "stdout: {}\nstderr: {}",
+        job.stdout, job.stderr
+    );
+    let merged = std::fs::read_to_string(&trace).expect("merged trace written");
+    let _ = std::fs::remove_file(&trace);
+    assert!(merged.starts_with("{\"traceEvents\":["));
+    for rank in 0..3 {
+        assert!(
+            merged.contains(&format!("\"name\":\"rank {rank}\"")),
+            "every rank gets a named process lane"
+        );
+        assert!(merged.contains(&format!("\"pid\":{rank},")));
+    }
+    // Structurally valid JSON (the exporter never emits quotes in values).
+    assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+    assert_eq!(merged.matches('[').count(), merged.matches(']').count());
+}
+
+#[test]
+fn oversized_world_is_refused_with_np_guidance() {
+    // A 4-rank world under a 2-process job cannot run; the worker must say
+    // exactly how to fix the invocation rather than duplicate output.
+    let job = pmrun_with(
+        &["-np", "2", "--timeout", "120"],
+        &["mpi/broadcast", "-n", "4"],
+    );
+    assert!(!job.success);
+    assert!(
+        job.stderr.contains("-np 4"),
+        "the fix is spelled out: {}",
+        job.stderr
+    );
+}
+
+#[test]
+fn usage_errors_do_not_hang() {
+    let out = Command::new(PMRUN).output().expect("pmrun spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,7 +1,6 @@
 //! The communicator: a rank's handle on its world — `MPI_COMM_WORLD`.
 
 use std::cell::Cell;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use patternlets_core::rng::{Rng, SplitMix64};
@@ -10,9 +9,9 @@ use patternlets_trace::{CollSpan, EventKind};
 
 use crate::datatype::{encode, Datatype};
 use crate::envelope::{collective_tag, is_collective_tag, Envelope};
+use crate::fabric::{AgreeKey, AgreeSlot, Fabric};
 use crate::fault::retry_backoff;
 use crate::status::{SourceSel, Status, TagSel};
-use crate::world::Transport;
 
 /// Agreement kinds for the message-free `agree`/`shrink` protocol.
 const AGREE_KIND: u8 = 0;
@@ -33,7 +32,9 @@ pub struct Comm {
     group: Arc<Vec<usize>>,
     /// Communicator identity, for envelope matching.
     comm_id: u64,
-    transport: Arc<Transport>,
+    /// The transport backend carrying this communicator's traffic — the
+    /// in-process thread fabric, or a network backend under `pmrun`.
+    fabric: Arc<dyn Fabric>,
     /// Count of collective operations this rank has started; used to build
     /// reserved tags that line up across ranks.
     coll_seq: Cell<u64>,
@@ -50,13 +51,15 @@ pub struct Comm {
 const WORLD_COMM_ID: u64 = 0;
 
 impl Comm {
-    pub(crate) fn new(rank: usize, transport: Arc<Transport>) -> Self {
-        let np = transport.mailboxes.len();
+    /// A rank's world communicator over any [`Fabric`] — the constructor
+    /// both the thread backend and provider-built worlds use.
+    pub(crate) fn over_fabric(rank: usize, fabric: Arc<dyn Fabric>) -> Self {
+        let np = fabric.np();
         Comm {
             local_rank: rank,
             group: Arc::new((0..np).collect()),
             comm_id: WORLD_COMM_ID,
-            transport,
+            fabric,
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
         }
@@ -88,14 +91,14 @@ impl Comm {
 
     /// Simulated hostname — `MPI_Get_processor_name`.
     pub fn processor_name(&self) -> &str {
-        &self.transport.names[self.world_rank()]
+        self.fabric.rank_name(self.world_rank())
     }
 
     /// Emit a structured trace event on this rank's world lane, when a
     /// tracer is attached. The disabled path is a single `Option` check.
     #[inline]
     pub(crate) fn trace_event(&self, kind: impl FnOnce() -> EventKind) {
-        if let Some(tracer) = &self.transport.tracer {
+        if let Some(tracer) = self.fabric.tracer() {
             tracer.emit(self.world_rank(), kind());
         }
     }
@@ -103,9 +106,8 @@ impl Comm {
     /// Open a collective-phase trace span (closed on drop, even on error
     /// paths), or `None` when tracing is off.
     pub(crate) fn trace_coll(&self, op: &'static str) -> Option<CollSpan> {
-        self.transport
-            .tracer
-            .as_ref()
+        self.fabric
+            .tracer()
             .map(|t| t.coll_span(self.world_rank(), op))
     }
 
@@ -137,7 +139,7 @@ impl Comm {
             local_rank,
             group: Arc::new(group),
             comm_id,
-            transport: Arc::clone(&self.transport),
+            fabric: Arc::clone(&self.fabric),
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
         })
@@ -187,16 +189,16 @@ impl Comm {
             });
         }
         let me = self.world_rank();
-        self.transport.fault_op(me, "send")?;
-        if self.transport.rank_failed(self.group[dest]) {
+        self.fabric.fault_op(me, "send")?;
+        if self.fabric.rank_failed(self.group[dest]) {
             return Err(Error::RankFailed {
                 rank: self.group[dest],
                 op: OpContext::new("send").peer(dest).tag(tag),
             });
         }
-        let seq = self.transport.send_seqs[me].fetch_add(1, Ordering::Relaxed);
+        let seq = self.fabric.next_send_seq(me);
         let payload = encode(data);
-        self.transport.record_msg(crate::world::MsgEvent {
+        self.fabric.record_msg(crate::world::MsgEvent {
             from: me,
             to: self.group[dest],
             comm_id: self.comm_id,
@@ -226,8 +228,7 @@ impl Comm {
         // possibly twice (the receiving mailbox deduplicates).
         let mut overtake = 0;
         let mut duplicate = false;
-        if let Some(fault) = &self.transport.fault {
-            let decision = fault.decide(me);
+        if let Some(decision) = self.fabric.chaos_decision(me) {
             if !decision.delay.is_zero() {
                 std::thread::sleep(decision.delay);
             }
@@ -238,19 +239,13 @@ impl Comm {
             overtake = decision.overtake;
             duplicate = decision.duplicate;
         }
-        // Order matters: bump progress BEFORE the delivery becomes
-        // matchable, so any deadlock verdict computed across this delivery
-        // sees the progress change and rejects itself.
-        let mailbox = &self.transport.mailboxes[self.group[dest]];
-        self.transport.progress.fetch_add(1, Ordering::SeqCst);
-        if duplicate {
-            mailbox.deliver_displaced(env.clone(), overtake);
-            if !mailbox.deliver_displaced(env, 0) {
-                // swallowed as a duplicate
-                self.trace_event(|| EventKind::DupDropped);
-            }
-        } else {
-            mailbox.deliver_displaced(env, overtake);
+        if self
+            .fabric
+            .deliver(me, self.group[dest], env, overtake, duplicate)
+        {
+            // A duplicate copy was observably swallowed by the receiver's
+            // dedup on this call path (in-process backends only).
+            self.trace_event(|| EventKind::DupDropped);
         }
         Ok(seq)
     }
@@ -305,11 +300,11 @@ impl Comm {
                 });
             }
         }
-        let transport = &self.transport;
+        let fabric = &*self.fabric;
         let me = self.local_rank;
         let group = &self.group;
         let my_world = self.world_rank();
-        transport.fault_op(my_world, "recv")?;
+        fabric.fault_op(my_world, "recv")?;
 
         // Publish what we are about to block on, for the waits-for
         // deadlock detector; cleared on every exit path by the guard.
@@ -317,7 +312,7 @@ impl Comm {
             SourceSel::Rank(r) => vec![group[r]],
             SourceSel::Any => group.iter().copied().filter(|&w| w != my_world).collect(),
         };
-        transport.publish_wait(
+        fabric.publish_wait(
             my_world,
             crate::world::WaitRecord {
                 comm_id: self.comm_id,
@@ -327,13 +322,13 @@ impl Comm {
                 world_group: Arc::clone(group),
             },
         );
-        struct ClearGuard<'a>(&'a crate::world::Transport, usize);
+        struct ClearGuard<'a>(&'a dyn Fabric, usize);
         impl Drop for ClearGuard<'_> {
             fn drop(&mut self) {
                 self.0.clear_wait(self.1);
             }
         }
-        let _guard = ClearGuard(transport, my_world);
+        let _guard = ClearGuard(fabric, my_world);
 
         let ctx = || {
             OpContext::new("recv")
@@ -345,11 +340,11 @@ impl Comm {
                 Error::Deadlock(op.detail(format!("waits-for cycle with no live escape: {graph}")))
             }
         };
-        let env = transport.mailboxes[my_world].recv_match(
+        let env = fabric.mailbox(my_world).recv_match(
             self.comm_id,
             src,
             tag,
-            transport.poll_interval,
+            fabric.poll_interval(),
             || {
                 // Collective-internal receives fail fast when ANY group
                 // member has died: the collective can no longer complete
@@ -357,7 +352,7 @@ impl Comm {
                 // paired with. (ULFM semantics: every survivor reports
                 // the failure rather than hanging.)
                 if matches!(tag, TagSel::Tag(t) if is_collective_tag(t)) {
-                    if let Some(&dead) = group.iter().find(|&&w| transport.rank_failed(w)) {
+                    if let Some(&dead) = group.iter().find(|&&w| fabric.rank_failed(w)) {
                         return Some(Error::RankFailed {
                             rank: dead,
                             op: ctx(),
@@ -370,14 +365,14 @@ impl Comm {
                     // without a prior self-send correctly deadlocks).
                     SourceSel::Rank(r) if r == me => {}
                     SourceSel::Rank(r) => {
-                        if transport.rank_failed(group[r]) {
+                        if fabric.rank_failed(group[r]) {
                             return Some(Error::RankFailed {
                                 rank: group[r],
                                 op: ctx(),
                             });
                         }
-                        if transport.rank_alive(group[r]) {
-                            return transport.deadlocked(my_world).map(cycle(ctx()));
+                        if fabric.rank_alive(group[r]) {
+                            return fabric.deadlocked(my_world).map(cycle(ctx()));
                         }
                     }
                     SourceSel::Any => {
@@ -385,10 +380,10 @@ impl Comm {
                         // blocks this receive once no live sender is left.
                         let mut dead = None;
                         for &w in group.iter().filter(|&&w| w != my_world) {
-                            if transport.rank_failed(w) {
+                            if fabric.rank_failed(w) {
                                 dead.get_or_insert(w);
-                            } else if transport.rank_alive(w) {
-                                return transport.deadlocked(my_world).map(cycle(ctx()));
+                            } else if fabric.rank_alive(w) {
+                                return fabric.deadlocked(my_world).map(cycle(ctx()));
                             }
                         }
                         if let Some(rank) = dead {
@@ -400,7 +395,7 @@ impl Comm {
                     ctx().detail("every possible sender has finished"),
                 ))
             },
-            || transport.clear_wait(my_world),
+            || fabric.clear_wait(my_world),
         )?;
         self.trace_event(|| EventKind::MsgRecv {
             from: self.group[env.src],
@@ -459,7 +454,8 @@ impl Comm {
 
     /// Non-blocking probe for a matching message — `MPI_Iprobe`.
     pub fn iprobe(&self, src: impl Into<SourceSel>, tag: impl Into<TagSel>) -> Option<Status> {
-        self.transport.mailboxes[self.world_rank()]
+        self.fabric
+            .mailbox(self.world_rank())
             .probe(self.comm_id, src.into(), tag.into())
             .map(|(source, tag, count)| Status { source, tag, count })
     }
@@ -481,8 +477,8 @@ impl Comm {
     ) -> Result<impl Fn(u32) -> i32> {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
-        self.transport.fault_op(self.world_rank(), op)?;
-        if let Some(&dead) = self.group.iter().find(|&&w| self.transport.rank_failed(w)) {
+        self.fabric.fault_op(self.world_rank(), op)?;
+        if let Some(&dead) = self.group.iter().find(|&&w| self.fabric.rank_failed(w)) {
             return Err(Error::RankFailed {
                 rank: dead,
                 op: OpContext::new(op),
@@ -502,39 +498,14 @@ impl Comm {
     /// completes once every member has contributed, failed, or finished;
     /// failed and finished ranks can never contribute afterwards, so every
     /// caller observes the same final map.
-    fn agreement_round(
-        &self,
-        kind: u8,
-        value: u64,
-        op: &'static str,
-    ) -> Result<crate::world::AgreeSlot> {
+    fn agreement_round(&self, kind: u8, value: u64, op: &'static str) -> Result<AgreeSlot> {
         let seq = self.agree_seq.get();
         self.agree_seq.set(seq + 1);
-        self.transport.fault_op(self.world_rank(), op)?;
-        let key: crate::world::AgreeKey = (self.comm_id, kind, seq);
-        let my_world = self.world_rank();
-        let mut slots = self.transport.agreements.lock();
-        slots.entry(key).or_default().insert(my_world, value);
-        self.transport.agree_cv.notify_all();
-        loop {
-            let slot = slots.get(&key).expect("slot inserted above");
-            let done = self.group.iter().all(|&w| {
-                slot.contains_key(&w)
-                    || self.transport.rank_failed(w)
-                    || !self.transport.rank_alive(w)
-            });
-            if done {
-                // Slots are left in the map until the world is torn down:
-                // their number is bounded by the agreement calls made, and
-                // removal would race against members still reading.
-                return Ok(slot.clone());
-            }
-            // Contributions and failures both notify the condvar; the
-            // timeout is a backstop against missed wake-ups.
-            self.transport
-                .agree_cv
-                .wait_for(&mut slots, self.transport.poll_interval);
-        }
+        self.fabric.fault_op(self.world_rank(), op)?;
+        let key: AgreeKey = (self.comm_id, kind, seq);
+        Ok(self
+            .fabric
+            .agreement(key, self.world_rank(), value, &self.group))
     }
 
     /// Fault-tolerant agreement — ULFM's `MPI_Comm_agree`: returns the
@@ -578,10 +549,20 @@ impl Comm {
             local_rank,
             group: Arc::new(group),
             comm_id,
-            transport: Arc::clone(&self.transport),
+            fabric: Arc::clone(&self.fabric),
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
         })
+    }
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // Release this communicator's receive-side state (the mailbox's
+        // per-(comm, sender) dedup high-water marks and any stray queued
+        // envelopes), so worlds that split/dup/shrink in a loop don't
+        // accumulate entries for communicators that no longer exist.
+        self.fabric.prune_comm(self.world_rank(), self.comm_id);
     }
 }
 

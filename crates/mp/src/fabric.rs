@@ -1,0 +1,191 @@
+//! The transport seam: [`Fabric`] is everything a [`crate::Comm`] needs
+//! from the layer that moves envelopes between ranks.
+//!
+//! The in-process [`crate::World`] backend (ranks as threads, one shared
+//! [`crate::mailbox::Mailbox`] per rank) is one implementation; the
+//! `patternlets-net` crate provides a TCP implementation in which every
+//! rank is a separate OS process on a real socket mesh. Patternlet code
+//! never sees the difference: the [`Datatype`](crate::Datatype) layer
+//! already round-trips every payload through bytes, so the only thing a
+//! backend changes is *how* those bytes cross the rank boundary.
+//!
+//! A process that wants worlds built on a different backend installs a
+//! [`FabricProvider`] via [`install_fabric_provider`] (the `pmrun`
+//! launcher's workers do this at startup, keyed off environment
+//! variables). Every subsequent [`crate::WorldBuilder::run`] consults the
+//! provider; when it returns a fabric, the builder runs *this process's
+//! rank only* over that fabric instead of spawning rank threads.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use patternlets_core::Result;
+use patternlets_trace::Tracer;
+
+use crate::envelope::Envelope;
+use crate::fault::{ChaosDecision, FaultPlan};
+use crate::mailbox::Mailbox;
+use crate::world::{MsgEvent, WaitRecord};
+
+/// Key of one agreement round: (communicator id, operation kind,
+/// agreement sequence number on that communicator).
+pub type AgreeKey = (u64, u8, u64);
+
+/// Contributions to one agreement round, by world rank.
+pub type AgreeSlot = HashMap<usize, u64>;
+
+/// The transport backend under a world: delivery, liveness, failure
+/// marking, and the message-free agreement protocol.
+///
+/// All ranks in the methods below are **world** ranks. A backend hosting
+/// only one rank of the world (one process of a multi-process job) must
+/// support [`Fabric::mailbox`] for that rank alone; `Comm` only ever
+/// reads its own mailbox.
+pub trait Fabric: Send + Sync {
+    /// World size.
+    fn np(&self) -> usize;
+
+    /// Simulated (or real) hostname of `world_rank`.
+    fn rank_name(&self, world_rank: usize) -> &str;
+
+    /// How long blocked receives sleep between liveness re-checks.
+    fn poll_interval(&self) -> Duration;
+
+    /// The structured-event tracer, when tracing is on.
+    fn tracer(&self) -> Option<&Tracer>;
+
+    /// Record a delivery in the legacy message log (no-op for backends
+    /// that don't keep one).
+    fn record_msg(&self, event: MsgEvent);
+
+    /// Next per-sender sequence number for `me` (monotone per sender;
+    /// receivers deduplicate retransmissions by it).
+    fn next_send_seq(&self, me: usize) -> u64;
+
+    /// Count one message operation by `me` against the installed fault
+    /// plan; a kill trigger marks `me` failed (visible to peers) and
+    /// returns [`patternlets_core::Error::RankFailed`].
+    fn fault_op(&self, me: usize, op: &'static str) -> Result<()>;
+
+    /// Draw the chaos decisions for one transmission by `me`, or `None`
+    /// when no fault plan is installed.
+    fn chaos_decision(&self, me: usize) -> Option<ChaosDecision>;
+
+    /// Is `world_rank` still running (not finished, normally or not)?
+    fn rank_alive(&self, world_rank: usize) -> bool;
+
+    /// Has `world_rank` failed (fault-plan kill, panic, or — on network
+    /// backends — a dead peer process)?
+    fn rank_failed(&self, world_rank: usize) -> bool;
+
+    /// Raise `world_rank`'s failed flag and wake any waiters that must
+    /// re-examine membership.
+    fn mark_failed(&self, world_rank: usize);
+
+    /// Mark `me` finished (rank body returned). Network backends announce
+    /// this to peers so a closed connection afterwards reads as a normal
+    /// exit, not a failure.
+    fn finish(&self, me: usize);
+
+    /// Deliver `env` from `me` to `dest`'s mailbox, displaced past up to
+    /// `overtake` envelopes from other senders; when `duplicate`, a second
+    /// copy is transmitted (the receiving mailbox deduplicates). Returns
+    /// `true` if a duplicate copy was observably swallowed *on this call
+    /// path* (in-process backends only; network receivers swallow
+    /// duplicates on their own side).
+    fn deliver(
+        &self,
+        me: usize,
+        dest: usize,
+        env: Envelope,
+        overtake: usize,
+        duplicate: bool,
+    ) -> bool;
+
+    /// The mailbox of `world_rank`. Backends hosting a single rank may
+    /// panic for any other rank; `Comm` only reads its own.
+    fn mailbox(&self, world_rank: usize) -> &Mailbox;
+
+    /// Record that `me` is blocked on `record` (waits-for deadlock
+    /// detection). Backends without a global view may ignore this.
+    fn publish_wait(&self, me: usize, record: WaitRecord);
+
+    /// Record that `me` is no longer blocked.
+    fn clear_wait(&self, me: usize);
+
+    /// Waits-for deadlock verdict for `me`: a rendered stuck-set when the
+    /// backend can *prove* no future delivery can wake `me`, else `None`.
+    /// Backends without a global view must return `None` (never a false
+    /// positive); receives from finished ranks still resolve through
+    /// [`Fabric::rank_alive`].
+    fn deadlocked(&self, me: usize) -> Option<String>;
+
+    /// One blocking round of the message-free agreement protocol behind
+    /// `Comm::agree`/`Comm::shrink`: contribute `value` for `me` under
+    /// `key`, then wait until every member of `group` has contributed,
+    /// failed, or finished. Every caller observes the same final map.
+    fn agreement(&self, key: AgreeKey, me: usize, value: u64, group: &[usize]) -> AgreeSlot;
+
+    /// A communicator owned by `me` was dropped: release per-communicator
+    /// receive-side state (the mailbox's dedup high-water marks and any
+    /// stray queued envelopes for `comm_id`), so long-running worlds that
+    /// split/shrink in a loop don't accumulate per-communicator entries.
+    fn prune_comm(&self, me: usize, comm_id: u64);
+}
+
+/// What a rank's process should run for one world, as decided by the
+/// installed [`FabricProvider`].
+pub enum ProvidedWorld {
+    /// This process hosts world rank `rank`: run the body once over
+    /// `fabric` and return a one-element result vector.
+    Rank {
+        /// The world rank this process plays.
+        rank: usize,
+        /// The backend carrying this world's traffic.
+        fabric: Arc<dyn Fabric>,
+    },
+    /// This process takes no part in this world (its rank is outside the
+    /// world's size); the body is not run and the result vector is empty.
+    Skip,
+}
+
+/// Everything a [`FabricProvider`] needs to know about the world being
+/// built.
+#[derive(Clone)]
+pub struct WorldSpec {
+    /// Requested world size.
+    pub np: usize,
+    /// Ranks per simulated node (hostname grouping).
+    pub ranks_per_node: usize,
+    /// Installed fault plan, if any.
+    pub fault: Option<FaultPlan>,
+    /// Liveness re-check interval for blocked receives.
+    pub poll_interval: Duration,
+    /// Structured-event tracer, if tracing is on.
+    pub tracer: Option<Tracer>,
+    /// World-creation ordinal in this process (0 for the first world a
+    /// process builds, 1 for the next, ...). All processes of a job run
+    /// the same program, so ordinals line up across processes and serve
+    /// as the rendezvous epoch.
+    pub epoch: u64,
+}
+
+/// Decides, per world, whether to take over transport duties. Returning
+/// `Ok(None)` falls back to the in-process thread backend; errors abort
+/// the world build.
+pub type FabricProvider = dyn Fn(&WorldSpec) -> Result<Option<ProvidedWorld>> + Send + Sync;
+
+static PROVIDER: OnceLock<Box<FabricProvider>> = OnceLock::new();
+
+/// Install a process-wide [`FabricProvider`], consulted by every
+/// subsequent [`crate::WorldBuilder::run`]. Returns `false` (and leaves
+/// the existing provider in place) if one was already installed.
+pub fn install_fabric_provider(provider: Box<FabricProvider>) -> bool {
+    PROVIDER.set(provider).is_ok()
+}
+
+/// The installed provider, if any.
+pub(crate) fn fabric_provider() -> Option<&'static FabricProvider> {
+    PROVIDER.get().map(|b| b.as_ref())
+}

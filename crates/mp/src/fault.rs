@@ -112,8 +112,10 @@ impl FaultPlan {
     }
 }
 
-/// Per-world runtime state for an installed [`FaultPlan`].
-pub(crate) struct FaultState {
+/// Per-world runtime state for an installed [`FaultPlan`]. Public so
+/// network backends (which host one rank's slice of a world) can run the
+/// same seeded chaos and kill triggers the thread backend does.
+pub struct FaultState {
     plan: FaultPlan,
     /// Per-rank operation counters, for kill triggers.
     op_counts: Vec<AtomicU64>,
@@ -123,7 +125,7 @@ pub(crate) struct FaultState {
 }
 
 /// What the chaos layer decided for one transmission.
-pub(crate) struct ChaosDecision {
+pub struct ChaosDecision {
     /// Sleep this long in the sender thread before delivering.
     pub delay: Duration,
     /// Number of lost transmissions before the one that gets through
@@ -136,7 +138,8 @@ pub(crate) struct ChaosDecision {
 }
 
 impl FaultState {
-    pub(crate) fn new(plan: FaultPlan, np: usize) -> Self {
+    /// Runtime state for `plan` over a world of `np` ranks.
+    pub fn new(plan: FaultPlan, np: usize) -> Self {
         FaultState {
             op_counts: (0..np).map(|_| AtomicU64::new(0)).collect(),
             rngs: (0..np)
@@ -153,7 +156,7 @@ impl FaultState {
     /// Count one message operation by world rank `me`; returns the
     /// `RankFailed` error if the plan kills `me` at this point (or already
     /// has).
-    pub(crate) fn record_op(&self, me: usize, op: &'static str) -> Result<()> {
+    pub fn record_op(&self, me: usize, op: &'static str) -> Result<()> {
         let count = self.op_counts[me].fetch_add(1, Ordering::SeqCst);
         for kill in &self.plan.kills {
             if kill.rank == me && count >= kill.after_ops {
@@ -168,7 +171,7 @@ impl FaultState {
     }
 
     /// Draw the chaos decisions for one transmission by `sender`.
-    pub(crate) fn decide(&self, sender: usize) -> ChaosDecision {
+    pub fn decide(&self, sender: usize) -> ChaosDecision {
         let mut rng = self.rngs[sender].lock();
         let delay = match self.plan.delay_up_to {
             Some(max) if max > Duration::ZERO => {

@@ -45,6 +45,7 @@ pub mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
+pub mod fabric;
 pub mod fault;
 pub mod mailbox;
 pub mod request;
@@ -54,6 +55,7 @@ pub mod world;
 pub use comm::Comm;
 pub use datatype::Datatype;
 pub use envelope::Envelope;
+pub use fabric::{install_fabric_provider, Fabric, FabricProvider, ProvidedWorld, WorldSpec};
 pub use fault::FaultPlan;
 pub use request::{RecvRequest, SendRequest};
 pub use status::{SourceSel, Status, TagSel, ANY_SOURCE, ANY_TAG};

@@ -151,6 +151,23 @@ impl Mailbox {
             .find(|env| env.comm_id == comm_id && src.matches(env.src) && tag.matches(env.tag))
             .map(|env| (env.src, env.tag, env.count))
     }
+
+    /// Drop all state belonging to `comm_id`: the per-sender dedup
+    /// high-water marks and any still-queued envelopes. Called when the
+    /// owning rank frees a communicator — without this, the `seen` map
+    /// grows by one entry per `(communicator, sender)` pair for the life
+    /// of the world, a real leak for programs that split/shrink in a loop.
+    pub fn prune_comm(&self, comm_id: u64) {
+        let mut inner = self.inner.lock();
+        inner.seen.retain(|&(cid, _), _| cid != comm_id);
+        inner.queue.retain(|env| env.comm_id != comm_id);
+    }
+
+    /// Number of dedup high-water-mark entries currently held
+    /// (diagnostics; exercised by the leak-regression tests).
+    pub fn seen_entries(&self) -> usize {
+        self.inner.lock().seen.len()
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +334,25 @@ mod tests {
             (0, 1),
             "non-overtaking survives reorder"
         );
+    }
+
+    #[test]
+    fn prune_comm_drops_seen_marks_and_stray_envelopes() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 0)); // comm 0
+        let mut other = env(1, 1, 0);
+        other.comm_id = 42;
+        mb.deliver(other);
+        assert_eq!(mb.seen_entries(), 2);
+        assert_eq!(mb.len(), 2);
+        mb.prune_comm(42);
+        assert_eq!(mb.seen_entries(), 1, "comm 42 high-water mark released");
+        assert_eq!(mb.len(), 1, "comm 42 stray envelope released");
+        // Comm 0 traffic is untouched and still receivable.
+        let e = mb
+            .recv_match(0, ANY_SOURCE, ANY_TAG, POLL, || None, || {})
+            .unwrap();
+        assert_eq!(e.comm_id, 0);
     }
 
     #[test]

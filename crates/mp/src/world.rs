@@ -24,7 +24,9 @@ use patternlets_trace::Tracer;
 use parking_lot::Mutex as PlMutex;
 
 use crate::comm::Comm;
-use crate::fault::{FaultPlan, FaultState};
+use crate::envelope::Envelope;
+use crate::fabric::{AgreeKey, AgreeSlot, Fabric, ProvidedWorld, WorldSpec};
+use crate::fault::{ChaosDecision, FaultPlan, FaultState};
 use crate::mailbox::Mailbox;
 use crate::status::{SourceSel, TagSel};
 
@@ -71,13 +73,6 @@ pub(crate) struct Transport {
     pub(crate) agree_cv: Condvar,
 }
 
-/// Key of one agreement round: (communicator, operation kind, collective
-/// sequence number on that communicator).
-pub(crate) type AgreeKey = (u64, u8, u64);
-
-/// Contributions to one agreement round, by world rank.
-pub(crate) type AgreeSlot = HashMap<usize, u64>;
-
 /// One observed message, for traffic tracing (teaching: count the
 /// messages each collective algorithm really sends).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,9 +97,11 @@ impl MsgEvent {
     }
 }
 
-/// A blocked receive, as seen by the deadlock detector.
+/// A blocked receive, as seen by the deadlock detector. Published to the
+/// [`Fabric`] by every blocking receive; backends with a global view (the
+/// in-process one) feed it to a waits-for fixpoint, others may ignore it.
 #[derive(Clone)]
-pub(crate) struct WaitRecord {
+pub struct WaitRecord {
     /// Communicator the receive is posted on.
     pub comm_id: u64,
     /// The receive's source selector (communicator-local numbering).
@@ -327,6 +324,143 @@ impl Transport {
         }
         Ok(())
     }
+
+    /// One blocking agreement round through shared runtime state (the
+    /// in-process realisation of [`Fabric::agreement`]).
+    pub(crate) fn agreement(
+        &self,
+        key: AgreeKey,
+        me: usize,
+        value: u64,
+        group: &[usize],
+    ) -> AgreeSlot {
+        let mut slots = self.agreements.lock();
+        slots.entry(key).or_default().insert(me, value);
+        self.agree_cv.notify_all();
+        loop {
+            let slot = slots.get(&key).expect("slot inserted above");
+            let done = group
+                .iter()
+                .all(|&w| slot.contains_key(&w) || self.rank_failed(w) || !self.rank_alive(w));
+            if done {
+                // Slots are left in the map until the world is torn down:
+                // their number is bounded by the agreement calls made, and
+                // removal would race against members still reading.
+                return slot.clone();
+            }
+            // Contributions and failures both notify the condvar; the
+            // timeout is a backstop against missed wake-ups.
+            self.agree_cv.wait_for(&mut slots, self.poll_interval);
+        }
+    }
+}
+
+impl Fabric for Transport {
+    fn np(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn rank_name(&self, world_rank: usize) -> &str {
+        &self.names[world_rank]
+    }
+
+    fn poll_interval(&self) -> Duration {
+        self.poll_interval
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    fn record_msg(&self, event: MsgEvent) {
+        Transport::record_msg(self, event);
+    }
+
+    fn next_send_seq(&self, me: usize) -> u64 {
+        self.send_seqs[me].fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fault_op(&self, me: usize, op: &'static str) -> Result<()> {
+        Transport::fault_op(self, me, op)
+    }
+
+    fn chaos_decision(&self, me: usize) -> Option<ChaosDecision> {
+        self.fault.as_ref().map(|fault| fault.decide(me))
+    }
+
+    fn rank_alive(&self, world_rank: usize) -> bool {
+        Transport::rank_alive(self, world_rank)
+    }
+
+    fn rank_failed(&self, world_rank: usize) -> bool {
+        Transport::rank_failed(self, world_rank)
+    }
+
+    fn mark_failed(&self, world_rank: usize) {
+        Transport::mark_failed(self, world_rank);
+    }
+
+    fn finish(&self, me: usize) {
+        self.finished[me].store(true, Ordering::SeqCst);
+        self.agree_cv.notify_all();
+    }
+
+    fn deliver(
+        &self,
+        _me: usize,
+        dest: usize,
+        env: Envelope,
+        overtake: usize,
+        duplicate: bool,
+    ) -> bool {
+        // Order matters: bump progress BEFORE the delivery becomes
+        // matchable, so any deadlock verdict computed across this delivery
+        // sees the progress change and rejects itself.
+        let mailbox = &self.mailboxes[dest];
+        self.progress.fetch_add(1, Ordering::SeqCst);
+        if duplicate {
+            mailbox.deliver_displaced(env.clone(), overtake);
+            // The second copy is swallowed by the receiver's dedup.
+            !mailbox.deliver_displaced(env, 0)
+        } else {
+            mailbox.deliver_displaced(env, overtake);
+            false
+        }
+    }
+
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        &self.mailboxes[world_rank]
+    }
+
+    fn publish_wait(&self, me: usize, record: WaitRecord) {
+        Transport::publish_wait(self, me, record);
+    }
+
+    fn clear_wait(&self, me: usize) {
+        Transport::clear_wait(self, me);
+    }
+
+    fn deadlocked(&self, me: usize) -> Option<String> {
+        Transport::deadlocked(self, me)
+    }
+
+    fn agreement(&self, key: AgreeKey, me: usize, value: u64, group: &[usize]) -> AgreeSlot {
+        Transport::agreement(self, key, me, value, group)
+    }
+
+    fn prune_comm(&self, me: usize, comm_id: u64) {
+        self.mailboxes[me].prune_comm(comm_id);
+    }
+}
+
+/// World-creation ordinal for this process — see [`WorldSpec::epoch`].
+/// Counts every provider-consulted world build (including thread
+/// fallbacks and skips), so sibling processes running the same program
+/// stay aligned on which world a rendezvous belongs to.
+static WORLD_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn next_world_epoch() -> u64 {
+    WORLD_EPOCH.fetch_add(1, Ordering::SeqCst)
 }
 
 /// Configures and launches a world of ranks.
@@ -418,12 +552,67 @@ impl WorldBuilder {
 
     /// Launch the world: run `f` in every rank, return results in rank
     /// order. Like `mpirun`, all ranks execute the same program.
+    ///
+    /// When a process-wide [`FabricProvider`](crate::fabric::FabricProvider)
+    /// is installed (multi-process launch under `pmrun`), the provider may
+    /// take over transport duties: this process then runs *its own world
+    /// rank only* over the provided [`Fabric`], and the returned vector
+    /// holds that single rank's result (or nothing, if this process's rank
+    /// is outside the world).
     pub fn run<R, F>(&self, f: F) -> Result<Vec<R>>
     where
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
+        if self.np == 0 {
+            return Err(Error::InvalidConfig("world needs at least one rank".into()));
+        }
+        if let Some(provider) = crate::fabric::fabric_provider() {
+            let spec = WorldSpec {
+                np: self.np,
+                ranks_per_node: self.ranks_per_node,
+                fault: self.fault.clone(),
+                poll_interval: self.poll_interval,
+                tracer: self.tracer.clone(),
+                epoch: next_world_epoch(),
+            };
+            if let Some(world) = provider(&spec)? {
+                return self.run_provided(world, f);
+            }
+        }
         self.run_inner(f).map(|(results, _)| results)
+    }
+
+    /// Run this process's single rank of a provider-built world.
+    fn run_provided<R, F>(&self, world: ProvidedWorld, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        let ProvidedWorld::Rank { rank, fabric } = world else {
+            return Ok(Vec::new());
+        };
+        // Same contract as the thread backend's guard: announce finish
+        // even if `f` panics (so peers see a failure, not a hang), and
+        // mark the rank failed on panic so they see `RankFailed`.
+        struct FinishGuard {
+            fabric: Arc<dyn Fabric>,
+            rank: usize,
+        }
+        impl Drop for FinishGuard {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.fabric.mark_failed(self.rank);
+                }
+                self.fabric.finish(self.rank);
+            }
+        }
+        let _guard = FinishGuard {
+            fabric: Arc::clone(&fabric),
+            rank,
+        };
+        let comm = Comm::over_fabric(rank, fabric);
+        Ok(vec![f(comm)])
     }
 
     fn run_inner<R, F>(&self, f: F) -> Result<(Vec<R>, Arc<Transport>)>
@@ -471,7 +660,7 @@ impl WorldBuilder {
                         transport: &transport,
                         rank,
                     };
-                    let comm = Comm::new(rank, Arc::clone(&transport));
+                    let comm = Comm::over_fabric(rank, Arc::clone(&transport) as Arc<dyn Fabric>);
                     let r = f(comm);
                     *slot.lock() = Some(r);
                 });

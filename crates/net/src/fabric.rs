@@ -1,0 +1,739 @@
+//! The TCP fabric: one process's slice of a world, over a socket mesh.
+//!
+//! Every participating rank binds a loopback listener, registers it with
+//! the job's rendezvous server, and — once the full address table is back
+//! — establishes one TCP connection per peer (the higher rank dials the
+//! lower rank's listener, so each pair gets exactly one socket). All
+//! traffic to a peer travels on that connection as [`Frame`]s; TCP's
+//! per-stream ordering carries MPI's non-overtaking guarantee across the
+//! process boundary exactly as the in-process queue order does.
+//!
+//! ## Failure detection
+//!
+//! Ranks announce a normal exit with a `Finish` frame before shutting
+//! their write side down, so EOF-after-Finish reads as a clean exit. EOF
+//! *without* Finish — the peer process was killed — marks the peer
+//! failed, surfacing to the application as the same
+//! [`Error::RankFailed`](patternlets_core::Error::RankFailed) the
+//! fault-injection layer produces; the ULFM-style `agree`/`shrink`
+//! recovery path works unchanged across processes. A heartbeat thread
+//! additionally pings every peer and fails those silent past
+//! [`PEER_TIMEOUT`] (a half-open connection on a real network; nearly
+//! unreachable on loopback).
+//!
+//! ## What the thread backend has that this one doesn't
+//!
+//! The waits-for deadlock *detector* needs a global view of every rank's
+//! blocked receive; a process only sees its own. [`Fabric::deadlocked`]
+//! therefore always answers `None` here (never a false positive) — a
+//! genuinely cyclic deadlock hangs under `pmrun` just as it would under
+//! real MPI, while the common classroom case (receiving from a rank that
+//! exited) still resolves, because `Finish` frames feed the same
+//! every-sender-finished check the thread backend uses.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use patternlets_core::{Error, Result};
+use patternlets_mp::envelope::Envelope;
+use patternlets_mp::fabric::{AgreeKey, AgreeSlot, Fabric, WorldSpec};
+use patternlets_mp::fault::{ChaosDecision, FaultState};
+use patternlets_mp::mailbox::Mailbox;
+use patternlets_mp::world::{MsgEvent, WaitRecord};
+use patternlets_trace::Tracer;
+
+use crate::frame::{encode_frame, read_frame, Frame};
+use crate::rendezvous;
+
+/// How often the heartbeat thread pings every live peer.
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+
+/// A peer silent this long (no frame, no ping) while not finished is
+/// declared failed. EOF detection fires far earlier for killed processes;
+/// this backstop only matters for half-open connections.
+pub const PEER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `TYPE_NAME`s of the built-in [`patternlets_mp::Datatype`] impls, used
+/// to intern wire type names back into `&'static str` without leaking.
+const KNOWN_TYPE_NAMES: &[&str] = &[
+    "i32",
+    "i64",
+    "u32",
+    "u64",
+    "f32",
+    "f64",
+    "u8",
+    "bool",
+    "usize",
+    "String",
+    "(T, usize)",
+];
+
+/// Intern a wire type name. Built-in names map to their static constants;
+/// unknown (user-defined `Datatype`) names are leaked once and cached, so
+/// repeated traffic of the same type allocates nothing.
+fn intern_type_name(name: &str) -> &'static str {
+    if let Some(known) = KNOWN_TYPE_NAMES.iter().find(|&&k| k == name) {
+        return known;
+    }
+    static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock();
+    if let Some(cached) = extra.iter().find(|&&k| k == name) {
+        return cached;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
+struct Inner {
+    me: usize,
+    np: usize,
+    names: Vec<String>,
+    poll_interval: Duration,
+    tracer: Option<Tracer>,
+    fault: Option<FaultState>,
+    /// This process's rank's mailbox — the only one a `Comm` here reads.
+    mailbox: Mailbox,
+    send_seq: AtomicU64,
+    finished: Vec<AtomicBool>,
+    failed: Vec<AtomicBool>,
+    /// Write sides, indexed by peer world rank (`None` at `me`).
+    peers: Vec<Option<Mutex<TcpStream>>>,
+    /// Milliseconds (since `start`) each peer was last heard from.
+    last_heard: Vec<AtomicU64>,
+    start: Instant,
+    agreements: Mutex<HashMap<AgreeKey, AgreeSlot>>,
+    agree_cv: Condvar,
+    /// Raised by `finish`: background threads stop writing.
+    closing: AtomicBool,
+}
+
+impl Inner {
+    fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Write a pre-encoded record to one peer. `Ok(false)` when the write
+    /// failed against a not-yet-finished peer (caller decides whether
+    /// that's a failure verdict).
+    fn write_to(&self, peer: usize, record: &[u8]) -> bool {
+        use std::io::Write;
+        let Some(stream) = &self.peers[peer] else {
+            return true;
+        };
+        let mut stream = stream.lock();
+        stream.write_all(record).is_ok()
+    }
+
+    /// Send `frame` to every peer; peers whose connection is dead and who
+    /// never announced Finish are marked failed (local verdict — every
+    /// process discovers a dead peer through its own socket).
+    fn broadcast(&self, frame: &Frame) {
+        let record = encode_frame(frame);
+        let mut dead = Vec::new();
+        for peer in 0..self.np {
+            if peer == self.me || self.peers[peer].is_none() {
+                continue;
+            }
+            if !self.write_to(peer, &record) && !self.finished[peer].load(Ordering::SeqCst) {
+                dead.push(peer);
+            }
+        }
+        for peer in dead {
+            self.note_failed(peer);
+        }
+    }
+
+    /// Record a failure verdict locally and wake everything that must
+    /// re-examine membership. Does not gossip: each process reaches its
+    /// own verdict through its own connection to the dead peer.
+    fn note_failed(&self, rank: usize) {
+        if self.failed[rank].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _lock = self.agreements.lock();
+        self.agree_cv.notify_all();
+    }
+
+    fn handle_frame(&self, peer: usize, frame: Frame) {
+        self.last_heard[peer].store(self.elapsed_ms(), Ordering::Relaxed);
+        match frame {
+            Frame::Env {
+                comm_id,
+                src,
+                tag,
+                type_name,
+                count,
+                seq,
+                needs_ack,
+                overtake,
+                payload,
+            } => {
+                let env = Envelope {
+                    comm_id,
+                    src: src as usize,
+                    tag,
+                    type_name: intern_type_name(&type_name),
+                    count: count as usize,
+                    payload: bytes::Bytes::from(payload),
+                    seq,
+                    needs_ack,
+                };
+                self.mailbox.deliver_displaced(env, overtake as usize);
+            }
+            Frame::Finish { rank } => {
+                let rank = rank as usize;
+                if rank < self.np {
+                    self.finished[rank].store(true, Ordering::SeqCst);
+                    let _lock = self.agreements.lock();
+                    self.agree_cv.notify_all();
+                }
+            }
+            Frame::Failed { rank } => {
+                let rank = rank as usize;
+                if rank < self.np {
+                    self.note_failed(rank);
+                }
+            }
+            Frame::Agree {
+                comm_id,
+                kind,
+                seq,
+                rank,
+                value,
+            } => {
+                let mut slots = self.agreements.lock();
+                slots
+                    .entry((comm_id, kind, seq))
+                    .or_default()
+                    .insert(rank as usize, value);
+                self.agree_cv.notify_all();
+            }
+            // Heartbeats refresh `last_heard` above; a stray handshake
+            // frame after setup carries nothing actionable.
+            Frame::Ping | Frame::Hello { .. } | Frame::Register { .. } | Frame::Table { .. } => {}
+        }
+    }
+
+    /// One peer connection's read loop: frames until EOF. EOF (or a read
+    /// error) from a peer that never said Finish is a death verdict.
+    fn reader_loop(&self, peer: usize, mut stream: TcpStream) {
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(frame)) => self.handle_frame(peer, frame),
+                Ok(None) | Err(_) => {
+                    if !self.finished[peer].load(Ordering::SeqCst) {
+                        self.note_failed(peer);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ping every peer on a cadence; fail peers silent past the timeout.
+    fn heartbeat_loop(&self) {
+        let ping = encode_frame(&Frame::Ping);
+        loop {
+            std::thread::sleep(HEARTBEAT_EVERY);
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = self.elapsed_ms();
+            let mut dead = Vec::new();
+            for peer in 0..self.np {
+                if peer == self.me
+                    || self.peers[peer].is_none()
+                    || self.finished[peer].load(Ordering::SeqCst)
+                    || self.failed[peer].load(Ordering::SeqCst)
+                {
+                    continue;
+                }
+                if !self.write_to(peer, &ping) {
+                    dead.push(peer);
+                    continue;
+                }
+                let heard = self.last_heard[peer].load(Ordering::Relaxed);
+                if now.saturating_sub(heard) > PEER_TIMEOUT.as_millis() as u64 {
+                    dead.push(peer);
+                }
+            }
+            for peer in dead {
+                if !self.closing.load(Ordering::SeqCst) {
+                    self.note_failed(peer);
+                }
+            }
+        }
+    }
+}
+
+/// One process's handle on a TCP-meshed world: implements [`Fabric`] for
+/// the single rank this process hosts.
+pub struct TcpFabric {
+    inner: Arc<Inner>,
+}
+
+impl TcpFabric {
+    /// Join world `spec` as rank `me`: bind a listener, rendezvous through
+    /// `server`, and establish the peer mesh. Blocks until every
+    /// participating rank is connected.
+    pub fn establish(server: &str, me: usize, spec: &WorldSpec) -> Result<TcpFabric> {
+        let np = spec.np;
+        let sock_err = |what: &str| {
+            let what = what.to_string();
+            move |e: std::io::Error| Error::Codec(format!("{what}: {e}"))
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(sock_err("bind listener"))?;
+        let my_addr = listener
+            .local_addr()
+            .map_err(sock_err("listener address"))?
+            .to_string();
+        let table = rendezvous::register(server, spec.epoch, me, np, &my_addr)?;
+
+        // One connection per peer: dial every lower rank, accept every
+        // higher one. Dials can't race the listeners — every rank bound
+        // its listener before registering, and the table only exists once
+        // everyone registered.
+        let mut streams: Vec<Option<TcpStream>> = (0..np).map(|_| None).collect();
+        for (peer, addr) in table.iter().enumerate().take(me) {
+            let mut stream = TcpStream::connect(addr)
+                .map_err(sock_err(&format!("dial rank {peer} at {addr}")))?;
+            crate::frame::write_frame(
+                &mut stream,
+                &Frame::Hello {
+                    epoch: spec.epoch,
+                    rank: me as u64,
+                },
+            )
+            .map_err(sock_err(&format!("handshake with rank {peer}")))?;
+            streams[peer] = Some(stream);
+        }
+        for _ in me + 1..np {
+            let (mut stream, _) = listener.accept().map_err(sock_err("accept peer"))?;
+            match read_frame(&mut stream)? {
+                Some(Frame::Hello { epoch, rank }) if epoch == spec.epoch => {
+                    let rank = rank as usize;
+                    if rank <= me || rank >= np || streams[rank].is_some() {
+                        return Err(Error::Codec(format!("bad handshake from rank {rank}")));
+                    }
+                    streams[rank] = Some(stream);
+                }
+                other => {
+                    return Err(Error::Codec(format!(
+                        "expected Hello for epoch {}, got {other:?}",
+                        spec.epoch
+                    )));
+                }
+            }
+        }
+        for stream in streams.iter().flatten() {
+            let _ = stream.set_nodelay(true);
+        }
+
+        let read_halves: Vec<Option<TcpStream>> = streams
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .map(|s| s.try_clone().expect("clone established stream"))
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            me,
+            np,
+            names: (0..np)
+                .map(|r| format!("node-{:02}", r / spec.ranks_per_node + 1))
+                .collect(),
+            poll_interval: spec.poll_interval,
+            tracer: spec.tracer.clone(),
+            fault: spec.fault.clone().map(|plan| FaultState::new(plan, np)),
+            mailbox: Mailbox::new(),
+            send_seq: AtomicU64::new(0),
+            finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            peers: streams.into_iter().map(|s| s.map(Mutex::new)).collect(),
+            last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+            agreements: Mutex::new(HashMap::new()),
+            agree_cv: Condvar::new(),
+            closing: AtomicBool::new(false),
+        });
+        for (peer, stream) in read_halves.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("net-reader-{peer}"))
+                .spawn(move || inner.reader_loop(peer, stream))
+                .map_err(sock_err("spawn reader"))?;
+        }
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("net-heartbeat".into())
+                .spawn(move || inner.heartbeat_loop())
+                .map_err(sock_err("spawn heartbeat"))?;
+        }
+        Ok(TcpFabric { inner })
+    }
+
+    /// Abruptly close every peer connection without announcing Finish —
+    /// what a killed process looks like from the outside. Test/diagnostic
+    /// aid for exercising the failure-detection path in-process.
+    pub fn sever(&self) {
+        self.inner.closing.store(true, Ordering::SeqCst);
+        for stream in self.inner.peers.iter().flatten() {
+            let _ = stream.lock().shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Fabric for TcpFabric {
+    fn np(&self) -> usize {
+        self.inner.np
+    }
+
+    fn rank_name(&self, world_rank: usize) -> &str {
+        &self.inner.names[world_rank]
+    }
+
+    fn poll_interval(&self) -> Duration {
+        self.inner.poll_interval
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.inner.tracer.as_ref()
+    }
+
+    fn record_msg(&self, _event: MsgEvent) {
+        // The legacy message log backs `run_traced`, which is pinned to
+        // the thread backend; structured tracing covers the network path.
+    }
+
+    fn next_send_seq(&self, _me: usize) -> u64 {
+        self.inner.send_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fault_op(&self, me: usize, op: &'static str) -> Result<()> {
+        if let Some(fault) = &self.inner.fault {
+            if let Err(e) = fault.record_op(me, op) {
+                self.mark_failed(me);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn chaos_decision(&self, me: usize) -> Option<ChaosDecision> {
+        self.inner.fault.as_ref().map(|fault| fault.decide(me))
+    }
+
+    fn rank_alive(&self, world_rank: usize) -> bool {
+        !self.inner.finished[world_rank].load(Ordering::SeqCst)
+            && !self.inner.failed[world_rank].load(Ordering::SeqCst)
+    }
+
+    fn rank_failed(&self, world_rank: usize) -> bool {
+        self.inner.failed[world_rank].load(Ordering::SeqCst)
+    }
+
+    fn mark_failed(&self, world_rank: usize) {
+        let first_verdict = !self.inner.failed[world_rank].swap(true, Ordering::SeqCst);
+        {
+            let _lock = self.inner.agreements.lock();
+            self.inner.agree_cv.notify_all();
+        }
+        // Own failures (fault-plan kill, panic) are announced so every
+        // peer converges without waiting for a timeout. Verdicts *about*
+        // peers stay local — each process discovers a dead peer through
+        // its own connection.
+        if world_rank == self.inner.me && first_verdict {
+            self.inner.broadcast(&Frame::Failed {
+                rank: world_rank as u64,
+            });
+        }
+    }
+
+    fn finish(&self, me: usize) {
+        self.inner.finished[me].store(true, Ordering::SeqCst);
+        {
+            let _lock = self.inner.agreements.lock();
+            self.inner.agree_cv.notify_all();
+        }
+        self.inner.closing.store(true, Ordering::SeqCst);
+        self.inner.broadcast(&Frame::Finish { rank: me as u64 });
+        // Half-close every connection: peers read our Finish, then a
+        // clean EOF, and their reader threads wind down; ours exit when
+        // the peers do the same. No sockets or threads outlive the world.
+        for stream in self.inner.peers.iter().flatten() {
+            let _ = stream.lock().shutdown(Shutdown::Write);
+        }
+    }
+
+    fn deliver(
+        &self,
+        _me: usize,
+        dest: usize,
+        env: Envelope,
+        overtake: usize,
+        duplicate: bool,
+    ) -> bool {
+        if dest == self.inner.me {
+            let mailbox = &self.inner.mailbox;
+            if duplicate {
+                mailbox.deliver_displaced(env.clone(), overtake);
+                return !mailbox.deliver_displaced(env, 0);
+            }
+            mailbox.deliver_displaced(env, overtake);
+            return false;
+        }
+        let record = encode_frame(&Frame::Env {
+            comm_id: env.comm_id,
+            src: env.src as u64,
+            tag: env.tag,
+            type_name: env.type_name.to_string(),
+            count: env.count as u64,
+            seq: env.seq,
+            needs_ack: env.needs_ack,
+            overtake: overtake as u32,
+            payload: env.payload.to_vec(),
+        });
+        let mut ok = self.inner.write_to(dest, &record);
+        if ok && duplicate {
+            // Transmit a second copy; the receiving mailbox dedups it, so
+            // the swallow isn't observable on this side.
+            ok = self.inner.write_to(dest, &record);
+        }
+        if !ok && !self.inner.finished[dest].load(Ordering::SeqCst) {
+            self.inner.note_failed(dest);
+        }
+        false
+    }
+
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        assert_eq!(
+            world_rank, self.inner.me,
+            "a TCP fabric only hosts its own rank's mailbox"
+        );
+        &self.inner.mailbox
+    }
+
+    fn publish_wait(&self, _me: usize, _record: WaitRecord) {
+        // No global view: wait records have no cross-process audience.
+    }
+
+    fn clear_wait(&self, _me: usize) {}
+
+    fn deadlocked(&self, _me: usize) -> Option<String> {
+        // A process can't prove a cross-process waits-for cycle; never
+        // report a false positive. Finished-sender deadlocks still
+        // resolve via `rank_alive` (Finish frames).
+        None
+    }
+
+    fn agreement(&self, key: AgreeKey, me: usize, value: u64, group: &[usize]) -> AgreeSlot {
+        {
+            let mut slots = self.inner.agreements.lock();
+            slots.entry(key).or_default().insert(me, value);
+        }
+        self.inner.broadcast(&Frame::Agree {
+            comm_id: key.0,
+            kind: key.1,
+            seq: key.2,
+            rank: me as u64,
+            value,
+        });
+        let mut slots = self.inner.agreements.lock();
+        loop {
+            let slot = slots.entry(key).or_default();
+            let done = group.iter().all(|&w| {
+                slot.contains_key(&w)
+                    || self.inner.failed[w].load(Ordering::SeqCst)
+                    || self.inner.finished[w].load(Ordering::SeqCst)
+            });
+            if done {
+                return slot.clone();
+            }
+            self.inner
+                .agree_cv
+                .wait_for(&mut slots, self.inner.poll_interval);
+        }
+    }
+
+    fn prune_comm(&self, _me: usize, comm_id: u64) {
+        self.inner.mailbox.prune_comm(comm_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternlets_mp::status::{SourceSel, TagSel};
+
+    fn spec(np: usize, epoch: u64) -> WorldSpec {
+        WorldSpec {
+            np,
+            ranks_per_node: 1,
+            fault: None,
+            poll_interval: Duration::from_millis(5),
+            tracer: None,
+            epoch,
+        }
+    }
+
+    /// Establish a full mesh of `np` fabrics inside one test process —
+    /// each plays a different world rank, exactly as `np` processes would.
+    fn mesh(np: usize, epoch: u64) -> Vec<TcpFabric> {
+        let server = rendezvous::serve().unwrap().to_string();
+        let handles: Vec<_> = (0..np)
+            .map(|me| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    TcpFabric::establish(&server, me, &spec(np, epoch)).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn env(comm_id: u64, src: usize, tag: i32, seq: u64) -> Envelope {
+        Envelope {
+            comm_id,
+            src,
+            tag,
+            type_name: "i64",
+            count: 1,
+            payload: bytes::Bytes::from(vec![7, 0, 0, 0, 0, 0, 0, 0]),
+            seq,
+            needs_ack: false,
+        }
+    }
+
+    #[test]
+    fn envelope_crosses_the_socket_and_matches() {
+        let fabrics = mesh(2, 0);
+        fabrics[0].deliver(0, 1, env(0, 0, 5, 0), 0, false);
+        let got = fabrics[1]
+            .mailbox(1)
+            .recv_match(
+                0,
+                SourceSel::Rank(0),
+                TagSel::Tag(5),
+                Duration::from_millis(5),
+                || None,
+                || {},
+            )
+            .unwrap();
+        assert_eq!(got.tag, 5);
+        assert_eq!(got.type_name, "i64");
+        assert_eq!(got.payload.len(), 8);
+        for f in &fabrics {
+            f.finish(f.inner.me);
+        }
+    }
+
+    #[test]
+    fn duplicate_transmissions_dedup_on_the_receiver() {
+        let fabrics = mesh(2, 1);
+        fabrics[0].deliver(0, 1, env(0, 0, 9, 0), 0, true);
+        fabrics[0].deliver(0, 1, env(0, 0, 9, 1), 0, false);
+        // Both messages arrive exactly once, in order.
+        for want_seq in [0, 1] {
+            let got = fabrics[1]
+                .mailbox(1)
+                .recv_match(
+                    0,
+                    SourceSel::Rank(0),
+                    TagSel::Tag(9),
+                    Duration::from_millis(5),
+                    || None,
+                    || {},
+                )
+                .unwrap();
+            assert_eq!(got.seq, want_seq);
+        }
+        assert!(fabrics[1].mailbox(1).is_empty(), "duplicate was swallowed");
+        for f in &fabrics {
+            f.finish(f.inner.me);
+        }
+    }
+
+    #[test]
+    fn finish_reads_as_clean_exit_not_failure() {
+        let fabrics = mesh(2, 2);
+        fabrics[0].finish(0);
+        // Rank 1 sees rank 0 finished (not failed) within a poll or two.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fabrics[1].rank_alive(0) {
+            assert!(Instant::now() < deadline, "Finish frame never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!fabrics[1].rank_failed(0), "clean exit must not be failure");
+        fabrics[1].finish(1);
+    }
+
+    #[test]
+    fn abrupt_disconnect_marks_the_peer_failed() {
+        let fabrics = mesh(3, 3);
+        fabrics[0].sever();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for survivor in [1, 2] {
+            while !fabrics[survivor].rank_failed(0) {
+                assert!(Instant::now() < deadline, "EOF verdict never arrived");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        assert!(!fabrics[1].rank_failed(2), "survivors stay unfailed");
+        for f in &fabrics[1..] {
+            f.finish(f.inner.me);
+        }
+    }
+
+    #[test]
+    fn agreement_completes_across_the_mesh() {
+        let fabrics = mesh(3, 4);
+        let group = [0, 1, 2];
+        let handles: Vec<_> = fabrics
+            .iter()
+            .enumerate()
+            .map(|(me, f)| {
+                std::thread::spawn({
+                    let inner = Arc::clone(&f.inner);
+                    move || {
+                        let f = TcpFabric { inner };
+                        f.agreement((0, 0, 0), me, me as u64 + 10, &group)
+                    }
+                })
+            })
+            .collect();
+        for (me, h) in handles.into_iter().enumerate() {
+            let slot = h.join().unwrap();
+            assert_eq!(slot.len(), 3, "rank {me} saw all contributions");
+            assert_eq!(slot[&2], 12);
+        }
+        for f in &fabrics {
+            f.finish(f.inner.me);
+        }
+    }
+
+    #[test]
+    fn agreement_excludes_a_dead_member() {
+        let fabrics = mesh(2, 5);
+        fabrics[1].sever(); // rank 1 "dies" without contributing
+        let slot = fabrics[0].agreement((0, 1, 0), 0, 42, &[0, 1]);
+        assert_eq!(slot.len(), 1, "only the survivor contributed");
+        assert_eq!(slot[&0], 42);
+        fabrics[0].finish(0);
+    }
+
+    #[test]
+    fn type_name_interning_reuses_known_statics() {
+        assert_eq!(intern_type_name("i64"), "i64");
+        let a = intern_type_name("custom::Type");
+        let b = intern_type_name("custom::Type");
+        assert!(std::ptr::eq(a, b), "unknown names leak exactly once");
+    }
+}

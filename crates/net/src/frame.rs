@@ -1,0 +1,465 @@
+//! The wire format: length-prefixed frames over a TCP stream.
+//!
+//! Every frame is `u32` little-endian body length, then the body: one kind
+//! byte followed by the kind's fields. Integers are little-endian;
+//! strings and payloads are length-prefixed byte runs. The payload bytes
+//! inside an [`Frame::Env`] are exactly the [`patternlets_mp::Datatype`]
+//! encoding the in-process backend already uses — the network layer never
+//! re-encodes application data, it just moves the same bytes across a
+//! socket instead of across a thread boundary.
+//!
+//! Decoding is strict: truncated bodies, trailing garbage, over-long
+//! frames, and unknown kind bytes are all rejected with
+//! [`Error::Codec`](patternlets_core::Error::Codec) rather than guessed
+//! at. The property tests in `tests/wire_codec.rs` fuzz both directions.
+
+use std::io::{Read, Write};
+
+use patternlets_core::{Error, Result};
+
+/// Upper bound on one frame's body, protecting the reader from garbage
+/// length prefixes (64 MiB is far above any patternlet payload).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One message of the peer-to-peer (and rendezvous) protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: who is dialing, for which world epoch.
+    Hello {
+        /// World-creation ordinal the connection belongs to.
+        epoch: u64,
+        /// The dialing process's world rank.
+        rank: u64,
+    },
+    /// One application envelope, fields mirroring
+    /// [`patternlets_mp::Envelope`] plus the chaos displacement count.
+    Env {
+        /// Communicator id the message travels on.
+        comm_id: u64,
+        /// Sender, in the communicator's local numbering.
+        src: u64,
+        /// Message tag (negative = runtime-internal).
+        tag: i32,
+        /// Element type name (interned back to `&'static str` on receipt).
+        type_name: String,
+        /// Element count.
+        count: u64,
+        /// Per-sender sequence number (receiver dedup).
+        seq: u64,
+        /// Synchronous-send handshake flag.
+        needs_ack: bool,
+        /// Chaos reordering: deliver ahead of up to this many queued
+        /// envelopes from other senders.
+        overtake: u32,
+        /// The `Datatype`-encoded payload.
+        payload: Vec<u8>,
+    },
+    /// The sending rank's body returned normally; a subsequent EOF on
+    /// this connection is a clean exit, not a failure.
+    Finish {
+        /// The finished world rank.
+        rank: u64,
+    },
+    /// The sending process announces a failed rank (fault-plan kill or
+    /// panic) so every peer converges on the same membership verdict.
+    Failed {
+        /// The failed world rank.
+        rank: u64,
+    },
+    /// One contribution to a message-free agreement round
+    /// (`Comm::agree`/`Comm::shrink`).
+    Agree {
+        /// Communicator id of the round.
+        comm_id: u64,
+        /// Agreement kind (agree vs shrink).
+        kind: u8,
+        /// Agreement sequence number on that communicator.
+        seq: u64,
+        /// Contributing world rank.
+        rank: u64,
+        /// Contributed value.
+        value: u64,
+    },
+    /// Heartbeat; carries no data, refreshes the peer's liveness clock.
+    Ping,
+    /// Worker → rendezvous: my listener is up at `addr` for `epoch`.
+    Register {
+        /// World-creation ordinal being rendezvoused.
+        epoch: u64,
+        /// Registering world rank.
+        rank: u64,
+        /// World size — the rendezvous completes after `np` registrations.
+        np: u64,
+        /// The registrant's listener address (`host:port`).
+        addr: String,
+    },
+    /// Rendezvous → worker: every member's listener address, rank order.
+    Table {
+        /// Listener addresses indexed by world rank.
+        addrs: Vec<String>,
+    },
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_ENV: u8 = 1;
+const KIND_FINISH: u8 = 2;
+const KIND_FAILED: u8 = 3;
+const KIND_AGREE: u8 = 4;
+const KIND_PING: u8 = 5;
+const KIND_REGISTER: u8 = 6;
+const KIND_TABLE: u8 = 7;
+
+struct BodyWriter(Vec<u8>);
+
+impl BodyWriter {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(Error::Codec(format!(
+                "frame truncated: wanted {n} more bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| Error::Codec("non-UTF8 string field".into()))
+    }
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encode `frame` as one length-prefixed wire record.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = BodyWriter(Vec::with_capacity(32));
+    match frame {
+        Frame::Hello { epoch, rank } => {
+            w.u8(KIND_HELLO);
+            w.u64(*epoch);
+            w.u64(*rank);
+        }
+        Frame::Env {
+            comm_id,
+            src,
+            tag,
+            type_name,
+            count,
+            seq,
+            needs_ack,
+            overtake,
+            payload,
+        } => {
+            w.u8(KIND_ENV);
+            w.u64(*comm_id);
+            w.u64(*src);
+            w.i32(*tag);
+            w.string(type_name);
+            w.u64(*count);
+            w.u64(*seq);
+            w.u8(u8::from(*needs_ack));
+            w.u32(*overtake);
+            w.bytes(payload);
+        }
+        Frame::Finish { rank } => {
+            w.u8(KIND_FINISH);
+            w.u64(*rank);
+        }
+        Frame::Failed { rank } => {
+            w.u8(KIND_FAILED);
+            w.u64(*rank);
+        }
+        Frame::Agree {
+            comm_id,
+            kind,
+            seq,
+            rank,
+            value,
+        } => {
+            w.u8(KIND_AGREE);
+            w.u64(*comm_id);
+            w.u8(*kind);
+            w.u64(*seq);
+            w.u64(*rank);
+            w.u64(*value);
+        }
+        Frame::Ping => w.u8(KIND_PING),
+        Frame::Register {
+            epoch,
+            rank,
+            np,
+            addr,
+        } => {
+            w.u8(KIND_REGISTER);
+            w.u64(*epoch);
+            w.u64(*rank);
+            w.u64(*np);
+            w.string(addr);
+        }
+        Frame::Table { addrs } => {
+            w.u8(KIND_TABLE);
+            w.u32(addrs.len() as u32);
+            for addr in addrs {
+                w.string(addr);
+            }
+        }
+    }
+    let body = w.0;
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode one frame body (without the length prefix). Strict: truncated
+/// fields, trailing bytes, and unknown kinds are [`Error::Codec`].
+pub fn decode_body(body: &[u8]) -> Result<Frame> {
+    let mut r = BodyReader { buf: body, pos: 0 };
+    let frame = match r.u8()? {
+        KIND_HELLO => Frame::Hello {
+            epoch: r.u64()?,
+            rank: r.u64()?,
+        },
+        KIND_ENV => Frame::Env {
+            comm_id: r.u64()?,
+            src: r.u64()?,
+            tag: r.i32()?,
+            type_name: r.string()?,
+            count: r.u64()?,
+            seq: r.u64()?,
+            needs_ack: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Codec(format!("bad needs_ack byte {other}"))),
+            },
+            overtake: r.u32()?,
+            payload: r.bytes()?,
+        },
+        KIND_FINISH => Frame::Finish { rank: r.u64()? },
+        KIND_FAILED => Frame::Failed { rank: r.u64()? },
+        KIND_AGREE => Frame::Agree {
+            comm_id: r.u64()?,
+            kind: r.u8()?,
+            seq: r.u64()?,
+            rank: r.u64()?,
+            value: r.u64()?,
+        },
+        KIND_PING => Frame::Ping,
+        KIND_REGISTER => Frame::Register {
+            epoch: r.u64()?,
+            rank: r.u64()?,
+            np: r.u64()?,
+            addr: r.string()?,
+        },
+        KIND_TABLE => {
+            let n = r.u32()? as usize;
+            if n > MAX_FRAME_LEN / 4 {
+                return Err(Error::Codec(format!("absurd table length {n}")));
+            }
+            let mut addrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                addrs.push(r.string()?);
+            }
+            Frame::Table { addrs }
+        }
+        other => return Err(Error::Codec(format!("unknown frame kind {other}"))),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Decode one complete wire record (length prefix + body), as written by
+/// [`encode_frame`]. Used by the property tests; the streaming path is
+/// [`read_frame`].
+pub fn decode_frame(record: &[u8]) -> Result<Frame> {
+    if record.len() < 4 {
+        return Err(Error::Codec("record shorter than its length prefix".into()));
+    }
+    let len = u32::from_le_bytes(record[..4].try_into().expect("4")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!("frame length {len} exceeds cap")));
+    }
+    if record.len() - 4 != len {
+        return Err(Error::Codec(format!(
+            "length prefix says {len} but {} body bytes present",
+            record.len() - 4
+        )));
+    }
+    decode_body(&record[4..])
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on clean EOF (no bytes at
+/// all); a mid-frame EOF or any I/O error is [`Error::Codec`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(Error::Codec("EOF inside frame length prefix".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Codec(format!("read error: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!("frame length {len} exceeds cap")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::Codec(format!("EOF inside frame body: {e}")))?;
+    decode_body(&body).map(Some)
+}
+
+/// Write one frame to `w` (single `write_all`, so concurrent writers
+/// guarded by a lock never interleave records).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let wire = encode_frame(&frame);
+        assert_eq!(decode_frame(&wire).unwrap(), frame);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF after");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        roundtrip(Frame::Hello { epoch: 3, rank: 1 });
+        roundtrip(Frame::Env {
+            comm_id: 7,
+            src: 2,
+            tag: -42,
+            type_name: "i64".into(),
+            count: 4,
+            seq: 99,
+            needs_ack: true,
+            overtake: 2,
+            payload: vec![1, 2, 3, 4],
+        });
+        roundtrip(Frame::Finish { rank: 0 });
+        roundtrip(Frame::Failed { rank: 3 });
+        roundtrip(Frame::Agree {
+            comm_id: 1,
+            kind: 1,
+            seq: 0,
+            rank: 2,
+            value: u64::MAX,
+        });
+        roundtrip(Frame::Ping);
+        roundtrip(Frame::Register {
+            epoch: 0,
+            rank: 3,
+            np: 4,
+            addr: "127.0.0.1:4096".into(),
+        });
+        roundtrip(Frame::Table {
+            addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let wire = encode_frame(&Frame::Env {
+            comm_id: 7,
+            src: 2,
+            tag: 5,
+            type_name: "String".into(),
+            count: 1,
+            seq: 0,
+            needs_ack: false,
+            overtake: 0,
+            payload: "héllo".as_bytes().to_vec(),
+        });
+        // Chop the record anywhere: never a panic, never a wrong decode.
+        for cut in 0..wire.len() {
+            assert!(
+                decode_frame(&wire[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut wire = encode_frame(&Frame::Ping);
+        wire.extend_from_slice(&[0, 0, 0]);
+        assert!(decode_frame(&wire).is_err());
+        // Also when the garbage is inside the declared body length.
+        let mut body = vec![super::KIND_PING];
+        body.push(0xFF);
+        assert!(decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(matches!(decode_body(&[200]), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.push(0);
+        assert!(decode_frame(&wire).is_err());
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! patternlets-net: the wire transport that turns the in-process `mp`
+//! runtime into a real multi-process one.
+//!
+//! The `mp` crate's [`Fabric`](patternlets_mp::Fabric) trait is the seam:
+//! everything a communicator needs from its transport — envelope
+//! delivery, liveness, failure marking, agreement. This crate provides
+//! the TCP implementation ([`fabric::TcpFabric`]): each rank is a
+//! separate OS process, peers form a full loopback socket mesh found
+//! through a tiny [`rendezvous`] server, and envelopes travel as
+//! length-prefixed [`frame::Frame`]s.
+//!
+//! Nothing in a patternlet changes. The `pmrun` launcher spawns N
+//! worker processes with `PMRUN_RANK`/`PMRUN_NP`/`PMRUN_RENDEZVOUS` set;
+//! each worker calls [`install_from_env`] once at startup, and every
+//! world the program builds after that runs over TCP instead of threads.
+//!
+//! ```text
+//! pmrun -np 4 patternlets mpi/broadcast
+//!   ├── worker rank 0 ── PMRUN_RANK=0 ─┐
+//!   ├── worker rank 1 ── PMRUN_RANK=1 ─┤   rendezvous per world epoch,
+//!   ├── worker rank 2 ── PMRUN_RANK=2 ─┤── then a full TCP mesh; each
+//!   └── worker rank 3 ── PMRUN_RANK=3 ─┘   process runs one rank's body
+//! ```
+
+pub mod fabric;
+pub mod frame;
+pub mod rendezvous;
+
+use std::sync::Arc;
+
+use patternlets_core::{Error, Result};
+use patternlets_mp::{ProvidedWorld, WorldSpec};
+
+pub use fabric::TcpFabric;
+
+/// Environment variable carrying this worker's world rank.
+pub const ENV_RANK: &str = "PMRUN_RANK";
+/// Environment variable carrying the job's process count.
+pub const ENV_NP: &str = "PMRUN_NP";
+/// Environment variable carrying the rendezvous server address.
+pub const ENV_RENDEZVOUS: &str = "PMRUN_RENDEZVOUS";
+/// Environment variable carrying the directory for per-rank trace files.
+pub const ENV_TRACE_DIR: &str = "PMRUN_TRACE_DIR";
+
+/// The launch parameters a `pmrun` worker finds in its environment.
+#[derive(Debug, Clone)]
+pub struct NetEnv {
+    /// This process's world rank.
+    pub rank: usize,
+    /// Total worker processes in the job.
+    pub np: usize,
+    /// Rendezvous server address (`host:port`).
+    pub rendezvous: String,
+}
+
+/// Read the `pmrun` worker environment, if this process was launched by
+/// `pmrun`. Returns `None` when unlaunched (plain `patternlets` runs);
+/// a half-set environment is an error, not a silent fallback.
+pub fn net_env() -> Result<Option<NetEnv>> {
+    let vars: Vec<Option<String>> = [ENV_RANK, ENV_NP, ENV_RENDEZVOUS]
+        .iter()
+        .map(|k| std::env::var(k).ok())
+        .collect();
+    match (&vars[0], &vars[1], &vars[2]) {
+        (None, None, None) => Ok(None),
+        (Some(rank), Some(np), Some(rendezvous)) => {
+            let parse = |name: &str, v: &str| {
+                v.parse::<usize>()
+                    .map_err(|_| Error::InvalidConfig(format!("{name}={v} is not a number")))
+            };
+            let rank = parse(ENV_RANK, rank)?;
+            let np = parse(ENV_NP, np)?;
+            if rank >= np {
+                return Err(Error::InvalidConfig(format!(
+                    "{ENV_RANK}={rank} out of range for {ENV_NP}={np}"
+                )));
+            }
+            Ok(Some(NetEnv {
+                rank,
+                np,
+                rendezvous: rendezvous.clone(),
+            }))
+        }
+        _ => Err(Error::InvalidConfig(format!(
+            "partial pmrun environment: {ENV_RANK}/{ENV_NP}/{ENV_RENDEZVOUS} must be set together"
+        ))),
+    }
+}
+
+/// Install the TCP fabric provider from the `pmrun` environment, if
+/// present. Call once at process start (the `patternlets` binary does);
+/// every world built afterwards runs over TCP. Returns the environment
+/// when installed, `None` when this isn't a `pmrun` worker.
+///
+/// Per world, the provider decides by world size:
+/// - `world np == job np`: this process plays its rank over TCP;
+/// - `world np < job np`: ranks inside the world play it, the rest
+///   [skip](ProvidedWorld::Skip) it (empty result, no rendezvous wait
+///   beyond registration — skippers don't register at all);
+/// - `world np > job np`: refused — there aren't enough processes, and
+///   a thread fallback would print every rank's output once per process.
+pub fn install_from_env() -> Result<Option<NetEnv>> {
+    let Some(env) = net_env()? else {
+        return Ok(None);
+    };
+    let provider_env = env.clone();
+    patternlets_mp::install_fabric_provider(Box::new(move |spec: &WorldSpec| {
+        provide(&provider_env, spec)
+    }));
+    Ok(Some(env))
+}
+
+fn provide(env: &NetEnv, spec: &WorldSpec) -> Result<Option<ProvidedWorld>> {
+    if spec.np > env.np {
+        return Err(Error::InvalidConfig(format!(
+            "world wants {} ranks but pmrun launched only {} processes; \
+             re-run with -np {} (or more)",
+            spec.np, env.np, spec.np
+        )));
+    }
+    if env.rank >= spec.np {
+        return Ok(Some(ProvidedWorld::Skip));
+    }
+    let fabric = TcpFabric::establish(&env.rendezvous, env.rank, spec)?;
+    Ok(Some(ProvidedWorld::Rank {
+        rank: env.rank,
+        fabric: Arc::new(fabric),
+    }))
+}

@@ -1,0 +1,156 @@
+//! The rendezvous: how N worker processes find each other's listeners.
+//!
+//! `pmrun` starts one [`serve`] loop before spawning workers and passes
+//! its address down via `PMRUN_RENDEZVOUS`. Each worker, per world it
+//! builds, binds a fresh listener and [`register`]s `(epoch, rank, np,
+//! addr)`; once `np` distinct ranks have registered for an epoch the
+//! server replies to each with the full address table and forgets the
+//! epoch. Epochs are independent, so ranks that skip a small world (their
+//! rank is outside it) can already be registering for the next one while
+//! slower ranks are still inside the current one.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use patternlets_core::{Error, Result};
+
+use crate::frame::{encode_frame, read_frame, write_frame, Frame};
+
+/// How long a worker waits for its siblings to register before giving up
+/// — generous, because a missing sibling means the job is already lost.
+pub const REGISTER_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct EpochGroup {
+    np: usize,
+    /// rank → (listener address, the registrant's connection).
+    entries: HashMap<usize, (String, TcpStream)>,
+}
+
+/// Bind a rendezvous server on loopback and serve registrations on a
+/// detached daemon thread for the life of the process. Returns the bound
+/// address to hand to workers.
+pub fn serve() -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("pmrun-rendezvous".into())
+        .spawn(move || serve_loop(listener))?;
+    Ok(addr)
+}
+
+fn serve_loop(listener: TcpListener) {
+    let mut epochs: HashMap<u64, EpochGroup> = HashMap::new();
+    for conn in listener.incoming() {
+        let Ok(mut conn) = conn else { continue };
+        // A worker registers immediately after connecting, so a short
+        // sequential read here cannot stall the loop for long; the
+        // timeout protects against a half-dead client.
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+        let Ok(Some(Frame::Register {
+            epoch,
+            rank,
+            np,
+            addr,
+        })) = read_frame(&mut conn)
+        else {
+            continue;
+        };
+        let group = epochs.entry(epoch).or_insert_with(|| EpochGroup {
+            np: np as usize,
+            entries: HashMap::new(),
+        });
+        group.entries.insert(rank as usize, (addr, conn));
+        if group.entries.len() == group.np {
+            let group = epochs.remove(&epoch).expect("just inserted");
+            let addrs: Vec<String> = (0..group.np).map(|r| group.entries[&r].0.clone()).collect();
+            let table = encode_frame(&Frame::Table {
+                addrs: addrs.clone(),
+            });
+            for (_, (_, mut conn)) in group.entries {
+                let _ = conn.write_all(&table);
+            }
+        }
+    }
+}
+
+/// Register this rank's listener for `epoch` and block until the full
+/// address table arrives (every member registered).
+pub fn register(
+    server: &str,
+    epoch: u64,
+    rank: usize,
+    np: usize,
+    my_addr: &str,
+) -> Result<Vec<String>> {
+    let mut conn = TcpStream::connect(server)
+        .map_err(|e| Error::Codec(format!("cannot reach rendezvous at {server}: {e}")))?;
+    conn.set_read_timeout(Some(REGISTER_TIMEOUT))
+        .map_err(|e| Error::Codec(format!("rendezvous socket setup: {e}")))?;
+    write_frame(
+        &mut conn,
+        &Frame::Register {
+            epoch,
+            rank: rank as u64,
+            np: np as u64,
+            addr: my_addr.to_string(),
+        },
+    )
+    .map_err(|e| Error::Codec(format!("rendezvous register: {e}")))?;
+    match read_frame(&mut conn)? {
+        Some(Frame::Table { addrs }) if addrs.len() == np => Ok(addrs),
+        Some(Frame::Table { addrs }) => Err(Error::Codec(format!(
+            "rendezvous table has {} entries, expected {np}",
+            addrs.len()
+        ))),
+        other => Err(Error::Codec(format!(
+            "unexpected rendezvous reply: {other:?} (a sibling worker may have died before \
+             registering)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_epoch_gets_everyone_the_same_table() {
+        let server = serve().unwrap().to_string();
+        let handles: Vec<_> = (0..3)
+            .map(|rank| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    register(&server, 0, rank, 3, &format!("127.0.0.1:{}", 9000 + rank)).unwrap()
+                })
+            })
+            .collect();
+        let tables: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for table in &tables {
+            assert_eq!(table, &tables[0]);
+            assert_eq!(table[2], "127.0.0.1:9002", "rank order preserved");
+        }
+    }
+
+    #[test]
+    fn concurrent_epochs_do_not_mix() {
+        let server = serve().unwrap().to_string();
+        // Epoch 1's lone rank registers first, then epoch 0's pair.
+        let s1 = server.clone();
+        let later = std::thread::spawn(move || register(&s1, 1, 0, 1, "127.0.0.1:7001").unwrap());
+        let t1 = later.join().unwrap();
+        assert_eq!(t1, vec!["127.0.0.1:7001"]);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    register(&server, 0, rank, 2, &format!("127.0.0.1:{}", 7100 + rank)).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().len(), 2);
+        }
+    }
+}

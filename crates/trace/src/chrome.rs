@@ -38,6 +38,67 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     out
 }
 
+/// Merge per-rank Chrome-trace exports (each produced by
+/// [`to_chrome_json`]) into one trace with a process lane per rank: every
+/// event's `pid` is rewritten from 0 to the rank, a `process_name`
+/// metadata record labels each lane, and dropped-event counts are summed.
+/// `pmrun --trace` uses this to fold `rank-N.json` files into a single
+/// timeline that `chrome://tracing`/Perfetto renders as one process per
+/// rank with that rank's thread lanes nested underneath.
+///
+/// Inputs that don't look like [`to_chrome_json`] output contribute no
+/// events (their rank still gets a named, empty lane) — a worker that
+/// died mid-write must not poison the survivors' merged trace.
+pub fn merge_chrome_json<'a>(ranks: impl IntoIterator<Item = (usize, &'a str)>) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut dropped: u64 = 0;
+    for (rank, json) in ranks {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ),
+        );
+        if let Some(events) = events_slice(json) {
+            if !events.is_empty() {
+                let rewritten = events.replace("\"pid\":0,", &format!("\"pid\":{rank},"));
+                push_event(&mut out, &mut first, &rewritten);
+            }
+        }
+        dropped += dropped_count(json);
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}}}}"
+    );
+    out
+}
+
+/// The comma-joined event list inside a [`to_chrome_json`] export. The
+/// exporter's shape is fixed — events never contain `]` — so the span
+/// between the array open and the `"displayTimeUnit"` tail is exact.
+fn events_slice(json: &str) -> Option<&str> {
+    let start = json.find("\"traceEvents\":[")? + "\"traceEvents\":[".len();
+    let end = start + json[start..].find("],\"displayTimeUnit\"")?;
+    Some(&json[start..end])
+}
+
+/// The `droppedEvents` count of one export (0 when absent/unparseable).
+fn dropped_count(json: &str) -> u64 {
+    let Some(start) = json.find("\"droppedEvents\":") else {
+        return 0;
+    };
+    json[start + "\"droppedEvents\":".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
 fn push_event(out: &mut String, first: &mut bool, rendered: &str) {
     if !*first {
         out.push(',');
@@ -200,5 +261,43 @@ mod tests {
         assert_eq!(ts(1_234_567), "1234.567");
         assert_eq!(ts(999), "0.999");
         assert_eq!(ts(1_000), "1.000");
+    }
+
+    #[test]
+    fn merge_rewrites_pids_and_labels_each_rank() {
+        let a = to_chrome_json(&sample());
+        let b = to_chrome_json(&sample());
+        let merged = merge_chrome_json([(2, a.as_str()), (3, b.as_str())]);
+        assert!(!merged.contains("\"pid\":0,"), "all pids rewritten");
+        assert!(merged.contains("\"pid\":2,"));
+        assert!(merged.contains("\"pid\":3,"));
+        assert!(merged.contains("\"name\":\"rank 2\""));
+        assert!(merged.contains("\"name\":\"rank 3\""));
+        assert_eq!(merged.matches("\"process_name\"").count(), 2);
+        // Both ranks' events survive: twice the sends, recvs, spans.
+        assert_eq!(merged.matches("\"name\":\"send\"").count(), 2);
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+        assert_eq!(merged.matches('[').count(), merged.matches(']').count());
+    }
+
+    #[test]
+    fn merge_sums_dropped_counts_and_survives_garbage() {
+        let good = to_chrome_json(&sample()).replace("\"droppedEvents\":0", "\"droppedEvents\":7");
+        let merged = merge_chrome_json([(0, good.as_str()), (1, "partial garbage from a ki")]);
+        assert!(merged.contains("\"droppedEvents\":7"));
+        assert!(
+            merged.contains("\"name\":\"rank 1\""),
+            "dead rank still named"
+        );
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+    }
+
+    #[test]
+    fn merge_of_empty_traces_is_valid() {
+        let empty = to_chrome_json(&Trace::default());
+        let merged = merge_chrome_json([(0, empty.as_str()), (1, empty.as_str())]);
+        assert!(merged.starts_with("{\"traceEvents\":["));
+        assert_eq!(merged.matches("\"process_name\"").count(), 2);
+        assert!(merged.contains("\"droppedEvents\":0"));
     }
 }

@@ -404,3 +404,139 @@ mod bytes_shim {
         assert!(String::decode_slice(&bogus, 1).is_err());
     }
 }
+
+// ---------------------------------------------------------------------------
+// The same failure semantics over the TCP transport: a dead *process* must
+// surface exactly like a fault-plan kill, and a clean exit must not. These
+// build a real socket mesh inside one test process — each fabric plays one
+// world rank, exactly as `pmrun`'s workers do (the full process-level story,
+// SIGKILL included, runs in `crates/collection/tests/pmrun.rs`).
+// ---------------------------------------------------------------------------
+
+mod tcp_failures {
+    use std::time::{Duration, Instant};
+
+    use patternlets_mp::{Envelope, Fabric, WorldSpec};
+    use patternlets_net::{rendezvous, TcpFabric};
+
+    fn mesh(np: usize, epoch: u64) -> Vec<TcpFabric> {
+        let server = rendezvous::serve().unwrap().to_string();
+        let spec = WorldSpec {
+            np,
+            ranks_per_node: 1,
+            fault: None,
+            poll_interval: Duration::from_millis(2),
+            tracer: None,
+            epoch,
+        };
+        let handles: Vec<_> = (0..np)
+            .map(|me| {
+                let server = server.clone();
+                let spec = spec.clone();
+                std::thread::spawn(move || TcpFabric::establish(&server, me, &spec).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn wait_until(what: &str, cond: impl Fn() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn severed_peer_is_failed_but_finished_peer_is_not() {
+        let fabrics = mesh(3, 100);
+        fabrics[0].finish(0); // clean exit
+        fabrics[1].sever(); // the moral equivalent of SIGKILL
+        let survivor = &fabrics[2];
+        wait_until("finish frame", || !survivor.rank_alive(0));
+        wait_until("failure verdict", || survivor.rank_failed(1));
+        assert!(
+            !survivor.rank_failed(0),
+            "a clean exit must never read as a failure"
+        );
+        fabrics[2].finish(2);
+    }
+
+    #[test]
+    fn agreement_shrinks_around_a_dead_process() {
+        // The ULFM building block: agree() completes among survivors with
+        // the dead rank absent from the final map, so shrink() can form
+        // the survivor communicator.
+        let fabrics = mesh(3, 101);
+        fabrics[2].sever();
+        wait_until("failure verdict", || fabrics[0].rank_failed(2));
+        let slots = std::thread::scope(|scope| {
+            let handles: Vec<_> = [0usize, 1]
+                .into_iter()
+                .map(|me| {
+                    let fabric = &fabrics[me];
+                    scope.spawn(move || fabric.agreement((7, 1, 0), me, me as u64, &[0, 1, 2]))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (me, slot) in slots.iter().enumerate() {
+            assert!(slot.contains_key(&0) && slot.contains_key(&1), "rank {me}");
+            assert!(
+                !slot.contains_key(&2),
+                "the dead rank contributed nothing: {slot:?}"
+            );
+        }
+        fabrics[0].finish(0);
+        fabrics[1].finish(1);
+    }
+
+    #[test]
+    fn per_comm_dedup_state_is_pruned_on_teardown() {
+        // The seen-map leak fix, observed through the real transport:
+        // duplicate deliveries accumulate per-(comm, sender) dedup marks;
+        // pruning a communicator releases exactly its share.
+        let fabrics = mesh(2, 102);
+        for comm_id in 0..8u64 {
+            for seq in 0..4u64 {
+                let env = Envelope {
+                    comm_id,
+                    src: 0,
+                    tag: 1,
+                    type_name: "u8",
+                    count: 1,
+                    payload: bytes::Bytes::from(vec![9]),
+                    seq,
+                    needs_ack: false,
+                };
+                // duplicate=true: the receiver's mailbox must dedup, which
+                // is precisely what populates the seen map.
+                fabrics[0].deliver(0, 1, env, 0, true);
+            }
+        }
+        let mailbox = fabrics[1].mailbox(1);
+        wait_until("all envelopes", || {
+            mailbox
+                .probe(
+                    7,
+                    patternlets_mp::SourceSel::Any,
+                    patternlets_mp::TagSel::Any,
+                )
+                .is_some()
+        });
+        assert_eq!(mailbox.seen_entries(), 8, "one dedup mark per communicator");
+        for comm_id in 0..7u64 {
+            fabrics[1].prune_comm(1, comm_id);
+        }
+        assert_eq!(
+            mailbox.seen_entries(),
+            1,
+            "only the live comm's mark remains"
+        );
+        fabrics[0].finish(0);
+        fabrics[1].finish(1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Property tests for the two codec layers under `pmrun`:
+//!
+//! 1. the [`Datatype`] byte encoding (what an [`Envelope`] payload is),
+//!    which must round-trip every built-in element type — including
+//!    zero-count slices and non-ASCII strings — and *reject* truncated
+//!    buffers instead of misreading them;
+//! 2. the `patternlets-net` frame codec wrapping those payloads on the
+//!    wire, which must round-trip every frame kind and reject every
+//!    truncation/corruption without panicking.
+//!
+//! Nothing here opens a socket: both codecs are pure byte transforms, so
+//! the fuzz loop covers orders of magnitude more cases than an e2e run.
+
+use bytes::{Bytes, BytesMut};
+use patternlets_mp::datatype::{self, Datatype};
+use patternlets_net::frame::{decode_frame, encode_frame, read_frame, Frame};
+use proptest::prelude::*;
+
+fn roundtrip<T: Datatype + PartialEq + std::fmt::Debug + Clone>(data: &[T]) {
+    let bytes = datatype::encode(data);
+    let back = T::decode_slice(&bytes, data.len()).expect("well-formed buffer decodes");
+    assert_eq!(back, data);
+}
+
+/// Every strict prefix of a non-empty encoding must be rejected.
+fn rejects_truncations<T: Datatype>(data: &[T]) {
+    let bytes = datatype::encode(data);
+    for cut in 0..bytes.len() {
+        let truncated = Bytes::from(bytes.as_slice()[..cut].to_vec());
+        assert!(
+            T::decode_slice(&truncated, data.len()).is_err(),
+            "decode of {cut}/{} bytes must fail",
+            bytes.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fixed_width_types_roundtrip(
+        i32s in proptest::collection::vec(any::<i32>(), 0..20),
+        i64s in proptest::collection::vec(any::<i64>(), 0..20),
+        u32s in proptest::collection::vec(any::<u32>(), 0..20),
+        u64s in proptest::collection::vec(any::<u64>(), 0..20),
+        u8s in proptest::collection::vec(any::<u8>(), 0..20),
+        usizes in proptest::collection::vec(any::<usize>(), 0..20),
+        bools in proptest::collection::vec(any::<bool>(), 0..20),
+        f64s in proptest::collection::vec(any::<f64>(), 0..20),
+        f32s in proptest::collection::vec(-1e30f32..1e30, 0..20),
+    ) {
+        roundtrip(&i32s);
+        roundtrip(&i64s);
+        roundtrip(&u32s);
+        roundtrip(&u64s);
+        roundtrip(&u8s);
+        roundtrip(&usizes);
+        roundtrip(&bools);
+        roundtrip(&f64s);
+        roundtrip(&f32s);
+    }
+
+    #[test]
+    fn strings_roundtrip_including_non_ascii(
+        code_points in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..12),
+            0..6,
+        ),
+    ) {
+        // Map arbitrary u32s onto valid scalar values, so the strings mix
+        // 1-, 2-, 3- and 4-byte UTF-8 sequences.
+        let strings: Vec<String> = code_points
+            .iter()
+            .map(|codes| {
+                codes
+                    .iter()
+                    .map(|&c| char::from_u32(c % 0x11_0000).unwrap_or('\u{1F980}'))
+                    .collect()
+            })
+            .collect();
+        roundtrip(&strings);
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected(
+        ints in proptest::collection::vec(any::<i64>(), 1..8),
+        text in proptest::collection::vec(any::<u16>(), 1..8),
+    ) {
+        rejects_truncations(&ints);
+        let strings: Vec<String> = text
+            .iter()
+            .map(|&c| {
+                // Force some multi-byte content so length-vs-chars
+                // confusion would be caught.
+                format!("§{}雪", c)
+            })
+            .collect();
+        rejects_truncations(&strings);
+    }
+
+    #[test]
+    fn wrong_count_is_rejected_for_fixed_types(
+        ints in proptest::collection::vec(any::<i64>(), 0..8),
+        extra in 1usize..4,
+    ) {
+        let bytes = datatype::encode(&ints);
+        prop_assert!(i64::decode_slice(&bytes, ints.len() + extra).is_err());
+    }
+
+    #[test]
+    fn env_frames_roundtrip(
+        comm_id in any::<u64>(),
+        src in any::<u64>(),
+        tag in any::<i32>(),
+        name_codes in proptest::collection::vec(any::<u32>(), 0..10),
+        count in any::<u64>(),
+        seq in any::<u64>(),
+        needs_ack in any::<bool>(),
+        overtake in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let frame = Frame::Env {
+            comm_id,
+            src,
+            tag,
+            type_name: name_codes
+                .iter()
+                .map(|&c| char::from_u32(c % 0x11_0000).unwrap_or('ß'))
+                .collect(),
+            count,
+            seq,
+            needs_ack,
+            overtake,
+            payload,
+        };
+        let record = encode_frame(&frame);
+        prop_assert_eq!(decode_frame(&record).unwrap(), frame.clone());
+        // The stream reader agrees with the slice decoder.
+        let mut cursor = record.as_slice();
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none()); // clean EOF after
+    }
+
+    #[test]
+    fn control_frames_roundtrip(
+        epoch in any::<u64>(),
+        rank in any::<u64>(),
+        np in any::<u64>(),
+        kind in any::<u8>(),
+        seq in any::<u64>(),
+        value in any::<u64>(),
+        addr in "[a-z0-9.:]{0,24}",
+        addrs in proptest::collection::vec("[a-z0-9.:]{1,20}", 0..6),
+    ) {
+        for frame in [
+            Frame::Hello { epoch, rank },
+            Frame::Finish { rank },
+            Frame::Failed { rank },
+            Frame::Agree { comm_id: epoch, kind, seq, rank, value },
+            Frame::Ping,
+            Frame::Register { epoch, rank, np, addr },
+            Frame::Table { addrs },
+        ] {
+            let record = encode_frame(&frame);
+            prop_assert_eq!(decode_frame(&record).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_never_panicking(
+        seed_payload in proptest::collection::vec(any::<u8>(), 0..40),
+        rank in any::<u64>(),
+    ) {
+        let frame = Frame::Env {
+            comm_id: 1,
+            src: rank,
+            tag: -3,
+            type_name: "i64".into(),
+            count: 2,
+            seq: 9,
+            needs_ack: true,
+            overtake: 0,
+            payload: seed_payload,
+        };
+        let record = encode_frame(&frame);
+        for cut in 0..record.len() {
+            prop_assert!(
+                decode_frame(&record[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must be rejected",
+                record.len()
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder(
+        garbage in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        // Any outcome but a panic is acceptable for random bytes; a parse
+        // success must at least have consumed a coherent length prefix.
+        let _ = decode_frame(&garbage);
+        let mut cursor = garbage.as_slice();
+        let _ = read_frame(&mut cursor);
+    }
+}
+
+/// `count == 0` is a legitimate payload (empty broadcast buffers, empty
+/// gather contributions) for every built-in type, not an error.
+#[test]
+fn zero_count_roundtrips_for_every_builtin() {
+    roundtrip::<i32>(&[]);
+    roundtrip::<i64>(&[]);
+    roundtrip::<u32>(&[]);
+    roundtrip::<u64>(&[]);
+    roundtrip::<f32>(&[]);
+    roundtrip::<f64>(&[]);
+    roundtrip::<u8>(&[]);
+    roundtrip::<bool>(&[]);
+    roundtrip::<usize>(&[]);
+    roundtrip::<String>(&[]);
+    let empty = datatype::encode::<i64>(&[]);
+    assert!(empty.as_slice().is_empty());
+}
+
+/// The tuple type behind `(value, source)` results round-trips too.
+#[test]
+fn tagged_tuples_roundtrip() {
+    let data: Vec<(i64, usize)> = vec![(-5, 0), (7, 3), (i64::MAX, usize::MAX)];
+    roundtrip(&data);
+    rejects_truncations(&data);
+}
+
+/// An `Env` frame's payload field carries the `Datatype` encoding
+/// verbatim: bytes in equal bytes out, end to end through the frame codec.
+#[test]
+fn env_payload_is_datatype_encoding_verbatim() {
+    let values = vec!["héllo".to_string(), "wörld 🌍".to_string()];
+    let payload = datatype::encode(&values);
+    let frame = Frame::Env {
+        comm_id: 3,
+        src: 1,
+        tag: 5,
+        type_name: "String".into(),
+        count: values.len() as u64,
+        seq: 0,
+        needs_ack: false,
+        overtake: 0,
+        payload: payload.as_slice().to_vec(),
+    };
+    let Frame::Env { payload: wire, .. } = decode_frame(&encode_frame(&frame)).unwrap() else {
+        panic!("kind preserved");
+    };
+    let back = String::decode_slice(&Bytes::from(wire), values.len()).unwrap();
+    assert_eq!(back, values);
+}
+
+/// `BytesMut` growth across repeated encodes never corrupts earlier data
+/// (the in-process backend reuses buffers; the wire path must match).
+#[test]
+fn repeated_encoding_into_one_buffer_is_stable() {
+    let mut buf = BytesMut::new();
+    i64::encode_slice(&[1, 2, 3], &mut buf);
+    let first_len = buf.len();
+    i64::encode_slice(&[4, 5], &mut buf);
+    let all = Bytes::from(buf.to_vec());
+    let head = Bytes::from(all.as_slice()[..first_len].to_vec());
+    assert_eq!(i64::decode_slice(&head, 3).unwrap(), vec![1, 2, 3]);
+}
