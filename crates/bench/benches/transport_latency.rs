@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{black_box, BenchmarkId, Criterion};
-use patternlets_mp::envelope::Envelope;
+use patternlets_mp::envelope::{Envelope, Payload};
 use patternlets_mp::{Fabric, SourceSel, TagSel, World, WorldSpec};
 use patternlets_net::{rendezvous, TcpFabric};
 
@@ -60,7 +60,7 @@ fn env(src: usize, tag: i32, seq: u64, payload: &[u8]) -> Envelope {
         tag,
         type_name: "u8",
         count: payload.len(),
-        payload: bytes::Bytes::from(payload.to_vec()),
+        payload: Payload::Bytes(bytes::Bytes::from(payload.to_vec())),
         seq,
         needs_ack: false,
     }
@@ -101,7 +101,13 @@ fn spawn_echo(fabric: Arc<TcpFabric>, me: usize) -> std::thread::JoinHandle<()> 
                 fabric.finish(me);
                 return;
             }
-            fabric.deliver(me, got.src, env(me, 2, seq, &got.payload), 0, false);
+            fabric.deliver(
+                me,
+                got.src,
+                env(me, 2, seq, &got.payload.to_wire()),
+                0,
+                false,
+            );
             seq += 1;
         }
     })
@@ -115,22 +121,31 @@ fn bench(c: &mut Criterion) {
 
     for (label, size) in [("pingpong_8B", SMALL), ("pingpong_64KiB", LARGE)] {
         // In-process: a real two-rank world, ROUNDS round trips per spawn.
-        g.bench_with_input(BenchmarkId::new(label, "inproc"), &size, |b, &size| {
-            b.iter(|| {
-                World::run(2, move |comm| {
-                    let buf = vec![7u8; size];
-                    for _ in 0..ROUNDS {
-                        if comm.rank() == 0 {
-                            comm.send(&buf, 1, 1).unwrap();
-                            black_box(comm.recv::<u8>(1, 2).unwrap());
-                        } else {
-                            let (data, _) = comm.recv::<u8>(0, 1).unwrap();
-                            comm.send(&data, 0, 2).unwrap();
-                        }
-                    }
+        // `inproc` rides the zero-copy shared-payload fast path; the
+        // `inproc_encoded` variant forces the pre-zero-copy behaviour
+        // (full encode/decode on every hop) in the same build, so the two
+        // ids measure exactly the fast path's worth.
+        for (transport, encoded) in [("inproc", false), ("inproc_encoded", true)] {
+            g.bench_with_input(BenchmarkId::new(label, transport), &size, |b, &size| {
+                b.iter(|| {
+                    World::builder(2)
+                        .encoded_payloads(encoded)
+                        .run(move |comm| {
+                            let buf = vec![7u8; size];
+                            for _ in 0..ROUNDS {
+                                if comm.rank() == 0 {
+                                    comm.send(&buf, 1, 1).unwrap();
+                                    black_box(comm.recv::<u8>(1, 2).unwrap());
+                                } else {
+                                    let (data, _) = comm.recv::<u8>(0, 1).unwrap();
+                                    comm.send(&data, 0, 2).unwrap();
+                                }
+                            }
+                        })
+                        .unwrap()
                 })
-            })
-        });
+            });
+        }
     }
 
     // TCP-loopback: one long-lived mesh; the bench thread is rank 0, an

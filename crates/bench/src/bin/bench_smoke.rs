@@ -1,0 +1,174 @@
+//! First point on the perf trajectory: a small, self-timing benchmark
+//! that pits the zero-copy shared-payload fast path against the
+//! encode-everything baseline **in the same build** (the baseline worlds
+//! are built with `WorldBuilder::encoded_payloads(true)`), then writes a
+//! machine-readable summary to `BENCH_4.json` and prints the deltas.
+//!
+//! Run directly (`cargo run --release --bin bench_smoke`) or from the CI
+//! `bench-smoke` job. `BENCH_SMOKE_ITERS` scales the sample count (CI
+//! uses a small value; the defaults are sized for a laptop-minute).
+
+use std::time::Instant;
+
+use patternlets_core::reduce::ops;
+use patternlets_mp::World;
+
+/// Round trips per world spawn in the pingpong shapes (amortises the
+/// thread-spawn cost exactly like the criterion bench does).
+const ROUNDS: usize = 32;
+
+struct Sample {
+    name: &'static str,
+    /// Nanoseconds per logical operation (round trip / bcast), baseline.
+    encoded_ns: f64,
+    /// Same, over the zero-copy fast path.
+    zerocopy_ns: f64,
+}
+
+impl Sample {
+    fn speedup(&self) -> f64 {
+        self.encoded_ns / self.zerocopy_ns
+    }
+}
+
+/// Median-of-runs timer: each run executes `f` once and is timed whole;
+/// the median damps scheduler noise without criterion's machinery.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: first world spawn pays lazy-init costs
+    let mut runs: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    runs[runs.len() / 2]
+}
+
+fn pingpong_ns(size: usize, encoded: bool, iters: usize) -> f64 {
+    time_ns(iters, || {
+        World::builder(2)
+            .encoded_payloads(encoded)
+            .run(move |comm| {
+                let buf = vec![7u8; size];
+                for _ in 0..ROUNDS {
+                    if comm.rank() == 0 {
+                        comm.send(&buf, 1, 1).unwrap();
+                        std::hint::black_box(comm.recv::<u8>(1, 2).unwrap());
+                    } else {
+                        let (data, _) = comm.recv::<u8>(0, 1).unwrap();
+                        comm.send(&data, 0, 2).unwrap();
+                    }
+                }
+            })
+            .unwrap();
+    }) / ROUNDS as f64
+}
+
+fn bcast_ns(np: usize, elems: usize, encoded: bool, iters: usize) -> f64 {
+    time_ns(iters, || {
+        World::builder(np)
+            .encoded_payloads(encoded)
+            .run(move |comm| {
+                let mut buf: Vec<i64> = if comm.is_master() {
+                    (0..elems as i64).collect()
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(0, &mut buf).unwrap();
+                std::hint::black_box(buf.len())
+            })
+            .unwrap();
+    })
+}
+
+fn reduce_ns(np: usize, elems: usize, encoded: bool, iters: usize) -> f64 {
+    time_ns(iters, || {
+        World::builder(np)
+            .encoded_payloads(encoded)
+            .run(move |comm| {
+                let local: Vec<i64> = vec![comm.rank() as i64; elems];
+                std::hint::black_box(comm.reduce(0, &local, &ops::Sum).unwrap().map(|v| v[0]))
+            })
+            .unwrap();
+    })
+}
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let iters: usize = std::env::var("BENCH_SMOKE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
+
+    let samples = vec![
+        Sample {
+            name: "pingpong_8B",
+            encoded_ns: pingpong_ns(8, true, iters),
+            zerocopy_ns: pingpong_ns(8, false, iters),
+        },
+        Sample {
+            name: "pingpong_64KiB",
+            encoded_ns: pingpong_ns(64 << 10, true, iters),
+            zerocopy_ns: pingpong_ns(64 << 10, false, iters),
+        },
+        Sample {
+            name: "bcast_p8_64KiB",
+            encoded_ns: bcast_ns(8, 8192, true, iters),
+            zerocopy_ns: bcast_ns(8, 8192, false, iters),
+        },
+        Sample {
+            name: "reduce_p8_2KiB",
+            encoded_ns: reduce_ns(8, 256, true, iters),
+            zerocopy_ns: reduce_ns(8, 256, false, iters),
+        },
+    ];
+
+    println!("== bench_smoke: zero-copy fast path vs encoded baseline ==");
+    println!(
+        "{:>16} {:>14} {:>14} {:>9}",
+        "shape", "encoded ns", "zero-copy ns", "speedup"
+    );
+    for s in &samples {
+        println!(
+            "{:>16} {:>14.0} {:>14.0} {:>8.2}x",
+            s.name,
+            s.encoded_ns,
+            s.zerocopy_ns,
+            s.speedup()
+        );
+    }
+
+    // Hand-rolled JSON: flat, no escaping needed (names are identifiers).
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"BENCH_4\",\n");
+    json.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"encoded_ns\": {:.0}, \"zerocopy_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            json_escape_free(s.name),
+            s.encoded_ns,
+            s.zerocopy_ns,
+            s.speedup(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench summary");
+    println!("wrote {out_path}");
+}

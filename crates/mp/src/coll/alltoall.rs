@@ -13,7 +13,6 @@ impl Comm {
     /// result concatenates one block from every rank, in rank order.
     pub fn alltoall<T: Datatype + Clone>(&self, sendbuf: &[T]) -> Result<Vec<T>> {
         let p = self.size();
-        let me = self.rank();
         if !sendbuf.len().is_multiple_of(p) {
             return Err(Error::CountMismatch {
                 expected: sendbuf.len().div_ceil(p) * p,
@@ -23,8 +22,8 @@ impl Comm {
         let tags = self.start_collective(opcodes::ALLTOALL, "alltoall")?;
         let _phase = self.trace_coll("alltoall");
         let chunk = sendbuf.len() / p;
-        // Eager sends to everyone (including self, through the mailbox, to
-        // keep the code uniform).
+        // Eager sends to everyone, including self (the self-send shortcut
+        // delivers that block straight into our own mailbox).
         for dst in 0..p {
             self.send_internal(&sendbuf[dst * chunk..(dst + 1) * chunk], dst, tags(0))?;
         }
@@ -38,7 +37,6 @@ impl Comm {
                 });
             }
             out.extend(block);
-            let _ = me;
         }
         Ok(out)
     }

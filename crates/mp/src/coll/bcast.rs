@@ -3,8 +3,8 @@
 use patternlets_core::{Error, Result};
 
 use crate::comm::Comm;
-use crate::datatype::Datatype;
-use crate::envelope::opcodes;
+use crate::datatype::{decode_payload, Datatype};
+use crate::envelope::{opcodes, Payload};
 
 impl Comm {
     /// Broadcast `buf` from `root` to every rank. On the root, `buf` is the
@@ -27,26 +27,43 @@ impl Comm {
         let vrank = (me + p - root) % p;
 
         // Receive from the parent: the bit position of vrank's lowest set
-        // bit names the round in which our subtree was reached.
+        // bit names the round in which our subtree was reached. Keep the
+        // raw envelope — the payload is forwarded to our children before
+        // it is decoded, so one payload travels the whole tree.
+        let mut incoming = None;
         let mut mask = 1usize;
         while mask < p {
             if vrank & mask != 0 {
                 let parent = (vrank - mask + root) % p;
-                let (data, _) = self.recv_internal::<T>(parent.into(), tags(0).into())?;
-                *buf = data;
+                incoming = Some(self.recv_envelope::<T>(parent.into(), tags(0).into())?);
                 break;
             }
             mask <<= 1;
         }
         // Forward to children: every bit below our lowest set bit (all
-        // bits, for the root).
+        // bits, for the root). Every child gets a clone of the same
+        // payload — a refcount bump in either representation — prepared
+        // lazily at the root on the first child (locality is uniform
+        // across peers on every backend, so one child is representative).
+        let count = incoming.as_ref().map_or(buf.len(), |env| env.count);
+        let mut outgoing: Option<Payload> = incoming.as_ref().map(|env| env.payload.clone());
         mask >>= 1;
         while mask > 0 {
             if vrank + mask < p {
                 let child = (vrank + mask + root) % p;
-                self.send_internal(buf.as_slice(), child, tags(0))?;
+                let payload = outgoing
+                    .get_or_insert_with(|| self.prepare_payload(buf.as_slice(), child))
+                    .clone();
+                self.send_prepared(payload, T::TYPE_NAME, count, child, tags(0), false)?;
             }
             mask >>= 1;
+        }
+        // Decode last (and release our forwarding clone first): a leaf —
+        // or an interior rank whose children have already consumed their
+        // copies — recovers the vector without copying at all.
+        drop(outgoing);
+        if let Some(env) = incoming {
+            *buf = decode_payload::<T>(env.payload, env.count)?;
         }
         Ok(())
     }
@@ -65,9 +82,14 @@ impl Comm {
         let tags = self.start_collective(opcodes::BCAST, "bcast")?;
         let _phase = self.trace_coll("bcast");
         if self.rank() == root {
+            // One payload, prepared once, cloned per destination.
+            let mut outgoing: Option<Payload> = None;
             for r in 0..p {
                 if r != root {
-                    self.send_internal(buf.as_slice(), r, tags(0))?;
+                    let payload = outgoing
+                        .get_or_insert_with(|| self.prepare_payload(buf.as_slice(), r))
+                        .clone();
+                    self.send_prepared(payload, T::TYPE_NAME, buf.len(), r, tags(0), false)?;
                 }
             }
         } else {

@@ -7,8 +7,8 @@ use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_core::{Error, OpContext, Result};
 use patternlets_trace::{CollSpan, EventKind};
 
-use crate::datatype::{encode, Datatype};
-use crate::envelope::{collective_tag, is_collective_tag, Envelope};
+use crate::datatype::{decode_payload, encode, Datatype};
+use crate::envelope::{collective_tag, is_collective_tag, Envelope, Payload};
 use crate::fabric::{AgreeKey, AgreeSlot, Fabric};
 use crate::fault::retry_backoff;
 use crate::status::{SourceSel, Status, TagSel};
@@ -173,11 +173,51 @@ impl Comm {
         self.send_flagged(data, dest, tag, false).map(|_| ())
     }
 
+    /// The payload representation for a send of `data` to `dest`: the
+    /// shared in-process form when the fabric says the two ranks share an
+    /// address space (and the element type supports sharing), the encoded
+    /// wire form otherwise. Collectives call this once at the root and
+    /// forward the same payload to every child.
+    pub(crate) fn prepare_payload<T: Datatype>(&self, data: &[T], dest: usize) -> Payload {
+        if self
+            .fabric
+            .shares_address_space(self.world_rank(), self.group[dest])
+        {
+            if let Some(shared) = T::to_shared(data) {
+                return Payload::InProc(shared);
+            }
+        }
+        Payload::Bytes(encode(data))
+    }
+
     /// Deliver an envelope, optionally demanding a receive-side ack.
     /// Returns the sender-side sequence number (used to match the ack).
     fn send_flagged<T: Datatype>(
         &self,
         data: &[T],
+        dest: usize,
+        tag: i32,
+        needs_ack: bool,
+    ) -> Result<u64> {
+        if dest >= self.size() {
+            return Err(Error::RankOutOfRange {
+                rank: dest,
+                size: self.size(),
+            });
+        }
+        let payload = self.prepare_payload(data, dest);
+        self.send_prepared(payload, T::TYPE_NAME, data.len(), dest, tag, needs_ack)
+    }
+
+    /// Deliver an already-prepared payload to `dest`. All the transmission
+    /// machinery lives here — fault accounting, sequence numbers, tracing,
+    /// chaos injection — so collectives that forward one payload to many
+    /// children pay the payload preparation exactly once.
+    pub(crate) fn send_prepared(
+        &self,
+        payload: Payload,
+        type_name: &'static str,
+        count: usize,
         dest: usize,
         tag: i32,
         needs_ack: bool,
@@ -197,7 +237,6 @@ impl Comm {
             });
         }
         let seq = self.fabric.next_send_seq(me);
-        let payload = encode(data);
         self.fabric.record_msg(crate::world::MsgEvent {
             from: me,
             to: self.group[dest],
@@ -215,8 +254,8 @@ impl Comm {
             comm_id: self.comm_id,
             src: self.local_rank,
             tag,
-            type_name: T::TYPE_NAME,
-            count: data.len(),
+            type_name,
+            count,
             payload,
             seq,
             needs_ack,
@@ -239,10 +278,29 @@ impl Comm {
             overtake = decision.overtake;
             duplicate = decision.duplicate;
         }
-        if self
-            .fabric
-            .deliver(me, self.group[dest], env, overtake, duplicate)
-        {
+        let swallowed = if self.group[dest] == me {
+            // Self-send shortcut: the destination mailbox is this rank's
+            // own, so deliver straight into it instead of dispatching
+            // through the fabric. Everything observable — fault ops,
+            // sequence numbers, chaos draws, traces, dedup — already
+            // happened above, identically to the fabric path. Skipping
+            // the fabric's progress bump is safe here: a self-send
+            // strictly precedes (in program order) any receive it could
+            // satisfy, so no deadlock verdict can be invalidated by it.
+            let mailbox = self.fabric.mailbox(me);
+            if duplicate {
+                mailbox.deliver_displaced(env.clone(), overtake);
+                // The second copy is swallowed by our own dedup.
+                !mailbox.deliver_displaced(env, 0)
+            } else {
+                mailbox.deliver_displaced(env, overtake);
+                false
+            }
+        } else {
+            self.fabric
+                .deliver(me, self.group[dest], env, overtake, duplicate)
+        };
+        if swallowed {
             // A duplicate copy was observably swallowed by the receiver's
             // dedup on this call path (in-process backends only).
             self.trace_event(|| EventKind::DupDropped);
@@ -292,6 +350,27 @@ impl Comm {
         src: SourceSel,
         tag: TagSel,
     ) -> Result<(Vec<T>, Status)> {
+        let env = self.recv_envelope::<T>(src, tag)?;
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            count: env.count,
+        };
+        let data = decode_payload::<T>(env.payload, env.count)?;
+        Ok((data, status))
+    }
+
+    /// The matching half of a receive: block until an envelope matching
+    /// the selectors arrives (with full failure/deadlock handling), run
+    /// the ack handshake and the type check, and return the raw envelope
+    /// — payload still in whichever representation the sender chose.
+    /// Collectives that forward a payload down a tree receive here, clone
+    /// the payload for their children, and only then decode.
+    pub(crate) fn recv_envelope<T: Datatype>(
+        &self,
+        src: SourceSel,
+        tag: TagSel,
+    ) -> Result<Envelope> {
         if let SourceSel::Rank(r) = src {
             if r >= self.size() {
                 return Err(Error::RankOutOfRange {
@@ -413,13 +492,7 @@ impl Comm {
                 found: env.type_name.to_string(),
             });
         }
-        let data = T::decode_slice(&env.payload, env.count)?;
-        let status = Status {
-            source: env.src,
-            tag: env.tag,
-            count: env.count,
-        };
-        Ok((data, status))
+        Ok(env)
     }
 
     /// Receive exactly one value; fails on count mismatch.

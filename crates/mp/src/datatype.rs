@@ -8,6 +8,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use patternlets_core::{Error, Result};
 
+use crate::envelope::{Payload, SharedPayload};
+
 /// A type that can be sent in a message. Mirrors the built-in
 /// `MPI_Datatype`s (`MPI_INT`, `MPI_DOUBLE`, `MPI_CHAR`, ...), plus
 /// `String` for convenience (hostnames in the SPMD patternlet).
@@ -20,6 +22,57 @@ pub trait Datatype: Sized + Send + 'static {
 
     /// Decode a whole payload of `count` elements.
     fn decode_slice(bytes: &Bytes, count: usize) -> Result<Vec<Self>>;
+
+    /// Exact size of `data`'s wire encoding. The default produces the
+    /// encoding into a scratch buffer and measures it; impls with a
+    /// closed-form size override this so the in-process fast path never
+    /// encodes at all.
+    fn encoded_len(data: &[Self]) -> usize {
+        let mut out = BytesMut::new();
+        Self::encode_slice(data, &mut out);
+        out.len()
+    }
+
+    /// Opt into the in-process zero-copy path: wrap `data` in a
+    /// [`SharedPayload`] (one copy into an `Arc`, refcount bumps after).
+    /// The default returns `None` — the sender falls back to byte
+    /// encoding — because sharing requires `Clone + Sync`, which this
+    /// trait deliberately does not demand of every implementor.
+    fn to_shared(data: &[Self]) -> Option<SharedPayload> {
+        let _ = data;
+        None
+    }
+
+    /// Recover an element vector from a shared payload, zero-copy when
+    /// the receiver holds the last clone. `Err` hands the payload back so
+    /// the caller can decode its wire form instead; the default always
+    /// does so, matching the default `to_shared`.
+    fn from_shared(shared: SharedPayload) -> std::result::Result<Vec<Self>, SharedPayload> {
+        Err(shared)
+    }
+}
+
+/// Decode a received payload into elements: wire payloads run through
+/// [`Datatype::decode_slice`]; shared in-process payloads are recovered
+/// via [`Datatype::from_shared`] (zero-copy when this receiver holds the
+/// last clone), falling back to the wire form if the type opted out.
+pub(crate) fn decode_payload<T: Datatype>(payload: Payload, count: usize) -> Result<Vec<T>> {
+    match payload {
+        Payload::Bytes(bytes) => T::decode_slice(&bytes, count),
+        Payload::InProc(shared) => match T::from_shared(shared) {
+            Ok(data) => {
+                if data.len() != count {
+                    return Err(Error::Codec(format!(
+                        "{}: shared payload holds {} elements, envelope says {count}",
+                        T::TYPE_NAME,
+                        data.len()
+                    )));
+                }
+                Ok(data)
+            }
+            Err(shared) => T::decode_slice(&shared.to_wire(), count),
+        },
+    }
 }
 
 macro_rules! impl_fixed {
@@ -43,6 +96,18 @@ macro_rules! impl_fixed {
                 }
                 let mut buf = bytes.clone();
                 Ok((0..count).map(|_| buf.$get()).collect())
+            }
+
+            fn encoded_len(data: &[Self]) -> usize {
+                data.len() * $size
+            }
+
+            fn to_shared(data: &[Self]) -> Option<SharedPayload> {
+                Some(SharedPayload::for_slice(data))
+            }
+
+            fn from_shared(shared: SharedPayload) -> std::result::Result<Vec<Self>, SharedPayload> {
+                shared.try_take::<Self>()
             }
         }
     )*};
@@ -84,6 +149,18 @@ impl Datatype for bool {
             })
             .collect()
     }
+
+    fn encoded_len(data: &[Self]) -> usize {
+        data.len()
+    }
+
+    fn to_shared(data: &[Self]) -> Option<SharedPayload> {
+        Some(SharedPayload::for_slice(data))
+    }
+
+    fn from_shared(shared: SharedPayload) -> std::result::Result<Vec<Self>, SharedPayload> {
+        shared.try_take::<Self>()
+    }
 }
 
 impl Datatype for usize {
@@ -103,6 +180,18 @@ impl Datatype for usize {
                 usize::try_from(v).map_err(|_| Error::Codec(format!("usize: value {v} too large")))
             })
             .collect()
+    }
+
+    fn encoded_len(data: &[Self]) -> usize {
+        data.len() * 8
+    }
+
+    fn to_shared(data: &[Self]) -> Option<SharedPayload> {
+        Some(SharedPayload::for_slice(data))
+    }
+
+    fn from_shared(shared: SharedPayload) -> std::result::Result<Vec<Self>, SharedPayload> {
+        shared.try_take::<Self>()
     }
 }
 
@@ -138,9 +227,23 @@ impl Datatype for String {
         }
         Ok(out)
     }
+
+    fn encoded_len(data: &[Self]) -> usize {
+        data.iter().map(|s| 8 + s.len()).sum()
+    }
+
+    fn to_shared(data: &[Self]) -> Option<SharedPayload> {
+        Some(SharedPayload::for_slice(data))
+    }
+
+    fn from_shared(shared: SharedPayload) -> std::result::Result<Vec<Self>, SharedPayload> {
+        shared.try_take::<Self>()
+    }
 }
 
 /// `(value, location)` pairs for `MPI_MINLOC`/`MPI_MAXLOC` reductions.
+/// `T` carries no `Clone`/`Sync` bound here, so these pairs keep the
+/// default `to_shared`/`from_shared` and always travel encoded.
 impl<T: Datatype> Datatype for (T, usize) {
     const TYPE_NAME: &'static str = "(T, usize)";
 
@@ -227,6 +330,30 @@ mod tests {
         // Valid as 12 bytes of u8 though — type checking happens at the
         // envelope layer, not here.
         assert!(u8::decode_slice(&payload, 12).is_ok());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        assert_eq!(i32::encoded_len(&[1, 2, 3]), encode(&[1i32, 2, 3]).len());
+        assert_eq!(u8::encoded_len(&[9; 17]), 17);
+        assert_eq!(bool::encoded_len(&[true, false]), 2);
+        assert_eq!(usize::encoded_len(&[1, 2]), 16);
+        let strings = ["".to_string(), "hé".to_string()];
+        assert_eq!(String::encoded_len(&strings), encode(&strings).len());
+        let pairs = [(3i64, 0usize), (-5, 7)];
+        assert_eq!(<(i64, usize)>::encoded_len(&pairs), encode(&pairs).len());
+    }
+
+    #[test]
+    fn shared_round_trip_through_payload() {
+        use crate::envelope::Payload;
+        let data = vec![10i64, 20, 30];
+        let shared = i64::to_shared(&data).expect("i64 opts into sharing");
+        let back = decode_payload::<i64>(Payload::InProc(shared), 3).unwrap();
+        assert_eq!(back, data);
+        // Pairs opt out: to_shared is None, and a foreign shared payload
+        // falls back to wire decoding.
+        assert!(<(i64, usize)>::to_shared(&[(1, 2)]).is_none());
     }
 
     #[test]

@@ -1,6 +1,131 @@
 //! Message envelopes: source, tag, type, count, payload.
 
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
 use bytes::Bytes;
+
+use crate::datatype::Datatype;
+
+/// A message payload, in one of two representations.
+///
+/// `Bytes` is the wire form: the element slice run through
+/// [`Datatype::encode_slice`], exactly what crosses a socket. `InProc` is
+/// the same-process fast path: shared ownership of the sender's element
+/// vector, so delivery between ranks that share an address space is one
+/// `Arc` refcount bump instead of an encode/decode round trip. The two
+/// are interchangeable at the transport seam — [`Payload::to_wire`]
+/// recovers the byte form of an `InProc` payload on demand, so a network
+/// backend never needs to know which representation a sender chose.
+#[derive(Clone)]
+pub enum Payload {
+    /// Encoded wire form (cheap to clone: `Bytes` is refcounted).
+    Bytes(Bytes),
+    /// Shared in-process form (cheap to clone: one `Arc` bump).
+    InProc(SharedPayload),
+}
+
+impl Payload {
+    /// Size of the wire encoding in bytes (without producing it for
+    /// `InProc` payloads — the encoded length is precomputed at send).
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Bytes(bytes) => bytes.len(),
+            Payload::InProc(shared) => shared.wire_len,
+        }
+    }
+
+    /// True when the wire encoding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The wire (byte) form: a cheap clone for `Bytes`, an on-demand
+    /// encode for `InProc`. This is the transparent fallback a network
+    /// backend uses at the framing seam.
+    pub fn to_wire(&self) -> Bytes {
+        match self {
+            Payload::Bytes(bytes) => bytes.clone(),
+            Payload::InProc(shared) => shared.to_wire(),
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Bytes(bytes) => write!(f, "Bytes({} B)", bytes.len()),
+            Payload::InProc(shared) => shared.fmt(f),
+        }
+    }
+}
+
+impl fmt::Debug for SharedPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InProc({} B encoded)", self.wire_len)
+    }
+}
+
+/// Shared ownership of a sender's element vector, plus a monomorphised
+/// encoder so the wire form can be recovered at the transport seam
+/// without knowing the element type, and the precomputed wire length so
+/// tracing and the message log report the same byte counts either way.
+#[derive(Clone)]
+pub struct SharedPayload {
+    data: Arc<dyn Any + Send + Sync>,
+    encode: fn(&(dyn Any + Send + Sync)) -> Bytes,
+    wire_len: usize,
+}
+
+impl SharedPayload {
+    /// Wrap a slice for in-process delivery. One copy happens here (into
+    /// the `Arc`); every subsequent clone — per-child forwarding in a
+    /// collective tree, duplicate transmissions — is a refcount bump.
+    pub fn for_slice<T>(data: &[T]) -> SharedPayload
+    where
+        T: Datatype + Clone + Sync,
+    {
+        SharedPayload {
+            data: Arc::new(data.to_vec()),
+            encode: |any| {
+                let vec = any
+                    .downcast_ref::<Vec<T>>()
+                    .expect("a shared payload holds the Vec it was built from");
+                crate::datatype::encode(vec)
+            },
+            wire_len: T::encoded_len(data),
+        }
+    }
+
+    /// Recover the element vector: zero-copy (`Arc::try_unwrap`) when
+    /// this is the last clone, one `Vec` clone otherwise. `Err` returns
+    /// the payload untouched when it holds a different element type, so
+    /// the caller can fall back to the wire form.
+    pub fn try_take<T>(self) -> std::result::Result<Vec<T>, SharedPayload>
+    where
+        T: Any + Send + Sync + Clone,
+    {
+        let SharedPayload {
+            data,
+            encode,
+            wire_len,
+        } = self;
+        match data.downcast::<Vec<T>>() {
+            Ok(vec) => Ok(Arc::try_unwrap(vec).unwrap_or_else(|shared| (*shared).clone())),
+            Err(data) => Err(SharedPayload {
+                data,
+                encode,
+                wire_len,
+            }),
+        }
+    }
+
+    /// Encode the held vector to its wire form.
+    pub fn to_wire(&self) -> Bytes {
+        (self.encode)(self.data.as_ref())
+    }
+}
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
@@ -17,8 +142,8 @@ pub struct Envelope {
     pub type_name: &'static str,
     /// Element count.
     pub count: usize,
-    /// Encoded payload.
-    pub payload: Bytes,
+    /// The payload, in wire or shared in-process form.
+    pub payload: Payload,
     /// Per-sender sequence number (diagnostics; also documents the
     /// non-overtaking order).
     pub seq: u64,
@@ -123,12 +248,35 @@ mod tests {
             tag: 42,
             type_name: "i32",
             count: 2,
-            payload: Bytes::from_static(&[1, 0, 0, 0, 2, 0, 0, 0]),
+            payload: Payload::Bytes(Bytes::from_static(&[1, 0, 0, 0, 2, 0, 0, 0])),
             seq: 7,
         };
         assert_eq!(env.src, 3);
         assert_eq!(env.tag, 42);
         assert_eq!(env.count, 2);
         assert_eq!(env.payload.len(), 8);
+    }
+
+    #[test]
+    fn shared_payload_encodes_to_the_same_wire_form() {
+        let data = vec![1i32, 2, 3];
+        let shared = SharedPayload::for_slice(&data);
+        let direct = crate::datatype::encode(&data);
+        assert_eq!(shared.wire_len, direct.len());
+        assert_eq!(&shared.to_wire()[..], &direct[..]);
+        let payload = Payload::InProc(shared);
+        assert_eq!(payload.len(), direct.len());
+        assert_eq!(&payload.to_wire()[..], &direct[..]);
+    }
+
+    #[test]
+    fn shared_payload_take_is_zero_copy_when_sole_owner() {
+        let shared = SharedPayload::for_slice(&[7i64, 8]);
+        // Sole owner: try_take recovers the vector without cloning.
+        assert_eq!(shared.try_take::<i64>().unwrap(), vec![7, 8]);
+        // Wrong element type: the payload comes back for wire fallback.
+        let shared = SharedPayload::for_slice(&[7i64, 8]);
+        let back = shared.try_take::<i32>().unwrap_err();
+        assert_eq!(back.to_wire().len(), 16);
     }
 }

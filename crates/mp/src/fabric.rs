@@ -72,6 +72,19 @@ pub trait Fabric: Send + Sync {
     /// when no fault plan is installed.
     fn chaos_decision(&self, me: usize) -> Option<ChaosDecision>;
 
+    /// Do `me` and `dest` share an address space, so a send between them
+    /// may ship a shared in-process payload
+    /// ([`Payload::InProc`](crate::envelope::Payload)) instead of an
+    /// encoded one? A backend answering `true` must deliver envelopes by
+    /// handing them to the destination's [`Mailbox`] directly. The
+    /// default is `false` — always encode — which is always correct:
+    /// `InProc` payloads that do reach a wire-crossing backend are
+    /// converted at the framing seam via `Payload::to_wire`.
+    fn shares_address_space(&self, me: usize, dest: usize) -> bool {
+        let _ = (me, dest);
+        false
+    }
+
     /// Is `world_rank` still running (not finished, normally or not)?
     fn rank_alive(&self, world_rank: usize) -> bool;
 

@@ -22,9 +22,12 @@
 //!
 //! Each rank is an OS thread whose closure receives a [`Comm`] by
 //! reference and must be `Sync`-pure: the API offers no shared mutable
-//! state, and payloads cross rank boundaries only as *encoded bytes*
-//! (see [`datatype::Datatype`]), so a rank can never alias another rank's
-//! data. That reproduces the observable semantics the paper's MPI
+//! state, and payloads cross rank boundaries only by value — as encoded
+//! bytes (see [`datatype::Datatype`]), or as an immutable shared buffer
+//! on the in-process fast path (see [`envelope::Payload`]) that the
+//! receiver copies out of before anyone can mutate — so a rank can never
+//! alias another rank's data. That reproduces the observable semantics
+//! the paper's MPI
 //! patternlets teach: private address spaces, explicit messages, and
 //! unordered stdout across ranks (paper Figures 6, 11, 17).
 //!
@@ -54,7 +57,7 @@ pub mod world;
 
 pub use comm::Comm;
 pub use datatype::Datatype;
-pub use envelope::Envelope;
+pub use envelope::{Envelope, Payload, SharedPayload};
 pub use fabric::{install_fabric_provider, Fabric, FabricProvider, ProvidedWorld, WorldSpec};
 pub use fault::FaultPlan;
 pub use request::{RecvRequest, SendRequest};

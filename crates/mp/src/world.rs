@@ -66,6 +66,10 @@ pub(crate) struct Transport {
     pub(crate) fault: Option<FaultState>,
     /// How long blocked receives sleep between liveness re-checks.
     pub(crate) poll_interval: Duration,
+    /// Force every payload through the encode/decode wire path even
+    /// though all ranks share this address space (benchmark baseline;
+    /// see [`WorldBuilder::encoded_payloads`]).
+    pub(crate) encoded_only: bool,
     /// Message-free agreement slots for `Comm::agree`/`Comm::shrink`
     /// (ULFM-style operations must work when messaging peers are dead, so
     /// they synchronise through shared runtime state instead).
@@ -124,8 +128,10 @@ impl Transport {
         tracer: Option<Tracer>,
         fault: Option<FaultPlan>,
         poll_interval: Duration,
+        encoded_only: bool,
     ) -> Self {
         Transport {
+            encoded_only,
             trace: traced.then(|| PlMutex::new(Vec::new())),
             tracer,
             progress: AtomicU64::new(0),
@@ -388,6 +394,13 @@ impl Fabric for Transport {
         self.fault.as_ref().map(|fault| fault.decide(me))
     }
 
+    fn shares_address_space(&self, _me: usize, _dest: usize) -> bool {
+        // Every rank is a thread of this process, so all pairs qualify
+        // for the shared in-process payload path — unless the world was
+        // built with the encode-everything benchmark baseline.
+        !self.encoded_only
+    }
+
     fn rank_alive(&self, world_rank: usize) -> bool {
         Transport::rank_alive(self, world_rank)
     }
@@ -472,6 +485,7 @@ pub struct WorldBuilder {
     tracer: Option<Tracer>,
     fault: Option<FaultPlan>,
     poll_interval: Duration,
+    encoded_only: bool,
 }
 
 impl WorldBuilder {
@@ -484,7 +498,18 @@ impl WorldBuilder {
             tracer: None,
             fault: None,
             poll_interval: DEFAULT_POLL_INTERVAL,
+            encoded_only: false,
         }
+    }
+
+    /// When `true`, force every in-process payload through the full
+    /// encode/decode wire path even though sender and receiver share an
+    /// address space — the pre-zero-copy behaviour. Exists so benchmarks
+    /// can measure the shared-payload fast path against the encoded
+    /// baseline in the same build; semantics are identical either way.
+    pub fn encoded_payloads(mut self, encoded_only: bool) -> Self {
+        self.encoded_only = encoded_only;
+        self
     }
 
     /// Attach a structured-event [`Tracer`]: every rank emits send/recv,
@@ -630,6 +655,7 @@ impl WorldBuilder {
             self.tracer.clone(),
             self.fault.clone(),
             self.poll_interval,
+            self.encoded_only,
         ));
         let results: Vec<Mutex<Option<R>>> = (0..self.np).map(|_| Mutex::new(None)).collect();
 

@@ -31,7 +31,7 @@
 //! exited) still resolves, because `Finish` frames feed the same
 //! every-sender-finished check the thread backend uses.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
-use patternlets_mp::envelope::Envelope;
+use patternlets_mp::envelope::{Envelope, Payload};
 use patternlets_mp::fabric::{AgreeKey, AgreeSlot, Fabric, WorldSpec};
 use patternlets_mp::fault::{ChaosDecision, FaultState};
 use patternlets_mp::mailbox::Mailbox;
@@ -90,6 +90,128 @@ fn intern_type_name(name: &str) -> &'static str {
     leaked
 }
 
+/// Most frames one flush pass will hand to a single vectored write.
+/// Bounds both the `IoSlice` array and how long one sender can be stuck
+/// flushing other senders' traffic.
+const MAX_COALESCED: usize = 64;
+
+/// Records queued on a peer's write side, plus whether some thread is
+/// currently draining them.
+struct SendQueue {
+    records: VecDeque<Vec<u8>>,
+    flushing: bool,
+}
+
+/// One peer connection's write side: a combining writer. A sender
+/// enqueues its record and, if nobody is flushing, becomes the flusher —
+/// draining the queue in batches of up to [`MAX_COALESCED`] records per
+/// vectored write. Records enqueued while a flush is in progress ride
+/// along in the flusher's next batch, so under contention many small
+/// frames (heartbeats, acks, collective rounds) coalesce into one
+/// syscall; an uncontended sender writes immediately, so nothing ever
+/// waits on a timer (flush-on-idle: the queue drains to empty before the
+/// flusher retires). `set_nodelay(true)` stays on — batching happens
+/// here, above the socket, not in Nagle's algorithm.
+struct PeerWriter {
+    stream: Mutex<TcpStream>,
+    queue: Mutex<SendQueue>,
+    /// Raised by whichever flusher first hits a write error. A sender
+    /// whose record another thread flushes can't see that write's result
+    /// directly; it reads the verdict here on its next send (failure
+    /// detection is bounded by the heartbeat cadence anyway).
+    broken: AtomicBool,
+}
+
+impl PeerWriter {
+    fn new(stream: TcpStream) -> Self {
+        PeerWriter {
+            stream: Mutex::new(stream),
+            queue: Mutex::new(SendQueue {
+                records: VecDeque::new(),
+                flushing: false,
+            }),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue one encoded record and make sure it gets flushed. Returns
+    /// `false` once the connection is known broken.
+    fn send(&self, record: &[u8]) -> bool {
+        if self.broken.load(Ordering::SeqCst) {
+            return false;
+        }
+        {
+            let mut queue = self.queue.lock();
+            queue.records.push_back(record.to_vec());
+            if queue.flushing {
+                // The active flusher will pick this record up before it
+                // retires; nothing more to do here.
+                return true;
+            }
+            queue.flushing = true;
+        }
+        loop {
+            let batch: Vec<Vec<u8>> = {
+                let mut queue = self.queue.lock();
+                if queue.records.is_empty() {
+                    queue.flushing = false;
+                    return !self.broken.load(Ordering::SeqCst);
+                }
+                let n = queue.records.len().min(MAX_COALESCED);
+                queue.records.drain(..n).collect()
+            };
+            if !self.write_batch(&batch) {
+                self.broken.store(true, Ordering::SeqCst);
+                let mut queue = self.queue.lock();
+                queue.records.clear();
+                queue.flushing = false;
+                return false;
+            }
+        }
+    }
+
+    /// Write a batch of records with vectored writes, advancing across
+    /// short writes manually (`write_all_vectored` is not yet stable).
+    fn write_batch(&self, batch: &[Vec<u8>]) -> bool {
+        use std::io::{ErrorKind, IoSlice, Write};
+        let mut stream = self.stream.lock();
+        let mut idx = 0; // first record not fully written
+        let mut off = 0; // bytes of batch[idx] already written
+        while idx < batch.len() {
+            let mut slices = Vec::with_capacity(batch.len() - idx);
+            slices.push(IoSlice::new(&batch[idx][off..]));
+            for record in &batch[idx + 1..] {
+                slices.push(IoSlice::new(record));
+            }
+            let mut n = match stream.write_vectored(&slices) {
+                Ok(0) => return false,
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            };
+            while n > 0 {
+                let remaining = batch[idx].len() - off;
+                if n >= remaining {
+                    n -= remaining;
+                    idx += 1;
+                    off = 0;
+                } else {
+                    off += n;
+                    n = 0;
+                }
+            }
+        }
+        true
+    }
+
+    /// Shut the underlying socket down (see [`TcpFabric::sever`] and
+    /// [`Fabric::finish`]); write attempts afterwards fail and mark the
+    /// writer broken.
+    fn shutdown(&self, how: Shutdown) {
+        let _ = self.stream.lock().shutdown(how);
+    }
+}
+
 struct Inner {
     me: usize,
     np: usize,
@@ -103,7 +225,7 @@ struct Inner {
     finished: Vec<AtomicBool>,
     failed: Vec<AtomicBool>,
     /// Write sides, indexed by peer world rank (`None` at `me`).
-    peers: Vec<Option<Mutex<TcpStream>>>,
+    peers: Vec<Option<PeerWriter>>,
     /// Milliseconds (since `start`) each peer was last heard from.
     last_heard: Vec<AtomicU64>,
     start: Instant,
@@ -118,16 +240,14 @@ impl Inner {
         self.start.elapsed().as_millis() as u64
     }
 
-    /// Write a pre-encoded record to one peer. `Ok(false)` when the write
-    /// failed against a not-yet-finished peer (caller decides whether
-    /// that's a failure verdict).
+    /// Write a pre-encoded record to one peer through its combining
+    /// writer. `false` when the connection is known broken and the peer
+    /// never finished (caller decides whether that's a failure verdict).
     fn write_to(&self, peer: usize, record: &[u8]) -> bool {
-        use std::io::Write;
-        let Some(stream) = &self.peers[peer] else {
+        let Some(writer) = &self.peers[peer] else {
             return true;
         };
-        let mut stream = stream.lock();
-        stream.write_all(record).is_ok()
+        writer.send(record)
     }
 
     /// Send `frame` to every peer; peers whose connection is dead and who
@@ -180,7 +300,7 @@ impl Inner {
                     tag,
                     type_name: intern_type_name(&type_name),
                     count: count as usize,
-                    payload: bytes::Bytes::from(payload),
+                    payload: Payload::Bytes(bytes::Bytes::from(payload)),
                     seq,
                     needs_ack,
                 };
@@ -355,7 +475,10 @@ impl TcpFabric {
             send_seq: AtomicU64::new(0),
             finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
             failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
-            peers: streams.into_iter().map(|s| s.map(Mutex::new)).collect(),
+            peers: streams
+                .into_iter()
+                .map(|s| s.map(PeerWriter::new))
+                .collect(),
             last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
             start: Instant::now(),
             agreements: Mutex::new(HashMap::new()),
@@ -385,8 +508,8 @@ impl TcpFabric {
     /// aid for exercising the failure-detection path in-process.
     pub fn sever(&self) {
         self.inner.closing.store(true, Ordering::SeqCst);
-        for stream in self.inner.peers.iter().flatten() {
-            let _ = stream.lock().shutdown(Shutdown::Both);
+        for writer in self.inner.peers.iter().flatten() {
+            writer.shutdown(Shutdown::Both);
         }
     }
 }
@@ -431,6 +554,12 @@ impl Fabric for TcpFabric {
         self.inner.fault.as_ref().map(|fault| fault.decide(me))
     }
 
+    fn shares_address_space(&self, me: usize, dest: usize) -> bool {
+        // Every peer is a separate process; only a rank's sends to itself
+        // stay in this address space (delivered into the local mailbox).
+        me == dest
+    }
+
     fn rank_alive(&self, world_rank: usize) -> bool {
         !self.inner.finished[world_rank].load(Ordering::SeqCst)
             && !self.inner.failed[world_rank].load(Ordering::SeqCst)
@@ -468,8 +597,8 @@ impl Fabric for TcpFabric {
         // Half-close every connection: peers read our Finish, then a
         // clean EOF, and their reader threads wind down; ours exit when
         // the peers do the same. No sockets or threads outlive the world.
-        for stream in self.inner.peers.iter().flatten() {
-            let _ = stream.lock().shutdown(Shutdown::Write);
+        for writer in self.inner.peers.iter().flatten() {
+            writer.shutdown(Shutdown::Write);
         }
     }
 
@@ -499,7 +628,7 @@ impl Fabric for TcpFabric {
             seq: env.seq,
             needs_ack: env.needs_ack,
             overtake: overtake as u32,
-            payload: env.payload.to_vec(),
+            payload: env.payload.to_wire().to_vec(),
         });
         let mut ok = self.inner.write_to(dest, &record);
         if ok && duplicate {
@@ -606,7 +735,7 @@ mod tests {
             tag,
             type_name: "i64",
             count: 1,
-            payload: bytes::Bytes::from(vec![7, 0, 0, 0, 0, 0, 0, 0]),
+            payload: Payload::Bytes(bytes::Bytes::from(vec![7, 0, 0, 0, 0, 0, 0, 0])),
             seq,
             needs_ack: false,
         }

@@ -508,7 +508,7 @@ mod tcp_failures {
                     tag: 1,
                     type_name: "u8",
                     count: 1,
-                    payload: bytes::Bytes::from(vec![9]),
+                    payload: patternlets_mp::Payload::Bytes(bytes::Bytes::from(vec![9])),
                     seq,
                     needs_ack: false,
                 };

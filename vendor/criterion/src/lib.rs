@@ -77,6 +77,15 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
 }
 
+/// CI quick mode: when `PATTERNLETS_BENCH_QUICK` is set (to anything but
+/// `0`), every benchmark's sample count and time budgets are clamped to
+/// smoke-test values, whatever the bench itself asked for. The numbers
+/// that come out are not comparable across runs — quick mode exists so a
+/// CI job can prove the benches still build and run in seconds.
+fn quick_mode() -> bool {
+    std::env::var("PATTERNLETS_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
 impl BenchmarkGroup<'_> {
     /// Number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
@@ -103,10 +112,23 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
+        let quick = quick_mode();
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
+            sample_size: if quick {
+                self.sample_size.min(2)
+            } else {
+                self.sample_size
+            },
+            measurement_time: if quick {
+                self.measurement_time.min(Duration::from_millis(150))
+            } else {
+                self.measurement_time
+            },
+            warm_up_time: if quick {
+                self.warm_up_time.min(Duration::from_millis(30))
+            } else {
+                self.warm_up_time
+            },
             mean: Duration::ZERO,
         };
         f(&mut bencher);
