@@ -1,0 +1,91 @@
+//! Ablation: the cost of the metrics instruments, on and off.
+//!
+//! Every instrumented site is a branch on an `Option<MetricsHub>`, so a
+//! world with no hub attached must run the pingpong hot path at the same
+//! speed as the plain `World::run` baseline — the `pingpong_baseline` /
+//! `pingpong_metrics_off` pair bounds that claim, and
+//! `pingpong_metrics_on` prices what turning the instruments on costs
+//! (a handful of relaxed atomic adds per message). `team_loop_*` does
+//! the same for the shmem schedule counters.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use patternlets_metrics::MetricsHub;
+use patternlets_mp::World;
+use patternlets_shmem::{Schedule, Team};
+
+/// Round trips per world spawn (amortises thread-spawn cost, same as
+/// `transport_latency`).
+const ROUNDS: usize = 32;
+
+fn pingpong(comm: &patternlets_mp::Comm) {
+    let buf = vec![7u8; 64];
+    for _ in 0..ROUNDS {
+        if comm.rank() == 0 {
+            comm.send(&buf, 1, 1).unwrap();
+            std::hint::black_box(comm.recv::<u8>(1, 2).unwrap());
+        } else {
+            let (data, _) = comm.recv::<u8>(0, 1).unwrap();
+            comm.send(&data, 0, 2).unwrap();
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    g.bench_function("pingpong_baseline", |b| {
+        b.iter(|| World::run(2, |comm| pingpong(&comm)))
+    });
+    g.bench_function("pingpong_metrics_off", |b| {
+        b.iter(|| World::builder(2).run(|comm| pingpong(&comm)).unwrap())
+    });
+    g.bench_function("pingpong_metrics_on", |b| {
+        b.iter(|| {
+            let hub = MetricsHub::new();
+            World::builder(2)
+                .metrics(hub.clone())
+                .run(|comm| pingpong(&comm))
+                .unwrap();
+            hub.snapshot().msgs_sent()
+        })
+    });
+
+    for np in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("team_loop_off", np), &np, |b, &n| {
+            b.iter(|| {
+                let total = std::sync::atomic::AtomicU64::new(0);
+                Team::new(n).parallel(|ctx| {
+                    ctx.for_each(1024, Schedule::Dynamic(8), |i| {
+                        total.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+                    });
+                });
+                total.into_inner()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("team_loop_on", np), &np, |b, &n| {
+            b.iter(|| {
+                let hub = MetricsHub::new();
+                let total = std::sync::atomic::AtomicU64::new(0);
+                Team::new(n).with_metrics(hub.clone()).parallel(|ctx| {
+                    ctx.for_each(1024, Schedule::Dynamic(8), |i| {
+                        total.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+                    });
+                });
+                total.into_inner()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench(&mut c);
+    c.final_summary();
+}

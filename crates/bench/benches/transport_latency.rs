@@ -36,6 +36,7 @@ fn spec(np: usize, epoch: u64) -> WorldSpec {
         fault: None,
         poll_interval: Duration::from_micros(200),
         tracer: None,
+        metrics: None,
         epoch,
     }
 }

@@ -2,15 +2,21 @@
 //! that pits the zero-copy shared-payload fast path against the
 //! encode-everything baseline **in the same build** (the baseline worlds
 //! are built with `WorldBuilder::encoded_payloads(true)`), then writes a
-//! machine-readable summary to `BENCH_4.json` and prints the deltas.
+//! machine-readable summary to `BENCH_5.json` and prints the deltas.
+//! Alongside the timings, a metrics-instrumented pingpong world records
+//! the zero-copy *hit rate* under both configs, so the summary states
+//! not just how fast the fast path is but that it actually engaged.
 //!
 //! Run directly (`cargo run --release --bin bench_smoke`) or from the CI
 //! `bench-smoke` job. `BENCH_SMOKE_ITERS` scales the sample count (CI
 //! uses a small value; the defaults are sized for a laptop-minute).
+//! The output path is the first argument, else `PATTERNLETS_BENCH_OUT`,
+//! else `BENCH_5.json`.
 
 use std::time::Instant;
 
 use patternlets_core::reduce::ops;
+use patternlets_metrics::MetricsHub;
 use patternlets_mp::World;
 
 /// Round trips per world spawn in the pingpong shapes (amortises the
@@ -95,6 +101,30 @@ fn reduce_ns(np: usize, elems: usize, encoded: bool, iters: usize) -> f64 {
     })
 }
 
+/// Fraction of pingpong sends that took the zero-copy path under this
+/// payload config, measured by an attached metrics hub (1.0 when the
+/// fast path engages, 0.0 under the encoded baseline).
+fn pingpong_hit_rate(encoded: bool) -> f64 {
+    let hub = MetricsHub::new();
+    World::builder(2)
+        .encoded_payloads(encoded)
+        .metrics(hub.clone())
+        .run(move |comm| {
+            let buf = vec![7u8; 64];
+            for _ in 0..ROUNDS {
+                if comm.rank() == 0 {
+                    comm.send(&buf, 1, 1).unwrap();
+                    std::hint::black_box(comm.recv::<u8>(1, 2).unwrap());
+                } else {
+                    let (data, _) = comm.recv::<u8>(0, 1).unwrap();
+                    comm.send(&data, 0, 2).unwrap();
+                }
+            }
+        })
+        .unwrap();
+    hub.snapshot().zerocopy_hit_rate().unwrap_or(0.0)
+}
+
 fn json_escape_free(name: &str) -> &str {
     debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
     name
@@ -107,7 +137,8 @@ fn main() {
         .unwrap_or(15);
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .or_else(|| std::env::var("PATTERNLETS_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
 
     let samples = vec![
         Sample {
@@ -132,6 +163,9 @@ fn main() {
         },
     ];
 
+    let hit_fast = pingpong_hit_rate(false);
+    let hit_encoded = pingpong_hit_rate(true);
+
     println!("== bench_smoke: zero-copy fast path vs encoded baseline ==");
     println!(
         "{:>16} {:>14} {:>14} {:>9}",
@@ -146,6 +180,11 @@ fn main() {
             s.speedup()
         );
     }
+    println!(
+        "zero-copy hit rate: fast path {:.0}%, encoded baseline {:.0}%",
+        hit_fast * 100.0,
+        hit_encoded * 100.0
+    );
 
     // Hand-rolled JSON: flat, no escaping needed (names are identifiers).
     let unix_secs = std::time::SystemTime::now()
@@ -154,9 +193,12 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_4\",\n");
+    json.push_str("  \"bench\": \"BENCH_5\",\n");
     json.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!(
+        "  \"zerocopy_hit_rate\": {{\"fast_path\": {hit_fast:.3}, \"encoded_baseline\": {hit_encoded:.3}}},\n"
+    ));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(

@@ -5,6 +5,7 @@
 //! patternlets show <name>
 //! patternlets run <name> [-n TASKS] [--on|--off] [--kill RANK]
 //!                        [--trace FILE] [--timeline] [--counters]
+//!                        [--metrics]
 //! patternlets coverage
 //! ```
 //!
@@ -15,11 +16,15 @@
 //! writes the run's event stream as Chrome-trace JSON (open in
 //! `chrome://tracing` or Perfetto), `--timeline` prints a per-rank text
 //! timeline, and `--counters` prints per-rank message/worksharing totals.
+//! `--metrics` records quantitative counters/histograms and prints the
+//! end-of-run summary table; under `pmrun`, `PMRUN_METRICS_ADDR` turns
+//! metrics on automatically and streams snapshots to the launcher.
 
 use std::process::ExitCode;
 
 use patternlets::harness::{Mode, Patternlet, RunConfig, Technology};
 use patternlets::registry::{by_technology, census, find, registry};
+use patternlets_metrics::{render_summary, CounterId, MetricsHub};
 use patternlets_net::NetEnv;
 use patternlets_trace::{chrome, timeline, Tracer};
 use patternlets_vtime::{rank_counters, total_counters, RankCounters};
@@ -83,7 +88,7 @@ fn main() -> ExitCode {
         Some("__net-stall") => {
             let arg =
                 |i: usize, default| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
-            net_stall(arg(1, 4), arg(2, 0), arg(3, 30_000) as u64)
+            net_stall(arg(1, 4), arg(2, 0), arg(3, 30_000) as u64, net.as_ref())
         }
         // A bare patternlet name is an implicit `run`, so launcher lines
         // read like real mpirun: `pmrun -np 4 patternlets mpi/broadcast`.
@@ -93,7 +98,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] \
-                 [--kill RANK] [--trace FILE] [--timeline] [--counters]"
+                 [--kill RANK] [--trace FILE] [--timeline] [--counters] [--metrics]"
             );
             ExitCode::FAILURE
         }
@@ -145,6 +150,27 @@ fn run_patternlet(p: &Patternlet, args: &[String], net: Option<&NetEnv>) -> Exit
     } else {
         None
     };
+    // `--metrics` asks for the end-of-run table; a collector address in the
+    // environment (set by `pmrun --metrics-port`/`--status`) turns the hub
+    // on even without the flag, mirroring how PMRUN_TRACE_DIR enables
+    // tracing, and streams snapshots to the launcher while the run is live.
+    let want_metrics = args.iter().any(|a| a == "--metrics");
+    let metrics_addr = std::env::var(patternlets_net::ENV_METRICS_ADDR).ok();
+    let metrics = if want_metrics || metrics_addr.is_some() {
+        let hub = MetricsHub::new();
+        cfg = cfg.with_metrics(hub.clone());
+        Some(hub)
+    } else {
+        None
+    };
+    let pusher = match (&metrics, &metrics_addr) {
+        (Some(hub), Some(addr)) => Some(MetricsPusher::spawn(
+            hub.clone(),
+            addr.clone(),
+            net.map_or(0, |e| e.rank),
+        )),
+        _ => None,
+    };
     (p.run)(&cfg);
     if chatty {
         println!();
@@ -178,15 +204,81 @@ fn run_patternlet(p: &Patternlet, args: &[String], net: Option<&NetEnv>) -> Exit
             print_counters(&trace);
         }
     }
+    if let Some(pusher) = pusher {
+        pusher.finish();
+    }
+    if let Some(hub) = &metrics {
+        if want_metrics && chatty {
+            println!("{}", render_summary(&hub.snapshot()));
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Streams cumulative metrics snapshots to `pmrun`'s collector on a
+/// cadence, then once more at shutdown so the collector always ends with
+/// the final totals. Lost pushes are harmless (snapshots are cumulative);
+/// a successful push after a failed one counts as a collector reconnect.
+struct MetricsPusher {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl MetricsPusher {
+    const TICK: std::time::Duration = std::time::Duration::from_millis(25);
+    const TICKS_PER_PUSH: u32 = 8; // ~200ms between pushes
+
+    fn spawn(hub: MetricsHub, addr: String, rank: usize) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop_flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut was_down = false;
+            let mut push = |hub: &MetricsHub| {
+                let ok = patternlets_net::push_metrics(&addr, rank, hub);
+                if ok && was_down {
+                    hub.incr(rank, CounterId::NetReconnects);
+                }
+                was_down = !ok;
+            };
+            let mut ticks = 0;
+            while !stop_flag.load(Ordering::SeqCst) {
+                std::thread::sleep(Self::TICK);
+                ticks += 1;
+                if ticks >= Self::TICKS_PER_PUSH {
+                    ticks = 0;
+                    push(&hub);
+                }
+            }
+            push(&hub);
+        });
+        MetricsPusher { stop, handle }
+    }
+
+    /// Stop the cadence and send the final snapshot.
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
 }
 
 /// Body of the hidden `__net-stall` subcommand (see `main`). Survivor
 /// output is asserted by `tests/pmrun.rs`; exit is clean so any non-zero
 /// job status is attributable to the killed worker alone.
-fn net_stall(np: usize, victim: usize, stall_ms: u64) -> ExitCode {
+fn net_stall(np: usize, victim: usize, stall_ms: u64, net: Option<&NetEnv>) -> ExitCode {
     use patternlets_core::Error;
-    let cfg = RunConfig::echoing(np, Mode::Off);
+    let mut cfg = RunConfig::echoing(np, Mode::Off);
+    // Honour the launcher's metrics environment like a real patternlet:
+    // this harness is the one deliberately long-lived job, so it's what
+    // `pmrun --status` tests watch live.
+    let metrics_addr = std::env::var(patternlets_net::ENV_METRICS_ADDR).ok();
+    let pusher = if let Some(addr) = metrics_addr {
+        let hub = MetricsHub::new();
+        cfg = cfg.with_metrics(hub.clone());
+        Some(MetricsPusher::spawn(hub, addr, net.map_or(0, |e| e.rank)))
+    } else {
+        None
+    };
     cfg.world(np)
         .poll_interval(std::time::Duration::from_millis(2))
         .run(|comm| {
@@ -219,6 +311,9 @@ fn net_stall(np: usize, victim: usize, stall_ms: u64) -> ExitCode {
             }
         })
         .expect("world config is valid");
+    if let Some(pusher) = pusher {
+        pusher.finish();
+    }
     ExitCode::SUCCESS
 }
 

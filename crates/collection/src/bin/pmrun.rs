@@ -24,8 +24,19 @@
 //! see the death as `Error::RankFailed` and — for the `resilience/`
 //! family — agree/shrink around it, while `pmrun` exits non-zero with a
 //! per-rank report. `--timeout SECS` bounds the whole job for CI.
+//!
+//! `--metrics-port P` turns every worker's metrics hub on and serves the
+//! merged counters as Prometheus text on `http://127.0.0.1:P/metrics`
+//! (`P = 0` picks an ephemeral port and prints it); workers stream
+//! cumulative snapshots to an internal collector while the job runs, so
+//! a scrape mid-run sees live numbers. `--metrics-linger MS` keeps the
+//! endpoint up that long after the job ends (for post-run scrapes);
+//! `--status` redraws a live per-rank metrics table on stderr instead
+//! of (or alongside) the HTTP endpoint.
 
-use std::io::{BufRead, BufReader, Read};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, IsTerminal, Read, Write};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,7 +45,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use patternlets_core::capture::Output;
-use patternlets_net::{rendezvous, ENV_NP, ENV_RANK, ENV_RENDEZVOUS, ENV_TRACE_DIR};
+use patternlets_metrics::{render_prometheus, render_summary, wire, MetricsSnapshot};
+use patternlets_net::frame::{read_frame, Frame};
+use patternlets_net::{
+    rendezvous, ENV_METRICS_ADDR, ENV_NP, ENV_RANK, ENV_RENDEZVOUS, ENV_TRACE_DIR,
+};
 use patternlets_trace::chrome;
 
 struct Opts {
@@ -45,6 +60,14 @@ struct Opts {
     trace: Option<String>,
     /// `--timeout SECS`: kill the whole job if it runs longer than this.
     timeout: Option<u64>,
+    /// `--metrics-port P`: serve merged Prometheus text on this port
+    /// (0 = ephemeral; the bound address is printed either way).
+    metrics_port: Option<u16>,
+    /// `--metrics-linger MS`: keep the metrics endpoint up this long
+    /// after the workers exit.
+    metrics_linger: u64,
+    /// `--status`: redraw a live per-rank metrics table on stderr.
+    status: bool,
     program: String,
     program_args: Vec<String>,
 }
@@ -52,6 +75,7 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pmrun -np N [--kill-worker RANK:MS] [--trace FILE] [--timeout SECS] \
+         [--metrics-port P] [--metrics-linger MS] [--status] \
          <program> [args...]\n\n\
          example: pmrun -np 4 patternlets mpi/broadcast"
     );
@@ -63,6 +87,9 @@ fn parse(args: &[String]) -> Option<Opts> {
     let mut kill_worker = None;
     let mut trace = None;
     let mut timeout = None;
+    let mut metrics_port = None;
+    let mut metrics_linger = 0;
+    let mut status = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,6 +110,18 @@ fn parse(args: &[String]) -> Option<Opts> {
                 timeout = Some(args.get(i + 1)?.parse().ok()?);
                 i += 2;
             }
+            "--metrics-port" => {
+                metrics_port = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            "--metrics-linger" => {
+                metrics_linger = args.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--status" => {
+                status = true;
+                i += 1;
+            }
             _ => break,
         }
     }
@@ -92,9 +131,126 @@ fn parse(args: &[String]) -> Option<Opts> {
         kill_worker,
         trace,
         timeout,
+        metrics_port,
+        metrics_linger,
+        status,
         program,
         program_args: args[i + 1..].to_vec(),
     })
+}
+
+/// The launcher-side metrics collector: workers push cumulative
+/// [`Frame::Metrics`] snapshots to `push_addr`; the latest per rank is
+/// kept and merged on demand for the HTTP endpoint, the live status
+/// view, and the end-of-job summary.
+#[derive(Clone)]
+struct MetricsCollector {
+    snaps: Arc<Mutex<HashMap<usize, MetricsSnapshot>>>,
+    push_addr: String,
+}
+
+impl MetricsCollector {
+    /// Bind the push listener and start accepting worker connections.
+    fn start() -> std::io::Result<MetricsCollector> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let push_addr = listener.local_addr()?.to_string();
+        let snaps: Arc<Mutex<HashMap<usize, MetricsSnapshot>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let store = Arc::clone(&snaps);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    // Snapshots are cumulative, so "latest wins" per rank;
+                    // a malformed payload is dropped, not fatal.
+                    while let Ok(Some(frame)) = read_frame(&mut stream) {
+                        if let Frame::Metrics { rank, payload } = frame {
+                            if let Ok(snap) = wire::decode(&payload) {
+                                store.lock().insert(rank as usize, snap);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Ok(MetricsCollector { snaps, push_addr })
+    }
+
+    /// How many ranks have pushed at least one snapshot.
+    fn ranks_reporting(&self) -> usize {
+        self.snaps.lock().len()
+    }
+
+    /// All ranks' latest snapshots, lane-merged into one.
+    fn merged(&self) -> MetricsSnapshot {
+        let snaps = self.snaps.lock();
+        let mut merged = MetricsSnapshot::default();
+        for snap in snaps.values() {
+            merged.merge(snap);
+        }
+        merged
+    }
+
+    /// Serve `GET /metrics` (any path, really) with Prometheus text
+    /// exposition format 0.0.4. Returns the actually-bound port.
+    fn serve_http(&self, port: u16) -> std::io::Result<u16> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let bound = listener.local_addr()?.port();
+        let collector = self.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Drain the request head; the response is the same for
+                // every path, so parsing it buys nothing.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = render_prometheus(&collector.merged());
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        });
+        Ok(bound)
+    }
+
+    /// Redraw a per-rank metrics table on stderr every `every` until
+    /// `done`. On a TTY the previous frame is erased first; elsewhere a
+    /// frame is printed only when the numbers changed.
+    fn status_loop(&self, done: Arc<AtomicBool>, every: Duration) {
+        let tty = std::io::stderr().is_terminal();
+        let mut last = String::new();
+        let mut last_lines = 0usize;
+        while !done.load(Ordering::SeqCst) {
+            std::thread::sleep(every);
+            let merged = self.merged();
+            if merged.lanes.is_empty() {
+                continue;
+            }
+            let text = format!(
+                "-- pmrun live metrics ({} ranks reporting) --\n{}",
+                self.ranks_reporting(),
+                render_summary(&merged)
+            );
+            if text == last {
+                continue;
+            }
+            let mut err = std::io::stderr().lock();
+            if tty && last_lines > 0 {
+                // Cursor up over the previous frame, then erase below.
+                let _ = write!(err, "\x1b[{last_lines}A\x1b[J");
+            }
+            let _ = writeln!(err, "{text}");
+            last_lines = text.lines().count() + 1;
+            last = text;
+        }
+    }
 }
 
 /// A bare program name resolves to a sibling of this executable first —
@@ -172,6 +328,32 @@ fn main() -> ExitCode {
         }
     }
 
+    // The metrics collector exists whenever anything will read it; its
+    // push address in the environment is also what switches the workers'
+    // hubs on.
+    let collector = if opts.metrics_port.is_some() || opts.status {
+        match MetricsCollector::start() {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("pmrun: cannot start metrics collector: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    if let (Some(collector), Some(port)) = (&collector, opts.metrics_port) {
+        match collector.serve_http(port) {
+            Ok(bound) => {
+                println!("pmrun: serving metrics on http://127.0.0.1:{bound}/metrics");
+            }
+            Err(e) => {
+                eprintln!("pmrun: cannot bind metrics port {port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let program = resolve_program(&opts.program);
     let mut children: Vec<Arc<Mutex<Child>>> = Vec::with_capacity(opts.np);
     let stdout_log = Output::echoing();
@@ -188,6 +370,9 @@ fn main() -> ExitCode {
             .stderr(Stdio::piped());
         if let Some(dir) = &trace_dir {
             cmd.env(ENV_TRACE_DIR, dir);
+        }
+        if let Some(collector) = &collector {
+            cmd.env(ENV_METRICS_ADDR, &collector.push_addr);
         }
         let mut child = match cmd.spawn() {
             Ok(child) => child,
@@ -260,6 +445,13 @@ fn main() -> ExitCode {
         });
     }
 
+    if opts.status {
+        if let Some(collector) = collector.clone() {
+            let done = Arc::clone(&all_done);
+            std::thread::spawn(move || collector.status_loop(done, Duration::from_millis(400)));
+        }
+    }
+
     // Wait for EVERY worker — deliberately including jobs where one was
     // killed: the survivors must get to finish their recovery (shrink,
     // reformed collectives) before the job is judged.
@@ -312,6 +504,27 @@ fn main() -> ExitCode {
              (open in chrome://tracing or Perfetto)",
             opts.np
         );
+    }
+
+    if let Some(collector) = &collector {
+        let merged = collector.merged();
+        if !merged.lanes.is_empty() {
+            println!(
+                "pmrun: metrics summary ({} of {} ranks reported)\n{}",
+                collector.ranks_reporting(),
+                opts.np,
+                render_summary(&merged)
+            );
+        }
+        // Post-run scrapes (CI, the walkthrough's curl) need the endpoint
+        // to outlive the workers for a moment.
+        if opts.metrics_port.is_some() && opts.metrics_linger > 0 {
+            println!(
+                "pmrun: metrics endpoint lingering for {}ms",
+                opts.metrics_linger
+            );
+            std::thread::sleep(Duration::from_millis(opts.metrics_linger));
+        }
     }
 
     if timed_out.load(Ordering::SeqCst) {

@@ -1,6 +1,7 @@
 //! The patternlet harness: metadata, run configuration, and the runner.
 
 use patternlets_core::capture::{Output, Sink};
+use patternlets_metrics::MetricsHub;
 use patternlets_mp::{World, WorldBuilder};
 use patternlets_shmem::Team;
 use patternlets_trace::{Trace, Tracer};
@@ -70,6 +71,10 @@ pub struct RunConfig {
     /// every world and team a patternlet builds through [`RunConfig::world`]
     /// and [`RunConfig::team`] emits events into it.
     pub tracer: Option<Tracer>,
+    /// Quantitative instruments (CLI `--metrics`). When set, every world
+    /// and team built through [`RunConfig::world`] and [`RunConfig::team`]
+    /// records counters/histograms into it; `None` costs one branch.
+    pub metrics: Option<MetricsHub>,
 }
 
 impl RunConfig {
@@ -81,6 +86,7 @@ impl RunConfig {
             output: Output::new(),
             kill: None,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -92,6 +98,7 @@ impl RunConfig {
             output: Output::echoing(),
             kill: None,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -108,6 +115,18 @@ impl RunConfig {
         self
     }
 
+    /// Attach a metrics hub; worlds and teams built via this config record
+    /// into it. Snapshot it after the run for the summary/exposition.
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// The attached metrics hub, if any.
+    pub fn metrics(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
+    }
+
     /// A sink stamping lines with `task`.
     pub fn sink(&self, task: usize) -> Sink {
         self.output.sink(task)
@@ -117,11 +136,14 @@ impl RunConfig {
     /// already attached. Patternlets should build worlds through this so
     /// `--trace` sees their traffic.
     pub fn world(&self, np: usize) -> WorldBuilder {
-        let builder = World::builder(np);
-        match &self.tracer {
-            Some(t) => builder.tracer(t.clone()),
-            None => builder,
+        let mut builder = World::builder(np);
+        if let Some(t) = &self.tracer {
+            builder = builder.tracer(t.clone());
         }
+        if let Some(hub) = &self.metrics {
+            builder = builder.metrics(hub.clone());
+        }
+        builder
     }
 
     /// `mpirun -np <np>` through this config: run `f` in `np` ranks and
@@ -138,11 +160,14 @@ impl RunConfig {
     /// A [`Team`] of `n` threads with this config's tracer (if any)
     /// already attached.
     pub fn team(&self, n: usize) -> Team {
-        let team = Team::new(n);
-        match &self.tracer {
-            Some(t) => team.with_tracer(t.clone()),
-            None => team,
+        let mut team = Team::new(n);
+        if let Some(t) = &self.tracer {
+            team = team.with_tracer(t.clone());
         }
+        if let Some(hub) = &self.metrics {
+            team = team.with_metrics(hub.clone());
+        }
+        team
     }
 }
 

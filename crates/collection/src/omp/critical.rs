@@ -26,8 +26,13 @@ pub const PATTERNLET: Patternlet = Patternlet {
 
 /// Make `reps * tasks` deposits; returns the final balance.
 pub fn deposit_race(tasks: usize, reps: usize) -> i64 {
+    deposit_race_on(&Team::new(tasks), reps)
+}
+
+/// [`deposit_race`] on a caller-supplied team (tracer/metrics attached).
+pub fn deposit_race_on(team: &Team, reps: usize) -> i64 {
     let balance = RacyCell::new(0);
-    Team::new(tasks).parallel(|_ctx| {
+    team.parallel(|_ctx| {
         for i in 0..reps {
             if i % 128 == 0 {
                 balance.add_racy_wide(1); // widen the race window
@@ -41,8 +46,13 @@ pub fn deposit_race(tasks: usize, reps: usize) -> i64 {
 
 /// The same deposits under a critical section; always exact.
 pub fn deposit_critical(tasks: usize, reps: usize) -> i64 {
+    deposit_critical_on(&Team::new(tasks), reps)
+}
+
+/// [`deposit_critical`] on a caller-supplied team (tracer/metrics attached).
+pub fn deposit_critical_on(team: &Team, reps: usize) -> i64 {
     let balance = RacyCell::new(0);
-    Team::new(tasks).parallel(|ctx| {
+    team.parallel(|ctx| {
         for _ in 0..reps {
             ctx.critical(|| balance.set(balance.get() + 1));
         }
@@ -54,10 +64,11 @@ fn run(cfg: &RunConfig) {
     let sink = cfg.sink(0);
     sink.println("Your starting bank account balance is 0.00".to_string());
     let expected = (cfg.tasks * REPS) as i64;
+    let team = cfg.team(cfg.tasks);
     let balance = if cfg.mode.is_on() {
-        deposit_critical(cfg.tasks, REPS)
+        deposit_critical_on(&team, REPS)
     } else {
-        deposit_race(cfg.tasks, REPS)
+        deposit_race_on(&team, REPS)
     };
     sink.println(format!(
         "After {} $1 deposits by {} threads: balance = {balance}.00",

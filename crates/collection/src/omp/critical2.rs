@@ -48,7 +48,11 @@ impl Comparison {
 
 /// Run the comparison with `tasks` threads over `reps` total deposits.
 pub fn compare(tasks: usize, reps: usize) -> Comparison {
-    let team = Team::new(tasks);
+    compare_on(&Team::new(tasks), tasks, reps)
+}
+
+/// [`compare`] on a caller-supplied team (tracer/metrics attached).
+pub fn compare_on(team: &Team, tasks: usize, reps: usize) -> Comparison {
     let per_thread = reps / tasks;
 
     // Pass 1: `#pragma omp atomic` — CAS-loop add on an atomic double.
@@ -87,7 +91,7 @@ pub fn compare(tasks: usize, reps: usize) -> Comparison {
 fn run(cfg: &RunConfig) {
     let sink = cfg.sink(0);
     sink.println("Your starting bank account balance is 0.00".to_string());
-    let c = compare(cfg.tasks, REPS);
+    let c = compare_on(&cfg.team(cfg.tasks), cfg.tasks, REPS);
     let n = (REPS / cfg.tasks) * cfg.tasks;
     sink.println(format!(
         "After {n} $1 deposits using 'atomic':\n - balance = {:.2},\n - total time = {:.12},\n - average time per deposit = {:.12}",

@@ -36,7 +36,12 @@ pub fn sequential_sum(a: &[i64]) -> i64 {
 
 /// The parallel sum, in both of the paper's variants.
 pub fn parallel_sum(a: &[i64], tasks: usize, with_reduction: bool) -> i64 {
-    let team = Team::new(tasks);
+    parallel_sum_on(&Team::new(tasks), a, with_reduction)
+}
+
+/// [`parallel_sum`] on a caller-supplied team, so a harness-configured
+/// team (tracer/metrics attached) can observe the loop.
+pub fn parallel_sum_on(team: &Team, a: &[i64], with_reduction: bool) -> i64 {
     if with_reduction {
         // `#pragma omp parallel for reduction(+:sum)`
         team.parallel_for_reduce(a.len(), Schedule::StaticBlock, &ops::Sum, |i| a[i])
@@ -58,7 +63,7 @@ fn run(cfg: &RunConfig) {
     fill_mod(&mut rng, &mut a, 1000);
 
     let seq = sequential_sum(&a);
-    let par = parallel_sum(&a, cfg.tasks, cfg.mode.is_on());
+    let par = parallel_sum_on(&cfg.team(cfg.tasks), &a, cfg.mode.is_on());
     sink.println(format!("Seq. sum: \t{seq}"));
     sink.println(format!("Par. sum: \t{par}"));
     if par != seq {

@@ -1,0 +1,151 @@
+//! End-to-end metrics tests: real `pmrun` jobs serving real Prometheus
+//! text over HTTP, with the scraped per-rank counters checked against the
+//! same closed-form message counts `tests/message_counts.rs` proves for
+//! the in-process tracer. If aggregation, the wire codec, or the push
+//! path dropped or double-counted anything, these sums would be off.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+use patternlets::harness::{Mode, RunConfig};
+use patternlets::registry::find;
+use patternlets_metrics::{CounterId, MetricsHub};
+
+const PMRUN: &str = env!("CARGO_BIN_EXE_pmrun");
+const PATTERNLETS: &str = env!("CARGO_BIN_EXE_patternlets");
+
+/// Run `pmrun -np 4 --metrics-port 0` on `worker_args`, scrape the
+/// endpoint during the post-job linger window, and return the Prometheus
+/// body plus the launcher stdout seen so far.
+fn run_and_scrape(worker_args: &[&str]) -> (String, String) {
+    let mut child = Command::new(PMRUN)
+        .args([
+            "-np",
+            "4",
+            "--timeout",
+            "120",
+            "--metrics-port",
+            "0",
+            "--metrics-linger",
+            "5000",
+        ])
+        .arg(PATTERNLETS)
+        .args(worker_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("pmrun spawns");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut port = None;
+    let mut seen = String::new();
+    for line in reader.by_ref().lines() {
+        let line = line.expect("launcher stdout is utf-8 lines");
+        seen.push_str(&line);
+        seen.push('\n');
+        if let Some(rest) = line.strip_prefix("pmrun: serving metrics on http://127.0.0.1:") {
+            port = rest.trim_end_matches("/metrics").parse::<u16>().ok();
+        }
+        // Printed after every worker exited and the final snapshots
+        // landed — scraping now sees the complete totals.
+        if line.starts_with("pmrun: metrics endpoint lingering") {
+            break;
+        }
+    }
+    let port = port.unwrap_or_else(|| panic!("no metrics endpoint in stdout:\n{seen}"));
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("endpoint is up");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response read to EOF");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(head, body)| {
+            assert!(head.starts_with("HTTP/1.1 200"), "bad response: {head}");
+            assert!(
+                head.contains("text/plain; version=0.0.4"),
+                "not Prometheus text exposition: {head}"
+            );
+            body.to_string()
+        })
+        .expect("response has a header/body split");
+    let _ = child.wait();
+    (body, seen)
+}
+
+/// Sum every sample of `metric` (all label sets) in a Prometheus body.
+fn prom_total(body: &str, metric: &str) -> u64 {
+    body.lines()
+        .filter(|l| {
+            l.strip_prefix(metric)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample: {l}"))
+        })
+        .sum()
+}
+
+/// The closed-form cases from `tests/message_counts.rs`, end-to-end: the
+/// per-rank counters scraped over HTTP from 4 real processes must sum to
+/// the same totals the in-process tracer proves analytically (p = 4:
+/// broadcast p-1 = 3; reduction runs two reduce_one passes = 6; the
+/// dissemination barrier patternlet's traffic totals 14).
+#[test]
+fn scraped_counters_match_closed_form_message_counts() {
+    for (args, expected) in [
+        (&["mpi/broadcast"][..], 3u64),
+        (&["mpi/reduction"][..], 6),
+        (&["mpi/barrier", "--on"][..], 14),
+    ] {
+        let (body, stdout) = run_and_scrape(args);
+        let sent = prom_total(&body, "patternlets_msgs_sent_total");
+        let recv = prom_total(&body, "patternlets_msgs_recv_total");
+        assert_eq!(
+            sent, expected,
+            "{args:?} sends; body:\n{body}\nstdout:\n{stdout}"
+        );
+        assert_eq!(recv, expected, "{args:?} recvs; body:\n{body}");
+        // Sanity on the exposition shape: every sample line a parser sees
+        // is `name{labels} value` or `name value`, HELP before TYPE.
+        for line in body.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.starts_with("patternlets_"),
+                "unprefixed metric: {line}"
+            );
+        }
+    }
+}
+
+/// The in-process equivalent: `RunConfig::with_metrics` attaches a hub to
+/// every world a patternlet builds, and the totals match the same closed
+/// forms without any processes or sockets involved.
+#[test]
+fn runconfig_metrics_counts_broadcast_closed_form() {
+    let hub = MetricsHub::new();
+    let cfg = RunConfig::new(4, Mode::Off).with_metrics(hub.clone());
+    let p = find("mpi/broadcast").expect("registered");
+    (p.run)(&cfg);
+    let snap = hub.snapshot();
+    assert_eq!(snap.msgs_sent(), 3);
+    assert_eq!(snap.total(CounterId::MsgsRecv), 3);
+    assert_eq!(
+        snap.zerocopy_hit_rate(),
+        Some(1.0),
+        "in-process sends are zero-copy"
+    );
+}

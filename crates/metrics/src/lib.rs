@@ -1,0 +1,480 @@
+//! Runtime metrics for the patternlets runtimes.
+//!
+//! The [`MetricsHub`] is the quantitative sibling of the event tracer in
+//! `patternlets-trace`: where the tracer records *what happened* as an
+//! ordered event stream, the hub accumulates *how much / how long* as a
+//! fixed vocabulary of instruments:
+//!
+//! * **counters** — monotonically increasing `u64`s ([`CounterId`]),
+//! * **max-gauges** — high-water marks ([`GaugeId`]), and
+//! * **histograms** — log2-bucketed latency/size distributions
+//!   ([`HistId`]).
+//!
+//! Every instrument is *sharded by lane*: a lane is a world rank (mp/net)
+//! or a team-thread index (shmem), exactly the lane convention the tracer
+//! uses. Each lane owns a private shard of plain atomics, so recording is
+//! a relaxed `fetch_add` with no locks, no allocation, and no cross-lane
+//! cache-line traffic on the hot path. Lanes beyond the shard count wrap
+//! (`lane % shards`); the per-lane attribution degrades but no sample is
+//! ever dropped.
+//!
+//! Like the tracer, the hub is attached as an `Option<MetricsHub>`: when
+//! absent the instrumented code paths cost one `is_some` check and
+//! nothing else (see the `metrics_overhead` bench). Cloning a hub is an
+//! `Arc` bump — all clones feed the same shards, which is how one hub
+//! spans every rank thread of an in-process world.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time copy that merges: snapshots
+//! from N ranks (or N processes, via the wire codec in [`wire`]) combine
+//! lane-by-lane in any order to the same totals — counters and histogram
+//! buckets add, gauges take the max. `tests` and the repo-level proptest
+//! pin this order-independence.
+
+mod export;
+mod snapshot;
+pub mod wire;
+
+pub use export::{render_prometheus, render_summary};
+pub use snapshot::{HistData, LaneMetrics, MetricsSnapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of lane shards (covers any classroom-sized world; larger
+/// lanes wrap).
+pub const DEFAULT_LANES: usize = 64;
+
+/// Number of log2 buckets per histogram. Bucket `i` (for `i ≥ 1`) counts
+/// values `v` with `2^(i-1) ≤ v < 2^i`; bucket 0 counts `v == 0`; the last
+/// bucket also absorbs everything `≥ 2^(BUCKETS-2)` (≈ 9 minutes in ns).
+pub const BUCKETS: usize = 40;
+
+// ---------------------------------------------------------------------------
+// Instrument vocabulary
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters. The discriminant is the shard-array index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Messages sent whose payload took the zero-copy `InProc` representation.
+    MsgsSentInproc = 0,
+    /// Messages sent whose payload was encoded to bytes.
+    MsgsSentEncoded,
+    /// Payload bytes sent (either representation).
+    BytesSent,
+    /// Messages matched by a receive (post-dedup: each logical message once).
+    MsgsRecv,
+    /// Payload bytes received.
+    BytesRecv,
+    /// Receives satisfied during the spin phase (no park).
+    RecvSpin,
+    /// Receives that parked on the mailbox condvar at least once.
+    RecvPark,
+    /// Chaos-transport retransmissions (extra transmissions, not messages).
+    Retransmits,
+    /// Duplicate envelopes swallowed by mailbox dedup.
+    DupDrops,
+    /// Loop chunks claimed, by schedule kind.
+    ChunksStaticBlock,
+    ChunksStaticCyclic,
+    ChunksStaticChunked,
+    ChunksDynamic,
+    ChunksGuided,
+    /// Loop iterations executed, by schedule kind.
+    ItersStaticBlock,
+    ItersStaticCyclic,
+    ItersStaticChunked,
+    ItersDynamic,
+    ItersGuided,
+    /// Wire frames written by the TCP fabric.
+    NetFramesSent,
+    /// Wire bytes sent, attributed to the *destination* peer's lane.
+    NetBytesToPeer,
+    /// Peer connections (re-)established after the initial mesh.
+    NetReconnects,
+    /// Ranks declared failed by the liveness layer.
+    NetRankFailures,
+    /// Heartbeat pings sent.
+    NetHeartbeats,
+}
+
+/// Number of counters in each lane shard.
+pub const COUNTER_COUNT: usize = 24;
+
+impl CounterId {
+    /// Every counter, in shard order.
+    pub const ALL: [CounterId; COUNTER_COUNT] = [
+        CounterId::MsgsSentInproc,
+        CounterId::MsgsSentEncoded,
+        CounterId::BytesSent,
+        CounterId::MsgsRecv,
+        CounterId::BytesRecv,
+        CounterId::RecvSpin,
+        CounterId::RecvPark,
+        CounterId::Retransmits,
+        CounterId::DupDrops,
+        CounterId::ChunksStaticBlock,
+        CounterId::ChunksStaticCyclic,
+        CounterId::ChunksStaticChunked,
+        CounterId::ChunksDynamic,
+        CounterId::ChunksGuided,
+        CounterId::ItersStaticBlock,
+        CounterId::ItersStaticCyclic,
+        CounterId::ItersStaticChunked,
+        CounterId::ItersDynamic,
+        CounterId::ItersGuided,
+        CounterId::NetFramesSent,
+        CounterId::NetBytesToPeer,
+        CounterId::NetReconnects,
+        CounterId::NetRankFailures,
+        CounterId::NetHeartbeats,
+    ];
+
+    /// Shard-array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// High-water-mark gauges (merged by `max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Deepest a rank's mailbox ever got (queued envelopes).
+    MailboxDepth = 0,
+}
+
+/// Number of gauges in each lane shard.
+pub const GAUGE_COUNT: usize = 1;
+
+impl GaugeId {
+    /// Every gauge, in shard order.
+    pub const ALL: [GaugeId; GAUGE_COUNT] = [GaugeId::MailboxDepth];
+
+    /// Shard-array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Collective-operation names with dedicated latency histograms; anything
+/// else lands in the trailing `"other"` slot.
+pub const COLL_OPS: [&str; 11] = [
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "exscan",
+    "gather",
+    "reduce",
+    "scan",
+    "scatter",
+    "scatterv",
+    "other",
+];
+
+/// Histogram identifier: a flat index into each lane's histogram array.
+///
+/// The first slots are fixed instruments; the remainder is one latency
+/// histogram per entry of [`COLL_OPS`], reachable via [`HistId::coll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub usize);
+
+/// Number of fixed (non-collective) histograms.
+const FIXED_HISTS: usize = 4;
+
+/// Number of histograms in each lane shard.
+pub const HIST_COUNT: usize = FIXED_HISTS + COLL_OPS.len();
+
+impl HistId {
+    /// Nanoseconds a shmem thread waited inside a team barrier.
+    pub const BARRIER_WAIT_NS: HistId = HistId(0);
+    /// Frames coalesced into one vectored write by the TCP peer writer.
+    pub const WRITEV_BATCH_FRAMES: HistId = HistId(1);
+    /// Heartbeat round-trip time in nanoseconds.
+    pub const HEARTBEAT_RTT_NS: HistId = HistId(2);
+    /// Per-message payload size in bytes, at the sender.
+    pub const SEND_BYTES: HistId = HistId(3);
+
+    /// The latency histogram for a collective op (unknown ops share
+    /// `"other"`).
+    #[inline]
+    pub fn coll(op: &str) -> HistId {
+        let i = COLL_OPS
+            .iter()
+            .position(|&o| o == op)
+            .unwrap_or(COLL_OPS.len() - 1);
+        HistId(FIXED_HISTS + i)
+    }
+
+    /// If this is a collective-latency histogram, the op name.
+    pub fn coll_op(self) -> Option<&'static str> {
+        self.0.checked_sub(FIXED_HISTS).map(|i| COLL_OPS[i])
+    }
+}
+
+/// The log2 bucket a value falls into.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The hub
+// ---------------------------------------------------------------------------
+
+/// One lane's shard: plain atomics, padded out by the containing Vec's
+/// allocation granularity. All updates are `Relaxed` — cross-lane ordering
+/// is meaningless for totals, and snapshots are read after the world joins
+/// (or tolerate being mid-flight, for the live status view).
+struct LaneShard {
+    counters: [AtomicU64; COUNTER_COUNT],
+    gauges: [AtomicU64; GAUGE_COUNT],
+    hist_buckets: Vec<[AtomicU64; BUCKETS]>,
+    hist_sums: [AtomicU64; HIST_COUNT],
+    /// Pad to keep adjacent shards off one cache line for the small arrays.
+    _pad: [u64; 8],
+}
+
+impl LaneShard {
+    fn new() -> Self {
+        LaneShard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_buckets: (0..HIST_COUNT)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            hist_sums: std::array::from_fn(|_| AtomicU64::new(0)),
+            _pad: [0; 8],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counters.iter().all(|c| c.load(Ordering::Relaxed) == 0)
+            && self.gauges.iter().all(|g| g.load(Ordering::Relaxed) == 0)
+            && self
+                .hist_buckets
+                .iter()
+                .flatten()
+                .all(|b| b.load(Ordering::Relaxed) == 0)
+    }
+}
+
+struct Inner {
+    lanes: Vec<LaneShard>,
+}
+
+/// Cloneable handle to the sharded instrument store. See the crate docs.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHub")
+            .field("lanes", &self.inner.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsHub {
+    /// A hub with [`DEFAULT_LANES`] shards.
+    pub fn new() -> Self {
+        Self::with_lanes(DEFAULT_LANES)
+    }
+
+    /// A hub with a custom shard count (minimum 1).
+    pub fn with_lanes(lanes: usize) -> Self {
+        MetricsHub {
+            inner: Arc::new(Inner {
+                lanes: (0..lanes.max(1)).map(|_| LaneShard::new()).collect(),
+            }),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, lane: usize) -> &LaneShard {
+        &self.inner.lanes[lane % self.inner.lanes.len()]
+    }
+
+    /// Add `n` to a counter on `lane`.
+    #[inline]
+    pub fn add(&self, lane: usize, id: CounterId, n: u64) {
+        self.shard(lane).counters[id.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter on `lane`.
+    #[inline]
+    pub fn incr(&self, lane: usize, id: CounterId) {
+        self.add(lane, id, 1);
+    }
+
+    /// Raise a high-water gauge on `lane` to at least `v`.
+    #[inline]
+    pub fn gauge_max(&self, lane: usize, id: GaugeId, v: u64) {
+        self.shard(lane).gauges[id.index()].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record one observation into a histogram on `lane`.
+    #[inline]
+    pub fn observe(&self, lane: usize, id: HistId, v: u64) {
+        let shard = self.shard(lane);
+        shard.hist_buckets[id.0][bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.hist_sums[id.0].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A drop guard that records elapsed nanoseconds into `id` on `lane`.
+    pub fn timer(&self, lane: usize, id: HistId) -> TimerGuard<'_> {
+        TimerGuard {
+            hub: self,
+            lane,
+            id,
+            start: Instant::now(),
+        }
+    }
+
+    /// Point-in-time copy of every non-empty lane.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let lanes = self
+            .inner
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(lane, s)| LaneMetrics {
+                lane,
+                counters: s
+                    .counters
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                maxes: s.gauges.iter().map(|g| g.load(Ordering::Relaxed)).collect(),
+                hists: s
+                    .hist_buckets
+                    .iter()
+                    .zip(s.hist_sums.iter())
+                    .map(|(buckets, sum)| {
+                        let mut b: Vec<u64> =
+                            buckets.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+                        while b.last() == Some(&0) {
+                            b.pop();
+                        }
+                        HistData {
+                            buckets: b,
+                            sum: sum.load(Ordering::Relaxed),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot { lanes }
+    }
+}
+
+/// Records elapsed wall time into a histogram when dropped.
+/// Created by [`MetricsHub::timer`].
+pub struct TimerGuard<'a> {
+    hub: &'a MetricsHub,
+    lane: usize,
+    id: HistId,
+    start: Instant,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.hub.observe(self.lane, self.id, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ids_match_shard_order() {
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(CounterId::ALL.len(), COUNTER_COUNT);
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_line() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value's bucket bound is ≥ the value (up to the overflow
+        // bucket's saturation).
+        for v in [0u64, 1, 5, 1000, 1 << 20, 1 << 39] {
+            assert!(bucket_bound(bucket_of(v)) >= v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn lanes_wrap_instead_of_dropping() {
+        let hub = MetricsHub::with_lanes(2);
+        hub.incr(0, CounterId::MsgsRecv);
+        hub.incr(5, CounterId::MsgsRecv); // wraps to lane 1
+        let snap = hub.snapshot();
+        assert_eq!(snap.total(CounterId::MsgsRecv), 2);
+        assert_eq!(snap.lanes.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_skips_untouched_lanes() {
+        let hub = MetricsHub::new();
+        hub.add(3, CounterId::BytesSent, 10);
+        let snap = hub.snapshot();
+        assert_eq!(snap.lanes.len(), 1);
+        assert_eq!(snap.lanes[0].lane, 3);
+    }
+
+    #[test]
+    fn coll_histograms_have_stable_slots() {
+        assert_eq!(HistId::coll("bcast"), HistId::coll("bcast"));
+        assert_ne!(HistId::coll("bcast"), HistId::coll("reduce"));
+        assert_eq!(HistId::coll("no-such-op"), HistId::coll("other"));
+        assert_eq!(HistId::coll("barrier").coll_op(), Some("barrier"));
+        assert_eq!(HistId::BARRIER_WAIT_NS.coll_op(), None);
+    }
+
+    #[test]
+    fn timer_records_into_the_histogram() {
+        let hub = MetricsHub::new();
+        {
+            let _t = hub.timer(0, HistId::coll("bcast"));
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.hist_total(HistId::coll("bcast")).count(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Point-in-time, mergeable copies of a [`MetricsHub`](crate::MetricsHub).
+//!
+//! Merging is the load-bearing property: per-rank (or per-process)
+//! snapshots combine **in any order** to the same result, because every
+//! merge is element-wise `+` (counters, histogram buckets, sums) or `max`
+//! (gauges) — both commutative and associative. The repo-level proptest
+//! (`tests/metrics_merge.rs`) exercises this against a single-stream
+//! reference.
+
+use crate::{CounterId, GaugeId, HistId, COUNTER_COUNT, GAUGE_COUNT, HIST_COUNT};
+
+/// One lane's copied instruments. `counters`/`maxes`/`hists` are indexed
+/// by [`CounterId`]/[`GaugeId`]/[`HistId`]; vectors shorter than the
+/// current vocabulary (older snapshots over the wire) read as zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMetrics {
+    /// The lane (rank or thread) this shard belongs to.
+    pub lane: usize,
+    /// Counter values.
+    pub counters: Vec<u64>,
+    /// High-water gauge values.
+    pub maxes: Vec<u64>,
+    /// Histogram contents.
+    pub hists: Vec<HistData>,
+}
+
+/// One histogram's copied buckets. `buckets` may be shorter than
+/// [`BUCKETS`](crate::BUCKETS): trailing zero buckets are trimmed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistData {
+    /// Occupancy per log2 bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistData {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0,1]`); 0 when empty. Log2 buckets make this exact to a
+    /// factor of two — plenty for a summary table.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64 * q).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return crate::bucket_bound(i);
+            }
+        }
+        crate::bucket_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    fn add(&mut self, other: &HistData) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+}
+
+impl LaneMetrics {
+    /// An all-zero lane.
+    pub fn empty(lane: usize) -> Self {
+        LaneMetrics {
+            lane,
+            counters: vec![0; COUNTER_COUNT],
+            maxes: vec![0; GAUGE_COUNT],
+            hists: vec![HistData::default(); HIST_COUNT],
+        }
+    }
+
+    /// A counter's value (0 if the snapshot predates the counter).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value.
+    pub fn max(&self, id: GaugeId) -> u64 {
+        self.maxes.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// A histogram's contents (empty if absent).
+    pub fn hist(&self, id: HistId) -> HistData {
+        self.hists.get(id.0).cloned().unwrap_or_default()
+    }
+
+    /// True when every instrument is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.maxes.iter().all(|&m| m == 0)
+            && self.hists.iter().all(|h| h.is_empty())
+    }
+
+    fn absorb(&mut self, other: &LaneMetrics) {
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        if self.maxes.len() < other.maxes.len() {
+            self.maxes.resize(other.maxes.len(), 0);
+        }
+        for (a, b) in self.maxes.iter_mut().zip(other.maxes.iter()) {
+            *a = (*a).max(*b);
+        }
+        if self.hists.len() < other.hists.len() {
+            self.hists.resize(other.hists.len(), HistData::default());
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.add(b);
+        }
+    }
+}
+
+/// A mergeable point-in-time copy of a hub. Lanes are kept sorted by lane
+/// index and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Per-lane data, sorted by `lane`, at most one entry per lane.
+    pub lanes: Vec<LaneMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self` (element-wise add / max per lane).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for theirs in &other.lanes {
+            match self.lanes.binary_search_by_key(&theirs.lane, |l| l.lane) {
+                Ok(i) => self.lanes[i].absorb(theirs),
+                Err(i) => self.lanes.insert(i, theirs.clone()),
+            }
+        }
+    }
+
+    /// The entry for `lane`, if any lane-local activity was recorded.
+    pub fn lane(&self, lane: usize) -> Option<&LaneMetrics> {
+        self.lanes
+            .binary_search_by_key(&lane, |l| l.lane)
+            .ok()
+            .map(|i| &self.lanes[i])
+    }
+
+    /// Sum of a counter over all lanes.
+    pub fn total(&self, id: CounterId) -> u64 {
+        self.lanes.iter().map(|l| l.counter(id)).sum()
+    }
+
+    /// Max of a gauge over all lanes.
+    pub fn total_max(&self, id: GaugeId) -> u64 {
+        self.lanes.iter().map(|l| l.max(id)).max().unwrap_or(0)
+    }
+
+    /// A histogram merged over all lanes.
+    pub fn hist_total(&self, id: HistId) -> HistData {
+        let mut out = HistData::default();
+        for l in &self.lanes {
+            out.add(&l.hist(id));
+        }
+        out
+    }
+
+    /// Total messages sent (both representations) over all lanes.
+    pub fn msgs_sent(&self) -> u64 {
+        self.total(CounterId::MsgsSentInproc) + self.total(CounterId::MsgsSentEncoded)
+    }
+
+    /// Fraction of sent messages that took the zero-copy path
+    /// (`None` when nothing was sent).
+    pub fn zerocopy_hit_rate(&self) -> Option<f64> {
+        let hits = self.total(CounterId::MsgsSentInproc);
+        let all = self.msgs_sent();
+        (all > 0).then(|| hits as f64 / all as f64)
+    }
+
+    /// Load-imbalance ratio (max/mean of per-lane iteration counts over
+    /// lanes that ran any iterations) for one schedule's iteration
+    /// counter. 1.0 is perfectly balanced; `None` if the schedule never
+    /// ran.
+    pub fn load_imbalance(&self, iters: CounterId) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .lanes
+            .iter()
+            .map(|l| l.counter(iters))
+            .filter(|&c| c > 0)
+            .collect();
+        if counts.is_empty() {
+            return None;
+        }
+        let max = *counts.iter().max().expect("non-empty") as f64;
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        Some(max / mean)
+    }
+
+    /// True when no lane recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane_with(lane: usize, id: CounterId, v: u64) -> LaneMetrics {
+        let mut l = LaneMetrics::empty(lane);
+        l.counters[id.index()] = v;
+        l
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsSnapshot {
+            lanes: vec![lane_with(0, CounterId::MsgsRecv, 2)],
+        };
+        let mut b = MetricsSnapshot {
+            lanes: vec![lane_with(0, CounterId::MsgsRecv, 3)],
+        };
+        b.lanes[0].maxes[GaugeId::MailboxDepth.index()] = 7;
+        a.lanes[0].maxes[GaugeId::MailboxDepth.index()] = 4;
+        a.merge(&b);
+        assert_eq!(a.total(CounterId::MsgsRecv), 5);
+        assert_eq!(a.total_max(GaugeId::MailboxDepth), 7);
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_lanes_sorted() {
+        let mut a = MetricsSnapshot {
+            lanes: vec![lane_with(2, CounterId::BytesSent, 1)],
+        };
+        let b = MetricsSnapshot {
+            lanes: vec![
+                lane_with(0, CounterId::BytesSent, 1),
+                lane_with(5, CounterId::BytesSent, 1),
+            ],
+        };
+        a.merge(&b);
+        let order: Vec<usize> = a.lanes.iter().map(|l| l.lane).collect();
+        assert_eq!(order, vec![0, 2, 5]);
+        assert_eq!(a.total(CounterId::BytesSent), 3);
+    }
+
+    #[test]
+    fn merge_tolerates_shorter_vocabularies() {
+        // A snapshot from an older build may carry fewer counters.
+        let mut a = MetricsSnapshot {
+            lanes: vec![LaneMetrics {
+                lane: 0,
+                counters: vec![1],
+                maxes: vec![],
+                hists: vec![],
+            }],
+        };
+        let b = MetricsSnapshot {
+            lanes: vec![lane_with(0, CounterId::NetHeartbeats, 9)],
+        };
+        a.merge(&b);
+        assert_eq!(a.total(CounterId::MsgsSentInproc), 1);
+        assert_eq!(a.total(CounterId::NetHeartbeats), 9);
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone() {
+        let h = HistData {
+            buckets: vec![0, 5, 3, 2],
+            sum: 40,
+        };
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_bound(0.5);
+        let p95 = h.quantile_bound(0.95);
+        assert!(p50 <= p95);
+        assert_eq!(h.quantile_bound(0.0), h.quantile_bound(0.01));
+    }
+
+    #[test]
+    fn imbalance_ratio_ignores_idle_lanes() {
+        let snap = MetricsSnapshot {
+            lanes: vec![
+                lane_with(0, CounterId::ItersDynamic, 30),
+                lane_with(1, CounterId::ItersDynamic, 10),
+                lane_with(2, CounterId::MsgsRecv, 1), // no iterations
+            ],
+        };
+        let r = snap.load_imbalance(CounterId::ItersDynamic).unwrap();
+        assert!((r - 1.5).abs() < 1e-9);
+        assert_eq!(snap.load_imbalance(CounterId::ItersGuided), None);
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_core::{Error, OpContext, Result};
+use patternlets_metrics::{CounterId, HistId, MetricsHub, TimerGuard};
 use patternlets_trace::{CollSpan, EventKind};
 
 use crate::datatype::{decode_payload, encode, Datatype};
@@ -109,6 +110,24 @@ impl Comm {
         self.fabric
             .tracer()
             .map(|t| t.coll_span(self.world_rank(), op))
+    }
+
+    /// Record into the metrics hub on this rank's world lane, when one is
+    /// attached. Mirrors [`Comm::trace_event`]: the disabled path is a
+    /// single `Option` check.
+    #[inline]
+    pub(crate) fn metric(&self, record: impl FnOnce(&MetricsHub, usize)) {
+        if let Some(hub) = self.fabric.metrics() {
+            record(hub, self.world_rank());
+        }
+    }
+
+    /// Open a collective-latency timer (recorded into the per-op histogram
+    /// on drop, even on error paths), or `None` when metrics are off.
+    pub(crate) fn metric_coll(&self, op: &'static str) -> Option<TimerGuard<'_>> {
+        self.fabric
+            .metrics()
+            .map(|hub| hub.timer(self.world_rank(), HistId::coll(op)))
     }
 
     /// Split this communicator — `MPI_Comm_split`: members calling with the
@@ -250,6 +269,17 @@ impl Comm {
             bytes: payload.len(),
             seq,
         });
+        self.metric(|hub, lane| {
+            hub.incr(
+                lane,
+                match &payload {
+                    Payload::InProc(_) => CounterId::MsgsSentInproc,
+                    Payload::Bytes(_) => CounterId::MsgsSentEncoded,
+                },
+            );
+            hub.add(lane, CounterId::BytesSent, payload.len() as u64);
+            hub.observe(lane, HistId::SEND_BYTES, payload.len() as u64);
+        });
         let env = Envelope {
             comm_id: self.comm_id,
             src: self.local_rank,
@@ -270,6 +300,18 @@ impl Comm {
         if let Some(decision) = self.fabric.chaos_decision(me) {
             if !decision.delay.is_zero() {
                 std::thread::sleep(decision.delay);
+            }
+            if decision.lost_transmissions > 0 {
+                // Retransmissions are *extra transmissions* of the one
+                // logical message traced above: they count here (and as
+                // `Retransmit` events), never as additional sends.
+                self.metric(|hub, lane| {
+                    hub.add(
+                        lane,
+                        CounterId::Retransmits,
+                        decision.lost_transmissions as u64,
+                    )
+                });
             }
             for attempt in 0..decision.lost_transmissions {
                 self.trace_event(|| EventKind::Retransmit { attempt });
@@ -480,6 +522,10 @@ impl Comm {
             from: self.group[env.src],
             tag: env.tag,
             bytes: env.payload.len(),
+        });
+        self.metric(|hub, lane| {
+            hub.incr(lane, CounterId::MsgsRecv);
+            hub.add(lane, CounterId::BytesRecv, env.payload.len() as u64);
         });
         if env.needs_ack {
             // Complete the synchronous-send handshake: tell the sender its

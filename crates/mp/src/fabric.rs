@@ -21,6 +21,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use patternlets_core::Result;
+use patternlets_metrics::MetricsHub;
 use patternlets_trace::Tracer;
 
 use crate::envelope::Envelope;
@@ -54,6 +55,12 @@ pub trait Fabric: Send + Sync {
 
     /// The structured-event tracer, when tracing is on.
     fn tracer(&self) -> Option<&Tracer>;
+
+    /// The metrics hub, when metrics collection is on. The default `None`
+    /// keeps instrumentation zero-cost for backends that never attach one.
+    fn metrics(&self) -> Option<&MetricsHub> {
+        None
+    }
 
     /// Record a delivery in the legacy message log (no-op for backends
     /// that don't keep one).
@@ -177,6 +184,8 @@ pub struct WorldSpec {
     pub poll_interval: Duration,
     /// Structured-event tracer, if tracing is on.
     pub tracer: Option<Tracer>,
+    /// Metrics hub, if metrics collection is on.
+    pub metrics: Option<MetricsHub>,
     /// World-creation ordinal in this process (0 for the first world a
     /// process builds, 1 for the next, ...). All processes of a job run
     /// the same program, so ordinals line up across processes and serve

@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
+use patternlets_metrics::{CounterId, GaugeId, MetricsHub};
 
 use crate::envelope::Envelope;
 use crate::status::{SourceSel, TagSel};
@@ -219,12 +220,33 @@ impl Inner {
 #[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<Inner>,
+    /// Metrics hub plus the owning rank's lane, when metrics are on. The
+    /// mailbox is where dedup and blocking happen, so dup-drops, queue
+    /// depth, and spin-vs-park resolution are counted here — uniformly
+    /// for the in-process and network backends.
+    metrics: Option<(MetricsHub, usize)>,
 }
 
 impl Mailbox {
     /// Create an empty mailbox.
     pub fn new() -> Self {
         Mailbox::default()
+    }
+
+    /// Create an empty mailbox that records into `hub` on `lane` (the
+    /// owning rank's world rank).
+    pub fn with_metrics(hub: MetricsHub, lane: usize) -> Self {
+        Mailbox {
+            inner: Mutex::default(),
+            metrics: Some((hub, lane)),
+        }
+    }
+
+    #[inline]
+    fn count(&self, id: CounterId) {
+        if let Some((hub, lane)) = &self.metrics {
+            hub.incr(*lane, id);
+        }
     }
 
     /// Deliver an envelope (called by the sender's thread).
@@ -242,6 +264,7 @@ impl Mailbox {
         let key = (env.comm_id, env.src);
         if let Some(&max) = inner.seen.get(&key) {
             if env.seq <= max {
+                self.count(CounterId::DupDrops);
                 return false; // duplicate transmission
             }
         }
@@ -259,6 +282,9 @@ impl Mailbox {
             .or_default()
             .push_back(Stamped { stamp, env });
         inner.queued += 1;
+        if let Some((hub, lane)) = &self.metrics {
+            hub.gauge_max(*lane, GaugeId::MailboxDepth, inner.queued as u64);
+        }
         true
     }
 
@@ -303,6 +329,13 @@ impl Mailbox {
                 // "wait posted" + "queue already drained" for a rank that
                 // in fact matched (it would look stuck).
                 on_match();
+                // A waiter registration means this receive parked at least
+                // once before resolving; otherwise the spin phase caught it.
+                self.count(if waiter.is_some() {
+                    CounterId::RecvPark
+                } else {
+                    CounterId::RecvSpin
+                });
                 if let Some(waiter) = &waiter {
                     inner.remove_waiter(waiter);
                 }

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
+use patternlets_metrics::MetricsHub;
 use patternlets_trace::Tracer;
 
 use parking_lot::Mutex as PlMutex;
@@ -57,6 +58,10 @@ pub(crate) struct Transport {
     /// collective phases, and chaos-transport incidents, per world rank.
     /// `None` (the default) keeps the hot paths event-free.
     pub(crate) tracer: Option<Tracer>,
+    /// Quantitative instruments ([`patternlets_metrics`]): msg/byte
+    /// counters, wait counters, and latency histograms, per world rank.
+    /// `None` (the default) keeps the hot paths instrument-free.
+    pub(crate) metrics: Option<MetricsHub>,
     /// Bumped on every message delivery. A deadlock verdict is only valid
     /// if no delivery happened while it was being computed — otherwise a
     /// just-delivered message could wake a rank the fixpoint still counts
@@ -121,21 +126,31 @@ pub struct WaitRecord {
 }
 
 impl Transport {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         np: usize,
         ranks_per_node: usize,
         traced: bool,
         tracer: Option<Tracer>,
+        metrics: Option<MetricsHub>,
         fault: Option<FaultPlan>,
         poll_interval: Duration,
         encoded_only: bool,
     ) -> Self {
+        // Each mailbox records dedup/depth/wait metrics on its owner's lane.
+        let mailboxes = (0..np)
+            .map(|r| match &metrics {
+                Some(hub) => Mailbox::with_metrics(hub.clone(), r),
+                None => Mailbox::new(),
+            })
+            .collect();
         Transport {
             encoded_only,
             trace: traced.then(|| PlMutex::new(Vec::new())),
             tracer,
+            metrics,
             progress: AtomicU64::new(0),
-            mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
+            mailboxes,
             finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
             failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
             names: (0..np)
@@ -378,6 +393,10 @@ impl Fabric for Transport {
         self.tracer.as_ref()
     }
 
+    fn metrics(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
+    }
+
     fn record_msg(&self, event: MsgEvent) {
         Transport::record_msg(self, event);
     }
@@ -483,6 +502,7 @@ pub struct WorldBuilder {
     ranks_per_node: usize,
     traced: bool,
     tracer: Option<Tracer>,
+    metrics: Option<MetricsHub>,
     fault: Option<FaultPlan>,
     poll_interval: Duration,
     encoded_only: bool,
@@ -496,6 +516,7 @@ impl WorldBuilder {
             ranks_per_node: 1,
             traced: false,
             tracer: None,
+            metrics: None,
             fault: None,
             poll_interval: DEFAULT_POLL_INTERVAL,
             encoded_only: false,
@@ -517,6 +538,14 @@ impl WorldBuilder {
     /// Drain the tracer after the run to inspect or export the stream.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach a [`MetricsHub`]: every rank accumulates msg/byte counters,
+    /// wait counters, and latency histograms on its world-rank lane.
+    /// Snapshot the hub after the run (or during it, for live views).
+    pub fn metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = Some(hub);
         self
     }
 
@@ -599,6 +628,7 @@ impl WorldBuilder {
                 fault: self.fault.clone(),
                 poll_interval: self.poll_interval,
                 tracer: self.tracer.clone(),
+                metrics: self.metrics.clone(),
                 epoch: next_world_epoch(),
             };
             if let Some(world) = provider(&spec)? {
@@ -653,6 +683,7 @@ impl WorldBuilder {
             self.ranks_per_node,
             self.traced,
             self.tracer.clone(),
+            self.metrics.clone(),
             self.fault.clone(),
             self.poll_interval,
             self.encoded_only,

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use patternlets_core::{Error, Result};
+use patternlets_metrics::{CounterId, HistId, MetricsHub};
 use patternlets_mp::envelope::{Envelope, Payload};
 use patternlets_mp::fabric::{AgreeKey, AgreeSlot, Fabric, WorldSpec};
 use patternlets_mp::fault::{ChaosDecision, FaultState};
@@ -120,10 +121,13 @@ struct PeerWriter {
     /// directly; it reads the verdict here on its next send (failure
     /// detection is bounded by the heartbeat cadence anyway).
     broken: AtomicBool,
+    /// `(hub, my lane, peer lane)` when metrics are on: batch sizes and
+    /// frame counts go to my lane, bytes to the destination peer's lane.
+    metrics: Option<(MetricsHub, usize, usize)>,
 }
 
 impl PeerWriter {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, metrics: Option<(MetricsHub, usize, usize)>) -> Self {
         PeerWriter {
             stream: Mutex::new(stream),
             queue: Mutex::new(SendQueue {
@@ -131,6 +135,7 @@ impl PeerWriter {
                 flushing: false,
             }),
             broken: AtomicBool::new(false),
+            metrics,
         }
     }
 
@@ -201,6 +206,12 @@ impl PeerWriter {
                 }
             }
         }
+        if let Some((hub, me, peer)) = &self.metrics {
+            hub.observe(*me, HistId::WRITEV_BATCH_FRAMES, batch.len() as u64);
+            hub.add(*me, CounterId::NetFramesSent, batch.len() as u64);
+            let bytes: u64 = batch.iter().map(|r| r.len() as u64).sum();
+            hub.add(*peer, CounterId::NetBytesToPeer, bytes);
+        }
         true
     }
 
@@ -218,6 +229,7 @@ struct Inner {
     names: Vec<String>,
     poll_interval: Duration,
     tracer: Option<Tracer>,
+    metrics: Option<MetricsHub>,
     fault: Option<FaultState>,
     /// This process's rank's mailbox — the only one a `Comm` here reads.
     mailbox: Mailbox,
@@ -228,6 +240,12 @@ struct Inner {
     peers: Vec<Option<PeerWriter>>,
     /// Milliseconds (since `start`) each peer was last heard from.
     last_heard: Vec<AtomicU64>,
+    /// Nanoseconds (since `start`, 0 = none pending) of the oldest
+    /// unanswered heartbeat ping per peer; the next frame heard from the
+    /// peer closes it into the RTT histogram. There is no dedicated pong
+    /// frame — peers talk at least every heartbeat interval, so this
+    /// measures ping-to-next-frame time.
+    pending_ping_ns: Vec<AtomicU64>,
     start: Instant,
     agreements: Mutex<HashMap<AgreeKey, AgreeSlot>>,
     agree_cv: Condvar,
@@ -276,12 +294,24 @@ impl Inner {
         if self.failed[rank].swap(true, Ordering::SeqCst) {
             return;
         }
+        if let Some(hub) = &self.metrics {
+            hub.incr(rank, CounterId::NetRankFailures);
+        }
         let _lock = self.agreements.lock();
         self.agree_cv.notify_all();
     }
 
     fn handle_frame(&self, peer: usize, frame: Frame) {
         self.last_heard[peer].store(self.elapsed_ms(), Ordering::Relaxed);
+        if let Some(hub) = &self.metrics {
+            // Any frame from a peer with a ping outstanding closes the
+            // RTT sample (ping-to-next-frame; see `pending_ping_ns`).
+            let sent = self.pending_ping_ns[peer].swap(0, Ordering::Relaxed);
+            if sent != 0 {
+                let now = self.start.elapsed().as_nanos() as u64;
+                hub.observe(self.me, HistId::HEARTBEAT_RTT_NS, now.saturating_sub(sent));
+            }
+        }
         match frame {
             Frame::Env {
                 comm_id,
@@ -334,9 +364,14 @@ impl Inner {
                     .insert(rank as usize, value);
                 self.agree_cv.notify_all();
             }
-            // Heartbeats refresh `last_heard` above; a stray handshake
-            // frame after setup carries nothing actionable.
-            Frame::Ping | Frame::Hello { .. } | Frame::Register { .. } | Frame::Table { .. } => {}
+            // Heartbeats refresh `last_heard` above; a stray handshake or
+            // metrics frame after setup carries nothing actionable (metrics
+            // frames are interpreted by pmrun's collector, not by peers).
+            Frame::Ping
+            | Frame::Hello { .. }
+            | Frame::Register { .. }
+            | Frame::Table { .. }
+            | Frame::Metrics { .. } => {}
         }
     }
 
@@ -377,6 +412,18 @@ impl Inner {
                 if !self.write_to(peer, &ping) {
                     dead.push(peer);
                     continue;
+                }
+                if let Some(hub) = &self.metrics {
+                    hub.incr(self.me, CounterId::NetHeartbeats);
+                    let now_ns = (self.start.elapsed().as_nanos() as u64).max(1);
+                    // Only arm a new RTT sample if none is outstanding, so
+                    // a slow round isn't shortened by a later ping.
+                    let _ = self.pending_ping_ns[peer].compare_exchange(
+                        0,
+                        now_ns,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
                 }
                 let heard = self.last_heard[peer].load(Ordering::Relaxed);
                 if now.saturating_sub(heard) > PEER_TIMEOUT.as_millis() as u64 {
@@ -470,16 +517,24 @@ impl TcpFabric {
                 .collect(),
             poll_interval: spec.poll_interval,
             tracer: spec.tracer.clone(),
+            metrics: spec.metrics.clone(),
             fault: spec.fault.clone().map(|plan| FaultState::new(plan, np)),
-            mailbox: Mailbox::new(),
+            mailbox: match &spec.metrics {
+                Some(hub) => Mailbox::with_metrics(hub.clone(), me),
+                None => Mailbox::new(),
+            },
             send_seq: AtomicU64::new(0),
             finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
             failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
             peers: streams
                 .into_iter()
-                .map(|s| s.map(PeerWriter::new))
+                .enumerate()
+                .map(|(peer, s)| {
+                    s.map(|s| PeerWriter::new(s, spec.metrics.clone().map(|hub| (hub, me, peer))))
+                })
                 .collect(),
             last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            pending_ping_ns: (0..np).map(|_| AtomicU64::new(0)).collect(),
             start: Instant::now(),
             agreements: Mutex::new(HashMap::new()),
             agree_cv: Condvar::new(),
@@ -529,6 +584,10 @@ impl Fabric for TcpFabric {
 
     fn tracer(&self) -> Option<&Tracer> {
         self.inner.tracer.as_ref()
+    }
+
+    fn metrics(&self) -> Option<&MetricsHub> {
+        self.inner.metrics.as_ref()
     }
 
     fn record_msg(&self, _event: MsgEvent) {
@@ -709,6 +768,7 @@ mod tests {
             fault: None,
             poll_interval: Duration::from_millis(5),
             tracer: None,
+            metrics: None,
             epoch,
         }
     }

@@ -98,6 +98,16 @@ pub enum Frame {
         /// Listener addresses indexed by world rank.
         addrs: Vec<String>,
     },
+    /// Worker → launcher: one rank's metrics snapshot, in the
+    /// `patternlets_metrics::wire` encoding. Pushed periodically (and at
+    /// exit) to the launcher's aggregation listener, which merges the
+    /// snapshots across processes for the Prometheus/status views.
+    Metrics {
+        /// The reporting world rank.
+        rank: u64,
+        /// `patternlets_metrics::wire::encode` output.
+        payload: Vec<u8>,
+    },
 }
 
 const KIND_HELLO: u8 = 0;
@@ -108,6 +118,7 @@ const KIND_AGREE: u8 = 4;
 const KIND_PING: u8 = 5;
 const KIND_REGISTER: u8 = 6;
 const KIND_TABLE: u8 = 7;
+const KIND_METRICS: u8 = 8;
 
 struct BodyWriter(Vec<u8>);
 
@@ -253,6 +264,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 w.string(addr);
             }
         }
+        Frame::Metrics { rank, payload } => {
+            w.u8(KIND_METRICS);
+            w.u64(*rank);
+            w.bytes(payload);
+        }
     }
     let body = w.0;
     let mut out = Vec::with_capacity(4 + body.len());
@@ -312,6 +328,10 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             }
             Frame::Table { addrs }
         }
+        KIND_METRICS => Frame::Metrics {
+            rank: r.u64()?,
+            payload: r.bytes()?,
+        },
         other => return Err(Error::Codec(format!("unknown frame kind {other}"))),
     };
     r.finish()?;
@@ -413,6 +433,24 @@ mod tests {
         roundtrip(Frame::Table {
             addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
         });
+        roundtrip(Frame::Metrics {
+            rank: 2,
+            payload: vec![1, 0, 0, 0, 0],
+        });
+    }
+
+    #[test]
+    fn truncated_metrics_frames_are_rejected() {
+        let wire = encode_frame(&Frame::Metrics {
+            rank: 1,
+            payload: vec![9; 12],
+        });
+        for cut in 0..wire.len() {
+            assert!(
+                decode_frame(&wire[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,28 @@ pub const ENV_NP: &str = "PMRUN_NP";
 pub const ENV_RENDEZVOUS: &str = "PMRUN_RENDEZVOUS";
 /// Environment variable carrying the directory for per-rank trace files.
 pub const ENV_TRACE_DIR: &str = "PMRUN_TRACE_DIR";
+/// Environment variable carrying the address of `pmrun`'s metrics
+/// collector. When set, workers enable a [`patternlets_metrics::MetricsHub`]
+/// and push snapshots there as [`frame::Frame::Metrics`] frames.
+pub const ENV_METRICS_ADDR: &str = "PMRUN_METRICS_ADDR";
+
+/// Push one metrics snapshot to the collector at `addr`.
+///
+/// Each push is a short-lived connection carrying a single
+/// [`frame::Frame::Metrics`]; snapshots are cumulative, so the collector
+/// keeps only the latest per rank and a lost push is healed by the next
+/// one. Returns whether the push reached the collector.
+pub fn push_metrics(addr: &str, rank: usize, hub: &patternlets_metrics::MetricsHub) -> bool {
+    let payload = patternlets_metrics::wire::encode(&hub.snapshot());
+    let frame = frame::Frame::Metrics {
+        rank: rank as u64,
+        payload,
+    };
+    match std::net::TcpStream::connect(addr) {
+        Ok(mut stream) => frame::write_frame(&mut stream, &frame).is_ok(),
+        Err(_) => false,
+    }
+}
 
 /// The launch parameters a `pmrun` worker finds in its environment.
 #[derive(Debug, Clone)]

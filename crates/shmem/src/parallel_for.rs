@@ -7,11 +7,28 @@
 //! `#pragma omp parallel for`; [`Team::parallel_for_reduce`] adds the
 //! reduction clause (paper Fig. 20's `parallel for reduction(+:sum)`).
 
+use patternlets_metrics::CounterId;
 use patternlets_trace::EventKind;
 
 use crate::reduce::ReduceOp;
 use crate::sched::{Cursor, LoopScheduler, Schedule};
 use crate::team::{Team, TeamCtx};
+
+/// The (chunks-claimed, iterations-run) counter pair for a schedule kind.
+/// Per-lane iteration counts under one schedule are what the exporter
+/// turns into the load-imbalance ratio.
+fn schedule_counters(schedule: Schedule) -> (CounterId, CounterId) {
+    match schedule {
+        Schedule::StaticBlock => (CounterId::ChunksStaticBlock, CounterId::ItersStaticBlock),
+        Schedule::StaticCyclic => (CounterId::ChunksStaticCyclic, CounterId::ItersStaticCyclic),
+        Schedule::StaticChunked(_) => (
+            CounterId::ChunksStaticChunked,
+            CounterId::ItersStaticChunked,
+        ),
+        Schedule::Dynamic(_) => (CounterId::ChunksDynamic, CounterId::ItersDynamic),
+        Schedule::Guided(_) => (CounterId::ChunksGuided, CounterId::ItersGuided),
+    }
+}
 
 impl TeamCtx<'_> {
     /// `#pragma omp for schedule(...)`: split `0..len` across the team,
@@ -27,12 +44,17 @@ impl TeamCtx<'_> {
     /// threads proceed as soon as their own iterations are done.
     pub fn for_each_nowait(&self, len: usize, schedule: Schedule, mut f: impl FnMut(usize)) {
         let n = self.num_threads();
+        let (chunks_id, iters_id) = schedule_counters(schedule);
         let sched = self.shared_construct(|| LoopScheduler::new(schedule, len, n));
         let mut cursor = Cursor::new();
         while let Some(chunk) = sched.next_chunk(self.thread_num(), &mut cursor) {
             self.trace(|| EventKind::ChunkClaim {
                 start: chunk.start,
                 len: chunk.len(),
+            });
+            self.metric(|hub, lane| {
+                hub.incr(lane, chunks_id);
+                hub.add(lane, iters_id, chunk.len() as u64);
             });
             for i in chunk {
                 f(i);
@@ -55,6 +77,7 @@ impl TeamCtx<'_> {
         T: Clone + Send + 'static,
     {
         let n = self.num_threads();
+        let (chunks_id, iters_id) = schedule_counters(schedule);
         let sched = self.shared_construct(|| LoopScheduler::new(schedule, len, n));
         let mut cursor = Cursor::new();
         let mut local = op.identity();
@@ -62,6 +85,10 @@ impl TeamCtx<'_> {
             self.trace(|| EventKind::ChunkClaim {
                 start: chunk.start,
                 len: chunk.len(),
+            });
+            self.metric(|hub, lane| {
+                hub.incr(lane, chunks_id);
+                hub.add(lane, iters_id, chunk.len() as u64);
             });
             for i in chunk {
                 local = op.combine(local, f(i));

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use patternlets_core::{Error, OpContext, Result};
+use patternlets_metrics::{HistId, MetricsHub};
 use patternlets_trace::{EventKind, Tracer};
 
 use crate::barrier::{AbortableBarrier, Barrier, BarrierKind};
@@ -61,6 +62,7 @@ pub struct Team {
     n: usize,
     barrier_kind: BarrierKind,
     tracer: Option<Tracer>,
+    metrics: Option<MetricsHub>,
 }
 
 impl Team {
@@ -71,6 +73,7 @@ impl Team {
             n,
             barrier_kind: BarrierKind::Central,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -98,6 +101,15 @@ impl Team {
         self
     }
 
+    /// Attach a [`MetricsHub`]: each thread records barrier-wait
+    /// histograms and per-schedule chunk/iteration counters on its
+    /// thread-id lane. Snapshot the hub after the region; the per-lane
+    /// iteration counts give the load-imbalance ratio per schedule.
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
     /// Team size.
     pub fn num_threads(&self) -> usize {
         self.n
@@ -115,7 +127,12 @@ impl Team {
     where
         F: Fn(&TeamCtx) + Sync,
     {
-        let shared = RegionShared::new(self.n, self.barrier_kind, self.tracer.clone());
+        let shared = RegionShared::new(
+            self.n,
+            self.barrier_kind,
+            self.tracer.clone(),
+            self.metrics.clone(),
+        );
         let run = |tid: usize| {
             let ctx = TeamCtx::new(tid, &shared);
             ctx.trace(|| EventKind::RegionBegin { team: shared.n });
@@ -165,7 +182,12 @@ impl Team {
         R: Send,
         F: Fn(&TeamCtx) -> Result<R> + Sync,
     {
-        let shared = RegionShared::new(self.n, self.barrier_kind, self.tracer.clone());
+        let shared = RegionShared::new(
+            self.n,
+            self.barrier_kind,
+            self.tracer.clone(),
+            self.metrics.clone(),
+        );
         let results: Vec<Mutex<Option<Result<R>>>> =
             (0..self.n).map(|_| Mutex::new(None)).collect();
         let run = |tid: usize| {
@@ -222,10 +244,18 @@ pub(crate) struct RegionShared {
     /// Structured event tracing, shared by every thread of the region.
     /// `None` (the default) keeps the synchronization paths event-free.
     tracer: Option<Tracer>,
+    /// Quantitative metrics, shared by every thread of the region. As
+    /// with the tracer, `None` keeps the hot paths instrument-free.
+    metrics: Option<MetricsHub>,
 }
 
 impl RegionShared {
-    fn new(n: usize, barrier_kind: BarrierKind, tracer: Option<Tracer>) -> Self {
+    fn new(
+        n: usize,
+        barrier_kind: BarrierKind,
+        tracer: Option<Tracer>,
+        metrics: Option<MetricsHub>,
+    ) -> Self {
         RegionShared {
             n,
             barrier: barrier_kind.build(n),
@@ -235,6 +265,7 @@ impl RegionShared {
             departed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             panics: Mutex::new(HashMap::new()),
             tracer,
+            metrics,
         }
     }
 
@@ -315,10 +346,25 @@ impl<'region> TeamCtx<'region> {
         }
     }
 
+    /// Record into the metrics hub on this thread's lane, when the team
+    /// has one. Mirrors [`TeamCtx::trace`]: one `Option` check when off.
+    #[inline]
+    pub(crate) fn metric(&self, record: impl FnOnce(&MetricsHub, usize)) {
+        if let Some(hub) = &self.shared.metrics {
+            record(hub, self.tid);
+        }
+    }
+
     /// `#pragma omp barrier`: block until every team thread arrives.
     pub fn barrier(&self) {
         self.trace(|| EventKind::BarrierWait);
+        let wait = self
+            .shared
+            .metrics
+            .as_ref()
+            .map(|hub| hub.timer(self.tid, HistId::BARRIER_WAIT_NS));
         self.shared.barrier.wait(self.tid);
+        drop(wait);
         self.trace(|| EventKind::BarrierRelease);
     }
 
@@ -329,10 +375,16 @@ impl<'region> TeamCtx<'region> {
     /// completes is never retroactively failed.
     pub fn try_barrier(&self) -> Result<()> {
         self.trace(|| EventKind::BarrierWait);
+        let wait = self
+            .shared
+            .metrics
+            .as_ref()
+            .map(|hub| hub.timer(self.tid, HistId::BARRIER_WAIT_NS));
         let outcome = self
             .shared
             .abortable
             .wait(|| self.shared.failure("barrier"));
+        drop(wait);
         self.trace(|| EventKind::BarrierRelease);
         outcome
     }

@@ -308,9 +308,22 @@ fn shrink_yields_a_working_survivor_communicator() {
 #[test]
 fn dropped_transmissions_are_retransmitted_and_delivered_exactly_once() {
     // A 50%-lossy link: every message is retried until it lands, and the
-    // receiver's dedup guarantees no message is counted twice.
+    // receiver's dedup guarantees no message is counted twice. The tracer
+    // and the metrics hub must agree on one definition of "delivered":
+    // a logical message is sent once and received once, no matter how
+    // many extra transmissions (retransmits, chaos duplicates) its
+    // envelope needed on the way — those are counted separately and must
+    // never inflate the send/recv totals.
+    use patternlets_metrics::{CounterId, MetricsHub};
+    use patternlets_trace::Tracer;
+    use patternlets_vtime::{rank_counters, total_counters};
+
     const MSGS: u64 = 20;
+    let tracer = Tracer::new();
+    let hub = MetricsHub::new();
     let out = WorldBuilder::new(2)
+        .tracer(tracer.clone())
+        .metrics(hub.clone())
         .fault_plan(FaultPlan::seeded(14).drop(0.5).duplicate(0.3))
         .run(|comm| {
             if comm.rank() == 0 {
@@ -328,6 +341,29 @@ fn dropped_transmissions_are_retransmitted_and_delivered_exactly_once() {
         })
         .unwrap();
     assert_eq!(out[0], (0..MSGS).collect::<Vec<_>>());
+
+    // Trace counters: one MsgSend and one MsgRecv per logical message.
+    let totals = total_counters(&rank_counters(&tracer.drain()));
+    assert_eq!(totals.sends, MSGS, "trace sends inflated by chaos");
+    assert_eq!(totals.recvs, MSGS, "trace recvs inflated by chaos");
+    assert!(totals.retransmits > 0, "a 50% drop rate must retransmit");
+
+    // Metrics counters: same definition, same numbers.
+    let snap = hub.snapshot();
+    let sent = snap.msgs_sent();
+    let delivered = snap.total(CounterId::MsgsRecv);
+    assert_eq!(sent, MSGS, "metrics sends inflated by chaos");
+    assert_eq!(delivered, MSGS, "metrics recvs inflated by chaos");
+    assert_eq!(
+        snap.total(CounterId::Retransmits),
+        totals.retransmits,
+        "tracer and metrics disagree on retransmissions"
+    );
+    assert_eq!(
+        snap.total(CounterId::DupDrops),
+        totals.dup_drops,
+        "tracer and metrics disagree on duplicates dropped"
+    );
 }
 
 #[test]
@@ -427,6 +463,7 @@ mod tcp_failures {
             fault: None,
             poll_interval: Duration::from_millis(2),
             tracer: None,
+            metrics: None,
             epoch,
         };
         let handles: Vec<_> = (0..np)

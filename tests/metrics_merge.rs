@@ -1,0 +1,98 @@
+//! Property tests for the metrics snapshot algebra: merging N per-shard
+//! snapshots, in any order, must equal the snapshot of one hub that saw
+//! the whole instruction stream. This is the invariant `pmrun` leans on
+//! when it lane-merges the per-rank snapshots workers push to it — if
+//! merge order or sharding mattered, the Prometheus endpoint would lie.
+
+use patternlets_metrics::{
+    CounterId, GaugeId, HistId, MetricsHub, MetricsSnapshot, COUNTER_COUNT, HIST_COUNT,
+};
+use proptest::prelude::*;
+
+/// One raw generated update: `((lane, kind), value)`. Kinds `0..24` add
+/// to the matching counter, kind `24` bumps the mailbox-depth gauge, and
+/// `25..40` observe into histogram `kind - 25` — jointly covering the
+/// whole vocabulary (24 counters + 1 gauge + 15 histograms = 40).
+type RawOp = ((usize, usize), u64);
+
+const KINDS: usize = COUNTER_COUNT + 1 + HIST_COUNT;
+
+fn apply(hub: &MetricsHub, &((lane, kind), value): &RawOp) {
+    if kind < COUNTER_COUNT {
+        hub.add(lane, CounterId::ALL[kind], value);
+    } else if kind == COUNTER_COUNT {
+        hub.gauge_max(lane, GaugeId::MailboxDepth, value);
+    } else {
+        hub.observe(lane, HistId(kind - COUNTER_COUNT - 1), value);
+    }
+}
+
+/// Lanes beyond `DEFAULT_LANES` exercise the modulo wrap; the value range
+/// spans bucket 0 up through the overflow bucket.
+fn raw_ops(max_len: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec(
+        ((0usize..80, 0usize..KINDS), 0u64..(1u64 << 45)),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_equals_single_stream(
+        ops in raw_ops(200),
+        shards in 1usize..6,
+        order_seed in any::<u64>(),
+    ) {
+        // Reference: one hub sees every op.
+        let reference = MetricsHub::new();
+        for op in &ops {
+            apply(&reference, op);
+        }
+        let expected = reference.snapshot();
+
+        // Shard the same stream round-robin over N hubs.
+        let hubs: Vec<MetricsHub> = (0..shards).map(|_| MetricsHub::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&hubs[i % shards], op);
+        }
+
+        // Merge the shard snapshots in a seed-chosen order.
+        let mut snaps: Vec<MetricsSnapshot> = hubs.iter().map(|h| h.snapshot()).collect();
+        let mut seed = order_seed;
+        let mut merged = MetricsSnapshot::default();
+        while !snaps.is_empty() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (seed >> 33) as usize % snaps.len();
+            merged.merge(&snaps.swap_remove(pick));
+        }
+
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_identity(ops in raw_ops(60)) {
+        let hub = MetricsHub::new();
+        for op in &ops {
+            apply(&hub, op);
+        }
+        let snap = hub.snapshot();
+        let mut merged = snap.clone();
+        merged.merge(&MetricsSnapshot::default());
+        prop_assert_eq!(&merged, &snap);
+        let mut from_empty = MetricsSnapshot::default();
+        from_empty.merge(&snap);
+        prop_assert_eq!(&from_empty, &snap);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_any_snapshot(ops in raw_ops(120)) {
+        let hub = MetricsHub::new();
+        for op in &ops {
+            apply(&hub, op);
+        }
+        let snap = hub.snapshot();
+        let decoded = patternlets_metrics::wire::decode(&patternlets_metrics::wire::encode(&snap))
+            .expect("own encoding decodes");
+        prop_assert_eq!(decoded, snap);
+    }
+}
