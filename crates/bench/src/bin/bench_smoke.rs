@@ -2,16 +2,23 @@
 //! that pits the zero-copy shared-payload fast path against the
 //! encode-everything baseline **in the same build** (the baseline worlds
 //! are built with `WorldBuilder::encoded_payloads(true)`), then writes a
-//! machine-readable summary to `BENCH_5.json` and prints the deltas.
+//! machine-readable summary to `BENCH_6.json` and prints the deltas.
 //! Alongside the timings, a metrics-instrumented pingpong world records
 //! the zero-copy *hit rate* under both configs, so the summary states
 //! not just how fast the fast path is but that it actually engaged.
+//!
+//! The pingpong shapes sweep payload sizes across the inline-payload
+//! crossover (`INLINE_MAX` = 64 B): at and below it both configs use the
+//! same stack-inline representation (speedup ≈ 1.0 by construction —
+//! this is the fix for the old BENCH_5 8-byte regression, where the
+//! shared path's two allocations *lost* to plain encoding), and above it
+//! the zero-copy path must win on its own.
 //!
 //! Run directly (`cargo run --release --bin bench_smoke`) or from the CI
 //! `bench-smoke` job. `BENCH_SMOKE_ITERS` scales the sample count (CI
 //! uses a small value; the defaults are sized for a laptop-minute).
 //! The output path is the first argument, else `PATTERNLETS_BENCH_OUT`,
-//! else `BENCH_5.json`.
+//! else `BENCH_6.json`.
 
 use std::time::Instant;
 
@@ -24,7 +31,7 @@ use patternlets_mp::World;
 const ROUNDS: usize = 32;
 
 struct Sample {
-    name: &'static str,
+    name: String,
     /// Nanoseconds per logical operation (round trip / bcast), baseline.
     encoded_ns: f64,
     /// Same, over the zero-copy fast path.
@@ -103,14 +110,17 @@ fn reduce_ns(np: usize, elems: usize, encoded: bool, iters: usize) -> f64 {
 
 /// Fraction of pingpong sends that took the zero-copy path under this
 /// payload config, measured by an attached metrics hub (1.0 when the
-/// fast path engages, 0.0 under the encoded baseline).
+/// fast path engages, 0.0 under the encoded baseline). The probe buffer
+/// sits deliberately ABOVE `INLINE_MAX` (64 B): at or under it both
+/// configs inline and both rates read 1.0, which would say nothing about
+/// the shared-payload path this probe exists to verify.
 fn pingpong_hit_rate(encoded: bool) -> f64 {
     let hub = MetricsHub::new();
     World::builder(2)
         .encoded_payloads(encoded)
         .metrics(hub.clone())
         .run(move |comm| {
-            let buf = vec![7u8; 64];
+            let buf = vec![7u8; 256];
             for _ in 0..ROUNDS {
                 if comm.rank() == 0 {
                     comm.send(&buf, 1, 1).unwrap();
@@ -138,30 +148,35 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .or_else(|| std::env::var("PATTERNLETS_BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
 
-    let samples = vec![
-        Sample {
-            name: "pingpong_8B",
-            encoded_ns: pingpong_ns(8, true, iters),
-            zerocopy_ns: pingpong_ns(8, false, iters),
-        },
-        Sample {
-            name: "pingpong_64KiB",
-            encoded_ns: pingpong_ns(64 << 10, true, iters),
-            zerocopy_ns: pingpong_ns(64 << 10, false, iters),
-        },
-        Sample {
-            name: "bcast_p8_64KiB",
-            encoded_ns: bcast_ns(8, 8192, true, iters),
-            zerocopy_ns: bcast_ns(8, 8192, false, iters),
-        },
-        Sample {
-            name: "reduce_p8_2KiB",
-            encoded_ns: reduce_ns(8, 256, true, iters),
-            zerocopy_ns: reduce_ns(8, 256, false, iters),
-        },
-    ];
+    // Pingpong size sweep spanning the inline crossover: the first two
+    // sizes inline in BOTH configs (8 B was BENCH_5's regression case),
+    // the rest must earn their speedup on the shared path.
+    let mut samples: Vec<Sample> = [
+        (8usize, "pingpong_8B"),
+        (64, "pingpong_64B"),
+        (256, "pingpong_256B"),
+        (4 << 10, "pingpong_4KiB"),
+        (64 << 10, "pingpong_64KiB"),
+    ]
+    .into_iter()
+    .map(|(size, name)| Sample {
+        name: name.to_string(),
+        encoded_ns: pingpong_ns(size, true, iters),
+        zerocopy_ns: pingpong_ns(size, false, iters),
+    })
+    .collect();
+    samples.push(Sample {
+        name: "bcast_p8_64KiB".to_string(),
+        encoded_ns: bcast_ns(8, 8192, true, iters),
+        zerocopy_ns: bcast_ns(8, 8192, false, iters),
+    });
+    samples.push(Sample {
+        name: "reduce_p8_2KiB".to_string(),
+        encoded_ns: reduce_ns(8, 256, true, iters),
+        zerocopy_ns: reduce_ns(8, 256, false, iters),
+    });
 
     let hit_fast = pingpong_hit_rate(false);
     let hit_encoded = pingpong_hit_rate(true);
@@ -193,7 +208,7 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_5\",\n");
+    json.push_str("  \"bench\": \"BENCH_6\",\n");
     json.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!(
@@ -203,7 +218,7 @@ fn main() {
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"encoded_ns\": {:.0}, \"zerocopy_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
-            json_escape_free(s.name),
+            json_escape_free(&s.name),
             s.encoded_ns,
             s.zerocopy_ns,
             s.speedup(),

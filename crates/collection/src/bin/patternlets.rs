@@ -90,6 +90,15 @@ fn main() -> ExitCode {
                 |i: usize, default| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
             net_stall(arg(1, 4), arg(2, 0), arg(3, 30_000) as u64, net.as_ref())
         }
+        // Hidden harness for the wire-chaos soak: sustained ring traffic
+        // so a `--net-chaos` plan gets past its grace period and actually
+        // cuts/corrupts connections, while the checksum proves the
+        // reconnect/resume machinery delivered everything exactly once.
+        Some("__net-soak") => {
+            let arg =
+                |i: usize, default| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
+            net_soak(arg(1, 4), arg(2, 200) as u64, net.as_ref())
+        }
         // A bare patternlet name is an implicit `run`, so launcher lines
         // read like real mpirun: `pmrun -np 4 patternlets mpi/broadcast`.
         Some(name) if find(name).is_some() => {
@@ -308,6 +317,79 @@ fn net_stall(np: usize, victim: usize, stall_ms: u64, net: Option<&NetEnv>) -> E
                         sink.println(format!("rank {}: excluded from shrink", comm.rank()));
                     }
                 }
+            }
+        })
+        .expect("world config is valid");
+    if let Some(pusher) = pusher {
+        pusher.finish();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Body of the hidden `__net-soak` subcommand (see `main`): `rounds`
+/// laps of a message ring (every rank sends to its right neighbour and
+/// receives from its left) punctuated by an occasional allreduce. The
+/// point is volume — enough sequenced frames per connection that a
+/// seeded `--net-chaos` plan fires repeatedly — and the final checksum
+/// is computed twice (once from what arrived, once from first
+/// principles), so the "ok" line certifies exactly-once delivery through
+/// every cut, truncation, and corruption along the way.
+fn net_soak(np: usize, rounds: u64, net: Option<&NetEnv>) -> ExitCode {
+    use patternlets_core::reduce::ops;
+    const ELEMS: u64 = 16;
+    let mut cfg = RunConfig::echoing(np, Mode::Off);
+    let metrics_addr = std::env::var(patternlets_net::ENV_METRICS_ADDR).ok();
+    let pusher = if let Some(addr) = metrics_addr {
+        let hub = MetricsHub::new();
+        cfg = cfg.with_metrics(hub.clone());
+        Some(MetricsPusher::spawn(hub, addr, net.map_or(0, |e| e.rank)))
+    } else {
+        None
+    };
+    cfg.world(np)
+        .poll_interval(std::time::Duration::from_millis(2))
+        .run(|comm| {
+            let sink = cfg.sink(comm.rank());
+            let np = comm.size() as u64;
+            let rank = comm.rank() as u64;
+            let next = ((rank + 1) % np) as usize;
+            let prev = ((rank + np - 1) % np) as usize;
+            let mut sum: u64 = 0;
+            for round in 0..rounds {
+                let payload: Vec<u64> =
+                    (0..ELEMS).map(|i| round * 31 + rank * 7 + i).collect();
+                comm.send(&payload, next, 11).expect("soak send");
+                let (data, _) = comm.recv::<u64>(prev, 11).expect("soak recv");
+                sum += data.iter().sum::<u64>();
+                if round % 64 == 63 {
+                    sum = comm.allreduce(&[sum], &ops::Max).expect("soak allreduce")[0];
+                }
+            }
+            let total = comm.allreduce(&[sum], &ops::Sum).expect("soak total")[0];
+            if comm.is_master() {
+                // What rank r received is rank r-1's stream; summed over
+                // all ranks that is every rank's own stream once, so the
+                // expected grand total needs no knowledge of routing —
+                // modulo the periodic Max folds, which replace each
+                // rank's partial sum with the round's maximum. Replaying
+                // the same folds over per-rank reference sums gives the
+                // exact expectation.
+                let mut expect: Vec<u64> = vec![0; np as usize];
+                for round in 0..rounds {
+                    for (r, e) in expect.iter_mut().enumerate() {
+                        let from = (r as u64 + np - 1) % np;
+                        *e += (0..ELEMS).map(|i| round * 31 + from * 7 + i).sum::<u64>();
+                    }
+                    if round % 64 == 63 {
+                        let max = *expect.iter().max().expect("np >= 1");
+                        expect.iter_mut().for_each(|e| *e = max);
+                    }
+                }
+                let expect: u64 = expect.iter().sum();
+                let verdict = if total == expect { "ok" } else { "MISMATCH" };
+                sink.println(format!(
+                    "net soak: {rounds} rounds x {np} ranks {verdict} (sum {total}, expected {expect})"
+                ));
             }
         })
         .expect("world config is valid");

@@ -25,6 +25,20 @@
 //! family — agree/shrink around it, while `pmrun` exits non-zero with a
 //! per-rank report. `--timeout SECS` bounds the whole job for CI.
 //!
+//! `--net-chaos SEED` arms the wire-level fault injector in every
+//! worker: outgoing socket batches are deterministically cut, truncated
+//! and bit-flipped (see `patternlets_net::chaos`), exercising the
+//! fabric's reconnect/resume machinery while the job still must produce
+//! its normal output.
+//!
+//! `--respawn N` turns `pmrun` into a supervisor: up to N times per job,
+//! a worker that dies (crash, SIGKILL) is restarted in place. The
+//! respawned process gets `PMRUN_EPOCH_BASE` set to the respawn ordinal,
+//! so its first world rendezvouses at the same epoch as the retry world
+//! the survivors build after the failure, and `PMRUN_CKPT_DIR` points at
+//! a per-job checkpoint directory so the restarted rank can resume from
+//! its last completed step instead of from scratch.
+//!
 //! `--metrics-port P` turns every worker's metrics hub on and serves the
 //! merged counters as Prometheus text on `http://127.0.0.1:P/metrics`
 //! (`P = 0` picks an ephemeral port and prints it); workers stream
@@ -48,7 +62,8 @@ use patternlets_core::capture::Output;
 use patternlets_metrics::{render_prometheus, render_summary, wire, MetricsSnapshot};
 use patternlets_net::frame::{read_frame, Frame};
 use patternlets_net::{
-    rendezvous, ENV_METRICS_ADDR, ENV_NP, ENV_RANK, ENV_RENDEZVOUS, ENV_TRACE_DIR,
+    rendezvous, ENV_CKPT_DIR, ENV_EPOCH_BASE, ENV_METRICS_ADDR, ENV_NET_CHAOS, ENV_NP, ENV_RANK,
+    ENV_RENDEZVOUS, ENV_TRACE_DIR,
 };
 use patternlets_trace::chrome;
 
@@ -68,6 +83,10 @@ struct Opts {
     metrics_linger: u64,
     /// `--status`: redraw a live per-rank metrics table on stderr.
     status: bool,
+    /// `--net-chaos SEED`: arm the workers' wire-level fault injector.
+    net_chaos: Option<u64>,
+    /// `--respawn N`: restart up to N dead workers (job-wide budget).
+    respawn: usize,
     program: String,
     program_args: Vec<String>,
 }
@@ -76,6 +95,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: pmrun -np N [--kill-worker RANK:MS] [--trace FILE] [--timeout SECS] \
          [--metrics-port P] [--metrics-linger MS] [--status] \
+         [--net-chaos SEED] [--respawn N] \
          <program> [args...]\n\n\
          example: pmrun -np 4 patternlets mpi/broadcast"
     );
@@ -90,6 +110,8 @@ fn parse(args: &[String]) -> Option<Opts> {
     let mut metrics_port = None;
     let mut metrics_linger = 0;
     let mut status = false;
+    let mut net_chaos = None;
+    let mut respawn = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -122,6 +144,14 @@ fn parse(args: &[String]) -> Option<Opts> {
                 status = true;
                 i += 1;
             }
+            "--net-chaos" => {
+                net_chaos = Some(args.get(i + 1)?.parse().ok()?);
+                i += 2;
+            }
+            "--respawn" => {
+                respawn = args.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
             _ => break,
         }
     }
@@ -134,6 +164,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         metrics_port,
         metrics_linger,
         status,
+        net_chaos,
+        respawn,
         program,
         program_args: args[i + 1..].to_vec(),
     })
@@ -271,6 +303,74 @@ fn resolve_program(name: &str) -> String {
     name.to_string()
 }
 
+/// Everything needed to (re)spawn one worker process — shared by the
+/// initial launch and `--respawn` restarts so both build the identical
+/// environment.
+struct SpawnCtx {
+    program: String,
+    args: Vec<String>,
+    np: usize,
+    rendezvous: String,
+    trace_dir: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    net_chaos: Option<u64>,
+    ckpt_dir: Option<PathBuf>,
+    stdout_log: Output,
+    stderr_log: Output,
+}
+
+impl SpawnCtx {
+    /// Spawn rank `rank` with `epoch_base` (0 for the initial launch, the
+    /// job-wide respawn ordinal for restarts) and hook its output streams
+    /// into the capture layer.
+    fn spawn(
+        &self,
+        rank: usize,
+        epoch_base: u64,
+        forwarders: &mut Vec<std::thread::JoinHandle<()>>,
+    ) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NP, self.np.to_string())
+            .env(ENV_RENDEZVOUS, &self.rendezvous)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if epoch_base > 0 {
+            cmd.env(ENV_EPOCH_BASE, epoch_base.to_string());
+        }
+        if let Some(seed) = self.net_chaos {
+            cmd.env(ENV_NET_CHAOS, seed.to_string());
+        }
+        if let Some(dir) = &self.ckpt_dir {
+            cmd.env(ENV_CKPT_DIR, dir);
+        }
+        if let Some(dir) = &self.trace_dir {
+            cmd.env(ENV_TRACE_DIR, dir);
+        }
+        if let Some(addr) = &self.metrics_addr {
+            cmd.env(ENV_METRICS_ADDR, addr);
+        }
+        let mut child = cmd.spawn()?;
+        // Forward each worker stream line-wise through the capture layer:
+        // one locked write per line, so ranks interleave but never tear.
+        if let Some(stdout) = child.stdout.take() {
+            let sink = self.stdout_log.sink(rank);
+            forwarders.push(std::thread::spawn(move || {
+                forward_lines(stdout, |line| sink.println(line));
+            }));
+        }
+        if let Some(stderr) = child.stderr.take() {
+            let sink = self.stderr_log.sink(rank);
+            forwarders.push(std::thread::spawn(move || {
+                forward_lines(stderr, |line| sink.println(format!("[rank {rank}] {line}")));
+            }));
+        }
+        Ok(child)
+    }
+}
+
 /// How one worker ended, for the final report.
 struct WorkerOutcome {
     rank: usize,
@@ -354,51 +454,45 @@ fn main() -> ExitCode {
         }
     }
 
-    let program = resolve_program(&opts.program);
+    // `--respawn` needs somewhere for restarted ranks to find their last
+    // checkpoint; one per-job scratch directory, removed after the run.
+    let ckpt_dir: Option<PathBuf> = (opts.respawn > 0)
+        .then(|| std::env::temp_dir().join(format!("pmrun-ckpt-{}", std::process::id())));
+    if let Some(dir) = &ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "pmrun: cannot create checkpoint directory {}: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let ctx = SpawnCtx {
+        program: resolve_program(&opts.program),
+        args: opts.program_args.clone(),
+        np: opts.np,
+        rendezvous,
+        trace_dir: trace_dir.clone(),
+        metrics_addr: collector.as_ref().map(|c| c.push_addr.clone()),
+        net_chaos: opts.net_chaos,
+        ckpt_dir: ckpt_dir.clone(),
+        stdout_log: Output::echoing(),
+        stderr_log: Output::echoing_to(std::io::stderr()),
+    };
     let mut children: Vec<Arc<Mutex<Child>>> = Vec::with_capacity(opts.np);
-    let stdout_log = Output::echoing();
-    let stderr_log = Output::echoing_to(std::io::stderr());
     let mut forwarders = Vec::new();
     for rank in 0..opts.np {
-        let mut cmd = Command::new(&program);
-        cmd.args(&opts.program_args)
-            .env(ENV_RANK, rank.to_string())
-            .env(ENV_NP, opts.np.to_string())
-            .env(ENV_RENDEZVOUS, &rendezvous)
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped());
-        if let Some(dir) = &trace_dir {
-            cmd.env(ENV_TRACE_DIR, dir);
-        }
-        if let Some(collector) = &collector {
-            cmd.env(ENV_METRICS_ADDR, &collector.push_addr);
-        }
-        let mut child = match cmd.spawn() {
-            Ok(child) => child,
+        match ctx.spawn(rank, 0, &mut forwarders) {
+            Ok(child) => children.push(Arc::new(Mutex::new(child))),
             Err(e) => {
-                eprintln!("pmrun: cannot spawn {program} for rank {rank}: {e}");
+                eprintln!("pmrun: cannot spawn {} for rank {rank}: {e}", ctx.program);
                 for child in &children {
                     let _ = child.lock().kill();
                 }
                 return ExitCode::FAILURE;
             }
-        };
-        // Forward each worker stream line-wise through the capture layer:
-        // one locked write per line, so ranks interleave but never tear.
-        if let Some(stdout) = child.stdout.take() {
-            let sink = stdout_log.sink(rank);
-            forwarders.push(std::thread::spawn(move || {
-                forward_lines(stdout, |line| sink.println(line));
-            }));
         }
-        if let Some(stderr) = child.stderr.take() {
-            let sink = stderr_log.sink(rank);
-            forwarders.push(std::thread::spawn(move || {
-                forward_lines(stderr, |line| sink.println(format!("[rank {rank}] {line}")));
-            }));
-        }
-        children.push(Arc::new(Mutex::new(child)));
     }
 
     // The fault injector: SIGKILL one worker mid-run. Survivors see the
@@ -452,32 +546,77 @@ fn main() -> ExitCode {
         }
     }
 
-    // Wait for EVERY worker — deliberately including jobs where one was
+    // Supervise EVERY worker — deliberately including jobs where one was
     // killed: the survivors must get to finish their recovery (shrink,
-    // reformed collectives) before the job is judged.
-    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(opts.np);
-    for (rank, child) in children.iter().enumerate() {
-        let status = loop {
-            match child.lock().try_wait() {
-                Ok(Some(status)) => break Ok(status),
-                Ok(None) => {}
-                Err(e) => break Err(e),
+    // reformed collectives) before the job is judged. With `--respawn`,
+    // a worker that dies while budget remains is restarted in place (the
+    // `Child` inside its mutex is replaced, so the kill and timeout
+    // threads' handles stay valid) and the job is judged by each rank's
+    // final incarnation.
+    let mut results: Vec<Option<WorkerOutcome>> = (0..opts.np).map(|_| None).collect();
+    let mut respawns_left = opts.respawn;
+    let mut respawn_ordinal: u64 = 0;
+    let mut respawned: Vec<usize> = vec![0; opts.np];
+    loop {
+        for rank in 0..opts.np {
+            if results[rank].is_some() {
+                continue;
             }
-            std::thread::sleep(Duration::from_millis(10));
-        };
-        match status {
-            Ok(status) => outcomes.push(WorkerOutcome {
-                rank,
-                status: describe_status(status),
-                success: status.success(),
-            }),
-            Err(e) => outcomes.push(WorkerOutcome {
-                rank,
-                status: format!("wait failed: {e}"),
-                success: false,
-            }),
+            let waited = children[rank].lock().try_wait();
+            match waited {
+                Ok(Some(status)) => {
+                    if !status.success() && respawns_left > 0 && !timed_out.load(Ordering::SeqCst) {
+                        respawns_left -= 1;
+                        respawn_ordinal += 1;
+                        respawned[rank] += 1;
+                        eprintln!(
+                            "pmrun: rank {rank} {} — respawning \
+                             (epoch base {respawn_ordinal}, {respawns_left} respawns left)",
+                            describe_status(status)
+                        );
+                        // A moment's backoff per prior restart of this
+                        // rank, so a crash-looping worker can't hot-spin
+                        // the supervisor.
+                        std::thread::sleep(Duration::from_millis(100 * respawned[rank] as u64));
+                        match ctx.spawn(rank, respawn_ordinal, &mut forwarders) {
+                            Ok(child) => *children[rank].lock() = child,
+                            Err(e) => {
+                                results[rank] = Some(WorkerOutcome {
+                                    rank,
+                                    status: format!("respawn failed: {e}"),
+                                    success: false,
+                                });
+                            }
+                        }
+                    } else {
+                        let base = describe_status(status);
+                        results[rank] = Some(WorkerOutcome {
+                            rank,
+                            status: match respawned[rank] {
+                                0 => base,
+                                1 => format!("{base} (after 1 respawn)"),
+                                n => format!("{base} (after {n} respawns)"),
+                            },
+                            success: status.success(),
+                        });
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    results[rank] = Some(WorkerOutcome {
+                        rank,
+                        status: format!("wait failed: {e}"),
+                        success: false,
+                    });
+                }
+            }
         }
+        if results.iter().all(|r| r.is_some()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
+    let outcomes: Vec<WorkerOutcome> = results.into_iter().flatten().collect();
     all_done.store(true, Ordering::SeqCst);
     for handle in forwarders {
         let _ = handle.join();
@@ -525,6 +664,10 @@ fn main() -> ExitCode {
             );
             std::thread::sleep(Duration::from_millis(opts.metrics_linger));
         }
+    }
+
+    if let Some(dir) = &ckpt_dir {
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     if timed_out.load(Ordering::SeqCst) {

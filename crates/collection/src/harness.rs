@@ -2,7 +2,7 @@
 
 use patternlets_core::capture::{Output, Sink};
 use patternlets_metrics::MetricsHub;
-use patternlets_mp::{World, WorldBuilder};
+use patternlets_mp::{CheckpointStore, World, WorldBuilder};
 use patternlets_shmem::Team;
 use patternlets_trace::{Trace, Tracer};
 
@@ -75,6 +75,10 @@ pub struct RunConfig {
     /// and team built through [`RunConfig::world`] and [`RunConfig::team`]
     /// records counters/histograms into it; `None` costs one branch.
     pub metrics: Option<MetricsHub>,
+    /// Directory for per-rank checkpoint files (`pmrun --respawn` sets it
+    /// via `PMRUN_CKPT_DIR`; tests set it directly). `None` means the
+    /// resilience patternlets that checkpoint pick their own scratch dir.
+    pub ckpt_dir: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -87,6 +91,7 @@ impl RunConfig {
             kill: None,
             tracer: None,
             metrics: None,
+            ckpt_dir: None,
         }
     }
 
@@ -99,6 +104,7 @@ impl RunConfig {
             kill: None,
             tracer: None,
             metrics: None,
+            ckpt_dir: None,
         }
     }
 
@@ -125,6 +131,24 @@ impl RunConfig {
     /// The attached metrics hub, if any.
     pub fn metrics(&self) -> Option<&MetricsHub> {
         self.metrics.as_ref()
+    }
+
+    /// Use `dir` for per-rank checkpoint files.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// A [`CheckpointStore`] for `rank`, resolved in priority order: the
+    /// configured directory, then the launcher's `PMRUN_CKPT_DIR` (set by
+    /// `pmrun --respawn`), then `None` — the caller runs checkpoint-free
+    /// or picks a scratch dir of its own.
+    pub fn checkpoint_store(&self, rank: usize) -> Option<CheckpointStore> {
+        let dir = self
+            .ckpt_dir
+            .clone()
+            .or_else(|| std::env::var("PMRUN_CKPT_DIR").ok().map(Into::into))?;
+        CheckpointStore::new(dir, rank).ok()
     }
 
     /// A sink stamping lines with `task`.

@@ -77,8 +77,8 @@ mod tests {
         assert_eq!(c[&Technology::Omp], 17, "17 OpenMP");
         assert_eq!(c[&Technology::Threads], 9, "9 Pthreads");
         assert_eq!(c[&Technology::Hetero], 2, "2 heterogeneous");
-        assert_eq!(c[&Technology::Resilience], 3, "3 resilience");
-        assert_eq!(registry().len(), 47, "the paper's 44 + 3 resilience");
+        assert_eq!(c[&Technology::Resilience], 4, "4 resilience");
+        assert_eq!(registry().len(), 48, "the paper's 44 + 4 resilience");
     }
 
     #[test]

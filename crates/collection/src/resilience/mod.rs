@@ -10,6 +10,7 @@
 
 pub mod chaos;
 pub mod master_worker;
+pub mod respawn;
 pub mod shrink;
 
 use crate::harness::Patternlet;
@@ -20,5 +21,6 @@ pub fn all() -> Vec<&'static Patternlet> {
         &chaos::PATTERNLET,
         &master_worker::PATTERNLET,
         &shrink::PATTERNLET,
+        &respawn::PATTERNLET,
     ]
 }

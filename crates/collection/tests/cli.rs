@@ -20,7 +20,7 @@ fn list_prints_the_census_line() {
     let (stdout, _, ok) = run(&["list"]);
     assert!(ok);
     assert!(stdout
-        .contains("47 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous, 3 resilience"));
+        .contains("48 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous, 4 resilience"));
     assert!(stdout.contains("omp/barrier"));
     assert!(stdout.contains("mpi/gather"));
     assert!(stdout.contains("resilience/master_worker"));

@@ -98,6 +98,126 @@ fn killed_worker_surfaces_rank_failed_and_survivors_shrink() {
 }
 
 #[test]
+fn killed_worker_is_respawned_and_the_job_heals_to_full_size() {
+    // Rank 1 is SIGKILLed mid-computation; with a respawn budget the
+    // supervisor restarts it, the restarted process rejoins the retry
+    // world at the survivors' epoch, restores from the shared checkpoint
+    // directory, and the job completes at the ORIGINAL world size with
+    // exit 0 — contrast with the shrink test above, where the job ends
+    // smaller and failed.
+    let job = pmrun_with(
+        &[
+            "-np",
+            "4",
+            "--timeout",
+            "120",
+            "--kill-worker",
+            "1:600",
+            "--respawn",
+            "2",
+        ],
+        &["resilience/respawn", "-n", "4"],
+    );
+    assert!(
+        job.success,
+        "stdout: {}\nstderr: {}",
+        job.stdout, job.stderr
+    );
+    assert!(
+        job.stderr.contains("respawning"),
+        "the supervisor reported the restart: {}",
+        job.stderr
+    );
+    assert!(
+        job.stdout.contains("restart: resuming from step"),
+        "the retry world restored mid-run state: {}\nstderr: {}",
+        job.stdout,
+        job.stderr
+    );
+    assert!(
+        job.stdout
+            .contains("done: 8 steps at full size 4, state 32 (expected 32)"),
+        "the job finished at full world size: {}\nstderr: {}",
+        job.stdout,
+        job.stderr
+    );
+}
+
+#[test]
+fn chaotic_wire_job_self_heals_and_delivers_exactly_once() {
+    // A seeded chaos plan cuts, truncates, and corrupts the TCP links
+    // while a traffic-heavy soak runs on top. The job must still finish
+    // with the exact expected checksum (exactly-once delivery through
+    // every fault), and the metrics summary must show the self-healing
+    // actually happened: nonzero reconnects with replayed frames.
+    //
+    // Reconnects race a wall-clock budget, so on an oversubscribed test
+    // host (the full suite saturates this 1-CPU box) a starved redial
+    // can genuinely exhaust it. That is the environment failing, not the
+    // protocol; allow a couple of fresh attempts before believing a
+    // failure.
+    let mut job = None;
+    for (attempt, port) in ["9377", "9378", "9379"].iter().enumerate() {
+        let run = pmrun_with(
+            &[
+                "-np",
+                "4",
+                "--timeout",
+                "120",
+                "--net-chaos",
+                "7",
+                "--metrics-port",
+                port,
+            ],
+            &["__net-soak", "4", "200"],
+        );
+        let done = run.success;
+        job = Some(run);
+        if done {
+            break;
+        }
+        eprintln!("chaos soak attempt {attempt} failed (load?), retrying");
+    }
+    let job = job.expect("at least one attempt ran");
+    assert!(
+        job.success,
+        "stdout: {}\nstderr: {}",
+        job.stdout, job.stderr
+    );
+    assert!(
+        job.stdout.contains("net soak: 200 rounds x 4 ranks ok"),
+        "the checksum survived the chaos: {}\nstderr: {}",
+        job.stdout,
+        job.stderr
+    );
+    let net_line = job
+        .stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("net: "))
+        .unwrap_or_else(|| panic!("metrics summary has a net line: {}", job.stdout));
+    let count = |key: &str| -> u64 {
+        let at = net_line
+            .find(key)
+            .unwrap_or_else(|| panic!("{key} in {net_line}"));
+        net_line[at + key.len()..]
+            .split_whitespace()
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("numeric {key} in {net_line}"))
+    };
+    assert!(
+        count("reconnects=") > 0,
+        "chaos forced reconnects: {net_line}"
+    );
+    assert!(count("replayed=") > 0, "resume replayed frames: {net_line}");
+    assert_eq!(
+        count("failures="),
+        0,
+        "no rank was declared dead: {net_line}"
+    );
+}
+
+#[test]
 fn merged_trace_has_one_process_lane_per_rank() {
     let trace = std::env::temp_dir().join(format!("pmrun-test-trace-{}.json", std::process::id()));
     let trace_str = trace.to_string_lossy().into_owned();

@@ -14,11 +14,13 @@
 //!   xoshiro256**) so that workloads and simulations are reproducible without
 //!   global state.
 //! * [`timer`] — the `omp_get_wtime()` analogue.
+//! * [`crc`] — CRC-32 shared by the wire frame codec and checkpoint files.
 //! * [`ids`] — task identifiers shared by the shared-memory and
 //!   message-passing runtimes.
 //! * [`error`] — the workspace-wide error type.
 
 pub mod capture;
+pub mod crc;
 pub mod error;
 pub mod ids;
 pub mod reduce;
@@ -26,6 +28,7 @@ pub mod rng;
 pub mod timer;
 
 pub use capture::{CapturedLine, Output, Sink};
+pub use crc::crc32;
 pub use error::{Error, OpContext, Result};
 pub use ids::TaskId;
 pub use reduce::{ops, seq_fold, tree_fold, ReduceOp};

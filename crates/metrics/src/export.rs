@@ -49,6 +49,7 @@ const COUNTER_GROUPS: &[CounterGroup] = &[
         members: &[
             (CounterId::MsgsSentInproc, "repr=\"inproc\""),
             (CounterId::MsgsSentEncoded, "repr=\"encoded\""),
+            (CounterId::MsgsSentInline, "repr=\"inline\""),
         ],
     },
     CounterGroup {
@@ -147,10 +148,34 @@ const COUNTER_GROUPS: &[CounterGroup] = &[
         lane_label: "rank",
         members: &[(CounterId::NetHeartbeats, "")],
     },
+    CounterGroup {
+        metric: "patternlets_net_frames_replayed_total",
+        help: "Wire frames replayed from a send ring after a reconnect",
+        lane_label: "rank",
+        members: &[(CounterId::NetFramesReplayed, "")],
+    },
+    CounterGroup {
+        metric: "patternlets_net_crc_rejects_total",
+        help: "Wire frames rejected for a CRC mismatch",
+        lane_label: "rank",
+        members: &[(CounterId::NetCrcRejects, "")],
+    },
+    CounterGroup {
+        metric: "patternlets_checkpoints_total",
+        help: "Checkpoints written",
+        lane_label: "rank",
+        members: &[(CounterId::CheckpointsTaken, "")],
+    },
+    CounterGroup {
+        metric: "patternlets_checkpoint_bytes_total",
+        help: "Bytes written to checkpoint files",
+        lane_label: "rank",
+        members: &[(CounterId::CheckpointBytes, "")],
+    },
 ];
 
 /// `(metric name, help)` for each fixed histogram.
-const FIXED_HIST_META: [(HistId, &str, &str); 4] = [
+const FIXED_HIST_META: [(HistId, &str, &str); 5] = [
     (
         HistId::BARRIER_WAIT_NS,
         "patternlets_barrier_wait_ns",
@@ -170,6 +195,11 @@ const FIXED_HIST_META: [(HistId, &str, &str); 4] = [
         HistId::SEND_BYTES,
         "patternlets_send_bytes",
         "Per-message payload bytes at the sender",
+    ),
+    (
+        HistId::CHECKPOINT_NS,
+        "patternlets_checkpoint_ns",
+        "Nanoseconds spent writing one checkpoint",
     ),
 ];
 
@@ -325,16 +355,14 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             "mbox-hw"
         ));
         for lane in &snap.lanes {
-            let sent =
-                lane.counter(CounterId::MsgsSentInproc) + lane.counter(CounterId::MsgsSentEncoded);
+            let no_alloc =
+                lane.counter(CounterId::MsgsSentInproc) + lane.counter(CounterId::MsgsSentInline);
+            let sent = no_alloc + lane.counter(CounterId::MsgsSentEncoded);
             if sent == 0 && lane.counter(CounterId::MsgsRecv) == 0 {
                 continue;
             }
             let hit = if sent > 0 {
-                format!(
-                    "{:.1}",
-                    100.0 * lane.counter(CounterId::MsgsSentInproc) as f64 / sent as f64
-                )
+                format!("{:.1}", 100.0 * no_alloc as f64 / sent as f64)
             } else {
                 "-".into()
             };
@@ -420,11 +448,14 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
     let rtt = snap.hist_total(HistId::HEARTBEAT_RTT_NS);
     if snap.total(CounterId::NetFramesSent) > 0 {
         out.push_str(&format!(
-            "net: frames={} bytes={} heartbeats={} reconnects={} failures={}",
+            "net: frames={} bytes={} heartbeats={} reconnects={} replayed={} crc-rejects={} \
+             failures={}",
             snap.total(CounterId::NetFramesSent),
             snap.total(CounterId::NetBytesToPeer),
             snap.total(CounterId::NetHeartbeats),
             snap.total(CounterId::NetReconnects),
+            snap.total(CounterId::NetFramesReplayed),
+            snap.total(CounterId::NetCrcRejects),
             snap.total(CounterId::NetRankFailures),
         ));
         if wb.count() > 0 {
@@ -434,6 +465,16 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             out.push_str(&format!(" rtt p50<={}", fmt_ns(rtt.quantile_bound(0.5))));
         }
         out.push('\n');
+    }
+
+    if snap.total(CounterId::CheckpointsTaken) > 0 {
+        let ck = snap.hist_total(HistId::CHECKPOINT_NS);
+        out.push_str(&format!(
+            "checkpoints: taken={} bytes={} write p50<={}\n",
+            snap.total(CounterId::CheckpointsTaken),
+            snap.total(CounterId::CheckpointBytes),
+            fmt_ns(ck.quantile_bound(0.5)),
+        ));
     }
     out
 }

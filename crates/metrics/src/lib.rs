@@ -98,10 +98,22 @@ pub enum CounterId {
     NetRankFailures,
     /// Heartbeat pings sent.
     NetHeartbeats,
+    /// Messages sent whose payload was stored inline in the envelope
+    /// (small encoded payloads, no heap allocation).
+    MsgsSentInline,
+    /// Wire frames replayed from a send ring after a reconnect.
+    NetFramesReplayed,
+    /// Wire frames rejected for a CRC mismatch (each tears the connection
+    /// down and triggers a resume).
+    NetCrcRejects,
+    /// Checkpoints written by `Comm::checkpoint`.
+    CheckpointsTaken,
+    /// Bytes written to checkpoint files.
+    CheckpointBytes,
 }
 
 /// Number of counters in each lane shard.
-pub const COUNTER_COUNT: usize = 24;
+pub const COUNTER_COUNT: usize = 29;
 
 impl CounterId {
     /// Every counter, in shard order.
@@ -130,6 +142,11 @@ impl CounterId {
         CounterId::NetReconnects,
         CounterId::NetRankFailures,
         CounterId::NetHeartbeats,
+        CounterId::MsgsSentInline,
+        CounterId::NetFramesReplayed,
+        CounterId::NetCrcRejects,
+        CounterId::CheckpointsTaken,
+        CounterId::CheckpointBytes,
     ];
 
     /// Shard-array index.
@@ -185,7 +202,7 @@ pub const COLL_OPS: [&str; 11] = [
 pub struct HistId(pub usize);
 
 /// Number of fixed (non-collective) histograms.
-const FIXED_HISTS: usize = 4;
+const FIXED_HISTS: usize = 5;
 
 /// Number of histograms in each lane shard.
 pub const HIST_COUNT: usize = FIXED_HISTS + COLL_OPS.len();
@@ -199,6 +216,9 @@ impl HistId {
     pub const HEARTBEAT_RTT_NS: HistId = HistId(2);
     /// Per-message payload size in bytes, at the sender.
     pub const SEND_BYTES: HistId = HistId(3);
+    /// Nanoseconds spent writing one checkpoint (serialize + fsync-free
+    /// file write + atomic rename).
+    pub const CHECKPOINT_NS: HistId = HistId(4);
 
     /// The latency histogram for a collective op (unknown ops share
     /// `"other"`).

@@ -185,15 +185,18 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Total messages sent (both representations) over all lanes.
+    /// Total messages sent (all three representations) over all lanes.
     pub fn msgs_sent(&self) -> u64 {
-        self.total(CounterId::MsgsSentInproc) + self.total(CounterId::MsgsSentEncoded)
+        self.total(CounterId::MsgsSentInproc)
+            + self.total(CounterId::MsgsSentEncoded)
+            + self.total(CounterId::MsgsSentInline)
     }
 
-    /// Fraction of sent messages that took the zero-copy path
-    /// (`None` when nothing was sent).
+    /// Fraction of sent messages that avoided a per-message heap
+    /// allocation — the zero-copy `InProc` path or the inline small-payload
+    /// path (`None` when nothing was sent).
     pub fn zerocopy_hit_rate(&self) -> Option<f64> {
-        let hits = self.total(CounterId::MsgsSentInproc);
+        let hits = self.total(CounterId::MsgsSentInproc) + self.total(CounterId::MsgsSentInline);
         let all = self.msgs_sent();
         (all > 0).then(|| hits as f64 / all as f64)
     }

@@ -2,14 +2,16 @@
 
 use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
 
 use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_core::{Error, OpContext, Result};
 use patternlets_metrics::{CounterId, HistId, MetricsHub, TimerGuard};
 use patternlets_trace::{CollSpan, EventKind};
 
+use crate::checkpoint::CheckpointStore;
 use crate::datatype::{decode_payload, encode, Datatype};
-use crate::envelope::{collective_tag, is_collective_tag, Envelope, Payload};
+use crate::envelope::{collective_tag, is_collective_tag, Envelope, Payload, INLINE_MAX};
 use crate::fabric::{AgreeKey, AgreeSlot, Fabric};
 use crate::fault::retry_backoff;
 use crate::status::{SourceSel, Status, TagSel};
@@ -193,11 +195,15 @@ impl Comm {
     }
 
     /// The payload representation for a send of `data` to `dest`: the
-    /// shared in-process form when the fabric says the two ranks share an
+    /// inline form for small encodings on fabrics that opt in, the shared
+    /// in-process form when the fabric says the two ranks share an
     /// address space (and the element type supports sharing), the encoded
     /// wire form otherwise. Collectives call this once at the root and
     /// forward the same payload to every child.
     pub(crate) fn prepare_payload<T: Datatype>(&self, data: &[T], dest: usize) -> Payload {
+        if self.fabric.inline_payloads() && T::encoded_len(data) <= INLINE_MAX {
+            return Payload::inline(data);
+        }
         if self
             .fabric
             .shares_address_space(self.world_rank(), self.group[dest])
@@ -275,6 +281,7 @@ impl Comm {
                 match &payload {
                     Payload::InProc(_) => CounterId::MsgsSentInproc,
                     Payload::Bytes(_) => CounterId::MsgsSentEncoded,
+                    Payload::Inline { .. } => CounterId::MsgsSentInline,
                 },
             );
             hub.add(lane, CounterId::BytesSent, payload.len() as u64);
@@ -672,6 +679,38 @@ impl Comm {
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
         })
+    }
+
+    /// Persist `data` as this rank's checkpoint for `step` — the metered
+    /// front door to [`CheckpointStore::save`]. Counts the checkpoint and
+    /// its bytes, and records the save latency, against this rank's
+    /// metrics lane.
+    pub fn checkpoint<T: Datatype>(
+        &self,
+        store: &CheckpointStore,
+        step: u64,
+        data: &[T],
+    ) -> Result<()> {
+        let started = Instant::now();
+        let bytes = store.save(step, data)?;
+        self.metric(|hub, lane| {
+            hub.incr(lane, CounterId::CheckpointsTaken);
+            hub.add(lane, CounterId::CheckpointBytes, bytes);
+            hub.observe(
+                lane,
+                HistId::CHECKPOINT_NS,
+                started.elapsed().as_nanos() as u64,
+            );
+        });
+        Ok(())
+    }
+
+    /// Load this rank's latest checkpoint, if one exists — the front door
+    /// to [`CheckpointStore::load`]. `Ok(None)` is a fresh start; a
+    /// respawned rank uses `Some((step, data))` to resume from the last
+    /// completed step.
+    pub fn restore<T: Datatype>(&self, store: &CheckpointStore) -> Result<Option<(u64, Vec<T>)>> {
+        store.load()
     }
 }
 

@@ -72,6 +72,9 @@ pub(crate) fn decode_payload<T: Datatype>(payload: Payload, count: usize) -> Res
             }
             Err(shared) => T::decode_slice(&shared.to_wire(), count),
         },
+        Payload::Inline { buf, len } => {
+            T::decode_slice(&Bytes::copy_from_slice(&buf[..len as usize]), count)
+        }
     }
 }
 

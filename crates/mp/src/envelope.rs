@@ -1,38 +1,79 @@
 //! Message envelopes: source, tag, type, count, payload.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use crate::datatype::Datatype;
 
-/// A message payload, in one of two representations.
+/// Largest wire encoding stored inline in an envelope. Above this, the
+/// byte-copy cost of the inline array exceeds what the `Arc`/`Bytes`
+/// representations amortize; below it, a message's payload lives
+/// entirely on the stack — no allocation, no refcount traffic.
+pub const INLINE_MAX: usize = 64;
+
+/// A message payload, in one of three representations.
 ///
 /// `Bytes` is the wire form: the element slice run through
 /// [`Datatype::encode_slice`], exactly what crosses a socket. `InProc` is
 /// the same-process fast path: shared ownership of the sender's element
 /// vector, so delivery between ranks that share an address space is one
-/// `Arc` refcount bump instead of an encode/decode round trip. The two
-/// are interchangeable at the transport seam — [`Payload::to_wire`]
-/// recovers the byte form of an `InProc` payload on demand, so a network
-/// backend never needs to know which representation a sender chose.
+/// `Arc` refcount bump instead of an encode/decode round trip. `Inline`
+/// is the small-message fast path: wire encodings of at most
+/// [`INLINE_MAX`] bytes ride in a fixed array inside the envelope
+/// itself, skipping the per-message heap allocation that dominates tiny
+/// sends in *either* other form. All three are interchangeable at the
+/// transport seam — [`Payload::to_wire`] recovers the byte form on
+/// demand, so a network backend never needs to know which representation
+/// a sender chose.
 #[derive(Clone)]
 pub enum Payload {
     /// Encoded wire form (cheap to clone: `Bytes` is refcounted).
     Bytes(Bytes),
     /// Shared in-process form (cheap to clone: one `Arc` bump).
     InProc(SharedPayload),
+    /// Small wire form stored inline (cheap to clone: a memcpy of at
+    /// most [`INLINE_MAX`] bytes, no heap involvement at all).
+    Inline {
+        /// The encoding, in `buf[..len as usize]`.
+        buf: [u8; INLINE_MAX],
+        /// Valid prefix length (`<= INLINE_MAX`).
+        len: u8,
+    },
 }
 
 impl Payload {
+    /// Encode `data` (whose wire form is known to fit [`INLINE_MAX`])
+    /// into an inline payload. Encoding goes through a thread-local
+    /// scratch buffer, so steady-state sends allocate nothing.
+    pub fn inline<T: Datatype>(data: &[T]) -> Payload {
+        thread_local! {
+            static SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::new());
+        }
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.clear();
+            T::encode_slice(data, &mut scratch);
+            debug_assert!(scratch.len() <= INLINE_MAX, "caller checked encoded_len");
+            let mut buf = [0u8; INLINE_MAX];
+            buf[..scratch.len()].copy_from_slice(&scratch);
+            Payload::Inline {
+                buf,
+                len: scratch.len() as u8,
+            }
+        })
+    }
+
     /// Size of the wire encoding in bytes (without producing it for
     /// `InProc` payloads — the encoded length is precomputed at send).
     pub fn len(&self) -> usize {
         match self {
             Payload::Bytes(bytes) => bytes.len(),
             Payload::InProc(shared) => shared.wire_len,
+            Payload::Inline { len, .. } => *len as usize,
         }
     }
 
@@ -42,12 +83,13 @@ impl Payload {
     }
 
     /// The wire (byte) form: a cheap clone for `Bytes`, an on-demand
-    /// encode for `InProc`. This is the transparent fallback a network
-    /// backend uses at the framing seam.
+    /// encode for `InProc`, a copy-out for `Inline`. This is the
+    /// transparent fallback a network backend uses at the framing seam.
     pub fn to_wire(&self) -> Bytes {
         match self {
             Payload::Bytes(bytes) => bytes.clone(),
             Payload::InProc(shared) => shared.to_wire(),
+            Payload::Inline { buf, len } => Bytes::copy_from_slice(&buf[..*len as usize]),
         }
     }
 }
@@ -57,6 +99,7 @@ impl fmt::Debug for Payload {
         match self {
             Payload::Bytes(bytes) => write!(f, "Bytes({} B)", bytes.len()),
             Payload::InProc(shared) => shared.fmt(f),
+            Payload::Inline { len, .. } => write!(f, "Inline({len} B)"),
         }
     }
 }
@@ -267,6 +310,22 @@ mod tests {
         let payload = Payload::InProc(shared);
         assert_eq!(payload.len(), direct.len());
         assert_eq!(&payload.to_wire()[..], &direct[..]);
+    }
+
+    #[test]
+    fn inline_payload_matches_the_wire_form() {
+        let data = vec![1i32, 2, 3];
+        let direct = crate::datatype::encode(&data);
+        let payload = Payload::inline(&data);
+        assert_eq!(payload.len(), direct.len());
+        assert_eq!(&payload.to_wire()[..], &direct[..]);
+        let back = crate::datatype::decode_payload::<i32>(payload, 3).unwrap();
+        assert_eq!(back, data);
+        // The cutover bound itself fits.
+        let full = vec![0xABu8; INLINE_MAX];
+        let payload = Payload::inline(&full);
+        assert_eq!(payload.len(), INLINE_MAX);
+        assert_eq!(&payload.to_wire()[..], &full[..]);
     }
 
     #[test]

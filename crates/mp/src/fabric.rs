@@ -92,6 +92,16 @@ pub trait Fabric: Send + Sync {
         false
     }
 
+    /// Should small payloads be stored inline in the envelope (a
+    /// stack-resident byte array) instead of a heap/`Arc` allocation?
+    /// Profitable on backends that encode every payload anyway (the wire
+    /// path); pointless on shared-memory backends whose zero-copy path
+    /// beats any encoding. Default `false` — only opt in when encoding
+    /// is unavoidable.
+    fn inline_payloads(&self) -> bool {
+        false
+    }
+
     /// Is `world_rank` still running (not finished, normally or not)?
     fn rank_alive(&self, world_rank: usize) -> bool;
 

@@ -44,6 +44,7 @@
 //!   [`patternlets_core::Error::Deadlock`] rather than hanging the test
 //!   suite.
 
+pub mod checkpoint;
 pub mod coll;
 pub mod comm;
 pub mod datatype;
@@ -55,9 +56,10 @@ pub mod request;
 pub mod status;
 pub mod world;
 
+pub use checkpoint::CheckpointStore;
 pub use comm::Comm;
 pub use datatype::Datatype;
-pub use envelope::{Envelope, Payload, SharedPayload};
+pub use envelope::{Envelope, Payload, SharedPayload, INLINE_MAX};
 pub use fabric::{install_fabric_provider, Fabric, FabricProvider, ProvidedWorld, WorldSpec};
 pub use fault::FaultPlan;
 pub use request::{RecvRequest, SendRequest};

@@ -420,6 +420,13 @@ impl Fabric for Transport {
         !self.encoded_only
     }
 
+    fn inline_payloads(&self) -> bool {
+        // Tiny payloads beat the `Arc` round-trip of the shared path
+        // (two allocations per send) in either payload mode, so the
+        // inline cutover applies regardless of `encoded_only`.
+        true
+    }
+
     fn rank_alive(&self, world_rank: usize) -> bool {
         Transport::rank_alive(self, world_rank)
     }

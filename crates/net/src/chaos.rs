@@ -1,0 +1,283 @@
+//! Wire-level fault injection — the socket-layer sibling of
+//! [`FaultPlan`](patternlets_mp::fault::FaultPlan).
+//!
+//! A [`NetChaosPlan`] is a seed plus a handful of probabilities. Each TCP
+//! connection derives its own deterministic RNG stream from the seed and
+//! the `(lower rank, higher rank)` pair, so a given seed produces the same
+//! cuts, truncations and bit flips on every run regardless of thread
+//! scheduling — the property that makes a chaos soak debuggable.
+//!
+//! Injection happens in exactly one place, the peer writer's batch flush,
+//! and each decision applies to one batch:
+//!
+//! * **Cut** severs the connection *before* the batch is written. The
+//!   sequenced frames in the dropped batch stay in the send ring and are
+//!   replayed after reconnect — every cut therefore exercises the resume
+//!   path for real.
+//! * **Truncate** writes a strict prefix of the batch, then severs. The
+//!   receiver sees a frame cut mid-header or mid-body and treats it as a
+//!   disconnect.
+//! * **Corrupt** flips one bit in a *copy* of the batch and writes the
+//!   whole thing. The frame CRC catches it; the receiver drops the
+//!   connection, counting a CRC reject, and the resume replays cleanly
+//!   from the ring (which still holds the unflipped original).
+//!
+//! `cut_after` guarantees progress: after each cut the connection is left
+//! alone for at least that many frames before the plan may strike again,
+//! so a chaotic run still terminates.
+
+use patternlets_core::rng::{Rng, Xoshiro256StarStar};
+
+/// What to do with one outgoing batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Write the batch unharmed.
+    Pass,
+    /// Sever the connection without writing any of the batch.
+    Cut,
+    /// Write only the first `bytes` bytes of the batch, then sever.
+    Truncate {
+        /// Number of leading bytes to let through.
+        bytes: usize,
+    },
+    /// Flip bit `bit` of byte `byte` in a copy of the batch, then write
+    /// all of it.
+    Corrupt {
+        /// Index of the byte to damage.
+        byte: usize,
+        /// Bit position within that byte (0..8).
+        bit: u32,
+    },
+}
+
+/// One chaos decision: an artificial delay followed by an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosDecision {
+    /// Milliseconds to sleep before acting (models a congested link).
+    pub delay_ms: u64,
+    /// What happens to the batch.
+    pub action: ChaosAction,
+}
+
+/// Seeded plan for wire-level mayhem, shared by every connection of a
+/// fabric. Mirrors the shape of the in-process `FaultPlan`: one seed in,
+/// deterministic per-entity streams out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetChaosPlan {
+    /// Master seed; combined with the connection's rank pair.
+    pub seed: u64,
+    /// Minimum frames a connection is left alone after each cut (and at
+    /// stream start) before faults may fire. Guarantees progress.
+    pub cut_after: u64,
+    /// Probability per eligible batch of a clean cut.
+    pub cut_prob: f64,
+    /// Probability per eligible batch of a truncated write (then cut).
+    pub truncate_prob: f64,
+    /// Probability per eligible batch of a single flipped bit.
+    pub corrupt_prob: f64,
+    /// Upper bound (exclusive, ms) on per-batch artificial delay; 0
+    /// disables delays.
+    pub delay_up_to_ms: u64,
+}
+
+impl NetChaosPlan {
+    /// The default mix for a given seed: frequent-enough faults to force
+    /// multiple reconnects in a short run, spaced by `cut_after` so the
+    /// run still completes.
+    pub fn seeded(seed: u64) -> Self {
+        NetChaosPlan {
+            seed,
+            cut_after: 10,
+            cut_prob: 0.08,
+            truncate_prob: 0.04,
+            corrupt_prob: 0.04,
+            delay_up_to_ms: 3,
+        }
+    }
+
+    /// Parse the `PMRUN_NET_CHAOS` value: a bare integer seed.
+    pub fn from_env_value(value: &str) -> Option<Self> {
+        value.trim().parse::<u64>().ok().map(Self::seeded)
+    }
+
+    /// The per-connection stream for the link between `a` and `b`
+    /// (direction-independent: both ends of a pair share a pair key, but
+    /// only the writer side consults it).
+    pub fn connection(&self, a: u64, b: u64) -> NetChaosConn {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let pair = lo
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hi)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        NetChaosConn {
+            plan: *self,
+            rng: Xoshiro256StarStar::seeded(self.seed ^ pair),
+            frames_since_cut: 0,
+        }
+    }
+}
+
+/// Per-connection chaos state: an independent RNG stream plus the
+/// grace-period counter.
+#[derive(Debug, Clone)]
+pub struct NetChaosConn {
+    plan: NetChaosPlan,
+    rng: Xoshiro256StarStar,
+    frames_since_cut: u64,
+}
+
+impl NetChaosConn {
+    /// Decide the fate of one outgoing batch of `frame_count` frames
+    /// totalling `batch_bytes` bytes. Advances the RNG stream and the
+    /// grace counter; cuts (including truncations) reset the counter so
+    /// each connection incarnation gets its grace period.
+    pub fn decide(&mut self, batch_bytes: usize, frame_count: usize) -> ChaosDecision {
+        let delay_ms = if self.plan.delay_up_to_ms > 0 {
+            self.rng.gen_range(self.plan.delay_up_to_ms)
+        } else {
+            0
+        };
+        // Grace period: let the young connection deliver some frames.
+        if self.frames_since_cut < self.plan.cut_after {
+            self.frames_since_cut += frame_count as u64;
+            return ChaosDecision {
+                delay_ms,
+                action: ChaosAction::Pass,
+            };
+        }
+        let roll = self.rng.gen_f64();
+        let action = if roll < self.plan.cut_prob {
+            self.frames_since_cut = 0;
+            ChaosAction::Cut
+        } else if roll < self.plan.cut_prob + self.plan.truncate_prob && batch_bytes > 1 {
+            self.frames_since_cut = 0;
+            ChaosAction::Truncate {
+                bytes: 1 + self.rng.gen_range(batch_bytes as u64 - 1) as usize,
+            }
+        } else if roll < self.plan.cut_prob + self.plan.truncate_prob + self.plan.corrupt_prob
+            && batch_bytes > 0
+        {
+            // Not a cut: the whole (damaged) batch goes out, so the frames
+            // count toward the grace window of the *next* incarnation only
+            // once the receiver drops the connection. Reset anyway: the
+            // receiver will cut on the CRC reject.
+            self.frames_since_cut = 0;
+            ChaosAction::Corrupt {
+                byte: self.rng.gen_range(batch_bytes as u64) as usize,
+                bit: self.rng.gen_range(8) as u32,
+            }
+        } else {
+            self.frames_since_cut += frame_count as u64;
+            ChaosAction::Pass
+        };
+        ChaosDecision { delay_ms, action }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(conn: &mut NetChaosConn, batches: usize) -> Vec<ChaosDecision> {
+        (0..batches).map(|_| conn.decide(256, 2)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_pair_same_stream() {
+        let plan = NetChaosPlan::seeded(42);
+        let a = run(&mut plan.connection(0, 3), 200);
+        let b = run(&mut plan.connection(0, 3), 200);
+        assert_eq!(a, b);
+        // Pair key is direction-independent.
+        let c = run(&mut plan.connection(3, 0), 200);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn different_pairs_diverge() {
+        let plan = NetChaosPlan::seeded(42);
+        let a = run(&mut plan.connection(0, 1), 200);
+        let b = run(&mut plan.connection(0, 2), 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn grace_period_spaces_out_the_faults() {
+        let mut plan = NetChaosPlan::seeded(7);
+        plan.cut_prob = 1.0; // fault on every eligible batch
+        plan.truncate_prob = 0.0;
+        plan.corrupt_prob = 0.0;
+        let mut conn = plan.connection(0, 1);
+        let mut frames_between = 0u64;
+        for _ in 0..100 {
+            let d = conn.decide(64, 2);
+            match d.action {
+                ChaosAction::Pass => frames_between += 2,
+                ChaosAction::Cut => {
+                    assert!(
+                        frames_between >= plan.cut_after,
+                        "cut arrived after only {frames_between} frames"
+                    );
+                    frames_between = 0;
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_a_strict_prefix() {
+        let mut plan = NetChaosPlan::seeded(11);
+        plan.cut_prob = 0.0;
+        plan.truncate_prob = 1.0;
+        plan.corrupt_prob = 0.0;
+        plan.cut_after = 0;
+        let mut conn = plan.connection(2, 5);
+        for _ in 0..50 {
+            match conn.decide(100, 1).action {
+                ChaosAction::Truncate { bytes } => {
+                    assert!((1..100).contains(&bytes));
+                }
+                other => panic!("expected truncate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_targets_a_real_byte() {
+        let mut plan = NetChaosPlan::seeded(13);
+        plan.cut_prob = 0.0;
+        plan.truncate_prob = 0.0;
+        plan.corrupt_prob = 1.0;
+        plan.cut_after = 0;
+        let mut conn = plan.connection(1, 4);
+        for _ in 0..50 {
+            match conn.decide(32, 1).action {
+                ChaosAction::Corrupt { byte, bit } => {
+                    assert!(byte < 32);
+                    assert!(bit < 8);
+                }
+                other => panic!("expected corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn env_value_parses_a_bare_seed() {
+        assert_eq!(
+            NetChaosPlan::from_env_value(" 99 "),
+            Some(NetChaosPlan::seeded(99))
+        );
+        assert_eq!(NetChaosPlan::from_env_value("nope"), None);
+    }
+
+    #[test]
+    fn delays_respect_the_bound() {
+        let plan = NetChaosPlan::seeded(3);
+        let mut conn = plan.connection(0, 1);
+        for _ in 0..200 {
+            let d = conn.decide(64, 1);
+            assert!(d.delay_ms < plan.delay_up_to_ms);
+        }
+    }
+}

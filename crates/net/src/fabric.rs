@@ -8,18 +8,45 @@
 //! per-stream ordering carries MPI's non-overtaking guarantee across the
 //! process boundary exactly as the in-process queue order does.
 //!
+//! ## Self-healing connections
+//!
+//! A lost connection is not a lost peer. Every *sequenced* frame (see
+//! [`Frame::is_sequenced`]) is retained in a per-peer [`SendRing`] until
+//! the peer acknowledges it — acks piggyback on the heartbeat as
+//! `Ping { seen }` — and each end counts the sequenced frames it has
+//! delivered. When a socket dies (EOF, write error, or a frame whose CRC
+//! doesn't check out), the higher-ranked side redials the lower side's
+//! listener with exponential backoff and exchanges `Resume` frames
+//! carrying those delivery counts; both send rings rewind to the peer's
+//! count and replay the unacknowledged tail. The counts are exact, so
+//! resumption is exactly-once by construction — no frame is lost (the
+//! ring still holds it) and none is duplicated (nothing below the peer's
+//! count is resent); the mailbox's sequence dedup stands behind it as a
+//! second line of defense. Only when the reconnect budget
+//! ([`RECONNECT_BUDGET`]) is exhausted does the verdict escalate to
+//! [`Error::RankFailed`](patternlets_core::Error::RankFailed).
+//!
 //! ## Failure detection
 //!
 //! Ranks announce a normal exit with a `Finish` frame before shutting
 //! their write side down, so EOF-after-Finish reads as a clean exit. EOF
-//! *without* Finish — the peer process was killed — marks the peer
-//! failed, surfacing to the application as the same
-//! [`Error::RankFailed`](patternlets_core::Error::RankFailed) the
-//! fault-injection layer produces; the ULFM-style `agree`/`shrink`
-//! recovery path works unchanged across processes. A heartbeat thread
-//! additionally pings every peer and fails those silent past
-//! [`PEER_TIMEOUT`] (a half-open connection on a real network; nearly
-//! unreachable on loopback).
+//! *without* Finish enters the reconnect cycle above; a peer that cannot
+//! be re-reached within the budget is marked failed, surfacing to the
+//! application as the same `RankFailed` the fault-injection layer
+//! produces; the ULFM-style `agree`/`shrink` recovery path works
+//! unchanged across processes. A heartbeat thread additionally pings
+//! every peer; one silent past [`PEER_TIMEOUT`] gets a *probe* — its
+//! connection is cut, forcing a reconnect round-trip — and is declared
+//! failed only if still silent after that.
+//!
+//! ## Wire chaos
+//!
+//! With a [`NetChaosPlan`] armed (`pmrun --net-chaos SEED`), every
+//! outgoing batch passes a seeded per-connection chaos stream that may
+//! cut the connection before the write, truncate the write mid-frame, or
+//! flip one bit (which the frame CRC catches on the far side). All three
+//! funnel into the same reconnect/resume machinery, so a chaos soak
+//! exercises exactly the code paths a flaky network would.
 //!
 //! ## What the thread backend has that this one doesn't
 //!
@@ -38,6 +65,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_core::{Error, Result};
 use patternlets_metrics::{CounterId, HistId, MetricsHub};
 use patternlets_mp::envelope::{Envelope, Payload};
@@ -45,18 +73,41 @@ use patternlets_mp::fabric::{AgreeKey, AgreeSlot, Fabric, WorldSpec};
 use patternlets_mp::fault::{ChaosDecision, FaultState};
 use patternlets_mp::mailbox::Mailbox;
 use patternlets_mp::world::{MsgEvent, WaitRecord};
-use patternlets_trace::Tracer;
+use patternlets_trace::{EventKind, Tracer};
 
-use crate::frame::{encode_frame, read_frame, Frame};
+use crate::chaos::{ChaosAction, NetChaosConn, NetChaosPlan};
+use crate::frame::{encode_frame, read_frame, Frame, CRC_MISMATCH};
 use crate::rendezvous;
+use crate::ring::SendRing;
 
 /// How often the heartbeat thread pings every live peer.
 pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
 
-/// A peer silent this long (no frame, no ping) while not finished is
-/// declared failed. EOF detection fires far earlier for killed processes;
-/// this backstop only matters for half-open connections.
+/// A peer silent this long (no frame, no ping) while not finished gets a
+/// reconnect probe; still silent after the probe, it is declared failed.
+/// EOF detection fires far earlier for killed processes; this backstop
+/// only matters for half-open connections.
 pub const PEER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Total time one reconnect cycle may spend redialing (or waiting for
+/// the peer to redial) before the peer is declared failed. Short enough
+/// that genuine deaths are detected promptly; long enough for several
+/// backed-off dial attempts against a peer that is merely mid-hiccup.
+pub const RECONNECT_BUDGET: Duration = Duration::from_secs(2);
+
+/// How long each side of a `Resume` handshake waits for the other's
+/// frame before abandoning that attempt (the budget may allow retries).
+const RESUME_REPLY_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Poll cadence of the (non-blocking) accept thread that fields
+/// reconnect dials.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// On `finish`, how long to wait for peers to acknowledge the frames
+/// still in flight (the Finish itself included) before half-closing.
+/// Acks ride the peers' heartbeats, so the common case drains in one or
+/// two heartbeat intervals.
+const FINISH_DRAIN: Duration = Duration::from_secs(1);
 
 /// `TYPE_NAME`s of the built-in [`patternlets_mp::Datatype`] impls, used
 /// to intern wire type names back into `&'static str` without leaking.
@@ -96,90 +147,199 @@ fn intern_type_name(name: &str) -> &'static str {
 /// flushing other senders' traffic.
 const MAX_COALESCED: usize = 64;
 
-/// Records queued on a peer's write side, plus whether some thread is
-/// currently draining them.
-struct SendQueue {
-    records: VecDeque<Vec<u8>>,
-    flushing: bool,
+/// The write side's connection lifecycle. `Down` is transient — a
+/// reconnect may bring the link back; `Terminal` is forever (the peer
+/// finished or failed, or this fabric is tearing down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Connected,
+    Down,
+    Terminal,
 }
 
-/// One peer connection's write side: a combining writer. A sender
-/// enqueues its record and, if nobody is flushing, becomes the flusher —
-/// draining the queue in batches of up to [`MAX_COALESCED`] records per
-/// vectored write. Records enqueued while a flush is in progress ride
-/// along in the flusher's next batch, so under contention many small
-/// frames (heartbeats, acks, collective rounds) coalesce into one
-/// syscall; an uncontended sender writes immediately, so nothing ever
-/// waits on a timer (flush-on-idle: the queue drains to empty before the
-/// flusher retires). `set_nodelay(true)` stays on — batching happens
-/// here, above the socket, not in Nagle's algorithm.
+/// Everything a flusher needs under one lock: the replayable ring of
+/// sequenced frames, the fire-and-forget queue of unsequenced ones
+/// (heartbeats — regenerated, never replayed), and the flush/connection
+/// state.
+struct Ring {
+    seq: SendRing,
+    unseq: VecDeque<Vec<u8>>,
+    flushing: bool,
+    state: ConnState,
+}
+
+/// One peer connection's write side: a combining writer over a
+/// *replaceable* socket. A sender enqueues its record and, if nobody is
+/// flushing, becomes the flusher — draining the queue in batches of up
+/// to [`MAX_COALESCED`] records per vectored write. Records enqueued
+/// while a flush is in progress ride along in the flusher's next batch,
+/// so under contention many small frames (heartbeats, acks, collective
+/// rounds) coalesce into one syscall; an uncontended sender writes
+/// immediately, so nothing ever waits on a timer. `set_nodelay(true)`
+/// stays on — batching happens here, above the socket, not in Nagle's
+/// algorithm.
+///
+/// Sequenced records outlive the socket: they stay in the [`SendRing`]
+/// until acked, and [`PeerWriter::resume`] swaps in a fresh socket and
+/// rewinds the ring to the peer's delivery count. While `Down`,
+/// sequenced sends accumulate (to be replayed) and unsequenced sends are
+/// dropped.
+///
+/// Lock order: `ring` → `breaker` → `stream`. `breaker` holds a clone of
+/// the socket used only for `shutdown`, so a blocked writer can be
+/// kicked loose without waiting for its write to return.
 struct PeerWriter {
-    stream: Mutex<TcpStream>,
-    queue: Mutex<SendQueue>,
-    /// Raised by whichever flusher first hits a write error. A sender
-    /// whose record another thread flushes can't see that write's result
-    /// directly; it reads the verdict here on its next send (failure
-    /// detection is bounded by the heartbeat cadence anyway).
-    broken: AtomicBool,
+    stream: Mutex<Option<TcpStream>>,
+    breaker: Mutex<Option<TcpStream>>,
+    ring: Mutex<Ring>,
+    /// Seeded per-connection chaos stream, when `--net-chaos` is armed.
+    chaos: Option<Mutex<NetChaosConn>>,
     /// `(hub, my lane, peer lane)` when metrics are on: batch sizes and
     /// frame counts go to my lane, bytes to the destination peer's lane.
     metrics: Option<(MetricsHub, usize, usize)>,
 }
 
 impl PeerWriter {
-    fn new(stream: TcpStream, metrics: Option<(MetricsHub, usize, usize)>) -> Self {
+    fn new(
+        stream: TcpStream,
+        metrics: Option<(MetricsHub, usize, usize)>,
+        chaos: Option<NetChaosConn>,
+    ) -> Self {
+        let breaker = stream.try_clone().ok();
         PeerWriter {
-            stream: Mutex::new(stream),
-            queue: Mutex::new(SendQueue {
-                records: VecDeque::new(),
+            stream: Mutex::new(Some(stream)),
+            breaker: Mutex::new(breaker),
+            ring: Mutex::new(Ring {
+                seq: SendRing::new(),
+                unseq: VecDeque::new(),
                 flushing: false,
+                state: ConnState::Connected,
             }),
-            broken: AtomicBool::new(false),
+            chaos: chaos.map(Mutex::new),
             metrics,
         }
     }
 
     /// Enqueue one encoded record and make sure it gets flushed. Returns
-    /// `false` once the connection is known broken.
-    fn send(&self, record: &[u8]) -> bool {
-        if self.broken.load(Ordering::SeqCst) {
-            return false;
-        }
+    /// `false` only when the link is terminal (peer finished/failed or
+    /// fabric closing) — a transiently-down link accepts sequenced
+    /// records for replay and silently drops unsequenced ones.
+    fn send(&self, record: &[u8], sequenced: bool) -> bool {
         {
-            let mut queue = self.queue.lock();
-            queue.records.push_back(record.to_vec());
-            if queue.flushing {
+            let mut ring = self.ring.lock();
+            match ring.state {
+                ConnState::Terminal => return false,
+                ConnState::Down => {
+                    if sequenced {
+                        ring.seq.push(record.to_vec());
+                    }
+                    return sequenced;
+                }
+                ConnState::Connected => {}
+            }
+            if sequenced {
+                ring.seq.push(record.to_vec());
+            } else {
+                ring.unseq.push_back(record.to_vec());
+            }
+            if ring.flushing {
                 // The active flusher will pick this record up before it
                 // retires; nothing more to do here.
                 return true;
             }
-            queue.flushing = true;
+            ring.flushing = true;
         }
+        self.flush_loop();
+        true
+    }
+
+    /// Drain the ring in batches until empty or the link drops. Caller
+    /// must have set `flushing`; this clears it on exit.
+    fn flush_loop(&self) {
         loop {
             let batch: Vec<Vec<u8>> = {
-                let mut queue = self.queue.lock();
-                if queue.records.is_empty() {
-                    queue.flushing = false;
-                    return !self.broken.load(Ordering::SeqCst);
+                let mut ring = self.ring.lock();
+                if ring.state != ConnState::Connected
+                    || (ring.unseq.is_empty() && ring.seq.unsent() == 0)
+                {
+                    ring.flushing = false;
+                    return;
                 }
-                let n = queue.records.len().min(MAX_COALESCED);
-                queue.records.drain(..n).collect()
+                let mut batch: Vec<Vec<u8>> = Vec::new();
+                while batch.len() < MAX_COALESCED {
+                    match ring.unseq.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                let room = MAX_COALESCED - batch.len();
+                batch.extend(ring.seq.next_batch(room));
+                batch
             };
             if !self.write_batch(&batch) {
-                self.broken.store(true, Ordering::SeqCst);
-                let mut queue = self.queue.lock();
-                queue.records.clear();
-                queue.flushing = false;
-                return false;
+                self.disconnect();
+                // Loop back: the state check above clears `flushing`.
             }
         }
     }
 
-    /// Write a batch of records with vectored writes, advancing across
-    /// short writes manually (`write_all_vectored` is not yet stable).
+    /// Write a batch of records — through the chaos plan when armed —
+    /// with vectored writes, advancing across short writes manually
+    /// (`write_all_vectored` is not yet stable). `false` drops the
+    /// connection (sequenced frames in the batch stay in the ring and
+    /// are replayed after resume).
     fn write_batch(&self, batch: &[Vec<u8>]) -> bool {
+        use std::io::Write;
+        if let Some(chaos) = &self.chaos {
+            let total: usize = batch.iter().map(|r| r.len()).sum();
+            let decision = chaos.lock().decide(total, batch.len());
+            if decision.delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(decision.delay_ms));
+            }
+            match decision.action {
+                ChaosAction::Pass => {}
+                ChaosAction::Cut => return false,
+                ChaosAction::Truncate { bytes } => {
+                    let flat: Vec<u8> = batch.concat();
+                    let cut = bytes.min(flat.len());
+                    let mut stream = self.stream.lock();
+                    if let Some(s) = stream.as_mut() {
+                        let _ = s.write_all(&flat[..cut]);
+                    }
+                    return false;
+                }
+                ChaosAction::Corrupt { byte, bit } => {
+                    // Damage a copy; the ring keeps the clean original
+                    // for the post-CRC-reject replay.
+                    let mut flat: Vec<u8> = batch.concat();
+                    if let Some(b) = flat.get_mut(byte) {
+                        *b ^= 1 << bit;
+                    }
+                    let mut stream = self.stream.lock();
+                    let ok = match stream.as_mut() {
+                        Some(s) => s.write_all(&flat).is_ok(),
+                        None => false,
+                    };
+                    if ok {
+                        self.record_batch(batch);
+                    }
+                    return ok;
+                }
+            }
+        }
+        if !self.write_batch_vectored(batch) {
+            return false;
+        }
+        self.record_batch(batch);
+        true
+    }
+
+    fn write_batch_vectored(&self, batch: &[Vec<u8>]) -> bool {
         use std::io::{ErrorKind, IoSlice, Write};
         let mut stream = self.stream.lock();
+        let Some(stream) = stream.as_mut() else {
+            return false;
+        };
         let mut idx = 0; // first record not fully written
         let mut off = 0; // bytes of batch[idx] already written
         while idx < batch.len() {
@@ -206,27 +366,112 @@ impl PeerWriter {
                 }
             }
         }
+        true
+    }
+
+    fn record_batch(&self, batch: &[Vec<u8>]) {
         if let Some((hub, me, peer)) = &self.metrics {
             hub.observe(*me, HistId::WRITEV_BATCH_FRAMES, batch.len() as u64);
             hub.add(*me, CounterId::NetFramesSent, batch.len() as u64);
             let bytes: u64 = batch.iter().map(|r| r.len() as u64).sum();
             hub.add(*peer, CounterId::NetBytesToPeer, bytes);
         }
-        true
     }
 
-    /// Shut the underlying socket down (see [`TcpFabric::sever`] and
-    /// [`Fabric::finish`]); write attempts afterwards fail and mark the
-    /// writer broken.
-    fn shutdown(&self, how: Shutdown) {
-        let _ = self.stream.lock().shutdown(how);
+    /// Acknowledge delivery: drop retained frames below `seen` (carried
+    /// by the peer's `Ping`).
+    fn ack(&self, seen: u64) {
+        self.ring.lock().seq.ack(seen);
     }
+
+    /// Unacknowledged sequenced frames still retained.
+    fn retained(&self) -> usize {
+        self.ring.lock().seq.retained()
+    }
+
+    /// Drop the current socket and mark the link down (unless already
+    /// terminal). Safe from any thread: the breaker clone shuts the
+    /// socket down without waiting for an in-flight write, which then
+    /// errors out and releases the stream lock.
+    fn disconnect(&self) {
+        {
+            let mut ring = self.ring.lock();
+            if ring.state == ConnState::Connected {
+                ring.state = ConnState::Down;
+            }
+            ring.unseq.clear();
+        }
+        if let Some(s) = self.breaker.lock().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        *self.stream.lock() = None;
+    }
+
+    /// Install a fresh socket and rewind the ring to the peer's delivery
+    /// count; returns how many retained frames will be replayed. The
+    /// frames go out with the next flush (a heartbeat at the latest), so
+    /// the calling reader thread never blocks on a socket write here.
+    fn resume(&self, stream: TcpStream, peer_recv: u64) -> Result<u64> {
+        let mut ring = self.ring.lock();
+        if ring.state == ConnState::Terminal {
+            return Err(Error::Codec("peer link already terminal".into()));
+        }
+        let replayed = ring.seq.resume(peer_recv)?;
+        *self.breaker.lock() = stream.try_clone().ok();
+        *self.stream.lock() = Some(stream);
+        ring.state = ConnState::Connected;
+        Ok(replayed)
+    }
+
+    /// Permanently stop writing (peer finished/failed, or `sever`). With
+    /// `cut`, the socket is shut down both ways; without, it is left for
+    /// `half_close` to handle.
+    fn terminal(&self, cut: bool) {
+        {
+            let mut ring = self.ring.lock();
+            ring.state = ConnState::Terminal;
+            ring.unseq.clear();
+        }
+        if cut {
+            if let Some(s) = self.breaker.lock().take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            *self.stream.lock() = None;
+        }
+    }
+
+    /// Half-close for teardown: peers read our `Finish`, then a clean
+    /// EOF. No further writes.
+    fn half_close(&self) {
+        {
+            let mut ring = self.ring.lock();
+            ring.state = ConnState::Terminal;
+            ring.unseq.clear();
+        }
+        if let Some(s) = &*self.breaker.lock() {
+            let _ = s.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// A redial fielded by the accept thread, parked until the peer's reader
+/// thread adopts it: the fresh socket plus the recv count the dialer
+/// reported in its `Resume`.
+struct PendingResume {
+    stream: TcpStream,
+    their_recv: u64,
 }
 
 struct Inner {
     me: usize,
     np: usize,
+    epoch: u64,
     names: Vec<String>,
+    /// Rendezvous address table, kept for redials.
+    addrs: Vec<String>,
+    /// This rank's listener, kept open for redials (serviced by the
+    /// accept thread).
+    listener: TcpListener,
     poll_interval: Duration,
     tracer: Option<Tracer>,
     metrics: Option<MetricsHub>,
@@ -238,6 +483,16 @@ struct Inner {
     failed: Vec<AtomicBool>,
     /// Write sides, indexed by peer world rank (`None` at `me`).
     peers: Vec<Option<PeerWriter>>,
+    /// Count of *sequenced* frames delivered from each peer — the number
+    /// this side reports in `Ping { seen }` acks and `Resume` handshakes.
+    recv_seq: Vec<AtomicU64>,
+    /// Per-peer: a reconnect probe is outstanding (set on first
+    /// heartbeat timeout, cleared on any frame heard).
+    probed: Vec<AtomicBool>,
+    /// Per-peer handoff slot for redialed connections (accept thread
+    /// produces, the peer's reader thread consumes).
+    pending: Mutex<Vec<Option<PendingResume>>>,
+    pending_cv: Condvar,
     /// Milliseconds (since `start`) each peer was last heard from.
     last_heard: Vec<AtomicU64>,
     /// Nanoseconds (since `start`, 0 = none pending) of the oldest
@@ -249,7 +504,8 @@ struct Inner {
     start: Instant,
     agreements: Mutex<HashMap<AgreeKey, AgreeSlot>>,
     agree_cv: Condvar,
-    /// Raised by `finish`: background threads stop writing.
+    /// Raised by `finish`/`sever`: background threads stop writing and
+    /// no reconnects are attempted or served.
     closing: AtomicBool,
 }
 
@@ -259,26 +515,29 @@ impl Inner {
     }
 
     /// Write a pre-encoded record to one peer through its combining
-    /// writer. `false` when the connection is known broken and the peer
-    /// never finished (caller decides whether that's a failure verdict).
-    fn write_to(&self, peer: usize, record: &[u8]) -> bool {
+    /// writer. `false` when the link is terminal and the peer never
+    /// finished (caller decides whether that's a failure verdict).
+    fn write_to(&self, peer: usize, record: &[u8], sequenced: bool) -> bool {
         let Some(writer) = &self.peers[peer] else {
             return true;
         };
-        writer.send(record)
+        writer.send(record, sequenced)
     }
 
-    /// Send `frame` to every peer; peers whose connection is dead and who
+    /// Send `frame` to every peer; peers whose link is terminal and who
     /// never announced Finish are marked failed (local verdict — every
     /// process discovers a dead peer through its own socket).
     fn broadcast(&self, frame: &Frame) {
         let record = encode_frame(frame);
+        let sequenced = frame.is_sequenced();
         let mut dead = Vec::new();
         for peer in 0..self.np {
             if peer == self.me || self.peers[peer].is_none() {
                 continue;
             }
-            if !self.write_to(peer, &record) && !self.finished[peer].load(Ordering::SeqCst) {
+            if !self.write_to(peer, &record, sequenced)
+                && !self.finished[peer].load(Ordering::SeqCst)
+            {
                 dead.push(peer);
             }
         }
@@ -294,6 +553,9 @@ impl Inner {
         if self.failed[rank].swap(true, Ordering::SeqCst) {
             return;
         }
+        if let Some(writer) = &self.peers[rank] {
+            writer.terminal(true);
+        }
         if let Some(hub) = &self.metrics {
             hub.incr(rank, CounterId::NetRankFailures);
         }
@@ -303,6 +565,7 @@ impl Inner {
 
     fn handle_frame(&self, peer: usize, frame: Frame) {
         self.last_heard[peer].store(self.elapsed_ms(), Ordering::Relaxed);
+        self.probed[peer].store(false, Ordering::Relaxed);
         if let Some(hub) = &self.metrics {
             // Any frame from a peer with a ping outstanding closes the
             // RTT sample (ping-to-next-frame; see `pending_ping_ns`).
@@ -311,6 +574,9 @@ impl Inner {
                 let now = self.start.elapsed().as_nanos() as u64;
                 hub.observe(self.me, HistId::HEARTBEAT_RTT_NS, now.saturating_sub(sent));
             }
+        }
+        if frame.is_sequenced() {
+            self.recv_seq[peer].fetch_add(1, Ordering::SeqCst);
         }
         match frame {
             Frame::Env {
@@ -340,6 +606,11 @@ impl Inner {
                 let rank = rank as usize;
                 if rank < self.np {
                     self.finished[rank].store(true, Ordering::SeqCst);
+                    // The peer is gone for good; retained frames to it
+                    // are moot and no reconnect will be attempted.
+                    if let Some(writer) = &self.peers[rank] {
+                        writer.terminal(false);
+                    }
                     let _lock = self.agreements.lock();
                     self.agree_cv.notify_all();
                 }
@@ -364,25 +635,66 @@ impl Inner {
                     .insert(rank as usize, value);
                 self.agree_cv.notify_all();
             }
-            // Heartbeats refresh `last_heard` above; a stray handshake or
-            // metrics frame after setup carries nothing actionable (metrics
-            // frames are interpreted by pmrun's collector, not by peers).
-            Frame::Ping
-            | Frame::Hello { .. }
+            Frame::Ping { seen } => {
+                // The peer's delivery count: prune the send ring.
+                if let Some(writer) = &self.peers[peer] {
+                    writer.ack(seen);
+                }
+            }
+            // A stray handshake, resume or metrics frame after setup
+            // carries nothing actionable (Resume is consumed during the
+            // handshake itself; metrics frames are interpreted by
+            // pmrun's collector, not by peers).
+            Frame::Hello { .. }
+            | Frame::Resume { .. }
             | Frame::Register { .. }
             | Frame::Table { .. }
             | Frame::Metrics { .. } => {}
         }
     }
 
-    /// One peer connection's read loop: frames until EOF. EOF (or a read
-    /// error) from a peer that never said Finish is a death verdict.
-    fn reader_loop(&self, peer: usize, mut stream: TcpStream) {
+    /// One peer link's read side, across reconnects: drain frames until
+    /// the stream dies, then try to re-establish it; only when that
+    /// fails (budget exhausted, or teardown) does the loop end, with a
+    /// failure verdict iff the peer neither finished nor are we closing.
+    fn reader_cycle(&self, peer: usize, mut stream: TcpStream) {
         loop {
-            match read_frame(&mut stream) {
-                Ok(Some(frame)) => self.handle_frame(peer, frame),
-                Ok(None) | Err(_) => {
-                    if !self.finished[peer].load(Ordering::SeqCst) {
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(frame)) => self.handle_frame(peer, frame),
+                    Ok(None) => break,
+                    Err(e) => {
+                        if e.to_string().contains(CRC_MISMATCH) {
+                            if let Some(hub) = &self.metrics {
+                                hub.incr(self.me, CounterId::NetCrcRejects);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            // The stream is dead (EOF, read error, or corrupt frame).
+            // Sync the write side before deciding what comes next.
+            if let Some(writer) = &self.peers[peer] {
+                writer.disconnect();
+            }
+            if self.closing.load(Ordering::SeqCst)
+                || self.finished[peer].load(Ordering::SeqCst)
+                || self.failed[peer].load(Ordering::SeqCst)
+            {
+                return;
+            }
+            let next = if self.me > peer {
+                self.reconnect_dial(peer)
+            } else {
+                self.reconnect_accept(peer)
+            };
+            match next {
+                Some(fresh) => stream = fresh,
+                None => {
+                    if !self.finished[peer].load(Ordering::SeqCst)
+                        && !self.closing.load(Ordering::SeqCst)
+                    {
                         self.note_failed(peer);
                     }
                     return;
@@ -391,9 +703,186 @@ impl Inner {
         }
     }
 
-    /// Ping every peer on a cadence; fail peers silent past the timeout.
+    /// Dial side of a reconnect (this rank outranks the peer): redial
+    /// the peer's listener with exponential backoff + deterministic
+    /// jitter until the handshake lands or the budget runs out.
+    fn reconnect_dial(&self, peer: usize) -> Option<TcpStream> {
+        let deadline = Instant::now() + RECONNECT_BUDGET;
+        let mut jitter = SplitMix64::new((self.me as u64) << 32 ^ (peer as u64) << 16 ^ self.epoch);
+        let mut attempt = 0u32;
+        loop {
+            if self.closing.load(Ordering::SeqCst)
+                || self.failed[peer].load(Ordering::SeqCst)
+                || self.finished[peer].load(Ordering::SeqCst)
+            {
+                return None;
+            }
+            if let Some(stream) = self.try_dial(peer, attempt) {
+                return Some(stream);
+            }
+            let backoff = Duration::from_millis(5u64 << attempt.min(6));
+            let spread = backoff.as_micros().max(2) as u64 / 2;
+            let sleep = backoff + Duration::from_micros(jitter.gen_range(spread));
+            if Instant::now() + sleep >= deadline {
+                return None;
+            }
+            std::thread::sleep(sleep);
+            attempt += 1;
+        }
+    }
+
+    fn try_dial(&self, peer: usize, attempt: u32) -> Option<TcpStream> {
+        let mut stream = TcpStream::connect(&self.addrs[peer]).ok()?;
+        stream.set_read_timeout(Some(RESUME_REPLY_TIMEOUT)).ok()?;
+        crate::frame::write_frame(
+            &mut stream,
+            &Frame::Resume {
+                epoch: self.epoch,
+                rank: self.me as u64,
+                recv_seq: self.recv_seq[peer].load(Ordering::SeqCst),
+            },
+        )
+        .ok()?;
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Resume {
+                epoch,
+                rank,
+                recv_seq: theirs,
+            })) if epoch == self.epoch && rank as usize == peer => {
+                stream.set_read_timeout(None).ok()?;
+                let _ = stream.set_nodelay(true);
+                self.adopt(peer, stream, theirs, attempt)
+            }
+            _ => None,
+        }
+    }
+
+    /// Accept side of a reconnect (the peer outranks this rank): wait
+    /// for the accept thread to hand over a redialed connection.
+    fn reconnect_accept(&self, peer: usize) -> Option<TcpStream> {
+        let deadline = Instant::now() + RECONNECT_BUDGET;
+        loop {
+            if self.closing.load(Ordering::SeqCst)
+                || self.failed[peer].load(Ordering::SeqCst)
+                || self.finished[peer].load(Ordering::SeqCst)
+            {
+                return None;
+            }
+            let slot = self.pending.lock()[peer].take();
+            if let Some(PendingResume {
+                mut stream,
+                their_recv,
+            }) = slot
+            {
+                // Reply with our count *before* installing the write
+                // side, so our Resume is the first frame on the wire and
+                // the dialer's handshake read sees exactly it.
+                let replied = crate::frame::write_frame(
+                    &mut stream,
+                    &Frame::Resume {
+                        epoch: self.epoch,
+                        rank: self.me as u64,
+                        recv_seq: self.recv_seq[peer].load(Ordering::SeqCst),
+                    },
+                )
+                .is_ok();
+                if replied {
+                    let _ = stream.set_nodelay(true);
+                    if let Some(adopted) = self.adopt(peer, stream, their_recv, 0) {
+                        return Some(adopted);
+                    }
+                }
+                // Stale or broken redial; keep waiting for another.
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                let wait = (deadline - now).min(Duration::from_millis(50));
+                let mut pending = self.pending.lock();
+                if pending[peer].is_none() {
+                    self.pending_cv.wait_for(&mut pending, wait);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Common tail of both reconnect sides: rewind the send ring to the
+    /// peer's count, install the fresh socket, and meter the recovery.
+    fn adopt(
+        &self,
+        peer: usize,
+        stream: TcpStream,
+        their_recv: u64,
+        attempt: u32,
+    ) -> Option<TcpStream> {
+        let writer = self.peers[peer].as_ref()?;
+        let write_half = stream.try_clone().ok()?;
+        let replayed = writer.resume(write_half, their_recv).ok()?;
+        self.probed[peer].store(false, Ordering::Relaxed);
+        self.last_heard[peer].store(self.elapsed_ms(), Ordering::Relaxed);
+        if let Some(hub) = &self.metrics {
+            hub.incr(self.me, CounterId::NetReconnects);
+            if replayed > 0 {
+                hub.add(self.me, CounterId::NetFramesReplayed, replayed);
+            }
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(self.me, EventKind::Retransmit { attempt });
+        }
+        Some(stream)
+    }
+
+    /// Field redials: accept, read the dialer's `Resume`, and park the
+    /// connection for the matching reader thread to adopt. Non-blocking
+    /// accept with a poll keeps teardown prompt.
+    fn accept_loop(&self) {
+        let _ = self.listener.set_nonblocking(true);
+        loop {
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(RESUME_REPLY_TIMEOUT));
+                    match read_frame(&mut stream) {
+                        Ok(Some(Frame::Resume {
+                            epoch,
+                            rank,
+                            recv_seq,
+                        })) if epoch == self.epoch
+                            && (rank as usize) > self.me
+                            && (rank as usize) < self.np =>
+                        {
+                            let _ = stream.set_read_timeout(None);
+                            let peer = rank as usize;
+                            let mut pending = self.pending.lock();
+                            // A newer redial supersedes a stale one.
+                            pending[peer] = Some(PendingResume {
+                                stream,
+                                their_recv: recv_seq,
+                            });
+                            self.pending_cv.notify_all();
+                        }
+                        // Anything else (wrong epoch, garbage, a timed-out
+                        // probe) is dropped on the floor.
+                        _ => {}
+                    }
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    }
+
+    /// Ping every peer on a cadence, carrying this side's delivery count
+    /// as the ack. A peer silent past the timeout gets one reconnect
+    /// probe (its connection is cut, forcing a resume round-trip);
+    /// still silent after that, it is declared failed.
     fn heartbeat_loop(&self) {
-        let ping = encode_frame(&Frame::Ping);
         loop {
             std::thread::sleep(HEARTBEAT_EVERY);
             if self.closing.load(Ordering::SeqCst) {
@@ -409,25 +898,36 @@ impl Inner {
                 {
                     continue;
                 }
-                if !self.write_to(peer, &ping) {
-                    dead.push(peer);
-                    continue;
-                }
-                if let Some(hub) = &self.metrics {
-                    hub.incr(self.me, CounterId::NetHeartbeats);
-                    let now_ns = (self.start.elapsed().as_nanos() as u64).max(1);
-                    // Only arm a new RTT sample if none is outstanding, so
-                    // a slow round isn't shortened by a later ping.
-                    let _ = self.pending_ping_ns[peer].compare_exchange(
-                        0,
-                        now_ns,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    );
+                let ping = encode_frame(&Frame::Ping {
+                    seen: self.recv_seq[peer].load(Ordering::SeqCst),
+                });
+                if self.write_to(peer, &ping, false) {
+                    if let Some(hub) = &self.metrics {
+                        hub.incr(self.me, CounterId::NetHeartbeats);
+                        let now_ns = (self.start.elapsed().as_nanos() as u64).max(1);
+                        // Only arm a new RTT sample if none is outstanding,
+                        // so a slow round isn't shortened by a later ping.
+                        let _ = self.pending_ping_ns[peer].compare_exchange(
+                            0,
+                            now_ns,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                    }
                 }
                 let heard = self.last_heard[peer].load(Ordering::Relaxed);
                 if now.saturating_sub(heard) > PEER_TIMEOUT.as_millis() as u64 {
-                    dead.push(peer);
+                    if !self.probed[peer].swap(true, Ordering::Relaxed) {
+                        // Probe: cut the (possibly half-open) connection
+                        // so the reader runs a reconnect round-trip, and
+                        // restart the silence clock for its verdict.
+                        if let Some(writer) = &self.peers[peer] {
+                            writer.disconnect();
+                        }
+                        self.last_heard[peer].store(now, Ordering::Relaxed);
+                    } else {
+                        dead.push(peer);
+                    }
                 }
             }
             for peer in dead {
@@ -450,6 +950,17 @@ impl TcpFabric {
     /// `server`, and establish the peer mesh. Blocks until every
     /// participating rank is connected.
     pub fn establish(server: &str, me: usize, spec: &WorldSpec) -> Result<TcpFabric> {
+        Self::establish_with_chaos(server, me, spec, None)
+    }
+
+    /// [`establish`](Self::establish), with an optional wire-chaos plan
+    /// whose per-connection streams damage this rank's outgoing batches.
+    pub fn establish_with_chaos(
+        server: &str,
+        me: usize,
+        spec: &WorldSpec,
+        chaos: Option<NetChaosPlan>,
+    ) -> Result<TcpFabric> {
         let np = spec.np;
         let sock_err = |what: &str| {
             let what = what.to_string();
@@ -512,9 +1023,12 @@ impl TcpFabric {
         let inner = Arc::new(Inner {
             me,
             np,
+            epoch: spec.epoch,
             names: (0..np)
                 .map(|r| format!("node-{:02}", r / spec.ranks_per_node + 1))
                 .collect(),
+            addrs: table,
+            listener,
             poll_interval: spec.poll_interval,
             tracer: spec.tracer.clone(),
             metrics: spec.metrics.clone(),
@@ -530,9 +1044,19 @@ impl TcpFabric {
                 .into_iter()
                 .enumerate()
                 .map(|(peer, s)| {
-                    s.map(|s| PeerWriter::new(s, spec.metrics.clone().map(|hub| (hub, me, peer))))
+                    s.map(|s| {
+                        PeerWriter::new(
+                            s,
+                            spec.metrics.clone().map(|hub| (hub, me, peer)),
+                            chaos.map(|plan| plan.connection(me as u64, peer as u64)),
+                        )
+                    })
                 })
                 .collect(),
+            recv_seq: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            probed: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            pending: Mutex::new((0..np).map(|_| None).collect()),
+            pending_cv: Condvar::new(),
             last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
             pending_ping_ns: (0..np).map(|_| AtomicU64::new(0)).collect(),
             start: Instant::now(),
@@ -545,7 +1069,7 @@ impl TcpFabric {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name(format!("net-reader-{peer}"))
-                .spawn(move || inner.reader_loop(peer, stream))
+                .spawn(move || inner.reader_cycle(peer, stream))
                 .map_err(sock_err("spawn reader"))?;
         }
         {
@@ -555,16 +1079,35 @@ impl TcpFabric {
                 .spawn(move || inner.heartbeat_loop())
                 .map_err(sock_err("spawn heartbeat"))?;
         }
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || inner.accept_loop())
+                .map_err(sock_err("spawn acceptor"))?;
+        }
         Ok(TcpFabric { inner })
     }
 
     /// Abruptly close every peer connection without announcing Finish —
     /// what a killed process looks like from the outside. Test/diagnostic
-    /// aid for exercising the failure-detection path in-process.
+    /// aid for exercising the failure-detection path in-process. Unlike
+    /// [`disrupt`](Self::disrupt), this also stops the reconnect
+    /// machinery, so peers exhaust their budgets and fail this rank.
     pub fn sever(&self) {
         self.inner.closing.store(true, Ordering::SeqCst);
         for writer in self.inner.peers.iter().flatten() {
-            writer.shutdown(Shutdown::Both);
+            writer.terminal(true);
+        }
+    }
+
+    /// Cut the connection to one peer *without* giving up on it — a
+    /// transient network fault. Both sides' readers see the socket die
+    /// and run the reconnect/resume protocol; queued sequenced frames
+    /// are replayed. Test/diagnostic aid.
+    pub fn disrupt(&self, peer: usize) {
+        if let Some(writer) = &self.inner.peers[peer] {
+            writer.disconnect();
         }
     }
 }
@@ -619,6 +1162,12 @@ impl Fabric for TcpFabric {
         me == dest
     }
 
+    fn inline_payloads(&self) -> bool {
+        // Payloads cross process boundaries as bytes anyway; small ones
+        // should skip the Arc round-trip and ride inline in the envelope.
+        true
+    }
+
     fn rank_alive(&self, world_rank: usize) -> bool {
         !self.inner.finished[world_rank].load(Ordering::SeqCst)
             && !self.inner.failed[world_rank].load(Ordering::SeqCst)
@@ -651,13 +1200,34 @@ impl Fabric for TcpFabric {
             let _lock = self.inner.agreements.lock();
             self.inner.agree_cv.notify_all();
         }
-        self.inner.closing.store(true, Ordering::SeqCst);
         self.inner.broadcast(&Frame::Finish { rank: me as u64 });
+        // Bounded drain: give peers a chance to ack the frames still in
+        // flight (this Finish included) — their acks ride their
+        // heartbeats — and let a reconnect serve a chaos cut that ate
+        // the tail. Without this, a cut at the finish line would turn a
+        // clean exit into a spurious failure verdict on the peer.
+        let deadline = Instant::now() + FINISH_DRAIN;
+        while Instant::now() < deadline {
+            let drained = (0..self.inner.np).all(|p| {
+                p == me
+                    || self.inner.finished[p].load(Ordering::SeqCst)
+                    || self.inner.failed[p].load(Ordering::SeqCst)
+                    || self.inner.peers[p]
+                        .as_ref()
+                        .map(|w| w.retained() == 0)
+                        .unwrap_or(true)
+            });
+            if drained {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.closing.store(true, Ordering::SeqCst);
         // Half-close every connection: peers read our Finish, then a
         // clean EOF, and their reader threads wind down; ours exit when
         // the peers do the same. No sockets or threads outlive the world.
         for writer in self.inner.peers.iter().flatten() {
-            writer.shutdown(Shutdown::Write);
+            writer.half_close();
         }
     }
 
@@ -689,11 +1259,11 @@ impl Fabric for TcpFabric {
             overtake: overtake as u32,
             payload: env.payload.to_wire().to_vec(),
         });
-        let mut ok = self.inner.write_to(dest, &record);
+        let mut ok = self.inner.write_to(dest, &record, true);
         if ok && duplicate {
             // Transmit a second copy; the receiving mailbox dedups it, so
             // the swallow isn't observable on this side.
-            ok = self.inner.write_to(dest, &record);
+            ok = self.inner.write_to(dest, &record, true);
         }
         if !ok && !self.inner.finished[dest].load(Ordering::SeqCst) {
             self.inner.note_failed(dest);
@@ -776,12 +1346,27 @@ mod tests {
     /// Establish a full mesh of `np` fabrics inside one test process —
     /// each plays a different world rank, exactly as `np` processes would.
     fn mesh(np: usize, epoch: u64) -> Vec<TcpFabric> {
+        mesh_with(np, epoch, None, false)
+    }
+
+    /// Like [`mesh`], but optionally armed with a chaos plan and a
+    /// per-rank metrics hub.
+    fn mesh_with(
+        np: usize,
+        epoch: u64,
+        chaos: Option<NetChaosPlan>,
+        metrics: bool,
+    ) -> Vec<TcpFabric> {
         let server = rendezvous::serve().unwrap().to_string();
         let handles: Vec<_> = (0..np)
             .map(|me| {
                 let server = server.clone();
                 std::thread::spawn(move || {
-                    TcpFabric::establish(&server, me, &spec(np, epoch)).unwrap()
+                    let mut spec = spec(np, epoch);
+                    if metrics {
+                        spec.metrics = Some(MetricsHub::with_lanes(np));
+                    }
+                    TcpFabric::establish_with_chaos(&server, me, &spec, chaos).unwrap()
                 })
             })
             .collect();
@@ -801,21 +1386,25 @@ mod tests {
         }
     }
 
-    #[test]
-    fn envelope_crosses_the_socket_and_matches() {
-        let fabrics = mesh(2, 0);
-        fabrics[0].deliver(0, 1, env(0, 0, 5, 0), 0, false);
-        let got = fabrics[1]
-            .mailbox(1)
+    fn recv_one(fabric: &TcpFabric, rank: usize, src: usize, tag: i32) -> Envelope {
+        fabric
+            .mailbox(rank)
             .recv_match(
                 0,
-                SourceSel::Rank(0),
-                TagSel::Tag(5),
+                SourceSel::Rank(src),
+                TagSel::Tag(tag),
                 Duration::from_millis(5),
                 || None,
                 || {},
             )
-            .unwrap();
+            .unwrap()
+    }
+
+    #[test]
+    fn envelope_crosses_the_socket_and_matches() {
+        let fabrics = mesh(2, 0);
+        fabrics[0].deliver(0, 1, env(0, 0, 5, 0), 0, false);
+        let got = recv_one(&fabrics[1], 1, 0, 5);
         assert_eq!(got.tag, 5);
         assert_eq!(got.type_name, "i64");
         assert_eq!(got.payload.len(), 8);
@@ -831,17 +1420,7 @@ mod tests {
         fabrics[0].deliver(0, 1, env(0, 0, 9, 1), 0, false);
         // Both messages arrive exactly once, in order.
         for want_seq in [0, 1] {
-            let got = fabrics[1]
-                .mailbox(1)
-                .recv_match(
-                    0,
-                    SourceSel::Rank(0),
-                    TagSel::Tag(9),
-                    Duration::from_millis(5),
-                    || None,
-                    || {},
-                )
-                .unwrap();
+            let got = recv_one(&fabrics[1], 1, 0, 9);
             assert_eq!(got.seq, want_seq);
         }
         assert!(fabrics[1].mailbox(1).is_empty(), "duplicate was swallowed");
@@ -868,7 +1447,9 @@ mod tests {
     fn abrupt_disconnect_marks_the_peer_failed() {
         let fabrics = mesh(3, 3);
         fabrics[0].sever();
-        let deadline = Instant::now() + Duration::from_secs(5);
+        // Reconnect attempts run their budget out first, then the
+        // verdict lands; the deadline leaves room for both.
+        let deadline = Instant::now() + Duration::from_secs(8);
         for survivor in [1, 2] {
             while !fabrics[survivor].rank_failed(0) {
                 assert!(Instant::now() < deadline, "EOF verdict never arrived");
@@ -924,5 +1505,96 @@ mod tests {
         let a = intern_type_name("custom::Type");
         let b = intern_type_name("custom::Type");
         assert!(std::ptr::eq(a, b), "unknown names leak exactly once");
+    }
+
+    /// A transient connection cut is invisible to the application: the
+    /// frames queued across the cut are replayed on resume, in order,
+    /// exactly once, and the reconnect shows up in the metrics.
+    #[test]
+    fn connection_cut_resumes_without_loss_or_duplication() {
+        let fabrics = mesh_with(2, 6, None, true);
+        for seq in 0..5u64 {
+            fabrics[0].deliver(0, 1, env(0, 0, 7, seq), 0, false);
+        }
+        // Cut the 0↔1 socket out from under both sides.
+        fabrics[0].disrupt(1);
+        for seq in 5..10u64 {
+            fabrics[0].deliver(0, 1, env(0, 0, 7, seq), 0, false);
+        }
+        // Every message arrives, in order, exactly once.
+        for want_seq in 0..10u64 {
+            let got = recv_one(&fabrics[1], 1, 0, 7);
+            assert_eq!(got.seq, want_seq, "sequence intact across the cut");
+        }
+        assert!(fabrics[1].mailbox(1).is_empty(), "no duplicates surfaced");
+        // At least one side metered the reconnect.
+        let reconnects: u64 = fabrics
+            .iter()
+            .map(|f| {
+                f.inner
+                    .metrics
+                    .as_ref()
+                    .unwrap()
+                    .snapshot()
+                    .total(CounterId::NetReconnects)
+            })
+            .sum();
+        assert!(reconnects >= 1, "the cut produced a metered reconnect");
+        assert!(!fabrics[0].rank_failed(1), "a resumed cut is not a failure");
+        assert!(!fabrics[1].rank_failed(0), "a resumed cut is not a failure");
+        for f in &fabrics {
+            f.finish(f.inner.me);
+        }
+    }
+
+    /// Under a seeded chaos plan that cuts, truncates and corrupts
+    /// batches, a message stream still arrives complete and ordered —
+    /// the CRC catches damage and the resume protocol replays losses.
+    #[test]
+    fn chaotic_wire_still_delivers_everything_in_order() {
+        let mut plan = NetChaosPlan::seeded(0xC0FFEE);
+        plan.cut_after = 3;
+        plan.cut_prob = 0.25;
+        plan.truncate_prob = 0.1;
+        plan.corrupt_prob = 0.1;
+        plan.delay_up_to_ms = 1;
+        let fabrics = mesh_with(2, 7, Some(plan), true);
+        const N: u64 = 60;
+        let sender = {
+            let inner = Arc::clone(&fabrics[0].inner);
+            std::thread::spawn(move || {
+                let f = TcpFabric { inner };
+                for seq in 0..N {
+                    f.deliver(0, 1, env(0, 0, 11, seq), 0, false);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        for want_seq in 0..N {
+            let got = recv_one(&fabrics[1], 1, 0, 11);
+            assert_eq!(got.seq, want_seq, "chaos must not reorder or drop");
+        }
+        sender.join().unwrap();
+        let total = |id: CounterId| -> u64 {
+            fabrics
+                .iter()
+                .map(|f| f.inner.metrics.as_ref().unwrap().snapshot().total(id))
+                .sum()
+        };
+        assert!(
+            total(CounterId::NetReconnects) >= 1,
+            "the chaos plan produced at least one reconnect"
+        );
+        assert!(
+            total(CounterId::NetFramesReplayed) >= 1,
+            "cut batches were replayed from the ring"
+        );
+        assert!(
+            !fabrics[1].rank_failed(0),
+            "chaos never escalated to failure"
+        );
+        for f in &fabrics {
+            f.finish(f.inner.me);
+        }
     }
 }

@@ -1,21 +1,30 @@
-//! The wire format: length-prefixed frames over a TCP stream.
+//! The wire format: length-prefixed, checksummed frames over a TCP stream.
 //!
-//! Every frame is `u32` little-endian body length, then the body: one kind
-//! byte followed by the kind's fields. Integers are little-endian;
-//! strings and payloads are length-prefixed byte runs. The payload bytes
-//! inside an [`Frame::Env`] are exactly the [`patternlets_mp::Datatype`]
-//! encoding the in-process backend already uses — the network layer never
-//! re-encodes application data, it just moves the same bytes across a
-//! socket instead of across a thread boundary.
+//! Every frame is `u32` little-endian body length, then the `u32` CRC-32
+//! of the body, then the body: one kind byte followed by the kind's
+//! fields. Integers are little-endian; strings and payloads are
+//! length-prefixed byte runs. The payload bytes inside an [`Frame::Env`]
+//! are exactly the [`patternlets_mp::Datatype`] encoding the in-process
+//! backend already uses — the network layer never re-encodes application
+//! data, it just moves the same bytes across a socket instead of across a
+//! thread boundary.
 //!
 //! Decoding is strict: truncated bodies, trailing garbage, over-long
-//! frames, and unknown kind bytes are all rejected with
-//! [`Error::Codec`](patternlets_core::Error::Codec) rather than guessed
-//! at. The property tests in `tests/wire_codec.rs` fuzz both directions.
+//! frames, checksum mismatches, and unknown kind bytes are all rejected
+//! with [`Error::Codec`](patternlets_core::Error::Codec) rather than
+//! guessed at. A CRC mismatch (error message prefixed [`CRC_MISMATCH`])
+//! means the *stream* is untrustworthy, not just the frame: the fabric
+//! reacts by tearing the connection down and resuming from the send ring
+//! rather than decoding garbage. The property tests in
+//! `tests/wire_codec.rs` fuzz both directions.
 
 use std::io::{Read, Write};
 
-use patternlets_core::{Error, Result};
+use patternlets_core::{crc32, Error, Result};
+
+/// Error-message prefix for checksum failures, so the transport can tell
+/// "corrupt stream" apart from "malformed frame" without a new error type.
+pub const CRC_MISMATCH: &str = "frame crc mismatch";
 
 /// Upper bound on one frame's body, protecting the reader from garbage
 /// length prefixes (64 MiB is far above any patternlet payload).
@@ -80,8 +89,14 @@ pub enum Frame {
         /// Contributed value.
         value: u64,
     },
-    /// Heartbeat; carries no data, refreshes the peer's liveness clock.
-    Ping,
+    /// Heartbeat; refreshes the peer's liveness clock and piggybacks the
+    /// sender's cumulative count of *sequenced* frames received on this
+    /// peer connection, so the receiver can prune its send ring (every
+    /// frame up to `seen` can never need replaying).
+    Ping {
+        /// Sequenced frames the sender has received from this peer so far.
+        seen: u64,
+    },
     /// Worker → rendezvous: my listener is up at `addr` for `epoch`.
     Register {
         /// World-creation ordinal being rendezvoused.
@@ -108,6 +123,37 @@ pub enum Frame {
         /// `patternlets_metrics::wire::encode` output.
         payload: Vec<u8>,
     },
+    /// Reconnect handshake, both directions: "this is rank `rank`
+    /// re-dialing for `epoch`; I have received `recv_seq` sequenced frames
+    /// from you — replay everything after that." The acceptor answers
+    /// with its own `Resume` before either side resumes traffic.
+    Resume {
+        /// World-creation ordinal the connection belongs to.
+        epoch: u64,
+        /// The sending process's world rank.
+        rank: u64,
+        /// Sequenced frames the sender had received before the cut.
+        recv_seq: u64,
+    },
+}
+
+impl Frame {
+    /// Is this frame *sequenced* — counted by both ends of a peer
+    /// connection and replayed from the send ring across a reconnect?
+    ///
+    /// Sequenced frames carry world state that must arrive exactly once
+    /// in order ([`Frame::Env`], [`Frame::Finish`], [`Frame::Failed`],
+    /// [`Frame::Agree`]). Everything else is connection plumbing
+    /// (handshakes, heartbeats, rendezvous, metrics) that is regenerated
+    /// rather than replayed, so it stays outside the sequence space —
+    /// both sides must agree exactly on this classification or resume
+    /// counts drift.
+    pub fn is_sequenced(&self) -> bool {
+        matches!(
+            self,
+            Frame::Env { .. } | Frame::Finish { .. } | Frame::Failed { .. } | Frame::Agree { .. }
+        )
+    }
 }
 
 const KIND_HELLO: u8 = 0;
@@ -119,6 +165,7 @@ const KIND_PING: u8 = 5;
 const KIND_REGISTER: u8 = 6;
 const KIND_TABLE: u8 = 7;
 const KIND_METRICS: u8 = 8;
+const KIND_RESUME: u8 = 9;
 
 struct BodyWriter(Vec<u8>);
 
@@ -244,7 +291,10 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u64(*rank);
             w.u64(*value);
         }
-        Frame::Ping => w.u8(KIND_PING),
+        Frame::Ping { seen } => {
+            w.u8(KIND_PING);
+            w.u64(*seen);
+        }
         Frame::Register {
             epoch,
             rank,
@@ -269,10 +319,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u64(*rank);
             w.bytes(payload);
         }
+        Frame::Resume {
+            epoch,
+            rank,
+            recv_seq,
+        } => {
+            w.u8(KIND_RESUME);
+            w.u64(*epoch);
+            w.u64(*rank);
+            w.u64(*recv_seq);
+        }
     }
     let body = w.0;
-    let mut out = Vec::with_capacity(4 + body.len());
+    let mut out = Vec::with_capacity(8 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
     out
 }
@@ -310,7 +371,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             rank: r.u64()?,
             value: r.u64()?,
         },
-        KIND_PING => Frame::Ping,
+        KIND_PING => Frame::Ping { seen: r.u64()? },
         KIND_REGISTER => Frame::Register {
             epoch: r.u64()?,
             rank: r.u64()?,
@@ -332,53 +393,73 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             rank: r.u64()?,
             payload: r.bytes()?,
         },
+        KIND_RESUME => Frame::Resume {
+            epoch: r.u64()?,
+            rank: r.u64()?,
+            recv_seq: r.u64()?,
+        },
         other => return Err(Error::Codec(format!("unknown frame kind {other}"))),
     };
     r.finish()?;
     Ok(frame)
 }
 
-/// Decode one complete wire record (length prefix + body), as written by
-/// [`encode_frame`]. Used by the property tests; the streaming path is
-/// [`read_frame`].
+fn check_crc(expected: u32, body: &[u8]) -> Result<()> {
+    let actual = crc32(body);
+    if actual != expected {
+        return Err(Error::Codec(format!(
+            "{CRC_MISMATCH}: header says {expected:#010x}, body hashes to {actual:#010x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Decode one complete wire record (length prefix + CRC + body), as
+/// written by [`encode_frame`]. Used by the property tests; the streaming
+/// path is [`read_frame`].
 pub fn decode_frame(record: &[u8]) -> Result<Frame> {
-    if record.len() < 4 {
-        return Err(Error::Codec("record shorter than its length prefix".into()));
+    if record.len() < 8 {
+        return Err(Error::Codec("record shorter than its header".into()));
     }
     let len = u32::from_le_bytes(record[..4].try_into().expect("4")) as usize;
     if len > MAX_FRAME_LEN {
         return Err(Error::Codec(format!("frame length {len} exceeds cap")));
     }
-    if record.len() - 4 != len {
+    if record.len() - 8 != len {
         return Err(Error::Codec(format!(
             "length prefix says {len} but {} body bytes present",
-            record.len() - 4
+            record.len() - 8
         )));
     }
-    decode_body(&record[4..])
+    let crc = u32::from_le_bytes(record[4..8].try_into().expect("4"));
+    check_crc(crc, &record[8..])?;
+    decode_body(&record[8..])
 }
 
 /// Read one frame from `r`. Returns `Ok(None)` on clean EOF (no bytes at
-/// all); a mid-frame EOF or any I/O error is [`Error::Codec`].
+/// all); a mid-frame EOF, a checksum mismatch, or any I/O error is
+/// [`Error::Codec`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
-    let mut len_buf = [0u8; 4];
+    let mut head = [0u8; 8];
     let mut got = 0;
-    while got < 4 {
-        match r.read(&mut len_buf[got..]) {
+    while got < 8 {
+        match r.read(&mut head[got..]) {
             Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(Error::Codec("EOF inside frame length prefix".into())),
+            Ok(0) => return Err(Error::Codec("EOF inside frame header".into())),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(Error::Codec(format!("read error: {e}"))),
         }
     }
-    let len = u32::from_le_bytes(len_buf) as usize;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4")) as usize;
     if len > MAX_FRAME_LEN {
         return Err(Error::Codec(format!("frame length {len} exceeds cap")));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)
         .map_err(|e| Error::Codec(format!("EOF inside frame body: {e}")))?;
+    let crc = u32::from_le_bytes(head[4..8].try_into().expect("4"));
+    check_crc(crc, &body)?;
     decode_body(&body).map(Some)
 }
 
@@ -423,7 +504,12 @@ mod tests {
             rank: 2,
             value: u64::MAX,
         });
-        roundtrip(Frame::Ping);
+        roundtrip(Frame::Ping { seen: 12 });
+        roundtrip(Frame::Resume {
+            epoch: 2,
+            rank: 1,
+            recv_seq: 740,
+        });
         roundtrip(Frame::Register {
             epoch: 0,
             rank: 3,
@@ -477,13 +563,56 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut wire = encode_frame(&Frame::Ping);
+        let mut wire = encode_frame(&Frame::Ping { seen: 0 });
         wire.extend_from_slice(&[0, 0, 0]);
         assert!(decode_frame(&wire).is_err());
         // Also when the garbage is inside the declared body length.
         let mut body = vec![super::KIND_PING];
+        body.extend_from_slice(&[0; 8]);
         body.push(0xFF);
         assert!(decode_body(&body).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_by_the_crc() {
+        let wire = encode_frame(&Frame::Env {
+            comm_id: 7,
+            src: 2,
+            tag: 5,
+            type_name: "i64".into(),
+            count: 1,
+            seq: 3,
+            needs_ack: false,
+            overtake: 0,
+            payload: vec![0xAB; 16],
+        });
+        // Flip every bit of the body (past the 8-byte header): each flip
+        // must be rejected, and as a *checksum* error, not a decode error.
+        for byte in 8..wire.len() {
+            for bit in 0..8 {
+                let mut corrupt = wire.clone();
+                corrupt[byte] ^= 1 << bit;
+                let err = decode_frame(&corrupt).unwrap_err();
+                assert!(
+                    err.to_string().contains(CRC_MISMATCH),
+                    "flip at {byte}:{bit} gave {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequenced_classification_is_stable() {
+        assert!(Frame::Finish { rank: 0 }.is_sequenced());
+        assert!(Frame::Failed { rank: 0 }.is_sequenced());
+        assert!(!Frame::Ping { seen: 0 }.is_sequenced());
+        assert!(!Frame::Hello { epoch: 0, rank: 0 }.is_sequenced());
+        assert!(!Frame::Resume {
+            epoch: 0,
+            rank: 0,
+            recv_seq: 0
+        }
+        .is_sequenced());
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //!   └── worker rank 3 ── PMRUN_RANK=3 ─┘   process runs one rank's body
 //! ```
 
+pub mod chaos;
 pub mod fabric;
 pub mod frame;
 pub mod rendezvous;
+pub mod ring;
 
 use std::sync::Arc;
 
@@ -45,6 +47,18 @@ pub const ENV_TRACE_DIR: &str = "PMRUN_TRACE_DIR";
 /// collector. When set, workers enable a [`patternlets_metrics::MetricsHub`]
 /// and push snapshots there as [`frame::Frame::Metrics`] frames.
 pub const ENV_METRICS_ADDR: &str = "PMRUN_METRICS_ADDR";
+/// Environment variable carrying the wire-chaos seed. When set, every
+/// worker's outgoing batches pass through a seeded
+/// [`chaos::NetChaosPlan`] that cuts, truncates and corrupts them.
+pub const ENV_NET_CHAOS: &str = "PMRUN_NET_CHAOS";
+/// Environment variable carrying the global epoch offset `pmrun` assigns
+/// to respawned workers, so a respawned process's first world lines up
+/// with the retry world the survivors build after the failure.
+pub const ENV_EPOCH_BASE: &str = "PMRUN_EPOCH_BASE";
+/// Environment variable carrying the checkpoint directory for
+/// `pmrun --respawn` jobs; read by the harness's
+/// `RunConfig::checkpoint_store`.
+pub const ENV_CKPT_DIR: &str = "PMRUN_CKPT_DIR";
 
 /// Push one metrics snapshot to the collector at `addr`.
 ///
@@ -73,6 +87,12 @@ pub struct NetEnv {
     pub np: usize,
     /// Rendezvous server address (`host:port`).
     pub rendezvous: String,
+    /// Offset added to every world's epoch — nonzero only in respawned
+    /// workers, where `pmrun` sets it to the survivors' current retry
+    /// round so both sides rendezvous at the same epoch.
+    pub epoch_base: u64,
+    /// Wire-chaos plan, if `pmrun --net-chaos SEED` armed one.
+    pub chaos: Option<chaos::NetChaosPlan>,
 }
 
 /// Read the `pmrun` worker environment, if this process was launched by
@@ -97,10 +117,21 @@ pub fn net_env() -> Result<Option<NetEnv>> {
                     "{ENV_RANK}={rank} out of range for {ENV_NP}={np}"
                 )));
             }
+            let epoch_base = match std::env::var(ENV_EPOCH_BASE).ok() {
+                None => 0,
+                Some(v) => v.parse::<u64>().map_err(|_| {
+                    Error::InvalidConfig(format!("{ENV_EPOCH_BASE}={v} is not a number"))
+                })?,
+            };
+            let chaos = std::env::var(ENV_NET_CHAOS)
+                .ok()
+                .and_then(|v| chaos::NetChaosPlan::from_env_value(&v));
             Ok(Some(NetEnv {
                 rank,
                 np,
                 rendezvous: rendezvous.clone(),
+                epoch_base,
+                chaos,
             }))
         }
         _ => Err(Error::InvalidConfig(format!(
@@ -143,7 +174,12 @@ fn provide(env: &NetEnv, spec: &WorldSpec) -> Result<Option<ProvidedWorld>> {
     if env.rank >= spec.np {
         return Ok(Some(ProvidedWorld::Skip));
     }
-    let fabric = TcpFabric::establish(&env.rendezvous, env.rank, spec)?;
+    // Respawned workers start their epoch numbering at the survivors'
+    // current retry round; fresh jobs have epoch_base == 0 and this is
+    // the identity.
+    let mut spec = spec.clone();
+    spec.epoch += env.epoch_base;
+    let fabric = TcpFabric::establish_with_chaos(&env.rendezvous, env.rank, &spec, env.chaos)?;
     Ok(Some(ProvidedWorld::Rank {
         rank: env.rank,
         fabric: Arc::new(fabric),

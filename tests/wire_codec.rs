@@ -158,7 +158,8 @@ proptest! {
             Frame::Finish { rank },
             Frame::Failed { rank },
             Frame::Agree { comm_id: epoch, kind, seq, rank, value },
-            Frame::Ping,
+            Frame::Ping { seen: value },
+            Frame::Resume { epoch, rank, recv_seq: seq },
             Frame::Register { epoch, rank, np, addr },
             Frame::Table { addrs },
         ] {

@@ -34,6 +34,15 @@ impl Bytes {
         }
     }
 
+    /// Copy `data` into freshly-allocated shared storage.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
     /// Number of readable bytes.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -140,6 +149,11 @@ impl BytesMut {
     /// True when nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Discard the contents, keeping the capacity for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 
     /// Freeze into an immutable [`Bytes`].
