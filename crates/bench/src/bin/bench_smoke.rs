@@ -2,10 +2,17 @@
 //! that pits the zero-copy shared-payload fast path against the
 //! encode-everything baseline **in the same build** (the baseline worlds
 //! are built with `WorldBuilder::encoded_payloads(true)`), then writes a
-//! machine-readable summary to `BENCH_6.json` and prints the deltas.
+//! machine-readable summary to `BENCH_7.json` and prints the deltas.
 //! Alongside the timings, a metrics-instrumented pingpong world records
 //! the zero-copy *hit rate* under both configs, so the summary states
 //! not just how fast the fast path is but that it actually engaged.
+//!
+//! A second section, `stream_throughput`, measures the streaming
+//! executor: farm items/sec across worker counts, queue capacities, and
+//! per-item work costs, plus a three-stage pipeline. The headline number
+//! is the trivial-work farm — it must clear 1M items/sec, which is what
+//! the channel's batched `send_many`/`recv_many` transfers buy (one
+//! park/notify syscall per batch instead of per item).
 //!
 //! The pingpong shapes sweep payload sizes across the inline-payload
 //! crossover (`INLINE_MAX` = 64 B): at and below it both configs use the
@@ -18,13 +25,14 @@
 //! `bench-smoke` job. `BENCH_SMOKE_ITERS` scales the sample count (CI
 //! uses a small value; the defaults are sized for a laptop-minute).
 //! The output path is the first argument, else `PATTERNLETS_BENCH_OUT`,
-//! else `BENCH_6.json`.
+//! else `BENCH_7.json`.
 
 use std::time::Instant;
 
 use patternlets_core::reduce::ops;
 use patternlets_metrics::MetricsHub;
 use patternlets_mp::World;
+use patternlets_stream::{run_farm, FarmConfig, Obs, Pipeline};
 
 /// Round trips per world spawn in the pingpong shapes (amortises the
 /// thread-spawn cost exactly like the criterion bench does).
@@ -135,6 +143,64 @@ fn pingpong_hit_rate(encoded: bool) -> f64 {
     hub.snapshot().zerocopy_hit_rate().unwrap_or(0.0)
 }
 
+/// Items pushed through each stream shape per timed run: enough that the
+/// thread spawns amortise away, small enough for a CI-minute.
+const STREAM_ITEMS: usize = 200_000;
+
+/// A stream shape's throughput measurement.
+struct StreamSample {
+    name: String,
+    items_per_sec: f64,
+}
+
+/// Per-item work dial: `cost` rounds of integer mixing, so the sweep can
+/// separate channel overhead (cost 0) from compute-bound scaling.
+fn spin_work(x: u64, cost: u32) -> u64 {
+    let mut v = x;
+    for _ in 0..cost {
+        v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    }
+    v
+}
+
+fn farm_items_per_sec(
+    workers: usize,
+    capacity: usize,
+    ordered: bool,
+    cost: u32,
+    iters: usize,
+) -> f64 {
+    let cfg = FarmConfig {
+        workers,
+        capacity,
+        ordered,
+        ..FarmConfig::default()
+    };
+    let ns = time_ns(iters, || {
+        let mut acc = 0u64;
+        run_farm(
+            &cfg,
+            0..STREAM_ITEMS as u64,
+            |x| spin_work(x, cost),
+            |r| acc = acc.wrapping_add(r),
+        );
+        std::hint::black_box(acc);
+    });
+    STREAM_ITEMS as f64 / (ns * 1e-9)
+}
+
+fn pipeline_items_per_sec(capacity: usize, cost: u32, iters: usize) -> f64 {
+    let ns = time_ns(iters, || {
+        let mut acc = 0u64;
+        Pipeline::source(0..STREAM_ITEMS as u64)
+            .stage(move |x| spin_work(x, cost))
+            .stage(move |x| spin_work(x, cost))
+            .run(capacity, &Obs::none(), |r| acc = acc.wrapping_add(r));
+        std::hint::black_box(acc);
+    });
+    STREAM_ITEMS as f64 / (ns * 1e-9)
+}
+
 fn json_escape_free(name: &str) -> &str {
     debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
     name
@@ -148,7 +214,7 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .or_else(|| std::env::var("PATTERNLETS_BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
     // Pingpong size sweep spanning the inline crossover: the first two
     // sizes inline in BOTH configs (8 B was BENCH_5's regression case),
@@ -181,6 +247,50 @@ fn main() {
     let hit_fast = pingpong_hit_rate(false);
     let hit_encoded = pingpong_hit_rate(true);
 
+    // Stream executor sweep: worker counts × queue capacities × per-item
+    // cost. The trivial-cost rows measure pure channel overhead; the
+    // cost-200 row shows where the farm becomes compute-bound.
+    let stream_samples: Vec<StreamSample> = [
+        (
+            "farm_w1_cap64_trivial",
+            farm_items_per_sec(1, 64, false, 0, iters),
+        ),
+        (
+            "farm_w2_cap64_trivial",
+            farm_items_per_sec(2, 64, false, 0, iters),
+        ),
+        (
+            "farm_w4_cap64_trivial",
+            farm_items_per_sec(4, 64, false, 0, iters),
+        ),
+        (
+            "farm_w4_cap8_trivial",
+            farm_items_per_sec(4, 8, false, 0, iters),
+        ),
+        (
+            "farm_w4_cap64_ordered",
+            farm_items_per_sec(4, 64, true, 0, iters),
+        ),
+        (
+            "farm_w4_cap64_cost200",
+            farm_items_per_sec(4, 64, false, 200, iters),
+        ),
+        (
+            "pipeline3_cap64_trivial",
+            pipeline_items_per_sec(64, 0, iters),
+        ),
+        (
+            "pipeline3_cap64_cost200",
+            pipeline_items_per_sec(64, 200, iters),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, items_per_sec)| StreamSample {
+        name: name.to_string(),
+        items_per_sec,
+    })
+    .collect();
+
     println!("== bench_smoke: zero-copy fast path vs encoded baseline ==");
     println!(
         "{:>16} {:>14} {:>14} {:>9}",
@@ -201,6 +311,12 @@ fn main() {
         hit_encoded * 100.0
     );
 
+    println!("\n== stream_throughput: {STREAM_ITEMS} items per run ==");
+    println!("{:>24} {:>14}", "shape", "items/sec");
+    for s in &stream_samples {
+        println!("{:>24} {:>13.2}M", s.name, s.items_per_sec / 1e6);
+    }
+
     // Hand-rolled JSON: flat, no escaping needed (names are identifiers).
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -208,7 +324,7 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_6\",\n");
+    json.push_str("  \"bench\": \"BENCH_7\",\n");
     json.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!(
@@ -225,7 +341,23 @@ fn main() {
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"stream_throughput\": {{\"items_per_run\": {STREAM_ITEMS}, \"results\": [\n"
+    ));
+    for (i, s) in stream_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items_per_sec\": {:.0}}}{}\n",
+            json_escape_free(&s.name),
+            s.items_per_sec,
+            if i + 1 < stream_samples.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
     std::fs::write(&out_path, &json).expect("write bench summary");
     println!("wrote {out_path}");
 }

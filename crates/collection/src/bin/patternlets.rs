@@ -1,7 +1,7 @@
 //! The `patternlets` CLI — the classroom driver.
 //!
 //! ```text
-//! patternlets list [--tech omp|mpi|threads|hetero|resilience]
+//! patternlets list [--tech omp|mpi|threads|hetero|resilience|stream]
 //! patternlets show <name>
 //! patternlets run <name> [-n TASKS] [--on|--off] [--kill RANK]
 //!                        [--trace FILE] [--timeline] [--counters]
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
                     "threads" => Some(Technology::Threads),
                     "hetero" => Some(Technology::Hetero),
                     "resilience" => Some(Technology::Resilience),
+                    "stream" => Some(Technology::Stream),
                     _ => None,
                 })
             });
@@ -445,13 +446,15 @@ fn list(tech: Option<Technology>) {
     }
     let c = census();
     println!(
-        "\n{} patternlets: {} MPI, {} OpenMP, {} threads, {} heterogeneous, {} resilience",
+        "\n{} patternlets: {} MPI, {} OpenMP, {} threads, {} heterogeneous, {} resilience, \
+         {} stream",
         registry().len(),
         c.get(&Technology::Mpi).unwrap_or(&0),
         c.get(&Technology::Omp).unwrap_or(&0),
         c.get(&Technology::Threads).unwrap_or(&0),
         c.get(&Technology::Hetero).unwrap_or(&0),
         c.get(&Technology::Resilience).unwrap_or(&0),
+        c.get(&Technology::Stream).unwrap_or(&0),
     );
 }
 

@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use patternlets_core::capture::Output;
+use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_metrics::{render_prometheus, render_summary, wire, MetricsSnapshot};
 use patternlets_net::frame::{read_frame, Frame};
 use patternlets_net::{
@@ -574,10 +575,10 @@ fn main() -> ExitCode {
                              (epoch base {respawn_ordinal}, {respawns_left} respawns left)",
                             describe_status(status)
                         );
-                        // A moment's backoff per prior restart of this
-                        // rank, so a crash-looping worker can't hot-spin
-                        // the supervisor.
-                        std::thread::sleep(Duration::from_millis(100 * respawned[rank] as u64));
+                        // Back off before restarting, so a crash-looping
+                        // worker can't hot-spin the supervisor and ranks
+                        // that died together don't redial in lockstep.
+                        std::thread::sleep(respawn_backoff(rank, respawned[rank], respawn_ordinal));
                         match ctx.spawn(rank, respawn_ordinal, &mut forwarders) {
                             Ok(child) => *children[rank].lock() = child,
                             Err(e) => {
@@ -654,6 +655,17 @@ fn main() -> ExitCode {
                 opts.np,
                 render_summary(&merged)
             );
+            let total_respawns: usize = respawned.iter().sum();
+            if total_respawns > 0 {
+                let per_rank = respawned
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &n)| n > 0)
+                    .map(|(rank, n)| format!("rank {rank}: {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("  respawns: total={total_respawns} ({per_rank})");
+            }
         }
         // Post-run scrapes (CI, the walkthrough's curl) need the endpoint
         // to outlive the workers for a moment.
@@ -693,6 +705,25 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+/// Supervisor sleep before the `nth` respawn of `rank` (`nth` ≥ 1):
+/// exponential in the rank's prior restarts so a crash loop cools down
+/// instead of hammering the rendezvous, jittered so sibling ranks that
+/// died together (one bad node, one shared bug) spread their redials
+/// instead of stampeding in lockstep, and capped so a long-lived crash
+/// loop settles on a steady retry cadence rather than backing off
+/// forever. The jitter is seeded from `(rank, ordinal)`, so a given
+/// spawn history replays identically.
+fn respawn_backoff(rank: usize, nth: usize, ordinal: u64) -> Duration {
+    const BASE_MS: u64 = 100;
+    const CAP_MS: u64 = 5_000;
+    let exp = BASE_MS
+        .saturating_mul(1u64 << (nth.saturating_sub(1) as u32).min(10))
+        .min(CAP_MS);
+    let mut rng = SplitMix64::new(((rank as u64) << 32) ^ ordinal ^ 0x5EED_BACC);
+    // Half fixed, half jittered: never less than exp/2, never more than exp.
+    Duration::from_millis(exp / 2 + rng.gen_range(exp / 2 + 1))
 }
 
 /// Forward one child stream line-by-line until EOF (the child exited).

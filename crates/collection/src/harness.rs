@@ -21,6 +21,9 @@ pub enum Technology {
     /// Fault tolerance: patternlets that *survive* injected failures
     /// (chaos transport, killed ranks, ULFM-style recovery).
     Resilience,
+    /// Streaming dataflow: stages connected by bounded backpressured
+    /// queues (`patternlets-stream`) — the FastFlow/TBB-flow-graph model.
+    Stream,
 }
 
 impl Technology {
@@ -32,6 +35,7 @@ impl Technology {
             Technology::Threads => "threads",
             Technology::Hetero => "hetero",
             Technology::Resilience => "resilience",
+            Technology::Stream => "stream",
         }
     }
 }
@@ -181,6 +185,16 @@ impl RunConfig {
         self.world(np).run(f).expect("world configuration is valid")
     }
 
+    /// Observability hooks for the `stream/` family: this config's tracer
+    /// and metrics hub bundled for `patternlets_stream` queues, so
+    /// `--trace`/`--metrics` see stream traffic like any other runtime's.
+    pub fn stream_obs(&self) -> patternlets_stream::Obs {
+        patternlets_stream::Obs {
+            tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
     /// A [`Team`] of `n` threads with this config's tracer (if any)
     /// already attached.
     pub fn team(&self, n: usize) -> Team {
@@ -289,6 +303,7 @@ mod tests {
         assert_eq!(Technology::Threads.label(), "threads");
         assert_eq!(Technology::Hetero.label(), "hetero");
         assert_eq!(Technology::Resilience.label(), "resilience");
+        assert_eq!(Technology::Stream.label(), "stream");
     }
 
     #[test]

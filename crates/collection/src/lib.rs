@@ -6,8 +6,9 @@
 //! programs**, each introducing one or more parallel design patterns
 //! (16 message-passing, 17 shared-memory/OpenMP-style, 9 thread-style,
 //! 2 heterogeneous — the census in the paper's abstract), plus a
-//! 3-program [`resilience`] family that teaches fault tolerance under
-//! injected failures (47 total).
+//! 4-program [`resilience`] family that teaches fault tolerance under
+//! injected failures and a 5-program [`stream`] family that teaches
+//! streaming dataflow over bounded backpressured queues (53 total).
 //!
 //! Every patternlet is:
 //!
@@ -37,6 +38,7 @@ pub mod mpi;
 pub mod omp;
 pub mod registry;
 pub mod resilience;
+pub mod stream;
 pub mod threads;
 
 pub use harness::{Mode, Patternlet, RunConfig, Technology};

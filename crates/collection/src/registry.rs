@@ -16,6 +16,7 @@ pub fn registry() -> &'static [&'static Patternlet] {
         all.extend(crate::threads::all());
         all.extend(crate::hetero::all());
         all.extend(crate::resilience::all());
+        all.extend(crate::stream::all());
         all
     })
 }
@@ -71,14 +72,19 @@ mod tests {
     fn census_matches_the_paper_abstract() {
         // "The collection currently includes 44 patternlets (16 MPI, 17
         // OpenMP, 9 Pthreads, and 2 heterogeneous)" — plus this repo's
-        // resilience extension on top of the paper's 44.
+        // resilience and stream extensions on top of the paper's 44.
         let c = census();
         assert_eq!(c[&Technology::Mpi], 16, "16 MPI");
         assert_eq!(c[&Technology::Omp], 17, "17 OpenMP");
         assert_eq!(c[&Technology::Threads], 9, "9 Pthreads");
         assert_eq!(c[&Technology::Hetero], 2, "2 heterogeneous");
         assert_eq!(c[&Technology::Resilience], 4, "4 resilience");
-        assert_eq!(registry().len(), 48, "the paper's 44 + 4 resilience");
+        assert_eq!(c[&Technology::Stream], 5, "5 stream");
+        assert_eq!(
+            registry().len(),
+            53,
+            "the paper's 44 + 4 resilience + 5 stream"
+        );
     }
 
     #[test]
@@ -102,6 +108,7 @@ mod tests {
         assert!(find("threads/mutex").is_some());
         assert!(find("hetero/reduction").is_some());
         assert!(find("resilience/master_worker").is_some());
+        assert!(find("stream/farm").is_some());
         assert!(find("omp/nonexistent").is_none());
     }
 
@@ -149,6 +156,7 @@ mod tests {
             Technology::Threads,
             Technology::Hetero,
             Technology::Resilience,
+            Technology::Stream,
         ]
         .iter()
         .map(|&t| by_technology(t).len())

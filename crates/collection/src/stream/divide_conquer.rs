@@ -1,0 +1,111 @@
+//! `stream/divide_conquer` — *Divide and Conquer* as a dynamic task pool:
+//! a worker either splits its range back into the farm or computes it,
+//! depending only on size.
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+use patternlets_stream::{farm_feedback, FarmConfig};
+
+/// Ranges at or under this many elements are computed, larger ones split.
+const LEAF: usize = 256;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "stream/divide_conquer",
+    technology: Technology::Stream,
+    patterns: &["Divide and Conquer"],
+    figures: &[],
+    summary: "range sum by split-or-compute workers on a feedback farm",
+    exercise: "Every worker runs the same two-line policy: split if the \
+               range is big, sum it if it is small. Nobody coordinates, \
+               yet the leaf count and the total are the same every run and \
+               the same as the serial recursion — why? How does this \
+               differ from fork-join divide and conquer (omp/forkJoin2), \
+               where the call stack holds the tree shape?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let n = 1024 * cfg.tasks.max(1);
+    let leaf_sum = |lo: usize, hi: usize| -> u64 { (lo..hi).map(|x| x as u64).sum() };
+    let (leaves, total) = if cfg.mode.is_on() {
+        let farm = FarmConfig {
+            workers: cfg.tasks.max(1),
+            capacity: 16,
+            ordered: false,
+            obs: cfg.stream_obs(),
+            queue_base: 0,
+        };
+        let partials = farm_feedback(&farm, vec![(0usize, n)], |(lo, hi), fb| {
+            if hi - lo <= LEAF {
+                Some(leaf_sum(lo, hi)) // conquer
+            } else {
+                let mid = lo + (hi - lo) / 2; // divide
+                fb.inject((lo, mid));
+                fb.inject((mid, hi));
+                None
+            }
+        });
+        (partials.len(), partials.iter().sum::<u64>())
+    } else {
+        // Serial: the same split policy, driven by an explicit stack.
+        let (mut leaves, mut total) = (0usize, 0u64);
+        let mut stack = vec![(0usize, n)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi - lo <= LEAF {
+                leaves += 1;
+                total += leaf_sum(lo, hi);
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                stack.push((lo, mid));
+                stack.push((mid, hi));
+            }
+        }
+        (leaves, total)
+    };
+    sink.println(format!(
+        "sum 0..{n} = {total}, from {leaves} leaf segments of <= {LEAF}"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn split_and_serial_agree_on_sum_and_shape() {
+        let on = PATTERNLET.run_captured(4, Mode::On);
+        let off = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(on.texts(), off.texts());
+        // 4096 elements halve to 16 leaves of 256; sum is 4096·4095/2.
+        assert_eq!(
+            on.texts(),
+            vec!["sum 0..4096 = 8386560, from 16 leaf segments of <= 256"]
+        );
+    }
+
+    #[test]
+    fn odd_sizes_split_deterministically_too() {
+        let on = PATTERNLET.run_captured(3, Mode::On);
+        let off = PATTERNLET.run_captured(3, Mode::Off);
+        assert_eq!(on.texts(), off.texts());
+    }
+
+    #[test]
+    fn the_task_tree_flows_through_the_feedback_queue() {
+        let (_, trace) = PATTERNLET.run_traced(4, Mode::On);
+        let work_pops = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    patternlets_trace::EventKind::StagePop { queue: 0, .. }
+                )
+            })
+            .count();
+        // A binary split tree with 16 leaves has 31 nodes.
+        assert_eq!(work_pops, 31);
+    }
+}

@@ -1,0 +1,32 @@
+//! The `stream/` patternlet family: streaming dataflow, beyond the
+//! paper's original 44.
+//!
+//! Where the `omp/` family parallelises loops and the `mpi/` family
+//! parallelises ranks, these five programs parallelise *streams*: items
+//! flowing through stages connected by bounded, backpressured queues
+//! (`patternlets-stream` — the FastFlow model). The classroom toggle is
+//! the same as everywhere else: `Mode::Off` runs the identical
+//! computation serially, `Mode::On` turns on the concurrent stage graph —
+//! and the output stays byte-identical, because a FIFO pipeline preserves
+//! order and an ordered farm restores it. The *difference* lives in the
+//! trace (`--trace`/`--timeline`: stage-push/stage-pop interleavings) and
+//! the metrics (`--metrics`: per-queue depth high-water marks).
+
+pub mod divide_conquer;
+pub mod farm;
+pub mod farm_feedback;
+pub mod pipeline;
+pub mod wavefront;
+
+use crate::harness::Patternlet;
+
+/// All stream patternlets, in teaching order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &pipeline::PATTERNLET,
+        &farm::PATTERNLET,
+        &farm_feedback::PATTERNLET,
+        &wavefront::PATTERNLET,
+        &divide_conquer::PATTERNLET,
+    ]
+}

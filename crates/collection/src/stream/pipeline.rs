@@ -1,0 +1,81 @@
+//! `stream/pipeline` — the *Pipeline* pattern on a stream: three stages,
+//! each its own thread, bounded queues between them.
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+use patternlets_stream::Pipeline;
+
+/// Queue capacity between stages: small on purpose, so the backpressure
+/// is real (watch the depth gauge hit it under `--metrics`).
+const CAPACITY: usize = 4;
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "stream/pipeline",
+    technology: Technology::Stream,
+    patterns: &["Pipeline"],
+    figures: &[],
+    summary: "three stages overlapped on a stream; FIFO queues preserve order",
+    exercise: "Run with --on and without: the output is identical. Where did \
+               the parallelism go? Run with --timeline and find stage-1 \
+               pushing item 5 while stage-2 is still squaring item 3 — \
+               pipeline parallelism overlaps *stages*, not *items*. Why can \
+               the queues never hold more than 4 items each?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let items = 2 * cfg.tasks.max(1);
+    if cfg.mode.is_on() {
+        // generate → square → describe, one thread per stage.
+        Pipeline::source(0..items)
+            .stage(|n: usize| (n, n * n))
+            .stage(|(n, sq)| format!("item {n:>2} squared is {sq}"))
+            .run(CAPACITY, &cfg.stream_obs(), |line| sink.println(line));
+    } else {
+        // The directive commented out: same three transforms, one thread,
+        // each item all the way through before the next starts.
+        for n in 0..items {
+            let sq = n * n;
+            sink.println(format!("item {n:>2} squared is {sq}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn on_and_off_produce_identical_ordered_output() {
+        let on = PATTERNLET.run_captured(4, Mode::On);
+        let off = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(on.texts(), off.texts(), "a FIFO pipeline preserves order");
+        assert_eq!(on.texts().len(), 8);
+        assert_eq!(on.texts()[3], "item  3 squared is 9");
+    }
+
+    #[test]
+    fn the_trace_shows_stage_traffic() {
+        let (_, trace) = PATTERNLET.run_traced(4, Mode::On);
+        let pushes = trace
+            .events
+            .iter()
+            .filter(|e| e.kind.label() == "stage-push")
+            .count();
+        // 8 items through 3 queues (source→pair, pair→describe,
+        // describe→sink).
+        assert_eq!(pushes, 24);
+        assert!(
+            trace.events.iter().any(|e| e.kind.label() == "stage-eos"),
+            "EOS reaches the sink"
+        );
+    }
+
+    #[test]
+    fn off_mode_emits_no_stream_events() {
+        let (_, trace) = PATTERNLET.run_traced(4, Mode::Off);
+        assert!(trace.events.is_empty(), "serial mode touches no queue");
+    }
+}

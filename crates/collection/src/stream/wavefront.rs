@@ -1,0 +1,123 @@
+//! `stream/wavefront` — a diagonal *wavefront sweep* over a 2-D grid,
+//! driven by the feedback farm: a cell becomes runnable the moment its
+//! north and west neighbours are done, so the frontier of ready work
+//! sweeps the grid corner to corner.
+
+use crate::harness::{Patternlet, RunConfig, Technology};
+use patternlets_stream::{farm_feedback, FarmConfig};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The patternlet descriptor.
+pub const PATTERNLET: Patternlet = Patternlet {
+    name: "stream/wavefront",
+    technology: Technology::Stream,
+    patterns: &["Geometric Decomposition", "Pipeline"],
+    figures: &[],
+    summary: "dependency-counting wavefront sweep filling Pascal's triangle",
+    exercise: "Cell (i,j) needs (i-1,j) and (i,j-1); the grid fills along \
+               anti-diagonals, like a pipeline whose stages are diagonals. \
+               How many cells can run concurrently on an n×n grid at the \
+               widest point of the sweep? Each finished cell decrements its \
+               neighbours' dependency counters and injects the ones that \
+               hit zero — why does that schedule never run a cell early \
+               and never miss one?",
+    run,
+};
+
+fn run(cfg: &RunConfig) {
+    let sink = cfg.sink(0);
+    let n = cfg.tasks.max(2); // n×n grid of C(i+j, i)
+    let value = |grid: &[u64], i: usize, j: usize| -> u64 {
+        if i == 0 || j == 0 {
+            1
+        } else {
+            grid[(i - 1) * n + j] + grid[i * n + j - 1]
+        }
+    };
+    let grid: Vec<u64> = if cfg.mode.is_on() {
+        let cells: Vec<AtomicU64> = (0..n * n).map(|_| AtomicU64::new(0)).collect();
+        // deps[c] counts *finished* predecessors; a cell is injected when
+        // the count reaches what it needs (0/1/2 by position).
+        let deps: Vec<AtomicU8> = (0..n * n).map(|_| AtomicU8::new(0)).collect();
+        let needs = |i: usize, j: usize| -> u8 { (i > 0) as u8 + (j > 0) as u8 };
+        let farm = FarmConfig {
+            workers: cfg.tasks.max(1),
+            capacity: 16,
+            ordered: false,
+            obs: cfg.stream_obs(),
+            queue_base: 0,
+        };
+        let done = farm_feedback(&farm, vec![(0usize, 0usize)], |(i, j), fb| {
+            let v = if i == 0 || j == 0 {
+                1
+            } else {
+                // Both predecessors finished before this cell was injected,
+                // so these loads see their final stores.
+                cells[(i - 1) * n + j].load(Ordering::Acquire)
+                    + cells[i * n + j - 1].load(Ordering::Acquire)
+            };
+            cells[i * n + j].store(v, Ordering::Release);
+            for (ni, nj) in [(i + 1, j), (i, j + 1)] {
+                if ni < n && nj < n {
+                    let ready = deps[ni * n + nj].fetch_add(1, Ordering::AcqRel) + 1;
+                    if ready == needs(ni, nj) {
+                        fb.inject((ni, nj));
+                    }
+                }
+            }
+            Some(())
+        });
+        assert_eq!(done.len(), n * n, "the sweep visited every cell once");
+        cells.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    } else {
+        // Serial: row-major order trivially satisfies the dependencies.
+        let mut grid = vec![0u64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                grid[i * n + j] = value(&grid, i, j);
+            }
+        }
+        grid
+    };
+    for i in 0..n {
+        let row: Vec<String> = (0..n).map(|j| format!("{:>5}", grid[i * n + j])).collect();
+        sink.println(row.join(" "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Mode;
+
+    #[test]
+    fn the_sweep_fills_pascals_triangle() {
+        let on = PATTERNLET.run_captured(4, Mode::On);
+        let off = PATTERNLET.run_captured(4, Mode::Off);
+        assert_eq!(on.texts(), off.texts());
+        // Row 3 of the 4×4 grid: C(3,0) C(4,1) C(5,2) C(6,3).
+        assert_eq!(on.texts()[3], "    1     4    10    20");
+    }
+
+    #[test]
+    fn a_bigger_grid_with_fewer_workers_still_completes() {
+        let out = PATTERNLET.run_captured(2, Mode::On);
+        assert_eq!(out.texts(), vec!["    1     1", "    1     2"]);
+    }
+
+    #[test]
+    fn every_cell_crosses_the_work_queue_exactly_once() {
+        let (_, trace) = PATTERNLET.run_traced(4, Mode::On);
+        let work_pops = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    patternlets_trace::EventKind::StagePop { queue: 0, .. }
+                )
+            })
+            .count();
+        assert_eq!(work_pops, 16, "4×4 cells, one pop each");
+    }
+}

@@ -19,11 +19,13 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn list_prints_the_census_line() {
     let (stdout, _, ok) = run(&["list"]);
     assert!(ok);
-    assert!(stdout
-        .contains("48 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous, 4 resilience"));
+    assert!(stdout.contains(
+        "53 patternlets: 16 MPI, 17 OpenMP, 9 threads, 2 heterogeneous, 4 resilience, 5 stream"
+    ));
     assert!(stdout.contains("omp/barrier"));
     assert!(stdout.contains("mpi/gather"));
     assert!(stdout.contains("resilience/master_worker"));
+    assert!(stdout.contains("stream/farm"));
 }
 
 #[test]

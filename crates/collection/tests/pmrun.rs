@@ -218,6 +218,36 @@ fn chaotic_wire_job_self_heals_and_delivers_exactly_once() {
 }
 
 #[test]
+fn stream_farm_runs_under_the_launcher() {
+    // The stream family is thread-parallel, not rank-parallel: under
+    // pmrun every rank runs its own farm (like an MPI+threads hybrid).
+    // Each of the 4 ranks farms 16 items over 4 worker threads, and the
+    // ordered collector must make every rank's output identical — so the
+    // aggregated stream shows each line exactly 4 times, in order.
+    let job = pmrun_with(
+        &["-np", "4", "--timeout", "120"],
+        &["stream/farm", "--on", "-n", "4"],
+    );
+    assert!(
+        job.success,
+        "stdout: {}\nstderr: {}",
+        job.stdout, job.stderr
+    );
+    for (n, tri) in [(0, 0), (10, 55), (15, 120)] {
+        assert_eq!(
+            job.stdout
+                .matches(&format!("triangle({n:>2}) = {tri}"))
+                .count(),
+            4,
+            "every rank's ordered collector emitted the line: {}",
+            job.stdout
+        );
+    }
+    // Rank 0 alone prints the banner.
+    assert_eq!(job.stdout.matches("=== stream/farm").count(), 1);
+}
+
+#[test]
 fn merged_trace_has_one_process_lane_per_rank() {
     let trace = std::env::temp_dir().join(format!("pmrun-test-trace-{}.json", std::process::id()));
     let trace_str = trace.to_string_lossy().into_owned();

@@ -32,7 +32,15 @@ const TABLE: [u32; 256] = build_table();
 
 /// CRC-32 of `data` (IEEE; matches zlib's `crc32(0, ...)`).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
+    crc32_extend(0, data)
+}
+
+/// Continue a finished CRC-32 over more bytes, without concatenating
+/// buffers: `crc32_extend(crc32(a), b) == crc32(a ++ b)`. The frame
+/// codec uses this to checksum `length prefix ++ body` while the two
+/// live in separate buffers on the read path.
+pub fn crc32_extend(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
     for &byte in data {
         crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
     }
@@ -66,10 +74,14 @@ mod tests {
 
     #[test]
     fn incremental_vs_whole_agree_on_concatenation() {
-        // Not an incremental API, but the checksum of a concatenation must
-        // be stable — callers hash whole frame bodies at once.
-        let a = crc32(b"hello world");
-        let b = crc32(b"hello world");
-        assert_eq!(a, b);
+        let whole = crc32(b"hello world");
+        assert_eq!(crc32_extend(crc32(b"hello"), b" world"), whole);
+        assert_eq!(crc32_extend(whole, b""), whole);
+        assert_eq!(crc32_extend(crc32(b""), b"hello world"), whole);
+        let mut piecewise = 0;
+        for chunk in b"hello world".chunks(3) {
+            piecewise = crc32_extend(piecewise, chunk);
+        }
+        assert_eq!(piecewise, whole);
     }
 }

@@ -28,7 +28,7 @@ pub mod rng;
 pub mod timer;
 
 pub use capture::{CapturedLine, Output, Sink};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_extend};
 pub use error::{Error, OpContext, Result};
 pub use ids::TaskId;
 pub use reduce::{ops, seq_fold, tree_fold, ReduceOp};

@@ -172,6 +172,15 @@ const COUNTER_GROUPS: &[CounterGroup] = &[
         lane_label: "rank",
         members: &[(CounterId::CheckpointBytes, "")],
     },
+    CounterGroup {
+        metric: "patternlets_stream_items_total",
+        help: "Items through a stream channel, by direction",
+        lane_label: "queue",
+        members: &[
+            (CounterId::StreamItemsIn, "dir=\"in\""),
+            (CounterId::StreamItemsOut, "dir=\"out\""),
+        ],
+    },
 ];
 
 /// `(metric name, help)` for each fixed histogram.
@@ -245,6 +254,20 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
                 "patternlets_mailbox_depth_high_water{{rank=\"{}\"}} {}\n",
                 lane.lane,
                 lane.max(GaugeId::MailboxDepth)
+            ));
+        }
+    }
+
+    if snap.total_max(GaugeId::StreamQueueDepth) > 0 {
+        out.push_str(
+            "# HELP patternlets_stream_queue_depth_high_water Deepest a stream queue ever got\n",
+        );
+        out.push_str("# TYPE patternlets_stream_queue_depth_high_water gauge\n");
+        for lane in &snap.lanes {
+            out.push_str(&format!(
+                "patternlets_stream_queue_depth_high_water{{queue=\"{}\"}} {}\n",
+                lane.lane,
+                lane.max(GaugeId::StreamQueueDepth)
             ));
         }
     }
@@ -465,6 +488,34 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             out.push_str(&format!(" rtt p50<={}", fmt_ns(rtt.quantile_bound(0.5))));
         }
         out.push('\n');
+    }
+
+    if snap.total(CounterId::StreamItemsIn) + snap.total(CounterId::StreamItemsOut) > 0 {
+        out.push_str(&format!(
+            "stream queues (lane = queue id):\n{:>6} {:>9} {:>9} {:>8}\n",
+            "queue", "in", "out", "depth-hw"
+        ));
+        for lane in &snap.lanes {
+            let pushed = lane.counter(CounterId::StreamItemsIn);
+            let popped = lane.counter(CounterId::StreamItemsOut);
+            if pushed + popped == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>6} {:>9} {:>9} {:>8}\n",
+                lane.lane,
+                pushed,
+                popped,
+                lane.max(GaugeId::StreamQueueDepth),
+            ));
+        }
+        out.push_str(&format!(
+            "{:>6} {:>9} {:>9} {:>8}\n",
+            "all",
+            snap.total(CounterId::StreamItemsIn),
+            snap.total(CounterId::StreamItemsOut),
+            snap.total_max(GaugeId::StreamQueueDepth),
+        ));
     }
 
     if snap.total(CounterId::CheckpointsTaken) > 0 {

@@ -110,10 +110,14 @@ pub enum CounterId {
     CheckpointsTaken,
     /// Bytes written to checkpoint files.
     CheckpointBytes,
+    /// Items pushed into a stream channel, attributed to the queue's lane.
+    StreamItemsIn,
+    /// Items popped from a stream channel, attributed to the queue's lane.
+    StreamItemsOut,
 }
 
 /// Number of counters in each lane shard.
-pub const COUNTER_COUNT: usize = 29;
+pub const COUNTER_COUNT: usize = 31;
 
 impl CounterId {
     /// Every counter, in shard order.
@@ -147,6 +151,8 @@ impl CounterId {
         CounterId::NetCrcRejects,
         CounterId::CheckpointsTaken,
         CounterId::CheckpointBytes,
+        CounterId::StreamItemsIn,
+        CounterId::StreamItemsOut,
     ];
 
     /// Shard-array index.
@@ -162,14 +168,18 @@ impl CounterId {
 pub enum GaugeId {
     /// Deepest a rank's mailbox ever got (queued envelopes).
     MailboxDepth = 0,
+    /// Deepest a stream channel's bounded queue ever got (queued items),
+    /// attributed to the queue's lane. Always ≤ the queue's capacity —
+    /// the backpressure proptest pins this.
+    StreamQueueDepth,
 }
 
 /// Number of gauges in each lane shard.
-pub const GAUGE_COUNT: usize = 1;
+pub const GAUGE_COUNT: usize = 2;
 
 impl GaugeId {
     /// Every gauge, in shard order.
-    pub const ALL: [GaugeId; GAUGE_COUNT] = [GaugeId::MailboxDepth];
+    pub const ALL: [GaugeId; GAUGE_COUNT] = [GaugeId::MailboxDepth, GaugeId::StreamQueueDepth];
 
     /// Shard-array index.
     #[inline]

@@ -76,7 +76,7 @@ use patternlets_mp::world::{MsgEvent, WaitRecord};
 use patternlets_trace::{EventKind, Tracer};
 
 use crate::chaos::{ChaosAction, NetChaosConn, NetChaosPlan};
-use crate::frame::{encode_frame, read_frame, Frame, CRC_MISMATCH};
+use crate::frame::{encode_frame, read_frame, Frame, CRC_MISMATCH, IDLE_TIMEOUT};
 use crate::rendezvous;
 use crate::ring::SendRing;
 
@@ -98,6 +98,16 @@ pub const RECONNECT_BUDGET: Duration = Duration::from_secs(2);
 /// How long each side of a `Resume` handshake waits for the other's
 /// frame before abandoning that attempt (the budget may allow retries).
 const RESUME_REPLY_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Read timeout armed on every established peer connection. A peer that
+/// goes silent *inside* a frame for this long has stalled: the reader
+/// gets a [`MID_FRAME_STALL`](crate::frame::MID_FRAME_STALL) error and
+/// enters the ordinary teardown→reconnect path instead of blocking in
+/// `read` past the reconnect budget. Timeouts *between* frames are
+/// ignored by the reader (an idle link is the heartbeat layer's problem),
+/// so this must merely be comfortably above one heartbeat interval,
+/// and below [`RECONNECT_BUDGET`] so a stall still leaves dial time.
+const MID_FRAME_TIMEOUT: Duration = Duration::from_millis(1000);
 
 /// Poll cadence of the (non-blocking) accept thread that fields
 /// reconnect dials.
@@ -664,7 +674,18 @@ impl Inner {
                     Ok(Some(frame)) => self.handle_frame(peer, frame),
                     Ok(None) => break,
                     Err(e) => {
-                        if e.to_string().contains(CRC_MISMATCH) {
+                        let msg = e.to_string();
+                        // A timeout with no frame underway is just an idle
+                        // link; keep reading (heartbeats own liveness). A
+                        // mid-frame stall or CRC reject falls through to
+                        // the teardown→reconnect path below.
+                        if msg.contains(IDLE_TIMEOUT) {
+                            if self.closing.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            continue;
+                        }
+                        if msg.contains(CRC_MISMATCH) {
                             if let Some(hub) = &self.metrics {
                                 hub.incr(self.me, CounterId::NetCrcRejects);
                             }
@@ -749,7 +770,7 @@ impl Inner {
                 rank,
                 recv_seq: theirs,
             })) if epoch == self.epoch && rank as usize == peer => {
-                stream.set_read_timeout(None).ok()?;
+                stream.set_read_timeout(Some(MID_FRAME_TIMEOUT)).ok()?;
                 let _ = stream.set_nodelay(true);
                 self.adopt(peer, stream, theirs, attempt)
             }
@@ -858,7 +879,7 @@ impl Inner {
                             && (rank as usize) > self.me
                             && (rank as usize) < self.np =>
                         {
-                            let _ = stream.set_read_timeout(None);
+                            let _ = stream.set_read_timeout(Some(MID_FRAME_TIMEOUT));
                             let peer = rank as usize;
                             let mut pending = self.pending.lock();
                             // A newer redial supersedes a stale one.
@@ -1011,6 +1032,10 @@ impl TcpFabric {
         }
         for stream in streams.iter().flatten() {
             let _ = stream.set_nodelay(true);
+            // Bound mid-frame reads: a peer that stalls inside a record
+            // must hand the reader back to the reconnect machinery, not
+            // pin it in `read` forever.
+            let _ = stream.set_read_timeout(Some(MID_FRAME_TIMEOUT));
         }
 
         let read_halves: Vec<Option<TcpStream>> = streams
@@ -1545,6 +1570,40 @@ mod tests {
         for f in &fabrics {
             f.finish(f.inner.me);
         }
+    }
+
+    /// Regression: a peer that stalls *mid-frame* (header written, body
+    /// never arrives, socket held open) must hand the reader back within
+    /// the mid-frame timeout — not pin it in `read` past the reconnect
+    /// budget, which is what an unbounded `read_exact` did.
+    #[test]
+    fn stalled_mid_frame_peer_frees_the_reader_within_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let record = encode_frame(&Frame::Ping { seen: 1 });
+            // Header plus two body bytes, then silence with the socket
+            // open — the shape of a wedged peer, not a dead one.
+            use std::io::Write;
+            stream.write_all(&record[..10]).unwrap();
+            std::thread::sleep(MID_FRAME_TIMEOUT + Duration::from_millis(500));
+            stream
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(MID_FRAME_TIMEOUT)).unwrap();
+        let started = Instant::now();
+        let err = read_frame(&mut stream).unwrap_err();
+        let waited = started.elapsed();
+        assert!(
+            err.to_string().contains(crate::frame::MID_FRAME_STALL),
+            "stall verdict, got: {err}"
+        );
+        assert!(
+            waited < RECONNECT_BUDGET,
+            "reader freed within the reconnect budget, took {waited:?}"
+        );
+        drop(writer.join().unwrap());
     }
 
     /// Under a seeded chaos plan that cuts, truncates and corrupts

@@ -1,13 +1,20 @@
 //! The wire format: length-prefixed, checksummed frames over a TCP stream.
 //!
-//! Every frame is `u32` little-endian body length, then the `u32` CRC-32
-//! of the body, then the body: one kind byte followed by the kind's
-//! fields. Integers are little-endian; strings and payloads are
-//! length-prefixed byte runs. The payload bytes inside an [`Frame::Env`]
-//! are exactly the [`patternlets_mp::Datatype`] encoding the in-process
-//! backend already uses — the network layer never re-encodes application
-//! data, it just moves the same bytes across a socket instead of across a
-//! thread boundary.
+//! Every frame is `u32` little-endian body length, then a `u32` CRC-32
+//! covering **the length prefix and the body**, then the body: one kind
+//! byte followed by the kind's fields. Integers are little-endian;
+//! strings and payloads are length-prefixed byte runs. The payload bytes
+//! inside an [`Frame::Env`] are exactly the [`patternlets_mp::Datatype`]
+//! encoding the in-process backend already uses — the network layer
+//! never re-encodes application data, it just moves the same bytes
+//! across a socket instead of across a thread boundary.
+//!
+//! Folding the length prefix into the checksum matters for framing: a
+//! flipped length byte misdirects the reader to a wrong frame boundary,
+//! and a body-only CRC would report that as damage to the *next* frame
+//! (or, for an inflated length, leave the reader waiting on bytes that
+//! never come). With the prefix covered, the mismatch is pinned to the
+//! frame that was actually corrupted.
 //!
 //! Decoding is strict: truncated bodies, trailing garbage, over-long
 //! frames, checksum mismatches, and unknown kind bytes are all rejected
@@ -15,16 +22,33 @@
 //! guessed at. A CRC mismatch (error message prefixed [`CRC_MISMATCH`])
 //! means the *stream* is untrustworthy, not just the frame: the fabric
 //! reacts by tearing the connection down and resuming from the send ring
-//! rather than decoding garbage. The property tests in
-//! `tests/wire_codec.rs` fuzz both directions.
+//! rather than decoding garbage. [`read_frame`] is also timeout-aware:
+//! on a socket armed with a read timeout, silence *between* frames is
+//! reported as [`IDLE_TIMEOUT`] (the caller decides whether to keep
+//! waiting) while silence *inside* a frame is [`MID_FRAME_STALL`] — a
+//! stalled peer can no longer pin the reader thread on a `read_exact`
+//! that never returns. The property tests in `tests/wire_codec.rs` fuzz
+//! both directions.
 
 use std::io::{Read, Write};
 
-use patternlets_core::{crc32, Error, Result};
+use patternlets_core::{crc32, crc32_extend, Error, Result};
 
 /// Error-message prefix for checksum failures, so the transport can tell
 /// "corrupt stream" apart from "malformed frame" without a new error type.
 pub const CRC_MISMATCH: &str = "frame crc mismatch";
+
+/// Error-message prefix for a read timeout that fired with *no* bytes of
+/// the next frame read. The stream is idle, not damaged: the fabric's
+/// reader keeps waiting (peer liveness is the heartbeat layer's verdict,
+/// not this one's), while handshake waits treat it as "no reply".
+pub const IDLE_TIMEOUT: &str = "idle between frames";
+
+/// Error-message prefix for a read timeout that fired *inside* a frame —
+/// the peer went silent mid-record. The rest of the frame may never
+/// arrive, so the stream cannot be resynchronized in place; the fabric
+/// reacts exactly as it does to a CRC mismatch: tear down and resume.
+pub const MID_FRAME_STALL: &str = "peer stalled mid-frame";
 
 /// Upper bound on one frame's body, protecting the reader from garbage
 /// length prefixes (64 MiB is far above any patternlet payload).
@@ -331,11 +355,18 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
     }
     let body = w.0;
+    let len_bytes = (body.len() as u32).to_le_bytes();
     let mut out = Vec::with_capacity(8 + body.len());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&frame_crc(&len_bytes, &body).to_le_bytes());
     out.extend_from_slice(&body);
     out
+}
+
+/// The frame checksum: CRC-32 over the length prefix, continued over the
+/// body, without materializing their concatenation.
+fn frame_crc(len_bytes: &[u8; 4], body: &[u8]) -> u32 {
+    crc32_extend(crc32(len_bytes), body)
 }
 
 /// Decode one frame body (without the length prefix). Strict: truncated
@@ -404,11 +435,11 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
     Ok(frame)
 }
 
-fn check_crc(expected: u32, body: &[u8]) -> Result<()> {
-    let actual = crc32(body);
+fn check_crc(expected: u32, len_bytes: &[u8; 4], body: &[u8]) -> Result<()> {
+    let actual = frame_crc(len_bytes, body);
     if actual != expected {
         return Err(Error::Codec(format!(
-            "{CRC_MISMATCH}: header says {expected:#010x}, body hashes to {actual:#010x}"
+            "{CRC_MISMATCH}: header says {expected:#010x}, length+body hash to {actual:#010x}"
         )));
     }
     Ok(())
@@ -432,13 +463,23 @@ pub fn decode_frame(record: &[u8]) -> Result<Frame> {
         )));
     }
     let crc = u32::from_le_bytes(record[4..8].try_into().expect("4"));
-    check_crc(crc, &record[8..])?;
+    check_crc(crc, record[..4].try_into().expect("4"), &record[8..])?;
     decode_body(&record[8..])
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// Read one frame from `r`. Returns `Ok(None)` on clean EOF (no bytes at
 /// all); a mid-frame EOF, a checksum mismatch, or any I/O error is
-/// [`Error::Codec`].
+/// [`Error::Codec`]. On a reader armed with a read timeout, a timeout
+/// before any byte of the next frame is an [`IDLE_TIMEOUT`] error and a
+/// timeout after one is a [`MID_FRAME_STALL`] error — the caller picks
+/// which of those tears the stream down.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
     let mut head = [0u8; 8];
     let mut got = 0;
@@ -448,6 +489,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
             Ok(0) => return Err(Error::Codec("EOF inside frame header".into())),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && got == 0 => {
+                return Err(Error::Codec(format!("{IDLE_TIMEOUT}: {e}")))
+            }
+            Err(e) if is_timeout(&e) => {
+                return Err(Error::Codec(format!(
+                    "{MID_FRAME_STALL}: {got}/8 header bytes then silence: {e}"
+                )))
+            }
             Err(e) => return Err(Error::Codec(format!("read error: {e}"))),
         }
     }
@@ -456,10 +505,26 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
         return Err(Error::Codec(format!("frame length {len} exceeds cap")));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|e| Error::Codec(format!("EOF inside frame body: {e}")))?;
+    let mut at = 0;
+    while at < len {
+        match r.read(&mut body[at..]) {
+            Ok(0) => {
+                return Err(Error::Codec(format!(
+                    "EOF inside frame body: {at}/{len} bytes arrived"
+                )))
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return Err(Error::Codec(format!(
+                    "{MID_FRAME_STALL}: {at}/{len} body bytes then silence: {e}"
+                )))
+            }
+            Err(e) => return Err(Error::Codec(format!("read error: {e}"))),
+        }
+    }
     let crc = u32::from_le_bytes(head[4..8].try_into().expect("4"));
-    check_crc(crc, &body)?;
+    check_crc(crc, head[..4].try_into().expect("4"), &body)?;
     decode_body(&body).map(Some)
 }
 
@@ -586,18 +651,114 @@ mod tests {
             overtake: 0,
             payload: vec![0xAB; 16],
         });
-        // Flip every bit of the body (past the 8-byte header): each flip
-        // must be rejected, and as a *checksum* error, not a decode error.
-        for byte in 8..wire.len() {
+        // Flip every bit of the record — header included. Body and CRC
+        // flips must be rejected as *checksum* errors; length-prefix flips
+        // must be rejected too (as a length mismatch or a checksum error,
+        // both of which tear the stream down), never decoded.
+        for byte in 0..wire.len() {
             for bit in 0..8 {
                 let mut corrupt = wire.clone();
                 corrupt[byte] ^= 1 << bit;
                 let err = decode_frame(&corrupt).unwrap_err();
-                assert!(
-                    err.to_string().contains(CRC_MISMATCH),
-                    "flip at {byte}:{bit} gave {err}"
-                );
+                if byte >= 4 {
+                    assert!(
+                        err.to_string().contains(CRC_MISMATCH),
+                        "flip at {byte}:{bit} gave {err}"
+                    );
+                }
             }
+        }
+    }
+
+    /// A corrupted *length prefix* must be caught on the frame that was
+    /// corrupted — the stream reader must not misframe and either swallow
+    /// the next record or hand back its bytes as a bogus decode.
+    #[test]
+    fn flipped_length_prefix_is_caught_at_this_frames_boundary() {
+        let first = encode_frame(&Frame::Env {
+            comm_id: 1,
+            src: 0,
+            tag: 9,
+            type_name: "u64".into(),
+            count: 2,
+            seq: 0,
+            needs_ack: false,
+            overtake: 0,
+            payload: vec![0x5A; 24],
+        });
+        let second = encode_frame(&Frame::Ping { seen: 3 });
+        for bit in 0..8 {
+            let mut stream = first.clone();
+            stream[0] ^= 1 << bit; // length low byte: shrink or grow
+            stream.extend_from_slice(&second);
+            let mut cursor = std::io::Cursor::new(stream);
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert!(
+                err.to_string().contains(CRC_MISMATCH) || err.to_string().contains("EOF"),
+                "flip of length bit {bit} gave {err}"
+            );
+        }
+    }
+
+    /// A reader whose underlying stream times out: some bytes arrive,
+    /// then every further read reports `WouldBlock` — the in-memory
+    /// stand-in for a socket with `set_read_timeout` and a stalled peer.
+    struct StallAfter {
+        data: Vec<u8>,
+        at: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.data.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "stalled",
+                ));
+            }
+            let n = buf.len().min(self.data.len() - self.at);
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_between_frames_is_idle_not_fatal() {
+        let mut idle = StallAfter {
+            data: Vec::new(),
+            at: 0,
+        };
+        let err = read_frame(&mut idle).unwrap_err();
+        assert!(err.to_string().contains(IDLE_TIMEOUT), "{err}");
+        assert!(!err.to_string().contains(MID_FRAME_STALL), "{err}");
+    }
+
+    #[test]
+    fn stall_inside_header_or_body_is_reported_as_a_stall() {
+        let wire = encode_frame(&Frame::Env {
+            comm_id: 3,
+            src: 1,
+            tag: 0,
+            type_name: "u8".into(),
+            count: 8,
+            seq: 1,
+            needs_ack: false,
+            overtake: 0,
+            payload: vec![7; 8],
+        });
+        // Cut anywhere mid-record: the read must return promptly with a
+        // stall verdict instead of blocking on the missing tail forever.
+        for cut in 1..wire.len() {
+            let mut stalled = StallAfter {
+                data: wire[..cut].to_vec(),
+                at: 0,
+            };
+            let err = read_frame(&mut stalled).unwrap_err();
+            assert!(
+                err.to_string().contains(MID_FRAME_STALL),
+                "cut at {cut} gave {err}"
+            );
         }
     }
 

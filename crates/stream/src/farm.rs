@@ -1,0 +1,323 @@
+//! The task farm: one input stream fanned out to N replicated workers.
+//!
+//! The farm is the streaming form of master-worker: an **emitter** stamps
+//! each input item with its emission index and pushes it into a shared
+//! work queue, **workers** race to pop and apply the same function, and a
+//! **collector** (the calling thread) gathers results — either in
+//! completion order (`ordered: false`) or with emission order restored by
+//! sequence-number reordering (`ordered: true`, FastFlow's
+//! `ff_ofarm`). All threads are scoped, so the worker closure may borrow
+//! from the caller's stack.
+//!
+//! [`farm_feedback`] adds the feedback edge: workers receive a
+//! [`Feedback`] handle and may inject *new* work items into their own
+//! input queue. That turns the farm into a dynamic task pool — wavefront
+//! sweeps and divide-and-conquer both reduce to it. Termination is the
+//! interesting part: EOS-by-sender-drop cannot work on a cycle (workers
+//! hold senders forever), so the farm counts **in-flight items** — seeds
+//! plus injections minus completions — and the worker that finishes the
+//! last one closes the queue for everyone.
+
+use crate::channel::{bounded, unbounded, Sender, BATCH};
+use crate::Obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shape of a farm run.
+#[derive(Clone)]
+pub struct FarmConfig {
+    /// Replicated worker count (minimum 1).
+    pub workers: usize,
+    /// Capacity of the work and result queues.
+    pub capacity: usize,
+    /// Restore emission order at the collector (`run_farm` only).
+    pub ordered: bool,
+    /// Observability hooks for every queue.
+    pub obs: Obs,
+    /// First queue id: the work queue gets `queue_base`, the result queue
+    /// `queue_base + 1` (so two farms can share one metrics hub).
+    pub queue_base: usize,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            workers: 4,
+            capacity: 64,
+            ordered: true,
+            obs: Obs::none(),
+            queue_base: 0,
+        }
+    }
+}
+
+/// Run `worker` over every item of `input` on `cfg.workers` threads,
+/// feeding each result to `collect` on the calling thread. With
+/// `cfg.ordered`, results arrive in emission order; otherwise in
+/// completion order.
+///
+/// Trace lanes: emitter 0, workers `1..=N`, collector `N + 1`.
+pub fn run_farm<T, U, I, W, C>(cfg: &FarmConfig, input: I, worker: W, mut collect: C)
+where
+    T: Send,
+    U: Send,
+    I: IntoIterator<Item = T>,
+    I::IntoIter: Send,
+    W: Fn(T) -> U + Sync,
+    C: FnMut(U),
+{
+    let workers = cfg.workers.max(1);
+    let capacity = cfg.capacity.max(1);
+    let (work_tx, work_rx) = bounded::<(u64, T)>(capacity, cfg.queue_base, &cfg.obs);
+    let (res_tx, res_rx) = bounded::<(u64, U)>(capacity, cfg.queue_base + 1, &cfg.obs);
+    let input = input.into_iter();
+    std::thread::scope(|s| {
+        let emitter_tx = work_tx.for_lane(0);
+        drop(work_tx);
+        s.spawn(move || {
+            let mut batch = Vec::with_capacity(BATCH);
+            for pair in (0..).zip(input) {
+                batch.push(pair);
+                if batch.len() == BATCH && !emitter_tx.send_many(batch.drain(..)) {
+                    return;
+                }
+            }
+            emitter_tx.send_many(batch);
+        });
+        for w in 0..workers {
+            let rx = work_rx.for_lane(w + 1);
+            let tx = res_tx.for_lane(w + 1);
+            let worker = &worker;
+            s.spawn(move || {
+                let mut out = Vec::with_capacity(BATCH);
+                while let Some(batch) = rx.recv_many(BATCH) {
+                    out.extend(batch.into_iter().map(|(seq, item)| (seq, worker(item))));
+                    if !tx.send_many(out.drain(..)) {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(work_rx);
+        drop(res_tx);
+        let res_rx = res_rx.for_lane(workers + 1);
+        if cfg.ordered {
+            // The reorder buffer: completion order in, emission order out.
+            let mut next = 0u64;
+            let mut pending: HashMap<u64, U> = HashMap::new();
+            while let Some(batch) = res_rx.recv_many(BATCH) {
+                for (seq, result) in batch {
+                    if seq == next {
+                        collect(result);
+                        next += 1;
+                        while let Some(r) = pending.remove(&next) {
+                            collect(r);
+                            next += 1;
+                        }
+                    } else {
+                        pending.insert(seq, result);
+                    }
+                }
+            }
+            assert!(pending.is_empty(), "every buffered result was released");
+        } else {
+            while let Some(batch) = res_rx.recv_many(BATCH) {
+                for (_, result) in batch {
+                    collect(result);
+                }
+            }
+        }
+    });
+}
+
+/// A worker's handle onto its own input queue: the feedback edge.
+pub struct Feedback<T> {
+    tx: Sender<T>,
+    in_flight: AtomicUsizeRef,
+}
+
+type AtomicUsizeRef = std::sync::Arc<AtomicUsize>;
+
+impl<T> Feedback<T> {
+    /// Inject a new work item into the farm. The in-flight count is
+    /// raised *before* the push, so the farm cannot observe a momentary
+    /// zero between a parent finishing and its children arriving.
+    pub fn inject(&self, item: T) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.tx.send(item);
+    }
+}
+
+/// A farm whose workers can inject follow-on work: seeds go in, every
+/// item (seed or injected) is handed to `worker` exactly once, and each
+/// `Some` return value is gathered into the result (completion order —
+/// there is no stable emission order on a cycle to restore).
+///
+/// The run ends when the in-flight count — seeds plus injections minus
+/// completed items — reaches zero; the worker that zeroes it closes the
+/// queue, which releases every parked worker through EOS.
+pub fn farm_feedback<T, U, W>(cfg: &FarmConfig, seeds: Vec<T>, worker: W) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    W: Fn(T, &Feedback<T>) -> Option<U> + Sync,
+{
+    let workers = cfg.workers.max(1);
+    // The feedback edge must be unbounded: a bounded cycle deadlocks when
+    // every worker is blocked pushing and none is left popping.
+    let (work_tx, work_rx) = unbounded::<T>(cfg.queue_base, &cfg.obs);
+    let (res_tx, res_rx) = bounded::<U>(cfg.capacity.max(1), cfg.queue_base + 1, &cfg.obs);
+    let in_flight: AtomicUsizeRef = std::sync::Arc::new(AtomicUsize::new(seeds.len()));
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    for seed in seeds {
+        work_tx.send(seed);
+    }
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let rx = work_rx.for_lane(w + 1);
+            let feedback = Feedback {
+                tx: work_tx.for_lane(w + 1),
+                in_flight: std::sync::Arc::clone(&in_flight),
+            };
+            let tx = res_tx.for_lane(w + 1);
+            let worker = &worker;
+            s.spawn(move || {
+                while let Some(item) = rx.recv() {
+                    let out = worker(item, &feedback);
+                    if let Some(result) = out {
+                        if !tx.send(result) {
+                            break;
+                        }
+                    }
+                    if feedback.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last in-flight item: the stream is over for all.
+                        feedback.tx.close();
+                    }
+                }
+            });
+        }
+        drop(work_tx);
+        drop(work_rx);
+        drop(res_tx);
+        let res_rx = res_rx.for_lane(workers + 1);
+        while let Some(result) = res_rx.recv() {
+            results.push(result);
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_ordered_farm_restores_emission_order() {
+        let mut out = Vec::new();
+        let cfg = FarmConfig {
+            workers: 8,
+            capacity: 4,
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        run_farm(
+            &cfg,
+            0..2000u64,
+            |x| {
+                // Jittered work so completion order scrambles.
+                if x % 17 == 0 {
+                    std::thread::yield_now();
+                }
+                x * x
+            },
+            |r| out.push(r),
+        );
+        let expected: Vec<u64> = (0..2000).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn an_unordered_farm_loses_order_but_nothing_else() {
+        let mut out = Vec::new();
+        let cfg = FarmConfig {
+            workers: 6,
+            ordered: false,
+            ..FarmConfig::default()
+        };
+        run_farm(&cfg, 0..1000u32, |x| x, |r| out.push(r));
+        out.sort_unstable();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_one_worker_farm_degenerates_to_a_serial_map() {
+        let mut out = Vec::new();
+        let cfg = FarmConfig {
+            workers: 1,
+            ..FarmConfig::default()
+        };
+        run_farm(&cfg, vec![3, 1, 4, 1, 5], |x: i32| x + 10, |r| out.push(r));
+        assert_eq!(out, vec![13, 11, 14, 11, 15]);
+    }
+
+    #[test]
+    fn workers_may_borrow_from_the_callers_stack() {
+        let table = vec![10, 20, 30];
+        let mut out = Vec::new();
+        run_farm(
+            &FarmConfig::default(),
+            0..3usize,
+            |i| table[i],
+            |r| out.push(r),
+        );
+        assert_eq!(out, table);
+    }
+
+    #[test]
+    fn feedback_injection_processes_the_whole_tree_exactly_once() {
+        // Each item n < 100 injects 2n+1 and 2n+2: a binary tree rooted
+        // at 0 with every node < 100 internal. All nodes must be visited.
+        let cfg = FarmConfig {
+            workers: 4,
+            ..FarmConfig::default()
+        };
+        let mut visited = farm_feedback(&cfg, vec![0u32], |n, fb| {
+            if n < 100 {
+                fb.inject(2 * n + 1);
+                fb.inject(2 * n + 2);
+            }
+            Some(n)
+        });
+        visited.sort_unstable();
+        let mut expected: Vec<u32> = (0..=200).collect();
+        expected.sort_unstable();
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn feedback_with_no_seeds_returns_immediately() {
+        let out: Vec<u8> = farm_feedback(&FarmConfig::default(), Vec::<u8>::new(), |x, _| Some(x));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn feedback_workers_can_filter_results() {
+        // Count down from each seed, only the zeros are emitted.
+        let cfg = FarmConfig {
+            workers: 3,
+            ..FarmConfig::default()
+        };
+        let out = farm_feedback(&cfg, vec![5u32, 3, 8], |n, fb| {
+            if n == 0 {
+                Some(0u32)
+            } else {
+                fb.inject(n - 1);
+                None
+            }
+        });
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the stream channel: the three invariants every
+//! stream patternlet silently relies on, fuzzed across queue shapes and
+//! thread counts.
+//!
+//! 1. **The bound holds.** Whatever the producer/consumer interleaving,
+//!    the depth high-water gauge never exceeds the queue capacity — the
+//!    backpressure claim, observed through the same metrics instrument
+//!    `--metrics` shows users.
+//! 2. **Exactly once.** Every pushed item is popped by exactly one
+//!    consumer: nothing lost to a race, nothing delivered twice.
+//! 3. **EOS terminates everything.** After the last sender drops, every
+//!    consumer — however many, however parked — comes back with `None`;
+//!    no stage thread is left blocked forever.
+
+use patternlets_metrics::{CounterId, GaugeId, MetricsHub};
+use patternlets_stream::{bounded, Obs};
+use proptest::prelude::*;
+use std::thread;
+
+/// Drive `producers × items_each` items through one bounded queue with
+/// `consumers` threads; return (all popped items sorted, metrics hub).
+fn churn(
+    capacity: usize,
+    producers: usize,
+    consumers: usize,
+    items_each: usize,
+) -> (Vec<u64>, MetricsHub) {
+    let hub = MetricsHub::new();
+    let obs = Obs {
+        tracer: None,
+        metrics: Some(hub.clone()),
+    };
+    let (tx, rx) = bounded::<u64>(capacity, 0, &obs);
+    let mut popped: Vec<u64> = Vec::new();
+    thread::scope(|s| {
+        for p in 0..producers {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for i in 0..items_each {
+                    assert!(
+                        tx.send((p * items_each + i) as u64),
+                        "receivers stayed live"
+                    );
+                }
+            });
+        }
+        drop(tx); // EOS once every producer finishes
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let rx = rx.clone();
+                s.spawn(move || -> Vec<u64> {
+                    let mine: Vec<u64> = std::iter::from_fn(|| rx.recv()).collect();
+                    // Property 3: recv returned None — and keeps doing so.
+                    assert_eq!(rx.recv(), None, "EOS is sticky");
+                    mine
+                })
+            })
+            .collect();
+        drop(rx);
+        for h in handles {
+            popped.extend(h.join().expect("consumer thread finished"));
+        }
+    });
+    popped.sort_unstable();
+    (popped, hub)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_item_is_popped_exactly_once_and_the_bound_holds(
+        capacity in 1usize..16,
+        producers in 1usize..5,
+        consumers in 1usize..5,
+        items_each in 0usize..120,
+    ) {
+        let (popped, hub) = churn(capacity, producers, consumers, items_each);
+
+        // Property 2: exactly once, across every interleaving.
+        let expected: Vec<u64> = (0..(producers * items_each) as u64).collect();
+        prop_assert_eq!(popped, expected);
+
+        // Property 1: the depth gauge — fed by every push — never passed
+        // the capacity.
+        let snap = hub.snapshot();
+        let high_water = snap.total_max(GaugeId::StreamQueueDepth);
+        prop_assert!(
+            high_water <= capacity as u64,
+            "high-water {} exceeded capacity {}",
+            high_water,
+            capacity
+        );
+
+        // Conservation re-stated through the counters.
+        let total = (producers * items_each) as u64;
+        prop_assert_eq!(snap.total(CounterId::StreamItemsIn), total);
+        prop_assert_eq!(snap.total(CounterId::StreamItemsOut), total);
+    }
+
+    /// EOS under pathological shapes: more consumers than items (some
+    /// consumers only ever see the EOS), including zero items.
+    #[test]
+    fn eos_releases_every_parked_consumer(
+        consumers in 1usize..8,
+        items in 0usize..4,
+    ) {
+        let (popped, _) = churn(2, 1, consumers, items);
+        prop_assert_eq!(popped.len(), items);
+    }
+
+    /// The batched forms obey the same three invariants as the per-item
+    /// forms — whatever the batch-size / capacity relationship (batches
+    /// both smaller and much larger than the queue).
+    #[test]
+    fn batched_ops_keep_the_bound_and_lose_nothing(
+        capacity in 1usize..16,
+        batch in 1usize..48,
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        items_each in 0usize..150,
+    ) {
+        let hub = MetricsHub::new();
+        let obs = Obs { tracer: None, metrics: Some(hub.clone()) };
+        let (tx, rx) = bounded::<u64>(capacity, 0, &obs);
+        let mut popped: Vec<u64> = Vec::new();
+        thread::scope(|s| {
+            for p in 0..producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let items = (0..items_each).map(|i| (p * items_each + i) as u64);
+                    assert!(tx.send_many(items), "receivers stayed live");
+                });
+            }
+            drop(tx);
+            let handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || -> Vec<u64> {
+                        let mut mine = Vec::new();
+                        while let Some(chunk) = rx.recv_many(batch) {
+                            assert!(!chunk.is_empty() && chunk.len() <= batch);
+                            mine.extend(chunk);
+                        }
+                        assert_eq!(rx.recv_many(batch), None, "EOS is sticky");
+                        mine
+                    })
+                })
+                .collect();
+            drop(rx);
+            for h in handles {
+                popped.extend(h.join().expect("consumer thread finished"));
+            }
+        });
+        popped.sort_unstable();
+        let expected: Vec<u64> = (0..(producers * items_each) as u64).collect();
+        prop_assert_eq!(popped, expected);
+        let snap = hub.snapshot();
+        prop_assert!(
+            snap.total_max(GaugeId::StreamQueueDepth) <= capacity as u64,
+            "batched push overran the bound"
+        );
+        let total = (producers * items_each) as u64;
+        prop_assert_eq!(snap.total(CounterId::StreamItemsIn), total);
+        prop_assert_eq!(snap.total(CounterId::StreamItemsOut), total);
+    }
+
+    /// An explicitly closed channel drains and terminates no matter how
+    /// much was queued at close time.
+    #[test]
+    fn close_drains_then_terminates(
+        capacity in 1usize..12,
+        queued in 0usize..12,
+    ) {
+        let queued = queued.min(capacity);
+        let (tx, rx) = bounded::<usize>(capacity, 0, &Obs::none());
+        for i in 0..queued {
+            assert!(tx.send(i));
+        }
+        tx.close();
+        prop_assert!(!tx.send(99), "closed channel accepts nothing");
+        let drained: Vec<usize> = std::iter::from_fn(|| rx.recv()).collect();
+        prop_assert_eq!(drained, (0..queued).collect::<Vec<_>>());
+    }
+}

@@ -159,6 +159,27 @@ fn render(event: &TraceEvent) -> String {
         EventKind::RegionEnd => phase("E", "parallel region", "region", lane, &ts),
         EventKind::BarrierWait => phase("B", "barrier", "sync", lane, &ts),
         EventKind::BarrierRelease => phase("E", "barrier", "sync", lane, &ts),
+        EventKind::StagePush { queue, depth } => instant(
+            "stage-push",
+            "stream",
+            lane,
+            &ts,
+            &format!("\"queue\":{queue},\"depth\":{depth}"),
+        ),
+        EventKind::StagePop { queue, depth } => instant(
+            "stage-pop",
+            "stream",
+            lane,
+            &ts,
+            &format!("\"queue\":{queue},\"depth\":{depth}"),
+        ),
+        EventKind::StageEos { queue } => instant(
+            "stage-eos",
+            "stream",
+            lane,
+            &ts,
+            &format!("\"queue\":{queue}"),
+        ),
     }
 }
 

@@ -79,6 +79,25 @@ pub enum EventKind {
         /// Number of iterations in the chunk.
         len: usize,
     },
+    /// A stream stage pushed an item into a bounded channel.
+    StagePush {
+        /// Queue id of the channel (also its metrics lane).
+        queue: usize,
+        /// Queue depth right after the push.
+        depth: usize,
+    },
+    /// A stream stage popped an item from a bounded channel.
+    StagePop {
+        /// Queue id of the channel.
+        queue: usize,
+        /// Queue depth right after the pop.
+        depth: usize,
+    },
+    /// A stream channel reached end-of-stream: closed and fully drained.
+    StageEos {
+        /// Queue id of the channel.
+        queue: usize,
+    },
 }
 
 impl EventKind {
@@ -96,6 +115,9 @@ impl EventKind {
             EventKind::BarrierWait => "barrier-wait",
             EventKind::BarrierRelease => "barrier-release",
             EventKind::ChunkClaim { .. } => "chunk-claim",
+            EventKind::StagePush { .. } => "stage-push",
+            EventKind::StagePop { .. } => "stage-pop",
+            EventKind::StageEos { .. } => "stage-eos",
         }
     }
 
@@ -127,6 +149,11 @@ mod tests {
         );
         assert_eq!(EventKind::BarrierWait.label(), "barrier-wait");
         assert_eq!(EventKind::DupDropped.label(), "dup-dropped");
+        assert_eq!(
+            EventKind::StagePush { queue: 0, depth: 1 }.label(),
+            "stage-push"
+        );
+        assert_eq!(EventKind::StageEos { queue: 0 }.label(), "stage-eos");
     }
 
     #[test]

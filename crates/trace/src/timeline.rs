@@ -76,6 +76,9 @@ fn describe(event: &TraceEvent) -> String {
         EventKind::BarrierWait => "[barrier".to_string(),
         EventKind::BarrierRelease => "barrier]".to_string(),
         EventKind::ChunkClaim { start, len } => format!("chunk {start}..{}", start + len),
+        EventKind::StagePush { queue, depth } => format!("push\u{2192}q{queue} d={depth}"),
+        EventKind::StagePop { queue, depth } => format!("pop\u{2190}q{queue} d={depth}"),
+        EventKind::StageEos { queue } => format!("eos q{queue}"),
     }
 }
 

@@ -87,6 +87,10 @@ pub struct RankCounters {
     pub retransmits: u64,
     /// Duplicate deliveries swallowed by the exactly-once filter.
     pub dup_drops: u64,
+    /// Stream-channel pushes issued by this lane's stage.
+    pub stream_pushes: u64,
+    /// Stream-channel pops issued by this lane's stage.
+    pub stream_pops: u64,
 }
 
 /// Aggregate a drained [`Trace`] into one [`RankCounters`] row per active
@@ -120,6 +124,9 @@ pub fn rank_counters(trace: &Trace) -> Vec<RankCounters> {
                 c.chunks += 1;
                 c.iterations += len as u64;
             }
+            EventKind::StagePush { .. } => c.stream_pushes += 1,
+            EventKind::StagePop { .. } => c.stream_pops += 1,
+            EventKind::StageEos { .. } => {}
         }
     }
     by_rank.into_values().collect()

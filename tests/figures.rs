@@ -188,8 +188,9 @@ fn abstract_census() {
     use patternlets::harness::Technology;
     use patternlets::registry::{census, registry};
     let c = census();
-    // The paper's 44 = 16 + 17 + 9 + 2; the resilience/ family is beyond
-    // the paper and counted separately (registry total 48).
+    // The paper's 44 = 16 + 17 + 9 + 2; the resilience/ and stream/
+    // families are beyond the paper and counted separately (registry
+    // total 53).
     assert_eq!(
         (
             c[&Technology::Mpi],
@@ -200,5 +201,6 @@ fn abstract_census() {
         (16, 17, 9, 2)
     );
     assert_eq!(c[&Technology::Resilience], 4);
-    assert_eq!(registry().len(), 44 + 4);
+    assert_eq!(c[&Technology::Stream], 5);
+    assert_eq!(registry().len(), 44 + 4 + 5);
 }

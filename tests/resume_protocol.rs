@@ -125,6 +125,44 @@ fn run_session(plan: NetChaosPlan, total: u64, batch_max: usize) -> Vec<u64> {
     delivered
 }
 
+/// A flipped *header* byte — length prefix or checksum field — kills the
+/// stream at exactly the corrupted frame: everything before it is
+/// delivered, nothing after it is, and no frame is misframed into a
+/// wrong decode. This is the property the length-covering CRC buys; the
+/// resume handshake then replays from the precise break point.
+#[test]
+fn flipped_header_bytes_die_at_the_corrupted_frame() {
+    let records: Vec<Vec<u8>> = (0..6).map(env_record).collect();
+    let stream: Vec<u8> = records.concat();
+    let offsets: Vec<usize> = records
+        .iter()
+        .scan(0, |at, r| {
+            let here = *at;
+            *at += r.len();
+            Some(here)
+        })
+        .collect();
+    for (frame, &off) in offsets.iter().enumerate() {
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut corrupt = stream.clone();
+                corrupt[off + byte] ^= 1 << bit;
+                let mut delivered = Vec::new();
+                let died = receive(&corrupt, &mut delivered);
+                assert!(
+                    died,
+                    "flip at frame {frame} header byte {byte} bit {bit} must kill the stream"
+                );
+                assert_eq!(
+                    delivered,
+                    (0..frame as u64).collect::<Vec<_>>(),
+                    "stream died exactly at frame {frame} (flip {byte}:{bit})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

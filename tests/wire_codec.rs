@@ -194,6 +194,37 @@ proptest! {
         }
     }
 
+    /// Header corruption — length prefix or CRC field, not just body
+    /// bytes — must be rejected, and on a byte stream it must surface at
+    /// the corrupted frame: the reader may not misframe and hand back the
+    /// *following* (intact) frame as the next result.
+    #[test]
+    fn flipped_header_bytes_are_rejected_at_the_corrupted_frame(
+        payload in proptest::collection::vec(any::<u8>(), 0..60),
+        byte in 0usize..8,
+        bit in 0u8..8,
+    ) {
+        let record = encode_frame(&Frame::Env {
+            comm_id: 2,
+            src: 1,
+            tag: 4,
+            type_name: "u8".into(),
+            count: payload.len() as u64,
+            seq: 5,
+            needs_ack: false,
+            overtake: 0,
+            payload,
+        });
+        let mut corrupt = record.clone();
+        corrupt[byte] ^= 1 << bit;
+        prop_assert!(decode_frame(&corrupt).is_err());
+        let follow = encode_frame(&Frame::Ping { seen: 9 });
+        let mut stream_bytes = corrupt;
+        stream_bytes.extend_from_slice(&follow);
+        let mut cursor = stream_bytes.as_slice();
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
     #[test]
     fn garbage_bytes_never_panic_the_decoder(
         garbage in proptest::collection::vec(any::<u8>(), 0..120),
