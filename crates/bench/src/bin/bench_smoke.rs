@@ -2,7 +2,7 @@
 //! that pits the zero-copy shared-payload fast path against the
 //! encode-everything baseline **in the same build** (the baseline worlds
 //! are built with `WorldBuilder::encoded_payloads(true)`), then writes a
-//! machine-readable summary to `BENCH_7.json` and prints the deltas.
+//! machine-readable summary to `BENCH_8.json` and prints the deltas.
 //! Alongside the timings, a metrics-instrumented pingpong world records
 //! the zero-copy *hit rate* under both configs, so the summary states
 //! not just how fast the fast path is but that it actually engaged.
@@ -13,6 +13,13 @@
 //! is the trivial-work farm — it must clear 1M items/sec, which is what
 //! the channel's batched `send_many`/`recv_many` transfers buy (one
 //! park/notify syscall per batch instead of per item).
+//!
+//! A third section, `job_throughput`, measures the pmserve gateway: an
+//! in-process daemon with four protocol-faithful worker threads serves
+//! np=2 `mpi/broadcast` jobs to 1/4/8 concurrent HTTP clients, each
+//! submitting and polling to completion. The sweep shows how submission
+//! concurrency amortises per-job scheduling overhead until the
+//! two-jobs-at-a-time worker pool saturates.
 //!
 //! The pingpong shapes sweep payload sizes across the inline-payload
 //! crossover (`INLINE_MAX` = 64 B): at and below it both configs use the
@@ -25,7 +32,7 @@
 //! `bench-smoke` job. `BENCH_SMOKE_ITERS` scales the sample count (CI
 //! uses a small value; the defaults are sized for a laptop-minute).
 //! The output path is the first argument, else `PATTERNLETS_BENCH_OUT`,
-//! else `BENCH_7.json`.
+//! else `BENCH_8.json`.
 
 use std::time::Instant;
 
@@ -33,6 +40,12 @@ use patternlets_core::reduce::ops;
 use patternlets_metrics::MetricsHub;
 use patternlets_mp::World;
 use patternlets_stream::{run_farm, FarmConfig, Obs, Pipeline};
+
+use patternlets::harness::{Mode, RunConfig};
+use patternlets::registry::find;
+use patternlets_serve::client::{self, SubmitSpec};
+use patternlets_serve::daemon::{self, DaemonConfig};
+use patternlets_serve::worker::{run_worker, Assignment, JobLineSink};
 
 /// Round trips per world spawn in the pingpong shapes (amortises the
 /// thread-spawn cost exactly like the criterion bench does).
@@ -201,6 +214,106 @@ fn pipeline_items_per_sec(capacity: usize, cost: u32, iters: usize) -> f64 {
     STREAM_ITEMS as f64 / (ns * 1e-9)
 }
 
+/// Concurrent clients swept by the gateway section; the pool holds two
+/// np=2 jobs at a time, so the tail of the sweep measures queueing.
+const JOB_CLIENTS: [usize; 3] = [1, 4, 8];
+
+/// Jobs each client submits per timed run.
+const JOBS_PER_CLIENT: usize = 10;
+
+/// A gateway sweep point.
+struct JobSample {
+    name: String,
+    jobs_per_sec: f64,
+}
+
+/// The worker loop's runner, same shape as `patternlets worker`: run the
+/// assigned patternlet out of the registry with output echoed to the
+/// daemon. (Banner chrome skipped — the bench measures jobs, not bytes.)
+fn bench_runner(
+    assign: &Assignment,
+    lines: &JobLineSink,
+) -> Result<patternlets_metrics::MetricsSnapshot, String> {
+    let p = find(&assign.patternlet).ok_or("unknown patternlet")?;
+    let hub = MetricsHub::new();
+    let mut cfg = RunConfig::new(assign.np, Mode::Off).with_metrics(hub.clone());
+    cfg.output = patternlets_core::capture::Output::echoing_to(lines.clone().into_line_writer());
+    (p.run)(&cfg);
+    Ok(hub.snapshot())
+}
+
+/// Wall-clock jobs/sec for `clients` concurrent submitters against a
+/// live gateway, each driving `JOBS_PER_CLIENT` np=2 jobs to completion.
+fn gateway_jobs_per_sec(http: &str, clients: usize, iters: usize) -> f64 {
+    let ns = time_ns(iters, || {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let http = http.to_string();
+                std::thread::spawn(move || {
+                    for _ in 0..JOBS_PER_CLIENT {
+                        let job = client::submit(
+                            &http,
+                            &SubmitSpec {
+                                patternlet: "mpi/broadcast".to_string(),
+                                np: 2,
+                                on: false,
+                                chaos: String::new(),
+                                retries: None,
+                            },
+                        )
+                        .expect("gateway admits");
+                        loop {
+                            let status = client::status(&http, job).expect("status poll");
+                            if status.is_terminal() {
+                                assert_eq!(status.status, "completed");
+                                break;
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(500));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    (clients * JOBS_PER_CLIENT) as f64 / (ns * 1e-9)
+}
+
+/// Run the gateway sweep against a fresh in-process daemon + 4 workers.
+fn job_throughput(iters: usize) -> Vec<JobSample> {
+    let d = daemon::start(DaemonConfig {
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let cluster = d.cluster_addr.to_string();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = cluster.clone();
+            std::thread::spawn(move || run_worker(&addr, bench_runner))
+        })
+        .collect();
+    while d.pool.live() < 4 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let http = d.http_addr.to_string();
+    let samples = JOB_CLIENTS
+        .iter()
+        .map(|&clients| JobSample {
+            name: format!("gateway_np2_clients{clients}"),
+            jobs_per_sec: gateway_jobs_per_sec(&http, clients, iters),
+        })
+        .collect();
+    d.drain();
+    d.wait();
+    for w in workers {
+        let _ = w.join();
+    }
+    samples
+}
+
 fn json_escape_free(name: &str) -> &str {
     debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
     name
@@ -214,7 +327,7 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .or_else(|| std::env::var("PATTERNLETS_BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
 
     // Pingpong size sweep spanning the inline crossover: the first two
     // sizes inline in BOTH configs (8 B was BENCH_5's regression case),
@@ -317,6 +430,14 @@ fn main() {
         println!("{:>24} {:>13.2}M", s.name, s.items_per_sec / 1e6);
     }
 
+    // Gateway sweep: np=2 jobs through a live pmserve daemon.
+    let job_samples = job_throughput(iters);
+    println!("\n== job_throughput: pmserve gateway, {JOBS_PER_CLIENT} np=2 jobs per client ==");
+    println!("{:>24} {:>14}", "shape", "jobs/sec");
+    for s in &job_samples {
+        println!("{:>24} {:>14.1}", s.name, s.jobs_per_sec);
+    }
+
     // Hand-rolled JSON: flat, no escaping needed (names are identifiers).
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -324,7 +445,7 @@ fn main() {
         .unwrap_or(0);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"bench\": \"BENCH_7\",\n");
+    json.push_str("  \"bench\": \"BENCH_8\",\n");
     json.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!(
@@ -355,6 +476,18 @@ fn main() {
             } else {
                 ""
             }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"job_throughput\": {{\"np\": 2, \"jobs_per_client\": {JOBS_PER_CLIENT}, \"results\": [\n"
+    ));
+    for (i, s) in job_samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"jobs_per_sec\": {:.1}}}{}\n",
+            json_escape_free(&s.name),
+            s.jobs_per_sec,
+            if i + 1 < job_samples.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]}\n}\n");

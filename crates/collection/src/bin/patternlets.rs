@@ -77,6 +77,17 @@ fn main() -> ExitCode {
             coverage();
             ExitCode::SUCCESS
         }
+        // Elastic-cluster mode: join a pmserve daemon's worker pool and
+        // run assigned patternlets until the daemon shuts us down.
+        Some("worker") => match args.get(1) {
+            Some(addr) => worker_mode(addr),
+            None => {
+                eprintln!("usage: patternlets worker <cluster-addr>  (printed by pmserve)");
+                ExitCode::FAILURE
+            }
+        },
+        // Thin client for the pmserve HTTP gateway.
+        Some("submit") => submit_cmd(&args[1..]),
         Some("figures") => {
             figures();
             ExitCode::SUCCESS
@@ -107,9 +118,134 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: patternlets <list|show|run|coverage|figures> [name] [-n TASKS] [--on] \
-                 [--kill RANK] [--trace FILE] [--timeline] [--counters] [--metrics]"
+                "usage: patternlets <list|show|run|coverage|figures|worker|submit> [name] \
+                 [-n TASKS] [--on] [--kill RANK] [--trace FILE] [--timeline] [--counters] \
+                 [--metrics]\n\
+                 \x20      worker <cluster-addr>   join a pmserve daemon's worker pool\n\
+                 \x20      submit <name> [...]     submit a job to a pmserve HTTP gateway"
             );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The registry-backed job runner for `patternlets worker`: each
+/// assignment runs the named patternlet exactly the way the CLI's `run`
+/// does — same banner chrome on rank 0, same directive toggle, metrics
+/// always on so the daemon's fleet totals are complete — with output
+/// echoed line-wise to the daemon instead of stdout.
+fn worker_mode(addr: &str) -> ExitCode {
+    use patternlets_core::capture::Output;
+    let runner = move |assign: &patternlets_serve::Assignment,
+                       lines: &patternlets_serve::JobLineSink|
+          -> Result<patternlets_metrics::MetricsSnapshot, String> {
+        let Some(p) = find(&assign.patternlet) else {
+            return Err(format!(
+                "unknown patternlet {:?}; try `patternlets list`",
+                assign.patternlet
+            ));
+        };
+        let mode = if assign.on { Mode::On } else { Mode::Off };
+        if assign.rank == 0 {
+            lines.line(&format!(
+                "=== {} ({} tasks, directive {}) ===",
+                p.name,
+                assign.np,
+                if mode.is_on() { "ON" } else { "OFF (initial)" }
+            ));
+            lines.line("");
+        }
+        let hub = MetricsHub::new();
+        let mut cfg = RunConfig::new(assign.np, mode).with_metrics(hub.clone());
+        cfg.output = Output::echoing_to(lines.clone().into_line_writer());
+        (p.run)(&cfg);
+        if assign.rank == 0 {
+            lines.line("");
+        }
+        Ok(hub.snapshot())
+    };
+    match patternlets_serve::run_worker(addr, runner) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("patternlets worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `patternlets submit NAME [--addr HOST:PORT] [-n NP] [--on]
+/// [--chaos SPEC] [--retries N] [--detach]` — submit to a pmserve
+/// gateway and (unless detached) stream the job's output back live.
+fn submit_cmd(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!(
+            "usage: patternlets submit <name> [--addr HOST:PORT] [-n NP] [--on] \
+             [--chaos SPEC] [--retries N] [--detach]\n\
+             (the gateway address may also come from ${})",
+            patternlets_serve::client::ENV_GATEWAY
+        );
+        return ExitCode::FAILURE;
+    };
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let Some(addr) = flag_value("--addr")
+        .cloned()
+        .or_else(|| std::env::var(patternlets_serve::client::ENV_GATEWAY).ok())
+    else {
+        eprintln!(
+            "patternlets submit: no gateway address (pass --addr HOST:PORT or set ${})",
+            patternlets_serve::client::ENV_GATEWAY
+        );
+        return ExitCode::FAILURE;
+    };
+    let spec = patternlets_serve::SubmitSpec {
+        patternlet: name.clone(),
+        np: flag_value("-n")
+            .or_else(|| flag_value("--tasks"))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        on: args.iter().any(|a| a == "--on"),
+        chaos: flag_value("--chaos").cloned().unwrap_or_default(),
+        retries: flag_value("--retries").and_then(|v| v.parse().ok()),
+    };
+    let job = match patternlets_serve::client::submit(&addr, &spec) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("patternlets submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "submitted job {job} ({} np={}) to {addr}",
+        spec.patternlet, spec.np
+    );
+    if args.iter().any(|a| a == "--detach") {
+        println!("{job}");
+        return ExitCode::SUCCESS;
+    }
+    let mut stdout = std::io::stdout();
+    if let Err(e) = patternlets_serve::client::stream_output(&addr, job, &mut stdout) {
+        eprintln!("patternlets submit: {e}");
+        return ExitCode::FAILURE;
+    }
+    match patternlets_serve::client::wait(&addr, job, std::time::Duration::from_millis(50)) {
+        Ok(status) if status.status == "completed" => {
+            eprintln!("job {job} completed");
+            ExitCode::SUCCESS
+        }
+        Ok(status) => {
+            eprintln!(
+                "job {job} {}: {}",
+                status.status,
+                status.error.unwrap_or_else(|| "(no detail)".into())
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("patternlets submit: {e}");
             ExitCode::FAILURE
         }
     }

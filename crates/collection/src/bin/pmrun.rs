@@ -395,6 +395,10 @@ fn describe_status(status: std::process::ExitStatus) -> String {
 }
 
 fn main() -> ExitCode {
+    // Graceful shutdown: the first SIGINT/SIGTERM flips a flag the
+    // supervision loop reads (drain: let the in-flight job finish, then
+    // summarize and exit 0); a second one kills the job immediately.
+    patternlets_core::signals::install_termination_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(opts) = parse(&args) else {
         return usage();
@@ -555,6 +559,7 @@ fn main() -> ExitCode {
     // threads' handles stay valid) and the job is judged by each rank's
     // final incarnation.
     let mut results: Vec<Option<WorkerOutcome>> = (0..opts.np).map(|_| None).collect();
+    let mut drain_notified = false;
     let mut respawns_left = opts.respawn;
     let mut respawn_ordinal: u64 = 0;
     let mut respawned: Vec<usize> = vec![0; opts.np];
@@ -614,6 +619,18 @@ fn main() -> ExitCode {
         }
         if results.iter().all(|r| r.is_some()) {
             break;
+        }
+        if patternlets_core::signals::termination_count() > 1 {
+            eprintln!("pmrun: second signal; killing the job");
+            for child in &children {
+                let _ = child.lock().kill();
+            }
+        } else if patternlets_core::signals::termination_requested() && !drain_notified {
+            drain_notified = true;
+            eprintln!(
+                "pmrun: termination requested; draining the in-flight job \
+                 (signal again to kill it)"
+            );
         }
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -687,6 +704,13 @@ fn main() -> ExitCode {
             "pmrun: job exceeded --timeout {}s and was killed",
             opts.timeout.unwrap_or(0)
         );
+    }
+    // An operator-initiated drain is a clean shutdown, not a job
+    // failure: whatever the workers' outcomes, the contract is "drain,
+    // summarize, exit 0". (Timeouts still fail: those are CI's call.)
+    if patternlets_core::signals::termination_requested() && !timed_out.load(Ordering::SeqCst) {
+        println!("pmrun: drained after termination request");
+        return ExitCode::SUCCESS;
     }
     if outcomes.iter().all(|o| o.success) && !timed_out.load(Ordering::SeqCst) {
         return ExitCode::SUCCESS;

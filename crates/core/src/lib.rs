@@ -18,6 +18,8 @@
 //! * [`ids`] — task identifiers shared by the shared-memory and
 //!   message-passing runtimes.
 //! * [`error`] — the workspace-wide error type.
+//! * [`signals`] — the SIGINT/SIGTERM drain flag used by the long-lived
+//!   launchers (`pmrun`, `pmserve`) for graceful shutdown.
 
 pub mod capture;
 pub mod crc;
@@ -25,6 +27,7 @@ pub mod error;
 pub mod ids;
 pub mod reduce;
 pub mod rng;
+pub mod signals;
 pub mod timer;
 
 pub use capture::{CapturedLine, Output, Sink};

@@ -1,0 +1,94 @@
+//! Graceful-termination signals, without a signal-handling dependency.
+//!
+//! Long-lived launchers (`pmrun`, `pmserve`) want SIGINT/SIGTERM to mean
+//! "drain and summarize" rather than "die mid-collective". The standard
+//! library exposes no handler API, so this module declares the libc
+//! `signal(2)` entry point directly (std already links libc) and installs
+//! a handler that does the only thing an async-signal-safe handler may:
+//! bump an atomic. Callers poll [`termination_requested`] from their
+//! supervision loops.
+//!
+//! The count is exposed too: a second Ctrl-C while draining is the
+//! operator saying "no really, now" — callers should treat
+//! `termination_count() > 1` as an immediate-exit request.
+//!
+//! On non-Unix targets installation is a no-op and the flag never fires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static TERMINATIONS: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(unix)]
+mod imp {
+    /// Handler type of `signal(2)`; the return value (the previous
+    /// handler) is pointer-sized and only ever discarded here.
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_terminate(_sig: i32) {
+        // Only async-signal-safe work here: one atomic increment.
+        super::TERMINATIONS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_terminate);
+            signal(SIGTERM, on_terminate);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM drain handler for this process. Idempotent;
+/// call once near the top of `main`, before spawning workers.
+pub fn install_termination_handler() {
+    imp::install();
+}
+
+/// Has a termination signal arrived since
+/// [`install_termination_handler`]?
+pub fn termination_requested() -> bool {
+    TERMINATIONS.load(Ordering::SeqCst) > 0
+}
+
+/// How many termination signals have arrived. `> 1` means the operator
+/// signalled again while the process was draining: stop politely waiting.
+pub fn termination_count() -> usize {
+    TERMINATIONS.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The flag flips when the process signals itself — exercising the
+    /// real handler path, not just the atomic. (`raise` here is the
+    /// handler installation's round trip; the kill-based e2e lives in the
+    /// launcher tests.)
+    #[cfg(unix)]
+    #[test]
+    fn self_signal_sets_the_flag() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        install_termination_handler();
+        assert!(!termination_requested() || termination_count() > 0);
+        let before = termination_count();
+        unsafe {
+            raise(15);
+        }
+        // The handler runs synchronously for a self-raised signal.
+        assert!(termination_count() > before);
+        assert!(termination_requested());
+    }
+}

@@ -1,0 +1,112 @@
+//! Fleet-wide metrics aggregation for the `pmserve` daemon.
+//!
+//! Each worker pushes per-rank [`MetricsSnapshot`]s tagged with the job
+//! they were recorded under; the daemon folds them into a
+//! [`FleetMetrics`] that can answer two questions the gateway exposes:
+//!
+//! * per-job totals (`GET /jobs/:id` reports message counts for that job
+//!   alone), and
+//! * fleet totals (`GET /metrics` renders one Prometheus page covering
+//!   every job the daemon has ever run).
+//!
+//! Both lean on the same commutative [`MetricsSnapshot::merge`] the
+//! one-shot `pmrun` collector uses, so per-job and fleet views agree by
+//! construction: the fleet total *is* the merge of the per-job merges.
+//! Within a job, ranks are distinct lanes, so per-lane attribution
+//! survives; across jobs, lanes collide deliberately (job A's rank 0 and
+//! job B's rank 0 add into one lane), which is exactly the semantics a
+//! fleet counter wants.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::MetricsSnapshot;
+
+/// Job-keyed snapshot store. Thread-safe; the daemon inserts from
+/// connection-handler threads and renders from the HTTP gateway thread.
+#[derive(Default)]
+pub struct FleetMetrics {
+    /// job id → merged snapshot over every rank push for that job.
+    /// BTreeMap so rendered listings are in submission order.
+    jobs: Mutex<BTreeMap<u64, MetricsSnapshot>>,
+}
+
+impl FleetMetrics {
+    /// An empty fleet store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one rank's snapshot into a job's running total. Ranks may
+    /// push repeatedly (cadenced pushes); snapshots are cumulative, so
+    /// callers that re-push must send *deltas* — the daemon's workers
+    /// push exactly once per (job, rank), at job end, which sidesteps
+    /// the question.
+    pub fn record(&self, job: u64, snapshot: &MetricsSnapshot) {
+        let mut jobs = self.jobs.lock().expect("fleet metrics lock");
+        jobs.entry(job).or_default().merge(snapshot);
+    }
+
+    /// The merged snapshot for one job, if any rank reported.
+    pub fn job(&self, job: u64) -> Option<MetricsSnapshot> {
+        self.jobs
+            .lock()
+            .expect("fleet metrics lock")
+            .get(&job)
+            .cloned()
+    }
+
+    /// Every job's merged totals folded into one fleet-wide snapshot.
+    pub fn fleet(&self) -> MetricsSnapshot {
+        let jobs = self.jobs.lock().expect("fleet metrics lock");
+        let mut out = MetricsSnapshot::default();
+        for snap in jobs.values() {
+            out.merge(snap);
+        }
+        out
+    }
+
+    /// Number of jobs with at least one reported snapshot.
+    pub fn jobs_reported(&self) -> usize {
+        self.jobs.lock().expect("fleet metrics lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterId, LaneMetrics};
+
+    fn snap(lane: usize, msgs: u64) -> MetricsSnapshot {
+        let mut l = LaneMetrics::empty(lane);
+        l.counters[CounterId::MsgsRecv.index()] = msgs;
+        MetricsSnapshot { lanes: vec![l] }
+    }
+
+    #[test]
+    fn fleet_total_is_the_merge_of_job_merges() {
+        let fleet = FleetMetrics::new();
+        fleet.record(1, &snap(0, 3));
+        fleet.record(1, &snap(1, 4));
+        fleet.record(2, &snap(0, 10));
+        assert_eq!(fleet.job(1).unwrap().total(CounterId::MsgsRecv), 7);
+        assert_eq!(fleet.job(2).unwrap().total(CounterId::MsgsRecv), 10);
+        assert_eq!(fleet.job(3), None);
+        assert_eq!(fleet.fleet().total(CounterId::MsgsRecv), 17);
+        assert_eq!(fleet.jobs_reported(), 2);
+    }
+
+    #[test]
+    fn lanes_from_different_jobs_collide_into_fleet_lanes() {
+        let fleet = FleetMetrics::new();
+        fleet.record(1, &snap(0, 1));
+        fleet.record(2, &snap(0, 1));
+        let total = fleet.fleet();
+        assert_eq!(
+            total.lanes.len(),
+            1,
+            "rank 0 of both jobs is one fleet lane"
+        );
+        assert_eq!(total.total(CounterId::MsgsRecv), 2);
+    }
+}

@@ -31,10 +31,12 @@
 //! pin this order-independence.
 
 mod export;
+mod fleet;
 mod snapshot;
 pub mod wire;
 
 pub use export::{render_prometheus, render_summary};
+pub use fleet::FleetMetrics;
 pub use snapshot::{HistData, LaneMetrics, MetricsSnapshot};
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -616,11 +616,14 @@ impl Inner {
                 let rank = rank as usize;
                 if rank < self.np {
                     self.finished[rank].store(true, Ordering::SeqCst);
-                    // The peer is gone for good; retained frames to it
-                    // are moot and no reconnect will be attempted.
-                    if let Some(writer) = &self.peers[rank] {
-                        writer.terminal(false);
-                    }
+                    // The link is deliberately NOT marked terminal here:
+                    // our own Finish may not have gone out yet (both
+                    // sides announce concurrently), and muting the
+                    // writer would leave the peer draining against its
+                    // full FINISH_DRAIN budget waiting for it. The
+                    // `finished` flag alone keeps the heartbeat and
+                    // reconnect machinery away from this peer;
+                    // `half_close` makes the link terminal at teardown.
                     let _lock = self.agreements.lock();
                     self.agree_cv.notify_all();
                 }
@@ -651,15 +654,22 @@ impl Inner {
                     writer.ack(seen);
                 }
             }
-            // A stray handshake, resume or metrics frame after setup
-            // carries nothing actionable (Resume is consumed during the
-            // handshake itself; metrics frames are interpreted by
-            // pmrun's collector, not by peers).
+            // A stray handshake, resume, metrics or job-control frame
+            // after setup carries nothing actionable (Resume is consumed
+            // during the handshake itself; metrics frames are interpreted
+            // by pmrun's collector; job-control frames belong on the
+            // daemon's worker control connections, never on a peer mesh).
             Frame::Hello { .. }
             | Frame::Resume { .. }
             | Frame::Register { .. }
             | Frame::Table { .. }
-            | Frame::Metrics { .. } => {}
+            | Frame::Metrics { .. }
+            | Frame::WorkerHello { .. }
+            | Frame::JobAssign { .. }
+            | Frame::JobLine { .. }
+            | Frame::JobMetrics { .. }
+            | Frame::JobDone { .. }
+            | Frame::Shutdown => {}
         }
     }
 
@@ -1245,7 +1255,7 @@ impl Fabric for TcpFabric {
             if drained {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(1));
         }
         self.inner.closing.store(true, Ordering::SeqCst);
         // Half-close every connection: peers read our Finish, then a

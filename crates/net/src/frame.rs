@@ -159,6 +159,70 @@ pub enum Frame {
         /// Sequenced frames the sender had received before the cut.
         recv_seq: u64,
     },
+    /// Worker → daemon: join `pmserve`'s elastic pool. The connection
+    /// this arrives on becomes the worker's long-lived control channel;
+    /// its EOF is how the daemon learns the worker left (or died).
+    WorkerHello {
+        /// The worker's OS process id, for the `/workers` view.
+        pid: u64,
+    },
+    /// Daemon → worker: run one rank of a queued job. The worker plays
+    /// world rank `rank` of an `np`-rank world; every world the
+    /// patternlet builds rendezvouses (through the daemon's shared
+    /// [`RendezvousCore`](crate::rendezvous::RendezvousCore)) inside the
+    /// job's private epoch block starting at `epoch_base`.
+    JobAssign {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Registry name of the patternlet to run (`family/program`).
+        patternlet: String,
+        /// World size of the job.
+        np: u64,
+        /// The rank this worker plays.
+        rank: u64,
+        /// First epoch of the job's private rendezvous block.
+        epoch_base: u64,
+        /// Directive toggle (`--on`).
+        on: bool,
+        /// Wire-chaos plan in `PMRUN_NET_CHAOS` env-value form; empty =
+        /// chaos off.
+        chaos: String,
+    },
+    /// Worker → daemon: one line of a job's captured stdout, streamed as
+    /// it is emitted so gateway clients can watch live.
+    JobLine {
+        /// The job the line belongs to.
+        job: u64,
+        /// Emitting world rank.
+        rank: u64,
+        /// The text, without a trailing newline.
+        line: String,
+    },
+    /// Worker → daemon: one rank's job-scoped metrics snapshot
+    /// (cumulative over the job; latest wins), for the fleet-wide
+    /// `/metrics` aggregation keyed by job id.
+    JobMetrics {
+        /// The job the snapshot belongs to.
+        job: u64,
+        /// The reporting world rank.
+        rank: u64,
+        /// `patternlets_metrics::wire::encode` output.
+        payload: Vec<u8>,
+    },
+    /// Worker → daemon: this worker's rank of the job terminated.
+    JobDone {
+        /// The finished job.
+        job: u64,
+        /// The finished world rank.
+        rank: u64,
+        /// Did the rank body complete without error?
+        ok: bool,
+        /// Failure description when `!ok` (panic message, `RankFailed`
+        /// rank, unknown-patternlet complaint); empty on success.
+        error: String,
+    },
+    /// Daemon → worker: the daemon is draining; finish up and exit.
+    Shutdown,
 }
 
 impl Frame {
@@ -190,6 +254,12 @@ const KIND_REGISTER: u8 = 6;
 const KIND_TABLE: u8 = 7;
 const KIND_METRICS: u8 = 8;
 const KIND_RESUME: u8 = 9;
+const KIND_WORKER_HELLO: u8 = 10;
+const KIND_JOB_ASSIGN: u8 = 11;
+const KIND_JOB_LINE: u8 = 12;
+const KIND_JOB_METRICS: u8 = 13;
+const KIND_JOB_DONE: u8 = 14;
+const KIND_SHUTDOWN: u8 = 15;
 
 struct BodyWriter(Vec<u8>);
 
@@ -353,6 +423,55 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u64(*rank);
             w.u64(*recv_seq);
         }
+        Frame::WorkerHello { pid } => {
+            w.u8(KIND_WORKER_HELLO);
+            w.u64(*pid);
+        }
+        Frame::JobAssign {
+            job,
+            patternlet,
+            np,
+            rank,
+            epoch_base,
+            on,
+            chaos,
+        } => {
+            w.u8(KIND_JOB_ASSIGN);
+            w.u64(*job);
+            w.string(patternlet);
+            w.u64(*np);
+            w.u64(*rank);
+            w.u64(*epoch_base);
+            w.u8(u8::from(*on));
+            w.string(chaos);
+        }
+        Frame::JobLine { job, rank, line } => {
+            w.u8(KIND_JOB_LINE);
+            w.u64(*job);
+            w.u64(*rank);
+            w.string(line);
+        }
+        Frame::JobMetrics { job, rank, payload } => {
+            w.u8(KIND_JOB_METRICS);
+            w.u64(*job);
+            w.u64(*rank);
+            w.bytes(payload);
+        }
+        Frame::JobDone {
+            job,
+            rank,
+            ok,
+            error,
+        } => {
+            w.u8(KIND_JOB_DONE);
+            w.u64(*job);
+            w.u64(*rank);
+            w.u8(u8::from(*ok));
+            w.string(error);
+        }
+        Frame::Shutdown => {
+            w.u8(KIND_SHUTDOWN);
+        }
     }
     let body = w.0;
     let len_bytes = (body.len() as u32).to_le_bytes();
@@ -429,6 +548,41 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             rank: r.u64()?,
             recv_seq: r.u64()?,
         },
+        KIND_WORKER_HELLO => Frame::WorkerHello { pid: r.u64()? },
+        KIND_JOB_ASSIGN => Frame::JobAssign {
+            job: r.u64()?,
+            patternlet: r.string()?,
+            np: r.u64()?,
+            rank: r.u64()?,
+            epoch_base: r.u64()?,
+            on: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Codec(format!("bad on byte {other}"))),
+            },
+            chaos: r.string()?,
+        },
+        KIND_JOB_LINE => Frame::JobLine {
+            job: r.u64()?,
+            rank: r.u64()?,
+            line: r.string()?,
+        },
+        KIND_JOB_METRICS => Frame::JobMetrics {
+            job: r.u64()?,
+            rank: r.u64()?,
+            payload: r.bytes()?,
+        },
+        KIND_JOB_DONE => Frame::JobDone {
+            job: r.u64()?,
+            rank: r.u64()?,
+            ok: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Codec(format!("bad ok byte {other}"))),
+            },
+            error: r.string()?,
+        },
+        KIND_SHUTDOWN => Frame::Shutdown,
         other => return Err(Error::Codec(format!("unknown frame kind {other}"))),
     };
     r.finish()?;
@@ -588,6 +742,70 @@ mod tests {
             rank: 2,
             payload: vec![1, 0, 0, 0, 0],
         });
+        roundtrip(Frame::WorkerHello { pid: 4242 });
+        roundtrip(Frame::JobAssign {
+            job: 17,
+            patternlet: "mpi/broadcast".into(),
+            np: 4,
+            rank: 2,
+            epoch_base: 17 << 20,
+            on: true,
+            chaos: "7".into(),
+        });
+        roundtrip(Frame::JobLine {
+            job: 17,
+            rank: 2,
+            line: "2 of 4: héllo".into(),
+        });
+        roundtrip(Frame::JobMetrics {
+            job: 17,
+            rank: 0,
+            payload: vec![1, 0, 0],
+        });
+        roundtrip(Frame::JobDone {
+            job: 17,
+            rank: 3,
+            ok: false,
+            error: "rank 1 failed".into(),
+        });
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn job_control_frames_are_unsequenced() {
+        // The job-control plane must never enter the resume sequence
+        // space: it is regenerated (or moot) after a reconnect.
+        for frame in [
+            Frame::WorkerHello { pid: 1 },
+            Frame::JobAssign {
+                job: 1,
+                patternlet: "x".into(),
+                np: 1,
+                rank: 0,
+                epoch_base: 0,
+                on: false,
+                chaos: String::new(),
+            },
+            Frame::JobLine {
+                job: 1,
+                rank: 0,
+                line: "l".into(),
+            },
+            Frame::JobMetrics {
+                job: 1,
+                rank: 0,
+                payload: vec![],
+            },
+            Frame::JobDone {
+                job: 1,
+                rank: 0,
+                ok: true,
+                error: String::new(),
+            },
+            Frame::Shutdown,
+        ] {
+            assert!(!frame.is_sequenced(), "{frame:?}");
+        }
     }
 
     #[test]

@@ -163,6 +163,128 @@ pub fn install_from_env() -> Result<Option<NetEnv>> {
     Ok(Some(env))
 }
 
+/// One job's transport parameters in a `pmserve` worker — the elastic
+/// analogue of [`NetEnv`], scoped to a single scheduled job instead of a
+/// whole process lifetime.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// The rank this worker plays in the job's world.
+    pub rank: usize,
+    /// The job's world size.
+    pub np: usize,
+    /// Rendezvous address (the daemon's cluster listener).
+    pub rendezvous: String,
+    /// First epoch of the job's private rendezvous block: every world the
+    /// patternlet builds registers at `epoch_base + world_ordinal`, so
+    /// concurrent jobs sharing one [`rendezvous::RendezvousCore`] can
+    /// never collide.
+    pub epoch_base: u64,
+    /// Wire-chaos plan for this job, if the daemon armed one.
+    pub chaos: Option<chaos::NetChaosPlan>,
+    /// The process-global world-epoch value of the first world built under
+    /// this context, captured lazily. The mp runtime numbers worlds with
+    /// one monotone per-process counter; two workers that have run
+    /// different numbers of jobs sit at different counts, so the absolute
+    /// epoch is meaningless across processes. Subtracting the first value
+    /// seen turns it into a per-job ordinal (0, 1, 2, …), identical on
+    /// every worker because all ranks build the same world sequence.
+    epoch_zero: Arc<std::sync::OnceLock<u64>>,
+}
+
+impl JobCtx {
+    /// Transport context for one assigned job.
+    pub fn new(
+        rank: usize,
+        np: usize,
+        rendezvous: String,
+        epoch_base: u64,
+        chaos: Option<chaos::NetChaosPlan>,
+    ) -> Self {
+        JobCtx {
+            rank,
+            np,
+            rendezvous,
+            epoch_base,
+            chaos,
+            epoch_zero: Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+}
+
+std::thread_local! {
+    /// The job currently running on THIS thread, consulted by the
+    /// provider installed by [`install_job_fabric`]. Thread-local rather
+    /// than process-global so one process can host several concurrent
+    /// worker loops (the in-process daemon tests and benches do).
+    static JOB_CTX: std::cell::RefCell<Option<JobCtx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Install the elastic-worker fabric provider: every world built on a
+/// thread that is inside [`with_job_ctx`] runs as TCP rank
+/// `ctx.rank` of the job's world; worlds built on threads with no job
+/// context fall back to the in-process backend. Idempotent across calls
+/// from multiple worker loops; returns `false` if a *different* provider
+/// (the `pmrun` env provider) was already installed.
+pub fn install_job_fabric() -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.load(Ordering::SeqCst) {
+        return true;
+    }
+    let won = patternlets_mp::install_fabric_provider(Box::new(|spec: &WorldSpec| {
+        let ctx = JOB_CTX.with(|slot| slot.borrow().clone());
+        match ctx {
+            Some(ctx) => provide_job(&ctx, spec),
+            None => Ok(None),
+        }
+    }));
+    if won {
+        INSTALLED.store(true, Ordering::SeqCst);
+    }
+    won
+}
+
+/// Run `f` with `ctx` as this thread's current job: worlds `f` builds go
+/// over TCP as the job's rank. The slot is cleared on exit **even if `f`
+/// panics**, so a failed patternlet cannot leak its transport context
+/// into the worker's next job.
+pub fn with_job_ctx<R>(ctx: JobCtx, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            JOB_CTX.with(|slot| *slot.borrow_mut() = None);
+        }
+    }
+    JOB_CTX.with(|slot| *slot.borrow_mut() = Some(ctx));
+    let _reset = Reset;
+    f()
+}
+
+fn provide_job(ctx: &JobCtx, spec: &WorldSpec) -> Result<Option<ProvidedWorld>> {
+    // Capture the job's epoch zero point on the FIRST consult — before
+    // any skip/error branch, so skipped small worlds still advance the
+    // per-job ordinal identically on every worker.
+    let zero = *ctx.epoch_zero.get_or_init(|| spec.epoch);
+    let ordinal = spec.epoch.saturating_sub(zero);
+    if spec.np > ctx.np {
+        return Err(Error::InvalidConfig(format!(
+            "world wants {} ranks but the job was scheduled onto {} workers; \
+             submit with np {} (or more)",
+            spec.np, ctx.np, spec.np
+        )));
+    }
+    if ctx.rank >= spec.np {
+        return Ok(Some(ProvidedWorld::Skip));
+    }
+    let mut spec = spec.clone();
+    spec.epoch = ctx.epoch_base + ordinal;
+    let fabric = TcpFabric::establish_with_chaos(&ctx.rendezvous, ctx.rank, &spec, ctx.chaos)?;
+    Ok(Some(ProvidedWorld::Rank {
+        rank: ctx.rank,
+        fabric: Arc::new(fabric),
+    }))
+}
+
 fn provide(env: &NetEnv, spec: &WorldSpec) -> Result<Option<ProvidedWorld>> {
     if spec.np > env.np {
         return Err(Error::InvalidConfig(format!(

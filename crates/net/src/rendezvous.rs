@@ -1,17 +1,29 @@
 //! The rendezvous: how N worker processes find each other's listeners.
 //!
-//! `pmrun` starts one [`serve`] loop before spawning workers and passes
-//! its address down via `PMRUN_RENDEZVOUS`. Each worker, per world it
-//! builds, binds a fresh listener and [`register`]s `(epoch, rank, np,
-//! addr)`; once `np` distinct ranks have registered for an epoch the
-//! server replies to each with the full address table and forgets the
-//! epoch. Epochs are independent, so ranks that skip a small world (their
-//! rank is outside it) can already be registering for the next one while
-//! slower ranks are still inside the current one.
+//! The membership state machine lives in [`RendezvousCore`], shared by
+//! two front doors:
+//!
+//! * `pmrun` starts the classic one-shot [`serve`] loop before spawning
+//!   workers and passes its address down via `PMRUN_RENDEZVOUS`;
+//! * `pmserve` (the long-lived cluster daemon in `patternlets-serve`)
+//!   folds the same core into its cluster listener, dispatching
+//!   [`Frame::Register`] connections into [`RendezvousCore::admit`] while
+//!   other first-frames (worker hellos) take the pool path.
+//!
+//! Each worker, per world it builds, binds a fresh listener and
+//! [`register`]s `(epoch, rank, np, addr)`; once `np` distinct ranks have
+//! registered for an epoch the core replies to each with the full address
+//! table and forgets the epoch. Epochs are independent, so ranks that
+//! skip a small world (their rank is outside it) can already be
+//! registering for the next one while slower ranks are still inside the
+//! current one — and, under `pmserve`, concurrent *jobs* rendezvous
+//! through the same core because each job's worlds are namespaced into a
+//! disjoint epoch block.
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use patternlets_core::{Error, Result};
@@ -28,9 +40,119 @@ struct EpochGroup {
     entries: HashMap<usize, (String, TcpStream)>,
 }
 
+#[derive(Default)]
+struct CoreState {
+    epochs: HashMap<u64, EpochGroup>,
+    /// Half-open epoch ranges whose jobs are known dead: registrations
+    /// for them are refused on arrival (connection dropped) instead of
+    /// parked forever. Grows by one entry per aborted job attempt.
+    poisoned: Vec<(u64, u64)>,
+}
+
+impl CoreState {
+    fn is_poisoned(&self, epoch: u64) -> bool {
+        self.poisoned
+            .iter()
+            .any(|&(lo, hi)| lo <= epoch && epoch < hi)
+    }
+}
+
+/// The reusable membership core: epoch-keyed registration groups, each
+/// released (every registrant gets the full rank-ordered address table)
+/// the moment its `np`-th distinct rank arrives.
+///
+/// Thread-safe; `pmserve` calls [`admit`](Self::admit) from many
+/// connection-handling threads at once.
+#[derive(Default)]
+pub struct RendezvousCore {
+    state: Mutex<CoreState>,
+}
+
+impl RendezvousCore {
+    /// An empty core with no epochs in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one registration, parking `conn` until its epoch completes.
+    /// When this registration is the epoch's last, every parked
+    /// connection (this one included) is answered with the rank-ordered
+    /// [`Frame::Table`] and the epoch is forgotten.
+    pub fn admit(&self, epoch: u64, rank: usize, np: usize, addr: String, conn: TcpStream) {
+        let complete = {
+            let mut state = self.state.lock().expect("rendezvous lock");
+            if state.is_poisoned(epoch) {
+                // The job this world belongs to already lost a member;
+                // dropping the connection fails the registrant now
+                // instead of parking it until REGISTER_TIMEOUT.
+                drop(state);
+                drop(conn);
+                return;
+            }
+            let group = state.epochs.entry(epoch).or_insert_with(|| EpochGroup {
+                np,
+                entries: HashMap::new(),
+            });
+            group.entries.insert(rank, (addr, conn));
+            if group.entries.len() == group.np {
+                state.epochs.remove(&epoch)
+            } else {
+                None
+            }
+        };
+        if let Some(group) = complete {
+            // Replies happen outside the lock: a slow registrant socket
+            // must not stall other epochs' admissions.
+            let addrs: Vec<String> = (0..group.np).map(|r| group.entries[&r].0.clone()).collect();
+            let table = encode_frame(&Frame::Table { addrs });
+            for (_, (_, mut conn)) in group.entries {
+                let _ = conn.write_all(&table);
+            }
+        }
+        // An incomplete epoch keeps waiting; abandoned epochs (a sibling
+        // died before registering) are bounded by the registrants' own
+        // REGISTER_TIMEOUT — their sockets error out and the entries are
+        // overwritten or leak one map slot per lost epoch, which the
+        // one-shot server never notices and the daemon's epoch blocks
+        // make unreachable for future jobs.
+    }
+
+    /// Abort every pending epoch in `[lo, hi)` and poison the range:
+    /// parked registrants have their connections dropped (their
+    /// `register` fails immediately, reading as a died-sibling error) and
+    /// later registrations for the range are refused on arrival. The
+    /// daemon calls this with a job attempt's epoch block when a member
+    /// worker dies, so surviving ranks fail fast instead of waiting out
+    /// [`REGISTER_TIMEOUT`] on a rendezvous that can never complete.
+    pub fn abort_block(&self, lo: u64, hi: u64) {
+        let dropped: Vec<EpochGroup> = {
+            let mut state = self.state.lock().expect("rendezvous lock");
+            state.poisoned.push((lo, hi));
+            let doomed: Vec<u64> = state
+                .epochs
+                .keys()
+                .copied()
+                .filter(|&e| lo <= e && e < hi)
+                .collect();
+            doomed
+                .into_iter()
+                .filter_map(|e| state.epochs.remove(&e))
+                .collect()
+        };
+        // Connections close on drop, outside the lock.
+        drop(dropped);
+    }
+
+    /// Number of epochs with at least one parked registrant (diagnostic).
+    pub fn pending_epochs(&self) -> usize {
+        self.state.lock().expect("rendezvous lock").epochs.len()
+    }
+}
+
 /// Bind a rendezvous server on loopback and serve registrations on a
 /// detached daemon thread for the life of the process. Returns the bound
-/// address to hand to workers.
+/// address to hand to workers. (`pmrun`'s front door; `pmserve` embeds
+/// [`RendezvousCore`] in its own listener instead.)
 pub fn serve() -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
@@ -41,7 +163,7 @@ pub fn serve() -> std::io::Result<SocketAddr> {
 }
 
 fn serve_loop(listener: TcpListener) {
-    let mut epochs: HashMap<u64, EpochGroup> = HashMap::new();
+    let core = RendezvousCore::new();
     for conn in listener.incoming() {
         let Ok(mut conn) = conn else { continue };
         // A worker registers immediately after connecting, so a short
@@ -57,21 +179,7 @@ fn serve_loop(listener: TcpListener) {
         else {
             continue;
         };
-        let group = epochs.entry(epoch).or_insert_with(|| EpochGroup {
-            np: np as usize,
-            entries: HashMap::new(),
-        });
-        group.entries.insert(rank as usize, (addr, conn));
-        if group.entries.len() == group.np {
-            let group = epochs.remove(&epoch).expect("just inserted");
-            let addrs: Vec<String> = (0..group.np).map(|r| group.entries[&r].0.clone()).collect();
-            let table = encode_frame(&Frame::Table {
-                addrs: addrs.clone(),
-            });
-            for (_, (_, mut conn)) in group.entries {
-                let _ = conn.write_all(&table);
-            }
-        }
+        core.admit(epoch, rank as usize, np as usize, addr, conn);
     }
 }
 
@@ -151,6 +259,93 @@ mod tests {
             .collect();
         for h in handles {
             assert_eq!(h.join().unwrap().len(), 2);
+        }
+    }
+
+    /// The shared core, driven directly (the way `pmserve` drives it):
+    /// admissions from many threads, interleaved across epochs, each
+    /// epoch released exactly when its last rank lands.
+    #[test]
+    fn core_releases_epochs_independently() {
+        use std::sync::Arc;
+        let core = Arc::new(RendezvousCore::new());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Feed the core raw sockets: each "registrant" is a connected
+        // pair; the accept side is what admit() parks and answers.
+        let mut clients = Vec::new();
+        for (epoch, rank, np) in [(5u64, 0usize, 2usize), (6, 0, 1), (5, 1, 2)] {
+            let client = TcpStream::connect(addr).unwrap();
+            client
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            core.admit(
+                epoch,
+                rank,
+                np,
+                format!("127.0.0.1:{}", 8000 + rank),
+                server_side,
+            );
+            clients.push((epoch, client));
+        }
+        for (epoch, mut client) in clients {
+            let frame = read_frame(&mut client).unwrap().unwrap();
+            let Frame::Table { addrs } = frame else {
+                panic!("expected a table, got {frame:?}")
+            };
+            match epoch {
+                5 => assert_eq!(addrs.len(), 2),
+                6 => assert_eq!(addrs, vec!["127.0.0.1:8000"]),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(core.pending_epochs(), 0);
+    }
+
+    /// Aborting a block unsticks parked registrants immediately (their
+    /// sockets close) and refuses later arrivals for the same range —
+    /// both ends of the race between a worker death and its siblings'
+    /// registrations.
+    #[test]
+    fn aborted_blocks_fail_fast_before_and_after() {
+        use std::sync::Arc;
+        let core = Arc::new(RendezvousCore::new());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let park = |epoch: u64| {
+            let client = TcpStream::connect(addr).unwrap();
+            client
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            core.admit(epoch, 0, 2, "127.0.0.1:9100".into(), server_side);
+            client
+        };
+        // Parked before the abort: epoch 100 is inside the block, 999 is
+        // outside and must survive.
+        let mut doomed = park(100);
+        let survivor = park(999);
+        core.abort_block(64, 128);
+        let reply = read_frame(&mut doomed).unwrap();
+        assert!(reply.is_none(), "doomed registrant should see EOF");
+        // Arriving after the abort: refused on the spot.
+        let mut late = park(101);
+        assert!(read_frame(&mut late).unwrap().is_none());
+        // The untouched epoch still completes normally.
+        let mut peer = {
+            let client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            core.admit(999, 1, 2, "127.0.0.1:9101".into(), server_side);
+            client
+        };
+        drop(peer.set_read_timeout(Some(Duration::from_secs(5))));
+        let mut survivor = survivor;
+        for conn in [&mut survivor, &mut peer] {
+            match read_frame(conn).unwrap() {
+                Some(Frame::Table { addrs }) => assert_eq!(addrs.len(), 2),
+                other => panic!("expected a table, got {other:?}"),
+            }
         }
     }
 }

@@ -1,0 +1,202 @@
+//! `pmserve` — the patternlets cluster daemon.
+//!
+//! ```text
+//! pmserve [--workers N] [--cluster-port P] [--http-port P]
+//!         [--net-chaos SPEC] [--retries N] [--worker-cmd PATH] [--quiet]
+//! ```
+//!
+//! Binds the cluster and HTTP gateway ports (ephemeral by default,
+//! printed on startup), spawns `--workers` local `patternlets worker`
+//! processes, respawns any that die, and serves jobs until SIGINT /
+//! SIGTERM — which drains in-flight jobs, prints a final metrics
+//! summary, and exits 0. A second signal exits immediately.
+//!
+//! External workers may also join (`patternlets worker <cluster-addr>`
+//! from anywhere that can reach the port): the pool is membership, not
+//! configuration.
+
+use std::io::Write;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use patternlets_core::signals;
+use patternlets_serve::daemon::{self, DaemonConfig};
+
+struct Options {
+    workers: usize,
+    cluster_port: u16,
+    http_port: u16,
+    chaos: String,
+    retries: u32,
+    worker_cmd: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pmserve [--workers N] [--cluster-port P] [--http-port P]\n\
+         \x20              [--net-chaos SPEC] [--retries N] [--worker-cmd PATH] [--quiet]\n\
+         \n\
+         Starts the patternlets cluster daemon: an elastic worker pool plus an\n\
+         HTTP job gateway. Ports default to ephemeral (0) and are printed on\n\
+         startup. SIGINT/SIGTERM drains in-flight jobs and exits 0."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        workers: 4,
+        cluster_port: 0,
+        http_port: 0,
+        chaos: String::new(),
+        retries: 0,
+        worker_cmd: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("pmserve: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--cluster-port" => {
+                opts.cluster_port = value("--cluster-port").parse().unwrap_or_else(|_| usage())
+            }
+            "--http-port" => {
+                opts.http_port = value("--http-port").parse().unwrap_or_else(|_| usage())
+            }
+            "--net-chaos" => opts.chaos = value("--net-chaos"),
+            "--retries" => opts.retries = value("--retries").parse().unwrap_or_else(|_| usage()),
+            "--worker-cmd" => opts.worker_cmd = Some(value("--worker-cmd")),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pmserve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// The `patternlets` CLI next to our own executable — the same layout
+/// cargo gives every workspace build.
+fn default_worker_cmd() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            let sibling = exe.with_file_name("patternlets");
+            sibling.exists().then(|| sibling.display().to_string())
+        })
+        .unwrap_or_else(|| "patternlets".to_string())
+}
+
+fn spawn_worker(cmd: &str, cluster: &str, quiet: bool) -> Option<Child> {
+    match Command::new(cmd)
+        .arg("worker")
+        .arg(cluster)
+        .stdin(Stdio::null())
+        .spawn()
+    {
+        Ok(child) => {
+            if !quiet {
+                println!("pmserve: spawned worker pid {}", child.id());
+            }
+            Some(child)
+        }
+        Err(e) => {
+            eprintln!("pmserve: cannot spawn worker ({cmd}): {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    signals::install_termination_handler();
+    let config = DaemonConfig {
+        cluster_addr: format!("127.0.0.1:{}", opts.cluster_port),
+        http_addr: format!("127.0.0.1:{}", opts.http_port),
+        quiet: opts.quiet,
+        default_chaos: opts.chaos.clone(),
+        default_retries: opts.retries,
+    };
+    let daemon = match daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pmserve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cluster = daemon.cluster_addr.to_string();
+    println!("pmserve: cluster on {cluster}");
+    println!("pmserve: gateway on http://{}", daemon.http_addr);
+    std::io::stdout().flush().ok();
+
+    let worker_cmd = opts.worker_cmd.clone().unwrap_or_else(default_worker_cmd);
+    let mut children: Vec<Child> = Vec::new();
+    for _ in 0..opts.workers {
+        children.extend(spawn_worker(&worker_cmd, &cluster, opts.quiet));
+    }
+
+    // Supervision loop: reap + respawn dead local workers, watch for the
+    // drain signal, and wait for the scheduler to finish.
+    let mut drain_sent = false;
+    loop {
+        if signals::termination_count() > 1 {
+            eprintln!("pmserve: second signal; exiting immediately");
+            for child in &mut children {
+                let _ = child.kill();
+            }
+            std::process::exit(130);
+        }
+        if signals::termination_requested() && !drain_sent {
+            daemon.drain();
+            drain_sent = true;
+        }
+        // Reap exited workers; respawn (only while not draining — a
+        // shrinking pool is the desired end state afterwards).
+        let mut alive = Vec::with_capacity(children.len());
+        for mut child in children {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !opts.quiet {
+                        println!("pmserve: worker pid {} exited ({status})", child.id());
+                    }
+                    if !drain_sent {
+                        alive.extend(spawn_worker(&worker_cmd, &cluster, opts.quiet));
+                    }
+                }
+                _ => alive.push(child),
+            }
+        }
+        children = alive;
+        if daemon.finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    daemon.wait();
+
+    // The scheduler broadcast Shutdown to every worker on its way out;
+    // give local ones a moment to exit before sweeping up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    for child in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                _ if std::time::Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Gateway client: what `patternlets submit` (and the benches) speak.
+//!
+//! Thin wrappers over the HTTP substrate returning `String` errors —
+//! these surface directly on a CLI, so they are written for humans, not
+//! for matching.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::http_exchange;
+use crate::json::{escape, Json};
+
+/// Environment variable the CLI consults for the gateway address when
+/// `--addr` is not given.
+pub const ENV_GATEWAY: &str = "PMSERVE_ADDR";
+
+/// What to submit.
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Patternlet catalog name.
+    pub patternlet: String,
+    /// World size.
+    pub np: usize,
+    /// Directive toggle.
+    pub on: bool,
+    /// Wire-chaos value (empty = daemon default).
+    pub chaos: String,
+    /// Worker-death retry budget (`None` = daemon default).
+    pub retries: Option<u32>,
+}
+
+impl SubmitSpec {
+    /// The `POST /jobs` body.
+    pub fn to_json(&self) -> String {
+        let mut doc = format!(
+            "{{\"patternlet\": \"{}\", \"np\": {}, \"on\": {}",
+            escape(&self.patternlet),
+            self.np,
+            self.on
+        );
+        if !self.chaos.is_empty() {
+            doc.push_str(&format!(", \"chaos\": \"{}\"", escape(&self.chaos)));
+        }
+        if let Some(r) = self.retries {
+            doc.push_str(&format!(", \"retries\": {r}"));
+        }
+        doc.push('}');
+        doc
+    }
+}
+
+/// A job's status document, decoded.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// `queued` / `running` / `completed` / `failed`.
+    pub status: String,
+    /// Failure reason, when failed.
+    pub error: Option<String>,
+    /// Output lines captured so far.
+    pub lines: u64,
+}
+
+impl JobStatus {
+    /// Terminal?
+    pub fn is_terminal(&self) -> bool {
+        self.status == "completed" || self.status == "failed"
+    }
+}
+
+fn gateway_error(status: u16, body: &str) -> String {
+    let detail = Json::parse(body)
+        .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| body.trim().to_string());
+    format!("gateway answered {status}: {detail}")
+}
+
+/// Submit a job; returns its id.
+pub fn submit(addr: &str, spec: &SubmitSpec) -> Result<u64, String> {
+    let (status, body) = http_exchange(addr, "POST", "/jobs", Some(&spec.to_json()))
+        .map_err(|e| format!("cannot reach pmserve at {addr}: {e}"))?;
+    if status != 202 {
+        return Err(gateway_error(status, &body));
+    }
+    Json::parse(&body)
+        .and_then(|j| j.get("job").and_then(Json::as_u64))
+        .ok_or_else(|| format!("malformed submit reply: {body}"))
+}
+
+/// One status poll.
+pub fn status(addr: &str, job: u64) -> Result<JobStatus, String> {
+    let (status, body) = http_exchange(addr, "GET", &format!("/jobs/{job}"), None)
+        .map_err(|e| format!("cannot reach pmserve at {addr}: {e}"))?;
+    if status != 200 {
+        return Err(gateway_error(status, &body));
+    }
+    let doc = Json::parse(&body).ok_or_else(|| format!("malformed status reply: {body}"))?;
+    Ok(JobStatus {
+        status: doc
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+        lines: doc.get("lines").and_then(Json::as_u64).unwrap_or(0),
+    })
+}
+
+/// Poll until the job reaches a terminal phase.
+pub fn wait(addr: &str, job: u64, poll: Duration) -> Result<JobStatus, String> {
+    loop {
+        let s = status(addr, job)?;
+        if s.is_terminal() {
+            return Ok(s);
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Stream `GET /jobs/:id/output` into `out`, chunk by chunk, live until
+/// the job ends. (This is the long-poll path; it blocks for the job's
+/// duration.)
+pub fn stream_output(addr: &str, job: u64, out: &mut impl Write) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot reach pmserve at {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET /jobs/{job}/output HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("request write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("response read: {e}"))?;
+    let code: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("response read: {e}"))?;
+        if n == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    if code != 200 {
+        let mut body = String::new();
+        let _ = reader.read_to_string(&mut body);
+        return Err(gateway_error(code, &body));
+    }
+    loop {
+        let mut size_line = String::new();
+        let n = reader
+            .read_line(&mut size_line)
+            .map_err(|e| format!("stream read: {e}"))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            return Ok(());
+        }
+        let mut chunk = vec![0u8; size];
+        reader
+            .read_exact(&mut chunk)
+            .map_err(|e| format!("stream read: {e}"))?;
+        out.write_all(&chunk)
+            .map_err(|e| format!("output write: {e}"))?;
+        out.flush().ok();
+        let mut crlf = [0u8; 2];
+        reader
+            .read_exact(&mut crlf)
+            .map_err(|e| format!("stream read: {e}"))?;
+    }
+}
+
+/// Ask the daemon to drain and exit.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let (status, body) = http_exchange(addr, "POST", "/shutdown", None)
+        .map_err(|e| format!("cannot reach pmserve at {addr}: {e}"))?;
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(gateway_error(status, &body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_spec_renders_minimal_and_full_bodies() {
+        let minimal = SubmitSpec {
+            patternlet: "broadcast".into(),
+            np: 4,
+            on: false,
+            chaos: String::new(),
+            retries: None,
+        };
+        let j = Json::parse(&minimal.to_json()).unwrap();
+        assert_eq!(j.get("np").unwrap().as_u64(), Some(4));
+        assert!(j.get("chaos").is_none());
+        assert!(j.get("retries").is_none());
+
+        let full = SubmitSpec {
+            patternlet: "reduction".into(),
+            np: 2,
+            on: true,
+            chaos: "drop=0.01,seed=7".into(),
+            retries: Some(2),
+        };
+        let j = Json::parse(&full.to_json()).unwrap();
+        assert_eq!(j.get("on").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("chaos").unwrap().as_str(), Some("drop=0.01,seed=7"));
+        assert_eq!(j.get("retries").unwrap().as_u64(), Some(2));
+    }
+}

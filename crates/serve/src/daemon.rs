@@ -1,0 +1,504 @@
+//! The `pmserve` daemon: two listeners and a scheduler.
+//!
+//! ```text
+//!                    ┌──────────────────────────────────────────┐
+//!   curl / submit ──▶│ HTTP gateway (thread per connection)     │
+//!                    │   POST /jobs   GET /jobs/:id[/output]    │
+//!                    │   GET /metrics GET /workers POST /shutdown│
+//!                    └───────┬──────────────────────────────────┘
+//!                            │ Event::Submitted / Drain
+//!                            ▼
+//!                    ┌──────────────────┐   JobAssign    ┌─────────┐
+//!                    │ scheduler thread │───────────────▶│ workers │
+//!                    └──────────────────┘◀───────────────└─────────┘
+//!                            ▲   RankDone / WorkerDead / lines
+//!                            │
+//!                    ┌───────┴──────────────────────────────────┐
+//!   workers ────────▶│ cluster listener (first-frame dispatch): │
+//!   rank worlds ────▶│   WorkerHello → pool + reader thread     │
+//!                    │   Register    → RendezvousCore::admit    │
+//!                    └──────────────────────────────────────────┘
+//! ```
+//!
+//! The cluster port doubles as the job worlds' rendezvous server: the
+//! same [`RendezvousCore`] that backs `pmrun` is embedded here, and
+//! because each job attempt registers inside its own epoch block,
+//! concurrent jobs share the core without interference.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use patternlets_metrics::{render_prometheus, FleetMetrics};
+use patternlets_net::frame::{read_frame, Frame};
+use patternlets_net::rendezvous::RendezvousCore;
+
+use crate::http::{read_request, respond, respond_json, ChunkedWriter, Request};
+use crate::job::{JobPhase, JobSpec, JobTable};
+use crate::json::{escape, Json};
+use crate::pool::WorkerPool;
+use crate::scheduler::{run_scheduler, Event, GatewayStats, Scheduler};
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Cluster (worker + rendezvous) bind address. Port 0 = ephemeral.
+    pub cluster_addr: String,
+    /// HTTP gateway bind address. Port 0 = ephemeral.
+    pub http_addr: String,
+    /// Suppress the scheduler's narration.
+    pub quiet: bool,
+    /// Wire-chaos spec applied to jobs that don't carry their own
+    /// (`PMRUN_NET_CHAOS` value form; empty = off).
+    pub default_chaos: String,
+    /// Retry budget for jobs that don't specify one.
+    pub default_retries: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            cluster_addr: "127.0.0.1:0".to_string(),
+            http_addr: "127.0.0.1:0".to_string(),
+            quiet: false,
+            default_chaos: String::new(),
+            default_retries: 0,
+        }
+    }
+}
+
+/// A started daemon. Dropping the handle does **not** stop the daemon;
+/// call [`drain`](Daemon::drain) then [`wait`](Daemon::wait).
+pub struct Daemon {
+    /// Where workers connect (and job worlds rendezvous).
+    pub cluster_addr: SocketAddr,
+    /// Where the HTTP gateway listens.
+    pub http_addr: SocketAddr,
+    /// The job registry (exposed for in-process tests).
+    pub table: Arc<JobTable>,
+    /// The worker census.
+    pub pool: Arc<WorkerPool>,
+    /// Fleet-wide metrics.
+    pub fleet: Arc<FleetMetrics>,
+    /// Gateway counters.
+    pub stats: Arc<GatewayStats>,
+    draining: Arc<AtomicBool>,
+    events: Sender<Event>,
+    scheduler: std::thread::JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Begin graceful shutdown: stop admitting, fail the queue, drain
+    /// running jobs. Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let _ = self.events.send(Event::Drain);
+    }
+
+    /// Has the scheduler finished draining?
+    pub fn finished(&self) -> bool {
+        self.scheduler.is_finished()
+    }
+
+    /// Block until the scheduler exits (after [`drain`](Self::drain)).
+    pub fn wait(self) {
+        let _ = self.scheduler.join();
+    }
+}
+
+/// Bind both listeners, start the scheduler, and return the handle.
+pub fn start(config: DaemonConfig) -> std::io::Result<Daemon> {
+    let cluster = TcpListener::bind(&config.cluster_addr)?;
+    let http = TcpListener::bind(&config.http_addr)?;
+    let cluster_addr = cluster.local_addr()?;
+    let http_addr = http.local_addr()?;
+
+    let table = Arc::new(JobTable::new());
+    let pool = Arc::new(WorkerPool::new());
+    let fleet = Arc::new(FleetMetrics::new());
+    let stats = Arc::new(GatewayStats::default());
+    let core = Arc::new(RendezvousCore::new());
+    let draining = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+
+    let scheduler = {
+        let sched = Scheduler::new(
+            table.clone(),
+            pool.clone(),
+            fleet.clone(),
+            stats.clone(),
+            core.clone(),
+            config.quiet,
+        );
+        std::thread::Builder::new()
+            .name("pmserve-scheduler".into())
+            .spawn(move || run_scheduler(sched, rx))?
+    };
+
+    {
+        let (table, pool, fleet, core, tx) = (
+            table.clone(),
+            pool.clone(),
+            fleet.clone(),
+            core.clone(),
+            tx.clone(),
+        );
+        std::thread::Builder::new()
+            .name("pmserve-cluster".into())
+            .spawn(move || {
+                for conn in cluster.incoming() {
+                    let Ok(conn) = conn else { continue };
+                    let (table, pool, fleet, core, tx) = (
+                        table.clone(),
+                        pool.clone(),
+                        fleet.clone(),
+                        core.clone(),
+                        tx.clone(),
+                    );
+                    let _ = std::thread::Builder::new()
+                        .name("pmserve-conn".into())
+                        .spawn(move || cluster_conn(conn, &table, &pool, &fleet, &core, &tx));
+                }
+            })?;
+    }
+
+    {
+        let shared = HttpShared {
+            table: table.clone(),
+            pool: pool.clone(),
+            fleet: fleet.clone(),
+            stats: stats.clone(),
+            draining: draining.clone(),
+            events: tx.clone(),
+            default_chaos: config.default_chaos.clone(),
+            default_retries: config.default_retries,
+        };
+        std::thread::Builder::new()
+            .name("pmserve-http".into())
+            .spawn(move || {
+                for conn in http.incoming() {
+                    let Ok(conn) = conn else { continue };
+                    let shared = shared.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("pmserve-http-conn".into())
+                        .spawn(move || handle_http(conn, &shared));
+                }
+            })?;
+    }
+
+    Ok(Daemon {
+        cluster_addr,
+        http_addr,
+        table,
+        pool,
+        fleet,
+        stats,
+        draining,
+        events: tx,
+        scheduler,
+    })
+}
+
+/// First-frame dispatch on a cluster connection, then (for workers) the
+/// connection's read loop for the worker's whole life.
+fn cluster_conn(
+    mut conn: TcpStream,
+    table: &JobTable,
+    pool: &WorkerPool,
+    fleet: &FleetMetrics,
+    core: &RendezvousCore,
+    tx: &Sender<Event>,
+) {
+    // Whoever connects speaks first, promptly; a silent peer is dropped.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    match read_frame(&mut conn) {
+        Ok(Some(Frame::Register {
+            epoch,
+            rank,
+            np,
+            addr,
+        })) => {
+            // A job world registering: the connection parks inside the
+            // core until its epoch completes.
+            core.admit(epoch, rank as usize, np as usize, addr, conn);
+        }
+        Ok(Some(Frame::WorkerHello { pid })) => {
+            // A worker joining the pool: this thread becomes its reader.
+            let _ = conn.set_read_timeout(None);
+            conn.set_nodelay(true).ok();
+            let Ok(write_half) = conn.try_clone() else {
+                return;
+            };
+            let id = pool.join(pid, write_half);
+            let _ = tx.send(Event::WorkerJoined(id));
+            loop {
+                match read_frame(&mut conn) {
+                    Ok(Some(Frame::JobLine { job, rank: _, line })) => {
+                        if let Some(job) = table.get(job) {
+                            job.output.push(line);
+                        }
+                    }
+                    Ok(Some(Frame::JobMetrics {
+                        job,
+                        rank: _,
+                        payload,
+                    })) => {
+                        if let Ok(snapshot) = patternlets_metrics::wire::decode(&payload) {
+                            fleet.record(job, &snapshot);
+                        }
+                    }
+                    Ok(Some(Frame::JobDone {
+                        job,
+                        rank,
+                        ok,
+                        error,
+                    })) => {
+                        let _ = tx.send(Event::RankDone {
+                            worker: id,
+                            job,
+                            rank,
+                            ok,
+                            error,
+                        });
+                    }
+                    Ok(Some(_)) => {}
+                    // EOF or a mangled stream: the worker is gone.
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(Event::WorkerDead(id));
+                        return;
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[derive(Clone)]
+struct HttpShared {
+    table: Arc<JobTable>,
+    pool: Arc<WorkerPool>,
+    fleet: Arc<FleetMetrics>,
+    stats: Arc<GatewayStats>,
+    draining: Arc<AtomicBool>,
+    events: Sender<Event>,
+    default_chaos: String,
+    default_retries: u32,
+}
+
+fn err_doc(msg: &str) -> String {
+    format!("{{\"error\": \"{}\"}}", escape(msg))
+}
+
+fn handle_http(mut conn: TcpStream, shared: &HttpShared) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(Some(req)) = read_request(&mut conn) else {
+        return;
+    };
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(&mut conn, &req, shared),
+        ("GET", ["jobs"]) => list_jobs(&mut conn, shared),
+        ("GET", ["jobs", id]) => job_status(&mut conn, id, shared),
+        ("GET", ["jobs", id, "output"]) => job_output(&mut conn, id, shared),
+        ("GET", ["metrics"]) => metrics(&mut conn, shared),
+        ("GET", ["workers"]) => workers(&mut conn, shared),
+        ("POST", ["shutdown"]) => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let _ = shared.events.send(Event::Drain);
+            respond_json(&mut conn, 200, "{\"status\": \"draining\"}")
+        }
+        ("GET", []) => respond(
+            &mut conn,
+            200,
+            "text/plain",
+            b"pmserve: POST /jobs, GET /jobs, GET /jobs/:id, GET /jobs/:id/output, \
+              GET /metrics, GET /workers, POST /shutdown\n",
+        ),
+        (method, _) if method != "GET" && method != "POST" => {
+            respond_json(&mut conn, 405, &err_doc("use GET or POST"))
+        }
+        _ => respond_json(&mut conn, 404, &err_doc("no such endpoint")),
+    };
+    let _ = result;
+}
+
+fn submit(conn: &mut TcpStream, req: &Request, shared: &HttpShared) -> std::io::Result<()> {
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return respond_json(conn, 503, &err_doc("daemon is draining"));
+    }
+    let Some(body) = Json::parse(req.body_str()) else {
+        return respond_json(conn, 400, &err_doc("body must be a JSON object"));
+    };
+    let Some(patternlet) = body.get("patternlet").and_then(Json::as_str) else {
+        return respond_json(conn, 400, &err_doc("missing \"patternlet\" (string)"));
+    };
+    let Some(np) = body.get("np").and_then(Json::as_u64).filter(|&n| n >= 1) else {
+        return respond_json(conn, 400, &err_doc("missing \"np\" (integer >= 1)"));
+    };
+    let on = body.get("on").and_then(Json::as_bool).unwrap_or(false);
+    let chaos = body
+        .get("chaos")
+        .and_then(Json::as_str)
+        .unwrap_or(&shared.default_chaos)
+        .to_string();
+    let retries = body
+        .get("retries")
+        .and_then(Json::as_u64)
+        .map(|r| r.min(8) as u32)
+        .unwrap_or(shared.default_retries);
+    let live = shared.pool.live();
+    if np as usize > live {
+        // Admission control: a job that cannot run on today's membership
+        // is refused synchronously rather than parked forever.
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return respond_json(
+            conn,
+            503,
+            &err_doc(&format!("job needs {np} workers, only {live} alive")),
+        );
+    }
+    let job = shared.table.create(JobSpec {
+        patternlet: patternlet.to_string(),
+        np: np as usize,
+        on,
+        chaos,
+        retries,
+    });
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    let _ = shared.events.send(Event::Submitted(job.id));
+    respond_json(
+        conn,
+        202,
+        &format!("{{\"job\": {}, \"status\": \"queued\"}}", job.id),
+    )
+}
+
+fn job_doc(job: &crate::job::Job, shared: &HttpShared) -> String {
+    let phase = job.phase();
+    let error = match &phase {
+        JobPhase::Failed(e) => format!(", \"error\": \"{}\"", escape(e)),
+        _ => String::new(),
+    };
+    let metrics = shared
+        .fleet
+        .job(job.id)
+        .map(|snap| {
+            format!(
+                ", \"msgs_sent\": {}, \"msgs_recv\": {}",
+                snap.msgs_sent(),
+                snap.total(patternlets_metrics::CounterId::MsgsRecv)
+            )
+        })
+        .unwrap_or_default();
+    format!(
+        "{{\"job\": {}, \"patternlet\": \"{}\", \"np\": {}, \"status\": \"{}\", \"lines\": {}{error}{metrics}}}",
+        job.id,
+        escape(&job.spec.patternlet),
+        job.spec.np,
+        phase.name(),
+        job.output.len(),
+    )
+}
+
+fn job_status(conn: &mut TcpStream, id: &str, shared: &HttpShared) -> std::io::Result<()> {
+    let job = id.parse::<u64>().ok().and_then(|id| shared.table.get(id));
+    match job {
+        Some(job) => respond_json(conn, 200, &job_doc(&job, shared)),
+        None => respond_json(conn, 404, &err_doc("no such job")),
+    }
+}
+
+fn list_jobs(conn: &mut TcpStream, shared: &HttpShared) -> std::io::Result<()> {
+    let docs: Vec<String> = shared
+        .table
+        .all()
+        .iter()
+        .map(|j| job_doc(j, shared))
+        .collect();
+    respond_json(conn, 200, &format!("{{\"jobs\": [{}]}}", docs.join(", ")))
+}
+
+/// Stream a job's output as chunked text, one chunk per burst of lines,
+/// live until the job reaches a terminal phase.
+fn job_output(conn: &mut TcpStream, id: &str, shared: &HttpShared) -> std::io::Result<()> {
+    let Some(job) = id.parse::<u64>().ok().and_then(|id| shared.table.get(id)) else {
+        return respond_json(conn, 404, &err_doc("no such job"));
+    };
+    // Streaming can outlive the request-read timeout; writes govern now.
+    let _ = conn.set_read_timeout(None);
+    let mut writer = ChunkedWriter::start(conn, 200, "text/plain; charset=utf-8")?;
+    let mut cursor = (0, 0);
+    while let Some((lines, next)) = job.output.wait_past(cursor) {
+        cursor = next;
+        let mut burst = String::new();
+        for line in &lines {
+            burst.push_str(line);
+            burst.push('\n');
+        }
+        writer.chunk(burst.as_bytes())?;
+    }
+    writer.finish()
+}
+
+fn metrics(conn: &mut TcpStream, shared: &HttpShared) -> std::io::Result<()> {
+    let fleet = shared.fleet.fleet();
+    let mut page = render_prometheus(&fleet);
+    let (mut queued, mut running) = (0usize, 0usize);
+    for job in shared.table.all() {
+        match job.phase() {
+            JobPhase::Queued => queued += 1,
+            JobPhase::Running => running += 1,
+            _ => {}
+        }
+    }
+    let s = &shared.stats;
+    page.push_str(&format!(
+        "# TYPE pmserve_workers_live gauge\npmserve_workers_live {}\n\
+         # TYPE pmserve_jobs_queued gauge\npmserve_jobs_queued {queued}\n\
+         # TYPE pmserve_jobs_running gauge\npmserve_jobs_running {running}\n\
+         # TYPE pmserve_jobs_submitted_total counter\npmserve_jobs_submitted_total {}\n\
+         # TYPE pmserve_jobs_completed_total counter\npmserve_jobs_completed_total {}\n\
+         # TYPE pmserve_jobs_failed_total counter\npmserve_jobs_failed_total {}\n\
+         # TYPE pmserve_jobs_retried_total counter\npmserve_jobs_retried_total {}\n\
+         # TYPE pmserve_jobs_rejected_total counter\npmserve_jobs_rejected_total {}\n",
+        shared.pool.live(),
+        s.submitted.load(Ordering::Relaxed),
+        s.completed.load(Ordering::Relaxed),
+        s.failed.load(Ordering::Relaxed),
+        s.retried.load(Ordering::Relaxed),
+        s.rejected.load(Ordering::Relaxed),
+    ));
+    respond(conn, 200, "text/plain; version=0.0.4", page.as_bytes())
+}
+
+fn workers(conn: &mut TcpStream, shared: &HttpShared) -> std::io::Result<()> {
+    let rows: Vec<String> = shared
+        .pool
+        .view()
+        .iter()
+        .map(|w| match w.busy_on {
+            Some(job) => format!(
+                "{{\"id\": {}, \"pid\": {}, \"state\": \"busy\", \"job\": {job}}}",
+                w.id, w.pid
+            ),
+            None => format!(
+                "{{\"id\": {}, \"pid\": {}, \"state\": \"idle\"}}",
+                w.id, w.pid
+            ),
+        })
+        .collect();
+    respond_json(
+        conn,
+        200,
+        &format!(
+            "{{\"live\": {}, \"workers\": [{}]}}",
+            shared.pool.live(),
+            rows.join(", ")
+        ),
+    )
+}

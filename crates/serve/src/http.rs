@@ -1,0 +1,280 @@
+//! A hand-rolled HTTP/1.1 server/client substrate for the job gateway.
+//!
+//! `pmserve` speaks just enough HTTP for `curl` and the `patternlets
+//! submit` client: request-line + headers + `Content-Length` bodies on
+//! the way in; fixed-length or `chunked` responses on the way out. Every
+//! exchange is one connection (`Connection: close`), which keeps the
+//! server loop a plain thread-per-connection accept loop with no keep-
+//! alive bookkeeping — the right trade for a teaching daemon whose
+//! request rate is human-scale.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on header block + body size: the gateway's documents are tiny, so
+/// anything larger is a confused (or hostile) client.
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The path, query string included.
+    pub path: String,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 (empty string when absent or invalid).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Read one request from a connection. `Ok(None)` means the client went
+/// away or sent something unparseable — the caller just drops the
+/// connection either way.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Ok(None);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete fixed-length response and flush it.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// [`respond`] with `application/json`.
+pub fn respond_json(stream: &mut TcpStream, status: u16, json: &str) -> std::io::Result<()> {
+    respond(stream, status, "application/json", json.as_bytes())
+}
+
+/// A `Transfer-Encoding: chunked` response in progress: the gateway's
+/// output-streaming endpoint sends each captured line as its own chunk,
+/// so a `curl` watching a running job sees lines as the workers print
+/// them.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Send the response head and switch the connection to chunked mode.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            status_text(status),
+            content_type,
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Send one chunk (empty input is skipped: a zero-size chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the stream.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Client side: issue one request and read the full response (fixed-
+/// length or chunked), returning `(status, body)`.
+pub fn http_exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Read a full response from a connected stream: status line, headers,
+/// then a fixed-length, chunked, or read-to-EOF body.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok((status, String::new()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                break;
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap().unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body_str(), "{\"np\": 2}");
+            respond_json(&mut conn, 202, "{\"job\": 1}").unwrap();
+        });
+        let (status, body) = http_exchange(&addr, "POST", "/jobs", Some("{\"np\": 2}")).unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(body, "{\"job\": 1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_stream_reassembles() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap().unwrap();
+            let mut w = ChunkedWriter::start(&mut conn, 200, "text/plain").unwrap();
+            for part in ["one\n", "two\n", "three\n"] {
+                w.chunk(part.as_bytes()).unwrap();
+            }
+            w.finish().unwrap();
+        });
+        let (status, body) = http_exchange(&addr, "GET", "/jobs/1/output", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "one\ntwo\nthree\n");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,331 @@
+//! Job objects and their lifecycle state machine.
+//!
+//! A job moves through exactly one path of:
+//!
+//! ```text
+//! Queued ──▶ Running ──▶ Completed
+//!    │          │
+//!    │          ├──▶ Failed        (a rank errored / a worker died,
+//!    │          │                    no retry budget left)
+//!    │          └──▶ Queued        (worker died, retry budget left:
+//!    │                               fresh attempt, fresh epoch block)
+//!    └──▶ Failed                   (daemon draining / workers gone)
+//! ```
+//!
+//! The transitions are driven solely by the scheduler thread; everything
+//! here is just thread-safe state that the HTTP handlers read (status,
+//! output) while the scheduler writes.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What a client asked for in `POST /jobs`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Catalog name of the patternlet to run.
+    pub patternlet: String,
+    /// World size: how many workers the job occupies.
+    pub np: usize,
+    /// The "directive toggle" flag (`--on` in the CLI runner).
+    pub on: bool,
+    /// Wire-chaos spec in `PMRUN_NET_CHAOS` value form; empty = off.
+    pub chaos: String,
+    /// How many times a worker-death failure may be retried.
+    pub retries: u32,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting for enough idle workers.
+    Queued,
+    /// Assigned; ranks are executing.
+    Running,
+    /// Every rank finished cleanly.
+    Completed,
+    /// Terminal failure, with the reason (which names the dead rank when
+    /// a worker was killed mid-job).
+    Failed(String),
+}
+
+impl JobPhase {
+    /// The wire name used in JSON status documents.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed(_) => "failed",
+        }
+    }
+
+    /// Has the job reached a terminal state?
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobPhase::Completed | JobPhase::Failed(_))
+    }
+}
+
+/// The job's captured output: lines arrive from workers (in stream
+/// order per rank, interleaved across ranks) and readers block for more
+/// until the job closes the buffer.
+#[derive(Default)]
+pub struct OutputBuf {
+    state: Mutex<OutputState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct OutputState {
+    lines: Vec<String>,
+    /// Bumped every time the buffer is cleared for a retry, so streaming
+    /// readers can tell "fewer lines than my cursor" apart from a race.
+    generation: u64,
+    closed: bool,
+}
+
+impl OutputBuf {
+    /// Append one line (no trailing newline).
+    pub fn push(&self, line: String) {
+        let mut s = self.state.lock().expect("output lock");
+        s.lines.push(line);
+        self.cv.notify_all();
+    }
+
+    /// No more lines will ever arrive.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("output lock");
+        s.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Drop accumulated lines for a retry attempt and reopen the buffer.
+    pub fn reset(&self) {
+        let mut s = self.state.lock().expect("output lock");
+        s.lines.clear();
+        s.generation += 1;
+        s.closed = false;
+        self.cv.notify_all();
+    }
+
+    /// Every line so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.state.lock().expect("output lock").lines.clone()
+    }
+
+    /// Number of lines so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("output lock").lines.len()
+    }
+
+    /// True when no line has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streaming read: block until there are lines past `cursor` (or the
+    /// buffer closes), then return them plus the new cursor. `None` means
+    /// the stream is over. A reset (retry) rewinds the cursor to zero so
+    /// the reader restarts from the fresh attempt's output.
+    pub fn wait_past(&self, cursor: (u64, usize)) -> Option<(Vec<String>, (u64, usize))> {
+        let (gen, mut idx) = cursor;
+        let mut s = self.state.lock().expect("output lock");
+        loop {
+            if s.generation != gen || idx > s.lines.len() {
+                idx = 0;
+            }
+            if s.lines.len() > idx {
+                let fresh = s.lines[idx..].to_vec();
+                let next = (s.generation, s.lines.len());
+                return Some((fresh, next));
+            }
+            if s.closed {
+                return None;
+            }
+            // Timed wait so a reader on a job that is reset-while-empty
+            // still observes the generation bump promptly.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, Duration::from_millis(500))
+                .expect("output lock");
+            s = guard;
+        }
+    }
+}
+
+/// One job: spec, phase, output. Shared between the scheduler (writer)
+/// and HTTP handlers (readers) behind an `Arc`.
+pub struct Job {
+    /// Gateway-assigned id (1-based, dense).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    phase: Mutex<JobPhase>,
+    /// Captured output lines.
+    pub output: OutputBuf,
+}
+
+impl Job {
+    /// A freshly submitted job.
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        Job {
+            id,
+            spec,
+            phase: Mutex::new(JobPhase::Queued),
+            output: OutputBuf::default(),
+        }
+    }
+
+    /// Current phase (cloned).
+    pub fn phase(&self) -> JobPhase {
+        self.phase.lock().expect("phase lock").clone()
+    }
+
+    /// Move to a new phase. Closes the output on terminal transitions.
+    pub fn set_phase(&self, phase: JobPhase) {
+        let terminal = phase.is_terminal();
+        *self.phase.lock().expect("phase lock") = phase;
+        if terminal {
+            self.output.close();
+        }
+    }
+}
+
+/// The daemon's job registry: id allocation plus lookup for the HTTP
+/// handlers.
+#[derive(Default)]
+pub struct JobTable {
+    inner: Mutex<TableState>,
+}
+
+#[derive(Default)]
+struct TableState {
+    next_id: u64,
+    jobs: HashMap<u64, std::sync::Arc<Job>>,
+    order: Vec<u64>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new job, allocating its id.
+    pub fn create(&self, spec: JobSpec) -> std::sync::Arc<Job> {
+        let mut t = self.inner.lock().expect("job table lock");
+        t.next_id += 1;
+        let id = t.next_id;
+        let job = std::sync::Arc::new(Job::new(id, spec));
+        t.jobs.insert(id, job.clone());
+        t.order.push(id);
+        job
+    }
+
+    /// Look a job up by id.
+    pub fn get(&self, id: u64) -> Option<std::sync::Arc<Job>> {
+        self.inner
+            .lock()
+            .expect("job table lock")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Every job, in submission order.
+    pub fn all(&self) -> Vec<std::sync::Arc<Job>> {
+        let t = self.inner.lock().expect("job table lock");
+        t.order
+            .iter()
+            .filter_map(|id| t.jobs.get(id).cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn phases_report_terminality() {
+        assert!(!JobPhase::Queued.is_terminal());
+        assert!(!JobPhase::Running.is_terminal());
+        assert!(JobPhase::Completed.is_terminal());
+        assert!(JobPhase::Failed("x".into()).is_terminal());
+        assert_eq!(JobPhase::Failed("x".into()).name(), "failed");
+    }
+
+    #[test]
+    fn output_streams_to_a_blocked_reader() {
+        let buf = Arc::new(OutputBuf::default());
+        let reader = {
+            let buf = buf.clone();
+            std::thread::spawn(move || {
+                let mut cursor = (0, 0);
+                let mut seen = Vec::new();
+                while let Some((lines, next)) = buf.wait_past(cursor) {
+                    seen.extend(lines);
+                    cursor = next;
+                }
+                seen
+            })
+        };
+        buf.push("a".into());
+        buf.push("b".into());
+        std::thread::sleep(Duration::from_millis(20));
+        buf.push("c".into());
+        buf.close();
+        assert_eq!(reader.join().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn reset_rewinds_streaming_readers() {
+        let buf = OutputBuf::default();
+        buf.push("old".into());
+        let (lines, cursor) = buf.wait_past((0, 0)).unwrap();
+        assert_eq!(lines, vec!["old"]);
+        buf.reset();
+        buf.push("new".into());
+        let (lines, _) = buf.wait_past(cursor).unwrap();
+        assert_eq!(lines, vec!["new"], "cursor rewound across the reset");
+    }
+
+    #[test]
+    fn table_allocates_dense_ids_in_order() {
+        let table = JobTable::new();
+        let spec = JobSpec {
+            patternlet: "broadcast".into(),
+            np: 2,
+            on: false,
+            chaos: String::new(),
+            retries: 0,
+        };
+        let a = table.create(spec.clone());
+        let b = table.create(spec);
+        assert_eq!((a.id, b.id), (1, 2));
+        assert_eq!(table.all().len(), 2);
+        assert!(table.get(1).is_some());
+        assert!(table.get(99).is_none());
+    }
+
+    #[test]
+    fn terminal_phase_closes_output() {
+        let job = Job::new(
+            1,
+            JobSpec {
+                patternlet: "x".into(),
+                np: 1,
+                on: false,
+                chaos: String::new(),
+                retries: 0,
+            },
+        );
+        job.output.push("hello".into());
+        job.set_phase(JobPhase::Completed);
+        // A reader starting after completion drains and ends.
+        let (lines, cursor) = job.output.wait_past((0, 0)).unwrap();
+        assert_eq!(lines, vec!["hello"]);
+        assert!(job.output.wait_past(cursor).is_none());
+    }
+}

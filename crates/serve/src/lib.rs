@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # patternlets-serve
+//!
+//! Patternlets-as-a-service: the `pmserve` elastic cluster daemon and
+//! its HTTP job gateway.
+//!
+//! Where `pmrun` is a one-shot launcher — spawn `np` workers, run one
+//! patternlet, exit — `pmserve` is the long-lived form of the same
+//! machinery. A persistent daemon owns:
+//!
+//! * the **membership core** ([`patternlets_net::rendezvous::RendezvousCore`]),
+//!   shared with `pmrun`, embedded in the daemon's cluster listener so
+//!   every job's worlds rendezvous through the daemon itself;
+//! * an **elastic worker pool** ([`pool::WorkerPool`]): worker processes
+//!   join and leave between jobs; membership is "whoever is connected";
+//! * a **FIFO scheduler with admission control** ([`scheduler`]): jobs
+//!   start in submission order, small jobs run concurrently on disjoint
+//!   idle worker subsets, and jobs that can't fit today's membership are
+//!   refused with 503 at the gateway;
+//! * a **hand-rolled HTTP/1.1 gateway** ([`http`], [`daemon`]):
+//!   `POST /jobs`, `GET /jobs/:id`, chunked-streaming
+//!   `GET /jobs/:id/output`, fleet-wide Prometheus `GET /metrics`
+//!   (per-job snapshots merged via [`patternlets_metrics::FleetMetrics`]),
+//!   and `GET /workers`.
+//!
+//! Fault behavior inherits the net crate's machinery: a worker SIGKILLed
+//! mid-job takes down exactly that job (its peers observe the rank
+//! failure; the daemon observes the control-connection EOF) and the
+//! daemon keeps serving — optionally retrying the job on the surviving
+//! membership.
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod scheduler;
+pub mod worker;
+
+pub use client::{JobStatus, SubmitSpec};
+pub use daemon::{start, Daemon, DaemonConfig};
+pub use job::{JobPhase, JobSpec};
+pub use worker::{run_worker, Assignment, JobLineSink, JobRunner};

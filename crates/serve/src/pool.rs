@@ -1,0 +1,216 @@
+//! The elastic worker pool.
+//!
+//! Workers are *membership*, not configuration: a worker process (or a
+//! worker thread, in tests) connects to the daemon's cluster port, sends
+//! [`Frame::WorkerHello`], and is a schedulable unit until its control
+//! connection drops. Workers may join and leave between jobs; the
+//! scheduler only sees the pool's current census. This is the same
+//! epoch-re-admission philosophy the fault layer applies to ranks,
+//! lifted to processes: identity is "whoever is connected right now".
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use patternlets_net::frame::{write_frame, Frame};
+
+/// A worker's pool-assigned id (monotonic; never reused, so log lines
+/// stay unambiguous across joins and leaves).
+pub type WorkerId = u64;
+
+struct WorkerEntry {
+    pid: u64,
+    /// Write side of the control connection (reads happen on the
+    /// daemon's dedicated reader thread for this worker).
+    conn: Arc<Mutex<TcpStream>>,
+    /// The job currently occupying this worker, if any.
+    busy_on: Option<u64>,
+}
+
+/// Thread-safe worker census. All mutation goes through the scheduler
+/// and the connection-reader threads; HTTP handlers only read.
+#[derive(Default)]
+pub struct WorkerPool {
+    inner: Mutex<PoolState>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    next_id: WorkerId,
+    workers: BTreeMap<WorkerId, WorkerEntry>,
+}
+
+/// A snapshot row for `GET /workers`.
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Pool id.
+    pub id: WorkerId,
+    /// The worker process's pid (0 for thread workers).
+    pub pid: u64,
+    /// The job it is running, if busy.
+    pub busy_on: Option<u64>,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit a worker whose hello arrived on `conn`; returns its id.
+    pub fn join(&self, pid: u64, conn: TcpStream) -> WorkerId {
+        let mut p = self.inner.lock().expect("pool lock");
+        p.next_id += 1;
+        let id = p.next_id;
+        p.workers.insert(
+            id,
+            WorkerEntry {
+                pid,
+                conn: Arc::new(Mutex::new(conn)),
+                busy_on: None,
+            },
+        );
+        id
+    }
+
+    /// Remove a worker (its connection died). Returns the job it was
+    /// busy on, if any — the scheduler turns that into a rank failure.
+    pub fn leave(&self, id: WorkerId) -> Option<u64> {
+        let mut p = self.inner.lock().expect("pool lock");
+        p.workers.remove(&id).and_then(|w| w.busy_on)
+    }
+
+    /// Number of live workers (busy or idle).
+    pub fn live(&self) -> usize {
+        self.inner.lock().expect("pool lock").workers.len()
+    }
+
+    /// Number of idle workers.
+    pub fn idle(&self) -> usize {
+        let p = self.inner.lock().expect("pool lock");
+        p.workers.values().filter(|w| w.busy_on.is_none()).count()
+    }
+
+    /// Claim `n` idle workers for `job`, marking them busy. Returns
+    /// `None` (claiming nothing) when fewer than `n` are idle.
+    pub fn claim(&self, n: usize, job: u64) -> Option<Vec<WorkerId>> {
+        let mut p = self.inner.lock().expect("pool lock");
+        let idle: Vec<WorkerId> = p
+            .workers
+            .iter()
+            .filter(|(_, w)| w.busy_on.is_none())
+            .map(|(&id, _)| id)
+            .take(n)
+            .collect();
+        if idle.len() < n {
+            return None;
+        }
+        for id in &idle {
+            p.workers.get_mut(id).expect("claimed worker").busy_on = Some(job);
+        }
+        Some(idle)
+    }
+
+    /// Return a worker to the idle set (its rank reached a terminal
+    /// state for the job it was claimed for).
+    pub fn release(&self, id: WorkerId) {
+        let mut p = self.inner.lock().expect("pool lock");
+        if let Some(w) = p.workers.get_mut(&id) {
+            w.busy_on = None;
+        }
+    }
+
+    /// Send a frame on a worker's control connection. An `Err` means the
+    /// connection is dead; the caller treats it like a worker death (the
+    /// reader thread will report it too, but the scheduler shouldn't
+    /// wait for that to learn the assignment failed).
+    pub fn send(&self, id: WorkerId, frame: &Frame) -> std::io::Result<()> {
+        let conn = {
+            let p = self.inner.lock().expect("pool lock");
+            let Some(w) = p.workers.get(&id) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("worker {id} left the pool"),
+                ));
+            };
+            w.conn.clone()
+        };
+        // The frame write happens outside the pool lock: a stalled
+        // worker socket must not freeze the whole census.
+        let mut conn = conn.lock().expect("worker conn lock");
+        write_frame(&mut *conn, frame)
+    }
+
+    /// Send [`Frame::Shutdown`] to every live worker (best-effort).
+    pub fn broadcast_shutdown(&self) {
+        let conns: Vec<Arc<Mutex<TcpStream>>> = {
+            let p = self.inner.lock().expect("pool lock");
+            p.workers.values().map(|w| w.conn.clone()).collect()
+        };
+        for conn in conns {
+            let mut conn = conn.lock().expect("worker conn lock");
+            let _ = write_frame(&mut *conn, &Frame::Shutdown);
+        }
+    }
+
+    /// Census snapshot for `GET /workers`.
+    pub fn view(&self) -> Vec<WorkerView> {
+        let p = self.inner.lock().expect("pool lock");
+        p.workers
+            .iter()
+            .map(|(&id, w)| WorkerView {
+                id,
+                pid: w.pid,
+                busy_on: w.busy_on,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn sock() -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _ = listener.accept().unwrap();
+        client
+    }
+
+    #[test]
+    fn claim_is_all_or_nothing() {
+        let pool = WorkerPool::new();
+        let a = pool.join(100, sock());
+        let _b = pool.join(101, sock());
+        assert_eq!(pool.live(), 2);
+        assert!(pool.claim(3, 1).is_none(), "not enough workers");
+        assert_eq!(pool.idle(), 2, "failed claim left nothing marked busy");
+        let got = pool.claim(2, 1).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(pool.idle(), 0);
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn leave_reports_the_orphaned_job() {
+        let pool = WorkerPool::new();
+        let a = pool.join(100, sock());
+        pool.claim(1, 7).unwrap();
+        assert_eq!(pool.leave(a), Some(7));
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.leave(a), None, "double leave is inert");
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let pool = WorkerPool::new();
+        let a = pool.join(1, sock());
+        pool.leave(a);
+        let b = pool.join(2, sock());
+        assert_ne!(a, b);
+    }
+}

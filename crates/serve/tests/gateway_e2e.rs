@@ -1,0 +1,301 @@
+//! In-process end-to-end tests for the pmserve gateway: a real daemon
+//! (both listeners on ephemeral loopback ports), real worker protocol
+//! over TCP — but with the workers as threads of this test process, each
+//! running the patternlet registry through the same runner shape the
+//! `patternlets worker` subcommand uses. Everything a production
+//! deployment exercises except process isolation, which
+//! `crates/collection/tests/serve_e2e.rs` covers with real binaries.
+//!
+//! The concurrent-jobs tests stick to single-world patternlets
+//! (broadcast, reduction, barrier each call `world_run` once): worker
+//! threads here share one process-global world-epoch counter, so
+//! multi-world jobs running concurrently could observe non-consecutive
+//! epoch ordinals. Separate worker *processes* (production) have no such
+//! sharing.
+
+use std::time::{Duration, Instant};
+
+use patternlets::harness::{Mode, RunConfig};
+use patternlets::registry::find;
+use patternlets_core::capture::Output;
+use patternlets_metrics::{MetricsHub, MetricsSnapshot};
+use patternlets_serve::client::{self, SubmitSpec};
+use patternlets_serve::daemon::{self, Daemon, DaemonConfig};
+use patternlets_serve::http::http_exchange;
+use patternlets_serve::worker::{run_worker, Assignment, JobLineSink};
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// The same runner `patternlets worker` wires in: registry lookup, the
+/// CLI's rank-0 banner chrome, output echoed line-wise, metrics on.
+fn registry_runner(assign: &Assignment, lines: &JobLineSink) -> Result<MetricsSnapshot, String> {
+    let Some(p) = find(&assign.patternlet) else {
+        return Err(format!("unknown patternlet {:?}", assign.patternlet));
+    };
+    let mode = if assign.on { Mode::On } else { Mode::Off };
+    if assign.rank == 0 {
+        lines.line(&format!(
+            "=== {} ({} tasks, directive {}) ===",
+            p.name,
+            assign.np,
+            if mode.is_on() { "ON" } else { "OFF (initial)" }
+        ));
+        lines.line("");
+    }
+    let hub = MetricsHub::new();
+    let mut cfg = RunConfig::new(assign.np, mode).with_metrics(hub.clone());
+    cfg.output = Output::echoing_to(lines.clone().into_line_writer());
+    (p.run)(&cfg);
+    if assign.rank == 0 {
+        lines.line("");
+    }
+    Ok(hub.snapshot())
+}
+
+struct Cluster {
+    daemon: Daemon,
+    workers: Vec<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Cluster {
+    fn start(nworkers: usize) -> Cluster {
+        let daemon = daemon::start(DaemonConfig {
+            quiet: true,
+            ..DaemonConfig::default()
+        })
+        .expect("daemon starts on ephemeral ports");
+        let cluster_addr = daemon.cluster_addr.to_string();
+        let workers = (0..nworkers)
+            .map(|i| {
+                let addr = cluster_addr.clone();
+                std::thread::Builder::new()
+                    .name(format!("test-worker-{i}"))
+                    .spawn(move || run_worker(&addr, registry_runner))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        let deadline = Instant::now() + DEADLINE;
+        while daemon.pool.live() < nworkers {
+            assert!(Instant::now() < deadline, "workers never joined the pool");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Cluster { daemon, workers }
+    }
+
+    fn http(&self) -> String {
+        self.daemon.http_addr.to_string()
+    }
+
+    /// Graceful teardown: drain broadcasts Shutdown, workers exit clean.
+    fn stop(self) {
+        self.daemon.drain();
+        self.daemon.wait();
+        for w in self.workers {
+            w.join()
+                .expect("worker thread exits")
+                .expect("worker exits clean");
+        }
+    }
+}
+
+fn submit(http: &str, patternlet: &str, np: usize, on: bool) -> u64 {
+    client::submit(
+        http,
+        &SubmitSpec {
+            patternlet: patternlet.to_string(),
+            np,
+            on,
+            chaos: String::new(),
+            retries: None,
+        },
+    )
+    .expect("submission accepted")
+}
+
+fn wait_terminal(http: &str, job: u64) -> client::JobStatus {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let status = client::status(http, job).expect("status poll");
+        if status.is_terminal() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {job} never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn output_lines(http: &str, job: u64) -> Vec<String> {
+    let mut buf = Vec::new();
+    client::stream_output(http, job, &mut buf).expect("output streams");
+    String::from_utf8(buf)
+        .expect("output is utf-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// What a clean `mpi/broadcast` run at `np` must emit, as a multiset
+/// (rank interleaving is nondeterministic, content is not).
+fn broadcast_expected(np: usize) -> Vec<String> {
+    let full = "[0, 1, 4, 9, 16, 25, 36, 49]";
+    let mut lines = vec![
+        format!("=== mpi/broadcast ({np} tasks, directive OFF (initial)) ==="),
+        String::new(),
+        String::new(),
+    ];
+    for rank in 0..np {
+        let before = if rank == 0 { full } else { "[]" };
+        lines.push(format!("Process {rank} BEFORE broadcast: {before}"));
+        lines.push(format!("Process {rank} AFTER  broadcast: {full}"));
+    }
+    lines.sort();
+    lines
+}
+
+/// Satellite: the gateway under concurrent load. Eight jobs submitted
+/// from eight client threads against a four-worker pool (so at most two
+/// np=2 jobs run at once and the rest queue); every job completes and
+/// every job's streamed output is exactly a clean single-run transcript
+/// — no cross-job bleed, no lost or duplicated lines.
+#[test]
+fn eight_concurrent_jobs_complete_with_intact_outputs() {
+    let cluster = Cluster::start(4);
+    let http = cluster.http();
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let http = http.clone();
+            std::thread::spawn(move || {
+                let job = submit(&http, "mpi/broadcast", 2, false);
+                let status = wait_terminal(&http, job);
+                (job, status)
+            })
+        })
+        .collect();
+    for handle in clients {
+        let (job, status) = handle.join().expect("client thread");
+        assert_eq!(status.status, "completed", "job {job}: {:?}", status.error);
+        let mut lines = output_lines(&http, job);
+        lines.sort();
+        assert_eq!(lines, broadcast_expected(2), "job {job} output");
+    }
+
+    cluster.stop();
+}
+
+/// Sum every sample of `metric` (all label sets) in a Prometheus body.
+fn prom_total(body: &str, metric: &str) -> u64 {
+    body.lines()
+        .filter(|l| {
+            l.strip_prefix(metric)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample: {l}"))
+        })
+        .sum()
+}
+
+/// Satellite: `GET /metrics` aggregates per-job worker snapshots into
+/// fleet totals that match the closed-form message counts proven in
+/// `crates/collection/tests/message_counts.rs` (p = 4: broadcast p−1 = 3,
+/// reduction's two reduce_one passes = 6, the dissemination barrier
+/// patternlet = 14 — 23 in all), plus truthful gateway counters.
+#[test]
+fn fleet_metrics_match_closed_form_counts() {
+    let cluster = Cluster::start(4);
+    let http = cluster.http();
+
+    for (patternlet, on) in [
+        ("mpi/broadcast", false),
+        ("mpi/reduction", false),
+        ("mpi/barrier", true),
+    ] {
+        let job = submit(&http, patternlet, 4, on);
+        let status = wait_terminal(&http, job);
+        assert_eq!(
+            status.status, "completed",
+            "{patternlet}: {:?}",
+            status.error
+        );
+    }
+
+    let (code, body) = http_exchange(&http, "GET", "/metrics", None).expect("metrics scrape");
+    assert_eq!(code, 200);
+    assert_eq!(
+        prom_total(&body, "patternlets_msgs_sent_total"),
+        3 + 6 + 14,
+        "fleet sends; body:\n{body}"
+    );
+    assert_eq!(
+        prom_total(&body, "patternlets_msgs_recv_total"),
+        3 + 6 + 14,
+        "fleet recvs; body:\n{body}"
+    );
+    assert_eq!(prom_total(&body, "pmserve_jobs_submitted_total"), 3);
+    assert_eq!(prom_total(&body, "pmserve_jobs_completed_total"), 3);
+    assert_eq!(prom_total(&body, "pmserve_jobs_failed_total"), 0);
+    assert_eq!(prom_total(&body, "pmserve_workers_live"), 4);
+
+    // Per-job metrics survive in the job documents too.
+    let (code, doc) = http_exchange(&http, "GET", "/jobs/1", None).expect("job doc");
+    assert_eq!(code, 200);
+    assert!(doc.contains("\"msgs_sent\": 3"), "job 1 doc: {doc}");
+
+    cluster.stop();
+}
+
+/// Admission control and bad requests: np beyond the live pool is a
+/// synchronous 503 (and counted), malformed bodies are 400s, unknown
+/// jobs are 404s — and none of it disturbs a healthy pool.
+#[test]
+fn gateway_refuses_what_it_cannot_run() {
+    let cluster = Cluster::start(2);
+    let http = cluster.http();
+
+    let (code, body) = http_exchange(
+        &http,
+        "POST",
+        "/jobs",
+        Some("{\"patternlet\": \"mpi/broadcast\", \"np\": 5}"),
+    )
+    .expect("oversize submit");
+    assert_eq!(code, 503, "np=5 on 2 workers: {body}");
+    assert!(body.contains("only 2 alive"), "{body}");
+
+    let (code, _) = http_exchange(&http, "POST", "/jobs", Some("not json")).expect("bad body");
+    assert_eq!(code, 400);
+    let (code, _) = http_exchange(&http, "POST", "/jobs", Some("{\"np\": 2}")).expect("no name");
+    assert_eq!(code, 400);
+    let (code, _) = http_exchange(&http, "GET", "/jobs/999", None).expect("unknown job");
+    assert_eq!(code, 404);
+
+    // An unknown patternlet is accepted (the gateway doesn't own the
+    // registry) and fails cleanly at run time with the workers' error.
+    let job = submit(&http, "mpi/no-such-patternlet", 2, false);
+    let status = wait_terminal(&http, job);
+    assert_eq!(status.status, "failed");
+    assert!(
+        status
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown patternlet"),
+        "error: {:?}",
+        status.error
+    );
+
+    // The pool is still healthy: a real job completes afterwards.
+    let job = submit(&http, "mpi/broadcast", 2, false);
+    assert_eq!(wait_terminal(&http, job).status, "completed");
+
+    let (code, body) = http_exchange(&http, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(code, 200);
+    assert_eq!(prom_total(&body, "pmserve_jobs_rejected_total"), 1);
+    assert_eq!(prom_total(&body, "pmserve_jobs_failed_total"), 1);
+
+    cluster.stop();
+}
