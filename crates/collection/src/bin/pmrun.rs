@@ -62,9 +62,10 @@ use patternlets_core::capture::Output;
 use patternlets_core::rng::{Rng, SplitMix64};
 use patternlets_metrics::{render_prometheus, render_summary, wire, MetricsSnapshot};
 use patternlets_net::frame::{read_frame, Frame};
+use patternlets_net::shm::FabricMode;
 use patternlets_net::{
-    rendezvous, ENV_CKPT_DIR, ENV_EPOCH_BASE, ENV_METRICS_ADDR, ENV_NET_CHAOS, ENV_NP, ENV_RANK,
-    ENV_RENDEZVOUS, ENV_TRACE_DIR,
+    rendezvous, ENV_CKPT_DIR, ENV_EPOCH_BASE, ENV_FABRIC, ENV_METRICS_ADDR, ENV_NET_CHAOS, ENV_NP,
+    ENV_RANK, ENV_RENDEZVOUS, ENV_SHM_DIR, ENV_TRACE_DIR,
 };
 use patternlets_trace::chrome;
 
@@ -88,6 +89,9 @@ struct Opts {
     net_chaos: Option<u64>,
     /// `--respawn N`: restart up to N dead workers (job-wide budget).
     respawn: usize,
+    /// `--fabric auto|tcp|shm`: worker transport (default auto — mmap
+    /// rings when every rank is co-located, TCP otherwise).
+    fabric: FabricMode,
     program: String,
     program_args: Vec<String>,
 }
@@ -96,7 +100,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: pmrun -np N [--kill-worker RANK:MS] [--trace FILE] [--timeout SECS] \
          [--metrics-port P] [--metrics-linger MS] [--status] \
-         [--net-chaos SEED] [--respawn N] \
+         [--net-chaos SEED] [--respawn N] [--fabric auto|tcp|shm] \
          <program> [args...]\n\n\
          example: pmrun -np 4 patternlets mpi/broadcast"
     );
@@ -113,6 +117,7 @@ fn parse(args: &[String]) -> Option<Opts> {
     let mut status = false;
     let mut net_chaos = None;
     let mut respawn = 0;
+    let mut fabric = FabricMode::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -153,6 +158,10 @@ fn parse(args: &[String]) -> Option<Opts> {
                 respawn = args.get(i + 1)?.parse().ok()?;
                 i += 2;
             }
+            "--fabric" => {
+                fabric = FabricMode::parse(args.get(i + 1)?)?;
+                i += 2;
+            }
             _ => break,
         }
     }
@@ -167,6 +176,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         status,
         net_chaos,
         respawn,
+        fabric,
         program,
         program_args: args[i + 1..].to_vec(),
     })
@@ -316,6 +326,8 @@ struct SpawnCtx {
     metrics_addr: Option<String>,
     net_chaos: Option<u64>,
     ckpt_dir: Option<PathBuf>,
+    fabric: FabricMode,
+    shm_dir: PathBuf,
     stdout_log: Output,
     stderr_log: Output,
 }
@@ -347,6 +359,8 @@ impl SpawnCtx {
         if let Some(dir) = &self.ckpt_dir {
             cmd.env(ENV_CKPT_DIR, dir);
         }
+        cmd.env(ENV_FABRIC, self.fabric.as_str());
+        cmd.env(ENV_SHM_DIR, &self.shm_dir);
         if let Some(dir) = &self.trace_dir {
             cmd.env(ENV_TRACE_DIR, dir);
         }
@@ -473,6 +487,12 @@ fn main() -> ExitCode {
         }
     }
 
+    // Where workers put their mmap ring segments under `--fabric
+    // auto|shm`. Per-job and launcher-owned: removing it at exit is the
+    // backstop that reclaims segments a SIGKILL'd worker never got to
+    // hand over (segments are normally unlinked moments after establish).
+    let shm_dir = std::env::temp_dir().join(format!("pmrun-shm-{}", std::process::id()));
+
     let ctx = SpawnCtx {
         program: resolve_program(&opts.program),
         args: opts.program_args.clone(),
@@ -482,6 +502,8 @@ fn main() -> ExitCode {
         metrics_addr: collector.as_ref().map(|c| c.push_addr.clone()),
         net_chaos: opts.net_chaos,
         ckpt_dir: ckpt_dir.clone(),
+        fabric: opts.fabric,
+        shm_dir: shm_dir.clone(),
         stdout_log: Output::echoing(),
         stderr_log: Output::echoing_to(std::io::stderr()),
     };
@@ -698,6 +720,7 @@ fn main() -> ExitCode {
     if let Some(dir) = &ckpt_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
+    let _ = std::fs::remove_dir_all(&shm_dir);
 
     if timed_out.load(Ordering::SeqCst) {
         eprintln!(

@@ -20,6 +20,9 @@
 //! * [`error`] — the workspace-wide error type.
 //! * [`signals`] — the SIGINT/SIGTERM drain flag used by the long-lived
 //!   launchers (`pmrun`, `pmserve`) for graceful shutdown.
+//! * [`spsc`] — the lock-free single-producer/single-consumer byte ring
+//!   shared by the shm fabric (over mmap) and the stream executor's 1:1
+//!   fast path (over the heap).
 
 pub mod capture;
 pub mod crc;
@@ -28,6 +31,7 @@ pub mod ids;
 pub mod reduce;
 pub mod rng;
 pub mod signals;
+pub mod spsc;
 pub mod timer;
 
 pub use capture::{CapturedLine, Output, Sink};

@@ -181,6 +181,24 @@ const COUNTER_GROUPS: &[CounterGroup] = &[
             (CounterId::StreamItemsOut, "dir=\"out\""),
         ],
     },
+    CounterGroup {
+        metric: "patternlets_shm_sends_total",
+        help: "Frames pushed into shared-memory rings, by destination peer",
+        lane_label: "peer",
+        members: &[(CounterId::ShmSends, "")],
+    },
+    CounterGroup {
+        metric: "patternlets_shm_full_spins_total",
+        help: "Spin iterations waiting on a full or empty shm ring",
+        lane_label: "rank",
+        members: &[(CounterId::ShmFullSpins, "")],
+    },
+    CounterGroup {
+        metric: "patternlets_shm_doorbell_parks_total",
+        help: "Doorbell parks (futex sleeps) on a full or empty shm ring",
+        lane_label: "rank",
+        members: &[(CounterId::ShmDoorbellParks, "")],
+    },
 ];
 
 /// `(metric name, help)` for each fixed histogram.

@@ -116,10 +116,17 @@ pub enum CounterId {
     StreamItemsIn,
     /// Items popped from a stream channel, attributed to the queue's lane.
     StreamItemsOut,
+    /// Frames pushed into a shared-memory ring, attributed to the
+    /// *destination* peer's lane (the shm analogue of `NetFramesSent`).
+    ShmSends,
+    /// Spin-loop iterations burnt waiting on a full or empty shm ring.
+    ShmFullSpins,
+    /// Doorbell parks (futex sleeps) taken on a full or empty shm ring.
+    ShmDoorbellParks,
 }
 
 /// Number of counters in each lane shard.
-pub const COUNTER_COUNT: usize = 31;
+pub const COUNTER_COUNT: usize = 34;
 
 impl CounterId {
     /// Every counter, in shard order.
@@ -155,6 +162,9 @@ impl CounterId {
         CounterId::CheckpointBytes,
         CounterId::StreamItemsIn,
         CounterId::StreamItemsOut,
+        CounterId::ShmSends,
+        CounterId::ShmFullSpins,
+        CounterId::ShmDoorbellParks,
     ];
 
     /// Shard-array index.

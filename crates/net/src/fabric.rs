@@ -138,7 +138,7 @@ const KNOWN_TYPE_NAMES: &[&str] = &[
 /// Intern a wire type name. Built-in names map to their static constants;
 /// unknown (user-defined `Datatype`) names are leaked once and cached, so
 /// repeated traffic of the same type allocates nothing.
-fn intern_type_name(name: &str) -> &'static str {
+pub(crate) fn intern_type_name(name: &str) -> &'static str {
     if let Some(known) = KNOWN_TYPE_NAMES.iter().find(|&&k| k == name) {
         return known;
     }
@@ -763,7 +763,7 @@ impl Inner {
     }
 
     fn try_dial(&self, peer: usize, attempt: u32) -> Option<TcpStream> {
-        let mut stream = TcpStream::connect(&self.addrs[peer]).ok()?;
+        let mut stream = TcpStream::connect(crate::shm::tcp_part(&self.addrs[peer])).ok()?;
         stream.set_read_timeout(Some(RESUME_REPLY_TIMEOUT)).ok()?;
         crate::frame::write_frame(
             &mut stream,
@@ -992,7 +992,6 @@ impl TcpFabric {
         spec: &WorldSpec,
         chaos: Option<NetChaosPlan>,
     ) -> Result<TcpFabric> {
-        let np = spec.np;
         let sock_err = |what: &str| {
             let what = what.to_string();
             move |e: std::io::Error| Error::Codec(format!("{what}: {e}"))
@@ -1002,7 +1001,26 @@ impl TcpFabric {
             .local_addr()
             .map_err(sock_err("listener address"))?
             .to_string();
-        let table = rendezvous::register(server, spec.epoch, me, np, &my_addr)?;
+        let table = rendezvous::register(server, spec.epoch, me, spec.np, &my_addr)?;
+        Self::from_table(listener, table, me, spec, chaos)
+    }
+
+    /// Build the peer mesh from an already-released rendezvous table (the
+    /// shm provider registers once — with a `#shm:` advertisement — and
+    /// hands the table here when the world turns out not to be
+    /// co-located; the suffix is stripped before dialing).
+    pub fn from_table(
+        listener: TcpListener,
+        table: Vec<String>,
+        me: usize,
+        spec: &WorldSpec,
+        chaos: Option<NetChaosPlan>,
+    ) -> Result<TcpFabric> {
+        let np = spec.np;
+        let sock_err = |what: &str| {
+            let what = what.to_string();
+            move |e: std::io::Error| Error::Codec(format!("{what}: {e}"))
+        };
 
         // One connection per peer: dial every lower rank, accept every
         // higher one. Dials can't race the listeners — every rank bound
@@ -1010,6 +1028,7 @@ impl TcpFabric {
         // everyone registered.
         let mut streams: Vec<Option<TcpStream>> = (0..np).map(|_| None).collect();
         for (peer, addr) in table.iter().enumerate().take(me) {
+            let addr = crate::shm::tcp_part(addr);
             let mut stream = TcpStream::connect(addr)
                 .map_err(sock_err(&format!("dial rank {peer} at {addr}")))?;
             crate::frame::write_frame(

@@ -165,6 +165,10 @@ pub enum Frame {
     WorkerHello {
         /// The worker's OS process id, for the `/workers` view.
         pid: u64,
+        /// The worker's host, for the `/workers` view and (eventually)
+        /// placement-aware scheduling; workers on the daemon's own host
+        /// are candidates for the shared-memory fabric.
+        host: String,
     },
     /// Daemon → worker: run one rank of a queued job. The worker plays
     /// world rank `rank` of an `np`-rank world; every world the
@@ -423,9 +427,10 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u64(*rank);
             w.u64(*recv_seq);
         }
-        Frame::WorkerHello { pid } => {
+        Frame::WorkerHello { pid, host } => {
             w.u8(KIND_WORKER_HELLO);
             w.u64(*pid);
+            w.string(host);
         }
         Frame::JobAssign {
             job,
@@ -548,7 +553,10 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             rank: r.u64()?,
             recv_seq: r.u64()?,
         },
-        KIND_WORKER_HELLO => Frame::WorkerHello { pid: r.u64()? },
+        KIND_WORKER_HELLO => Frame::WorkerHello {
+            pid: r.u64()?,
+            host: r.string()?,
+        },
         KIND_JOB_ASSIGN => Frame::JobAssign {
             job: r.u64()?,
             patternlet: r.string()?,
@@ -742,7 +750,10 @@ mod tests {
             rank: 2,
             payload: vec![1, 0, 0, 0, 0],
         });
-        roundtrip(Frame::WorkerHello { pid: 4242 });
+        roundtrip(Frame::WorkerHello {
+            pid: 4242,
+            host: "node-a.example".into(),
+        });
         roundtrip(Frame::JobAssign {
             job: 17,
             patternlet: "mpi/broadcast".into(),
@@ -776,7 +787,10 @@ mod tests {
         // The job-control plane must never enter the resume sequence
         // space: it is regenerated (or moot) after a reconnect.
         for frame in [
-            Frame::WorkerHello { pid: 1 },
+            Frame::WorkerHello {
+                pid: 1,
+                host: "h".into(),
+            },
             Frame::JobAssign {
                 job: 1,
                 patternlet: "x".into(),

@@ -27,6 +27,7 @@ pub mod fabric;
 pub mod frame;
 pub mod rendezvous;
 pub mod ring;
+pub mod shm;
 
 use std::sync::Arc;
 
@@ -59,6 +60,14 @@ pub const ENV_EPOCH_BASE: &str = "PMRUN_EPOCH_BASE";
 /// `pmrun --respawn` jobs; read by the harness's
 /// `RunConfig::checkpoint_store`.
 pub const ENV_CKPT_DIR: &str = "PMRUN_CKPT_DIR";
+
+/// Fabric selection: `auto` (default — shared memory when co-located,
+/// TCP otherwise), `tcp`, or `shm` (`pmrun --fabric`).
+pub const ENV_FABRIC: &str = "PMRUN_FABRIC";
+
+/// Directory for this job's shared-memory ring segments (`pmrun` points
+/// every rank at a per-job scratch directory it sweeps at exit).
+pub const ENV_SHM_DIR: &str = "PMRUN_SHM_DIR";
 
 /// Push one metrics snapshot to the collector at `addr`.
 ///
@@ -93,6 +102,11 @@ pub struct NetEnv {
     pub epoch_base: u64,
     /// Wire-chaos plan, if `pmrun --net-chaos SEED` armed one.
     pub chaos: Option<chaos::NetChaosPlan>,
+    /// Which transport to establish (`PMRUN_FABRIC`, default `auto`).
+    pub fabric: shm::FabricMode,
+    /// Where this job's ring segments live (`PMRUN_SHM_DIR`); derived
+    /// from the rendezvous address when `pmrun` didn't pass one.
+    pub shm_dir: std::path::PathBuf,
 }
 
 /// Read the `pmrun` worker environment, if this process was launched by
@@ -126,12 +140,34 @@ pub fn net_env() -> Result<Option<NetEnv>> {
             let chaos = std::env::var(ENV_NET_CHAOS)
                 .ok()
                 .and_then(|v| chaos::NetChaosPlan::from_env_value(&v));
+            let fabric = match std::env::var(ENV_FABRIC).ok() {
+                None => shm::FabricMode::default(),
+                Some(v) => shm::FabricMode::parse(&v).ok_or_else(|| {
+                    Error::InvalidConfig(format!("{ENV_FABRIC}={v} is not one of auto, tcp, shm"))
+                })?,
+            };
+            let shm_dir = match std::env::var(ENV_SHM_DIR).ok() {
+                Some(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+                // Unlaunched-by-pmrun shm runs (tests, hand-started
+                // workers) still need one shared, job-unique location;
+                // the rendezvous address is the one identity every rank
+                // of a job shares and no other job does.
+                _ => {
+                    let sanitized: String = rendezvous
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                        .collect();
+                    std::env::temp_dir().join(format!("pmrun-shm-{sanitized}"))
+                }
+            };
             Ok(Some(NetEnv {
                 rank,
                 np,
                 rendezvous: rendezvous.clone(),
                 epoch_base,
                 chaos,
+                fabric,
+                shm_dir,
             }))
         }
         _ => Err(Error::InvalidConfig(format!(
@@ -301,9 +337,17 @@ fn provide(env: &NetEnv, spec: &WorldSpec) -> Result<Option<ProvidedWorld>> {
     // the identity.
     let mut spec = spec.clone();
     spec.epoch += env.epoch_base;
-    let fabric = TcpFabric::establish_with_chaos(&env.rendezvous, env.rank, &spec, env.chaos)?;
+    let fabric = shm::establish(
+        &env.rendezvous,
+        env.rank,
+        &spec,
+        env.chaos,
+        env.fabric,
+        &env.shm_dir,
+        &shm::host_id(),
+    )?;
     Ok(Some(ProvidedWorld::Rank {
         rank: env.rank,
-        fabric: Arc::new(fabric),
+        fabric,
     }))
 }

@@ -1,0 +1,1366 @@
+//! The shared-memory fabric: same-host ranks over mmap'd SPSC rings.
+//!
+//! The third `Fabric` provider (after in-process threads and the TCP
+//! mesh): every directed peer pair `i → j` gets one file-backed,
+//! memory-mapped segment holding a lock-free single-producer /
+//! single-consumer byte ring ([`patternlets_core::spsc`]). Whole wire
+//! frames — the *same* `[len][crc][body]` records the TCP codec ships,
+//! CRC included — stream through the ring, so the unmodified
+//! [`read_frame`] decoder runs on the consumer side and a corrupted
+//! segment is caught exactly like a corrupted socket. The hot path is
+//! two `memcpy`s and four atomic operations: no syscall, no kernel
+//! round-trip, no frame re-encode.
+//!
+//! ## Rendezvous and co-location
+//!
+//! Ranks cannot see each other's placement, so the rendezvous table
+//! carries it: a shm-capable rank registers its TCP listener address
+//! with a `#shm:<host>:<dir>` suffix advertising its host identity and
+//! the directory where it created its **inbound** segments (one per
+//! peer, created *before* registering — so when the table comes back,
+//! every producer's target file already exists). Each rank then makes
+//! the same decision from the same table: if every rank advertised shm
+//! on the same host, the world runs over rings; otherwise everyone
+//! falls back to the TCP mesh built from the same table (the suffix is
+//! stripped before dialing). `FabricMode::Shm` makes a fallback an
+//! error instead; `FabricMode::Tcp` skips the advertisement entirely.
+//!
+//! ## Segment lifecycle
+//!
+//! The consumer creates, sizes, and initializes its inbound segment,
+//! then advertises the directory. The producer maps the file after the
+//! table arrives and immediately pushes a `Hello` frame; when the
+//! consumer reads it, it **unlinks** the file — both mappings survive
+//! an unlink, so from that point the ring is an anonymous shared page
+//! range that vanishes with the last process. A SIGKILL'd producer
+//! never sends `Hello`, so its files linger until the launcher sweeps
+//! the per-job directory (`pmrun` removes it at exit).
+//!
+//! ## Liveness without EOF
+//!
+//! Shared memory has no connection to lose: a SIGKILL'd peer leaves its
+//! rings exactly as they were. Liveness is therefore purely heartbeat:
+//! every rank pushes `Ping` frames on a cadence and declares a peer
+//! failed after [`SHM_PEER_TIMEOUT`] of silence — there is no reconnect
+//! machinery because there is nothing to reconnect, and no resume
+//! protocol because ring bytes are never lost in flight. Control
+//! traffic (`Hello`/`Finish`/`Failed`/`Agree`) rides the same rings as
+//! envelopes, so the ULFM-style agree/shrink semantics are identical to
+//! the TCP provider's. A clean exit closes the outbound rings after a
+//! `Finish` frame; the data already written survives in the consumer's
+//! mapping even if this process exits immediately after.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use patternlets_core::spsc::{self, Consumer, Producer, SpscRing};
+use patternlets_core::{Error, Result};
+use patternlets_metrics::{CounterId, MetricsHub};
+use patternlets_mp::envelope::{Envelope, Payload};
+use patternlets_mp::fabric::{AgreeKey, AgreeSlot, Fabric, WorldSpec};
+use patternlets_mp::fault::{ChaosDecision, FaultState};
+use patternlets_mp::mailbox::Mailbox;
+use patternlets_mp::world::{MsgEvent, WaitRecord};
+use patternlets_trace::Tracer;
+
+use crate::chaos::NetChaosPlan;
+use crate::fabric::{intern_type_name, TcpFabric, HEARTBEAT_EVERY};
+use crate::frame::{encode_frame, read_frame, Frame, CRC_MISMATCH};
+use crate::rendezvous;
+
+/// Data bytes per directed ring. Big enough that a collective round of
+/// small frames never blocks; records larger than this stream through
+/// the ring in chunks, exactly like a socket buffer.
+pub const SHM_RING_CAPACITY: usize = 1 << 20;
+
+/// A peer silent this long is declared failed. Much tighter than the
+/// TCP provider's timeout: there is no EOF to detect a death early and
+/// no reconnect round to serve, so the heartbeat *is* the detector.
+pub const SHM_PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+// ---------------------------------------------------------------------------
+// Raw mmap (no libc in the vendored dependency set)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    const SYS_MMAP: u64 = 9;
+    const SYS_MUNMAP: u64 = 11;
+    const PROT_READ: u64 = 1;
+    const PROT_WRITE: u64 = 2;
+    const MAP_SHARED: u64 = 1;
+
+    /// Map `len` bytes of `file` shared read-write.
+    pub fn mmap_shared(file: &File, len: usize) -> std::result::Result<*mut u8, String> {
+        let fd = file.as_raw_fd() as u64;
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP => ret,
+                in("rdi") 0u64,
+                in("rsi") len as u64,
+                in("rdx") PROT_READ | PROT_WRITE,
+                in("r10") MAP_SHARED,
+                in("r8") fd,
+                in("r9") 0u64,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack)
+            );
+        }
+        // Errors come back as -errno in the page-aligned negative range.
+        if (-4095..0).contains(&ret) {
+            Err(format!("mmap failed: errno {}", -ret))
+        } else {
+            Ok(ret as *mut u8)
+        }
+    }
+
+    pub fn munmap(ptr: *mut u8, len: usize) {
+        unsafe {
+            let mut _ret: i64;
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP => _ret,
+                in("rdi") ptr as u64,
+                in("rsi") len as u64,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack)
+            );
+        }
+    }
+
+    pub const SUPPORTED: bool = true;
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use std::fs::File;
+
+    pub fn mmap_shared(_file: &File, _len: usize) -> std::result::Result<*mut u8, String> {
+        Err("shared-memory mappings are not supported on this platform".to_string())
+    }
+
+    pub fn munmap(_ptr: *mut u8, _len: usize) {}
+
+    pub const SUPPORTED: bool = true; // resolved at runtime by mmap_shared
+}
+
+/// Whether this build can even attempt the shm fast path.
+pub fn shm_supported() -> bool {
+    sys::SUPPORTED && cfg!(all(target_os = "linux", target_arch = "x86_64"))
+}
+
+/// One file-backed shared mapping; unmapped on drop. The file descriptor
+/// is closed as soon as the mapping exists (mappings outlive both their
+/// fd and the directory entry).
+struct Segment {
+    ptr: *mut u8,
+    len: usize,
+}
+
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+impl Segment {
+    /// Create (or truncate) `path` at `len` bytes and map it.
+    fn create(path: &Path, len: usize) -> Result<Segment> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::Codec(format!("create segment {}: {e}", path.display())))?;
+        file.set_len(len as u64)
+            .map_err(|e| Error::Codec(format!("size segment {}: {e}", path.display())))?;
+        let ptr = sys::mmap_shared(&file, len)
+            .map_err(|e| Error::Codec(format!("map segment {}: {e}", path.display())))?;
+        Ok(Segment { ptr, len })
+    }
+
+    /// Map an existing segment file whole.
+    fn open(path: &Path) -> Result<Segment> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Error::Codec(format!("open segment {}: {e}", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| Error::Codec(format!("stat segment {}: {e}", path.display())))?
+            .len() as usize;
+        let ptr = sys::mmap_shared(&file, len)
+            .map_err(|e| Error::Codec(format!("map segment {}: {e}", path.display())))?;
+        Ok(Segment { ptr, len })
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        sys::munmap(self.ptr, self.len);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Placement identity and address advertisement
+// ---------------------------------------------------------------------------
+
+/// This machine's identity for co-location decisions: the
+/// `PMRUN_HOST_ID` override if set (tests and the CI fallback check use
+/// it to simulate a second host), else the kernel hostname, else
+/// `"localhost"`.
+pub fn host_id() -> String {
+    if let Ok(id) = std::env::var("PMRUN_HOST_ID") {
+        if !id.is_empty() {
+            return id;
+        }
+    }
+    hostname()
+}
+
+/// Best-effort machine hostname (also the worker host label in
+/// `pmserve`'s `GET /workers`).
+pub fn hostname() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim();
+        if !h.is_empty() {
+            return h.to_string();
+        }
+    }
+    "localhost".to_string()
+}
+
+/// A rank's shm advertisement, parsed out of its rendezvous address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShmAd<'a> {
+    /// Host identity the rank registered from.
+    pub host: &'a str,
+    /// Directory holding the rank's inbound segments.
+    pub dir: &'a str,
+}
+
+/// Split a rendezvous table address into its dialable TCP part and the
+/// optional shm advertisement (`"<addr>#shm:<host>:<dir>"`).
+pub fn split_addr(addr: &str) -> (&str, Option<ShmAd<'_>>) {
+    match addr.split_once("#shm:") {
+        None => (addr, None),
+        Some((tcp, rest)) => match rest.split_once(':') {
+            // The dir may itself contain ':'; only the host is split off.
+            Some((host, dir)) if !host.is_empty() && !dir.is_empty() => {
+                (tcp, Some(ShmAd { host, dir }))
+            }
+            _ => (tcp, None),
+        },
+    }
+}
+
+/// The dialable TCP part of a (possibly shm-suffixed) table address.
+pub fn tcp_part(addr: &str) -> &str {
+    split_addr(addr).0
+}
+
+/// The segment file for ring `from → to` of world `epoch`, under the
+/// *consumer's* advertised directory.
+fn segment_path(dir: &Path, epoch: u64, from: usize, to: usize) -> PathBuf {
+    dir.join(format!("e{epoch}-r{from}-to-r{to}.ring"))
+}
+
+/// Which transport `provide` should establish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricMode {
+    /// Shared memory when every rank is co-located (and the wire-chaos
+    /// injector is unarmed — chaos exercises TCP machinery shm does not
+    /// have); TCP otherwise.
+    #[default]
+    Auto,
+    /// Always the TCP mesh.
+    Tcp,
+    /// Shared memory or an error — never a silent fallback.
+    Shm,
+}
+
+impl FabricMode {
+    /// Parse a `--fabric` / `PMRUN_FABRIC` value.
+    pub fn parse(s: &str) -> Option<FabricMode> {
+        match s {
+            "auto" => Some(FabricMode::Auto),
+            "tcp" => Some(FabricMode::Tcp),
+            "shm" => Some(FabricMode::Shm),
+            _ => None,
+        }
+    }
+
+    /// The canonical flag spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FabricMode::Auto => "auto",
+            FabricMode::Tcp => "tcp",
+            FabricMode::Shm => "shm",
+        }
+    }
+}
+
+/// Decide from a full rendezvous table whether this world can run over
+/// shared memory: every rank must have advertised shm from the same
+/// host. Pure so the fallback logic is unit-testable; every rank feeds
+/// it the same table, so every rank reaches the same verdict.
+pub fn all_colocated(table: &[String]) -> bool {
+    let mut host: Option<&str> = None;
+    for addr in table {
+        match split_addr(addr).1 {
+            None => return false,
+            Some(ad) => match host {
+                None => host = Some(ad.host),
+                Some(h) if h == ad.host => {}
+                Some(_) => return false,
+            },
+        }
+    }
+    !table.is_empty()
+}
+
+// ---------------------------------------------------------------------------
+// The fabric
+// ---------------------------------------------------------------------------
+
+/// One rank's outbound ring to a peer, behind a mutex because both the
+/// application thread (envelopes, agreement) and the heartbeat thread
+/// push to it. The blocking push aborts when the peer is declared dead
+/// or finished, so a full ring to a SIGKILL'd peer cannot wedge a send.
+struct ShmPeer {
+    producer: Mutex<Producer>,
+}
+
+struct Inner {
+    me: usize,
+    np: usize,
+    names: Vec<String>,
+    poll_interval: Duration,
+    tracer: Option<Tracer>,
+    metrics: Option<MetricsHub>,
+    fault: Option<FaultState>,
+    /// This process's rank's mailbox — the only one a `Comm` here reads.
+    mailbox: Mailbox,
+    send_seq: AtomicU64,
+    finished: Vec<AtomicBool>,
+    failed: Vec<AtomicBool>,
+    /// Outbound rings, indexed by peer world rank (`None` at `me`).
+    peers: Vec<Option<ShmPeer>>,
+    /// Inbound segment files, unlinked when the producer's `Hello`
+    /// confirms it has mapped them (slots are taken as that happens).
+    inbound_paths: Mutex<Vec<Option<PathBuf>>>,
+    /// Milliseconds (since `start`) each peer was last heard from.
+    last_heard: Vec<AtomicU64>,
+    start: Instant,
+    agreements: Mutex<HashMap<AgreeKey, AgreeSlot>>,
+    agree_cv: Condvar,
+    /// Raised by `finish`/`sever`: the heartbeat stops and blocked
+    /// pushes abort.
+    closing: AtomicBool,
+    /// Raised with `closing`: reader threads return EOF at their next
+    /// park-timeout check even though dead peers never close their rings.
+    stop_readers: Arc<AtomicBool>,
+}
+
+impl Inner {
+    fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Push one encoded record into a peer's ring. `false` when the peer
+    /// is already failed/finished or became so while the ring was full —
+    /// the shm analogue of a terminal link.
+    fn write_to(&self, peer: usize, record: &[u8]) -> bool {
+        let Some(shm_peer) = &self.peers[peer] else {
+            return true;
+        };
+        if self.failed[peer].load(Ordering::SeqCst) || self.finished[peer].load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut producer = shm_peer.producer.lock();
+        let ok = producer
+            .push_all(record, || {
+                self.failed[peer].load(Ordering::SeqCst)
+                    || self.finished[peer].load(Ordering::SeqCst)
+            })
+            .is_ok();
+        if let Some(hub) = &self.metrics {
+            let (spins, parks) = producer.take_stats();
+            hub.incr(peer, CounterId::ShmSends);
+            if spins > 0 {
+                hub.add(self.me, CounterId::ShmFullSpins, spins);
+            }
+            if parks > 0 {
+                hub.add(self.me, CounterId::ShmDoorbellParks, parks);
+            }
+        }
+        ok
+    }
+
+    /// Send `frame` to every peer; peers whose ring rejects it (already
+    /// failed/finished) need no further verdict — `write_to` only fails
+    /// for peers that already have one.
+    fn broadcast(&self, frame: &Frame) {
+        let record = encode_frame(frame);
+        for peer in 0..self.np {
+            if peer == self.me || self.peers[peer].is_none() {
+                continue;
+            }
+            let _ = self.write_to(peer, &record);
+        }
+    }
+
+    /// Record a failure verdict locally and wake everything that must
+    /// re-examine membership. Like the TCP provider, verdicts are not
+    /// gossiped: every co-located process runs the same heartbeat clock
+    /// and reaches the same verdict within one interval.
+    fn note_failed(&self, rank: usize) {
+        if self.failed[rank].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(hub) = &self.metrics {
+            hub.incr(rank, CounterId::NetRankFailures);
+        }
+        let _lock = self.agreements.lock();
+        self.agree_cv.notify_all();
+    }
+
+    /// Unlink peer `peer`'s inbound segment (its `Hello` confirmed the
+    /// mapping exists on both sides; the directory entry is now noise).
+    fn unlink_inbound(&self, peer: usize) {
+        let path = self.inbound_paths.lock()[peer].take();
+        if let Some(path) = path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn handle_frame(&self, peer: usize, frame: Frame) {
+        self.last_heard[peer].store(self.elapsed_ms(), Ordering::Relaxed);
+        match frame {
+            Frame::Env {
+                comm_id,
+                src,
+                tag,
+                type_name,
+                count,
+                seq,
+                needs_ack,
+                overtake,
+                payload,
+            } => {
+                let env = Envelope {
+                    comm_id,
+                    src: src as usize,
+                    tag,
+                    type_name: intern_type_name(&type_name),
+                    count: count as usize,
+                    payload: Payload::Bytes(bytes::Bytes::from(payload)),
+                    seq,
+                    needs_ack,
+                };
+                self.mailbox.deliver_displaced(env, overtake as usize);
+            }
+            Frame::Hello { .. } => self.unlink_inbound(peer),
+            Frame::Finish { rank } => {
+                let rank = rank as usize;
+                if rank < self.np {
+                    self.finished[rank].store(true, Ordering::SeqCst);
+                    let _lock = self.agreements.lock();
+                    self.agree_cv.notify_all();
+                }
+            }
+            Frame::Failed { rank } => {
+                let rank = rank as usize;
+                if rank < self.np {
+                    self.note_failed(rank);
+                }
+            }
+            Frame::Agree {
+                comm_id,
+                kind,
+                seq,
+                rank,
+                value,
+            } => {
+                let mut slots = self.agreements.lock();
+                slots
+                    .entry((comm_id, kind, seq))
+                    .or_default()
+                    .insert(rank as usize, value);
+                self.agree_cv.notify_all();
+            }
+            // Pings carry liveness only (no send ring to prune: nothing
+            // is ever replayed); everything else has no business on a
+            // ring and is ignored.
+            _ => {}
+        }
+    }
+
+    /// One inbound ring's read side: the unmodified frame decoder over
+    /// the ring's blocking `Read`. EOF means the producer closed after
+    /// `Finish` (clean) or our stop flag fired (teardown / peer declared
+    /// dead); a decode error means the segment itself is damaged, which
+    /// — like a CRC reject on a socket — fails the peer, except there is
+    /// no resume to heal it.
+    fn reader_loop(&self, peer: usize, mut consumer: Consumer) {
+        loop {
+            match read_frame(&mut consumer) {
+                Ok(Some(frame)) => {
+                    self.handle_frame(peer, frame);
+                    if let Some(hub) = &self.metrics {
+                        let (spins, parks) = consumer.take_stats();
+                        if spins > 0 {
+                            hub.add(self.me, CounterId::ShmFullSpins, spins);
+                        }
+                        if parks > 0 {
+                            hub.add(self.me, CounterId::ShmDoorbellParks, parks);
+                        }
+                    }
+                }
+                Ok(None) => {
+                    // Clean EOF without a Finish frame would mean the
+                    // producer closed its ring mid-protocol; only the
+                    // stop flag (teardown) excuses it.
+                    if !self.finished[peer].load(Ordering::SeqCst)
+                        && !self.closing.load(Ordering::SeqCst)
+                        && !self.failed[peer].load(Ordering::SeqCst)
+                    {
+                        self.note_failed(peer);
+                    }
+                    return;
+                }
+                Err(e) => {
+                    if e.to_string().contains(CRC_MISMATCH) {
+                        if let Some(hub) = &self.metrics {
+                            hub.incr(self.me, CounterId::NetCrcRejects);
+                        }
+                    }
+                    if !self.closing.load(Ordering::SeqCst) {
+                        self.note_failed(peer);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ping every live peer on a cadence and declare the silent ones
+    /// failed. No probe step: there is no connection to cut and redial,
+    /// so silence past the timeout *is* the verdict.
+    fn heartbeat_loop(&self) {
+        loop {
+            std::thread::sleep(HEARTBEAT_EVERY);
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = self.elapsed_ms();
+            let ping = encode_frame(&Frame::Ping { seen: 0 });
+            let mut dead = Vec::new();
+            for peer in 0..self.np {
+                if peer == self.me
+                    || self.peers[peer].is_none()
+                    || self.finished[peer].load(Ordering::SeqCst)
+                    || self.failed[peer].load(Ordering::SeqCst)
+                {
+                    continue;
+                }
+                if self.write_to(peer, &ping) {
+                    if let Some(hub) = &self.metrics {
+                        hub.incr(self.me, CounterId::NetHeartbeats);
+                    }
+                }
+                let heard = self.last_heard[peer].load(Ordering::Relaxed);
+                if now.saturating_sub(heard) > SHM_PEER_TIMEOUT.as_millis() as u64 {
+                    dead.push(peer);
+                }
+            }
+            for peer in dead {
+                if !self.closing.load(Ordering::SeqCst) {
+                    self.note_failed(peer);
+                }
+            }
+        }
+    }
+}
+
+/// One process's handle on a shared-memory world: implements [`Fabric`]
+/// for the single rank this process hosts.
+pub struct ShmFabric {
+    inner: Arc<Inner>,
+}
+
+impl ShmFabric {
+    /// Join world `spec` as rank `me` over shared memory, using an
+    /// already-released rendezvous `table` whose entries all carry shm
+    /// advertisements, and the inbound rings this rank created before
+    /// registering (`inbound[peer]` = the ring peer writes into, paired
+    /// with its file path for the post-`Hello` unlink).
+    fn from_table(
+        me: usize,
+        spec: &WorldSpec,
+        table: &[String],
+        inbound: Vec<Option<(Arc<SpscRing>, PathBuf)>>,
+    ) -> Result<ShmFabric> {
+        let np = spec.np;
+        // Map every peer's inbound segment as our outbound ring. The
+        // files exist: each rank creates its inbound segments before
+        // registering, and the table only exists once everyone has.
+        let mut producers: Vec<Option<ShmPeer>> = Vec::with_capacity(np);
+        for (peer, addr) in table.iter().enumerate() {
+            if peer == me {
+                producers.push(None);
+                continue;
+            }
+            let (_, ad) = split_addr(addr);
+            let ad = ad.ok_or_else(|| {
+                Error::Codec(format!("rank {peer} has no shm advertisement in {addr}"))
+            })?;
+            let path = segment_path(Path::new(ad.dir), spec.epoch, me, peer);
+            let segment = Segment::open(&path)?;
+            let (ptr, len) = (segment.ptr, segment.len);
+            let ring = unsafe { SpscRing::attach_at(ptr, len, Some(Box::new(segment))) }
+                .map_err(|e| Error::Codec(format!("attach ring {}: {e}", path.display())))?;
+            producers.push(Some(ShmPeer {
+                producer: Mutex::new(ring.producer()),
+            }));
+        }
+
+        let stop_readers = Arc::new(AtomicBool::new(false));
+        let mut consumers: Vec<Option<Consumer>> = Vec::with_capacity(np);
+        let mut inbound_paths: Vec<Option<PathBuf>> = Vec::with_capacity(np);
+        for slot in inbound {
+            match slot {
+                Some((ring, path)) => {
+                    let mut consumer = ring.consumer();
+                    consumer.set_stop(Arc::clone(&stop_readers));
+                    consumers.push(Some(consumer));
+                    inbound_paths.push(Some(path));
+                }
+                None => {
+                    consumers.push(None);
+                    inbound_paths.push(None);
+                }
+            }
+        }
+
+        let inner = Arc::new(Inner {
+            me,
+            np,
+            names: (0..np)
+                .map(|r| format!("node-{:02}", r / spec.ranks_per_node + 1))
+                .collect(),
+            poll_interval: spec.poll_interval,
+            tracer: spec.tracer.clone(),
+            metrics: spec.metrics.clone(),
+            fault: spec.fault.clone().map(|plan| FaultState::new(plan, np)),
+            mailbox: match &spec.metrics {
+                Some(hub) => Mailbox::with_metrics(hub.clone(), me),
+                None => Mailbox::new(),
+            },
+            send_seq: AtomicU64::new(0),
+            finished: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
+            peers: producers,
+            inbound_paths: Mutex::new(inbound_paths),
+            last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+            agreements: Mutex::new(HashMap::new()),
+            agree_cv: Condvar::new(),
+            closing: AtomicBool::new(false),
+            stop_readers,
+        });
+        for (peer, consumer) in consumers.into_iter().enumerate() {
+            let Some(consumer) = consumer else { continue };
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("shm-reader-{peer}"))
+                .spawn(move || inner.reader_loop(peer, consumer))
+                .map_err(|e| Error::Codec(format!("spawn shm reader: {e}")))?;
+        }
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("shm-heartbeat".into())
+                .spawn(move || inner.heartbeat_loop())
+                .map_err(|e| Error::Codec(format!("spawn shm heartbeat: {e}")))?;
+        }
+        // Announce: the Hello confirms this producer's mapping, letting
+        // each consumer unlink the segment file behind it.
+        inner.broadcast(&Frame::Hello {
+            epoch: spec.epoch,
+            rank: me as u64,
+        });
+        Ok(ShmFabric { inner })
+    }
+
+    /// Abruptly stop all shm activity without announcing Finish or
+    /// closing the outbound rings — what a SIGKILL'd process looks like
+    /// from the outside (peers must detect it by heartbeat silence).
+    /// Test/diagnostic aid, the shm analogue of `TcpFabric::sever`.
+    pub fn sever(&self) {
+        self.inner.closing.store(true, Ordering::SeqCst);
+        self.inner.stop_readers.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Fabric for ShmFabric {
+    fn np(&self) -> usize {
+        self.inner.np
+    }
+
+    fn rank_name(&self, world_rank: usize) -> &str {
+        &self.inner.names[world_rank]
+    }
+
+    fn poll_interval(&self) -> Duration {
+        self.inner.poll_interval
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.inner.tracer.as_ref()
+    }
+
+    fn metrics(&self) -> Option<&MetricsHub> {
+        self.inner.metrics.as_ref()
+    }
+
+    fn record_msg(&self, _event: MsgEvent) {
+        // As on TCP: the legacy message log backs `run_traced`, pinned to
+        // the thread backend.
+    }
+
+    fn next_send_seq(&self, _me: usize) -> u64 {
+        self.inner.send_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fault_op(&self, me: usize, op: &'static str) -> Result<()> {
+        if let Some(fault) = &self.inner.fault {
+            if let Err(e) = fault.record_op(me, op) {
+                self.mark_failed(me);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn chaos_decision(&self, me: usize) -> Option<ChaosDecision> {
+        self.inner.fault.as_ref().map(|fault| fault.decide(me))
+    }
+
+    fn shares_address_space(&self, me: usize, dest: usize) -> bool {
+        // Peers share *memory* but not an address space: payload Arcs
+        // cannot cross, so only self-sends stay in-process.
+        me == dest
+    }
+
+    fn inline_payloads(&self) -> bool {
+        true
+    }
+
+    fn rank_alive(&self, world_rank: usize) -> bool {
+        !self.inner.finished[world_rank].load(Ordering::SeqCst)
+            && !self.inner.failed[world_rank].load(Ordering::SeqCst)
+    }
+
+    fn rank_failed(&self, world_rank: usize) -> bool {
+        self.inner.failed[world_rank].load(Ordering::SeqCst)
+    }
+
+    fn mark_failed(&self, world_rank: usize) {
+        let first_verdict = !self.inner.failed[world_rank].swap(true, Ordering::SeqCst);
+        {
+            let _lock = self.inner.agreements.lock();
+            self.inner.agree_cv.notify_all();
+        }
+        if world_rank == self.inner.me && first_verdict {
+            self.inner.broadcast(&Frame::Failed {
+                rank: world_rank as u64,
+            });
+        }
+    }
+
+    fn finish(&self, me: usize) {
+        self.inner.finished[me].store(true, Ordering::SeqCst);
+        {
+            let _lock = self.inner.agreements.lock();
+            self.inner.agree_cv.notify_all();
+        }
+        self.inner.broadcast(&Frame::Finish { rank: me as u64 });
+        // No drain budget: a completed `push_all` *is* delivery — the
+        // bytes sit in the consumer's own mapping, which survives this
+        // process arbitrarily outliving or predeceasing it. Close the
+        // outbound rings (peers read Finish, then EOF) and stop our own
+        // readers; anything peers send after our Finish is droppable.
+        self.inner.closing.store(true, Ordering::SeqCst);
+        for peer in self.inner.peers.iter().flatten() {
+            peer.producer.lock().close();
+        }
+        self.inner.stop_readers.store(true, Ordering::SeqCst);
+        // Inbound segments whose producer never confirmed its mapping
+        // (a peer that died before Hello) would leak; sweep them now.
+        for peer in 0..self.inner.np {
+            if self.inner.failed[peer].load(Ordering::SeqCst) {
+                self.inner.unlink_inbound(peer);
+            }
+        }
+    }
+
+    fn deliver(
+        &self,
+        _me: usize,
+        dest: usize,
+        env: Envelope,
+        overtake: usize,
+        duplicate: bool,
+    ) -> bool {
+        if dest == self.inner.me {
+            let mailbox = &self.inner.mailbox;
+            if duplicate {
+                mailbox.deliver_displaced(env.clone(), overtake);
+                return !mailbox.deliver_displaced(env, 0);
+            }
+            mailbox.deliver_displaced(env, overtake);
+            return false;
+        }
+        let record = encode_frame(&Frame::Env {
+            comm_id: env.comm_id,
+            src: env.src as u64,
+            tag: env.tag,
+            type_name: env.type_name.to_string(),
+            count: env.count as u64,
+            seq: env.seq,
+            needs_ack: env.needs_ack,
+            overtake: overtake as u32,
+            payload: env.payload.to_wire().to_vec(),
+        });
+        let mut ok = self.inner.write_to(dest, &record);
+        if ok && duplicate {
+            // Transmit a second copy; the receiving mailbox dedups it.
+            ok = self.inner.write_to(dest, &record);
+        }
+        if !ok && !self.inner.finished[dest].load(Ordering::SeqCst) {
+            self.inner.note_failed(dest);
+        }
+        false
+    }
+
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        assert_eq!(
+            world_rank, self.inner.me,
+            "a shm fabric only hosts its own rank's mailbox"
+        );
+        &self.inner.mailbox
+    }
+
+    fn publish_wait(&self, _me: usize, _record: WaitRecord) {}
+
+    fn clear_wait(&self, _me: usize) {}
+
+    fn deadlocked(&self, _me: usize) -> Option<String> {
+        None
+    }
+
+    fn agreement(&self, key: AgreeKey, me: usize, value: u64, group: &[usize]) -> AgreeSlot {
+        {
+            let mut slots = self.inner.agreements.lock();
+            slots.entry(key).or_default().insert(me, value);
+        }
+        self.inner.broadcast(&Frame::Agree {
+            comm_id: key.0,
+            kind: key.1,
+            seq: key.2,
+            rank: me as u64,
+            value,
+        });
+        let mut slots = self.inner.agreements.lock();
+        loop {
+            let slot = slots.entry(key).or_default();
+            let done = group.iter().all(|&w| {
+                slot.contains_key(&w)
+                    || self.inner.failed[w].load(Ordering::SeqCst)
+                    || self.inner.finished[w].load(Ordering::SeqCst)
+            });
+            if done {
+                return slot.clone();
+            }
+            self.inner
+                .agree_cv
+                .wait_for(&mut slots, self.inner.poll_interval);
+        }
+    }
+
+    fn prune_comm(&self, _me: usize, comm_id: u64) {
+        self.inner.mailbox.prune_comm(comm_id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Establishment: advertise, decide, build (or fall back)
+// ---------------------------------------------------------------------------
+
+/// Outcome of an shm attempt that got as far as the rendezvous.
+enum ShmAttempt {
+    /// Every rank co-located: the ring mesh is up.
+    Shm(ShmFabric),
+    /// Not co-located. The listener and (suffixed) table are handed back
+    /// so the TCP fallback can reuse them — a rank registers only once
+    /// per epoch, so the fallback must not re-register.
+    NotColocated(std::net::TcpListener, Vec<String>),
+}
+
+/// Attempt the shm path: pre-create inbound rings, advertise, decide.
+/// An `Err` means the attempt died *before* the verdict (unusable dir,
+/// mmap unsupported, rendezvous unreachable) with all created segment
+/// files already removed.
+fn try_establish_shm(
+    server: &str,
+    me: usize,
+    spec: &WorldSpec,
+    shm_dir: &Path,
+    host: &str,
+) -> Result<ShmAttempt> {
+    // Create this rank's inbound rings BEFORE registering, so the table's
+    // existence implies every producer's target file exists.
+    std::fs::create_dir_all(shm_dir)
+        .map_err(|e| Error::Codec(format!("create shm dir {}: {e}", shm_dir.display())))?;
+    let np = spec.np;
+    let mut inbound: Vec<Option<(Arc<SpscRing>, PathBuf)>> = Vec::with_capacity(np);
+    let seg_len = spsc::segment_len(SHM_RING_CAPACITY);
+    let cleanup = |inbound: &[Option<(Arc<SpscRing>, PathBuf)>]| {
+        for slot in inbound.iter().flatten() {
+            let _ = std::fs::remove_file(&slot.1);
+        }
+    };
+    for peer in 0..np {
+        if peer == me {
+            inbound.push(None);
+            continue;
+        }
+        let path = segment_path(shm_dir, spec.epoch, peer, me);
+        let result = Segment::create(&path, seg_len).map(|segment| {
+            let (ptr, len) = (segment.ptr, segment.len);
+            let ring = unsafe { SpscRing::init_at(ptr, len, Some(Box::new(segment))) };
+            (ring, path.clone())
+        });
+        match result {
+            Ok(pair) => inbound.push(Some(pair)),
+            Err(e) => {
+                cleanup(&inbound);
+                return Err(e);
+            }
+        }
+    }
+
+    // Register a TCP listener either way: it is the fallback transport,
+    // and its address keeps the advertisement format uniform.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| Error::Codec(format!("bind listener: {e}")))?;
+    let tcp_addr = listener
+        .local_addr()
+        .map_err(|e| Error::Codec(format!("listener address: {e}")))?
+        .to_string();
+    let advertised = format!("{tcp_addr}#shm:{host}:{}", shm_dir.display());
+    let table = match rendezvous::register(server, spec.epoch, me, np, &advertised) {
+        Ok(table) => table,
+        Err(e) => {
+            cleanup(&inbound);
+            return Err(e);
+        }
+    };
+
+    if all_colocated(&table) {
+        drop(listener); // rings won; nobody will dial
+        return Ok(ShmAttempt::Shm(ShmFabric::from_table(
+            me, spec, &table, inbound,
+        )?));
+    }
+    // Not co-located: remove the segments nobody will map.
+    cleanup(&inbound);
+    Ok(ShmAttempt::NotColocated(listener, table))
+}
+
+/// Join world `spec` as rank `me` through the mode's preferred
+/// transport. This is the one entry point `provide` uses for every
+/// `pmrun` worker world:
+///
+/// * [`FabricMode::Tcp`] — the classic TCP mesh, no advertisement;
+/// * [`FabricMode::Shm`] — rings or an error;
+/// * [`FabricMode::Auto`] — rings when every rank is co-located and no
+///   wire chaos is armed (chaos exercises reconnect/resume machinery
+///   that shared memory, having no wire, does not possess), else TCP.
+pub fn establish(
+    server: &str,
+    me: usize,
+    spec: &WorldSpec,
+    chaos: Option<NetChaosPlan>,
+    mode: FabricMode,
+    shm_dir: &Path,
+    host: &str,
+) -> Result<Arc<dyn Fabric>> {
+    let want_shm = match mode {
+        FabricMode::Tcp => false,
+        FabricMode::Shm => true,
+        FabricMode::Auto => chaos.is_none() && shm_supported(),
+    };
+    if !want_shm {
+        let fabric = TcpFabric::establish_with_chaos(server, me, spec, chaos)?;
+        return Ok(Arc::new(fabric));
+    }
+    match try_establish_shm(server, me, spec, shm_dir, host) {
+        Ok(ShmAttempt::Shm(fabric)) => Ok(Arc::new(fabric)),
+        Ok(ShmAttempt::NotColocated(listener, table)) => {
+            if mode == FabricMode::Shm {
+                return Err(Error::InvalidConfig(
+                    "--fabric shm but the world's ranks are not all co-located \
+                     (use --fabric auto to fall back to TCP)"
+                        .to_string(),
+                ));
+            }
+            let fabric = TcpFabric::from_table(listener, table, me, spec, chaos)?;
+            Ok(Arc::new(fabric))
+        }
+        Err(e) => {
+            // The attempt failed before the co-location verdict (dir or
+            // mmap trouble); it never registered, so a plain TCP
+            // establishment is still possible in auto mode.
+            if mode == FabricMode::Shm {
+                return Err(e);
+            }
+            let fabric = TcpFabric::establish_with_chaos(server, me, spec, chaos)?;
+            Ok(Arc::new(fabric))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternlets_mp::status::{SourceSel, TagSel};
+
+    fn spec(np: usize, epoch: u64) -> WorldSpec {
+        WorldSpec {
+            np,
+            ranks_per_node: 1,
+            fault: None,
+            poll_interval: Duration::from_millis(5),
+            tracer: None,
+            metrics: None,
+            epoch,
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("shm-fabric-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Establish a full shm mesh of `np` fabrics inside one test process —
+    /// each plays a different world rank, exactly as `np` processes would
+    /// (the segments are file-backed, so the mappings are genuinely
+    /// shared, not just shared Arcs).
+    fn mesh(np: usize, epoch: u64, tag: &str) -> (Vec<Arc<ShmFabric>>, PathBuf) {
+        let server = rendezvous::serve().unwrap().to_string();
+        let dir = scratch_dir(tag);
+        let handles: Vec<_> = (0..np)
+            .map(|me| {
+                let server = server.clone();
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    match try_establish_shm(&server, me, &spec(np, epoch), &dir, "testhost")
+                        .unwrap()
+                    {
+                        ShmAttempt::Shm(fabric) => Arc::new(fabric),
+                        ShmAttempt::NotColocated(..) => {
+                            panic!("one-host mesh decided not co-located")
+                        }
+                    }
+                })
+            })
+            .collect();
+        let fabrics = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (fabrics, dir)
+    }
+
+    fn env(comm_id: u64, src: usize, tag: i32, seq: u64) -> Envelope {
+        Envelope {
+            comm_id,
+            src,
+            tag,
+            type_name: "i64",
+            count: 1,
+            payload: Payload::Bytes(bytes::Bytes::from(vec![7, 0, 0, 0, 0, 0, 0, 0])),
+            seq,
+            needs_ack: false,
+        }
+    }
+
+    fn recv_one(fabric: &dyn Fabric, rank: usize, src: usize, tag: i32) -> Envelope {
+        fabric
+            .mailbox(rank)
+            .recv_match(
+                0,
+                SourceSel::Rank(src),
+                TagSel::Tag(tag),
+                Duration::from_millis(5),
+                || None,
+                || {},
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn addresses_split_and_rejoin() {
+        let (tcp, ad) = split_addr("127.0.0.1:4000#shm:hostA:/tmp/x:y");
+        assert_eq!(tcp, "127.0.0.1:4000");
+        let ad = ad.unwrap();
+        assert_eq!(ad.host, "hostA");
+        assert_eq!(ad.dir, "/tmp/x:y"); // dirs may contain colons
+        assert_eq!(split_addr("127.0.0.1:4000"), ("127.0.0.1:4000", None));
+        assert_eq!(tcp_part("127.0.0.1:1#shm:h:/d"), "127.0.0.1:1");
+    }
+
+    #[test]
+    fn colocation_requires_everyone_on_one_host() {
+        let same = vec![
+            "a:1#shm:h1:/d".to_string(),
+            "a:2#shm:h1:/e".to_string(), // different dirs are fine
+        ];
+        assert!(all_colocated(&same));
+        let split_hosts = vec!["a:1#shm:h1:/d".to_string(), "a:2#shm:h2:/d".to_string()];
+        assert!(!all_colocated(&split_hosts));
+        let one_plain = vec!["a:1#shm:h1:/d".to_string(), "a:2".to_string()];
+        assert!(!all_colocated(&one_plain));
+        assert!(!all_colocated(&[]));
+    }
+
+    #[test]
+    fn envelope_crosses_the_ring_and_matches() {
+        let (fabrics, dir) = mesh(2, 0, "envelope");
+        fabrics[0].deliver(0, 1, env(0, 0, 5, 0), 0, false);
+        let got = recv_one(fabrics[1].as_ref(), 1, 0, 5);
+        assert_eq!(got.tag, 5);
+        assert_eq!(got.type_name, "i64");
+        assert_eq!(got.payload.len(), 8);
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duplicate_transmissions_dedup_on_the_receiver() {
+        let (fabrics, dir) = mesh(2, 1, "dedup");
+        fabrics[0].deliver(0, 1, env(0, 0, 9, 0), 0, true);
+        fabrics[0].deliver(0, 1, env(0, 0, 9, 1), 0, false);
+        for want_seq in [0, 1] {
+            let got = recv_one(fabrics[1].as_ref(), 1, 0, 9);
+            assert_eq!(got.seq, want_seq);
+        }
+        assert!(fabrics[1].mailbox(1).is_empty(), "duplicate was swallowed");
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn finish_reads_as_clean_exit_not_failure() {
+        let (fabrics, dir) = mesh(2, 2, "finish");
+        fabrics[0].finish(0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fabrics[1].rank_alive(0) {
+            assert!(Instant::now() < deadline, "Finish frame never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!fabrics[1].rank_failed(0), "clean exit must not be failure");
+        fabrics[1].finish(1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn segment_files_are_unlinked_once_the_mesh_is_up() {
+        let (fabrics, dir) = mesh(2, 3, "unlink");
+        // Both sides exchange Hellos at establish; within a moment every
+        // segment file should be gone while the rings keep working.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let left = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+            if left == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{left} segment files still linked"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The unlinked rings still deliver.
+        fabrics[0].deliver(0, 1, env(0, 0, 4, 0), 0, false);
+        assert_eq!(recv_one(fabrics[1].as_ref(), 1, 0, 4).tag, 4);
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn silent_peer_is_declared_failed_by_heartbeat() {
+        let (fabrics, dir) = mesh(3, 4, "silence");
+        // Rank 0 "dies": no Finish, no ring close — only heartbeat
+        // silence, exactly the signature a SIGKILL leaves behind.
+        fabrics[0].sever();
+        let deadline = Instant::now() + SHM_PEER_TIMEOUT + Duration::from_secs(5);
+        for survivor in [1, 2] {
+            while !fabrics[survivor].rank_failed(0) {
+                assert!(Instant::now() < deadline, "heartbeat verdict never arrived");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert!(!fabrics[1].rank_failed(2), "survivors stay unfailed");
+        for me in [1, 2] {
+            fabrics[me].finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn agreement_completes_and_excludes_the_dead() {
+        let (fabrics, dir) = mesh(3, 5, "agree");
+        let group = [0, 1, 2];
+        let handles: Vec<_> = fabrics
+            .iter()
+            .enumerate()
+            .map(|(me, f)| {
+                let f = Arc::clone(f);
+                std::thread::spawn(move || f.agreement((0, 0, 0), me, me as u64 + 10, &group))
+            })
+            .collect();
+        for (me, h) in handles.into_iter().enumerate() {
+            let slot = h.join().unwrap();
+            assert_eq!(slot.len(), 3, "rank {me} saw all contributions");
+            assert_eq!(slot[&2], 12);
+        }
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn auto_falls_back_to_tcp_when_hosts_differ() {
+        let server = rendezvous::serve().unwrap().to_string();
+        let dir = scratch_dir("fallback");
+        let handles: Vec<_> = (0..2)
+            .map(|me| {
+                let server = server.clone();
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    // Each rank claims a different host: auto must fall
+                    // back to the TCP mesh on both sides.
+                    establish(
+                        &server,
+                        me,
+                        &spec(2, 6),
+                        None,
+                        FabricMode::Auto,
+                        &dir,
+                        &format!("host-{me}"),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        let fabrics: Vec<Arc<dyn Fabric>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The fallback mesh still delivers (over sockets).
+        fabrics[0].deliver(0, 1, env(0, 0, 8, 0), 0, false);
+        assert_eq!(recv_one(fabrics[1].as_ref(), 1, 0, 8).tag, 8);
+        // And the pre-created segments were cleaned up.
+        let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftover, 0, "fallback must remove its segment files");
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn explicit_shm_mode_refuses_split_hosts() {
+        let server = rendezvous::serve().unwrap().to_string();
+        let dir = scratch_dir("refuse");
+        let handles: Vec<_> = (0..2)
+            .map(|me| {
+                let server = server.clone();
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    establish(
+                        &server,
+                        me,
+                        &spec(2, 7),
+                        None,
+                        FabricMode::Shm,
+                        &dir,
+                        &format!("island-{me}"),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_err(), "shm mode must not fall back");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn large_payloads_stream_through_a_smaller_ring() {
+        let (fabrics, dir) = mesh(2, 8, "large");
+        // 4 MiB payload through 1 MiB rings: must stream, not wedge.
+        let big = vec![0xABu8; 4 << 20];
+        let payload = Payload::Bytes(bytes::Bytes::from(big.clone()));
+        let sender = {
+            let f = Arc::clone(&fabrics[0]);
+            std::thread::spawn(move || {
+                f.deliver(
+                    0,
+                    1,
+                    Envelope {
+                        comm_id: 0,
+                        src: 0,
+                        tag: 3,
+                        type_name: "u8",
+                        count: big.len(),
+                        payload,
+                        seq: 0,
+                        needs_ack: false,
+                    },
+                    0,
+                    false,
+                );
+            })
+        };
+        let got = recv_one(fabrics[1].as_ref(), 1, 0, 3);
+        assert_eq!(got.payload.len(), 4 << 20);
+        sender.join().unwrap();
+        for (me, f) in fabrics.iter().enumerate() {
+            f.finish(me);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

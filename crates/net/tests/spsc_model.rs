@@ -1,0 +1,192 @@
+//! Model-checking the SPSC byte ring against a linear-scan reference.
+//!
+//! The ring ([`patternlets_core::spsc`]) is the load-bearing primitive
+//! under the shm fabric: every wire frame between co-located ranks
+//! crosses exactly one of these. Its correctness claim is small —
+//! exactly-once, in-order byte delivery with a hard capacity bound —
+//! so it is checkable against the dumbest possible reference: a
+//! `VecDeque<u8>` mutated by linear scans. Proptest drives randomized
+//! op sequences (variable-length pushes and pops, decoded from plain
+//! words by bit-shifting, the same idiom as the mailbox model tests)
+//! through both and demands they never disagree: not on the bytes, not
+//! on the counts, not on the full/empty boundary behaviour.
+//!
+//! A final round pushes *wire frames* through a deliberately tiny ring
+//! from another thread — records larger than the ring, forced
+//! wraparound on every frame — and runs the unmodified TCP frame
+//! decoder over the consumer, which is exactly the shm fabric's hot
+//! path.
+
+use patternlets_core::spsc::SpscRing;
+use patternlets_net::frame::{encode_frame, read_frame, Frame};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::Read;
+
+/// One scripted step, decoded from a plain word so proptest shrinks to
+/// readable scripts: low bit picks the side, the rest sizes the record.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Offer an `n`-byte record; whatever fits is pushed.
+    Push(usize),
+    /// Ask for up to `n` bytes; whatever is queued comes out.
+    Pop(usize),
+}
+
+fn decode(word: u32, max_record: usize) -> Op {
+    let n = ((word >> 1) as usize % max_record) + 1;
+    if word & 1 == 0 {
+        Op::Push(n)
+    } else {
+        Op::Pop(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Single-threaded op scripts: after every step the ring and the
+    /// reference deque hold byte-identical contents, and neither side
+    /// ever over-fills or under-drains.
+    #[test]
+    fn ring_matches_the_linear_scan_reference(
+        capacity in 1usize..48,
+        ops in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let ring = SpscRing::heap(capacity);
+        let mut p = ring.producer();
+        let mut c = ring.consumer();
+        let mut model: VecDeque<u8> = VecDeque::new();
+        // Byte stream: a counter mod 251 (prime, so wraparound misplacing
+        // a byte can't alias back onto the right value).
+        let mut next_byte = 0u64;
+        for word in ops {
+            match decode(word, capacity + 8) {
+                Op::Push(n) => {
+                    let record: Vec<u8> =
+                        (next_byte..next_byte + n as u64).map(|b| (b % 251) as u8).collect();
+                    let wrote = p.try_push(&record);
+                    // Partial writes are the contract: exactly the free
+                    // space is taken, in order, nothing else.
+                    prop_assert_eq!(wrote, n.min(capacity - model.len()));
+                    model.extend(&record[..wrote]);
+                    next_byte += wrote as u64;
+                }
+                Op::Pop(n) => {
+                    let mut buf = vec![0u8; n];
+                    let got = c.try_pop(&mut buf);
+                    prop_assert_eq!(got, n.min(model.len()));
+                    let expected: Vec<u8> = model.drain(..got).collect();
+                    prop_assert_eq!(&buf[..got], &expected[..]);
+                }
+            }
+            // The bound, restated through the ring's own accounting.
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert!(ring.len() <= capacity);
+        }
+        // Final drain: everything still queued comes out in order.
+        let mut rest = vec![0u8; capacity];
+        let got = c.try_pop(&mut rest);
+        prop_assert_eq!(got, model.len());
+        let expected: Vec<u8> = model.drain(..).collect();
+        prop_assert_eq!(&rest[..got], &expected[..]);
+        prop_assert!(ring.is_empty());
+    }
+
+    /// The full/empty boundaries, pinned explicitly: a full ring takes
+    /// zero bytes, an empty ring yields zero bytes, and neither state
+    /// wedges — one pop reopens the producer, one push the consumer.
+    #[test]
+    fn full_and_empty_boundaries_are_exact(capacity in 1usize..32) {
+        let ring = SpscRing::heap(capacity);
+        let mut p = ring.producer();
+        let mut c = ring.consumer();
+        let mut empty_buf = [0u8; 4];
+        prop_assert_eq!(c.try_pop(&mut empty_buf), 0); // empty ring yields nothing
+        let fill: Vec<u8> = (0..capacity as u8).collect();
+        prop_assert_eq!(p.try_push(&fill), capacity);
+        prop_assert_eq!(p.try_push(b"x"), 0); // full ring takes nothing
+        let mut one = [0u8; 1];
+        prop_assert_eq!(c.try_pop(&mut one), 1);
+        prop_assert_eq!(one[0], 0);
+        prop_assert_eq!(p.try_push(b"x"), 1); // one pop reopens one byte
+        let mut drain = vec![0u8; capacity];
+        prop_assert_eq!(c.try_pop(&mut drain), capacity);
+        prop_assert_eq!(drain[capacity - 1], b'x');
+    }
+
+    /// Exactly-once, in-order delivery under a real reader/writer race:
+    /// the producer thread pushes variable-length records (sizes from
+    /// the proptest script, many larger than the ring), the consumer
+    /// reads in differently-sized chunks, and the concatenation must be
+    /// the identity.
+    #[test]
+    fn threaded_records_arrive_exactly_once_in_order(
+        capacity in 1usize..24,
+        record_sizes in proptest::collection::vec(1usize..80, 1..24),
+        read_chunk in 1usize..64,
+    ) {
+        let ring = SpscRing::heap(capacity);
+        let mut p = ring.producer();
+        let mut c = ring.consumer();
+        let total: usize = record_sizes.iter().sum();
+        let writer = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            for n in record_sizes {
+                let record: Vec<u8> =
+                    (sent..sent + n as u64).map(|b| (b % 251) as u8).collect();
+                p.push_all(&record, || false).unwrap();
+                sent += n as u64;
+            }
+            p.close();
+        });
+        let mut got = Vec::with_capacity(total);
+        let mut buf = vec![0u8; read_chunk];
+        loop {
+            let n = c.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        writer.join().unwrap();
+        prop_assert_eq!(got.len(), total);
+        prop_assert!(got.iter().enumerate().all(|(i, &b)| b == (i as u64 % 251) as u8));
+    }
+
+    /// The shm fabric's actual hot path: whole wire frames through a
+    /// tiny ring, decoded by the unmodified TCP codec. Every frame must
+    /// come back intact and in order, ending in clean EOF.
+    #[test]
+    fn wire_frames_survive_a_ring_smaller_than_one_record(
+        payload_sizes in proptest::collection::vec(0usize..300, 1..12),
+    ) {
+        let ring = SpscRing::heap(32);
+        let mut p = ring.producer();
+        let mut c = ring.consumer();
+        let frames: Vec<Frame> = payload_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Frame::JobLine {
+                job: i as u64,
+                rank: (i % 7) as u64,
+                line: "x".repeat(n),
+            })
+            .collect();
+        let writer = std::thread::spawn({
+            let frames = frames.clone();
+            move || {
+                for frame in &frames {
+                    p.push_all(&encode_frame(frame), || false).unwrap();
+                }
+                p.close();
+            }
+        });
+        for expected in &frames {
+            let got = read_frame(&mut c).unwrap().expect("a frame before EOF");
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert!(read_frame(&mut c).unwrap().is_none(), "clean EOF after the last frame");
+        writer.join().unwrap();
+    }
+}

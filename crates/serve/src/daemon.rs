@@ -224,14 +224,14 @@ fn cluster_conn(
             // core until its epoch completes.
             core.admit(epoch, rank as usize, np as usize, addr, conn);
         }
-        Ok(Some(Frame::WorkerHello { pid })) => {
+        Ok(Some(Frame::WorkerHello { pid, host })) => {
             // A worker joining the pool: this thread becomes its reader.
             let _ = conn.set_read_timeout(None);
             conn.set_nodelay(true).ok();
             let Ok(write_half) = conn.try_clone() else {
                 return;
             };
-            let id = pool.join(pid, write_half);
+            let id = pool.join(pid, host, write_half);
             let _ = tx.send(Event::WorkerJoined(id));
             loop {
                 match read_frame(&mut conn) {
@@ -483,12 +483,16 @@ fn workers(conn: &mut TcpStream, shared: &HttpShared) -> std::io::Result<()> {
         .iter()
         .map(|w| match w.busy_on {
             Some(job) => format!(
-                "{{\"id\": {}, \"pid\": {}, \"state\": \"busy\", \"job\": {job}}}",
-                w.id, w.pid
+                "{{\"id\": {}, \"pid\": {}, \"host\": \"{}\", \"state\": \"busy\", \"job\": {job}}}",
+                w.id,
+                w.pid,
+                escape(&w.host)
             ),
             None => format!(
-                "{{\"id\": {}, \"pid\": {}, \"state\": \"idle\"}}",
-                w.id, w.pid
+                "{{\"id\": {}, \"pid\": {}, \"host\": \"{}\", \"state\": \"idle\"}}",
+                w.id,
+                w.pid,
+                escape(&w.host)
             ),
         })
         .collect();

@@ -20,6 +20,10 @@ pub type WorkerId = u64;
 
 struct WorkerEntry {
     pid: u64,
+    /// The host the worker reported in its hello — surfaced in
+    /// `GET /workers` so operators can see the pool's physical spread,
+    /// and the input a placement-aware scheduler would group by.
+    host: String,
     /// Write side of the control connection (reads happen on the
     /// daemon's dedicated reader thread for this worker).
     conn: Arc<Mutex<TcpStream>>,
@@ -47,6 +51,8 @@ pub struct WorkerView {
     pub id: WorkerId,
     /// The worker process's pid (0 for thread workers).
     pub pid: u64,
+    /// The host it reported in its hello.
+    pub host: String,
     /// The job it is running, if busy.
     pub busy_on: Option<u64>,
 }
@@ -58,7 +64,7 @@ impl WorkerPool {
     }
 
     /// Admit a worker whose hello arrived on `conn`; returns its id.
-    pub fn join(&self, pid: u64, conn: TcpStream) -> WorkerId {
+    pub fn join(&self, pid: u64, host: String, conn: TcpStream) -> WorkerId {
         let mut p = self.inner.lock().expect("pool lock");
         p.next_id += 1;
         let id = p.next_id;
@@ -66,6 +72,7 @@ impl WorkerPool {
             id,
             WorkerEntry {
                 pid,
+                host,
                 conn: Arc::new(Mutex::new(conn)),
                 busy_on: None,
             },
@@ -161,6 +168,7 @@ impl WorkerPool {
             .map(|(&id, w)| WorkerView {
                 id,
                 pid: w.pid,
+                host: w.host.clone(),
                 busy_on: w.busy_on,
             })
             .collect()
@@ -183,8 +191,8 @@ mod tests {
     #[test]
     fn claim_is_all_or_nothing() {
         let pool = WorkerPool::new();
-        let a = pool.join(100, sock());
-        let _b = pool.join(101, sock());
+        let a = pool.join(100, "node-a".into(), sock());
+        let _b = pool.join(101, "node-b".into(), sock());
         assert_eq!(pool.live(), 2);
         assert!(pool.claim(3, 1).is_none(), "not enough workers");
         assert_eq!(pool.idle(), 2, "failed claim left nothing marked busy");
@@ -198,7 +206,7 @@ mod tests {
     #[test]
     fn leave_reports_the_orphaned_job() {
         let pool = WorkerPool::new();
-        let a = pool.join(100, sock());
+        let a = pool.join(100, "node-a".into(), sock());
         pool.claim(1, 7).unwrap();
         assert_eq!(pool.leave(a), Some(7));
         assert_eq!(pool.live(), 0);
@@ -208,9 +216,9 @@ mod tests {
     #[test]
     fn ids_are_never_reused() {
         let pool = WorkerPool::new();
-        let a = pool.join(1, sock());
+        let a = pool.join(1, "h".into(), sock());
         pool.leave(a);
-        let b = pool.join(2, sock());
+        let b = pool.join(2, "h".into(), sock());
         assert_ne!(a, b);
     }
 }

@@ -143,6 +143,7 @@ pub fn run_worker(cluster_addr: &str, runner: impl JobRunner) -> std::io::Result
         &mut *conn.lock().expect("worker conn lock"),
         &Frame::WorkerHello {
             pid: std::process::id() as u64,
+            host: patternlets_net::shm::hostname(),
         },
     )?;
     install_job_fabric();

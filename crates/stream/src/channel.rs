@@ -44,6 +44,20 @@ use std::sync::Arc;
 /// several million trivial items a second on one core.
 pub(crate) const BATCH: usize = 32;
 
+/// The per-transfer batch for a queue of `capacity` slots: [`BATCH`],
+/// clamped to the capacity (min 1). The clamp aligns the transfer unit
+/// with the queue bound: a receiver asking for a *full* queueful moves
+/// everything available in one lock acquisition, so a small queue costs
+/// one park/notify cycle per `capacity` items — the best it can do.
+/// Clamping below capacity is actively harmful (a `capacity/2` batch
+/// makes the consumer wake twice to drain one queueful, measured at
+/// 0.69M vs 1.10M items/sec through a capacity-8 farm), and clamping
+/// above it buys nothing: `send_many`/`recv_many` already move partial
+/// batches, so the extra headroom never transfers.
+pub(crate) fn batch_for(capacity: usize) -> usize {
+    BATCH.min(capacity.max(1))
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
     /// Set by [`Sender::close`] or the last `Sender` drop: no more items

@@ -18,7 +18,7 @@
 //! plus injections minus completions — and the worker that finishes the
 //! last one closes the queue for everyone.
 
-use crate::channel::{bounded, unbounded, Sender, BATCH};
+use crate::channel::{batch_for, bounded, unbounded, Sender};
 use crate::Obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,15 +70,16 @@ where
     let capacity = cfg.capacity.max(1);
     let (work_tx, work_rx) = bounded::<(u64, T)>(capacity, cfg.queue_base, &cfg.obs);
     let (res_tx, res_rx) = bounded::<(u64, U)>(capacity, cfg.queue_base + 1, &cfg.obs);
+    let chunk = batch_for(capacity);
     let input = input.into_iter();
     std::thread::scope(|s| {
         let emitter_tx = work_tx.for_lane(0);
         drop(work_tx);
         s.spawn(move || {
-            let mut batch = Vec::with_capacity(BATCH);
+            let mut batch = Vec::with_capacity(chunk);
             for pair in (0..).zip(input) {
                 batch.push(pair);
-                if batch.len() == BATCH && !emitter_tx.send_many(batch.drain(..)) {
+                if batch.len() == chunk && !emitter_tx.send_many(batch.drain(..)) {
                     return;
                 }
             }
@@ -89,8 +90,8 @@ where
             let tx = res_tx.for_lane(w + 1);
             let worker = &worker;
             s.spawn(move || {
-                let mut out = Vec::with_capacity(BATCH);
-                while let Some(batch) = rx.recv_many(BATCH) {
+                let mut out = Vec::with_capacity(chunk);
+                while let Some(batch) = rx.recv_many(chunk) {
                     out.extend(batch.into_iter().map(|(seq, item)| (seq, worker(item))));
                     if !tx.send_many(out.drain(..)) {
                         break;
@@ -105,7 +106,7 @@ where
             // The reorder buffer: completion order in, emission order out.
             let mut next = 0u64;
             let mut pending: HashMap<u64, U> = HashMap::new();
-            while let Some(batch) = res_rx.recv_many(BATCH) {
+            while let Some(batch) = res_rx.recv_many(chunk) {
                 for (seq, result) in batch {
                     if seq == next {
                         collect(result);
@@ -121,7 +122,7 @@ where
             }
             assert!(pending.is_empty(), "every buffered result was released");
         } else {
-            while let Some(batch) = res_rx.recv_many(BATCH) {
+            while let Some(batch) = res_rx.recv_many(chunk) {
                 for (_, result) in batch {
                     collect(result);
                 }

@@ -41,10 +41,12 @@
 pub mod channel;
 pub mod farm;
 pub mod pipeline;
+pub mod spsc_edge;
 
 pub use channel::{bounded, unbounded, Receiver, Sender};
 pub use farm::{farm_feedback, run_farm, FarmConfig, Feedback};
 pub use pipeline::Pipeline;
+pub use spsc_edge::{spsc_edge, SpscReceiver, SpscSender};
 
 use patternlets_metrics::MetricsHub;
 use patternlets_trace::Tracer;

@@ -11,8 +11,15 @@
 //! every stage is a single thread, so items leave the sink in exactly the
 //! order the source produced them — no sequence numbers needed (the farm
 //! is where those live).
+//!
+//! That same topology fact — every queue is statically 1:1 — is why the
+//! edges here are the lock-free [`spsc_edge`](crate::spsc_edge) rings
+//! rather than the mutex-guarded MPMC channel the farm uses: a pipeline
+//! edge never has a second producer or consumer to synchronize with, so
+//! it pays two atomics per batch instead of a lock acquisition.
 
-use crate::channel::{bounded, Receiver, BATCH};
+use crate::channel::batch_for;
+use crate::spsc_edge::{spsc_edge, SpscReceiver};
 use crate::Obs;
 use std::thread::JoinHandle;
 
@@ -35,7 +42,7 @@ impl Ctx {
 
 /// The deferred construction of a pipeline suffix: spawns the stage
 /// threads into `Ctx` and hands back the suffix's output queue.
-type BuildFn<T> = Box<dyn FnOnce(&mut Ctx) -> Receiver<T> + Send>;
+type BuildFn<T> = Box<dyn FnOnce(&mut Ctx) -> SpscReceiver<T> + Send>;
 
 /// A pipeline whose last stage yields items of type `T`. Extend it with
 /// [`Pipeline::stage`], execute it with [`Pipeline::run`] or
@@ -55,13 +62,14 @@ impl<T: Send + 'static> Pipeline<T> {
     {
         Pipeline {
             build: Box::new(move |ctx| {
-                let (tx, rx) = bounded(ctx.capacity, ctx.alloc_queue(), &ctx.obs);
+                let (tx, rx) = spsc_edge(ctx.capacity, ctx.alloc_queue(), &ctx.obs);
                 let tx = tx.for_lane(0);
+                let chunk = batch_for(ctx.capacity);
                 ctx.handles.push(std::thread::spawn(move || {
-                    let mut batch = Vec::with_capacity(BATCH);
+                    let mut batch = Vec::with_capacity(chunk);
                     for item in items {
                         batch.push(item);
-                        if batch.len() == BATCH && !tx.send_many(batch.drain(..)) {
+                        if batch.len() == chunk && !tx.send_many(batch.drain(..)) {
                             return; // downstream abandoned the stream
                         }
                     }
@@ -85,11 +93,12 @@ impl<T: Send + 'static> Pipeline<T> {
         Pipeline {
             build: Box::new(move |ctx| {
                 let input = upstream(ctx).for_lane(lane);
-                let (tx, rx) = bounded(ctx.capacity, ctx.alloc_queue(), &ctx.obs);
+                let (tx, rx) = spsc_edge(ctx.capacity, ctx.alloc_queue(), &ctx.obs);
                 let tx = tx.for_lane(lane);
+                let chunk = batch_for(ctx.capacity);
                 ctx.handles.push(std::thread::spawn(move || {
-                    let mut out = Vec::with_capacity(BATCH);
-                    while let Some(batch) = input.recv_many(BATCH) {
+                    let mut out = Vec::with_capacity(chunk);
+                    while let Some(batch) = input.recv_many(chunk) {
                         out.extend(batch.into_iter().map(&mut f));
                         if !tx.send_many(out.drain(..)) {
                             break;
@@ -117,8 +126,9 @@ impl<T: Send + 'static> Pipeline<T> {
             next_queue: 0,
         };
         let sink_lane = self.stages;
+        let chunk = batch_for(ctx.capacity);
         let rx = (self.build)(&mut ctx).for_lane(sink_lane);
-        while let Some(batch) = rx.recv_many(BATCH) {
+        while let Some(batch) = rx.recv_many(chunk) {
             for item in batch {
                 sink(item);
             }
