@@ -377,8 +377,8 @@ impl SpscRing {
         assert!(capacity >= 1, "ring capacity must be at least 1");
         let len = segment_len(capacity);
         // 8-aligned backing store; Box<[u64]> keeps the allocation alive.
-        let words = vec![0u64; len.div_ceil(8)].into_boxed_slice();
-        let mem = words.as_ptr() as *mut u8;
+        let mut words = vec![0u64; len.div_ceil(8)].into_boxed_slice();
+        let mem = words.as_mut_ptr() as *mut u8;
         unsafe { SpscRing::init_at(mem, len, Some(Box::new(words))) }
     }
 

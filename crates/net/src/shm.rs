@@ -82,6 +82,16 @@ pub const SHM_RING_CAPACITY: usize = 1 << 20;
 /// no reconnect round to serve, so the heartbeat *is* the detector.
 pub const SHM_PEER_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// A peer that has never delivered a frame gets this long (from this
+/// rank's own establish) before its silence counts as failure: the
+/// peer's establishment — mapping `np` segments, pushing its Hello —
+/// can lag well past one [`SHM_PEER_TIMEOUT`] on a loaded host, and
+/// declaring it dead before it ever speaks is a false verdict.
+pub const SHM_ESTABLISH_GRACE: Duration = Duration::from_secs(10);
+
+/// `last_heard` sentinel: no frame from this peer yet.
+const NEVER_HEARD: u64 = u64::MAX;
+
 // ---------------------------------------------------------------------------
 // Raw mmap (no libc in the vendored dependency set)
 // ---------------------------------------------------------------------------
@@ -401,7 +411,9 @@ impl Inner {
             .is_ok();
         if let Some(hub) = &self.metrics {
             let (spins, parks) = producer.take_stats();
-            hub.incr(peer, CounterId::ShmSends);
+            if ok {
+                hub.incr(peer, CounterId::ShmSends);
+            }
             if spins > 0 {
                 hub.add(self.me, CounterId::ShmFullSpins, spins);
             }
@@ -585,7 +597,15 @@ impl Inner {
                     }
                 }
                 let heard = self.last_heard[peer].load(Ordering::Relaxed);
-                if now.saturating_sub(heard) > SHM_PEER_TIMEOUT.as_millis() as u64 {
+                let timed_out = if heard == NEVER_HEARD {
+                    // Not a word yet: measure from our own establish,
+                    // with the longer grace — the peer may still be
+                    // mapping segments.
+                    now > SHM_ESTABLISH_GRACE.as_millis() as u64
+                } else {
+                    now.saturating_sub(heard) > SHM_PEER_TIMEOUT.as_millis() as u64
+                };
+                if timed_out {
                     dead.push(peer);
                 }
             }
@@ -677,7 +697,7 @@ impl ShmFabric {
             failed: (0..np).map(|_| AtomicBool::new(false)).collect(),
             peers: producers,
             inbound_paths: Mutex::new(inbound_paths),
-            last_heard: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            last_heard: (0..np).map(|_| AtomicU64::new(NEVER_HEARD)).collect(),
             start: Instant::now(),
             agreements: Mutex::new(HashMap::new()),
             agree_cv: Condvar::new(),

@@ -296,6 +296,16 @@ impl<T> SpscReceiver<T> {
                 return Some((head, tail));
             }
             if ring.closed.load(Ordering::Acquire) {
+                // The producer publishes items (tail.store Release) and
+                // only then closes, so after observing `closed` the tail
+                // must be re-read: both stores can land between our two
+                // loads, and trusting the stale empty tail here would
+                // drop the final batch. Mirrors `spsc.rs` Consumer::read,
+                // which checks availability after `is_closed()`.
+                let tail = ring.tail.0.load(Ordering::Acquire);
+                if tail != head {
+                    return Some((head, tail));
+                }
                 // Closed AND drained (tail == head): the stream is over.
                 self.ring.trace_eos_once(self.lane);
                 return None;
@@ -411,6 +421,28 @@ mod tests {
         assert_eq!(rx.recv(), Some(2));
         assert_eq!(rx.recv(), None);
         assert_eq!(rx.recv(), None); // EOS is sticky
+    }
+
+    #[test]
+    fn no_items_lost_when_close_races_the_empty_check() {
+        // Regression: the consumer would observe an empty tail, then see
+        // `closed` (both the final publish and the close landing between
+        // its two loads) and declare EOS with items still queued. Racing
+        // a send-then-drop producer against a draining consumer many
+        // times over makes that window easy to hit.
+        for round in 0..200 {
+            let (tx, rx) = spsc_edge(8, 0, &Obs::none());
+            let n = 1 + round % 7;
+            let producer = thread::spawn(move || {
+                for i in 0..n {
+                    assert!(tx.send(i));
+                }
+                // drop(tx) closes the edge right behind the last publish
+            });
+            let got: Vec<usize> = std::iter::from_fn(|| rx.recv()).collect();
+            producer.join().unwrap();
+            assert_eq!(got, (0..n).collect::<Vec<_>>(), "round {round}");
+        }
     }
 
     #[test]
