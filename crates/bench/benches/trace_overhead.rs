@@ -43,6 +43,40 @@ fn bench(c: &mut Criterion) {
             })
         });
 
+        // The message path is where the causal-stitching bookkeeping
+        // lives (per-stream seq on MsgRecv, flow-event pairing in the
+        // exporter): the off series must not move when that machinery
+        // changes — the closures still never run without a tracer.
+        g.bench_with_input(BenchmarkId::new("mp_ring_off", np), &np, |b, &np| {
+            b.iter(|| {
+                World::run(np, |comm| {
+                    let next = (comm.rank() + 1) % comm.size();
+                    for round in 0..10i32 {
+                        comm.send_one(comm.rank() as u64, next, round + 1).unwrap();
+                        comm.recv_one::<u64>(patternlets_mp::SourceSel::Any, round + 1)
+                            .unwrap();
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mp_ring_traced", np), &np, |b, &np| {
+            b.iter(|| {
+                let tracer = Tracer::new();
+                World::builder(np)
+                    .tracer(tracer.clone())
+                    .run(|comm| {
+                        let next = (comm.rank() + 1) % comm.size();
+                        for round in 0..10i32 {
+                            comm.send_one(comm.rank() as u64, next, round + 1).unwrap();
+                            comm.recv_one::<u64>(patternlets_mp::SourceSel::Any, round + 1)
+                                .unwrap();
+                        }
+                    })
+                    .unwrap();
+                tracer.drain().events.len()
+            })
+        });
+
         g.bench_with_input(BenchmarkId::new("team_barrier_off", np), &np, |b, &n| {
             b.iter(|| {
                 Team::new(n).parallel(|ctx| {

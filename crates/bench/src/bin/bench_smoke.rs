@@ -276,6 +276,7 @@ fn gateway_jobs_per_sec(http: &str, clients: usize, iters: usize) -> f64 {
                                 on: false,
                                 chaos: String::new(),
                                 retries: None,
+                                trace: false,
                             },
                         )
                         .expect("gateway admits");

@@ -6,6 +6,7 @@
 //! patternlets run <name> [-n TASKS] [--on|--off] [--kill RANK]
 //!                        [--trace FILE] [--timeline] [--counters]
 //!                        [--metrics]
+//! patternlets analyze <TRACE.json> [--json]
 //! patternlets coverage
 //! ```
 //!
@@ -19,6 +20,11 @@
 //! `--metrics` records quantitative counters/histograms and prints the
 //! end-of-run summary table; under `pmrun`, `PMRUN_METRICS_ADDR` turns
 //! metrics on automatically and streams snapshots to the launcher.
+//!
+//! `analyze` rebuilds the happened-before DAG from a trace file (a
+//! single rank's export or a `pmrun --trace` merge) and reports the
+//! critical path, per-rank compute/blocked/barrier breakdown, and the
+//! run's causal message depth.
 
 use std::process::ExitCode;
 
@@ -77,6 +83,15 @@ fn main() -> ExitCode {
             coverage();
             ExitCode::SUCCESS
         }
+        // Critical-path analysis of a trace file written by `run --trace`
+        // or `pmrun --trace`.
+        Some("analyze") => match args.get(1) {
+            Some(path) => analyze_cmd(path, args.iter().any(|a| a == "--json")),
+            None => {
+                eprintln!("usage: patternlets analyze <TRACE.json> [--json]");
+                ExitCode::FAILURE
+            }
+        },
         // Elastic-cluster mode: join a pmserve daemon's worker pool and
         // run assigned patternlets until the daemon shuts us down.
         Some("worker") => match args.get(1) {
@@ -118,15 +133,53 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: patternlets <list|show|run|coverage|figures|worker|submit> [name] \
+                "usage: patternlets <list|show|run|analyze|coverage|figures|worker|submit> [name] \
                  [-n TASKS] [--on] [--kill RANK] [--trace FILE] [--timeline] [--counters] \
                  [--metrics]\n\
+                 \x20      analyze <TRACE.json>    critical-path report for a captured trace\n\
                  \x20      worker <cluster-addr>   join a pmserve daemon's worker pool\n\
                  \x20      submit <name> [...]     submit a job to a pmserve HTTP gateway"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// Body of `patternlets analyze`: load a Chrome-trace export and print
+/// the critical-path report (text by default, the JSON document with
+/// `--json`).
+fn analyze_cmd(path: &str, json: bool) -> ExitCode {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("patternlets analyze: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match patternlets_trace::analyze::from_chrome_json(&contents) {
+        Ok(analysis) => {
+            if json {
+                println!("{}", analysis.to_json());
+            } else {
+                print!("{}", analysis.render_text());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("patternlets analyze: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The tracer origin as a wall-clock anchor, corrected by this rank's
+/// estimated clock offset to rank 0 — what
+/// [`chrome::to_chrome_json_with_base`] stamps into the export so a
+/// multi-process merge can align independently started processes.
+fn trace_base_ns(tracer: &Tracer) -> u64 {
+    tracer
+        .origin_unix_ns()
+        .saturating_add_signed(patternlets_net::clock_offset_ns())
 }
 
 /// The registry-backed job runner for `patternlets worker`: each
@@ -158,7 +211,24 @@ fn worker_mode(addr: &str) -> ExitCode {
         let hub = MetricsHub::new();
         let mut cfg = RunConfig::new(assign.np, mode).with_metrics(hub.clone());
         cfg.output = Output::echoing_to(lines.clone().into_line_writer());
+        // A traced assignment runs under a tracer and ships this rank's
+        // clock-anchored Chrome export back; the daemon merges all ranks
+        // and serves the result at /jobs/:id/trace.
+        let tracer = if assign.trace {
+            let t = Tracer::new();
+            cfg = cfg.with_tracer(t.clone());
+            Some(t)
+        } else {
+            None
+        };
         (p.run)(&cfg);
+        if let Some(tracer) = tracer {
+            let trace = tracer.drain();
+            lines.trace(&chrome::to_chrome_json_with_base(
+                &trace,
+                trace_base_ns(&tracer),
+            ));
+        }
         if assign.rank == 0 {
             lines.line("");
         }
@@ -174,13 +244,16 @@ fn worker_mode(addr: &str) -> ExitCode {
 }
 
 /// `patternlets submit NAME [--addr HOST:PORT] [-n NP] [--on]
-/// [--chaos SPEC] [--retries N] [--detach]` — submit to a pmserve
-/// gateway and (unless detached) stream the job's output back live.
+/// [--chaos SPEC] [--retries N] [--traced] [--detach]` — submit to a
+/// pmserve gateway and (unless detached) stream the job's output back
+/// live. `--traced` asks the daemon to capture an execution trace
+/// (fetch it from `/jobs/:id/trace`, the report from
+/// `/jobs/:id/analysis`).
 fn submit_cmd(args: &[String]) -> ExitCode {
     let Some(name) = args.first().filter(|a| !a.starts_with('-')) else {
         eprintln!(
             "usage: patternlets submit <name> [--addr HOST:PORT] [-n NP] [--on] \
-             [--chaos SPEC] [--retries N] [--detach]\n\
+             [--chaos SPEC] [--retries N] [--traced] [--detach]\n\
              (the gateway address may also come from ${})",
             patternlets_serve::client::ENV_GATEWAY
         );
@@ -210,6 +283,7 @@ fn submit_cmd(args: &[String]) -> ExitCode {
         on: args.iter().any(|a| a == "--on"),
         chaos: flag_value("--chaos").cloned().unwrap_or_default(),
         retries: flag_value("--retries").and_then(|v| v.parse().ok()),
+        trace: args.iter().any(|a| a == "--traced"),
     };
     let job = match patternlets_serve::client::submit(&addr, &spec) {
         Ok(job) => job,
@@ -323,16 +397,18 @@ fn run_patternlet(p: &Patternlet, args: &[String], net: Option<&NetEnv>) -> Exit
     }
     if let Some(tracer) = tracer {
         let trace = tracer.drain();
+        let base = trace_base_ns(&tracer);
         if let (Some(dir), Some(env)) = (&trace_dir, net) {
-            // One file per rank; pmrun merges them into a single timeline.
+            // One file per rank, each stamped with its clock-corrected
+            // wall anchor; pmrun merges them into one aligned timeline.
             let path = format!("{dir}/rank-{}.json", env.rank);
-            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
+            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json_with_base(&trace, base)) {
                 eprintln!("failed to write trace to {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
         if let Some(path) = trace_file {
-            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json(&trace)) {
+            if let Err(e) = std::fs::write(&path, chrome::to_chrome_json_with_base(&trace, base)) {
                 eprintln!("failed to write trace to {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -344,7 +420,16 @@ fn run_patternlet(p: &Patternlet, args: &[String], net: Option<&NetEnv>) -> Exit
             }
         }
         if want_timeline && chatty {
-            println!("{}", timeline::render(&trace));
+            // Under a launcher each lane is a world rank of a
+            // multi-process run, not an anonymous local lane — label it
+            // with that identity.
+            match net {
+                Some(_) => println!(
+                    "{}",
+                    timeline::render_with_labels(&trace, |lane| format!("rank {lane}"))
+                ),
+                None => println!("{}", timeline::render(&trace)),
+            }
         }
         if want_counters && chatty {
             print_counters(&trace);

@@ -192,6 +192,7 @@ fn spec(patternlet: &str, np: usize, retries: Option<u32>) -> SubmitSpec {
         on: false,
         chaos: String::new(),
         retries,
+        trace: false,
     }
 }
 

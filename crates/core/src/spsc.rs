@@ -420,6 +420,8 @@ impl SpscRing {
             ring: Arc::clone(self),
             spins: 0,
             parks: 0,
+            spin_waits: 0,
+            park_waits: 0,
         }
     }
 
@@ -430,6 +432,8 @@ impl SpscRing {
             stop: None,
             spins: 0,
             parks: 0,
+            spin_waits: 0,
+            park_waits: 0,
         }
     }
 }
@@ -452,6 +456,12 @@ pub struct Producer {
     /// Doorbell parks taken on a full ring since the last
     /// [`take_stats`](Producer::take_stats).
     parks: u64,
+    /// Blocked pushes that resolved in the spin/yield phase (no park)
+    /// since the last [`take_wait_stats`](Producer::take_wait_stats).
+    spin_waits: u64,
+    /// Blocked pushes that parked at least once since the last
+    /// [`take_wait_stats`](Producer::take_wait_stats).
+    park_waits: u64,
 }
 
 impl Producer {
@@ -497,6 +507,10 @@ impl Producer {
     /// true return abandons the write mid-record — only do that when the
     /// consumer is gone for good.
     pub fn push_all(&mut self, mut buf: &[u8], abort: impl Fn() -> bool) -> Result<(), PushError> {
+        // One blocked call = one wait episode, classified by whether it
+        // ever reached a park — the mailbox's RecvSpin/RecvPark split.
+        let mut waited = false;
+        let mut parked = false;
         while !buf.is_empty() {
             let n = self.try_push(buf);
             buf = &buf[n..];
@@ -505,6 +519,7 @@ impl Producer {
             }
             // Full: spin briefly, then yield the core to the consumer,
             // then park on the producer doorbell.
+            waited = true;
             let mut moved = false;
             for _ in 0..spin_budget() {
                 self.spins += 1;
@@ -536,10 +551,18 @@ impl Producer {
             }
             if abort() {
                 hdr.producer_bell.cancel_park();
+                self.park_waits += u64::from(parked);
+                self.spin_waits += u64::from(!parked);
                 return Err(PushError::Aborted);
             }
             self.parks += 1;
+            parked = true;
             hdr.producer_bell.park(PARK_NS);
+        }
+        if parked {
+            self.park_waits += 1;
+        } else if waited {
+            self.spin_waits += 1;
         }
         Ok(())
     }
@@ -558,6 +581,16 @@ impl Producer {
         (
             std::mem::take(&mut self.spins),
             std::mem::take(&mut self.parks),
+        )
+    }
+
+    /// Drain and reset the (spin-resolved, parked) *wait episode*
+    /// counters: each blocked `push_all` counts once, under whichever
+    /// resolution it reached.
+    pub fn take_wait_stats(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.spin_waits),
+            std::mem::take(&mut self.park_waits),
         )
     }
 
@@ -582,6 +615,12 @@ pub struct Consumer {
     /// Doorbell parks taken on an empty ring since the last
     /// [`take_stats`](Consumer::take_stats).
     parks: u64,
+    /// Blocked reads that resolved in the spin/yield phase (no park)
+    /// since the last [`take_wait_stats`](Consumer::take_wait_stats).
+    spin_waits: u64,
+    /// Blocked reads that parked at least once since the last
+    /// [`take_wait_stats`](Consumer::take_wait_stats).
+    park_waits: u64,
 }
 
 impl Consumer {
@@ -641,6 +680,16 @@ impl Consumer {
         )
     }
 
+    /// Drain and reset the (spin-resolved, parked) *wait episode*
+    /// counters: each blocked read counts once, under whichever
+    /// resolution it reached.
+    pub fn take_wait_stats(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.spin_waits),
+            std::mem::take(&mut self.park_waits),
+        )
+    }
+
     /// The underlying ring.
     pub fn ring(&self) -> &Arc<SpscRing> {
         &self.ring
@@ -653,9 +702,18 @@ impl Consumer {
 
 impl io::Read for Consumer {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // One blocked call = one wait episode, classified by whether it
+        // ever reached a park — the mailbox's RecvSpin/RecvPark split.
+        let mut waited = false;
+        let mut parked = false;
         loop {
             let n = self.try_pop(buf);
             if n > 0 {
+                if parked {
+                    self.park_waits += 1;
+                } else if waited {
+                    self.spin_waits += 1;
+                }
                 return Ok(n);
             }
             // Empty. Closed-and-drained is EOF; the close flag is read
@@ -667,6 +725,7 @@ impl io::Read for Consumer {
             if self.stopped() {
                 return Ok(0);
             }
+            waited = true;
             let mut moved = false;
             for _ in 0..spin_budget() {
                 self.spins += 1;
@@ -697,6 +756,7 @@ impl io::Read for Consumer {
                 continue;
             }
             self.parks += 1;
+            parked = true;
             hdr.consumer_bell.park(PARK_NS);
         }
     }
@@ -825,13 +885,27 @@ mod tests {
         let mut c = ring.consumer();
         let writer = std::thread::spawn(move || {
             p.push_all(&[7u8; 64], || false).unwrap();
-            p.take_stats()
+            (p.take_stats(), p.take_wait_stats())
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
         let mut got = vec![0u8; 64];
         c.read_exact(&mut got).unwrap();
-        let (spins, parks) = writer.join().unwrap();
-        // The producer had to wait for the slow consumer somehow.
+        let ((spins, parks), (spin_waits, park_waits)) = writer.join().unwrap();
+        // The producer had to wait for the slow consumer somehow, and the
+        // blocked push must be classified as exactly one wait episode.
         assert!(spins > 0 || parks > 0);
+        assert_eq!(spin_waits + park_waits, 1);
+    }
+
+    #[test]
+    fn unblocked_transfers_record_no_wait_episodes() {
+        let ring = SpscRing::heap(64);
+        let mut p = ring.producer();
+        let mut c = ring.consumer();
+        p.push_all(b"fits easily", || false).unwrap();
+        let mut got = [0u8; 11];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(p.take_wait_stats(), (0, 0));
+        assert_eq!(c.take_wait_stats(), (0, 0));
     }
 }

@@ -199,6 +199,15 @@ const COUNTER_GROUPS: &[CounterGroup] = &[
         lane_label: "rank",
         members: &[(CounterId::ShmDoorbellParks, "")],
     },
+    CounterGroup {
+        metric: "patternlets_spsc_waits_total",
+        help: "SPSC ring waits (shm byte ring / stream edge), by how the wait resolved",
+        lane_label: "lane",
+        members: &[
+            (CounterId::SpscSpinWaits, "resolved=\"spin\""),
+            (CounterId::SpscParkWaits, "resolved=\"park\""),
+        ],
+    },
 ];
 
 /// `(metric name, help)` for each fixed histogram.
@@ -533,6 +542,14 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             snap.total(CounterId::StreamItemsIn),
             snap.total(CounterId::StreamItemsOut),
             snap.total_max(GaugeId::StreamQueueDepth),
+        ));
+    }
+
+    let spsc_spin = snap.total(CounterId::SpscSpinWaits);
+    let spsc_park = snap.total(CounterId::SpscParkWaits);
+    if spsc_spin + spsc_park > 0 {
+        out.push_str(&format!(
+            "spsc waits: spin-resolved={spsc_spin} parked={spsc_park}\n"
         ));
     }
 

@@ -123,10 +123,17 @@ pub enum CounterId {
     ShmFullSpins,
     /// Doorbell parks (futex sleeps) taken on a full or empty shm ring.
     ShmDoorbellParks,
+    /// SPSC-ring waits (byte ring or typed stream edge) that resolved
+    /// during the spin/yield phase, without parking — the SPSC analogue
+    /// of the mailbox's `RecvSpin`.
+    SpscSpinWaits,
+    /// SPSC-ring waits that parked on a doorbell at least once before
+    /// resolving — the SPSC analogue of `RecvPark`.
+    SpscParkWaits,
 }
 
 /// Number of counters in each lane shard.
-pub const COUNTER_COUNT: usize = 34;
+pub const COUNTER_COUNT: usize = 36;
 
 impl CounterId {
     /// Every counter, in shard order.
@@ -165,6 +172,8 @@ impl CounterId {
         CounterId::ShmSends,
         CounterId::ShmFullSpins,
         CounterId::ShmDoorbellParks,
+        CounterId::SpscSpinWaits,
+        CounterId::SpscParkWaits,
     ];
 
     /// Shard-array index.

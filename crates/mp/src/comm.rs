@@ -529,6 +529,7 @@ impl Comm {
             from: self.group[env.src],
             tag: env.tag,
             bytes: env.payload.len(),
+            seq: env.seq,
         });
         self.metric(|hub, lane| {
             hub.incr(lane, CounterId::MsgsRecv);

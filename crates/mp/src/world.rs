@@ -697,10 +697,23 @@ impl WorldBuilder {
         ));
         let results: Vec<Mutex<Option<R>>> = (0..self.np).map(|_| Mutex::new(None)).collect();
 
+        // Traced worlds line every rank up at a start gate before the
+        // body runs, so the recorded timelines begin together and spawn
+        // order doesn't masquerade as blocked time in the analysis. The
+        // multi-process fabrics do the same with an agreement round at
+        // the end of rendezvous. A spin gate rather than `sync::Barrier`:
+        // condvar wakeup latency (tens of µs) would stagger the release
+        // by more than an in-process message takes to deliver, hiding
+        // real message edges from the critical path.
+        let start_gate = (self.traced || self.tracer.is_some())
+            .then(|| std::sync::atomic::AtomicUsize::new(0));
+        let np = self.np;
+
         std::thread::scope(|scope| {
             for (rank, slot) in results.iter().enumerate() {
                 let transport = Arc::clone(&transport);
                 let f = &f;
+                let start_gate = &start_gate;
                 scope.spawn(move || {
                     // Mark the rank finished even if `f` panics, so peers
                     // blocked in recv() report the failure instead of
@@ -725,6 +738,20 @@ impl WorldBuilder {
                         rank,
                     };
                     let comm = Comm::over_fabric(rank, Arc::clone(&transport) as Arc<dyn Fabric>);
+                    if let Some(gate) = start_gate {
+                        gate.fetch_add(1, Ordering::SeqCst);
+                        let mut spins = 0u32;
+                        while gate.load(Ordering::SeqCst) < np {
+                            spins += 1;
+                            if spins % 1024 == 0 {
+                                // More ranks than cores must not livelock
+                                // the unarrived ones off the CPU.
+                                std::thread::yield_now();
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
                     let r = f(comm);
                     *slot.lock() = Some(r);
                 });

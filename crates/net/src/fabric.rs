@@ -514,6 +514,11 @@ struct Inner {
     start: Instant,
     agreements: Mutex<HashMap<AgreeKey, AgreeSlot>>,
     agree_cv: Condvar,
+    /// Clock-probe replies from rank 0 land here (a reader thread
+    /// produces, the establish-time offset estimator consumes; see
+    /// [`Inner::estimate_clock_offset`]).
+    clock_reply: Mutex<Option<(u64, u64)>>,
+    clock_cv: Condvar,
     /// Raised by `finish`/`sever`: background threads stop writing and
     /// no reconnects are attempted or served.
     closing: AtomicBool,
@@ -522,6 +527,51 @@ struct Inner {
 impl Inner {
     fn elapsed_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    /// Estimate this process's wall-clock offset to rank 0 — rank 0's
+    /// clock minus ours, in nanoseconds — by RTT-midpoint probing over
+    /// the freshly established peer link. Each probe yields
+    /// `offset = s − (t0+t1)/2`; the sample with the smallest round trip
+    /// wins, since its midpoint error is bounded by that round trip's
+    /// asymmetry. Returns 0 when no probe completes (rank 0's reply is
+    /// then just absent and the traces fall back to unaligned merging).
+    fn estimate_clock_offset(&self) -> i64 {
+        const PROBES: usize = 8;
+        const REPLY_TIMEOUT: Duration = Duration::from_millis(100);
+        let mut best: Option<(u64, i64)> = None; // (rtt_ns, offset_ns)
+        for _ in 0..PROBES {
+            let t0 = unix_now_ns();
+            let probe = encode_frame(&Frame::ClockProbe { t0 });
+            if !self.write_to(0, &probe, false) {
+                break;
+            }
+            let deadline = Instant::now() + REPLY_TIMEOUT;
+            let mut slot = self.clock_reply.lock();
+            let reply = loop {
+                match slot.take() {
+                    Some((echo, s)) if echo == t0 => break Some(s),
+                    // A stale reply to an expired probe: discard, keep
+                    // waiting for ours.
+                    Some(_) => continue,
+                    None => {}
+                }
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                if timeout.is_zero() {
+                    break None;
+                }
+                self.clock_cv.wait_for(&mut slot, timeout);
+            };
+            drop(slot);
+            let Some(s) = reply else { continue };
+            let t1 = unix_now_ns();
+            let rtt = t1.saturating_sub(t0);
+            let offset = s as i64 - t0.midpoint(t1) as i64;
+            if best.is_none_or(|(r, _)| rtt < r) {
+                best = Some((rtt, offset));
+            }
+        }
+        best.map_or(0, |(_, o)| o)
     }
 
     /// Write a pre-encoded record to one peer through its combining
@@ -654,6 +704,19 @@ impl Inner {
                     writer.ack(seen);
                 }
             }
+            Frame::ClockProbe { t0 } => {
+                // Answer with our wall clock; the prober turns the echo
+                // into an RTT-midpoint offset estimate.
+                let reply = encode_frame(&Frame::ClockReply {
+                    t0,
+                    server_ns: unix_now_ns(),
+                });
+                self.write_to(peer, &reply, false);
+            }
+            Frame::ClockReply { t0, server_ns } => {
+                *self.clock_reply.lock() = Some((t0, server_ns));
+                self.clock_cv.notify_all();
+            }
             // A stray handshake, resume, metrics or job-control frame
             // after setup carries nothing actionable (Resume is consumed
             // during the handshake itself; metrics frames are interpreted
@@ -669,6 +732,7 @@ impl Inner {
             | Frame::JobLine { .. }
             | Frame::JobMetrics { .. }
             | Frame::JobDone { .. }
+            | Frame::JobTrace { .. }
             | Frame::Shutdown => {}
         }
     }
@@ -970,6 +1034,13 @@ impl Inner {
     }
 }
 
+/// Wall clock as Unix nanoseconds (0 on a pre-epoch clock).
+fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
 /// One process's handle on a TCP-meshed world: implements [`Fabric`] for
 /// the single rank this process hosts.
 pub struct TcpFabric {
@@ -1116,6 +1187,8 @@ impl TcpFabric {
             start: Instant::now(),
             agreements: Mutex::new(HashMap::new()),
             agree_cv: Condvar::new(),
+            clock_reply: Mutex::new(None),
+            clock_cv: Condvar::new(),
             closing: AtomicBool::new(false),
         });
         for (peer, stream) in read_halves.into_iter().enumerate() {
@@ -1140,7 +1213,23 @@ impl TcpFabric {
                 .spawn(move || inner.accept_loop())
                 .map_err(sock_err("spawn acceptor"))?;
         }
-        Ok(TcpFabric { inner })
+        // With tracing on, non-zero ranks estimate their wall-clock
+        // offset to rank 0 over the fresh mesh (rank 0's reader answers
+        // probes), so per-rank trace exports can carry an aligned
+        // timebase anchor. Untraced worlds skip the probe round trips.
+        if spec.tracer.is_some() && me != 0 && np > 1 {
+            crate::set_clock_offset_ns(inner.estimate_clock_offset());
+        }
+        let fabric = TcpFabric { inner };
+        // Traced worlds also rendezvous on a start gate so every rank
+        // enters the program body together. Without it, launch-order
+        // stagger plus the serial clock-probe round put milliseconds of
+        // lane offset in the merged timeline — late arrival, not message
+        // latency, would gate the analyzer's critical path.
+        if spec.tracer.is_some() && np > 1 {
+            traced_start_gate(&fabric, me, np, spec.epoch);
+        }
+        Ok(fabric)
     }
 
     /// Abruptly close every peer connection without announcing Finish —
@@ -1163,6 +1252,45 @@ impl TcpFabric {
         if let Some(writer) = &self.inner.peers[peer] {
             writer.disconnect();
         }
+    }
+}
+
+/// Line every rank up at a start gate before a traced world's body runs:
+/// one agreement round on a reserved key (no comm ever uses
+/// `comm_id == u64::MAX`), then a wait until a common wall-clock deadline.
+/// Each rank contributes its arrival time on rank 0's clock plus a margin
+/// and everyone waits out the max, so release skew is bounded by
+/// clock-offset error rather than frame-propagation and condvar-wakeup
+/// latency. The round is sequenced on the wire (chaos-safe) and a dead
+/// rank can't hang it; a rank arriving after the deadline simply doesn't
+/// wait.
+pub(crate) fn traced_start_gate(fabric: &dyn Fabric, me: usize, np: usize, epoch: u64) {
+    let wall = || {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as i128)
+            .unwrap_or(0)
+    };
+    // Covers the last arriver's Agree frame reaching every peer.
+    const GATE_MARGIN_NS: i128 = 2_000_000;
+    let offset = i128::from(crate::clock_offset_ns());
+    let group: Vec<usize> = (0..np).collect();
+    let value = (wall() + offset + GATE_MARGIN_NS).max(0) as u64;
+    let slot = fabric.agreement((u64::MAX, 0, epoch), me, value, &group);
+    let deadline = slot.values().copied().max().unwrap_or(0) as i128;
+    loop {
+        let left = deadline - (wall() + offset);
+        if left <= 0 {
+            break;
+        }
+        if left > 500_000 {
+            std::thread::sleep(std::time::Duration::from_nanos((left - 300_000) as u64));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    if std::env::var("PMRUN_GATE_DEBUG").is_ok() {
+        eprintln!("[gate] rank {me} released at wall {}", wall());
     }
 }
 

@@ -191,6 +191,10 @@ pub enum Frame {
         /// Wire-chaos plan in `PMRUN_NET_CHAOS` env-value form; empty =
         /// chaos off.
         chaos: String,
+        /// Capture an execution trace: the worker runs the patternlet
+        /// under a [`patternlets_trace::Tracer`] and ships the Chrome
+        /// export back as a [`Frame::JobTrace`] before `JobDone`.
+        trace: bool,
     },
     /// Worker → daemon: one line of a job's captured stdout, streamed as
     /// it is emitted so gateway clients can watch live.
@@ -227,6 +231,37 @@ pub enum Frame {
     },
     /// Daemon → worker: the daemon is draining; finish up and exit.
     Shutdown,
+    /// Clock-offset probe, sent to rank 0 right after the peer mesh is
+    /// established: `t0` is the prober's wall clock (Unix ns) at send.
+    /// Rank 0 answers with [`Frame::ClockReply`]; the prober combines
+    /// the echoed `t0`, its own receive time `t1`, and the replier's
+    /// clock `s` into the RTT-midpoint offset estimate `s − (t0+t1)/2`.
+    ClockProbe {
+        /// The prober's wall clock (Unix ns) when the probe left.
+        t0: u64,
+    },
+    /// Reply to a [`Frame::ClockProbe`]: echoes the probe's `t0` (so a
+    /// late reply can't close the wrong sample) plus the replier's own
+    /// wall clock at the moment it handled the probe.
+    ClockReply {
+        /// The probe's `t0`, echoed verbatim.
+        t0: u64,
+        /// The replier's wall clock (Unix ns) when it saw the probe.
+        server_ns: u64,
+    },
+    /// Worker → daemon: one rank's Chrome-trace export for a traced job,
+    /// sent after the rank body finishes and before `JobDone`. The daemon
+    /// merges all ranks' exports with
+    /// `patternlets_trace::chrome::merge_chrome_json` and serves the
+    /// result at `GET /jobs/:id/trace`.
+    JobTrace {
+        /// The job the trace belongs to.
+        job: u64,
+        /// The reporting world rank.
+        rank: u64,
+        /// `to_chrome_json_with_base` output (UTF-8 JSON).
+        json: String,
+    },
 }
 
 impl Frame {
@@ -264,6 +299,9 @@ const KIND_JOB_LINE: u8 = 12;
 const KIND_JOB_METRICS: u8 = 13;
 const KIND_JOB_DONE: u8 = 14;
 const KIND_SHUTDOWN: u8 = 15;
+const KIND_CLOCK_PROBE: u8 = 16;
+const KIND_CLOCK_REPLY: u8 = 17;
+const KIND_JOB_TRACE: u8 = 18;
 
 struct BodyWriter(Vec<u8>);
 
@@ -440,6 +478,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             epoch_base,
             on,
             chaos,
+            trace,
         } => {
             w.u8(KIND_JOB_ASSIGN);
             w.u64(*job);
@@ -449,6 +488,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u64(*epoch_base);
             w.u8(u8::from(*on));
             w.string(chaos);
+            w.u8(u8::from(*trace));
         }
         Frame::JobLine { job, rank, line } => {
             w.u8(KIND_JOB_LINE);
@@ -476,6 +516,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::Shutdown => {
             w.u8(KIND_SHUTDOWN);
+        }
+        Frame::ClockProbe { t0 } => {
+            w.u8(KIND_CLOCK_PROBE);
+            w.u64(*t0);
+        }
+        Frame::ClockReply { t0, server_ns } => {
+            w.u8(KIND_CLOCK_REPLY);
+            w.u64(*t0);
+            w.u64(*server_ns);
+        }
+        Frame::JobTrace { job, rank, json } => {
+            w.u8(KIND_JOB_TRACE);
+            w.u64(*job);
+            w.u64(*rank);
+            w.string(json);
         }
     }
     let body = w.0;
@@ -569,6 +624,11 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
                 other => return Err(Error::Codec(format!("bad on byte {other}"))),
             },
             chaos: r.string()?,
+            trace: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Codec(format!("bad trace byte {other}"))),
+            },
         },
         KIND_JOB_LINE => Frame::JobLine {
             job: r.u64()?,
@@ -591,6 +651,16 @@ pub fn decode_body(body: &[u8]) -> Result<Frame> {
             error: r.string()?,
         },
         KIND_SHUTDOWN => Frame::Shutdown,
+        KIND_CLOCK_PROBE => Frame::ClockProbe { t0: r.u64()? },
+        KIND_CLOCK_REPLY => Frame::ClockReply {
+            t0: r.u64()?,
+            server_ns: r.u64()?,
+        },
+        KIND_JOB_TRACE => Frame::JobTrace {
+            job: r.u64()?,
+            rank: r.u64()?,
+            json: r.string()?,
+        },
         other => return Err(Error::Codec(format!("unknown frame kind {other}"))),
     };
     r.finish()?;
@@ -762,6 +832,7 @@ mod tests {
             epoch_base: 17 << 20,
             on: true,
             chaos: "7".into(),
+            trace: true,
         });
         roundtrip(Frame::JobLine {
             job: 17,
@@ -780,6 +851,16 @@ mod tests {
             error: "rank 1 failed".into(),
         });
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::ClockProbe { t0: 1_700_000_000 });
+        roundtrip(Frame::ClockReply {
+            t0: 1_700_000_000,
+            server_ns: 1_700_000_042,
+        });
+        roundtrip(Frame::JobTrace {
+            job: 17,
+            rank: 1,
+            json: "{\"traceEvents\":[]}".into(),
+        });
     }
 
     #[test]
@@ -799,6 +880,7 @@ mod tests {
                 epoch_base: 0,
                 on: false,
                 chaos: String::new(),
+                trace: false,
             },
             Frame::JobLine {
                 job: 1,
@@ -817,9 +899,22 @@ mod tests {
                 error: String::new(),
             },
             Frame::Shutdown,
+            Frame::JobTrace {
+                job: 1,
+                rank: 0,
+                json: String::new(),
+            },
         ] {
             assert!(!frame.is_sequenced(), "{frame:?}");
         }
+    }
+
+    #[test]
+    fn clock_frames_are_unsequenced() {
+        // Clock probes are connection plumbing: regenerated per establish,
+        // never replayed — replayed probes would poison offset estimates.
+        assert!(!Frame::ClockProbe { t0: 1 }.is_sequenced());
+        assert!(!Frame::ClockReply { t0: 1, server_ns: 2 }.is_sequenced());
     }
 
     #[test]

@@ -69,6 +69,25 @@ pub const ENV_FABRIC: &str = "PMRUN_FABRIC";
 /// every rank at a per-job scratch directory it sweeps at exit).
 pub const ENV_SHM_DIR: &str = "PMRUN_SHM_DIR";
 
+/// This process's most recent estimated wall-clock offset to rank 0
+/// (rank 0's clock minus ours, in nanoseconds). Written by
+/// [`TcpFabric`] establishment when a traced world's peer mesh comes up;
+/// 0 for rank 0 itself, for co-located (shared-memory/thread) worlds —
+/// one host shares one clock — and for untraced worlds. Trace exporters
+/// add it to the tracer's wall-clock origin to produce each rank's
+/// `traceBaseNs` anchor.
+static CLOCK_OFFSET_NS: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(0);
+
+/// The current clock-offset estimate to rank 0, in nanoseconds (see
+/// [`CLOCK_OFFSET_NS`]). Latest world establishment wins.
+pub fn clock_offset_ns() -> i64 {
+    CLOCK_OFFSET_NS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub(crate) fn set_clock_offset_ns(offset: i64) {
+    CLOCK_OFFSET_NS.store(offset, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Push one metrics snapshot to the collector at `addr`.
 ///
 /// Each push is a short-lived connection carrying a single

@@ -411,6 +411,7 @@ impl Inner {
             .is_ok();
         if let Some(hub) = &self.metrics {
             let (spins, parks) = producer.take_stats();
+            let (spin_waits, park_waits) = producer.take_wait_stats();
             if ok {
                 hub.incr(peer, CounterId::ShmSends);
             }
@@ -419,6 +420,12 @@ impl Inner {
             }
             if parks > 0 {
                 hub.add(self.me, CounterId::ShmDoorbellParks, parks);
+            }
+            if spin_waits > 0 {
+                hub.add(self.me, CounterId::SpscSpinWaits, spin_waits);
+            }
+            if park_waits > 0 {
+                hub.add(self.me, CounterId::SpscParkWaits, park_waits);
             }
         }
         ok
@@ -536,11 +543,18 @@ impl Inner {
                     self.handle_frame(peer, frame);
                     if let Some(hub) = &self.metrics {
                         let (spins, parks) = consumer.take_stats();
+                        let (spin_waits, park_waits) = consumer.take_wait_stats();
                         if spins > 0 {
                             hub.add(self.me, CounterId::ShmFullSpins, spins);
                         }
                         if parks > 0 {
                             hub.add(self.me, CounterId::ShmDoorbellParks, parks);
+                        }
+                        if spin_waits > 0 {
+                            hub.add(self.me, CounterId::SpscSpinWaits, spin_waits);
+                        }
+                        if park_waits > 0 {
+                            hub.add(self.me, CounterId::SpscParkWaits, park_waits);
                         }
                     }
                 }
@@ -1042,7 +1056,15 @@ pub fn establish(
         return Ok(Arc::new(fabric));
     }
     match try_establish_shm(server, me, spec, shm_dir, host) {
-        Ok(ShmAttempt::Shm(fabric)) => Ok(Arc::new(fabric)),
+        Ok(ShmAttempt::Shm(fabric)) => {
+            // Same traced start gate the TCP mesh runs at the end of
+            // `from_table`: co-located ranks share the host clock, so the
+            // deadline needs no offset correction here.
+            if spec.tracer.is_some() && spec.np > 1 {
+                crate::fabric::traced_start_gate(&fabric, me, spec.np, spec.epoch);
+            }
+            Ok(Arc::new(fabric))
+        }
         Ok(ShmAttempt::NotColocated(listener, table)) => {
             if mode == FabricMode::Shm {
                 return Err(Error::InvalidConfig(

@@ -28,6 +28,9 @@ pub struct SubmitSpec {
     pub chaos: String,
     /// Worker-death retry budget (`None` = daemon default).
     pub retries: Option<u32>,
+    /// Capture an execution trace (served at `GET /jobs/:id/trace` and
+    /// analyzed at `GET /jobs/:id/analysis`).
+    pub trace: bool,
 }
 
 impl SubmitSpec {
@@ -44,6 +47,9 @@ impl SubmitSpec {
         }
         if let Some(r) = self.retries {
             doc.push_str(&format!(", \"retries\": {r}"));
+        }
+        if self.trace {
+            doc.push_str(", \"trace\": true");
         }
         doc.push('}');
         doc
@@ -201,11 +207,13 @@ mod tests {
             on: false,
             chaos: String::new(),
             retries: None,
+            trace: false,
         };
         let j = Json::parse(&minimal.to_json()).unwrap();
         assert_eq!(j.get("np").unwrap().as_u64(), Some(4));
         assert!(j.get("chaos").is_none());
         assert!(j.get("retries").is_none());
+        assert!(j.get("trace").is_none());
 
         let full = SubmitSpec {
             patternlet: "reduction".into(),
@@ -213,10 +221,12 @@ mod tests {
             on: true,
             chaos: "drop=0.01,seed=7".into(),
             retries: Some(2),
+            trace: true,
         };
         let j = Json::parse(&full.to_json()).unwrap();
         assert_eq!(j.get("on").unwrap().as_bool(), Some(true));
         assert_eq!(j.get("chaos").unwrap().as_str(), Some("drop=0.01,seed=7"));
         assert_eq!(j.get("retries").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("trace").unwrap().as_bool(), Some(true));
     }
 }

@@ -263,6 +263,11 @@ fn cluster_conn(
                             error,
                         });
                     }
+                    Ok(Some(Frame::JobTrace { job, rank, json })) => {
+                        if let Some(job) = table.get(job) {
+                            job.store_trace(rank as usize, json);
+                        }
+                    }
                     Ok(Some(_)) => {}
                     // EOF or a mangled stream: the worker is gone.
                     Ok(None) | Err(_) => {
@@ -304,6 +309,8 @@ fn handle_http(mut conn: TcpStream, shared: &HttpShared) {
         ("GET", ["jobs"]) => list_jobs(&mut conn, shared),
         ("GET", ["jobs", id]) => job_status(&mut conn, id, shared),
         ("GET", ["jobs", id, "output"]) => job_output(&mut conn, id, shared),
+        ("GET", ["jobs", id, "trace"]) => job_trace(&mut conn, id, shared),
+        ("GET", ["jobs", id, "analysis"]) => job_analysis(&mut conn, id, shared),
         ("GET", ["metrics"]) => metrics(&mut conn, shared),
         ("GET", ["workers"]) => workers(&mut conn, shared),
         ("POST", ["shutdown"]) => {
@@ -316,6 +323,7 @@ fn handle_http(mut conn: TcpStream, shared: &HttpShared) {
             200,
             "text/plain",
             b"pmserve: POST /jobs, GET /jobs, GET /jobs/:id, GET /jobs/:id/output, \
+              GET /jobs/:id/trace, GET /jobs/:id/analysis, \
               GET /metrics, GET /workers, POST /shutdown\n",
         ),
         (method, _) if method != "GET" && method != "POST" => {
@@ -351,6 +359,7 @@ fn submit(conn: &mut TcpStream, req: &Request, shared: &HttpShared) -> std::io::
         .and_then(Json::as_u64)
         .map(|r| r.min(8) as u32)
         .unwrap_or(shared.default_retries);
+    let trace = body.get("trace").and_then(Json::as_bool).unwrap_or(false);
     let live = shared.pool.live();
     if np as usize > live {
         // Admission control: a job that cannot run on today's membership
@@ -368,6 +377,7 @@ fn submit(conn: &mut TcpStream, req: &Request, shared: &HttpShared) -> std::io::
         on,
         chaos,
         retries,
+        trace,
     });
     shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
     let _ = shared.events.send(Event::Submitted(job.id));
@@ -443,6 +453,39 @@ fn job_output(conn: &mut TcpStream, id: &str, shared: &HttpShared) -> std::io::R
         writer.chunk(burst.as_bytes())?;
     }
     writer.finish()
+}
+
+/// Serve a traced job's merged Chrome trace (all ranks, timelines
+/// aligned) — load it straight into Perfetto / `chrome://tracing`.
+fn job_trace(conn: &mut TcpStream, id: &str, shared: &HttpShared) -> std::io::Result<()> {
+    let Some(job) = id.parse::<u64>().ok().and_then(|id| shared.table.get(id)) else {
+        return respond_json(conn, 404, &err_doc("no such job"));
+    };
+    if !job.spec.trace {
+        return respond_json(conn, 404, &err_doc("job was not submitted with \"trace\": true"));
+    }
+    match job.merged_trace() {
+        Some(json) => respond_json(conn, 200, &json),
+        None => respond_json(conn, 404, &err_doc("no trace captured yet")),
+    }
+}
+
+/// Run the critical-path analyzer over a traced job's merged trace and
+/// serve the JSON report.
+fn job_analysis(conn: &mut TcpStream, id: &str, shared: &HttpShared) -> std::io::Result<()> {
+    let Some(job) = id.parse::<u64>().ok().and_then(|id| shared.table.get(id)) else {
+        return respond_json(conn, 404, &err_doc("no such job"));
+    };
+    if !job.spec.trace {
+        return respond_json(conn, 404, &err_doc("job was not submitted with \"trace\": true"));
+    }
+    let Some(json) = job.merged_trace() else {
+        return respond_json(conn, 404, &err_doc("no trace captured yet"));
+    };
+    match patternlets_trace::analyze::from_chrome_json(&json) {
+        Ok(analysis) => respond_json(conn, 200, &analysis.to_json()),
+        Err(e) => respond_json(conn, 500, &err_doc(&format!("analysis failed: {e}"))),
+    }
 }
 
 fn metrics(conn: &mut TcpStream, shared: &HttpShared) -> std::io::Result<()> {

@@ -33,6 +33,11 @@ pub struct JobSpec {
     pub chaos: String,
     /// How many times a worker-death failure may be retried.
     pub retries: u32,
+    /// Capture an execution trace: workers run the patternlet under a
+    /// tracer and ship per-rank Chrome exports back; the merged trace is
+    /// served at `GET /jobs/:id/trace` and analyzed at
+    /// `GET /jobs/:id/analysis`.
+    pub trace: bool,
 }
 
 /// Where a job is in its lifecycle.
@@ -163,6 +168,8 @@ pub struct Job {
     phase: Mutex<JobPhase>,
     /// Captured output lines.
     pub output: OutputBuf,
+    /// Per-rank Chrome-trace exports for a traced job, keyed by rank.
+    traces: Mutex<HashMap<usize, String>>,
 }
 
 impl Job {
@@ -173,6 +180,7 @@ impl Job {
             spec,
             phase: Mutex::new(JobPhase::Queued),
             output: OutputBuf::default(),
+            traces: Mutex::new(HashMap::new()),
         }
     }
 
@@ -188,6 +196,30 @@ impl Job {
         if terminal {
             self.output.close();
         }
+    }
+
+    /// Store one rank's Chrome-trace export (latest attempt wins).
+    pub fn store_trace(&self, rank: usize, json: String) {
+        self.traces.lock().expect("trace lock").insert(rank, json);
+    }
+
+    /// Drop captured traces for a retry attempt.
+    pub fn reset_traces(&self) {
+        self.traces.lock().expect("trace lock").clear();
+    }
+
+    /// The captured per-rank exports merged into one Chrome trace
+    /// (rank-sorted). `None` when no rank has reported a trace.
+    pub fn merged_trace(&self) -> Option<String> {
+        let traces = self.traces.lock().expect("trace lock");
+        if traces.is_empty() {
+            return None;
+        }
+        let mut ranks: Vec<(&usize, &String)> = traces.iter().collect();
+        ranks.sort_by_key(|(rank, _)| **rank);
+        Some(patternlets_trace::chrome::merge_chrome_json(
+            ranks.into_iter().map(|(rank, json)| (*rank, json.as_str())),
+        ))
     }
 }
 
@@ -300,6 +332,7 @@ mod tests {
             on: false,
             chaos: String::new(),
             retries: 0,
+            trace: false,
         };
         let a = table.create(spec.clone());
         let b = table.create(spec);
@@ -319,6 +352,7 @@ mod tests {
                 on: false,
                 chaos: String::new(),
                 retries: 0,
+                trace: false,
             },
         );
         job.output.push("hello".into());

@@ -253,6 +253,7 @@ impl Scheduler {
                 epoch_base: epoch_base(id, attempt),
                 on: job.spec.on,
                 chaos: job.spec.chaos.clone(),
+                trace: job.spec.trace,
             };
             if self.pool.send(worker, &assign).is_err() {
                 // The worker died between claim and send; mark its rank
@@ -348,6 +349,7 @@ impl Scheduler {
                 ));
                 self.stats.retried.fetch_add(1, Ordering::Relaxed);
                 job.output.reset();
+                job.reset_traces();
                 job.set_phase(JobPhase::Queued);
                 self.queue.push_front((id, record.attempt + 1));
             } else {

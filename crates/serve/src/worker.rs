@@ -36,6 +36,10 @@ pub struct Assignment {
     pub rank: usize,
     /// The directive toggle (`--on`).
     pub on: bool,
+    /// Capture an execution trace: the runner runs the patternlet under
+    /// a tracer and ships the Chrome export back via
+    /// [`JobLineSink::trace`] before returning.
+    pub trace: bool,
 }
 
 /// Executes one assigned patternlet. Runs inside the job's fabric
@@ -79,6 +83,22 @@ impl JobLineSink {
                 job: self.job,
                 rank: self.rank,
                 line: text.to_string(),
+            },
+        );
+    }
+
+    /// Ship this rank's Chrome-trace export back to the daemon (one
+    /// [`Frame::JobTrace`]; the daemon merges all ranks' exports and
+    /// serves the result at `GET /jobs/:id/trace`). Send failures are
+    /// swallowed like line sends: a gone daemon already lost the job.
+    pub fn trace(&self, json: &str) {
+        let mut conn = self.conn.lock().expect("worker conn lock");
+        let _ = write_frame(
+            &mut *conn,
+            &Frame::JobTrace {
+                job: self.job,
+                rank: self.rank,
+                json: json.to_string(),
             },
         );
     }
@@ -168,6 +188,7 @@ pub fn run_worker(cluster_addr: &str, runner: impl JobRunner) -> std::io::Result
                 epoch_base,
                 on,
                 chaos,
+                trace,
             } => {
                 let assign = Assignment {
                     job,
@@ -175,6 +196,7 @@ pub fn run_worker(cluster_addr: &str, runner: impl JobRunner) -> std::io::Result
                     np: np as usize,
                     rank: rank as usize,
                     on,
+                    trace,
                 };
                 let sink = JobLineSink {
                     conn: conn.clone(),

@@ -107,6 +107,7 @@ fn submit(http: &str, patternlet: &str, np: usize, on: bool) -> u64 {
             on,
             chaos: String::new(),
             retries: None,
+            trace: false,
         },
     )
     .expect("submission accepted")

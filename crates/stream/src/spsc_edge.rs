@@ -82,6 +82,25 @@ impl<T> Ring<T> {
             self.trace(lane, EventKind::StageEos { queue: self.queue });
         }
     }
+
+    /// Count one wait episode on this edge, attributed to the queue's
+    /// lane and split by how it resolved — the same spin-vs-park
+    /// vocabulary as the byte ring under the shm fabric.
+    fn record_wait(&self, waited: bool, parked: bool) {
+        if !waited {
+            return;
+        }
+        if let Some(m) = &self.obs.metrics {
+            m.incr(
+                self.queue,
+                if parked {
+                    CounterId::SpscParkWaits
+                } else {
+                    CounterId::SpscSpinWaits
+                },
+            );
+        }
+    }
 }
 
 impl<T> Drop for Ring<T> {
@@ -156,12 +175,15 @@ impl<T> SpscSender<T> {
         let ring = &*self.ring;
         let tail = ring.tail.0.load(Ordering::Relaxed);
         let mut spun = 0u32;
+        let mut parked = false;
         loop {
             if ring.closed.load(Ordering::Acquire) || ring.receiver_gone.load(Ordering::Acquire) {
+                ring.record_wait(spun > 0, parked);
                 return None;
             }
             let head = ring.head.0.load(Ordering::Acquire);
             if tail - head < ring.capacity {
+                ring.record_wait(spun > 0, parked);
                 return Some((tail, head));
             }
             if spun < spin_budget() {
@@ -183,6 +205,7 @@ impl<T> SpscSender<T> {
                 ring.producer_bell.cancel_park();
                 continue;
             }
+            parked = true;
             ring.producer_bell.park(PARK_NS);
         }
     }
@@ -290,9 +313,11 @@ impl<T> SpscReceiver<T> {
         let ring = &*self.ring;
         let head = ring.head.0.load(Ordering::Relaxed);
         let mut spun = 0u32;
+        let mut parked = false;
         loop {
             let tail = ring.tail.0.load(Ordering::Acquire);
             if tail != head {
+                ring.record_wait(spun > 0, parked);
                 return Some((head, tail));
             }
             if ring.closed.load(Ordering::Acquire) {
@@ -304,6 +329,7 @@ impl<T> SpscReceiver<T> {
                 // which checks availability after `is_closed()`.
                 let tail = ring.tail.0.load(Ordering::Acquire);
                 if tail != head {
+                    ring.record_wait(spun > 0, parked);
                     return Some((head, tail));
                 }
                 // Closed AND drained (tail == head): the stream is over.
@@ -325,6 +351,7 @@ impl<T> SpscReceiver<T> {
                 ring.consumer_bell.cancel_park();
                 continue;
             }
+            parked = true;
             ring.consumer_bell.park(PARK_NS);
         }
     }
@@ -504,6 +531,26 @@ mod tests {
         assert_eq!(snap.total(CounterId::StreamItemsIn), 100);
         assert_eq!(snap.total(CounterId::StreamItemsOut), 100);
         assert!(snap.total_max(GaugeId::StreamQueueDepth) <= 4, "bound held");
+    }
+
+    #[test]
+    fn blocked_waits_resolve_as_spin_or_park_episodes() {
+        let hub = patternlets_metrics::MetricsHub::new();
+        let obs = Obs {
+            tracer: None,
+            metrics: Some(hub.clone()),
+        };
+        let (tx, rx) = spsc_edge(1, 3, &obs);
+        assert!(tx.send(1)); // fills the one-slot ring without waiting
+        let producer = thread::spawn(move || assert!(tx.send(2))); // must wait
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv(), Some(1)); // frees the slot, resolving the wait
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        let snap = hub.snapshot();
+        let episodes =
+            snap.total(CounterId::SpscSpinWaits) + snap.total(CounterId::SpscParkWaits);
+        assert_eq!(episodes, 1, "one blocked send = one wait episode");
     }
 
     #[test]

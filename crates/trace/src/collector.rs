@@ -30,6 +30,9 @@ struct Lane {
 
 struct Inner {
     origin: Instant,
+    /// The origin expressed as wall-clock Unix nanoseconds, captured at
+    /// creation — the anchor multi-process trace merging aligns on.
+    origin_unix_ns: u64,
     seq: AtomicU64,
     capacity: usize,
     lanes: Vec<Mutex<Lane>>,
@@ -76,6 +79,9 @@ impl Tracer {
         Tracer {
             inner: Arc::new(Inner {
                 origin: Instant::now(),
+                origin_unix_ns: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_nanos() as u64),
                 seq: AtomicU64::new(0),
                 capacity,
                 lanes: (0..lanes)
@@ -89,6 +95,14 @@ impl Tracer {
                 overflow: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The tracer's origin as wall-clock Unix nanoseconds: every event's
+    /// `t_ns` is relative to this instant. Exporters combine it with a
+    /// rank's estimated clock offset into the `traceBaseNs` anchor that
+    /// [`crate::chrome::merge_chrome_json`] aligns timelines on.
+    pub fn origin_unix_ns(&self) -> u64 {
+        self.inner.origin_unix_ns
     }
 
     /// Record one event on `lane`. Events on lanes beyond the tracer's
@@ -335,6 +349,7 @@ mod tests {
                 from: 0,
                 tag: 5,
                 bytes: 8,
+                seq: 0,
             },
         );
         let trace = tracer.drain();

@@ -41,6 +41,10 @@ pub enum EventKind {
         tag: i32,
         /// Payload size in bytes.
         bytes: usize,
+        /// The sender's per-stream sequence number, copied from the
+        /// envelope — pairs this receive with exactly one
+        /// [`EventKind::MsgSend`] `(from, seq)` for causal stitching.
+        seq: u64,
     },
     /// This rank entered a collective operation.
     CollBegin {
@@ -168,6 +172,7 @@ mod tests {
             from: 0,
             tag: -5,
             bytes: 1,
+            seq: 0,
         };
         assert!(user.is_user_msg());
         assert!(!runtime.is_user_msg());

@@ -19,12 +19,13 @@
 //!
 //! let tracer = Tracer::new();
 //! tracer.emit(0, EventKind::MsgSend { to: 1, tag: 7, bytes: 8, seq: 0 });
-//! tracer.emit(1, EventKind::MsgRecv { from: 0, tag: 7, bytes: 8 });
+//! tracer.emit(1, EventKind::MsgRecv { from: 0, tag: 7, bytes: 8, seq: 0 });
 //! let trace = tracer.drain();
 //! assert_eq!(trace.events.len(), 2);
 //! assert!(patternlets_trace::chrome::to_chrome_json(&trace).starts_with("{\"traceEvents\":"));
 //! ```
 
+pub mod analyze;
 pub mod chrome;
 pub mod collector;
 pub mod event;

@@ -17,18 +17,21 @@ use crate::event::{EventKind, TraceEvent};
 /// Column width of one swimlane.
 const LANE_WIDTH: usize = 22;
 
-/// Render `trace` as a swimlane timeline.
+/// Render `trace` as a swimlane timeline with default `lane N` headers.
 pub fn render(trace: &Trace) -> String {
+    render_with_labels(trace, |lane| format!("lane {lane}"))
+}
+
+/// Render `trace` as a swimlane timeline, naming each lane's column via
+/// `label`. `pmrun` merges per-process traces whose lanes are world ranks,
+/// so its merged view labels columns `rank N (pid…)` instead of the bare
+/// in-process `lane N`.
+pub fn render_with_labels(trace: &Trace, label: impl Fn(usize) -> String) -> String {
     let lanes = trace.lane_count();
     let mut out = String::new();
     let _ = write!(out, "{:>12}", "t(\u{b5}s)");
     for lane in 0..lanes {
-        let _ = write!(
-            out,
-            "  {:<width$}",
-            format!("lane {lane}"),
-            width = LANE_WIDTH
-        );
+        let _ = write!(out, "  {:<width$}", label(lane), width = LANE_WIDTH);
     }
     while out.ends_with(' ') {
         out.pop();
@@ -64,7 +67,9 @@ fn describe(event: &TraceEvent) -> String {
         EventKind::MsgSend { to, tag, bytes, .. } => {
             format!("send\u{2192}{to} tag={tag} {bytes}B")
         }
-        EventKind::MsgRecv { from, tag, bytes } => {
+        EventKind::MsgRecv {
+            from, tag, bytes, ..
+        } => {
             format!("recv\u{2190}{from} tag={tag} {bytes}B")
         }
         EventKind::CollBegin { op } => format!("[{op}"),
@@ -105,6 +110,7 @@ mod tests {
                 from: 0,
                 tag: 0,
                 bytes: 8,
+                seq: 0,
             },
         );
         let text = render(&tracer.drain());
@@ -144,5 +150,15 @@ mod tests {
     fn empty_trace_renders_header_only() {
         let text = render(&Trace::default());
         assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn custom_lane_labels_replace_the_defaults() {
+        let tracer = Tracer::new();
+        tracer.emit(1, EventKind::BarrierWait);
+        let text = render_with_labels(&tracer.drain(), |lane| format!("rank {lane}"));
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("rank 0") && header.contains("rank 1"));
+        assert!(!header.contains("lane"));
     }
 }

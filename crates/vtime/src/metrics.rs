@@ -187,6 +187,7 @@ mod tests {
                 from: 0,
                 tag: 0,
                 bytes: 8,
+                seq: 0,
             },
         );
         t.emit(1, EventKind::BarrierWait);

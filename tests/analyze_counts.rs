@@ -1,0 +1,264 @@
+//! Analyzer closed-form tests: run whole patternlets under a tracer and
+//! check the happened-before analysis against the communication structure
+//! DESIGN.md §3 predicts — the same way `trace_counts.rs` pins raw event
+//! counts. Plus a property test that the DAG construction stays sound
+//! under arbitrary (chaotic) delivery schedules.
+
+use patternlets::harness::Mode;
+use patternlets::registry::find;
+use patternlets_trace::analyze;
+use patternlets_trace::{EventKind, Trace, TraceEvent};
+use proptest::prelude::*;
+
+fn lg(p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (p - 1).leading_zeros() as usize
+    }
+}
+
+fn ev(lane: usize, seq: u64, t_ns: u64, kind: EventKind) -> TraceEvent {
+    TraceEvent {
+        lane,
+        seq,
+        t_ns,
+        kind,
+    }
+}
+
+/// Longest root→leaf chain in a binomial tree over `np` ranks: rank `r`
+/// receives from `r` with its top bit cleared, so its depth is
+/// `popcount(r)`. At powers of two this equals ⌈log2 np⌉ — the headline
+/// closed form — while np=7 pins the distinction from the *round* count.
+fn binomial_depth(np: usize) -> usize {
+    (1..np).map(|r| r.count_ones() as usize).max().unwrap_or(0)
+}
+
+#[test]
+fn broadcast_analysis_matches_the_tree_depth() {
+    // Binomial bcast over np ranks: the longest send→recv chain is the
+    // tree depth — ⌈log2 np⌉ at powers of two — independent of how the
+    // rank threads were scheduled.
+    let p = find("mpi/broadcast").expect("registered");
+    assert_eq!(binomial_depth(4), lg(4), "closed forms agree at 2^k");
+    assert_eq!(binomial_depth(8), lg(8));
+    for np in [2usize, 4, 7, 8] {
+        let (_, trace) = p.run_traced(np, Mode::On);
+        let a = analyze::from_trace(&trace);
+        assert_eq!(a.max_message_depth, binomial_depth(np), "np={np}");
+        assert_eq!(a.sends, np - 1, "payload moves once per non-root rank");
+        assert_eq!(a.recvs, np - 1);
+        assert_eq!(a.unmatched_recvs, 0, "every recv stitches to its send");
+        assert!(a.acyclic);
+        assert_eq!(a.ranks.len(), np);
+        // The critical path cannot use more message edges than the
+        // deepest chain in the DAG contains.
+        assert!(a.critical_message_hops <= binomial_depth(np), "np={np}");
+        assert!(a.straggler.is_some());
+    }
+}
+
+#[test]
+fn master_worker_analysis_stitches_every_message() {
+    // 27 point-to-point user messages (12 work + 12 results + 3 stops);
+    // the analyzer must pair all of them and chain at least work→result
+    // (2 hops) on the depth axis.
+    let p = find("mpi/masterWorker").expect("registered");
+    let (_, trace) = p.run_traced(4, Mode::Off);
+    let a = analyze::from_trace(&trace);
+    assert_eq!(a.sends, 27);
+    assert_eq!(a.recvs, 27);
+    assert_eq!(a.unmatched_recvs, 0);
+    assert!(a.acyclic);
+    assert!(a.max_message_depth >= 2, "work→result chains at minimum");
+}
+
+#[test]
+fn stream_pipeline_analysis_matches_the_stage_structure() {
+    // stream/pipeline with the directive on: source → square → describe
+    // → sink is 4 lanes joined by 3 queues, and every one of the
+    // 2·tasks items crosses all 3 — so hand-offs and causal depth are
+    // closed forms of the stage structure, not the schedule.
+    let p = find("stream/pipeline").expect("registered");
+    let tasks = 4;
+    let (_, trace) = p.run_traced(tasks, Mode::On);
+    let a = analyze::from_trace(&trace);
+    let items = 2 * tasks;
+    assert_eq!(a.queue_handoffs, 3 * items, "every item crosses 3 queues");
+    assert_eq!(a.max_message_depth, 3, "source→stage→stage→sink");
+    assert_eq!(a.sends, 0, "no rank-to-rank messages in a stream run");
+    assert_eq!(a.unmatched_recvs, 0);
+    assert!(a.acyclic);
+    assert_eq!(a.ranks.len(), 4);
+}
+
+#[test]
+fn fixed_cost_pipeline_critical_path_is_the_stage_sum() {
+    // 3 stages, 5µs of work each, items handed on instantly: the critical
+    // path is the full 15µs of serial compute crossing 2 message edges,
+    // and the straggler is the final stage.
+    let h = 5_000u64;
+    let trace = Trace {
+        events: vec![
+            ev(0, 0, 0, EventKind::RegionBegin { team: 3 }),
+            ev(
+                0,
+                1,
+                h,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+            ev(
+                1,
+                2,
+                h,
+                EventKind::MsgRecv {
+                    from: 0,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+            ev(
+                1,
+                3,
+                2 * h,
+                EventKind::MsgSend {
+                    to: 2,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+            ev(
+                2,
+                4,
+                2 * h,
+                EventKind::MsgRecv {
+                    from: 1,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+            ev(2, 5, 3 * h, EventKind::RegionEnd),
+        ],
+        dropped: 0,
+    };
+    let a = analyze::from_trace(&trace);
+    assert_eq!(a.critical_ns, 3 * h, "sum of the three stage costs");
+    assert_eq!(a.critical_compute_ns, 3 * h, "nobody waited");
+    assert_eq!(a.critical_blocked_ns, 0);
+    assert_eq!(a.critical_message_hops, 2, "two hand-offs");
+    assert_eq!(a.max_message_depth, 2);
+    assert_eq!(a.straggler, Some(2), "the sink finishes last");
+    assert!(a.imbalance > 0.0, "stage 0 idles after handing off");
+}
+
+#[test]
+fn stalled_pipeline_stage_shows_up_as_blocked_time() {
+    // Same shape, but stage 1's input arrives 5µs after stage 1 went
+    // idle: the wait must be charged as blocked-recv, not compute.
+    let h = 5_000u64;
+    let trace = Trace {
+        events: vec![
+            ev(1, 0, 0, EventKind::RegionBegin { team: 2 }),
+            ev(
+                0,
+                1,
+                2 * h,
+                EventKind::MsgSend {
+                    to: 1,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+            ev(
+                1,
+                2,
+                3 * h,
+                EventKind::MsgRecv {
+                    from: 0,
+                    tag: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ),
+        ],
+        dropped: 0,
+    };
+    let a = analyze::from_trace(&trace);
+    let rank1 = a.ranks.iter().find(|r| r.rank == 1).expect("rank 1");
+    // Idle from its RegionBegin at 0 until the send fired at 2h, then one
+    // in-flight hop: blocked time = recv(3h) − max(send 2h, prev 0) = h.
+    assert_eq!(rank1.blocked_recv_ns, h);
+    assert_eq!(a.critical_blocked_ns, h, "the hop gates the last event");
+    assert_eq!(a.critical_message_hops, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary delivery schedules — any message mix, any delays,
+    /// deliveries reordered across streams, some messages still in
+    /// flight, and clock-skewed timestamps — the happened-before graph
+    /// stays acyclic and every delivered message pairs with its send.
+    #[test]
+    fn dag_is_acyclic_and_recvs_match_under_chaos_schedules(
+        np in 2usize..6,
+        picks in proptest::collection::vec((0usize..6, 0usize..6), 1..40),
+        delays in proptest::collection::vec(0u64..50_000, 1..40),
+        drop_every in 2usize..7,
+        skew in proptest::collection::vec(0u64..20_000, 1..40),
+    ) {
+        let mut events = Vec::new();
+        let mut seqs = std::collections::HashMap::new();
+        let mut t = 0u64;
+        let mut global = 0u64;
+        let mut in_flight = Vec::new();
+        for (i, (s, d)) in picks.iter().enumerate() {
+            let dt = &delays[i % delays.len()];
+            let (src, dst) = (s % np, d % np);
+            if src == dst {
+                continue;
+            }
+            let seq = seqs.entry((src, dst)).or_insert(0u64);
+            t += dt;
+            events.push(ev(src, global, t, EventKind::MsgSend {
+                to: dst, tag: (i % 5) as i32 - 2, bytes: 8, seq: *seq,
+            }));
+            global += 1;
+            // Every drop_every-th message is lost in flight: a send with
+            // no recv must not confuse the matcher.
+            if i % drop_every != drop_every - 1 {
+                in_flight.push((src, dst, *seq, (i % 5) as i32 - 2, i));
+            }
+            *seq += 1;
+        }
+        // Chaotic delivery: reverse order across streams, timestamps
+        // skewed arbitrarily (possibly before the send — a merged trace
+        // with clock skew can show exactly that).
+        for (src, dst, seq, tag, i) in in_flight.into_iter().rev() {
+            let jitter = skew[i % skew.len()];
+            events.push(ev(dst, global, t.saturating_sub(jitter), EventKind::MsgRecv {
+                from: src, tag, bytes: 8, seq,
+            }));
+            global += 1;
+        }
+        let n_recvs = events.iter()
+            .filter(|e| matches!(e.kind, EventKind::MsgRecv { .. }))
+            .count();
+        let a = analyze::from_trace(&Trace { events, dropped: 0 });
+        prop_assert!(a.acyclic, "happened-before graph must stay a DAG");
+        prop_assert_eq!(a.unmatched_recvs, 0);
+        prop_assert_eq!(a.recvs, n_recvs);
+        prop_assert!(a.critical_message_hops <= a.max_message_depth);
+        prop_assert!(a.critical_ns <= a.span_ns);
+    }
+}
